@@ -1,0 +1,208 @@
+//! Criterion microbenchmarks for the computational kernels of the
+//! reproduction: the autograd substrate, the contrastive losses, prototype
+//! generation, aggregation, and a full Calibre step / federated round.
+
+use calibre::{calibre_step, CalibreConfig};
+use calibre_cluster::{kmeans, KMeansConfig};
+use calibre_data::{AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
+use calibre_embed::{tsne, TsneConfig};
+use calibre_fl::aggregate::weighted_average;
+use calibre_ssl::{nt_xent, ssl_step, SimClr, SslConfig, SslMethod, TwoViewBatch};
+use calibre_tensor::nn::{gradients, Binding, Mlp};
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::{rng, Graph};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut r = rng::seeded(0);
+    let a = rng::normal_matrix(&mut r, 128, 128, 1.0);
+    let b = rng::normal_matrix(&mut r, 128, 128, 1.0);
+    c.bench_function("matmul_128x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_mlp_backward(c: &mut Criterion) {
+    let mut r = rng::seeded(1);
+    let mlp = Mlp::new(&[64, 96, 32], calibre_tensor::nn::Activation::Relu, &mut r);
+    let x = rng::normal_matrix(&mut r, 32, 64, 1.0);
+    let targets: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let head = calibre_tensor::nn::Linear::new(32, 10, &mut r);
+    c.bench_function("supervised_forward_backward_b32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xn = g.constant(x.clone());
+            let mut binding = Binding::new();
+            let feats = mlp.forward(&mut g, xn, &mut binding);
+            let logits = head.forward(&mut g, feats, &mut binding);
+            let loss = g.cross_entropy(logits, &targets);
+            g.backward(loss);
+            black_box(gradients(&g, &binding))
+        })
+    });
+}
+
+fn bench_nt_xent(c: &mut Criterion) {
+    let mut r = rng::seeded(2);
+    let he = rng::normal_matrix(&mut r, 64, 16, 1.0);
+    let ho = rng::normal_matrix(&mut r, 64, 16, 1.0);
+    c.bench_function("nt_xent_b64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let a = g.leaf(he.clone());
+            let b = g.leaf(ho.clone());
+            let loss = nt_xent(&mut g, a, b, 0.5);
+            g.backward(loss);
+            black_box(g.grad(a).is_some())
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut r = rng::seeded(3);
+    let data = rng::normal_matrix(&mut r, 256, 32, 1.0);
+    c.bench_function("kmeans_n256_d32_k10", |bench| {
+        bench.iter(|| black_box(kmeans(&data, &KMeansConfig::with_k(10))))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut r = rng::seeded(4);
+    let updates: Vec<Vec<f32>> = (0..10)
+        .map(|_| rng::normal_vec(&mut r, 10_000))
+        .collect();
+    let weights: Vec<f32> = (1..=10).map(|v| v as f32).collect();
+    c.bench_function("weighted_average_10x10k", |bench| {
+        bench.iter(|| black_box(weighted_average(&updates, &weights)))
+    });
+}
+
+fn bench_ssl_step(c: &mut Criterion) {
+    let mut r = rng::seeded(5);
+    let base = rng::normal_matrix(&mut r, 32, 64, 1.0);
+    let ve = base.map(|v| v + 0.04);
+    let vo = base.map(|v| v - 0.04);
+    c.bench_function("simclr_step_b32", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    SimClr::new(SslConfig::for_input(64)),
+                    Sgd::new(SgdConfig::with_lr(0.05)),
+                )
+            },
+            |(mut m, mut opt)| {
+                black_box(ssl_step(&mut m, &TwoViewBatch::new(&ve, &vo), &mut opt))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_calibre_step(c: &mut Criterion) {
+    let mut r = rng::seeded(6);
+    let base = rng::normal_matrix(&mut r, 32, 64, 1.0);
+    let ve = base.map(|v| v + 0.04);
+    let vo = base.map(|v| v - 0.04);
+    let config = CalibreConfig::default();
+    c.bench_function("calibre_step_b32", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    SimClr::new(SslConfig::for_input(64)),
+                    Sgd::new(SgdConfig::with_lr(0.05)),
+                )
+            },
+            |(mut m, mut opt)| {
+                black_box(calibre_step(
+                    &mut m,
+                    &TwoViewBatch::new(&ve, &vo),
+                    &config,
+                    &mut opt,
+                    7,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_federated_round(c: &mut Criterion) {
+    let fed = FederatedDataset::build(
+        SynthVisionSpec::cifar10(),
+        &PartitionConfig {
+            num_clients: 5,
+            train_per_client: 60,
+            test_per_client: 20,
+            unlabeled_per_client: 0,
+            non_iid: NonIid::Dirichlet { alpha: 0.3 },
+            seed: 7,
+        },
+    );
+    let mut cfg = calibre_fl::FlConfig::for_input(64);
+    cfg.rounds = 1;
+    cfg.clients_per_round = 5;
+    cfg.local_epochs = 1;
+    c.bench_function("calibre_round_5clients", |bench| {
+        bench.iter(|| {
+            black_box(calibre::train_calibre_encoder(
+                &fed,
+                &cfg,
+                calibre_ssl::SslKind::SimClr,
+                &CalibreConfig::default(),
+                &AugmentConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_encoder_inference(c: &mut Criterion) {
+    let mut r = rng::seeded(8);
+    let method = SimClr::new(SslConfig::for_input(64));
+    let x = rng::normal_matrix(&mut r, 256, 64, 1.0);
+    c.bench_function("encoder_infer_b256", |bench| {
+        bench.iter(|| black_box(method.encoder().infer(&x)))
+    });
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut r = rng::seeded(9);
+    let data = rng::normal_matrix(&mut r, 100, 32, 1.0);
+    let cfg = TsneConfig {
+        iterations: 50,
+        ..Default::default()
+    };
+    c.bench_function("tsne_n100_50iters", |bench| {
+        bench.iter(|| black_box(tsne(&data, &cfg)))
+    });
+}
+
+fn bench_render_two_views(c: &mut Criterion) {
+    let gen = calibre_data::SynthVision::new(SynthVisionSpec::cifar10());
+    let mut r = rng::seeded(10);
+    let samples: Vec<_> = (0..32).map(|i| gen.sample(i % 10, &mut r)).collect();
+    let aug = AugmentConfig::default();
+    c.bench_function("render_two_views_b32", |bench| {
+        bench.iter(|| {
+            let mut r2 = rng::seeded(11);
+            black_box(gen.render_two_views(samples.iter(), &aug, &mut r2))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_matmul, bench_mlp_backward, bench_nt_xent, bench_kmeans,
+        bench_aggregation, bench_ssl_step, bench_calibre_step,
+        bench_federated_round, bench_encoder_inference, bench_tsne,
+        bench_render_two_views
+}
+criterion_main!(kernels);

@@ -1,0 +1,128 @@
+//! Convergence tracking: personalization quality of the global encoder as a
+//! function of training round, pFL-SimCLR vs Calibre (SimCLR).
+//!
+//! The paper argues (§V-B) that "based on these transferable
+//! representations, the personalized model converges faster and can
+//! generalize better"; this binary measures that directly by freezing the
+//! intermediate encoder every few rounds and running the full
+//! personalization protocol on it.
+//!
+//! ```text
+//! cargo run -p calibre-bench --release --bin convergence -- \
+//!     [--scale smoke|default|paper] [--every 5] [--seed 7]
+//! ```
+//!
+//! Writes `results/convergence.csv` with columns
+//! `method,round,mean,variance`.
+
+use calibre::{train_calibre_encoder_with, CalibreConfig};
+use calibre_bench::{build_dataset, parse_args, DatasetId, Scale, Setting};
+use calibre_data::AugmentConfig;
+use calibre_fl::pfl_ssl::train_pfl_ssl_encoder_with;
+use calibre_fl::personalize_cohort;
+use calibre_ssl::SslKind;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("argument error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut scale = Scale::Default;
+    let mut every = 5usize;
+    let mut seed = 7u64;
+    for (key, value) in parsed {
+        match key.as_str() {
+            "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
+            "every" => every = value.parse().expect("--every must be an integer"),
+            "seed" => seed = value.parse().expect("seed must be an integer"),
+            other => {
+                eprintln!("unknown flag --{other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(every > 0, "--every must be positive");
+
+    let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, scale, 0, seed);
+    let cfg = scale.fl_config(seed);
+    let aug = AugmentConfig::default();
+    let num_classes = fed.generator().num_classes();
+
+    let mut rows: Vec<(String, usize, f32, f32)> = Vec::new();
+    println!(
+        "{:<20} {:>6} {:>9} {:>10}",
+        "method", "round", "mean(%)", "variance"
+    );
+
+    {
+        let mut observer = |round: usize, encoder: &calibre_tensor::nn::Mlp| {
+            if (round + 1) % every != 0 && round + 1 != cfg.rounds {
+                return;
+            }
+            let outcome = personalize_cohort(encoder, &fed, num_classes, &cfg.probe);
+            println!(
+                "{:<20} {:>6} {:>9.2} {:>10.5}",
+                "pFL-SimCLR",
+                round + 1,
+                outcome.stats.mean_percent(),
+                outcome.stats.variance
+            );
+            rows.push((
+                "pFL-SimCLR".into(),
+                round + 1,
+                outcome.stats.mean,
+                outcome.stats.variance,
+            ));
+        };
+        train_pfl_ssl_encoder_with(&fed, &cfg, SslKind::SimClr, &aug, Some(&mut observer));
+    }
+
+    {
+        let ccfg = CalibreConfig {
+            warmup_rounds: cfg.rounds / 2,
+            ..CalibreConfig::default()
+        };
+        let mut observer = |round: usize, encoder: &calibre_tensor::nn::Mlp| {
+            if (round + 1) % every != 0 && round + 1 != cfg.rounds {
+                return;
+            }
+            let outcome = personalize_cohort(encoder, &fed, num_classes, &cfg.probe);
+            println!(
+                "{:<20} {:>6} {:>9.2} {:>10.5}",
+                "Calibre (SimCLR)",
+                round + 1,
+                outcome.stats.mean_percent(),
+                outcome.stats.variance
+            );
+            rows.push((
+                "Calibre (SimCLR)".into(),
+                round + 1,
+                outcome.stats.mean,
+                outcome.stats.variance,
+            ));
+        };
+        train_calibre_encoder_with(
+            &fed,
+            &cfg,
+            SslKind::SimClr,
+            &ccfg,
+            &aug,
+            Some(&mut observer),
+        );
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create("results/convergence.csv").expect("create csv"),
+    );
+    writeln!(f, "method,round,mean,variance").unwrap();
+    for (method, round, mean, variance) in &rows {
+        writeln!(f, "{method},{round},{mean},{variance}").unwrap();
+    }
+    println!("\nwrote results/convergence.csv");
+}

@@ -1,0 +1,76 @@
+//! Representation-quality diagnostic: probe accuracy + cluster metrics for
+//! a random encoder vs pFL-SimCLR vs Calibre (SimCLR). Not a paper figure —
+//! a tuning tool for the reproduction itself.
+
+use calibre_bench::{build_dataset, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_cluster::silhouette_score;
+use calibre_fl::personalize_cohort;
+use calibre_ssl::SslKind;
+use calibre_tensor::nn::{Activation, Mlp};
+use calibre_tensor::{rng, Matrix};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("default") | None => Scale::Default,
+        Some("smoke") => Scale::Smoke,
+        Some(other) => panic!("bad scale {other}"),
+    };
+    for setting in [Setting::QuantityNonIid, Setting::DirichletNonIid] {
+        let fed = build_dataset(DatasetId::Cifar10, setting, scale, 0, 7);
+        let cfg = scale.fl_config(7);
+
+        // Pool of samples for feature metrics.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for id in 0..fed.num_clients().min(6) {
+            for s in fed.client(id).train.iter().take(30) {
+                rows.push(fed.generator().render(s));
+                labels.push(s.expect_label());
+            }
+        }
+        let obs = Matrix::from_rows(&rows);
+
+        let report = |name: &str, encoder: &Mlp| {
+            let outcome = personalize_cohort(encoder, &fed, 10, &cfg.probe);
+            let feats = encoder.infer(&obs);
+            let sil = silhouette_score(&feats, &labels);
+            let sil_raw = silhouette_score(&obs, &labels);
+            println!(
+                "{:<14} {:<18} probe mean {:>6.2}% var {:.5}  feat-silhouette {:>6.3} (raw obs {:>6.3})",
+                setting.name(),
+                name,
+                outcome.stats.mean_percent(),
+                outcome.stats.variance,
+                sil,
+                sil_raw,
+            );
+        };
+
+        let mut r = rng::seeded(0);
+        let random_encoder = Mlp::new(&cfg.ssl.encoder_layer_dims(), Activation::Relu, &mut r);
+        report("random", &random_encoder);
+        let pfl = run_method(MethodId::PflSsl(SslKind::SimClr), &fed, &cfg);
+        report("pFL-SimCLR", &pfl.encoder);
+        let cal = run_method(MethodId::Calibre(SslKind::SimClr), &fed, &cfg);
+        report("Calibre-SimCLR", &cal.encoder);
+
+        // Hyperparameter sweep of the calibration terms.
+        for &k in &[3usize, 5, 10] {
+            for &alpha in &[0.3f32, 1.0, 3.0] {
+                let ccfg = calibre::CalibreConfig {
+                    alpha,
+                    num_prototypes: k,
+                    ..Default::default()
+                };
+                let result = calibre::run_calibre(
+                    &fed,
+                    &cfg,
+                    SslKind::SimClr,
+                    &ccfg,
+                    &calibre_data::AugmentConfig::default(),
+                );
+                report(&format!("Cal k={k} a={alpha}"), &result.encoder);
+            }
+        }
+    }
+}

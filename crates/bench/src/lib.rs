@@ -1,0 +1,76 @@
+//! # calibre-bench
+//!
+//! Experiment harness regenerating every table and figure of the Calibre
+//! paper (ICDCS 2024). See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured records.
+//!
+//! Binaries:
+//!
+//! - `fig3` — mean/variance of personalized accuracy across methods, three
+//!   datasets, Q- and D-non-i.i.d. (paper Fig. 3);
+//! - `fig4` — seen + novel client cohorts under D-non-i.i.d. (paper Fig. 4);
+//! - `table1` — the `L_n`/`L_p` ablation for Calibre (SimCLR/SwAV/SMoG)
+//!   (paper Table I);
+//! - `tsne` — 2-D embeddings + cluster-quality metrics for the qualitative
+//!   figures (paper Figs. 1, 2, 5–8).
+//!
+//! All binaries accept `--scale smoke|default|paper` to trade fidelity for
+//! wall-clock time; `paper` restores the publication's 100 clients × 200
+//! rounds.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod report;
+pub mod scale;
+
+pub use registry::{run_method, MethodId};
+pub use scale::{build_dataset, DatasetId, Scale, Setting};
+
+/// Parses `--key value` style CLI arguments into (key, value) pairs.
+///
+/// Returns an error message for a dangling key.
+pub fn parse_args(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("expected --flag, got {key}"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        out.push((key.trim_start_matches("--").to_string(), value.clone()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_handles_pairs() {
+        let args: Vec<String> = ["--scale", "smoke", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_args(&args).unwrap();
+        assert_eq!(parsed[0], ("scale".to_string(), "smoke".to_string()));
+        assert_eq!(parsed[1], ("seed".to_string(), "7".to_string()));
+    }
+
+    #[test]
+    fn parse_args_rejects_dangling_flag() {
+        let args: Vec<String> = ["--scale"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_bare_value() {
+        let args: Vec<String> = ["smoke"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_args(&args).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Result-row reporting: aligned stdout tables plus CSV sidecars under
+//! `results/`.
+
+use calibre_fl::Stats;
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment-cell result row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset name (`CIFAR-10`, …).
+    pub dataset: String,
+    /// Non-i.i.d. setting name.
+    pub setting: String,
+    /// Method name.
+    pub method: String,
+    /// Cohort label (`seen` / `novel`).
+    pub cohort: String,
+    /// Accuracy statistics of the cohort.
+    pub stats: Stats,
+}
+
+impl Row {
+    /// Formats the row for stdout.
+    pub fn display(&self) -> String {
+        format!(
+            "{:<10} {:<15} {:<22} {:<6} mean {:>6.2}%  var {:>8.5}  std {:>6.2}",
+            self.dataset,
+            self.setting,
+            self.method,
+            self.cohort,
+            self.stats.mean_percent(),
+            self.stats.variance,
+            self.stats.std_percent(),
+        )
+    }
+}
+
+/// Prints a header followed by all rows.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("== {title} ==");
+    println!(
+        "{:<10} {:<15} {:<22} {:<6} {:>12} {:>12} {:>10}",
+        "dataset", "setting", "method", "cohort", "mean(%)", "variance", "std(%)"
+    );
+    for row in rows {
+        println!("{}", row.display());
+    }
+}
+
+/// Writes rows as CSV to `results/<name>.csv` (creating the directory).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv(name: &str, rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "dataset,setting,method,cohort,mean,variance,std,count")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{}",
+            r.dataset, r.setting, r.method, r.cohort, r.stats.mean, r.stats.variance, r.stats.std, r.stats.count
+        )?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row {
+            dataset: "CIFAR-10".into(),
+            setting: "Q-non-iid".into(),
+            method: "Calibre (SimCLR)".into(),
+            cohort: "seen".into(),
+            stats: Stats::from_accuracies(&[0.8, 0.9]),
+        }
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = row().display();
+        assert!(s.contains("CIFAR-10"));
+        assert!(s.contains("Calibre (SimCLR)"));
+        assert!(s.contains("85.00"));
+    }
+
+    #[test]
+    fn csv_roundtrip_has_header_and_row() {
+        let dir = std::env::temp_dir().join("calibre-bench-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_csv("test_rows", &[row()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert!(content.starts_with("dataset,setting,method"));
+        assert!(content.contains("Calibre (SimCLR)"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Experiment scales and dataset construction.
+//!
+//! The paper runs 100 training clients (+50 novel) for 200 rounds on a GPU;
+//! this harness defaults to a scaled configuration that preserves the
+//! client/round/epoch *ratios* at CPU-simulation sizes, and exposes the full
+//! paper configuration behind [`Scale::Paper`].
+
+use calibre_data::{FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
+use calibre_fl::FlConfig;
+
+/// Which dataset analog an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetId {
+    /// CIFAR-10 analog: 10 classes.
+    Cifar10,
+    /// CIFAR-100 analog: 100 classes.
+    Cifar100,
+    /// STL-10 analog: 10 classes, few labels, large unlabeled pool.
+    Stl10,
+}
+
+impl DatasetId {
+    /// All three datasets in paper order.
+    pub const ALL: [DatasetId; 3] = [DatasetId::Cifar10, DatasetId::Cifar100, DatasetId::Stl10];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Cifar10 => "CIFAR-10",
+            DatasetId::Cifar100 => "CIFAR-100",
+            DatasetId::Stl10 => "STL-10",
+        }
+    }
+
+    /// The generator spec for this dataset.
+    pub fn spec(self) -> SynthVisionSpec {
+        match self {
+            DatasetId::Cifar10 => SynthVisionSpec::cifar10(),
+            DatasetId::Cifar100 => SynthVisionSpec::cifar100(),
+            DatasetId::Stl10 => SynthVisionSpec::stl10(),
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<DatasetId> {
+        match s.to_ascii_lowercase().as_str() {
+            "cifar10" | "cifar-10" => Some(DatasetId::Cifar10),
+            "cifar100" | "cifar-100" => Some(DatasetId::Cifar100),
+            "stl10" | "stl-10" => Some(DatasetId::Stl10),
+            _ => None,
+        }
+    }
+
+    /// The paper's quantity-based classes-per-client for this dataset
+    /// (`S = 2` of the `(2, 500)` setting for the 10-class datasets,
+    /// `S = 10` for CIFAR-100).
+    pub fn quantity_classes(self) -> usize {
+        match self {
+            DatasetId::Cifar100 => 10,
+            _ => 2,
+        }
+    }
+}
+
+/// Label-skew setting of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setting {
+    /// Quantity-based label non-i.i.d. (`(S, #samples)` in the paper).
+    QuantityNonIid,
+    /// Distribution-based label non-i.i.d. with Dirichlet 0.3
+    /// (`(0.3, #samples)`).
+    DirichletNonIid,
+}
+
+impl Setting {
+    /// Both settings in paper order.
+    pub const ALL: [Setting; 2] = [Setting::QuantityNonIid, Setting::DirichletNonIid];
+
+    /// Display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Setting::QuantityNonIid => "Q-non-iid",
+            Setting::DirichletNonIid => "D-non-iid(0.3)",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Setting> {
+        match s.to_ascii_lowercase().as_str() {
+            "q" | "quantity" => Some(Setting::QuantityNonIid),
+            "d" | "dirichlet" => Some(Setting::DirichletNonIid),
+            _ => None,
+        }
+    }
+
+    /// The `NonIid` regime for a dataset under this setting.
+    pub fn non_iid(self, dataset: DatasetId) -> NonIid {
+        match self {
+            Setting::QuantityNonIid => NonIid::Quantity {
+                classes_per_client: dataset.quantity_classes(),
+            },
+            Setting::DirichletNonIid => NonIid::Dirichlet { alpha: 0.3 },
+        }
+    }
+}
+
+/// How big an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long CI-friendly runs (used by the integration tests).
+    Smoke,
+    /// The default harness scale: preserves the paper's ratios at CPU size.
+    Default,
+    /// The paper's full 100 clients × 200 rounds (hours on CPU).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of training clients.
+    pub fn clients(self) -> usize {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Default => 20,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Number of novel (never-trained) clients for Fig. 4.
+    pub fn novel_clients(self) -> usize {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Default => 10,
+            Scale::Paper => 50,
+        }
+    }
+
+    /// Labeled training samples per client.
+    pub fn train_per_client(self, dataset: DatasetId) -> usize {
+        match (dataset, self) {
+            // STL-10 is label-scarce: the real corpus has 5 000 labeled vs
+            // 100 000 unlabeled samples (1:20); the analog keeps labels rare
+            // relative to the unlabeled pool.
+            (DatasetId::Stl10, Scale::Smoke) => 15,
+            (DatasetId::Stl10, Scale::Default) => 20,
+            (DatasetId::Stl10, Scale::Paper) => 50,
+            (_, Scale::Smoke) => 40,
+            (_, Scale::Default) => 100,
+            (_, Scale::Paper) => 500,
+        }
+    }
+
+    /// Labeled test samples per client.
+    pub fn test_per_client(self) -> usize {
+        match self {
+            Scale::Smoke => 20,
+            Scale::Default => 40,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Unlabeled samples per client (STL-10 analog only).
+    pub fn unlabeled_per_client(self, dataset: DatasetId) -> usize {
+        if dataset != DatasetId::Stl10 {
+            return 0;
+        }
+        match self {
+            Scale::Smoke => 40,
+            Scale::Default => 200,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// The federated-learning configuration at this scale.
+    pub fn fl_config(self, seed: u64) -> FlConfig {
+        let mut cfg = FlConfig::for_input(64);
+        match self {
+            Scale::Smoke => {
+                cfg.rounds = 4;
+                cfg.clients_per_round = 3;
+                cfg.local_epochs = 1;
+                cfg.batch_size = 16;
+            }
+            Scale::Default => {
+                cfg.rounds = 40;
+                cfg.clients_per_round = 5;
+                cfg.local_epochs = 2;
+                cfg.batch_size = 32;
+            }
+            Scale::Paper => {
+                cfg.rounds = 200;
+                cfg.clients_per_round = 10;
+                cfg.local_epochs = 3;
+                cfg.batch_size = 32;
+            }
+        }
+        cfg.seed = seed;
+        cfg
+    }
+}
+
+/// Builds the federated dataset for an experiment cell.
+///
+/// `extra_clients` are appended for the novel-client cohort (split off with
+/// [`FederatedDataset::split_novel`]).
+pub fn build_dataset(
+    dataset: DatasetId,
+    setting: Setting,
+    scale: Scale,
+    extra_clients: usize,
+    seed: u64,
+) -> FederatedDataset {
+    FederatedDataset::build(
+        dataset.spec(),
+        &PartitionConfig {
+            num_clients: scale.clients() + extra_clients,
+            train_per_client: scale.train_per_client(dataset),
+            test_per_client: scale.test_per_client(),
+            unlabeled_per_client: scale.unlabeled_per_client(dataset),
+            non_iid: setting.non_iid(dataset),
+            seed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(DatasetId::parse("cifar10"), Some(DatasetId::Cifar10));
+        assert_eq!(DatasetId::parse("STL-10"), Some(DatasetId::Stl10));
+        assert_eq!(Setting::parse("q"), Some(Setting::QuantityNonIid));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn stl10_gets_unlabeled_pool() {
+        let fed = build_dataset(
+            DatasetId::Stl10,
+            Setting::QuantityNonIid,
+            Scale::Smoke,
+            0,
+            1,
+        );
+        assert!(fed.client(0).unlabeled.len() > 0);
+        let cifar = build_dataset(
+            DatasetId::Cifar10,
+            Setting::QuantityNonIid,
+            Scale::Smoke,
+            0,
+            1,
+        );
+        assert_eq!(cifar.client(0).unlabeled.len(), 0);
+    }
+
+    #[test]
+    fn paper_scale_matches_publication() {
+        let s = Scale::Paper;
+        assert_eq!(s.clients(), 100);
+        assert_eq!(s.novel_clients(), 50);
+        let cfg = s.fl_config(0);
+        assert_eq!(cfg.rounds, 200);
+        assert_eq!(cfg.clients_per_round, 10);
+        assert_eq!(cfg.local_epochs, 3);
+    }
+
+    #[test]
+    fn quantity_setting_respects_dataset_classes() {
+        assert_eq!(
+            Setting::QuantityNonIid.non_iid(DatasetId::Cifar100),
+            calibre_data::NonIid::Quantity { classes_per_client: 10 }
+        );
+        assert_eq!(
+            Setting::QuantityNonIid.non_iid(DatasetId::Cifar10),
+            calibre_data::NonIid::Quantity { classes_per_client: 2 }
+        );
+    }
+}

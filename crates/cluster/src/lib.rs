@@ -1,0 +1,38 @@
+//! # calibre-cluster
+//!
+//! KMeans clustering and cluster-quality metrics for the Calibre
+//! personalized-federated-learning reproduction (ICDCS 2024).
+//!
+//! Calibre generates pseudo-labels by clustering batch encodings with KMeans
+//! (paper §IV-B); the resulting centroids are the *prototypes* behind the
+//! `L_n` / `L_p` regularizers and the mean point-to-prototype distance is the
+//! *client divergence rate* used in server aggregation. This crate provides:
+//!
+//! - [`kmeans`] with kmeans++ seeding and empty-cluster repair;
+//! - [`assign_to_centroids`] / [`mean_distance_to_assigned`] helpers;
+//! - quality metrics [`silhouette_score`], [`purity`], [`nmi`] used to
+//!   quantify the paper's t-SNE figures.
+//!
+//! # Example
+//!
+//! ```
+//! use calibre_cluster::{kmeans, KMeansConfig, silhouette_score};
+//! use calibre_tensor::Matrix;
+//!
+//! let data = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0], vec![9.1, 9.0],
+//! ]);
+//! let result = kmeans(&data, &KMeansConfig::with_k(2));
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! assert!(silhouette_score(&data, &result.assignments) > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kmeans;
+mod metrics;
+
+pub use kmeans::{assign_to_centroids, kmeans, mean_distance_to_assigned, KMeansConfig, KMeansResult};
+pub use metrics::{nmi, purity, silhouette_score};

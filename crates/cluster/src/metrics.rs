@@ -1,0 +1,243 @@
+//! Cluster-quality metrics.
+//!
+//! The paper argues visually (t-SNE plots) that Calibre's representations
+//! form crisper clusters than plain pFL-SSL. These metrics quantify that
+//! claim so the figure reproductions are checkable by a machine:
+//!
+//! - [`silhouette_score`] measures boundary crispness without labels;
+//! - [`purity`] and [`nmi`] measure agreement between cluster structure and
+//!   ground-truth classes.
+
+use calibre_tensor::Matrix;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// Higher is better: ~1 means tight, well-separated clusters; ~0 means
+/// overlapping clusters; negative means many points sit in the wrong
+/// cluster. Points in singleton clusters contribute 0, matching the common
+/// scikit-learn convention.
+///
+/// Returns 0 when there are fewer than 2 clusters or fewer than 3 points.
+///
+/// # Panics
+///
+/// Panics if `assignments.len()` differs from the number of rows.
+pub fn silhouette_score(data: &Matrix, assignments: &[usize]) -> f32 {
+    assert_eq!(
+        assignments.len(),
+        data.rows(),
+        "one assignment per row required"
+    );
+    let n = data.rows();
+    if n < 3 {
+        return 0.0;
+    }
+    let k = match assignments.iter().max() {
+        Some(&m) => m + 1,
+        None => return 0.0,
+    };
+    let mut counts = vec![0usize; k];
+    for &a in assignments {
+        counts[a] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if counts[own] <= 1 {
+            continue; // singleton clusters contribute 0
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f32; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += data.row_distance_sq(i, data, j).sqrt();
+        }
+        let a = sums[own] / (counts[own] - 1) as f32;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f32)
+            .fold(f32::INFINITY, f32::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f32
+}
+
+/// Cluster purity in `[0, 1]`: the fraction of points whose cluster's
+/// majority label matches their own label.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    assert!(!assignments.is_empty(), "purity of an empty clustering is undefined");
+    let k = assignments.iter().max().unwrap() + 1;
+    let c = labels.iter().max().unwrap() + 1;
+    let mut table = vec![vec![0usize; c]; k];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        table[a][l] += 1;
+    }
+    let correct: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f32 / assignments.len() as f32
+}
+
+/// Normalized mutual information between a clustering and ground-truth
+/// labels, in `[0, 1]` (arithmetic-mean normalization).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn nmi(assignments: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    assert!(!assignments.is_empty(), "NMI of an empty clustering is undefined");
+    let n = assignments.len() as f64;
+    let k = assignments.iter().max().unwrap() + 1;
+    let c = labels.iter().max().unwrap() + 1;
+    let mut joint = vec![vec![0f64; c]; k];
+    let mut pa = vec![0f64; k];
+    let mut pl = vec![0f64; c];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        joint[a][l] += 1.0;
+        pa[a] += 1.0;
+        pl[l] += 1.0;
+    }
+    for row in &mut joint {
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    for v in pa.iter_mut() {
+        *v /= n;
+    }
+    for v in pl.iter_mut() {
+        *v /= n;
+    }
+    let mut mi = 0.0;
+    for (a, row) in joint.iter().enumerate() {
+        for (l, &p) in row.iter().enumerate() {
+            if p > 0.0 {
+                mi += p * (p / (pa[a] * pl[l])).ln();
+            }
+        }
+    }
+    let ha: f64 = -pa.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+    let hl: f64 = -pl.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+    let denom = (ha + hl) / 2.0;
+    if denom <= 0.0 {
+        // Either side constant: perfect agreement iff both are constant.
+        return if ha == hl { 1.0 } else { 0.0 };
+    }
+    (mi / denom) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    fn separated_blobs() -> (Matrix, Vec<usize>) {
+        let mut r = seeded(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (k, center) in [[0.0f32, 0.0], [20.0, 0.0]].iter().enumerate() {
+            let noise = normal_matrix(&mut r, 20, 2, 0.3);
+            for i in 0..20 {
+                rows.push(vec![center[0] + noise.get(i, 0), center[1] + noise.get(i, 1)]);
+                labels.push(k);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (data, labels) = separated_blobs();
+        let s = silhouette_score(&data, &labels);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_near_zero_for_random_assignment() {
+        let mut r = seeded(2);
+        let data = normal_matrix(&mut r, 60, 4, 1.0);
+        let assignments: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let s = silhouette_score(&data, &assignments);
+        assert!(s.abs() < 0.15, "silhouette {s} should be near zero");
+    }
+
+    #[test]
+    fn silhouette_negative_for_swapped_labels() {
+        let (data, labels) = separated_blobs();
+        // Assign everything to the *wrong* blob.
+        let wrong: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let s = silhouette_score(&data, &wrong);
+        // Swapping the labels wholesale keeps clusters internally consistent,
+        // so instead corrupt half of one blob.
+        let mut half_wrong = labels.clone();
+        for item in half_wrong.iter_mut().take(10) {
+            *item = 1;
+        }
+        let s2 = silhouette_score(&data, &half_wrong);
+        assert!(s2 < s, "corrupted labels should reduce silhouette");
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases_return_zero() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        assert_eq!(silhouette_score(&data, &[0, 1]), 0.0); // too few points
+        let data3 = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        assert_eq!(silhouette_score(&data3, &[0, 0, 0]), 0.0); // single cluster
+    }
+
+    #[test]
+    fn purity_perfect_for_matching_partition() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn purity_half_for_random_two_way() {
+        let p = purity(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!((p - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmi_is_one_for_identical_partitions_up_to_relabel() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmi_is_zero_for_independent_partitions() {
+        // Every cluster contains every label in equal proportion.
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn nmi_between_zero_and_one() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![0, 1, 1, 1, 2, 0, 0, 1];
+        let v = nmi(&a, &b);
+        assert!((0.0..=1.0).contains(&v), "nmi {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn purity_rejects_mismatched_lengths() {
+        purity(&[0, 1], &[0]);
+    }
+}

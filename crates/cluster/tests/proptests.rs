@@ -1,0 +1,85 @@
+//! Property-based tests for clustering invariants.
+
+use calibre_cluster::{
+    assign_to_centroids, kmeans, mean_distance_to_assigned, nmi, purity, silhouette_score,
+    KMeansConfig,
+};
+use calibre_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmeans_assignments_are_in_range(data in matrix(20, 3), k in 1usize..8, seed in 0u64..100) {
+        let result = kmeans(&data, &KMeansConfig { k, seed, ..Default::default() });
+        prop_assert_eq!(result.assignments.len(), 20);
+        let k_eff = result.centroids.rows();
+        prop_assert!(k_eff <= k);
+        prop_assert!(result.assignments.iter().all(|&a| a < k_eff));
+        prop_assert!(result.inertia >= 0.0);
+        prop_assert!(result.centroids.all_finite());
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(data in matrix(24, 2), seed in 0u64..100) {
+        let mut previous = f32::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let result = kmeans(&data, &KMeansConfig { k, seed, ..Default::default() });
+            // Lloyd's algorithm is a local optimizer, so allow small
+            // non-monotonicity; gross increases indicate a bug.
+            prop_assert!(result.inertia <= previous * 1.05 + 1e-3,
+                "k={k}: inertia {} vs previous {previous}", result.inertia);
+            previous = previous.min(result.inertia);
+        }
+    }
+
+    #[test]
+    fn assignment_is_idempotent(data in matrix(15, 3), seed in 0u64..100) {
+        let result = kmeans(&data, &KMeansConfig { k: 4, seed, ..Default::default() });
+        let reassigned = assign_to_centroids(&data, &result.centroids);
+        prop_assert_eq!(reassigned, result.assignments);
+    }
+
+    #[test]
+    fn mean_distance_is_nonnegative_and_finite(data in matrix(12, 4), seed in 0u64..100) {
+        let result = kmeans(&data, &KMeansConfig { k: 3, seed, ..Default::default() });
+        let d = mean_distance_to_assigned(&data, &result.centroids, &result.assignments);
+        prop_assert!(d.is_finite() && d >= 0.0);
+    }
+
+    #[test]
+    fn silhouette_is_bounded(data in matrix(12, 2), assigns in prop::collection::vec(0usize..3, 12)) {
+        let s = silhouette_score(&data, &assigns);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+    }
+
+    #[test]
+    fn purity_and_nmi_are_bounded(
+        a in prop::collection::vec(0usize..4, 16),
+        b in prop::collection::vec(0usize..4, 16),
+    ) {
+        let p = purity(&a, &b);
+        let n = nmi(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&p), "purity {p}");
+        prop_assert!((-1e-4..=1.0 + 1e-4).contains(&n), "nmi {n}");
+    }
+
+    #[test]
+    fn nmi_is_symmetric(
+        a in prop::collection::vec(0usize..4, 16),
+        b in prop::collection::vec(0usize..4, 16),
+    ) {
+        prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn purity_of_identity_partition_is_one(labels in prop::collection::vec(0usize..5, 10)) {
+        prop_assert_eq!(purity(&labels, &labels), 1.0);
+    }
+}

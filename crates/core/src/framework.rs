@@ -1,0 +1,333 @@
+//! The Calibre federated framework: calibrated local updates plus
+//! divergence-aware server aggregation (paper §IV).
+//!
+//! Training stage: like pFL-SSL, but every local step extends the SSL loss
+//! graph with the prototype regularizers ([`crate::calibre_loss`]) and every
+//! client reports its divergence rate — the mean distance between its
+//! encodings and their prototypes — which the server turns into aggregation
+//! weights (lower divergence ⇒ higher weight). Personalization stage:
+//! identical to the paper's common protocol (frozen encoder + 10-epoch
+//! linear probe).
+
+use crate::loss::{calibre_loss, CalibreConfig, CalibreLoss};
+use calibre_data::batch::batches;
+use calibre_data::{AugmentConfig, ClientData, FederatedDataset, SynthVision};
+use calibre_fl::aggregate::{divergence_weights, sample_count_weights, weighted_average};
+use calibre_fl::baselines::BaselineResult;
+use calibre_fl::parallel::parallel_map_owned;
+use calibre_fl::{personalize_cohort, FlConfig};
+use calibre_ssl::{create_method, SslKind, SslMethod, TwoViewBatch};
+use calibre_tensor::nn::{gradients, Mlp, Module};
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::rng;
+use rand::Rng;
+
+/// One Calibre optimization step: SSL graph → prototype regularizers →
+/// backward on the combined loss → optimizer step → method bookkeeping.
+///
+/// Returns the loss decomposition and batch divergence.
+pub fn calibre_step(
+    method: &mut dyn SslMethod,
+    batch: &TwoViewBatch<'_>,
+    config: &CalibreConfig,
+    opt: &mut Sgd,
+    kmeans_seed: u64,
+) -> CalibreLoss {
+    let mut ssl_graph = method.build_graph(batch);
+    let loss = calibre_loss(&mut ssl_graph, config, kmeans_seed);
+    ssl_graph.graph.backward(loss.total);
+    let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
+    opt.step(method, &grads);
+    method.post_step(&ssl_graph);
+    loss
+}
+
+/// Runs `epochs` of calibrated two-view training over a client's SSL pool.
+///
+/// Returns `(mean_total_loss, mean_divergence)` of the final epoch — the
+/// divergence is what the client reports to the server.
+#[allow(clippy::too_many_arguments)]
+pub fn calibre_local_update<R: Rng + ?Sized>(
+    method: &mut dyn SslMethod,
+    data: &ClientData,
+    generator: &SynthVision,
+    aug: &AugmentConfig,
+    epochs: usize,
+    batch_size: usize,
+    config: &CalibreConfig,
+    opt: &mut Sgd,
+    rng_: &mut R,
+) -> (f32, f32) {
+    let pool = data.ssl_pool();
+    if pool.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let mut last_loss = 0.0;
+    let mut last_divergence = 0.0;
+    for epoch in 0..epochs {
+        let mut loss_sum = 0.0;
+        let mut div_sum = 0.0;
+        let mut seen = 0u64;
+        for (b, batch) in batches(pool.len(), batch_size, true, rng_).into_iter().enumerate() {
+            let samples = batch.iter().map(|&i| pool[i]);
+            let (view_e, view_o) = generator.render_two_views(samples, aug, rng_);
+            let kmeans_seed = (epoch as u64) << 32 | b as u64;
+            let outcome = calibre_step(
+                method,
+                &TwoViewBatch::new(&view_e, &view_o),
+                config,
+                opt,
+                kmeans_seed,
+            );
+            loss_sum += outcome.ssl_loss + config.alpha * (outcome.l_n + outcome.l_p);
+            div_sum += outcome.divergence;
+            seen += 1;
+        }
+        last_loss = loss_sum / seen.max(1) as f32;
+        last_divergence = div_sum / seen.max(1) as f32;
+    }
+    (last_loss, last_divergence)
+}
+
+struct CalibreClient {
+    id: usize,
+    method: Box<dyn SslMethod>,
+}
+
+/// Trains the global encoder with the full Calibre framework.
+///
+/// Returns the encoder, the per-round mean losses, and the per-round mean
+/// client divergences (diagnostics for the ablation benches).
+pub fn train_calibre_encoder(
+    fed: &FederatedDataset,
+    fl: &FlConfig,
+    kind: SslKind,
+    config: &CalibreConfig,
+    aug: &AugmentConfig,
+) -> (Mlp, Vec<f32>, Vec<f32>) {
+    train_calibre_encoder_with(fed, fl, kind, config, aug, None)
+}
+
+/// Like [`train_calibre_encoder`], with an optional observer invoked after
+/// every aggregation with `(round, global_encoder)` — used by the
+/// convergence-tracking bench to evaluate the personalization quality of
+/// intermediate encoders.
+pub fn train_calibre_encoder_with(
+    fed: &FederatedDataset,
+    fl: &FlConfig,
+    kind: SslKind,
+    config: &CalibreConfig,
+    aug: &AugmentConfig,
+    mut round_observer: Option<&mut dyn FnMut(usize, &Mlp)>,
+) -> (Mlp, Vec<f32>, Vec<f32>) {
+    let reference = create_method(kind, fl.ssl.clone());
+    let mut global_encoder = reference.encoder().clone();
+    let mut states: Vec<Option<Box<dyn SslMethod>>> =
+        (0..fed.num_clients()).map(|_| None).collect();
+    let schedule = fl.selection_schedule(fed.num_clients());
+    let mut round_losses = Vec::with_capacity(schedule.len());
+    let mut round_divergences = Vec::with_capacity(schedule.len());
+
+    for (round, selected) in schedule.iter().enumerate() {
+        let inputs: Vec<CalibreClient> = selected
+            .iter()
+            .map(|&id| {
+                let method = states[id].take().unwrap_or_else(|| {
+                    create_method(kind, fl.ssl.clone().with_seed(fl.seed ^ (id as u64) << 8))
+                });
+                CalibreClient { id, method }
+            })
+            .collect();
+        let global_flat = global_encoder.to_flat();
+        // Linear α warmup (see CalibreConfig::warmup_rounds): pseudo-labels
+        // from an untrained encoder are noise, so the regularizers fade in.
+        let ramp = if config.warmup_rounds > 0 {
+            ((round + 1) as f32 / config.warmup_rounds as f32).min(1.0)
+        } else {
+            1.0
+        };
+        let round_config = CalibreConfig {
+            alpha: config.alpha * ramp,
+            ..*config
+        };
+
+        let updates = parallel_map_owned(inputs, |mut client| {
+            client.method.encoder_mut().load_flat(&global_flat);
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(fl.local_lr, fl.local_momentum));
+            let mut r = rng::seeded(
+                fl.seed
+                    ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (client.id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            );
+            let data = fed.client(client.id);
+            let (loss, divergence) = calibre_local_update(
+                client.method.as_mut(),
+                data,
+                fed.generator(),
+                aug,
+                fl.local_epochs,
+                fl.batch_size,
+                &round_config,
+                &mut opt,
+                &mut r,
+            );
+            let flat = client.method.encoder().to_flat();
+            let count = data.ssl_pool().len();
+            (client, flat, count, loss, divergence)
+        });
+
+        let flats: Vec<Vec<f32>> = updates.iter().map(|(_, f, _, _, _)| f.clone()).collect();
+        let counts: Vec<usize> = updates.iter().map(|(_, _, c, _, _)| *c).collect();
+        let divergences: Vec<f32> = updates.iter().map(|(_, _, _, _, d)| *d).collect();
+        let mean_loss =
+            updates.iter().map(|(_, _, _, l, _)| l).sum::<f32>() / updates.len().max(1) as f32;
+        let mean_div = divergences.iter().sum::<f32>() / divergences.len().max(1) as f32;
+
+        // Divergence-aware aggregation (§IV-B): sample-count weights are
+        // modulated by inverse divergence so clients whose representations
+        // already form tight prototypes anchor the global model.
+        let weights: Vec<f32> = if config.divergence_aware_aggregation {
+            sample_count_weights(&counts)
+                .iter()
+                .zip(divergence_weights(&divergences).iter())
+                .map(|(s, d)| s * d)
+                .collect()
+        } else {
+            sample_count_weights(&counts)
+        };
+        global_encoder.load_flat(&weighted_average(&flats, &weights));
+        for (client, _, _, _, _) in updates {
+            states[client.id] = Some(client.method);
+        }
+        round_losses.push(mean_loss);
+        round_divergences.push(mean_div);
+        if let Some(observer) = round_observer.as_deref_mut() {
+            observer(round, &global_encoder);
+        }
+    }
+    (global_encoder, round_losses, round_divergences)
+}
+
+/// Runs Calibre end to end: calibrated federated training stage followed by
+/// the standard personalization stage.
+pub fn run_calibre(
+    fed: &FederatedDataset,
+    fl: &FlConfig,
+    kind: SslKind,
+    config: &CalibreConfig,
+    aug: &AugmentConfig,
+) -> BaselineResult {
+    let num_classes = fed.generator().num_classes();
+    let (encoder, round_losses, _) = train_calibre_encoder(fed, fl, kind, config, aug);
+    let seen = personalize_cohort(&encoder, fed, num_classes, &fl.probe);
+    BaselineResult {
+        name: format!("Calibre ({})", kind.name()),
+        seen,
+        encoder,
+        round_losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_data::{NonIid, PartitionConfig, SynthVisionSpec};
+
+    fn tiny_fed() -> FederatedDataset {
+        FederatedDataset::build(
+            SynthVisionSpec::cifar10(),
+            &PartitionConfig {
+                num_clients: 4,
+                train_per_client: 40,
+                test_per_client: 20,
+                unlabeled_per_client: 0,
+                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                seed: 59,
+            },
+        )
+    }
+
+    fn tiny_cfg() -> FlConfig {
+        let mut cfg = FlConfig::for_input(64);
+        cfg.rounds = 5;
+        cfg.clients_per_round = 3;
+        cfg.local_epochs = 1;
+        cfg.batch_size = 16;
+        cfg
+    }
+
+    #[test]
+    fn calibre_simclr_trains_and_personalizes() {
+        let fed = tiny_fed();
+        let cfg = tiny_cfg();
+        let result = run_calibre(
+            &fed,
+            &cfg,
+            SslKind::SimClr,
+            &CalibreConfig::default(),
+            &AugmentConfig::default(),
+        );
+        assert_eq!(result.name, "Calibre (SimCLR)");
+        assert_eq!(result.seen.accuracies.len(), 4);
+        assert!(
+            result.stats().mean > 0.5,
+            "Calibre accuracy {:?}",
+            result.stats()
+        );
+        assert!(result.round_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn divergence_falls_as_training_progresses() {
+        let fed = tiny_fed();
+        let mut cfg = tiny_cfg();
+        cfg.rounds = 8;
+        let (_, _, divergences) = train_calibre_encoder(
+            &fed,
+            &cfg,
+            SslKind::SimClr,
+            &CalibreConfig::default(),
+            &AugmentConfig::default(),
+        );
+        let early = divergences[0];
+        let late = *divergences.last().unwrap();
+        // Prototype regularization compacts clusters over rounds. Allow some
+        // slack for stochasticity; require a non-increase.
+        assert!(
+            late <= early * 1.2,
+            "divergence should not grow: {divergences:?}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let fed = tiny_fed();
+        let cfg = tiny_cfg();
+        let aug = AugmentConfig::default();
+        let ccfg = CalibreConfig::default();
+        let (a, _, _) = train_calibre_encoder(&fed, &cfg, SslKind::SimClr, &ccfg, &aug);
+        let (b, _, _) = train_calibre_encoder(&fed, &cfg, SslKind::SimClr, &ccfg, &aug);
+        assert_eq!(a.to_flat(), b.to_flat());
+    }
+
+    #[test]
+    fn all_six_ssl_backends_run_under_calibre() {
+        let fed = tiny_fed();
+        let mut cfg = tiny_cfg();
+        cfg.rounds = 2;
+        for kind in SslKind::ALL {
+            let result = run_calibre(
+                &fed,
+                &cfg,
+                kind,
+                &CalibreConfig::default(),
+                &AugmentConfig::default(),
+            );
+            assert!(
+                result.stats().mean.is_finite(),
+                "{kind}: non-finite accuracy"
+            );
+            assert!(result.round_losses.iter().all(|l| l.is_finite()), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Calibre's contrastive prototype adaptation loss (paper §IV-B,
+//! Algorithm 1).
+//!
+//! Given the loss graph of *any* SSL method (its `l_s`, encoder outputs `z`
+//! and projector outputs `h` for both views), this module extends the graph
+//! with the two prototype regularizers and combines them into the Calibre
+//! objective:
+//!
+//! ```text
+//! L = l_s + α · (L_p + L_n)
+//! ```
+//!
+//! - **Prototype generation**: KMeans over the (detached) encoder outputs of
+//!   view `I_e` produces `K_r` prototypes and pseudo-labels.
+//! - **`L_n`** (prototype meta regularizer, lines 13–17): view `I_o`'s
+//!   encodings are assigned to those prototypes and pulled toward them.
+//!   Two readings of the paper's formula are implemented
+//!   ([`CalibreConfig::ln_contrastive`]): the default *pull-only* form
+//!   (mean cosine distance to the assigned prototype, §IV-B's
+//!   `softmax(−d(z, v_k))` text) and the InfoNCE form of Algorithm 1
+//!   line 17, which additionally repels non-assigned prototypes.
+//! - **`L_p`** (prototype-oriented contrastive regularizer, lines 8–12):
+//!   per-view prototypes of the projector outputs, matched by cluster id,
+//!   act as positive pairs in an NT-Xent loss — reducing the variance of the
+//!   same prototype across augmented views.
+//!
+//! The paper's `l_c` term is a *conditional classification loss* that
+//! requires labels; in the unsupervised training stage its role is played by
+//! the divergence-aware aggregation weight (§IV-B "aggregation algorithm
+//! guided by prototypes"), which [`divergence_rate`] computes.
+
+use calibre_cluster::{assign_to_centroids, kmeans, mean_distance_to_assigned, KMeansConfig};
+use calibre_ssl::{nt_xent, SslGraph};
+use calibre_tensor::{Graph, Matrix, Node};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Calibre calibration terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibreConfig {
+    /// Weight `α` of the prototype regularizers (0.3 in the paper, §V-A).
+    pub alpha: f32,
+    /// Number of KMeans prototypes `K_r` per batch.
+    pub num_prototypes: usize,
+    /// Temperature `τ` for both regularizers.
+    pub tau: f32,
+    /// Include the `L_n` prototype meta regularizer (ablation toggle,
+    /// Table I).
+    pub use_ln: bool,
+    /// Include the `L_p` prototype contrastive regularizer (ablation
+    /// toggle, Table I).
+    pub use_lp: bool,
+    /// Weight encoder aggregation by inverse client divergence
+    /// (§IV-B; disable to ablate to plain FedAvg aggregation).
+    pub divergence_aware_aggregation: bool,
+    /// Use the contrastive (cross-entropy) form of `L_n`. The default is the
+    /// pull-only form — mean cosine distance to the assigned prototype —
+    /// which compacts clusters without repelling same-class samples that
+    /// KMeans split across prototypes (a real hazard when `K_r` exceeds the
+    /// local class count; see EXPERIMENTS.md, "L_n form"). The paper's text
+    /// is ambiguous between the two (§IV-B gives `softmax(−d(z_j, v_k))`
+    /// without a log; Algorithm 1 line 17 gives the InfoNCE form).
+    pub ln_contrastive: bool,
+    /// Cap `K_r` adaptively at `batch/8` (min 2). Small batches cannot
+    /// support many meaningful prototypes.
+    pub adaptive_k: bool,
+    /// Rounds over which `α` ramps linearly from 0 to its full value.
+    ///
+    /// KMeans pseudo-labels on an untrained encoder are noise; reinforcing
+    /// them with `L_n`/`L_p` from round 0 actively damages the
+    /// representation at our scaled-down round budgets. The paper's 200
+    /// rounds amortize this warmup implicitly; with 0 the ramp is disabled.
+    pub warmup_rounds: usize,
+}
+
+impl Default for CalibreConfig {
+    fn default() -> Self {
+        CalibreConfig {
+            alpha: 0.3,
+            num_prototypes: 10,
+            tau: 0.5,
+            use_ln: true,
+            use_lp: true,
+            divergence_aware_aggregation: true,
+            ln_contrastive: false,
+            adaptive_k: false,
+            warmup_rounds: 0,
+        }
+    }
+}
+
+impl CalibreConfig {
+    /// The Table I ablation variants: (use_ln, use_lp).
+    pub fn ablation(use_ln: bool, use_lp: bool) -> Self {
+        CalibreConfig {
+            use_ln,
+            use_lp,
+            ..CalibreConfig::default()
+        }
+    }
+}
+
+/// The pieces of one Calibre loss computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibreLoss {
+    /// The combined scalar loss node `l_s + α(L_p + L_n)` to backpropagate.
+    pub total: Node,
+    /// Value of the underlying SSL loss `l_s`.
+    pub ssl_loss: f32,
+    /// Value of `L_n` (0 when disabled or degenerate).
+    pub l_n: f32,
+    /// Value of `L_p` (0 when disabled or degenerate).
+    pub l_p: f32,
+    /// The client divergence rate of this batch: mean distance of encodings
+    /// to their assigned prototype (aggregation weight input).
+    pub divergence: f32,
+}
+
+/// Extends an SSL method's loss graph with the Calibre regularizers.
+///
+/// `kmeans_seed` must vary across steps (e.g. derived from the round and
+/// batch index) so prototype initialization does not correlate between
+/// batches.
+pub fn calibre_loss(ssl_graph: &mut SslGraph, config: &CalibreConfig, kmeans_seed: u64) -> CalibreLoss {
+    let ssl_loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
+
+    // ---- Prototype generation (Algorithm 1, line 13): cluster the
+    // detached encoder outputs of view e.
+    // Cluster in *normalized* encoder space: L_n scores encodings against
+    // prototypes by cosine similarity, so the pseudo-labels must come from
+    // the same geometry (raw-space KMeans is dominated by norm variation).
+    let z_e_val = ssl_graph.graph.value(ssl_graph.z_e).row_l2_normalized();
+    let z_o_val = ssl_graph.graph.value(ssl_graph.z_o).row_l2_normalized();
+    let n = z_e_val.rows();
+    if n < 2 {
+        // Degenerate batch: fall back to the raw SSL loss.
+        return CalibreLoss {
+            total: ssl_graph.ssl_loss,
+            ssl_loss: ssl_loss_value,
+            l_n: 0.0,
+            l_p: 0.0,
+            divergence: 0.0,
+        };
+    }
+    let k_r = if config.adaptive_k {
+        config.num_prototypes.min((n / 8).max(2))
+    } else {
+        config.num_prototypes
+    };
+    let km = kmeans(
+        &z_e_val,
+        &KMeansConfig {
+            k: k_r.min(n),
+            max_iters: 20,
+            tol: 1e-3,
+            seed: kmeans_seed,
+        },
+    );
+    let assignments_e = km.assignments.clone();
+    let assignments_o = assign_to_centroids(&z_o_val, &km.centroids);
+    let divergence = mean_distance_to_assigned(&z_e_val, &km.centroids, &assignments_e);
+
+    let mut l_n_value = 0.0;
+    let mut l_p_value = 0.0;
+    let mut total = ssl_graph.ssl_loss;
+    let g = &mut ssl_graph.graph;
+
+    // ---- L_n: prototypical-network pull of view-o encodings toward the
+    // view-e prototypes (lines 14-17). Gradient flows through z_o only; the
+    // prototypes are constants of this step.
+    if config.use_ln {
+        let ln_node = if config.ln_contrastive {
+            prototype_meta_loss(g, ssl_graph.z_o, &km.centroids, &assignments_o, config.tau)
+        } else {
+            prototype_pull_loss(g, ssl_graph.z_o, &km.centroids, &assignments_o)
+        };
+        l_n_value = g.value(ln_node).get(0, 0);
+        let scaled = g.scale(ln_node, config.alpha);
+        total = g.add(total, scaled);
+    }
+
+    // ---- L_p: NT-Xent between per-view prototypes of the projector
+    // outputs (lines 8-12), differentiable through both views' h via the
+    // grouped-mean op. Only clusters populated in BOTH views participate.
+    if config.use_lp {
+        if let Some(lp_node) = prototype_contrastive_loss(
+            g,
+            ssl_graph.h_e,
+            ssl_graph.h_o,
+            &assignments_e,
+            &assignments_o,
+            km.centroids.rows(),
+            config.tau,
+        ) {
+            l_p_value = g.value(lp_node).get(0, 0);
+            let scaled = g.scale(lp_node, config.alpha);
+            total = g.add(total, scaled);
+        }
+    }
+
+    CalibreLoss {
+        total,
+        ssl_loss: ssl_loss_value,
+        l_n: l_n_value,
+        l_p: l_p_value,
+        divergence,
+    }
+}
+
+/// `L_n`: cross-entropy of `softmax(z̄·v̄_k / τ)` against the assigned
+/// prototype, differentiable through `z`.
+///
+/// Algorithm 1 (line 17) scores encodings against prototypes with
+/// `exp(z_j · v_k / τ)`; both sides are L2-normalized here so the logits
+/// live in `[−1/τ, 1/τ]`. (Raw squared-Euclidean logits saturate the
+/// softmax at our feature scale — the assigned prototype's probability
+/// pins to 1 and the gradient vanishes.)
+fn prototype_meta_loss(
+    g: &mut Graph,
+    z: Node,
+    prototypes: &Matrix,
+    assignments: &[usize],
+    tau: f32,
+) -> Node {
+    let zn = g.row_l2_normalize(z);
+    let v = g.constant(prototypes.row_l2_normalized().transpose());
+    let sims = g.matmul(zn, v);
+    let logits = g.scale(sims, 1.0 / tau);
+    g.cross_entropy(logits, assignments)
+}
+
+/// Pull-only `L_n` variant: `mean_j (1 − cos(z_j, v_{a(j)}))`, compacting
+/// each cluster without any repulsion term.
+fn prototype_pull_loss(
+    g: &mut Graph,
+    z: Node,
+    prototypes: &Matrix,
+    assignments: &[usize],
+) -> Node {
+    let zn = g.row_l2_normalize(z);
+    let assigned = prototypes.row_l2_normalized().gather_rows(assignments);
+    let v = g.constant(assigned);
+    let dots = g.rowwise_dot(zn, v);
+    let mean = g.mean_all(dots);
+    let neg = g.scale(mean, -1.0);
+    g.add_scalar(neg, 1.0)
+}
+
+/// `L_p`: NT-Xent over the per-view prototype pairs. Returns `None` when
+/// fewer than two clusters are populated in both views (NT-Xent needs a
+/// negative).
+fn prototype_contrastive_loss(
+    g: &mut Graph,
+    h_e: Node,
+    h_o: Node,
+    assignments_e: &[usize],
+    assignments_o: &[usize],
+    k: usize,
+    tau: f32,
+) -> Option<Node> {
+    // Clusters populated in both views, remapped to a compact range.
+    let mut count_e = vec![0usize; k];
+    let mut count_o = vec![0usize; k];
+    for &a in assignments_e {
+        count_e[a] += 1;
+    }
+    for &a in assignments_o {
+        count_o[a] += 1;
+    }
+    let shared: Vec<usize> = (0..k)
+        .filter(|&c| count_e[c] > 0 && count_o[c] > 0)
+        .collect();
+    if shared.len() < 2 {
+        return None;
+    }
+    let remap: Vec<Option<usize>> = {
+        let mut m = vec![None; k];
+        for (compact, &orig) in shared.iter().enumerate() {
+            m[orig] = Some(compact);
+        }
+        m
+    };
+    // Rows whose cluster survives, with compacted assignments, per view.
+    let build = |g: &mut Graph, h: Node, assignments: &[usize]| -> Node {
+        let keep: Vec<usize> = (0..assignments.len())
+            .filter(|&i| remap[assignments[i]].is_some())
+            .collect();
+        let compact: Vec<usize> = keep
+            .iter()
+            .map(|&i| remap[assignments[i]].expect("filtered above"))
+            .collect();
+        let kept = g.gather_rows(h, &keep);
+        g.group_mean_rows(kept, &compact, shared.len())
+    };
+    let nu_e = build(g, h_e, assignments_e);
+    let nu_o = build(g, h_o, assignments_o);
+    Some(nt_xent(g, nu_e, nu_o, tau))
+}
+
+/// The divergence rate of a whole client dataset under the current encoder:
+/// cluster the encodings, return the mean distance to assigned prototypes.
+/// Used by the server-side aggregation weighting in
+/// [`train_calibre_encoder`](crate::train_calibre_encoder).
+pub fn divergence_rate(encodings: &Matrix, num_prototypes: usize, seed: u64) -> f32 {
+    if encodings.rows() < 2 {
+        return 0.0;
+    }
+    let km = kmeans(
+        encodings,
+        &KMeansConfig {
+            k: num_prototypes.min(encodings.rows()),
+            max_iters: 20,
+            tol: 1e-3,
+            seed,
+        },
+    );
+    mean_distance_to_assigned(encodings, &km.centroids, &km.assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_ssl::{SimClr, SslConfig, SslMethod, TwoViewBatch};
+    use calibre_tensor::nn::gradients;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    fn toy_graph(seed: u64) -> SslGraph {
+        let method = SimClr::new(SslConfig::for_input(64));
+        let mut r = seeded(seed);
+        let base = normal_matrix(&mut r, 16, 64, 1.0);
+        let va = base.map(|v| v + 0.05);
+        let vb = base.map(|v| v - 0.05);
+        method.build_graph(&TwoViewBatch::new(&va, &vb))
+    }
+
+    #[test]
+    fn full_calibre_loss_includes_both_regularizers() {
+        let mut sslg = toy_graph(1);
+        let loss = calibre_loss(&mut sslg, &CalibreConfig::default(), 7);
+        assert!(loss.l_n > 0.0, "L_n should be positive: {loss:?}");
+        assert!(loss.l_p > 0.0, "L_p should be positive: {loss:?}");
+        assert!(loss.divergence > 0.0);
+        let total = sslg.graph.value(loss.total).get(0, 0);
+        assert!(
+            (total - (loss.ssl_loss + 0.3 * (loss.l_n + loss.l_p))).abs() < 1e-4,
+            "total {total} should be l_s + α(L_n + L_p)"
+        );
+    }
+
+    #[test]
+    fn ablation_toggles_zero_out_terms() {
+        let mut a = toy_graph(2);
+        let only_ln = calibre_loss(&mut a, &CalibreConfig::ablation(true, false), 7);
+        assert!(only_ln.l_n > 0.0);
+        assert_eq!(only_ln.l_p, 0.0);
+
+        let mut b = toy_graph(2);
+        let only_lp = calibre_loss(&mut b, &CalibreConfig::ablation(false, true), 7);
+        assert_eq!(only_lp.l_n, 0.0);
+        assert!(only_lp.l_p > 0.0);
+
+        let mut c = toy_graph(2);
+        let neither = calibre_loss(&mut c, &CalibreConfig::ablation(false, false), 7);
+        let total = c.graph.value(neither.total).get(0, 0);
+        assert!((total - neither.ssl_loss).abs() < 1e-6, "pure SSL when both off");
+    }
+
+    #[test]
+    fn total_loss_backpropagates_to_encoder() {
+        let mut sslg = toy_graph(3);
+        let loss = calibre_loss(&mut sslg, &CalibreConfig::default(), 7);
+        sslg.graph.backward(loss.total);
+        let grads = gradients(&sslg.graph, &sslg.binding);
+        assert!(grads.iter().all(|g| g.all_finite()));
+        assert!(
+            grads.iter().any(|g| g.max_abs() > 0.0),
+            "calibre loss must produce gradients"
+        );
+    }
+
+    #[test]
+    fn regularizer_gradients_differ_from_pure_ssl() {
+        // The calibration must actually change the training signal.
+        let mut a = toy_graph(4);
+        let pure = calibre_loss(&mut a, &CalibreConfig::ablation(false, false), 7);
+        a.graph.backward(pure.total);
+        let pure_grads = gradients(&a.graph, &a.binding);
+
+        let mut b = toy_graph(4);
+        let full = calibre_loss(&mut b, &CalibreConfig::default(), 7);
+        b.graph.backward(full.total);
+        let full_grads = gradients(&b.graph, &b.binding);
+
+        let diff: f32 = pure_grads
+            .iter()
+            .zip(full_grads.iter())
+            .map(|(x, y)| x.sub(y).max_abs())
+            .fold(0.0, f32::max);
+        assert!(diff > 1e-6, "regularizers should alter gradients");
+    }
+
+    #[test]
+    fn tight_clusters_have_lower_divergence() {
+        let mut r = seeded(5);
+        let tight = normal_matrix(&mut r, 40, 8, 0.05);
+        let loose = normal_matrix(&mut r, 40, 8, 2.0);
+        let dt = divergence_rate(&tight, 4, 0);
+        let dl = divergence_rate(&loose, 4, 0);
+        assert!(dt < dl, "tight {dt} vs loose {dl}");
+    }
+
+    #[test]
+    fn degenerate_single_sample_batch_falls_back() {
+        let method = SimClr::new(SslConfig::for_input(64));
+        let mut r = seeded(6);
+        let base = normal_matrix(&mut r, 2, 64, 1.0);
+        let mut sslg = method.build_graph(&TwoViewBatch::new(&base, &base));
+        // 2 samples is the minimum; verify no panic and finite values.
+        let loss = calibre_loss(&mut sslg, &CalibreConfig::default(), 7);
+        assert!(sslg.graph.value(loss.total).get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn divergence_rate_of_tiny_input_is_zero() {
+        let m = Matrix::zeros(1, 4);
+        assert_eq!(divergence_rate(&m, 4, 0), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the Calibre loss composition.
+
+use calibre::{calibre_loss, divergence_rate, CalibreConfig};
+use calibre_ssl::{SimClr, SslConfig, SslMethod, TwoViewBatch};
+use calibre_tensor::nn::gradients;
+use calibre_tensor::{rng, Matrix};
+use proptest::prelude::*;
+
+fn toy_graph(seed: u64, n: usize) -> calibre_ssl::SslGraph {
+    let method = SimClr::new(SslConfig::for_input(64));
+    let mut r = rng::seeded(seed);
+    let base = rng::normal_matrix(&mut r, n, 64, 1.0);
+    let va = base.map(|v| v + 0.05);
+    let vb = base.map(|v| v - 0.05);
+    method.build_graph(&TwoViewBatch::new(&va, &vb))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn total_loss_is_exact_composition(
+        seed in 0u64..200,
+        alpha in 0.0f32..2.0,
+        k in 2usize..12,
+        kmeans_seed in 0u64..50,
+    ) {
+        let mut ssl_graph = toy_graph(seed, 12);
+        let config = CalibreConfig { alpha, num_prototypes: k, ..Default::default() };
+        let loss = calibre_loss(&mut ssl_graph, &config, kmeans_seed);
+        let total = ssl_graph.graph.value(loss.total).get(0, 0);
+        let expected = loss.ssl_loss + alpha * (loss.l_n + loss.l_p);
+        prop_assert!((total - expected).abs() < 1e-3,
+            "total {total} != l_s {} + α({} + {})", loss.ssl_loss, loss.l_n, loss.l_p);
+        prop_assert!(loss.divergence >= 0.0 && loss.divergence.is_finite());
+    }
+
+    #[test]
+    fn gradients_are_finite_for_any_configuration(
+        seed in 0u64..100,
+        use_ln in any::<bool>(),
+        use_lp in any::<bool>(),
+        ln_contrastive in any::<bool>(),
+        adaptive_k in any::<bool>(),
+    ) {
+        let mut ssl_graph = toy_graph(seed, 10);
+        let config = CalibreConfig {
+            use_ln,
+            use_lp,
+            ln_contrastive,
+            adaptive_k,
+            ..Default::default()
+        };
+        let loss = calibre_loss(&mut ssl_graph, &config, 7);
+        ssl_graph.graph.backward(loss.total);
+        let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
+        prop_assert!(grads.iter().all(Matrix::all_finite));
+    }
+
+    #[test]
+    fn disabled_terms_report_zero(seed in 0u64..100) {
+        let mut ssl_graph = toy_graph(seed, 8);
+        let config = CalibreConfig::ablation(false, false);
+        let loss = calibre_loss(&mut ssl_graph, &config, 7);
+        prop_assert_eq!(loss.l_n, 0.0);
+        prop_assert_eq!(loss.l_p, 0.0);
+    }
+
+    #[test]
+    fn divergence_rate_scales_with_dispersion(seed in 0u64..100, scale in 1.5f32..10.0) {
+        let mut r = rng::seeded(seed);
+        let tight = rng::normal_matrix(&mut r, 30, 8, 1.0);
+        let loose = tight.scale(scale);
+        let dt = divergence_rate(&tight, 5, 0);
+        let dl = divergence_rate(&loose, 5, 0);
+        prop_assert!(dl > dt, "scaling up dispersion must raise divergence: {dt} vs {dl}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Heterogeneity measurement: *how* non-i.i.d. is a federation?
+//!
+//! The paper's `(S, #samples)` and `(0.3, #samples)` notations describe how
+//! skew was *generated*; these metrics quantify the skew that actually
+//! resulted, so experiments can report and compare heterogeneity on a
+//! common scale:
+//!
+//! - [`label_entropy`]: per-client label entropy (low = specialized client);
+//! - [`mean_pairwise_tv`]: average total-variation distance between client
+//!   label distributions (0 = identical clients, →1 = disjoint labels);
+//! - [`HeterogeneityReport`]: both, plus class coverage, for a whole
+//!   federation.
+
+use crate::partition::FederatedDataset;
+use crate::sample::ClientData;
+use serde::{Deserialize, Serialize};
+
+/// Normalized label distribution of a client's training split.
+///
+/// Returns a length-`num_classes` probability vector (all zeros for an
+/// empty client).
+pub fn label_distribution(data: &ClientData, num_classes: usize) -> Vec<f64> {
+    let mut dist = vec![0.0f64; num_classes];
+    for label in data.train_labels() {
+        dist[label] += 1.0;
+    }
+    let total: f64 = dist.iter().sum();
+    if total > 0.0 {
+        for d in &mut dist {
+            *d /= total;
+        }
+    }
+    dist
+}
+
+/// Shannon entropy (nats) of a client's label distribution. Uniform over
+/// `K` classes gives `ln K`; a single-class client gives 0.
+pub fn label_entropy(data: &ClientData, num_classes: usize) -> f64 {
+    label_distribution(data, num_classes)
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Total-variation distance between two probability vectors, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distribution length mismatch");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Mean pairwise total-variation distance between all client label
+/// distributions. 0 for a single client.
+pub fn mean_pairwise_tv(fed: &FederatedDataset) -> f64 {
+    let k = fed.generator().num_classes();
+    let dists: Vec<Vec<f64>> = fed
+        .clients()
+        .iter()
+        .map(|c| label_distribution(c, k))
+        .collect();
+    let n = dists.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += total_variation(&dists[i], &dists[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Summary of a federation's label heterogeneity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneityReport {
+    /// Mean per-client label entropy (nats).
+    pub mean_entropy: f64,
+    /// Maximum possible entropy (`ln K`), for normalization.
+    pub max_entropy: f64,
+    /// Mean pairwise total-variation distance between clients.
+    pub mean_pairwise_tv: f64,
+    /// Mean number of distinct training classes per client.
+    pub mean_classes_per_client: f64,
+    /// Number of globally-represented classes.
+    pub covered_classes: usize,
+}
+
+impl HeterogeneityReport {
+    /// Measures a federation.
+    pub fn measure(fed: &FederatedDataset) -> Self {
+        let k = fed.generator().num_classes();
+        let n = fed.num_clients() as f64;
+        let mean_entropy = fed
+            .clients()
+            .iter()
+            .map(|c| label_entropy(c, k))
+            .sum::<f64>()
+            / n;
+        let mean_classes_per_client = fed
+            .clients()
+            .iter()
+            .map(|c| c.train_classes().len() as f64)
+            .sum::<f64>()
+            / n;
+        let covered_classes = fed
+            .global_label_histogram()
+            .iter()
+            .filter(|&&h| h > 0)
+            .count();
+        HeterogeneityReport {
+            mean_entropy,
+            max_entropy: (k as f64).ln(),
+            mean_pairwise_tv: mean_pairwise_tv(fed),
+            mean_classes_per_client,
+            covered_classes,
+        }
+    }
+
+    /// Entropy normalized to `[0, 1]` (1 = every client uniform).
+    pub fn normalized_entropy(&self) -> f64 {
+        if self.max_entropy <= 0.0 {
+            0.0
+        } else {
+            self.mean_entropy / self.max_entropy
+        }
+    }
+}
+
+impl std::fmt::Display for HeterogeneityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entropy {:.2}/{:.2}  pairwise-TV {:.3}  classes/client {:.1}  coverage {}",
+            self.mean_entropy,
+            self.max_entropy,
+            self.mean_pairwise_tv,
+            self.mean_classes_per_client,
+            self.covered_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{NonIid, PartitionConfig};
+    use crate::synth::SynthVisionSpec;
+
+    fn build(non_iid: NonIid) -> FederatedDataset {
+        FederatedDataset::build(
+            SynthVisionSpec::cifar10(),
+            &PartitionConfig {
+                num_clients: 12,
+                train_per_client: 100,
+                test_per_client: 10,
+                unlabeled_per_client: 0,
+                non_iid,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn iid_federation_is_near_maximum_entropy() {
+        let report = HeterogeneityReport::measure(&build(NonIid::Iid));
+        assert!(report.normalized_entropy() > 0.95, "{report}");
+        assert!(report.mean_pairwise_tv < 0.15, "{report}");
+        assert_eq!(report.covered_classes, 10);
+    }
+
+    #[test]
+    fn quantity_skew_is_low_entropy_high_tv() {
+        let report =
+            HeterogeneityReport::measure(&build(NonIid::Quantity { classes_per_client: 2 }));
+        assert!(report.mean_classes_per_client <= 2.0 + 1e-9);
+        assert!(report.normalized_entropy() < 0.5, "{report}");
+        assert!(report.mean_pairwise_tv > 0.5, "{report}");
+    }
+
+    #[test]
+    fn heterogeneity_orders_dirichlet_concentrations() {
+        let tight = HeterogeneityReport::measure(&build(NonIid::Dirichlet { alpha: 5.0 }));
+        let skewed = HeterogeneityReport::measure(&build(NonIid::Dirichlet { alpha: 0.1 }));
+        assert!(
+            skewed.mean_pairwise_tv > tight.mean_pairwise_tv,
+            "alpha 0.1 ({skewed}) must be more heterogeneous than 5.0 ({tight})"
+        );
+        assert!(skewed.mean_entropy < tight.mean_entropy);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn entropy_of_single_class_client_is_zero() {
+        let fed = build(NonIid::Quantity { classes_per_client: 1 });
+        for c in fed.clients() {
+            assert!(label_entropy(c, 10) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_client_has_zero_distribution() {
+        let data = ClientData::default();
+        assert_eq!(label_distribution(&data, 3), vec![0.0; 3]);
+        assert_eq!(label_entropy(&data, 3), 0.0);
+    }
+}

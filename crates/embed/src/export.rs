@@ -1,0 +1,100 @@
+//! CSV export of 2-D embeddings.
+//!
+//! The figure-reproduction binaries write their t-SNE coordinates to CSV so
+//! the paper's qualitative plots can be regenerated with any plotting tool.
+
+use calibre_tensor::Matrix;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One labeled, client-attributed embedding point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingPoint {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Ground-truth class label.
+    pub label: usize,
+    /// Originating client id.
+    pub client: usize,
+}
+
+/// Zips an `(n, 2)` coordinate matrix with labels and client ids.
+///
+/// # Panics
+///
+/// Panics if the lengths disagree or the matrix is not 2-column.
+pub fn collect_points(coords: &Matrix, labels: &[usize], clients: &[usize]) -> Vec<EmbeddingPoint> {
+    assert_eq!(coords.cols(), 2, "expected 2-D coordinates");
+    assert_eq!(coords.rows(), labels.len(), "label count mismatch");
+    assert_eq!(coords.rows(), clients.len(), "client count mismatch");
+    (0..coords.rows())
+        .map(|i| EmbeddingPoint {
+            x: coords.get(i, 0),
+            y: coords.get(i, 1),
+            label: labels[i],
+            client: clients[i],
+        })
+        .collect()
+}
+
+/// Writes points as CSV (`x,y,label,client` with a header) to any writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv<W: Write>(mut w: W, points: &[EmbeddingPoint]) -> io::Result<()> {
+    writeln!(w, "x,y,label,client")?;
+    for p in points {
+        writeln!(w, "{},{},{},{}", p.x, p.y, p.label, p.client)?;
+    }
+    Ok(())
+}
+
+/// Writes points as CSV to a file path, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv_file<P: AsRef<Path>>(path: P, points: &[EmbeddingPoint]) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_csv(io::BufWriter::new(file), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_points_zips_all_fields() {
+        let coords = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let pts = collect_points(&coords, &[0, 1], &[7, 8]);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].x, 3.0);
+        assert_eq!(pts[1].label, 1);
+        assert_eq!(pts[1].client, 8);
+    }
+
+    #[test]
+    fn csv_output_has_header_and_rows() {
+        let coords = Matrix::from_rows(&[vec![0.5, -0.5]]);
+        let pts = collect_points(&coords, &[3], &[12]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &pts).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "x,y,label,client");
+        assert_eq!(lines[1], "0.5,-0.5,3,12");
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn collect_points_rejects_mismatched_labels() {
+        let coords = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        collect_points(&coords, &[], &[0]);
+    }
+}

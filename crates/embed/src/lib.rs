@@ -1,0 +1,34 @@
+//! # calibre-embed
+//!
+//! PCA and exact t-SNE 2-D embeddings used to regenerate the
+//! representation-quality figures (Figs. 1, 2, 5–8) of the Calibre paper
+//! (ICDCS 2024).
+//!
+//! The paper's qualitative argument — "Calibre representations form crisp
+//! per-class clusters; plain pFL-SSL representations do not" — is reproduced
+//! by embedding encoder outputs with [`tsne`] and exporting the coordinates
+//! with [`write_csv_file`]; the quantitative counterpart (silhouette/NMI on
+//! the same representations) lives in `calibre-cluster`.
+//!
+//! # Example
+//!
+//! ```
+//! use calibre_embed::{tsne, TsneConfig};
+//! use calibre_tensor::{Matrix, rng};
+//!
+//! let mut r = rng::seeded(0);
+//! let data = rng::normal_matrix(&mut r, 30, 8, 1.0);
+//! let coords = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+//! assert_eq!(coords.shape(), (30, 2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod export;
+mod pca;
+mod tsne;
+
+pub use export::{collect_points, write_csv, write_csv_file, EmbeddingPoint};
+pub use pca::{pca, PcaResult};
+pub use tsne::{tsne, TsneConfig};

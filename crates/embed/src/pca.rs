@@ -1,0 +1,174 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to initialize t-SNE (the standard trick for stable embeddings) and
+//! as a cheap linear baseline when inspecting representation quality.
+
+use calibre_tensor::{rng, Matrix};
+
+/// Result of a [`pca`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcaResult {
+    /// Principal directions, `(n_components, dim)`, unit length, orthogonal.
+    pub components: Matrix,
+    /// Variance captured by each component.
+    pub explained_variance: Vec<f32>,
+    /// Column means subtracted before the decomposition, `(1, dim)`.
+    pub mean: Matrix,
+}
+
+impl PcaResult {
+    /// Projects data onto the principal directions, `(n, n_components)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data dimensionality differs from the fitted one.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(
+            data.cols(),
+            self.components.cols(),
+            "PCA was fitted on {} dims, got {}",
+            self.components.cols(),
+            data.cols()
+        );
+        let centered = data.add_row_vec(&self.mean.scale(-1.0));
+        centered.matmul_transpose(&self.components)
+    }
+}
+
+/// Fits PCA with `n_components` directions using power iteration
+/// (100 iterations per component, Hotelling deflation).
+///
+/// # Panics
+///
+/// Panics if the data is empty or `n_components` exceeds the dimensionality.
+pub fn pca(data: &Matrix, n_components: usize, seed: u64) -> PcaResult {
+    assert!(data.rows() > 1, "PCA needs at least two rows");
+    assert!(
+        n_components >= 1 && n_components <= data.cols(),
+        "n_components {n_components} out of range 1..={}",
+        data.cols()
+    );
+    let mean = data.mean_rows();
+    let centered = data.add_row_vec(&mean.scale(-1.0));
+    // Covariance (dim x dim), scaled by 1/(n-1).
+    let cov = centered
+        .transpose()
+        .matmul(&centered)
+        .scale(1.0 / (data.rows() - 1) as f32);
+
+    let mut rng_ = rng::seeded(seed);
+    let mut components = Matrix::zeros(n_components, data.cols());
+    let mut explained = Vec::with_capacity(n_components);
+    let mut deflated = cov;
+
+    for c in 0..n_components {
+        let mut v = rng::normal_matrix(&mut rng_, data.cols(), 1, 1.0).row_l2_normalized();
+        // Normalize as a column: treat as (dim,1), normalize whole vector.
+        let norm = v.frobenius_norm();
+        if norm > 0.0 {
+            v = v.scale(1.0 / norm);
+        }
+        let mut eigenvalue = 0.0;
+        for _ in 0..100 {
+            let w = deflated.matmul(&v);
+            let norm = w.frobenius_norm();
+            if norm < 1e-12 {
+                break;
+            }
+            eigenvalue = norm;
+            v = w.scale(1.0 / norm);
+        }
+        for (i, &x) in v.as_slice().iter().enumerate() {
+            components.set(c, i, x);
+        }
+        explained.push(eigenvalue);
+        // Deflate: cov ← cov − λ v vᵀ
+        let vvt = v.matmul(&v.transpose()).scale(eigenvalue);
+        deflated = deflated.sub(&vvt);
+    }
+
+    PcaResult {
+        components,
+        explained_variance: explained,
+        mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    /// Data stretched strongly along a known direction.
+    fn anisotropic_data() -> Matrix {
+        let mut r = seeded(1);
+        let n = 200;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = 5.0 * rng::normal(&mut r);
+            let noise = 0.2 * rng::normal(&mut r);
+            // Main direction (1, 1)/√2, small noise along (1, -1)/√2.
+            let s = std::f32::consts::FRAC_1_SQRT_2;
+            rows.push(vec![t * s + noise * s, t * s - noise * s]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_aligns_with_dominant_direction() {
+        let data = anisotropic_data();
+        let fit = pca(&data, 2, 0);
+        let c0 = fit.components.row(0);
+        let s = std::f32::consts::FRAC_1_SQRT_2;
+        let dot = (c0[0] * s + c0[1] * s).abs();
+        assert!(dot > 0.99, "first PC {c0:?} should align with (1,1)/√2");
+        assert!(fit.explained_variance[0] > 10.0 * fit.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut r = seeded(2);
+        let data = normal_matrix(&mut r, 100, 5, 1.0);
+        let fit = pca(&data, 3, 0);
+        for i in 0..3 {
+            let norm: f32 = fit.components.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-3, "component {i} norm {norm}");
+            for j in (i + 1)..3 {
+                let dot: f32 = fit
+                    .components
+                    .row(i)
+                    .iter()
+                    .zip(fit.components.row(j))
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-2, "components {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_produces_requested_width() {
+        let mut r = seeded(3);
+        let data = normal_matrix(&mut r, 50, 8, 1.0);
+        let fit = pca(&data, 2, 0);
+        let proj = fit.transform(&data);
+        assert_eq!(proj.shape(), (50, 2));
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let mut r = seeded(4);
+        let data = normal_matrix(&mut r, 300, 4, 1.0).map(|v| v + 10.0);
+        let fit = pca(&data, 2, 0);
+        let proj = fit.transform(&data);
+        // Projections of centered data have near-zero mean.
+        assert!(proj.mean_rows().max_abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_components_panics() {
+        let data = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        pca(&data, 3, 0);
+    }
+}

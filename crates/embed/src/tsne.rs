@@ -1,0 +1,282 @@
+//! Exact (O(n²)) t-SNE.
+//!
+//! Regenerates the 2-D embeddings of the paper's Figs. 1, 2, 5, 6, 7 and 8.
+//! The implementation follows van der Maaten & Hinton (2008): per-point
+//! perplexity calibration via binary search, early exaggeration, and
+//! momentum gradient descent. PCA initialization keeps runs reproducible.
+
+use crate::pca::pca;
+use calibre_tensor::{rng, Matrix};
+
+/// Configuration for [`tsne`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity (effective number of neighbors).
+    pub perplexity: f32,
+    /// Total gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Iterations during which the attractive forces are exaggerated.
+    pub exaggeration_iters: usize,
+    /// Early-exaggeration factor.
+    pub exaggeration: f32,
+    /// Seed (used for PCA init and the tiny initial jitter).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration_iters: 80,
+            exaggeration: 12.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `data` into 2-D.
+///
+/// Returns an `(n, 2)` matrix of coordinates.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than 5 rows (too few for perplexity
+/// calibration to be meaningful).
+pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 5, "t-SNE needs at least 5 points, got {n}");
+    let p = joint_probabilities(data, config.perplexity);
+
+    // PCA init, scaled small, plus jitter to break ties.
+    let mut rng_ = rng::seeded(config.seed);
+    let mut y = if data.cols() >= 2 {
+        let fit = pca(data, 2, config.seed);
+        let proj = fit.transform(data);
+        let scale = proj.max_abs().max(1e-6);
+        proj.scale(1e-2 / scale)
+    } else {
+        Matrix::zeros(n, 2)
+    };
+    for v in y.iter_mut() {
+        *v += 1e-4 * rng::normal(&mut rng_);
+    }
+
+    let mut velocity = Matrix::zeros(n, 2);
+    let mut gains = Matrix::full(n, 2, 1.0);
+
+    for iter in 0..config.iterations {
+        let exaggerate = if iter < config.exaggeration_iters {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        let momentum = if iter < config.exaggeration_iters { 0.5 } else { 0.8 };
+
+        // Student-t affinities in embedding space.
+        let mut q_num = Matrix::zeros(n, n);
+        let mut q_sum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = y.row_distance_sq(i, &y, j);
+                let v = 1.0 / (1.0 + d);
+                q_num.set(i, j, v);
+                q_num.set(j, i, v);
+                q_sum += 2.0 * v;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij·ex − q_ij) q_num_ij (y_i − y_j)
+        let mut grad = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num.get(i, j);
+                let q = (num / q_sum).max(1e-12);
+                let mult = (exaggerate * p.get(i, j) - q) * num;
+                gx += mult * (y.get(i, 0) - y.get(j, 0));
+                gy += mult * (y.get(i, 1) - y.get(j, 1));
+            }
+            grad.set(i, 0, 4.0 * gx);
+            grad.set(i, 1, 4.0 * gy);
+        }
+
+        // Adaptive gains (standard t-SNE heuristic).
+        for i in 0..n {
+            for c in 0..2 {
+                let g = grad.get(i, c);
+                let v = velocity.get(i, c);
+                let gain = gains.get(i, c);
+                let new_gain = if (g > 0.0) != (v > 0.0) {
+                    gain + 0.2
+                } else {
+                    (gain * 0.8).max(0.01)
+                };
+                gains.set(i, c, new_gain);
+                let new_v = momentum * v - config.learning_rate * new_gain * g;
+                velocity.set(i, c, new_v);
+                y.set(i, c, y.get(i, c) + new_v);
+            }
+        }
+
+        // Re-center to keep coordinates bounded.
+        let mean = y.mean_rows();
+        y = y.add_row_vec(&mean.scale(-1.0));
+    }
+    y
+}
+
+/// Computes the symmetrized joint probabilities `P` with per-point sigma
+/// calibrated to `perplexity` by binary search.
+fn joint_probabilities(data: &Matrix, perplexity: f32) -> Matrix {
+    let n = data.rows();
+    let target_entropy = perplexity.max(2.0).ln();
+
+    // Pairwise squared distances.
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = data.row_distance_sq(i, data, j);
+            d2.set(i, j, d);
+            d2.set(j, i, d);
+        }
+    }
+
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        let mut beta = 1.0f32; // 1/(2σ²)
+        let mut beta_min = 0.0f32;
+        let mut beta_max = f32::INFINITY;
+        let mut row = vec![0.0f32; n];
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            for (j, item) in row.iter_mut().enumerate() {
+                if j == i {
+                    *item = 0.0;
+                    continue;
+                }
+                *item = (-beta * d2.get(i, j)).exp();
+                sum += *item;
+            }
+            let sum = sum.max(1e-12);
+            // Shannon entropy of the conditional distribution.
+            let mut entropy = 0.0f32;
+            for (j, item) in row.iter_mut().enumerate() {
+                if j == i {
+                    continue;
+                }
+                *item /= sum;
+                if *item > 1e-12 {
+                    entropy -= *item * item.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = (beta + beta_min) / 2.0;
+            }
+        }
+        for (j, &v) in row.iter().enumerate() {
+            p.set(i, j, v);
+        }
+    }
+
+    // Symmetrize and normalize.
+    let mut joint = Matrix::zeros(n, n);
+    let norm = 1.0 / (2.0 * n as f32);
+    for i in 0..n {
+        for j in 0..n {
+            let v = ((p.get(i, j) + p.get(j, i)) * norm).max(1e-12);
+            joint.set(i, j, v);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_cluster::silhouette_score;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    fn two_blobs(n_per: usize, sep: f32) -> (Matrix, Vec<usize>) {
+        let mut r = seeded(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..2 {
+            let noise = normal_matrix(&mut r, n_per, 6, 0.3);
+            for i in 0..n_per {
+                let mut row: Vec<f32> = noise.row(i).to_vec();
+                row[0] += k as f32 * sep;
+                rows.push(row);
+                labels.push(k);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn embedding_has_two_columns_and_is_finite() {
+        let (data, _) = two_blobs(20, 5.0);
+        let y = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+        assert_eq!(y.shape(), (40, 2));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated_in_embedding() {
+        let (data, labels) = two_blobs(25, 8.0);
+        let y = tsne(&data, &TsneConfig { iterations: 150, perplexity: 10.0, ..Default::default() });
+        let s = silhouette_score(&y, &labels);
+        assert!(s > 0.3, "embedded silhouette {s} too low for separated blobs");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = two_blobs(10, 4.0);
+        let cfg = TsneConfig { iterations: 30, ..Default::default() };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn joint_probabilities_are_symmetric_and_normalized() {
+        let (data, _) = two_blobs(10, 3.0);
+        let p = joint_probabilities(&data, 5.0);
+        let n = p.rows();
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p.get(i, j) - p.get(j, i)).abs() < 1e-6);
+                total += p.get(i, j);
+            }
+        }
+        assert!((total - 1.0).abs() < 0.05, "P sums to {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 points")]
+    fn too_few_points_panics() {
+        let data = Matrix::zeros(3, 4);
+        tsne(&data, &TsneConfig::default());
+    }
+}

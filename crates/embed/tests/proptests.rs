@@ -1,0 +1,51 @@
+//! Property-based tests for PCA and t-SNE invariants.
+
+use calibre_embed::{pca, tsne, TsneConfig};
+use calibre_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pca_components_are_unit_length(data in matrix(30, 5), seed in 0u64..100) {
+        let fit = pca(&data, 2, seed);
+        for c in 0..2 {
+            let norm: f32 = fit.components.row(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+            // Degenerate (constant) data can produce a zero direction; any
+            // non-degenerate component must be unit length.
+            prop_assert!(norm < 1.0 + 1e-3, "component {c} norm {norm}");
+        }
+        prop_assert!(fit.explained_variance.iter().all(|v| *v >= -1e-4));
+    }
+
+    #[test]
+    fn pca_explained_variance_is_sorted(data in matrix(40, 6), seed in 0u64..100) {
+        let fit = pca(&data, 3, seed);
+        for w in fit.explained_variance.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-3, "variance not sorted: {:?}", fit.explained_variance);
+        }
+    }
+
+    #[test]
+    fn pca_transform_shape_and_finiteness(data in matrix(25, 4), seed in 0u64..100) {
+        let fit = pca(&data, 2, seed);
+        let proj = fit.transform(&data);
+        prop_assert_eq!(proj.shape(), (25, 2));
+        prop_assert!(proj.all_finite());
+    }
+
+    #[test]
+    fn tsne_output_is_finite_and_centered(data in matrix(12, 6), seed in 0u64..50) {
+        let coords = tsne(&data, &TsneConfig { iterations: 40, seed, ..Default::default() });
+        prop_assert_eq!(coords.shape(), (12, 2));
+        prop_assert!(coords.all_finite());
+        // The implementation re-centers every iteration.
+        prop_assert!(coords.mean_rows().max_abs() < 1e-2);
+    }
+}

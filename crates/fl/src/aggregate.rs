@@ -1,0 +1,125 @@
+//! Server-side aggregation of client updates.
+//!
+//! Everything travels as flat parameter vectors (`Module::to_flat`). The
+//! plain weighted average is FedAvg; Calibre's divergence-aware variant
+//! (in the `calibre` crate) reuses [`weighted_average`] with
+//! prototype-distance-derived weights.
+
+/// Weighted average of flat parameter vectors.
+///
+/// Weights are normalized internally; non-positive total weight falls back
+/// to a uniform average.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, lengths differ, or `weights.len()`
+/// mismatches `updates.len()`.
+pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    assert_eq!(
+        updates.len(),
+        weights.len(),
+        "one weight per update required"
+    );
+    let dim = updates[0].len();
+    for (i, u) in updates.iter().enumerate() {
+        assert_eq!(u.len(), dim, "update {i} has length {} expected {dim}", u.len());
+    }
+    let total: f32 = weights.iter().sum();
+    let normalized: Vec<f32> = if total > 0.0 {
+        weights.iter().map(|w| w / total).collect()
+    } else {
+        vec![1.0 / updates.len() as f32; updates.len()]
+    };
+    let mut out = vec![0.0f32; dim];
+    for (u, &w) in updates.iter().zip(normalized.iter()) {
+        for (o, &v) in out.iter_mut().zip(u.iter()) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+/// Uniform average of flat parameter vectors.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`weighted_average`].
+pub fn uniform_average(updates: &[Vec<f32>]) -> Vec<f32> {
+    let w = vec![1.0; updates.len()];
+    weighted_average(updates, &w)
+}
+
+/// Converts per-client sample counts into FedAvg weights.
+pub fn sample_count_weights(counts: &[usize]) -> Vec<f32> {
+    counts.iter().map(|&c| c as f32).collect()
+}
+
+/// Converts per-client divergence rates into aggregation weights via
+/// inverse-divergence normalization (Calibre §IV-B: clients whose samples
+/// sit closer to their prototypes — lower divergence — contribute more).
+///
+/// A small epsilon keeps the weights finite when a divergence is zero.
+pub fn divergence_weights(divergences: &[f32]) -> Vec<f32> {
+    divergences.iter().map(|&d| 1.0 / (d.max(0.0) + 1e-3)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_average_of_two_vectors() {
+        let avg = uniform_average(&[vec![0.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(avg, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let avg = weighted_average(&[vec![0.0], vec![10.0]], &[3.0, 1.0]);
+        assert!((avg[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let a = weighted_average(&[vec![1.0], vec![3.0]], &[1.0, 1.0]);
+        let b = weighted_average(&[vec![1.0], vec![3.0]], &[100.0, 100.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_total_weight_falls_back_to_uniform() {
+        let avg = weighted_average(&[vec![0.0], vec![4.0]], &[0.0, 0.0]);
+        assert_eq!(avg, vec![2.0]);
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let avg = weighted_average(&[vec![1.5, -2.0]], &[7.0]);
+        assert_eq!(avg, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn divergence_weights_prefer_low_divergence() {
+        let w = divergence_weights(&[0.1, 1.0]);
+        assert!(w[0] > w[1]);
+    }
+
+    #[test]
+    fn sample_count_weights_are_proportional() {
+        let w = sample_count_weights(&[10, 30]);
+        assert_eq!(w, vec![10.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot aggregate zero updates")]
+    fn empty_updates_panics() {
+        uniform_average(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn mismatched_lengths_panic() {
+        uniform_average(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

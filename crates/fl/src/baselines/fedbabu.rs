@@ -1,0 +1,98 @@
+//! FedBABU (Oh et al., ICLR 2022): train the *body*, freeze the *head*.
+//!
+//! The head stays at its shared random initialization for the entire
+//! training stage and is never aggregated; only the encoder learns. At
+//! personalization time each client fine-tunes the head from that shared
+//! initialization. The paper (§II) notes FedBABU's two-stage structure is
+//! the closest supervised relative of Calibre's own pipeline.
+
+use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
+use crate::config::FlConfig;
+use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::parallel::parallel_map;
+use calibre_data::FederatedDataset;
+use calibre_tensor::nn::Module;
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::rng;
+
+/// Runs FedBABU end to end.
+pub fn run_fedbabu(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
+    let num_classes = fed.generator().num_classes();
+    // One shared random head, fixed for the entire training stage.
+    let template = ClassifierModel::new(&cfg.ssl, num_classes, cfg.seed);
+    let fixed_head = template.head().clone();
+    let mut global_encoder = template.encoder().clone();
+    let schedule = cfg.selection_schedule(fed.num_clients());
+    let mut round_losses = Vec::with_capacity(schedule.len());
+
+    for (round, selected) in schedule.iter().enumerate() {
+        let updates = parallel_map(selected, |&id| {
+            let mut model = template.clone();
+            model.encoder_mut().load_flat(&global_encoder.to_flat());
+            model.set_head(fixed_head.clone());
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
+            let loss = train_supervised(
+                &mut model,
+                fed.client(id),
+                fed.generator(),
+                cfg.local_epochs,
+                cfg.batch_size,
+                &mut opt,
+                TrainScope::EncoderOnly,
+                &mut r,
+            );
+            (model.encoder().to_flat(), fed.client(id).train_len(), loss)
+        });
+        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
+        let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
+        global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        round_losses.push(
+            updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
+        );
+    }
+
+    // Personalization: fine-tune the head from the shared initialization.
+    let seen = evaluate_with_head_finetune(&global_encoder, fed, num_classes, &cfg.probe, |_| {
+        fixed_head.clone()
+    });
+
+    BaselineResult {
+        name: "FedBABU".to_string(),
+        seen,
+        encoder: global_encoder,
+        round_losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_data::{NonIid, PartitionConfig, SynthVisionSpec};
+
+    #[test]
+    fn fedbabu_trains_body_and_personalizes_head() {
+        let fed = FederatedDataset::build(
+            SynthVisionSpec::cifar10(),
+            &PartitionConfig {
+                num_clients: 4,
+                train_per_client: 40,
+                test_per_client: 20,
+                unlabeled_per_client: 0,
+                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                seed: 19,
+            },
+        );
+        let mut cfg = FlConfig::for_input(64);
+        cfg.rounds = 6;
+        cfg.clients_per_round = 3;
+        cfg.local_epochs = 2;
+        let result = run_fedbabu(&fed, &cfg);
+        assert!(
+            result.stats().mean > 0.6,
+            "FedBABU mean accuracy {:?}",
+            result.stats()
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Model checkpointing in a dependency-free text format.
+//!
+//! The federated runtime treats a model as an ordered list of parameter
+//! matrices ([`Module`]); a checkpoint stores exactly that — shapes plus
+//! row-major values — so any module with matching shapes can be restored.
+//! The format is line-oriented and human-inspectable:
+//!
+//! ```text
+//! calibre-checkpoint v1
+//! tensors <count>
+//! tensor <rows> <cols>
+//! <v v v ...>           # one line per row
+//! ...
+//! ```
+
+use calibre_tensor::nn::Module;
+use calibre_tensor::Matrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Error produced when loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint (message explains where).
+    Parse(String),
+    /// Checkpoint shapes do not match the target module.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Parse(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::ShapeMismatch(msg) => write!(f, "checkpoint shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes a module's parameters to the checkpoint text format.
+pub fn to_string<M: Module + ?Sized>(module: &M) -> String {
+    let params = module.parameters();
+    let mut out = String::new();
+    out.push_str("calibre-checkpoint v1\n");
+    let _ = writeln!(out, "tensors {}", params.len());
+    for p in params {
+        let _ = writeln!(out, "tensor {} {}", p.rows(), p.cols());
+        for r in 0..p.rows() {
+            let row: Vec<String> = p.row(r).iter().map(|v| format!("{v}")).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses checkpoint text into parameter matrices.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] on any structural problem.
+pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    if header != "calibre-checkpoint v1" {
+        return Err(CheckpointError::Parse(format!(
+            "unknown header {header:?}"
+        )));
+    }
+    let count_line = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Parse("missing tensor count".into()))?;
+    let count: usize = count_line
+        .strip_prefix("tensors ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CheckpointError::Parse(format!("bad tensor count line {count_line:?}")))?;
+
+    let mut tensors = Vec::with_capacity(count);
+    for t in 0..count {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Parse(format!("missing tensor {t} header")))?;
+        let mut parts = shape_line.split_whitespace();
+        if parts.next() != Some("tensor") {
+            return Err(CheckpointError::Parse(format!(
+                "tensor {t}: expected 'tensor <rows> <cols>', got {shape_line:?}"
+            )));
+        }
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: bad rows")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: bad cols")))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row_line = lines
+                .next()
+                .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: missing row {r}")))?;
+            let values: Result<Vec<f32>, _> =
+                row_line.split_whitespace().map(str::parse::<f32>).collect();
+            let values = values.map_err(|e| {
+                CheckpointError::Parse(format!("tensor {t} row {r}: {e}"))
+            })?;
+            if values.len() != cols {
+                return Err(CheckpointError::Parse(format!(
+                    "tensor {t} row {r}: expected {cols} values, got {}",
+                    values.len()
+                )));
+            }
+            data.extend(values);
+        }
+        tensors.push(Matrix::from_vec(rows, cols, data));
+    }
+    Ok(tensors)
+}
+
+/// Restores a module from parsed checkpoint tensors.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::ShapeMismatch`] if counts or shapes differ.
+pub fn restore<M: Module + ?Sized>(module: &mut M, tensors: &[Matrix]) -> Result<(), CheckpointError> {
+    let mut params = module.parameters_mut();
+    if params.len() != tensors.len() {
+        return Err(CheckpointError::ShapeMismatch(format!(
+            "module has {} parameters, checkpoint has {}",
+            params.len(),
+            tensors.len()
+        )));
+    }
+    for (i, (p, t)) in params.iter_mut().zip(tensors).enumerate() {
+        if p.shape() != t.shape() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "parameter {i}: module {:?}, checkpoint {:?}",
+                p.shape(),
+                t.shape()
+            )));
+        }
+    }
+    for (p, t) in params.iter_mut().zip(tensors) {
+        p.as_mut_slice().copy_from_slice(t.as_slice());
+    }
+    Ok(())
+}
+
+/// Saves a module to a checkpoint file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save<M: Module + ?Sized, P: AsRef<Path>>(module: &M, path: P) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_string(module))?;
+    Ok(())
+}
+
+/// Loads a checkpoint file into a module with matching shapes.
+///
+/// # Errors
+///
+/// Returns I/O, parse, or shape errors.
+pub fn load<M: Module + ?Sized, P: AsRef<Path>>(module: &mut M, path: P) -> Result<(), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let tensors = parse(&text)?;
+    restore(module, &tensors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::nn::{Activation, Mlp};
+    use calibre_tensor::rng;
+
+    fn model(seed: u64) -> Mlp {
+        Mlp::new(&[4, 6, 3], Activation::Relu, &mut rng::seeded(seed))
+    }
+
+    #[test]
+    fn roundtrip_through_string_preserves_parameters() {
+        let original = model(1);
+        let text = to_string(&original);
+        let tensors = parse(&text).unwrap();
+        let mut restored = model(2);
+        assert_ne!(restored.to_flat(), original.to_flat());
+        restore(&mut restored, &tensors).unwrap();
+        // Text roundtrip via `{}` formatting of f32 is exact.
+        assert_eq!(restored.to_flat(), original.to_flat());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let original = model(3);
+        let path = std::env::temp_dir().join(format!(
+            "calibre-ckpt-{}-{}.txt",
+            std::process::id(),
+            line!()
+        ));
+        save(&original, &path).unwrap();
+        let mut restored = model(4);
+        load(&mut restored, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.to_flat(), original.to_flat());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse("not a checkpoint\n"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_tensor() {
+        let text = "calibre-checkpoint v1\ntensors 1\ntensor 2 2\n1 2\n";
+        assert!(matches!(parse(text), Err(CheckpointError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_width_row() {
+        let text = "calibre-checkpoint v1\ntensors 1\ntensor 1 3\n1 2\n";
+        assert!(matches!(parse(text), Err(CheckpointError::Parse(_))));
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let original = model(5);
+        let tensors = parse(&to_string(&original)).unwrap();
+        let mut wrong = Mlp::new(&[4, 5, 3], Activation::Relu, &mut rng::seeded(6));
+        assert!(matches!(
+            restore(&mut wrong, &tensors),
+            Err(CheckpointError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::Parse("tensor 0: bad rows".into());
+        assert!(e.to_string().contains("invalid checkpoint"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Communication-cost accounting.
+//!
+//! Federated learning's dominant system cost is parameter exchange. This
+//! module computes the exact bytes a training run moves, per round and in
+//! total, from the model sizes and the selection schedule — the numbers a
+//! deployment would plan capacity around. All pFL approaches here exchange
+//! the same encoder, so the interesting differences are *what fraction* of
+//! the model each algorithm ships (e.g. LG-FedAvg ships only the head;
+//! FedAvg ships encoder + head).
+
+use calibre_tensor::nn::Module;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per scalar parameter on the wire (f32).
+pub const BYTES_PER_PARAM: usize = 4;
+
+/// Communication totals for one federated training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommReport {
+    /// Scalars exchanged per client per direction each round.
+    pub params_per_client: usize,
+    /// Bytes uploaded per round (all selected clients → server).
+    pub upload_per_round: usize,
+    /// Bytes downloaded per round (server → all selected clients).
+    pub download_per_round: usize,
+    /// Total bytes over the whole run (upload + download).
+    pub total: usize,
+    /// Number of rounds accounted.
+    pub rounds: usize,
+    /// Clients per round accounted.
+    pub clients_per_round: usize,
+}
+
+impl CommReport {
+    /// Builds a report for a run where every selected client exchanges
+    /// `params_per_client` scalars in each direction each round.
+    pub fn new(params_per_client: usize, rounds: usize, clients_per_round: usize) -> Self {
+        let per_direction = params_per_client * BYTES_PER_PARAM * clients_per_round;
+        CommReport {
+            params_per_client,
+            upload_per_round: per_direction,
+            download_per_round: per_direction,
+            total: 2 * per_direction * rounds,
+            rounds,
+            clients_per_round,
+        }
+    }
+
+    /// Builds a report from the module that is actually exchanged.
+    pub fn for_module<M: Module + ?Sized>(
+        module: &M,
+        rounds: usize,
+        clients_per_round: usize,
+    ) -> Self {
+        CommReport::new(module.num_scalars(), rounds, clients_per_round)
+    }
+
+    /// Total megabytes over the whole run.
+    pub fn total_megabytes(&self) -> f64 {
+        self.total as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for CommReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} params/client/direction, {:.2} MiB total over {} rounds × {} clients",
+            self.params_per_client,
+            self.total_megabytes(),
+            self.rounds,
+            self.clients_per_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::nn::{Activation, Mlp};
+    use calibre_tensor::rng;
+
+    #[test]
+    fn totals_scale_linearly() {
+        let a = CommReport::new(1000, 10, 5);
+        let b = CommReport::new(1000, 20, 5);
+        assert_eq!(b.total, 2 * a.total);
+        assert_eq!(a.upload_per_round, 1000 * 4 * 5);
+        assert_eq!(a.upload_per_round, a.download_per_round);
+    }
+
+    #[test]
+    fn module_report_uses_scalar_count() {
+        let mlp = Mlp::new(&[4, 3], Activation::Relu, &mut rng::seeded(0));
+        let report = CommReport::for_module(&mlp, 2, 3);
+        assert_eq!(report.params_per_client, 4 * 3 + 3);
+    }
+
+    #[test]
+    fn encoder_only_exchange_is_cheaper_than_full_model() {
+        let mut r = rng::seeded(1);
+        let encoder = Mlp::new(&[64, 96, 32], Activation::Relu, &mut r);
+        let full = Mlp::new(&[64, 96, 32, 10], Activation::Relu, &mut r);
+        let enc = CommReport::for_module(&encoder, 10, 5);
+        let all = CommReport::for_module(&full, 10, 5);
+        assert!(enc.total < all.total);
+    }
+
+    #[test]
+    fn display_mentions_megabytes() {
+        let report = CommReport::new(1 << 20, 1, 1);
+        assert!(report.to_string().contains("MiB"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Update compression: top-k sparsification and uniform quantization.
+//!
+//! Standard federated-learning bandwidth reducers. Both operate on the flat
+//! parameter-vector wire format ([`Module::to_flat`]) and are *lossy*; the
+//! tests and the `ablations` bench quantify the accuracy/bandwidth
+//! trade-off. Compression composes with any aggregation strategy because a
+//! decompressed update is again a plain flat vector.
+//!
+//! [`Module::to_flat`]: calibre_tensor::nn::Module::to_flat
+
+use serde::{Deserialize, Serialize};
+
+/// A sparsified update: the `k` largest-magnitude coordinates of a flat
+/// vector, stored as (index, value) pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseUpdate {
+    /// Length of the original dense vector.
+    pub dim: usize,
+    /// Indices of the retained coordinates (sorted ascending).
+    pub indices: Vec<u32>,
+    /// Values of the retained coordinates, parallel to `indices`.
+    pub values: Vec<f32>,
+}
+
+impl SparseUpdate {
+    /// Wire size in bytes (4 bytes per index + 4 per value).
+    pub fn wire_bytes(&self) -> usize {
+        self.indices.len() * 8
+    }
+
+    /// Reconstructs the dense vector (zeros at dropped coordinates).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+}
+
+/// Keeps the `k` largest-magnitude coordinates of `update`.
+///
+/// `k` is clamped to the vector length; `k == dim` is lossless.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the update is longer than `u32::MAX` scalars.
+pub fn top_k_sparsify(update: &[f32], k: usize) -> SparseUpdate {
+    assert!(k > 0, "k must be positive");
+    assert!(update.len() <= u32::MAX as usize, "update too large for u32 indices");
+    let k = k.min(update.len());
+    let mut order: Vec<usize> = (0..update.len()).collect();
+    order.sort_by(|&a, &b| {
+        update[b]
+            .abs()
+            .partial_cmp(&update[a].abs())
+            .expect("finite update values")
+    });
+    let mut kept: Vec<usize> = order[..k].to_vec();
+    kept.sort_unstable();
+    SparseUpdate {
+        dim: update.len(),
+        indices: kept.iter().map(|&i| i as u32).collect(),
+        values: kept.iter().map(|&i| update[i]).collect(),
+    }
+}
+
+/// A uniformly-quantized update: values mapped to `2^bits` levels across
+/// `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedUpdate {
+    /// Quantization resolution in bits (1..=8; levels are stored in a byte).
+    pub bits: u8,
+    /// Minimum of the original values.
+    pub min: f32,
+    /// Maximum of the original values.
+    pub max: f32,
+    /// One level per coordinate.
+    pub levels: Vec<u8>,
+}
+
+impl QuantizedUpdate {
+    /// Wire size in bytes: packed levels plus the two range floats.
+    pub fn wire_bytes(&self) -> usize {
+        // Levels are conceptually packed at `bits` per coordinate.
+        (self.levels.len() * self.bits as usize).div_ceil(8) + 8
+    }
+
+    /// Reconstructs the dense vector (each level maps to its bin center).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let levels = (1u32 << self.bits) - 1;
+        if levels == 0 || self.max <= self.min {
+            return vec![self.min; self.levels.len()];
+        }
+        let step = (self.max - self.min) / levels as f32;
+        self.levels
+            .iter()
+            .map(|&l| self.min + l as f32 * step)
+            .collect()
+    }
+}
+
+/// Quantizes a dense update to `bits` bits per coordinate.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 8, or any value is non-finite.
+pub fn quantize(update: &[f32], bits: u8) -> QuantizedUpdate {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8, got {bits}");
+    assert!(
+        update.iter().all(|v| v.is_finite()),
+        "cannot quantize non-finite values"
+    );
+    let min = update.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = update.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let (min, max) = if update.is_empty() { (0.0, 0.0) } else { (min, max) };
+    let levels = (1u32 << bits) - 1;
+    let scale = if max > min {
+        levels as f32 / (max - min)
+    } else {
+        0.0
+    };
+    QuantizedUpdate {
+        bits,
+        min,
+        max,
+        levels: update
+            .iter()
+            .map(|&v| (((v - min) * scale).round() as u32).min(levels) as u8)
+            .collect(),
+    }
+}
+
+/// Maximum absolute reconstruction error of a compressed update.
+pub fn reconstruction_error(original: &[f32], reconstructed: &[f32]) -> f32 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::rng;
+
+    fn random_update(n: usize, seed: u64) -> Vec<f32> {
+        rng::normal_vec(&mut rng::seeded(seed), n)
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let update = vec![0.1, -5.0, 0.3, 2.0, -0.2];
+        let sparse = top_k_sparsify(&update, 2);
+        assert_eq!(sparse.indices, vec![1, 3]);
+        assert_eq!(sparse.values, vec![-5.0, 2.0]);
+        let dense = sparse.to_dense();
+        assert_eq!(dense, vec![0.0, -5.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn full_k_is_lossless() {
+        let update = random_update(64, 1);
+        let sparse = top_k_sparsify(&update, 64);
+        assert_eq!(sparse.to_dense(), update);
+    }
+
+    #[test]
+    fn sparsification_error_decreases_with_k() {
+        let update = random_update(256, 2);
+        let mut last = f32::INFINITY;
+        for k in [8, 32, 128, 256] {
+            let err = reconstruction_error(&update, &top_k_sparsify(&update, k).to_dense());
+            assert!(err <= last + 1e-6, "k={k}: error {err} > previous {last}");
+            last = err;
+        }
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
+    fn top_k_wire_size_beats_dense_when_sparse_enough(){
+        let update = random_update(1000, 3);
+        let sparse = top_k_sparsify(&update, 100);
+        assert!(sparse.wire_bytes() < 1000 * 4);
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_is_bounded_by_half_step() {
+        let update = random_update(512, 4);
+        for bits in [2u8, 4, 8] {
+            let q = quantize(&update, bits);
+            let dense = q.to_dense();
+            let levels = (1u32 << bits) - 1;
+            let step = (q.max - q.min) / levels as f32;
+            let err = reconstruction_error(&update, &dense);
+            assert!(
+                err <= step / 2.0 + 1e-5,
+                "bits={bits}: error {err} exceeds half-step {}",
+                step / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let update = random_update(512, 5);
+        let e2 = reconstruction_error(&update, &quantize(&update, 2).to_dense());
+        let e8 = reconstruction_error(&update, &quantize(&update, 8).to_dense());
+        assert!(e8 < e2, "8-bit error {e8} should beat 2-bit {e2}");
+    }
+
+    #[test]
+    fn constant_vector_quantizes_exactly() {
+        let update = vec![3.5f32; 16];
+        let q = quantize(&update, 4);
+        assert_eq!(q.to_dense(), update);
+    }
+
+    #[test]
+    fn quantized_wire_size_is_bits_per_coordinate() {
+        let update = random_update(1000, 6);
+        let q = quantize(&update, 8);
+        assert_eq!(q.wire_bytes(), 1000 + 8);
+        let q4 = quantize(&update, 4);
+        assert_eq!(q4.wire_bytes(), 500 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=8")]
+    fn quantize_rejects_zero_bits() {
+        quantize(&[1.0], 0);
+    }
+
+    #[test]
+    fn quantized_aggregation_stays_close_to_exact() {
+        // Compress → decompress → aggregate should track exact aggregation.
+        use crate::aggregate::uniform_average;
+        let updates: Vec<Vec<f32>> = (0..5).map(|i| random_update(128, 10 + i)).collect();
+        let exact = uniform_average(&updates);
+        let compressed: Vec<Vec<f32>> = updates
+            .iter()
+            .map(|u| quantize(u, 8).to_dense())
+            .collect();
+        let approx = uniform_average(&compressed);
+        let err = reconstruction_error(&exact, &approx);
+        assert!(err < 0.05, "aggregated quantization error {err}");
+    }
+}

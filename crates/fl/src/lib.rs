@@ -1,0 +1,58 @@
+//! # calibre-fl
+//!
+//! Federated-learning runtime, aggregation strategies and the full baseline
+//! zoo used in the Calibre evaluation (ICDCS 2024).
+//!
+//! The crate provides:
+//!
+//! - the run configuration and client-selection schedule ([`FlConfig`]);
+//! - the supervised classifier model and its scoped local training
+//!   ([`model`]);
+//! - server aggregation primitives ([`aggregate`]), including the
+//!   divergence-weight transform Calibre's server uses;
+//! - the shared personalization stage ([`personalize`]) — frozen encoder +
+//!   10-epoch linear probe per client, exactly the paper's §V-A settings;
+//! - the pFL-SSL chassis ([`pfl_ssl`]) that turns any `calibre_ssl` method
+//!   into a personalized-FL approach;
+//! - every benchmark approach of the paper ([`baselines`]): FedAvg(-FT),
+//!   SCAFFOLD(-FT), FedRep, FedBABU, FedPer, LG-FedAvg, PerFedAvg, APFL,
+//!   Ditto, FedEMA and the local-only Script baselines;
+//! - parallel client execution ([`parallel`]) and fairness metrics
+//!   ([`metrics`]).
+//!
+//! # Example: FedAvg-FT on a tiny federation
+//!
+//! ```
+//! use calibre_data::{FederatedDataset, PartitionConfig, NonIid, SynthVisionSpec};
+//! use calibre_fl::{FlConfig, baselines::fedavg::run_fedavg};
+//!
+//! let fed = FederatedDataset::build(SynthVisionSpec::cifar10(), &PartitionConfig {
+//!     num_clients: 3, train_per_client: 30, test_per_client: 10,
+//!     unlabeled_per_client: 0, non_iid: NonIid::Iid, seed: 1,
+//! });
+//! let mut cfg = FlConfig::for_input(64);
+//! cfg.rounds = 2;
+//! cfg.clients_per_round = 2;
+//! let result = run_fedavg(&fed, &cfg, true);
+//! assert_eq!(result.seen.accuracies.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod baselines;
+pub mod checkpoint;
+pub mod comm;
+pub mod compress;
+mod config;
+pub mod metrics;
+pub mod model;
+pub mod parallel;
+pub mod personalize;
+pub mod pfl_ssl;
+pub mod secure;
+
+pub use config::FlConfig;
+pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};
+pub use personalize::{personalize_cohort, PersonalizationOutcome};

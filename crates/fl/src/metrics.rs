@@ -1,0 +1,368 @@
+//! Accuracy statistics: the paper's two headline numbers.
+//!
+//! Every experiment in the paper reports the **mean** of per-client test
+//! accuracies (overall performance) and their **variance** (fairness — lower
+//! is fairer, §III-A). [`Stats`] computes both plus the spread measures used
+//! in Table I (std) and the per-client extremes.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over per-client accuracies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of clients.
+    pub count: usize,
+    /// Mean accuracy in `[0, 1]`.
+    pub mean: f32,
+    /// Population variance of accuracies (the paper's fairness measure).
+    pub variance: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Worst client accuracy.
+    pub min: f32,
+    /// Best client accuracy.
+    pub max: f32,
+}
+
+impl Stats {
+    /// Computes statistics from per-client accuracies.
+    ///
+    /// Returns all-zero stats for an empty slice.
+    pub fn from_accuracies(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Stats {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f32;
+        let mean = values.iter().sum::<f32>() / n;
+        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        Stats {
+            count: values.len(),
+            mean,
+            variance,
+            std: variance.sqrt(),
+            min: values.iter().cloned().fold(f32::INFINITY, f32::min),
+            max: values.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        }
+    }
+
+    /// Mean accuracy in percent (paper-style `mean ± std` reporting).
+    pub fn mean_percent(&self) -> f32 {
+        self.mean * 100.0
+    }
+
+    /// Standard deviation in percentage points (Table I style).
+    pub fn std_percent(&self) -> f32 {
+        self.std * 100.0
+    }
+
+    /// Formats as the paper's `mean ± std` (percent).
+    pub fn paper_format(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean_percent(), self.std_percent())
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.4} var {:.4} (n={})",
+            self.mean, self.variance, self.count
+        )
+    }
+}
+
+/// Jain's fairness index over per-client accuracies, in `(0, 1]`.
+///
+/// `J = (Σa)² / (n · Σa²)`; 1 means perfectly uniform accuracies, `1/n`
+/// means all accuracy concentrated on one client. A standard complement to
+/// the paper's variance-based fairness measure.
+///
+/// Returns 0 for an empty slice or all-zero accuracies.
+pub fn jain_index(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = values.iter().sum();
+    let sum_sq: f32 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (values.len() as f32 * sum_sq)
+}
+
+/// Mean accuracy of the worst `fraction` of clients (e.g. 0.1 = worst
+/// decile) — the "how bad is it for the unluckiest clients" view of
+/// fairness.
+///
+/// At least one client is always included. Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn worst_fraction_mean(values: &[f32], fraction: f32) -> f32 {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite accuracies"));
+    let count = ((values.len() as f32 * fraction).ceil() as usize).max(1);
+    sorted[..count].iter().sum::<f32>() / count as f32
+}
+
+/// A multi-class confusion matrix (rows = actual class, columns =
+/// predicted class).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `num_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            counts: vec![vec![0; num_classes]; num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.counts.len(), "actual class {actual} out of range");
+        assert!(predicted < self.counts.len(), "predicted class {predicted} out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Builds a matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range classes.
+    pub fn from_predictions(actual: &[usize], predicted: &[usize], num_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "length mismatch");
+        let mut m = ConfusionMatrix::new(num_classes);
+        for (&a, &p) in actual.iter().zip(predicted) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (diagonal mass / total); 0 when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall; classes with no samples report 0.
+    pub fn per_class_recall(&self) -> Vec<f32> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    row[i] as f32 / total as f32
+                }
+            })
+            .collect()
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length samples, in
+/// `[-1, 1]`. Returns 0 when either side is constant or empty.
+///
+/// Used in the fairness analysis to relate per-client accuracy to client
+/// properties (e.g. local class count).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len() as f32;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mean_a = a.iter().sum::<f32>() / n;
+    let mean_b = b.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a) * (x - mean_a);
+        var_b += (y - mean_b) * (y - mean_b);
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_accuracy_and_recall() {
+        let actual = vec![0, 0, 1, 1, 2, 2];
+        let predicted = vec![0, 1, 1, 1, 2, 0];
+        let m = ConfusionMatrix::from_predictions(&actual, &predicted, 3);
+        assert_eq!(m.total(), 6);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-6);
+        let recall = m.per_class_recall();
+        assert!((recall[0] - 0.5).abs() < 1e-6);
+        assert!((recall[1] - 1.0).abs() < 1e-6);
+        assert!((recall[2] - 0.5).abs() < 1e-6);
+        assert_eq!(m.count(0, 1), 1);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_reports_zero() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.per_class_recall(), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_matrix_rejects_bad_class() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 5);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let neg: Vec<f32> = b.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn jain_index_is_one_for_uniform() {
+        assert!((jain_index(&[0.7, 0.7, 0.7]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jain_index_is_one_over_n_for_concentrated() {
+        let j = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jain_index_orders_fairness() {
+        let fair = jain_index(&[0.7, 0.72, 0.71]);
+        let unfair = jain_index(&[0.2, 0.9, 0.95]);
+        assert!(fair > unfair);
+    }
+
+    #[test]
+    fn jain_handles_degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn worst_fraction_selects_bottom() {
+        let v = [0.9, 0.1, 0.8, 0.2, 0.7];
+        assert!((worst_fraction_mean(&v, 0.4) - 0.15).abs() < 1e-6);
+        assert!((worst_fraction_mean(&v, 1.0) - 0.54).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_fraction_includes_at_least_one() {
+        assert_eq!(worst_fraction_mean(&[0.3, 0.9], 0.01), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn worst_fraction_rejects_zero() {
+        worst_fraction_mean(&[0.5], 0.0);
+    }
+
+    #[test]
+    fn uniform_accuracies_have_zero_variance() {
+        let s = Stats::from_accuracies(&[0.8, 0.8, 0.8]);
+        assert_eq!(s.mean, 0.8);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_accuracies(&[0.0, 1.0]);
+        assert_eq!(s.mean, 0.5);
+        assert!((s.variance - 0.25).abs() < 1e-7);
+        assert!((s.std - 0.5).abs() < 1e-7);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let s = Stats::from_accuracies(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn paper_format_is_percent() {
+        let s = Stats::from_accuracies(&[0.5, 0.7]);
+        assert_eq!(s.paper_format(), "60.00 ± 10.00");
+    }
+
+    #[test]
+    fn fairness_ordering_matches_intuition() {
+        let fair = Stats::from_accuracies(&[0.70, 0.72, 0.71, 0.69]);
+        let unfair = Stats::from_accuracies(&[0.95, 0.40, 0.90, 0.55]);
+        assert!(fair.variance < unfair.variance);
+    }
+}

@@ -1,0 +1,138 @@
+//! Parallel execution of independent client updates.
+//!
+//! Within a federated round the selected clients are independent, so their
+//! local updates run on crossbeam scoped threads. The helper preserves input
+//! order in its output, which the aggregation code relies on.
+
+use std::num::NonZeroUsize;
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// The closure receives the item by reference and must be `Sync`; results
+/// are collected in input order. Uses up to `available_parallelism` threads
+/// (capped by the item count); falls back to sequential execution for a
+/// single item.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 || items.len() == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk_size = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, (item_chunk, result_chunk)) in items
+            .chunks(chunk_size)
+            .zip(results.chunks_mut(chunk_size))
+            .enumerate()
+        {
+            let f = &f;
+            let _ = chunk_idx;
+            scope.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("client update thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its chunk thread"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but consumes the items — used when each client's
+/// persistent state (SSL networks, optimizers, queues) must move into its
+/// update closure and back out through the result.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 || items.len() == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
+    let chunk_size = slots.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots
+            .chunks_mut(chunk_size)
+            .zip(results.chunks_mut(chunk_size))
+        {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot.take().expect("slot filled before scope");
+                    *out = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("client update thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its chunk thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owned_variant_preserves_order_and_moves_items() {
+        let items: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let out = parallel_map_owned(items, |s| format!("x{s}"));
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[7], "x7");
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], |&i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..37).collect();
+        let _ = parallel_map(&items, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(counter.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    fn single_item_runs_sequentially() {
+        let out = parallel_map(&[41usize], |&i| i + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

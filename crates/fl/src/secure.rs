@@ -1,0 +1,182 @@
+//! Secure-aggregation simulation: pairwise additive masking.
+//!
+//! In the Bonawitz et al. (CCS 2017) protocol, every pair of clients agrees
+//! on a shared random mask; one adds it, the other subtracts it, so the
+//! server's *sum* is exact while any individual masked update is
+//! statistically indistinguishable from noise. This module simulates that
+//! arithmetic (key agreement is out of scope — pair seeds are derived from
+//! a shared round seed), which is enough to verify that the aggregation
+//! paths of this workspace are compatible with masked inputs: FedAvg-style
+//! averaging only ever needs the weighted sum.
+
+use calibre_tensor::rng;
+
+/// Derives the mask shared by the client pair `(a, b)` for a round.
+fn pair_mask(round_seed: u64, a: usize, b: usize, dim: usize) -> Vec<f32> {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let seed = round_seed
+        ^ (lo as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (hi as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    rng::normal_vec(&mut rng::seeded(seed), dim)
+}
+
+/// Masks one client's update with the pairwise masks of its cohort.
+///
+/// `client` must be a member of `cohort`; all cohort members must call this
+/// with the same `round_seed` and cohort for the masks to cancel.
+///
+/// # Panics
+///
+/// Panics if `client` is not in `cohort` or appears more than once.
+pub fn mask_update(
+    update: &[f32],
+    client: usize,
+    cohort: &[usize],
+    round_seed: u64,
+) -> Vec<f32> {
+    let occurrences = cohort.iter().filter(|&&c| c == client).count();
+    assert_eq!(occurrences, 1, "client {client} must appear exactly once in the cohort");
+    let mut masked = update.to_vec();
+    for &other in cohort {
+        if other == client {
+            continue;
+        }
+        let mask = pair_mask(round_seed, client, other, update.len());
+        // The lower id adds, the higher id subtracts: antisymmetric, so the
+        // pair's contributions cancel in the sum.
+        let sign = if client < other { 1.0 } else { -1.0 };
+        for (m, &v) in masked.iter_mut().zip(&mask) {
+            *m += sign * v;
+        }
+    }
+    masked
+}
+
+/// Sums masked updates — the only operation the server can perform.
+///
+/// If every cohort member contributed exactly once, the pairwise masks
+/// cancel and the result equals the sum of the plaintext updates.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths differ.
+pub fn aggregate_masked(updates: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero masked updates");
+    let dim = updates[0].len();
+    let mut sum = vec![0.0f32; dim];
+    for u in updates {
+        assert_eq!(u.len(), dim, "masked update length mismatch");
+        for (s, &v) in sum.iter_mut().zip(u) {
+            *s += v;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_sum(updates: &[Vec<f32>]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; updates[0].len()];
+        for u in updates {
+            for (s, &v) in sum.iter_mut().zip(u) {
+                *s += v;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn masks_cancel_in_the_sum() {
+        let cohort = vec![3usize, 7, 11, 20];
+        let dim = 64;
+        let updates: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| rng::normal_vec(&mut rng::seeded(c as u64), dim))
+            .collect();
+        let masked: Vec<Vec<f32>> = cohort
+            .iter()
+            .zip(&updates)
+            .map(|(&c, u)| mask_update(u, c, &cohort, 99))
+            .collect();
+        let secure = aggregate_masked(&masked);
+        let plain = plain_sum(&updates);
+        for (s, p) in secure.iter().zip(&plain) {
+            assert!((s - p).abs() < 1e-3, "masked sum {s} vs plain {p}");
+        }
+    }
+
+    #[test]
+    fn individual_masked_update_hides_the_plaintext() {
+        let cohort = vec![0usize, 1, 2, 3, 4, 5, 6, 7];
+        let dim = 256;
+        let update = vec![0.0f32; dim]; // all-zero plaintext
+        let masked = mask_update(&update, 3, &cohort, 7);
+        // The mask contribution should dominate: a zero update becomes
+        // something with variance ≈ (cohort-1) after masking.
+        let energy: f32 = masked.iter().map(|v| v * v).sum::<f32>() / dim as f32;
+        assert!(energy > 1.0, "masked zero-update energy {energy} too small");
+    }
+
+    #[test]
+    fn two_client_masks_are_antisymmetric() {
+        let cohort = vec![4usize, 9];
+        let zeros = vec![0.0f32; 16];
+        let a = mask_update(&zeros, 4, &cohort, 1);
+        let b = mask_update(&zeros, 9, &cohort, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x + y).abs() < 1e-6, "pair masks must cancel: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn masking_is_deterministic_per_round_seed() {
+        let cohort = vec![1usize, 2, 3];
+        let update = vec![1.0f32; 8];
+        assert_eq!(
+            mask_update(&update, 2, &cohort, 5),
+            mask_update(&update, 2, &cohort, 5)
+        );
+        assert_ne!(
+            mask_update(&update, 2, &cohort, 5),
+            mask_update(&update, 2, &cohort, 6),
+            "different rounds must use different masks"
+        );
+    }
+
+    #[test]
+    fn single_client_cohort_is_a_no_op() {
+        let update = vec![1.0, -2.0, 3.0];
+        assert_eq!(mask_update(&update, 5, &[5], 0), update);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn client_outside_cohort_is_rejected() {
+        mask_update(&[1.0], 9, &[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn secure_mean_matches_fedavg_mean() {
+        // End-to-end: the server computes the mean from masked updates and
+        // matches the plain FedAvg uniform average.
+        use crate::aggregate::uniform_average;
+        let cohort = vec![10usize, 11, 12];
+        let updates: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| rng::normal_vec(&mut rng::seeded(100 + c as u64), 32))
+            .collect();
+        let masked: Vec<Vec<f32>> = cohort
+            .iter()
+            .zip(&updates)
+            .map(|(&c, u)| mask_update(u, c, &cohort, 42))
+            .collect();
+        let sum = aggregate_masked(&masked);
+        let secure_mean: Vec<f32> = sum.iter().map(|v| v / cohort.len() as f32).collect();
+        let plain_mean = uniform_average(&updates);
+        for (s, p) in secure_mean.iter().zip(&plain_mean) {
+            assert!((s - p).abs() < 1e-4);
+        }
+    }
+}

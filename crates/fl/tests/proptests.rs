@@ -1,0 +1,117 @@
+//! Property-based tests for aggregation, metrics and checkpoint invariants.
+
+use calibre_fl::aggregate::{
+    divergence_weights, sample_count_weights, uniform_average, weighted_average,
+};
+use calibre_fl::checkpoint;
+use calibre_fl::comm::CommReport;
+use calibre_fl::{jain_index, worst_fraction_mean, Stats};
+use calibre_tensor::nn::{Activation, Mlp, Module};
+use calibre_tensor::rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn weighted_average_is_within_input_hull(
+        updates in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 1..6),
+        weights in prop::collection::vec(0.0f32..5.0, 6),
+    ) {
+        let weights = &weights[..updates.len()];
+        let avg = weighted_average(&updates, weights);
+        for (j, v) in avg.iter().enumerate() {
+            let lo = updates.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
+            let hi = updates.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(*v >= lo - 1e-4 && *v <= hi + 1e-4, "coord {j}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn uniform_average_of_identical_updates_is_identity(
+        update in prop::collection::vec(-10.0f32..10.0, 8),
+        copies in 1usize..6,
+    ) {
+        let updates = vec![update.clone(); copies];
+        let avg = uniform_average(&updates);
+        for (a, b) in avg.iter().zip(update.iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn aggregation_is_permutation_invariant(
+        a in prop::collection::vec(-5.0f32..5.0, 4),
+        b in prop::collection::vec(-5.0f32..5.0, 4),
+        c in prop::collection::vec(-5.0f32..5.0, 4),
+        wa in 0.1f32..3.0, wb in 0.1f32..3.0, wc in 0.1f32..3.0,
+    ) {
+        let fwd = weighted_average(&[a.clone(), b.clone(), c.clone()], &[wa, wb, wc]);
+        let rev = weighted_average(&[c, b, a], &[wc, wb, wa]);
+        for (x, y) in fwd.iter().zip(rev.iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn divergence_weights_are_positive_and_antitone(divs in prop::collection::vec(0.0f32..10.0, 2..10)) {
+        let w = divergence_weights(&divs);
+        prop_assert!(w.iter().all(|&v| v > 0.0 && v.is_finite()));
+        for i in 0..divs.len() {
+            for j in 0..divs.len() {
+                if divs[i] < divs[j] {
+                    prop_assert!(w[i] >= w[j], "lower divergence must not get less weight");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_mean_is_within_min_max(values in prop::collection::vec(0.0f32..1.0, 1..30)) {
+        let s = Stats::from_accuracies(&values);
+        prop_assert!(s.mean >= s.min - 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert!((s.std * s.std - s.variance).abs() < 1e-4);
+    }
+
+    #[test]
+    fn jain_index_bounds(values in prop::collection::vec(0.01f32..1.0, 1..30)) {
+        let j = jain_index(&values);
+        let n = values.len() as f32;
+        prop_assert!(j >= 1.0 / n - 1e-5 && j <= 1.0 + 1e-5, "jain {j} for n={n}");
+    }
+
+    #[test]
+    fn worst_fraction_is_a_lower_bound_on_mean(values in prop::collection::vec(0.0f32..1.0, 1..30)) {
+        let s = Stats::from_accuracies(&values);
+        let w = worst_fraction_mean(&values, 0.2);
+        prop_assert!(w <= s.mean + 1e-5);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_any_architecture(
+        hidden in 1usize..12,
+        output in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut r = rng::seeded(seed);
+        let original = Mlp::new(&[5, hidden, output], Activation::Relu, &mut r);
+        let tensors = checkpoint::parse(&checkpoint::to_string(&original)).unwrap();
+        let mut restored = Mlp::new(&[5, hidden, output], Activation::Relu, &mut r);
+        checkpoint::restore(&mut restored, &tensors).unwrap();
+        prop_assert_eq!(restored.to_flat(), original.to_flat());
+    }
+
+    #[test]
+    fn comm_report_is_consistent(params in 1usize..100_000, rounds in 1usize..300, clients in 1usize..50) {
+        let report = CommReport::new(params, rounds, clients);
+        prop_assert_eq!(report.total, 2 * report.upload_per_round * rounds);
+        prop_assert_eq!(report.upload_per_round, params * 4 * clients);
+    }
+}
+
+#[test]
+fn sample_count_weights_preserve_ratios() {
+    let w = sample_count_weights(&[5, 10, 0]);
+    assert_eq!(w, vec![5.0, 10.0, 0.0]);
+}

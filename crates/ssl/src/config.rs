@@ -1,0 +1,125 @@
+//! Shared architecture/hyperparameter configuration for the SSL methods.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture and hyperparameters shared by all SSL methods.
+///
+/// The paper uses a ResNet-18 encoder with 512-d representations; this
+/// reproduction substitutes an MLP encoder (DESIGN.md §2). Dimensions are
+/// scaled down accordingly, but every method reads them from here so all
+/// comparisons stay architecture-matched — the same fairness discipline the
+/// paper applies ("the fully-connected layers of both networks are
+/// substituted with a linear classifier").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SslConfig {
+    /// Observation dimensionality (encoder input width).
+    pub input_dim: usize,
+    /// Encoder hidden widths; the last entry is the representation width
+    /// (the paper's 512, scaled down).
+    pub encoder_dims: Vec<usize>,
+    /// Projector hidden width.
+    pub projection_hidden: usize,
+    /// Projector output width (contrastive space).
+    pub projection_dim: usize,
+    /// Predictor hidden width (BYOL / SimSiam).
+    pub prediction_hidden: usize,
+    /// Softmax temperature for contrastive losses (`τ`, 0.5 in SimCLR).
+    pub tau: f32,
+    /// EMA momentum for target/key encoders (BYOL / MoCoV2).
+    pub ema_momentum: f32,
+    /// Negative-queue length (MoCoV2).
+    pub queue_size: usize,
+    /// Number of learnable prototypes (SwAV) / groups (SMoG).
+    pub num_prototypes: usize,
+    /// Sinkhorn entropy regularizer (SwAV).
+    pub sinkhorn_epsilon: f32,
+    /// Sinkhorn iterations (SwAV).
+    pub sinkhorn_iterations: usize,
+    /// Group-update momentum (SMoG).
+    pub group_momentum: f32,
+    /// Steps between SMoG group resets (fresh KMeans over recent features).
+    pub group_reset_interval: usize,
+    /// Seed for parameter initialization.
+    pub seed: u64,
+}
+
+impl SslConfig {
+    /// Default configuration for a given observation width.
+    pub fn for_input(input_dim: usize) -> Self {
+        SslConfig {
+            input_dim,
+            encoder_dims: vec![96, 32],
+            projection_hidden: 32,
+            projection_dim: 16,
+            prediction_hidden: 16,
+            tau: 0.5,
+            ema_momentum: 0.99,
+            queue_size: 256,
+            num_prototypes: 10,
+            sinkhorn_epsilon: 0.05,
+            sinkhorn_iterations: 3,
+            group_momentum: 0.99,
+            group_reset_interval: 50,
+            seed: 0,
+        }
+    }
+
+    /// Representation width (encoder output; the personalized head's input).
+    pub fn repr_dim(&self) -> usize {
+        *self
+            .encoder_dims
+            .last()
+            .expect("encoder needs at least one layer width")
+    }
+
+    /// Full encoder layer dimensions including the input width.
+    pub fn encoder_layer_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.encoder_dims.len() + 1);
+        dims.push(self.input_dim);
+        dims.extend_from_slice(&self.encoder_dims);
+        dims
+    }
+
+    /// Projector layer dimensions (`repr → hidden → projection`).
+    pub fn projector_layer_dims(&self) -> Vec<usize> {
+        vec![self.repr_dim(), self.projection_hidden, self.projection_dim]
+    }
+
+    /// Predictor layer dimensions (`projection → hidden → projection`).
+    pub fn predictor_layer_dims(&self) -> Vec<usize> {
+        vec![
+            self.projection_dim,
+            self.prediction_hidden,
+            self.projection_dim,
+        ]
+    }
+
+    /// Returns a copy with a different seed (used to give every federated
+    /// client an independently-initialized local model where appropriate).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_dims_are_consistent() {
+        let cfg = SslConfig::for_input(64);
+        assert_eq!(cfg.encoder_layer_dims(), vec![64, 96, 32]);
+        assert_eq!(cfg.repr_dim(), 32);
+        assert_eq!(cfg.projector_layer_dims(), vec![32, 32, 16]);
+        assert_eq!(cfg.predictor_layer_dims(), vec![16, 16, 16]);
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let a = SslConfig::for_input(64);
+        let b = a.clone().with_seed(99);
+        assert_eq!(a.encoder_dims, b.encoder_dims);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,259 @@
+//! Differentiable loss primitives shared by the SSL methods and Calibre's
+//! prototype regularizers.
+//!
+//! - [`nt_xent`]: the normalized-temperature cross-entropy of SimCLR
+//!   (Chen et al., 2020) — also reused by Calibre's `L_p` regularizer on
+//!   prototype pairs (Algorithm 1, line 12).
+//! - [`neg_cosine`]: negative cosine similarity, the BYOL/SimSiam objective.
+//! - [`sinkhorn`]: the Sinkhorn-Knopp balanced-assignment iteration of SwAV,
+//!   computed on detached score matrices.
+
+use calibre_tensor::{Graph, Matrix, Node};
+
+/// NT-Xent (InfoNCE) loss over two aligned views.
+///
+/// `h_e` and `h_o` are `(N, d)` projection nodes where row `i` of each is a
+/// view of the same underlying sample. Rows are L2-normalized internally;
+/// similarities are scaled by `1/tau`; self-similarity is masked out; each
+/// row's positive is its partner row in the other view.
+///
+/// Returns a scalar loss node.
+///
+/// # Panics
+///
+/// Panics if the two views have different shapes or fewer than 2 rows
+/// (a contrastive loss needs at least one negative).
+pub fn nt_xent(g: &mut Graph, h_e: Node, h_o: Node, tau: f32) -> Node {
+    let (n, d) = g.value(h_e).shape();
+    assert_eq!(g.value(h_o).shape(), (n, d), "view shape mismatch");
+    assert!(n >= 2, "NT-Xent needs at least 2 samples, got {n}");
+    let h = g.concat_rows(h_e, h_o);
+    let hn = g.row_l2_normalize(h);
+    let hnt = g.transpose(hn);
+    let sims = g.matmul(hn, hnt);
+    let scaled = g.scale(sims, 1.0 / tau);
+    let masked = g.mask_diagonal(scaled, -1e9);
+    // Row i's positive is row i+N; row N+i's positive is row i.
+    let targets: Vec<usize> = (0..2 * n).map(|i| (i + n) % (2 * n)).collect();
+    g.cross_entropy(masked, &targets)
+}
+
+/// Negative mean cosine similarity between aligned rows of `p` and `t`
+/// (both L2-normalized internally). Standard BYOL/SimSiam objective; the
+/// caller is responsible for detaching / EMA-copying `t`.
+///
+/// Returns a scalar loss node in `[-1, 1]` (lower is better).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn neg_cosine(g: &mut Graph, p: Node, t: Node) -> Node {
+    assert_eq!(
+        g.value(p).shape(),
+        g.value(t).shape(),
+        "neg_cosine shape mismatch"
+    );
+    let pn = g.row_l2_normalize(p);
+    let tn = g.row_l2_normalize(t);
+    let dots = g.rowwise_dot(pn, tn);
+    let mean = g.mean_all(dots);
+    g.scale(mean, -1.0)
+}
+
+/// Sinkhorn-Knopp balanced assignment (SwAV, Caron et al. 2020).
+///
+/// Given a detached score matrix `(N, K)`, returns soft assignments `Q` of
+/// the same shape whose rows sum to 1 and whose columns are (approximately)
+/// balanced at `N/K` mass each.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or `iterations == 0`.
+pub fn sinkhorn(scores: &Matrix, epsilon: f32, iterations: usize) -> Matrix {
+    assert!(scores.rows() > 0 && scores.cols() > 0, "empty score matrix");
+    assert!(iterations > 0, "need at least one Sinkhorn iteration");
+    let (n, k) = scores.shape();
+    // Stabilize per row: Sinkhorn's row-normalization step absorbs any
+    // per-row multiplicative factor, so subtracting each row's max is
+    // semantics-preserving and prevents whole rows underflowing to zero
+    // when epsilon is small.
+    let mut q = scores.clone();
+    for r in 0..n {
+        let row_max = q.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in q.row_mut(r) {
+            *v = ((*v - row_max) / epsilon).exp();
+        }
+    }
+
+    for _ in 0..iterations {
+        // Normalize columns to total 1/K.
+        for c in 0..k {
+            let sum: f32 = (0..n).map(|r| q.get(r, c)).sum();
+            if sum > 1e-12 {
+                let scale = 1.0 / (k as f32 * sum);
+                for r in 0..n {
+                    q.set(r, c, q.get(r, c) * scale);
+                }
+            }
+        }
+        // Normalize rows to total 1/N.
+        for r in 0..n {
+            let sum: f32 = q.row(r).iter().sum();
+            if sum > 1e-12 {
+                let scale = 1.0 / (n as f32 * sum);
+                for v in q.row_mut(r) {
+                    *v *= scale;
+                }
+            }
+        }
+    }
+    // Return per-row distributions (multiply by N).
+    q.scale(n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    #[test]
+    fn nt_xent_lower_for_aligned_views() {
+        let mut r = seeded(1);
+        let base = normal_matrix(&mut r, 8, 16, 1.0);
+        // Aligned: both views nearly identical per row.
+        let mut g = Graph::new();
+        let a = g.constant(base.clone());
+        let b = g.constant(base.map(|v| v + 0.01));
+        let aligned = nt_xent(&mut g, a, b, 0.5);
+        let aligned_val = g.value(aligned).get(0, 0);
+
+        // Misaligned: second view is unrelated noise.
+        let noise = normal_matrix(&mut r, 8, 16, 1.0);
+        let mut g2 = Graph::new();
+        let a2 = g2.constant(base);
+        let b2 = g2.constant(noise);
+        let misaligned = nt_xent(&mut g2, a2, b2, 0.5);
+        let misaligned_val = g2.value(misaligned).get(0, 0);
+
+        assert!(
+            aligned_val < misaligned_val,
+            "aligned {aligned_val} should beat misaligned {misaligned_val}"
+        );
+    }
+
+    #[test]
+    fn nt_xent_gradient_pulls_views_together() {
+        let mut r = seeded(2);
+        let e = normal_matrix(&mut r, 4, 8, 1.0);
+        let o = normal_matrix(&mut r, 4, 8, 1.0);
+        let mut g = Graph::new();
+        let en = g.leaf(e.clone());
+        let on = g.constant(o.clone());
+        let loss = nt_xent(&mut g, en, on, 0.5);
+        g.backward(loss);
+        let grad = g.grad(en).unwrap();
+        // A gradient step must reduce the loss.
+        let stepped = e.add(&grad.scale(-0.5));
+        let mut g2 = Graph::new();
+        let en2 = g2.constant(stepped);
+        let on2 = g2.constant(o);
+        let loss2 = nt_xent(&mut g2, en2, on2, 0.5);
+        assert!(g2.value(loss2).get(0, 0) < g.value(loss).get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn nt_xent_rejects_single_sample() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::zeros(1, 4));
+        let b = g.constant(Matrix::zeros(1, 4));
+        nt_xent(&mut g, a, b, 0.5);
+    }
+
+    #[test]
+    fn neg_cosine_is_minus_one_for_identical_rows() {
+        let mut r = seeded(3);
+        let x = normal_matrix(&mut r, 5, 7, 1.0);
+        let mut g = Graph::new();
+        let a = g.constant(x.clone());
+        let b = g.constant(x);
+        let loss = neg_cosine(&mut g, a, b);
+        assert!((g.value(loss).get(0, 0) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neg_cosine_is_plus_one_for_opposite_rows() {
+        let mut r = seeded(4);
+        let x = normal_matrix(&mut r, 5, 7, 1.0);
+        let mut g = Graph::new();
+        let a = g.constant(x.clone());
+        let b = g.constant(x.scale(-1.0));
+        let loss = neg_cosine(&mut g, a, b);
+        assert!((g.value(loss).get(0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neg_cosine_gradient_aligns_predictor() {
+        let mut r = seeded(5);
+        let p = normal_matrix(&mut r, 6, 4, 1.0);
+        let t = normal_matrix(&mut r, 6, 4, 1.0);
+        let mut g = Graph::new();
+        let pn = g.leaf(p.clone());
+        let tn = g.constant(t.clone());
+        let loss = neg_cosine(&mut g, pn, tn);
+        g.backward(loss);
+        let stepped = p.add(&g.grad(pn).unwrap().scale(-1.0));
+        let mut g2 = Graph::new();
+        let pn2 = g2.constant(stepped);
+        let tn2 = g2.constant(t);
+        let loss2 = neg_cosine(&mut g2, pn2, tn2);
+        assert!(g2.value(loss2).get(0, 0) < g.value(loss).get(0, 0));
+    }
+
+    #[test]
+    fn sinkhorn_rows_are_distributions() {
+        let mut r = seeded(6);
+        let scores = normal_matrix(&mut r, 12, 4, 1.0);
+        let q = sinkhorn(&scores, 0.05, 3);
+        for row in 0..12 {
+            let sum: f32 = q.row(row).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "row {row} sums to {sum}");
+            assert!(q.row(row).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sinkhorn_balances_columns() {
+        let mut r = seeded(7);
+        // Scores biased toward column 0 (cosine-similarity scale, as in SwAV).
+        let scores = normal_matrix(&mut r, 20, 4, 0.1)
+            .add_row_vec(&Matrix::row_vector(&[1.0, 0.0, 0.0, 0.0]));
+        let q = sinkhorn(&scores, 0.5, 10);
+        // Column masses should approach N/K = 5 despite the bias.
+        for c in 0..4 {
+            let mass: f32 = (0..20).map(|r_| q.get(r_, c)).sum();
+            assert!((mass - 5.0).abs() < 1.0, "column {c} mass {mass}");
+        }
+    }
+
+    #[test]
+    fn sinkhorn_prefers_high_scores() {
+        // With mild balancing, each row's argmax should follow its score.
+        let scores = Matrix::from_rows(&[
+            vec![4.0, 0.0, 0.0],
+            vec![0.0, 4.0, 0.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
+        let q = sinkhorn(&scores, 0.1, 3);
+        for i in 0..3 {
+            let row = q.row(i);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax, i);
+        }
+    }
+}

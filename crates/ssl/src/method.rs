@@ -1,0 +1,149 @@
+//! The [`SslMethod`] trait: a uniform interface over SimCLR, BYOL, SimSiam,
+//! MoCoV2, SwAV and SMoG.
+//!
+//! The interface is deliberately split into *graph construction*
+//! ([`SslMethod::build_graph`]) and *parameter update* ([`ssl_step`]):
+//! Calibre hooks in between the two, extending the method's loss graph with
+//! its prototype regularizers before `backward` runs. This is exactly the
+//! structure of Algorithm 1 in the paper, where `l_s` "depends on which SSL
+//! approach is used".
+
+use crate::SslConfig;
+use calibre_tensor::nn::{gradients, Binding, Mlp, Module};
+use calibre_tensor::optim::Sgd;
+use calibre_tensor::{Graph, Matrix, Node};
+
+/// A two-view augmented batch (`I_e`, `I_o` in Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct TwoViewBatch<'a> {
+    /// First augmented view, `(N, input_dim)`.
+    pub view_e: &'a Matrix,
+    /// Second augmented view, `(N, input_dim)`.
+    pub view_o: &'a Matrix,
+}
+
+impl<'a> TwoViewBatch<'a> {
+    /// Creates a batch, validating that views are aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the views have different shapes.
+    pub fn new(view_e: &'a Matrix, view_o: &'a Matrix) -> Self {
+        assert_eq!(view_e.shape(), view_o.shape(), "views must be aligned");
+        TwoViewBatch { view_e, view_o }
+    }
+
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.view_e.rows()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view_e.rows() == 0
+    }
+}
+
+/// The loss graph a method built for one two-view batch.
+///
+/// Exposes the intermediate nodes Calibre's regularizers need: encoder
+/// outputs `z` and projector outputs `h` for both views, plus the method's
+/// own loss `l_s`.
+#[derive(Debug)]
+pub struct SslGraph {
+    /// The autograd tape.
+    pub graph: Graph,
+    /// Trainable-parameter leaves, in the same order as
+    /// [`Module::parameters`] of the method.
+    pub binding: Binding,
+    /// Encoder output for view e, `(N, repr_dim)`.
+    pub z_e: Node,
+    /// Encoder output for view o, `(N, repr_dim)`.
+    pub z_o: Node,
+    /// Projector output for view e, `(N, projection_dim)`.
+    pub h_e: Node,
+    /// Projector output for view o, `(N, projection_dim)`.
+    pub h_o: Node,
+    /// The method's own SSL loss `l_s` (scalar node).
+    pub ssl_loss: Node,
+    /// Method-specific side data consumed by `post_step` (e.g. MoCo keys,
+    /// SMoG assignments).
+    pub aux: Vec<Matrix>,
+}
+
+/// A self-supervised learning method with a two-view objective.
+///
+/// Implementors are [`Module`]s whose parameter order matches the binding
+/// produced by [`SslMethod::build_graph`]; [`ssl_step`] relies on this to
+/// route gradients.
+pub trait SslMethod: Module + Send {
+    /// Method name as used in the paper's tables (e.g. `"SimCLR"`).
+    fn name(&self) -> &'static str;
+
+    /// The shared configuration.
+    fn config(&self) -> &SslConfig;
+
+    /// The encoder backbone (the *global model* exchanged in federated
+    /// training).
+    fn encoder(&self) -> &Mlp;
+
+    /// Mutable encoder access (the federated runtime overwrites this with
+    /// the aggregated global encoder at the start of each round).
+    fn encoder_mut(&mut self) -> &mut Mlp;
+
+    /// Builds the loss graph for one batch without updating any state.
+    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph;
+
+    /// Post-gradient bookkeeping: EMA target updates, negative-queue pushes,
+    /// prototype renormalization, group refreshes. Called by [`ssl_step`]
+    /// after the optimizer update.
+    fn post_step(&mut self, ssl_graph: &SslGraph);
+}
+
+/// Runs one full SSL optimization step: build graph → backward on `l_s` →
+/// SGD update → method bookkeeping. Returns the loss value.
+///
+/// Calibre does *not* use this function — it builds on
+/// [`SslMethod::build_graph`] directly and backpropagates its augmented
+/// loss instead (see the `calibre` crate).
+pub fn ssl_step<M: SslMethod + ?Sized>(
+    method: &mut M,
+    batch: &TwoViewBatch<'_>,
+    opt: &mut Sgd,
+) -> f32 {
+    let mut ssl_graph = method.build_graph(batch);
+    let loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
+    ssl_graph.graph.backward(ssl_graph.ssl_loss);
+    let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
+    opt.step(method, &grads);
+    method.post_step(&ssl_graph);
+    loss_value
+}
+
+/// Extracts frozen features from a method's encoder (inference path, no
+/// gradients). This is the personalization-stage feature extractor.
+pub fn extract_features<M: SslMethod + ?Sized>(method: &M, observations: &Matrix) -> Matrix {
+    method.encoder().infer(observations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "views must be aligned")]
+    fn batch_rejects_mismatched_views() {
+        let a = Matrix::zeros(2, 4);
+        let b = Matrix::zeros(3, 4);
+        TwoViewBatch::new(&a, &b);
+    }
+
+    #[test]
+    fn batch_len_reports_rows() {
+        let a = Matrix::zeros(5, 4);
+        let b = Matrix::zeros(5, 4);
+        let batch = TwoViewBatch::new(&a, &b);
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+    }
+}

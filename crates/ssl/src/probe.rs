@@ -1,0 +1,202 @@
+//! Linear probing: train a linear classifier on frozen features.
+//!
+//! This is the paper's entire personalization stage — "the utilization of a
+//! lightweight personalized model, specifically a linear classifier, would
+//! be sufficient" (§I). Every client runs exactly this on features extracted
+//! by the frozen global encoder: 10 epochs of SGD, lr 0.05, batch size 32
+//! (§V-A, learning settings).
+
+use calibre_data::batch::batches;
+use calibre_tensor::nn::{gradients, Binding, Linear};
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::{rng, Graph, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the linear probe (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// Training epochs (10 in the paper).
+    pub epochs: usize,
+    /// SGD learning rate (0.05 in the paper).
+    pub lr: f32,
+    /// Mini-batch size (32 in the paper).
+    pub batch_size: usize,
+    /// Shuffling/initialization seed.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            epochs: 10,
+            lr: 0.05,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains a linear head on frozen `features` with cross-entropy.
+///
+/// Returns the trained head.
+///
+/// # Panics
+///
+/// Panics if `features` is empty, or label/feature counts disagree, or any
+/// label is `>= num_classes`.
+pub fn train_linear_probe(
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    config: &ProbeConfig,
+) -> Linear {
+    let mut rng_ = rng::seeded(config.seed);
+    let head = Linear::new(features.cols(), num_classes, &mut rng_);
+    train_linear_probe_from(head, features, labels, num_classes, config)
+}
+
+/// Trains a linear head starting from an existing head (fine-tuning — the
+/// `-FT` evaluation mode of FedAvg-FT / SCAFFOLD-FT, and the local-head
+/// refinement of FedRep / FedPer).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`train_linear_probe`], or if the
+/// initial head's shape does not match `(features.cols(), num_classes)`.
+pub fn train_linear_probe_from(
+    mut head: Linear,
+    features: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    config: &ProbeConfig,
+) -> Linear {
+    assert!(features.rows() > 0, "cannot probe zero samples");
+    assert_eq!(features.rows(), labels.len(), "one label per feature row");
+    assert!(
+        labels.iter().all(|&l| l < num_classes),
+        "labels must be < num_classes"
+    );
+    assert_eq!(head.input_dim(), features.cols(), "head input width mismatch");
+    assert_eq!(head.output_dim(), num_classes, "head output width mismatch");
+    let mut rng_ = rng::seeded(config.seed);
+    let mut opt = Sgd::new(SgdConfig::with_lr(config.lr));
+
+    for _ in 0..config.epochs {
+        for batch in batches(features.rows(), config.batch_size, false, &mut rng_) {
+            let x = features.gather_rows(&batch);
+            let y: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+            let mut g = Graph::new();
+            let xn = g.constant(x);
+            let mut binding = Binding::new();
+            let logits = head.forward(&mut g, xn, &mut binding);
+            let loss = g.cross_entropy(logits, &y);
+            g.backward(loss);
+            let grads = gradients(&g, &binding);
+            opt.step(&mut head, &grads);
+        }
+    }
+    head
+}
+
+/// Classification accuracy of a linear head on frozen features.
+///
+/// Returns a value in `[0, 1]`; returns 0 for an empty test set.
+///
+/// # Panics
+///
+/// Panics if label/feature counts disagree.
+pub fn probe_accuracy(head: &Linear, features: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(features.rows(), labels.len(), "one label per feature row");
+    if features.rows() == 0 {
+        return 0.0;
+    }
+    let logits = head.infer(features);
+    let correct = (0..logits.rows())
+        .filter(|&r| {
+            let row = logits.row(r);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty row");
+            pred == labels[r]
+        })
+        .count();
+    correct as f32 / features.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_tensor::nn::Module;
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    /// Linearly separable two-class features.
+    fn separable(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut r = seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..2 {
+            let noise = normal_matrix(&mut r, n_per, 4, 0.3);
+            for i in 0..n_per {
+                let mut row: Vec<f32> = noise.row(i).to_vec();
+                row[0] += if class == 0 { -2.0 } else { 2.0 };
+                rows.push(row);
+                labels.push(class);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn probe_learns_separable_data() {
+        let (x, y) = separable(40, 1);
+        let head = train_linear_probe(&x, &y, 2, &ProbeConfig::default());
+        let acc = probe_accuracy(&head, &x, &y);
+        assert!(acc > 0.95, "train accuracy {acc} on separable data");
+    }
+
+    #[test]
+    fn probe_generalizes_to_fresh_samples() {
+        let (x_train, y_train) = separable(40, 2);
+        let (x_test, y_test) = separable(20, 3);
+        let head = train_linear_probe(&x_train, &y_train, 2, &ProbeConfig::default());
+        let acc = probe_accuracy(&head, &x_test, &y_test);
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn probe_is_deterministic_in_seed() {
+        let (x, y) = separable(20, 4);
+        let cfg = ProbeConfig::default();
+        let a = train_linear_probe(&x, &y, 2, &cfg);
+        let b = train_linear_probe(&x, &y, 2, &cfg);
+        assert_eq!(a.to_flat(), b.to_flat());
+    }
+
+    #[test]
+    fn accuracy_on_random_features_is_chance_level() {
+        let mut r = seeded(5);
+        let x = normal_matrix(&mut r, 400, 8, 1.0);
+        let y: Vec<usize> = (0..400).map(|i| i % 4).collect();
+        let head = train_linear_probe(&x, &y, 4, &ProbeConfig { epochs: 2, ..Default::default() });
+        let acc = probe_accuracy(&head, &x, &y);
+        assert!(acc < 0.5, "random features should stay near chance, got {acc}");
+    }
+
+    #[test]
+    fn empty_test_set_scores_zero() {
+        let (x, y) = separable(10, 6);
+        let head = train_linear_probe(&x, &y, 2, &ProbeConfig::default());
+        assert_eq!(probe_accuracy(&head, &Matrix::zeros(0, 4), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be < num_classes")]
+    fn probe_rejects_out_of_range_labels() {
+        let (x, _) = separable(5, 7);
+        let bad = vec![9; 10];
+        train_linear_probe(&x, &bad, 2, &ProbeConfig::default());
+    }
+}

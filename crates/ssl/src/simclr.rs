@@ -1,0 +1,168 @@
+//! SimCLR (Chen et al., ICML 2020): contrastive learning with the NT-Xent
+//! objective over in-batch negatives.
+//!
+//! This is the SSL backbone behind the paper's strongest variant,
+//! *Calibre (SimCLR)* — §V-E argues NT-Xent's inter/intra-sample structure is
+//! what cooperates best with the prototype regularizers.
+
+use crate::losses::nt_xent;
+use crate::method::{SslGraph, SslMethod, TwoViewBatch};
+use crate::SslConfig;
+use calibre_tensor::nn::{Activation, Binding, Mlp, Module};
+use calibre_tensor::{rng, Matrix};
+
+/// The SimCLR method: encoder + projector trained with NT-Xent.
+#[derive(Debug, Clone)]
+pub struct SimClr {
+    config: SslConfig,
+    encoder: Mlp,
+    projector: Mlp,
+}
+
+impl SimClr {
+    /// Creates a SimCLR model from a configuration (deterministic in
+    /// `config.seed`).
+    pub fn new(config: SslConfig) -> Self {
+        let mut r = rng::seeded(config.seed);
+        let encoder = Mlp::new(&config.encoder_layer_dims(), Activation::Relu, &mut r);
+        let projector = Mlp::new(&config.projector_layer_dims(), Activation::Relu, &mut r);
+        SimClr {
+            config,
+            encoder,
+            projector,
+        }
+    }
+
+    /// The projector head (not exchanged with the server).
+    pub fn projector(&self) -> &Mlp {
+        &self.projector
+    }
+}
+
+impl Module for SimClr {
+    fn parameters(&self) -> Vec<&Matrix> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.projector.parameters());
+        p
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.encoder.parameters_mut();
+        p.extend(self.projector.parameters_mut());
+        p
+    }
+}
+
+impl SslMethod for SimClr {
+    fn name(&self) -> &'static str {
+        "SimCLR"
+    }
+
+    fn config(&self) -> &SslConfig {
+        &self.config
+    }
+
+    fn encoder(&self) -> &Mlp {
+        &self.encoder
+    }
+
+    fn encoder_mut(&mut self) -> &mut Mlp {
+        &mut self.encoder
+    }
+
+    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let mut graph = calibre_tensor::Graph::new();
+        let mut binding = Binding::new();
+        // Bind each parameter once; both views share the leaves so their
+        // gradients accumulate (matches Module::parameters order).
+        let enc = self.encoder.bind(&mut graph, &mut binding);
+        let proj = self.projector.bind(&mut graph, &mut binding);
+
+        let xe = graph.constant(batch.view_e.clone());
+        let xo = graph.constant(batch.view_o.clone());
+        let z_e = self.encoder.forward_with(&mut graph, xe, &enc);
+        let z_o = self.encoder.forward_with(&mut graph, xo, &enc);
+        let h_e = self.projector.forward_with(&mut graph, z_e, &proj);
+        let h_o = self.projector.forward_with(&mut graph, z_o, &proj);
+        let ssl_loss = nt_xent(&mut graph, h_e, h_o, self.config.tau);
+
+        SslGraph {
+            graph,
+            binding,
+            z_e,
+            z_o,
+            h_e,
+            h_o,
+            ssl_loss,
+            aux: Vec::new(),
+        }
+    }
+
+    fn post_step(&mut self, _ssl_graph: &SslGraph) {
+        // SimCLR has no auxiliary state.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::ssl_step;
+    use calibre_tensor::optim::{Sgd, SgdConfig};
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    fn toy_batch(seed: u64) -> (Matrix, Matrix) {
+        let mut r = seeded(seed);
+        let base = normal_matrix(&mut r, 16, 64, 1.0);
+        let va = base.map(|v| v + 0.05);
+        let vb = base.map(|v| v - 0.05);
+        (va, vb)
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = SimClr::new(SslConfig::for_input(64));
+        let b = SimClr::new(SslConfig::for_input(64));
+        assert_eq!(a.to_flat(), b.to_flat());
+    }
+
+    #[test]
+    fn graph_exposes_expected_shapes() {
+        let m = SimClr::new(SslConfig::for_input(64));
+        let (va, vb) = toy_batch(1);
+        let batch = TwoViewBatch::new(&va, &vb);
+        let sslg = m.build_graph(&batch);
+        assert_eq!(sslg.graph.value(sslg.z_e).shape(), (16, 32));
+        assert_eq!(sslg.graph.value(sslg.h_e).shape(), (16, 16));
+        assert_eq!(sslg.graph.value(sslg.ssl_loss).shape(), (1, 1));
+        assert_eq!(sslg.binding.len(), m.parameters().len());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = SimClr::new(SslConfig::for_input(64));
+        let mut opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let (va, vb) = toy_batch(2);
+        let batch = TwoViewBatch::new(&va, &vb);
+        let first = ssl_step(&mut m, &batch, &mut opt);
+        let mut last = first;
+        for _ in 0..20 {
+            last = ssl_step(&mut m, &batch, &mut opt);
+        }
+        assert!(
+            last < first,
+            "SimCLR loss should decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn step_changes_encoder_and_projector() {
+        let mut m = SimClr::new(SslConfig::for_input(64));
+        let before_enc = m.encoder().to_flat();
+        let before_proj = m.projector().to_flat();
+        let mut opt = Sgd::new(SgdConfig::with_lr(0.1));
+        let (va, vb) = toy_batch(3);
+        ssl_step(&mut m, &TwoViewBatch::new(&va, &vb), &mut opt);
+        assert_ne!(m.encoder().to_flat(), before_enc);
+        assert_ne!(m.projector().to_flat(), before_proj);
+    }
+}

@@ -1,0 +1,159 @@
+//! SimSiam (Chen & He, CVPR 2021): Siamese representation learning with a
+//! predictor head and a stop-gradient — no negatives, no momentum encoder.
+
+use crate::losses::neg_cosine;
+use crate::method::{SslGraph, SslMethod, TwoViewBatch};
+use crate::SslConfig;
+use calibre_tensor::nn::{Activation, Binding, Mlp, Module};
+use calibre_tensor::{rng, Matrix};
+
+/// The SimSiam method: encoder + projector + predictor, symmetric
+/// stop-gradient loss `D(p_e, sg(h_o))/2 + D(p_o, sg(h_e))/2`.
+#[derive(Debug, Clone)]
+pub struct SimSiam {
+    config: SslConfig,
+    encoder: Mlp,
+    projector: Mlp,
+    predictor: Mlp,
+}
+
+impl SimSiam {
+    /// Creates a SimSiam model (deterministic in `config.seed`).
+    pub fn new(config: SslConfig) -> Self {
+        let mut r = rng::seeded(config.seed);
+        let encoder = Mlp::new(&config.encoder_layer_dims(), Activation::Relu, &mut r);
+        let projector = Mlp::new(&config.projector_layer_dims(), Activation::Relu, &mut r);
+        let predictor = Mlp::new(&config.predictor_layer_dims(), Activation::Relu, &mut r);
+        SimSiam {
+            config,
+            encoder,
+            projector,
+            predictor,
+        }
+    }
+
+    /// The predictor head.
+    pub fn predictor(&self) -> &Mlp {
+        &self.predictor
+    }
+}
+
+impl Module for SimSiam {
+    fn parameters(&self) -> Vec<&Matrix> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.projector.parameters());
+        p.extend(self.predictor.parameters());
+        p
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.encoder.parameters_mut();
+        p.extend(self.projector.parameters_mut());
+        p.extend(self.predictor.parameters_mut());
+        p
+    }
+}
+
+impl SslMethod for SimSiam {
+    fn name(&self) -> &'static str {
+        "SimSiam"
+    }
+
+    fn config(&self) -> &SslConfig {
+        &self.config
+    }
+
+    fn encoder(&self) -> &Mlp {
+        &self.encoder
+    }
+
+    fn encoder_mut(&mut self) -> &mut Mlp {
+        &mut self.encoder
+    }
+
+    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let mut graph = calibre_tensor::Graph::new();
+        let mut binding = Binding::new();
+        let enc = self.encoder.bind(&mut graph, &mut binding);
+        let proj = self.projector.bind(&mut graph, &mut binding);
+        let pred = self.predictor.bind(&mut graph, &mut binding);
+
+        let xe = graph.constant(batch.view_e.clone());
+        let xo = graph.constant(batch.view_o.clone());
+        let z_e = self.encoder.forward_with(&mut graph, xe, &enc);
+        let z_o = self.encoder.forward_with(&mut graph, xo, &enc);
+        let h_e = self.projector.forward_with(&mut graph, z_e, &proj);
+        let h_o = self.projector.forward_with(&mut graph, z_o, &proj);
+        let p_e = self.predictor.forward_with(&mut graph, h_e, &pred);
+        let p_o = self.predictor.forward_with(&mut graph, h_o, &pred);
+
+        // Stop-gradient on the projection targets: the asymmetry that keeps
+        // SimSiam from collapsing.
+        let t_o = graph.detach(h_o);
+        let t_e = graph.detach(h_e);
+        let l1 = neg_cosine(&mut graph, p_e, t_o);
+        let l2 = neg_cosine(&mut graph, p_o, t_e);
+        let sum = graph.add(l1, l2);
+        let ssl_loss = graph.scale(sum, 0.5);
+
+        SslGraph {
+            graph,
+            binding,
+            z_e,
+            z_o,
+            h_e,
+            h_o,
+            ssl_loss,
+            aux: Vec::new(),
+        }
+    }
+
+    fn post_step(&mut self, _ssl_graph: &SslGraph) {
+        // SimSiam has no auxiliary state.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::ssl_step;
+    use calibre_tensor::optim::{Sgd, SgdConfig};
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    #[test]
+    fn loss_is_bounded_by_cosine_range() {
+        let m = SimSiam::new(SslConfig::for_input(64));
+        let mut r = seeded(1);
+        let va = normal_matrix(&mut r, 8, 64, 1.0);
+        let vb = normal_matrix(&mut r, 8, 64, 1.0);
+        let sslg = m.build_graph(&TwoViewBatch::new(&va, &vb));
+        let v = sslg.graph.value(sslg.ssl_loss).get(0, 0);
+        assert!((-1.0..=1.0).contains(&v), "loss {v} outside cosine range");
+    }
+
+    #[test]
+    fn training_reduces_loss_without_collapse_guard_tripping() {
+        let mut m = SimSiam::new(SslConfig::for_input(64));
+        let mut opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut r = seeded(2);
+        let base = normal_matrix(&mut r, 16, 64, 1.0);
+        let va = base.map(|v| v + 0.03);
+        let vb = base.map(|v| v - 0.03);
+        let batch = TwoViewBatch::new(&va, &vb);
+        let first = ssl_step(&mut m, &batch, &mut opt);
+        let mut last = first;
+        for _ in 0..20 {
+            last = ssl_step(&mut m, &batch, &mut opt);
+        }
+        assert!(last < first, "SimSiam loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn binding_covers_all_three_networks() {
+        let m = SimSiam::new(SslConfig::for_input(64));
+        let mut r = seeded(3);
+        let v = normal_matrix(&mut r, 4, 64, 1.0);
+        let sslg = m.build_graph(&TwoViewBatch::new(&v, &v));
+        assert_eq!(sslg.binding.len(), m.parameters().len());
+    }
+}

@@ -1,0 +1,216 @@
+//! SwAV (Caron et al., NeurIPS 2020): online clustering with learnable
+//! prototypes and Sinkhorn-balanced swapped assignments.
+
+use crate::losses::sinkhorn;
+use crate::method::{SslGraph, SslMethod, TwoViewBatch};
+use crate::SslConfig;
+use calibre_tensor::nn::{Activation, Binding, Mlp, Module};
+use calibre_tensor::{rng, Matrix};
+
+/// The SwAV method: encoder + projector + a learnable prototype bank.
+///
+/// Each view's normalized projection is scored against the prototypes; the
+/// *other* view's Sinkhorn-balanced assignment is the soft target ("swapped
+/// prediction").
+#[derive(Debug, Clone)]
+pub struct SwAv {
+    config: SslConfig,
+    encoder: Mlp,
+    projector: Mlp,
+    /// Prototype bank, `(projection_dim, K)`, columns kept unit-norm.
+    prototypes: Matrix,
+}
+
+impl SwAv {
+    /// Creates a SwAV model (deterministic in `config.seed`).
+    pub fn new(config: SslConfig) -> Self {
+        let mut r = rng::seeded(config.seed);
+        let encoder = Mlp::new(&config.encoder_layer_dims(), Activation::Relu, &mut r);
+        let projector = Mlp::new(&config.projector_layer_dims(), Activation::Relu, &mut r);
+        let prototypes = rng::normal_matrix(
+            &mut r,
+            config.projection_dim,
+            config.num_prototypes,
+            1.0,
+        );
+        let mut swav = SwAv {
+            config,
+            encoder,
+            projector,
+            prototypes,
+        };
+        swav.normalize_prototypes();
+        swav
+    }
+
+    /// The prototype bank.
+    pub fn prototypes(&self) -> &Matrix {
+        &self.prototypes
+    }
+
+    /// Renormalizes prototype columns to unit length (SwAV does this after
+    /// every optimizer step).
+    fn normalize_prototypes(&mut self) {
+        let k = self.prototypes.cols();
+        for c in 0..k {
+            let norm: f32 = (0..self.prototypes.rows())
+                .map(|r| self.prototypes.get(r, c).powi(2))
+                .sum::<f32>()
+                .sqrt();
+            if norm > 1e-12 {
+                for r in 0..self.prototypes.rows() {
+                    let v = self.prototypes.get(r, c) / norm;
+                    self.prototypes.set(r, c, v);
+                }
+            }
+        }
+    }
+}
+
+impl Module for SwAv {
+    fn parameters(&self) -> Vec<&Matrix> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.projector.parameters());
+        p.push(&self.prototypes);
+        p
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p = self.encoder.parameters_mut();
+        p.extend(self.projector.parameters_mut());
+        p.push(&mut self.prototypes);
+        p
+    }
+}
+
+impl SslMethod for SwAv {
+    fn name(&self) -> &'static str {
+        "SwAV"
+    }
+
+    fn config(&self) -> &SslConfig {
+        &self.config
+    }
+
+    fn encoder(&self) -> &Mlp {
+        &self.encoder
+    }
+
+    fn encoder_mut(&mut self) -> &mut Mlp {
+        &mut self.encoder
+    }
+
+    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let mut graph = calibre_tensor::Graph::new();
+        let mut binding = Binding::new();
+        let enc = self.encoder.bind(&mut graph, &mut binding);
+        let proj = self.projector.bind(&mut graph, &mut binding);
+        let protos = graph.leaf(self.prototypes.clone());
+        binding.push(protos);
+
+        let xe = graph.constant(batch.view_e.clone());
+        let xo = graph.constant(batch.view_o.clone());
+        let z_e = self.encoder.forward_with(&mut graph, xe, &enc);
+        let z_o = self.encoder.forward_with(&mut graph, xo, &enc);
+        let h_e = self.projector.forward_with(&mut graph, z_e, &proj);
+        let h_o = self.projector.forward_with(&mut graph, z_o, &proj);
+
+        let hn_e = graph.row_l2_normalize(h_e);
+        let hn_o = graph.row_l2_normalize(h_o);
+        let scores_e = graph.matmul(hn_e, protos);
+        let scores_o = graph.matmul(hn_o, protos);
+
+        // Sinkhorn targets from the *detached* scores of the other view.
+        let q_e = sinkhorn(
+            graph.value(scores_e),
+            self.config.sinkhorn_epsilon,
+            self.config.sinkhorn_iterations,
+        );
+        let q_o = sinkhorn(
+            graph.value(scores_o),
+            self.config.sinkhorn_epsilon,
+            self.config.sinkhorn_iterations,
+        );
+
+        let logits_e = graph.scale(scores_e, 1.0 / self.config.tau);
+        let logits_o = graph.scale(scores_o, 1.0 / self.config.tau);
+        let ce_e = graph.cross_entropy_soft(logits_e, q_o);
+        let ce_o = graph.cross_entropy_soft(logits_o, q_e);
+        let sum = graph.add(ce_e, ce_o);
+        let ssl_loss = graph.scale(sum, 0.5);
+
+        SslGraph {
+            graph,
+            binding,
+            z_e,
+            z_o,
+            h_e,
+            h_o,
+            ssl_loss,
+            aux: Vec::new(),
+        }
+    }
+
+    fn post_step(&mut self, _ssl_graph: &SslGraph) {
+        self.normalize_prototypes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::ssl_step;
+    use calibre_tensor::optim::{Sgd, SgdConfig};
+    use calibre_tensor::rng::{normal_matrix, seeded};
+
+    #[test]
+    fn prototype_columns_are_unit_norm() {
+        let m = SwAv::new(SslConfig::for_input(64));
+        for c in 0..m.prototypes().cols() {
+            let norm: f32 = m.prototypes().col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "column {c} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn prototypes_stay_normalized_after_steps() {
+        let mut m = SwAv::new(SslConfig::for_input(64));
+        let mut opt = Sgd::new(SgdConfig::with_lr(0.1));
+        let mut r = seeded(1);
+        let base = normal_matrix(&mut r, 12, 64, 1.0);
+        let batch_a = base.map(|v| v + 0.05);
+        let batch_b = base.map(|v| v - 0.05);
+        for _ in 0..3 {
+            ssl_step(&mut m, &TwoViewBatch::new(&batch_a, &batch_b), &mut opt);
+        }
+        for c in 0..m.prototypes().cols() {
+            let norm: f32 = m.prototypes().col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = SwAv::new(SslConfig::for_input(64));
+        let mut opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut r = seeded(2);
+        let base = normal_matrix(&mut r, 16, 64, 1.0);
+        let va = base.map(|v| v + 0.03);
+        let vb = base.map(|v| v - 0.03);
+        let batch = TwoViewBatch::new(&va, &vb);
+        let first = ssl_step(&mut m, &batch, &mut opt);
+        let mut last = first;
+        for _ in 0..25 {
+            last = ssl_step(&mut m, &batch, &mut opt);
+        }
+        assert!(last < first, "SwAV loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn prototypes_are_trainable_parameters() {
+        let m = SwAv::new(SslConfig::for_input(64));
+        let expected =
+            m.encoder.num_scalars() + m.projector.num_scalars() + m.prototypes.len();
+        assert_eq!(m.num_scalars(), expected);
+    }
+}

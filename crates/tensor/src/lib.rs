@@ -1,0 +1,61 @@
+//! # calibre-tensor
+//!
+//! Minimal 2-D tensor library with tape-based reverse-mode autograd, built as
+//! the numerical substrate for the Calibre personalized-federated-learning
+//! reproduction (ICDCS 2024).
+//!
+//! The crate provides exactly what the reproduction needs and nothing more:
+//!
+//! - [`Matrix`] — dense row-major `f32` matrix with the linear-algebra
+//!   helpers used across the workspace.
+//! - [`Graph`] / [`Node`] — a single-use autodiff tape covering dense
+//!   layers, contrastive-loss plumbing (row normalization, diagonal masking,
+//!   fused cross-entropies) and the prototype machinery (grouped row means,
+//!   gathers/concats).
+//! - [`nn`] — [`nn::Linear`] / [`nn::Mlp`] modules with parameter
+//!   flattening for federated aggregation, plus EMA updates for momentum
+//!   encoders.
+//! - [`optim`] — SGD with momentum, weight decay and gradient clipping.
+//! - [`rng`] — seeded randomness, Box–Muller normals and Dirichlet draws
+//!   (the non-i.i.d. partitioners depend on these).
+//! - [`gradcheck`] — finite-difference gradient verification used heavily by
+//!   the test suite.
+//!
+//! # Example: one training step
+//!
+//! ```
+//! use calibre_tensor::{Graph, Matrix, rng};
+//! use calibre_tensor::nn::{Mlp, Activation, Binding, Module, gradients};
+//! use calibre_tensor::optim::{Sgd, SgdConfig};
+//!
+//! let mut r = rng::seeded(7);
+//! let mut model = Mlp::new(&[4, 16, 3], Activation::Relu, &mut r);
+//! let x = rng::normal_matrix(&mut r, 8, 4, 1.0);
+//! let targets = vec![0, 1, 2, 0, 1, 2, 0, 1];
+//!
+//! let mut g = Graph::new();
+//! let xn = g.constant(x);
+//! let mut binding = Binding::new();
+//! let logits = model.forward(&mut g, xn, &mut binding);
+//! let loss = g.cross_entropy(logits, &targets);
+//! g.backward(loss);
+//!
+//! let grads = gradients(&g, &binding);
+//! let mut opt = Sgd::new(SgdConfig::with_lr(0.1));
+//! opt.step(&mut model, &grads);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+mod matrix;
+
+pub mod conv;
+pub mod gradcheck;
+pub mod nn;
+pub mod optim;
+pub mod rng;
+
+pub use graph::{Graph, Node};
+pub use matrix::Matrix;

@@ -1,0 +1,116 @@
+//! End-to-end tests of the experiment harness itself: the paths the `fig3`,
+//! `fig4`, `table1` and `tsne` binaries walk, at smoke scale, with
+//! shape-level assertions on their outputs.
+
+use calibre_bench::report::{write_csv, Row};
+use calibre_bench::{build_dataset, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_cluster::silhouette_score;
+use calibre_embed::{collect_points, tsne, TsneConfig};
+use calibre_fl::{personalize_cohort, Stats};
+use calibre_ssl::SslKind;
+use calibre_tensor::Matrix;
+
+#[test]
+fn fig3_cell_produces_complete_rows() {
+    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 3);
+    let cfg = Scale::Smoke.fl_config(3);
+    let mut rows = Vec::new();
+    for id in MethodId::short_roster() {
+        let result = run_method(id, &fed, &cfg);
+        let stats = result.stats();
+        rows.push(Row {
+            dataset: DatasetId::Cifar10.name().to_string(),
+            setting: Setting::QuantityNonIid.name().to_string(),
+            method: result.name,
+            cohort: "seen".to_string(),
+            stats,
+        });
+    }
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|r| r.stats.count == fed.num_clients()));
+    // Rows must be serializable to CSV without error.
+    let tmp = std::env::temp_dir().join(format!("calibre-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let old = std::env::current_dir().unwrap();
+    std::env::set_current_dir(&tmp).unwrap();
+    let path = write_csv("fig3_smoke", &rows).unwrap();
+    let content = std::fs::read_to_string(path).unwrap();
+    std::env::set_current_dir(old).unwrap();
+    assert_eq!(content.lines().count(), 5, "header + 4 rows");
+}
+
+#[test]
+fn fig4_novel_cohort_pipeline_works() {
+    let full = build_dataset(
+        DatasetId::Cifar10,
+        Setting::DirichletNonIid,
+        Scale::Smoke,
+        Scale::Smoke.novel_clients(),
+        5,
+    );
+    let (seen_fed, novel_fed) = full.split_novel(Scale::Smoke.novel_clients());
+    let cfg = Scale::Smoke.fl_config(5);
+    let result = run_method(MethodId::Calibre(SslKind::SimClr), &seen_fed, &cfg);
+    let novel = personalize_cohort(&result.encoder, &novel_fed, 10, &cfg.probe);
+    assert_eq!(novel.accuracies.len(), Scale::Smoke.novel_clients());
+    assert!(novel.stats.mean > 0.0 && novel.stats.mean <= 1.0);
+}
+
+#[test]
+fn table1_ablation_grid_runs_and_varies() {
+    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 7);
+    let cfg = Scale::Smoke.fl_config(7);
+    let mut means = Vec::new();
+    for (ln, lp) in [(false, false), (false, true), (true, false), (true, true)] {
+        let result = run_method(
+            MethodId::CalibreAblation(SslKind::SimClr, ln, lp),
+            &fed,
+            &cfg,
+        );
+        assert!(result.stats().mean.is_finite());
+        means.push(result.stats().mean);
+    }
+    // The four variants must not all collapse to one number — the toggles
+    // must change training.
+    let distinct = means
+        .iter()
+        .any(|&m| (m - means[0]).abs() > 1e-6);
+    assert!(distinct, "ablation toggles had no effect: {means:?}");
+}
+
+#[test]
+fn tsne_figure_pipeline_produces_plottable_output() {
+    let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, Scale::Smoke, 0, 9);
+    let cfg = Scale::Smoke.fl_config(9);
+    let result = run_method(MethodId::PflSsl(SslKind::SimClr), &fed, &cfg);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut clients = Vec::new();
+    for id in 0..fed.num_clients() {
+        for s in fed.client(id).train.iter().take(10) {
+            rows.push(fed.generator().render(s));
+            labels.push(s.expect_label());
+            clients.push(id);
+        }
+    }
+    let obs = Matrix::from_rows(&rows);
+    let feats = result.encoder.infer(&obs);
+    let coords = tsne(&feats, &TsneConfig { iterations: 60, ..Default::default() });
+    assert_eq!(coords.shape(), (labels.len(), 2));
+    assert!(coords.all_finite());
+    let points = collect_points(&coords, &labels, &clients);
+    assert_eq!(points.len(), labels.len());
+    // Silhouette on trained features must not be catastrophically negative.
+    let sil = silhouette_score(&feats, &labels);
+    assert!(sil > -0.5, "silhouette {sil}");
+}
+
+#[test]
+fn stats_shape_matches_paper_reporting() {
+    let stats = Stats::from_accuracies(&[0.54, 0.67, 0.89, 0.89]);
+    // Variance is reported in accuracy units (e.g. the paper's 0.0031) and
+    // std in percentage points for Table I.
+    assert!(stats.variance < 1.0);
+    assert!(stats.std_percent() > 1.0);
+    assert!(stats.paper_format().contains("±"));
+}
