@@ -69,9 +69,7 @@ fn bench_kmeans(c: &mut Criterion) {
 
 fn bench_aggregation(c: &mut Criterion) {
     let mut r = rng::seeded(4);
-    let updates: Vec<Vec<f32>> = (0..10)
-        .map(|_| rng::normal_vec(&mut r, 10_000))
-        .collect();
+    let updates: Vec<Vec<f32>> = (0..10).map(|_| rng::normal_vec(&mut r, 10_000)).collect();
     let weights: Vec<f32> = (1..=10).map(|v| v as f32).collect();
     c.bench_function("weighted_average_10x10k", |bench| {
         bench.iter(|| black_box(weighted_average(&updates, &weights)))
@@ -91,9 +89,7 @@ fn bench_ssl_step(c: &mut Criterion) {
                     Sgd::new(SgdConfig::with_lr(0.05)),
                 )
             },
-            |(mut m, mut opt)| {
-                black_box(ssl_step(&mut m, &TwoViewBatch::new(&ve, &vo), &mut opt))
-            },
+            |(mut m, mut opt)| black_box(ssl_step(&mut m, &TwoViewBatch::new(&ve, &vo), &mut opt)),
             BatchSize::SmallInput,
         )
     });

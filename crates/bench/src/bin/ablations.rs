@@ -62,20 +62,50 @@ fn main() {
         ("alpha=0.6".into(), CalibreConfig { alpha: 0.6, ..base }),
         ("alpha=1.0".into(), CalibreConfig { alpha: 1.0, ..base }),
         // K_r sweep
-        ("K_r=4".into(), CalibreConfig { num_prototypes: 4, ..base }),
-        ("K_r=16".into(), CalibreConfig { num_prototypes: 16, ..base }),
-        ("K_r adaptive".into(), CalibreConfig { adaptive_k: true, ..base }),
+        (
+            "K_r=4".into(),
+            CalibreConfig {
+                num_prototypes: 4,
+                ..base
+            },
+        ),
+        (
+            "K_r=16".into(),
+            CalibreConfig {
+                num_prototypes: 16,
+                ..base
+            },
+        ),
+        (
+            "K_r adaptive".into(),
+            CalibreConfig {
+                adaptive_k: true,
+                ..base
+            },
+        ),
         // aggregation
         (
             "no divergence-aware agg".into(),
-            CalibreConfig { divergence_aware_aggregation: false, ..base },
+            CalibreConfig {
+                divergence_aware_aggregation: false,
+                ..base
+            },
         ),
         // warmup
-        ("no warmup".into(), CalibreConfig { warmup_rounds: 0, ..base }),
+        (
+            "no warmup".into(),
+            CalibreConfig {
+                warmup_rounds: 0,
+                ..base
+            },
+        ),
         // L_n form
         (
             "L_n contrastive (Alg.1 literal)".into(),
-            CalibreConfig { ln_contrastive: true, ..base },
+            CalibreConfig {
+                ln_contrastive: true,
+                ..base
+            },
         ),
     ];
 

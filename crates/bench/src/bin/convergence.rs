@@ -9,19 +9,28 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin convergence -- \
-//!     [--scale smoke|default|paper] [--every 5] [--seed 7]
+//!     [--scale smoke|default|paper] [--every 5] [--seed 7] \
+//!     [--telemetry out.jsonl]
 //! ```
 //!
 //! Writes `results/convergence.csv` with columns
 //! `method,round,mean,variance`.
+//!
+//! With `--telemetry <path>`, every federated round additionally streams
+//! JSONL events (round_start / client_update / aggregate / round_end with
+//! per-client wall-clock and loss payloads) to `<path>`, and a round/fairness
+//! summary is printed at the end. The two training runs are concatenated in
+//! the file; the round index restarting at 0 marks the Calibre run's start.
 
-use calibre::{train_calibre_encoder_with, CalibreConfig};
+use calibre::{train_calibre_encoder_observed, CalibreConfig};
 use calibre_bench::{build_dataset, parse_args, DatasetId, Scale, Setting};
 use calibre_data::AugmentConfig;
-use calibre_fl::pfl_ssl::train_pfl_ssl_encoder_with;
 use calibre_fl::personalize_cohort;
+use calibre_fl::pfl_ssl::train_pfl_ssl_encoder_observed;
 use calibre_ssl::SslKind;
+use calibre_telemetry::{Fanout, JsonlSink, MetricsHub, NullRecorder, Recorder};
 use std::io::Write;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,11 +44,13 @@ fn main() {
     let mut scale = Scale::Default;
     let mut every = 5usize;
     let mut seed = 7u64;
+    let mut telemetry: Option<String> = None;
     for (key, value) in parsed {
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "every" => every = value.parse().expect("--every must be an integer"),
             "seed" => seed = value.parse().expect("seed must be an integer"),
+            "telemetry" => telemetry = Some(value),
             other => {
                 eprintln!("unknown flag --{other}");
                 std::process::exit(2);
@@ -47,6 +58,22 @@ fn main() {
         }
     }
     assert!(every > 0, "--every must be positive");
+
+    // With --telemetry, fan events out to a JSONL file and an in-memory hub
+    // for the end-of-run summary; otherwise record into the void.
+    let hub = Arc::new(MetricsHub::new());
+    let recorder: Box<dyn Recorder> = match &telemetry {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+            Box::new(
+                Fanout::new()
+                    .with(Box::new(sink))
+                    .with(Box::new(Arc::clone(&hub))),
+            )
+        }
+        None => Box::new(NullRecorder),
+    };
 
     let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, scale, 0, seed);
     let cfg = scale.fl_config(seed);
@@ -61,7 +88,7 @@ fn main() {
 
     {
         let mut observer = |round: usize, encoder: &calibre_tensor::nn::Mlp| {
-            if (round + 1) % every != 0 && round + 1 != cfg.rounds {
+            if !(round + 1).is_multiple_of(every) && round + 1 != cfg.rounds {
                 return;
             }
             let outcome = personalize_cohort(encoder, &fed, num_classes, &cfg.probe);
@@ -79,7 +106,14 @@ fn main() {
                 outcome.stats.variance,
             ));
         };
-        train_pfl_ssl_encoder_with(&fed, &cfg, SslKind::SimClr, &aug, Some(&mut observer));
+        train_pfl_ssl_encoder_observed(
+            &fed,
+            &cfg,
+            SslKind::SimClr,
+            &aug,
+            Some(&mut observer),
+            recorder.as_ref(),
+        );
     }
 
     {
@@ -88,7 +122,7 @@ fn main() {
             ..CalibreConfig::default()
         };
         let mut observer = |round: usize, encoder: &calibre_tensor::nn::Mlp| {
-            if (round + 1) % every != 0 && round + 1 != cfg.rounds {
+            if !(round + 1).is_multiple_of(every) && round + 1 != cfg.rounds {
                 return;
             }
             let outcome = personalize_cohort(encoder, &fed, num_classes, &cfg.probe);
@@ -106,13 +140,14 @@ fn main() {
                 outcome.stats.variance,
             ));
         };
-        train_calibre_encoder_with(
+        train_calibre_encoder_observed(
             &fed,
             &cfg,
             SslKind::SimClr,
             &ccfg,
             &aug,
             Some(&mut observer),
+            recorder.as_ref(),
         );
     }
 
@@ -125,4 +160,23 @@ fn main() {
         writeln!(f, "{method},{round},{mean},{variance}").unwrap();
     }
     println!("\nwrote results/convergence.csv");
+
+    if let Some(path) = &telemetry {
+        drop(recorder); // flush the JSONL sink
+        let rounds = hub.round_summaries();
+        let (planned, observed) = hub.total_bytes();
+        println!("\n== telemetry summary ({} round events) ==", rounds.len());
+        for s in &rounds {
+            println!(
+                "round {:>3}: {} clients, mean loss {:.4}, wall mean {:.1} ms / max {:.1} ms",
+                s.round, s.num_clients, s.mean_loss, s.mean_wall_ms, s.max_wall_ms
+            );
+        }
+        println!(
+            "comm: planned {:.2} MiB, observed {:.2} MiB",
+            planned as f64 / (1024.0 * 1024.0),
+            observed as f64 / (1024.0 * 1024.0)
+        );
+        println!("wrote {path}");
+    }
 }

@@ -29,8 +29,14 @@ fn average_stats(per_repeat: &[Stats]) -> Stats {
         mean,
         variance,
         std: variance.sqrt(),
-        min: per_repeat.iter().map(|s| s.min).fold(f32::INFINITY, f32::min),
-        max: per_repeat.iter().map(|s| s.max).fold(f32::NEG_INFINITY, f32::max),
+        min: per_repeat
+            .iter()
+            .map(|s| s.min)
+            .fold(f32::INFINITY, f32::min),
+        max: per_repeat
+            .iter()
+            .map(|s| s.max)
+            .fold(f32::NEG_INFINITY, f32::max),
     }
 }
 

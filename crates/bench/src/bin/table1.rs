@@ -5,12 +5,21 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin table1 -- \
-//!     [--scale smoke|default|paper] [--seed 7]
+//!     [--scale smoke|default|paper] [--seed 7] [--telemetry out.jsonl]
 //! ```
+//!
+//! With `--telemetry <path>`, every ablation variant's federated rounds
+//! stream JSONL telemetry events to `<path>` (all variants concatenated; the
+//! round index restarts at 0 on each variant boundary), and a fairness
+//! summary over all personalization events is printed at the end.
 
 use calibre_bench::report::{write_csv, Row};
-use calibre_bench::{build_dataset, parse_args, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_bench::{
+    build_dataset, parse_args, run_method_observed, DatasetId, MethodId, Scale, Setting,
+};
 use calibre_ssl::SslKind;
+use calibre_telemetry::{Fanout, JsonlSink, MetricsHub, NullRecorder, Recorder};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,16 +32,32 @@ fn main() {
     };
     let mut scale = Scale::Default;
     let mut seed = 7u64;
+    let mut telemetry: Option<String> = None;
     for (key, value) in parsed {
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "seed" => seed = value.parse().expect("seed must be an integer"),
+            "telemetry" => telemetry = Some(value),
             other => {
                 eprintln!("unknown flag --{other}");
                 std::process::exit(2);
             }
         }
     }
+
+    let hub = Arc::new(MetricsHub::new());
+    let recorder: Box<dyn Recorder> = match &telemetry {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+            Box::new(
+                Fanout::new()
+                    .with(Box::new(sink))
+                    .with(Box::new(Arc::clone(&hub))),
+            )
+        }
+        None => Box::new(NullRecorder),
+    };
 
     let dataset = DatasetId::Cifar10;
     let setting = Setting::QuantityNonIid; // (2, 500) at paper scale
@@ -44,12 +69,15 @@ fn main() {
 
     let mut rows = Vec::new();
     println!("== Table I — ablation of L_n / L_p, CIFAR-10 analog, Q-non-iid (2,·) ==");
-    println!("{:<6} {:<6} {:<28} {:<18}", "L_n", "L_p", "variant", "mean ± std (%)");
+    println!(
+        "{:<6} {:<6} {:<28} {:<18}",
+        "L_n", "L_p", "variant", "mean ± std (%)"
+    );
     for (use_ln, use_lp) in variants {
         for kind in backbones {
             let method = MethodId::CalibreAblation(kind, use_ln, use_lp);
             let start = std::time::Instant::now();
-            let result = run_method(method, &fed, &cfg);
+            let result = run_method_observed(method, &fed, &cfg, recorder.as_ref());
             println!(
                 "{:<6} {:<6} {:<28} {:<18} ({:.1?})",
                 if use_ln { "✓" } else { "" },
@@ -70,5 +98,22 @@ fn main() {
     match write_csv("table1", &rows) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    if let Some(path) = &telemetry {
+        drop(recorder); // flush the JSONL sink
+        let rounds = hub.round_summaries();
+        if let Some(fairness) = hub.fairness_summary() {
+            println!(
+                "\n== telemetry: {} round events, fairness over {} personalizations: \
+                 mean {:.3}, std {:.3}, worst-10% {:.3} ==",
+                rounds.len(),
+                fairness.num_clients,
+                fairness.mean,
+                fairness.std,
+                fairness.worst_10pct
+            );
+        }
+        println!("wrote {path}");
     }
 }

@@ -122,9 +122,7 @@ fn embed_and_report(
     );
     let n = nmi(&km.assignments, labels);
     let p = purity(&km.assignments, labels);
-    println!(
-        "{figure:<8} {method_name:<22} silhouette {sil:>6.3}  NMI {n:>5.3}  purity {p:>5.3}"
-    );
+    println!("{figure:<8} {method_name:<22} silhouette {sil:>6.3}  NMI {n:>5.3}  purity {p:>5.3}");
     // 2-D embedding for the figure itself.
     let coords = tsne(
         &features,
@@ -172,8 +170,9 @@ fn per_client_panels(
         let features = encoder.infer(&obs);
         let sil = silhouette_score(&features, &labels);
         println!(
-            "{figure:<8} {method_name:<22} client {id:>2}: {} samples, local silhouette {sil:>6.3}"
-        , labels.len());
+            "{figure:<8} {method_name:<22} client {id:>2}: {} samples, local silhouette {sil:>6.3}",
+            labels.len()
+        );
         let coords = tsne(
             &features,
             &TsneConfig {
@@ -220,7 +219,9 @@ fn main() {
         }
     }
 
-    println!("== t-SNE figure reproduction (cluster metrics quantify the paper's visual claims) ==");
+    println!(
+        "== t-SNE figure reproduction (cluster metrics quantify the paper's visual claims) =="
+    );
     for panel in panels(&experiment) {
         let fed = build_dataset(panel.dataset, panel.setting, scale, 0, seed);
         let cfg: FlConfig = scale.fl_config(seed);

@@ -16,7 +16,13 @@
 //!
 //! All binaries accept `--scale smoke|default|paper` to trade fidelity for
 //! wall-clock time; `paper` restores the publication's 100 clients × 200
-//! rounds.
+//! rounds. `table1` and `convergence` additionally accept
+//! `--telemetry <path>` to stream round-level JSONL events (see
+//! `calibre-telemetry` and the README's "Observing a run" walkthrough).
+//!
+//! **Role in Algorithm 1:** the driver. Every binary runs the federated
+//! *training* stage to produce an encoder and the *personalization* stage to
+//! score it, at the scale the experiment calls for.
 
 #![warn(missing_docs)]
 
@@ -24,7 +30,7 @@ pub mod registry;
 pub mod report;
 pub mod scale;
 
-pub use registry::{run_method, MethodId};
+pub use registry::{run_method, run_method_observed, MethodId};
 pub use scale::{build_dataset, DatasetId, Scale, Setting};
 
 /// Parses `--key value` style CLI arguments into (key, value) pairs.

@@ -1,17 +1,17 @@
 //! The method registry: every approach evaluated in the paper, runnable by
 //! id.
 
-use calibre::{run_calibre, CalibreConfig};
+use calibre::{run_calibre_observed, CalibreConfig};
 use calibre_data::{AugmentConfig, FederatedDataset};
 use calibre_fl::baselines::{
-    apfl::run_apfl, ditto::run_ditto, fedavg::run_fedavg, fedbabu::run_fedbabu,
-    fedema::run_fedema, fedper::run_fedper, fedprox::run_fedprox, fedrep::run_fedrep,
-    lgfedavg::run_lgfedavg, perfedavg::run_perfedavg, scaffold::run_scaffold,
-    script::run_script, BaselineResult,
+    apfl::run_apfl, ditto::run_ditto, fedavg::run_fedavg, fedbabu::run_fedbabu, fedema::run_fedema,
+    fedper::run_fedper, fedprox::run_fedprox, fedrep::run_fedrep, lgfedavg::run_lgfedavg,
+    perfedavg::run_perfedavg, scaffold::run_scaffold, script::run_script, BaselineResult,
 };
-use calibre_fl::pfl_ssl::run_pfl_ssl;
+use calibre_fl::pfl_ssl::run_pfl_ssl_observed;
 use calibre_fl::FlConfig;
 use calibre_ssl::SslKind;
+use calibre_telemetry::{NullRecorder, Recorder};
 
 /// Identifier of a method in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +148,20 @@ impl MethodId {
 
 /// Runs a method end to end on a federated dataset.
 pub fn run_method(id: MethodId, fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
+    run_method_observed(id, fed, cfg, &NullRecorder)
+}
+
+/// Like [`run_method`], reporting round-level telemetry for the SSL-based
+/// methods (pFL-SSL and Calibre families) to `recorder`.
+///
+/// The supervised baselines have their own round loops and are not
+/// instrumented yet; for them the recorder simply sees no events.
+pub fn run_method_observed(
+    id: MethodId,
+    fed: &FederatedDataset,
+    cfg: &FlConfig,
+    recorder: &dyn Recorder,
+) -> BaselineResult {
     let aug = AugmentConfig::default();
     match id {
         MethodId::FedAvgFt => run_fedavg(fed, cfg, true),
@@ -163,7 +177,7 @@ pub fn run_method(id: MethodId, fed: &FederatedDataset, cfg: &FlConfig) -> Basel
         MethodId::FedEma => run_fedema(fed, cfg, &aug),
         MethodId::ScriptConvergent => run_script(fed, cfg, true),
         MethodId::ScriptFair => run_script(fed, cfg, false),
-        MethodId::PflSsl(kind) => run_pfl_ssl(fed, cfg, kind, &aug),
+        MethodId::PflSsl(kind) => run_pfl_ssl_observed(fed, cfg, kind, &aug, recorder),
         MethodId::Calibre(kind) => {
             // The regularizers fade in over the first half of training:
             // pseudo-labels from an untrained encoder are noise.
@@ -171,14 +185,14 @@ pub fn run_method(id: MethodId, fed: &FederatedDataset, cfg: &FlConfig) -> Basel
                 warmup_rounds: cfg.rounds / 2,
                 ..CalibreConfig::default()
             };
-            run_calibre(fed, cfg, kind, &ccfg, &aug)
+            run_calibre_observed(fed, cfg, kind, &ccfg, &aug, recorder)
         }
         MethodId::CalibreAblation(kind, use_ln, use_lp) => {
             let ccfg = CalibreConfig {
                 warmup_rounds: cfg.rounds / 2,
                 ..CalibreConfig::ablation(use_ln, use_lp)
             };
-            let mut result = run_calibre(fed, cfg, kind, &ccfg, &aug);
+            let mut result = run_calibre_observed(fed, cfg, kind, &ccfg, &aug, recorder);
             result.name = id.name();
             result
         }

@@ -63,7 +63,14 @@ pub fn write_csv(name: &str, rows: &[Row]) -> std::io::Result<std::path::PathBuf
         writeln!(
             f,
             "{},{},{},{},{},{},{},{}",
-            r.dataset, r.setting, r.method, r.cohort, r.stats.mean, r.stats.variance, r.stats.std, r.stats.count
+            r.dataset,
+            r.setting,
+            r.method,
+            r.cohort,
+            r.stats.mean,
+            r.stats.variance,
+            r.stats.std,
+            r.stats.count
         )?;
     }
     Ok(path)

@@ -254,7 +254,7 @@ mod tests {
             0,
             1,
         );
-        assert!(fed.client(0).unlabeled.len() > 0);
+        assert!(!fed.client(0).unlabeled.is_empty());
         let cifar = build_dataset(
             DatasetId::Cifar10,
             Setting::QuantityNonIid,
@@ -280,11 +280,15 @@ mod tests {
     fn quantity_setting_respects_dataset_classes() {
         assert_eq!(
             Setting::QuantityNonIid.non_iid(DatasetId::Cifar100),
-            calibre_data::NonIid::Quantity { classes_per_client: 10 }
+            calibre_data::NonIid::Quantity {
+                classes_per_client: 10
+            }
         );
         assert_eq!(
             Setting::QuantityNonIid.non_iid(DatasetId::Cifar10),
-            calibre_data::NonIid::Quantity { classes_per_client: 2 }
+            calibre_data::NonIid::Quantity {
+                classes_per_client: 2
+            }
         );
     }
 }

@@ -19,6 +19,11 @@ pub struct KMeansConfig {
     pub tol: f32,
     /// Seed for the kmeans++ initialization.
     pub seed: u64,
+    /// Number of independent kmeans++ restarts; the run with the lowest
+    /// inertia wins. Restarts guard against an unlucky initialization
+    /// splitting a true cluster. Latency-sensitive callers (per-batch
+    /// clustering inside a training step) set this to 1.
+    pub n_init: usize,
 }
 
 impl Default for KMeansConfig {
@@ -28,6 +33,7 @@ impl Default for KMeansConfig {
             max_iters: 50,
             tol: 1e-4,
             seed: 0,
+            n_init: 4,
         }
     }
 }
@@ -55,7 +61,8 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
-/// Runs Lloyd's algorithm with kmeans++ seeding.
+/// Runs Lloyd's algorithm with kmeans++ seeding and [`KMeansConfig::n_init`]
+/// restarts, returning the restart with the lowest inertia.
 ///
 /// If the data has fewer rows than `config.k`, the effective `k` is reduced
 /// to the row count (every point its own cluster) — this matters for small
@@ -70,8 +77,27 @@ pub struct KMeansResult {
 pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> KMeansResult {
     assert!(config.k > 0, "k must be positive");
     assert!(data.rows() > 0, "cannot cluster an empty matrix");
+    let restarts = config.n_init.max(1);
+    let mut best: Option<KMeansResult> = None;
+    for restart in 0..restarts as u64 {
+        // Each restart draws a distinct deterministic seed; restart 0
+        // reproduces the single-init behaviour for the same config seed.
+        let result = kmeans_single(data, config, config.seed.wrapping_add(restart));
+        let better = best
+            .as_ref()
+            .map(|b| result.inertia < b.inertia)
+            .unwrap_or(true);
+        if better {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+/// One Lloyd run from a single kmeans++ initialization.
+fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResult {
     let k = config.k.min(data.rows());
-    let mut rng_ = rng::seeded(config.seed);
+    let mut rng_ = rng::seeded(seed);
     let mut centroids = kmeanspp_init(data, k, &mut rng_);
     let mut assignments = vec![0usize; data.rows()];
     let mut iterations = 0;
@@ -139,11 +165,7 @@ pub fn assign_to_centroids(data: &Matrix, centroids: &Matrix) -> Vec<usize> {
 ///
 /// This is Calibre's *client divergence rate*: the server uses it to weight
 /// encoder aggregation (paper §IV-B, aggregation guided by prototypes).
-pub fn mean_distance_to_assigned(
-    data: &Matrix,
-    centroids: &Matrix,
-    assignments: &[usize],
-) -> f32 {
+pub fn mean_distance_to_assigned(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f32 {
     if data.rows() == 0 {
         return 0.0;
     }
@@ -235,7 +257,13 @@ mod tests {
     #[test]
     fn recovers_well_separated_blobs() {
         let (data, labels) = blobs(30, 1);
-        let result = kmeans(&data, &KMeansConfig { k: 3, ..Default::default() });
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         // Every true cluster should map to exactly one kmeans cluster.
         for true_k in 0..3 {
             let assigned: Vec<usize> = labels
@@ -271,8 +299,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (data, _) = blobs(15, 3);
-        let a = kmeans(&data, &KMeansConfig { k: 3, seed: 9, ..Default::default() });
-        let b = kmeans(&data, &KMeansConfig { k: 3, seed: 9, ..Default::default() });
+        let a = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.centroids, b.centroids);
     }
@@ -284,9 +326,7 @@ mod tests {
         for (r, &a) in result.assignments.iter().enumerate() {
             let d_assigned = data.row_distance_sq(r, &result.centroids, a);
             for c in 0..result.centroids.rows() {
-                assert!(
-                    d_assigned <= data.row_distance_sq(r, &result.centroids, c) + 1e-5
-                );
+                assert!(d_assigned <= data.row_distance_sq(r, &result.centroids, c) + 1e-5);
             }
         }
     }

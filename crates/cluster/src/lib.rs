@@ -3,6 +3,11 @@
 //! KMeans clustering and cluster-quality metrics for the Calibre
 //! personalized-federated-learning reproduction (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** the federated *training* stage only — every
+//! calibrated local update clusters the current batch's encodings to mint
+//! prototypes and pseudo-labels, and the resulting divergence rate steers
+//! server aggregation. The personalization stage never clusters.
+//!
 //! Calibre generates pseudo-labels by clustering batch encodings with KMeans
 //! (paper §IV-B); the resulting centroids are the *prototypes* behind the
 //! `L_n` / `L_p` regularizers and the mean point-to-prototype distance is the
@@ -34,5 +39,7 @@
 mod kmeans;
 mod metrics;
 
-pub use kmeans::{assign_to_centroids, kmeans, mean_distance_to_assigned, KMeansConfig, KMeansResult};
+pub use kmeans::{
+    assign_to_centroids, kmeans, mean_distance_to_assigned, KMeansConfig, KMeansResult,
+};
 pub use metrics::{nmi, purity, silhouette_score};

@@ -79,7 +79,10 @@ pub fn silhouette_score(data: &Matrix, assignments: &[usize]) -> f32 {
 /// Panics if the two slices have different lengths or are empty.
 pub fn purity(assignments: &[usize], labels: &[usize]) -> f32 {
     assert_eq!(assignments.len(), labels.len(), "length mismatch");
-    assert!(!assignments.is_empty(), "purity of an empty clustering is undefined");
+    assert!(
+        !assignments.is_empty(),
+        "purity of an empty clustering is undefined"
+    );
     let k = assignments.iter().max().unwrap() + 1;
     let c = labels.iter().max().unwrap() + 1;
     let mut table = vec![vec![0usize; c]; k];
@@ -101,7 +104,10 @@ pub fn purity(assignments: &[usize], labels: &[usize]) -> f32 {
 /// Panics if the two slices have different lengths or are empty.
 pub fn nmi(assignments: &[usize], labels: &[usize]) -> f32 {
     assert_eq!(assignments.len(), labels.len(), "length mismatch");
-    assert!(!assignments.is_empty(), "NMI of an empty clustering is undefined");
+    assert!(
+        !assignments.is_empty(),
+        "NMI of an empty clustering is undefined"
+    );
     let n = assignments.len() as f64;
     let k = assignments.iter().max().unwrap() + 1;
     let c = labels.iter().max().unwrap() + 1;
@@ -132,8 +138,16 @@ pub fn nmi(assignments: &[usize], labels: &[usize]) -> f32 {
             }
         }
     }
-    let ha: f64 = -pa.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
-    let hl: f64 = -pl.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+    let ha: f64 = -pa
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
+    let hl: f64 = -pl
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
     let denom = (ha + hl) / 2.0;
     if denom <= 0.0 {
         // Either side constant: perfect agreement iff both are constant.
@@ -154,7 +168,10 @@ mod tests {
         for (k, center) in [[0.0f32, 0.0], [20.0, 0.0]].iter().enumerate() {
             let noise = normal_matrix(&mut r, 20, 2, 0.3);
             for i in 0..20 {
-                rows.push(vec![center[0] + noise.get(i, 0), center[1] + noise.get(i, 1)]);
+                rows.push(vec![
+                    center[0] + noise.get(i, 0),
+                    center[1] + noise.get(i, 1),
+                ]);
                 labels.push(k);
             }
         }

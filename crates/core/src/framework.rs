@@ -14,9 +14,12 @@ use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, FederatedDataset, SynthVision};
 use calibre_fl::aggregate::{divergence_weights, sample_count_weights, weighted_average};
 use calibre_fl::baselines::BaselineResult;
-use calibre_fl::parallel::parallel_map_owned;
-use calibre_fl::{personalize_cohort, FlConfig};
+use calibre_fl::comm::{CommReport, BYTES_PER_PARAM};
+use calibre_fl::parallel::parallel_map_owned_timed;
+use calibre_fl::pfl_ssl::RoundObserver;
+use calibre_fl::FlConfig;
 use calibre_ssl::{create_method, SslKind, SslMethod, TwoViewBatch};
+use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
 use calibre_tensor::nn::{gradients, Mlp, Module};
 use calibre_tensor::optim::{Sgd, SgdConfig};
 use calibre_tensor::rng;
@@ -42,10 +45,27 @@ pub fn calibre_step(
     loss
 }
 
+/// Final-epoch mean losses of one calibrated local update, decomposed into
+/// the terms of the Calibre objective.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LocalUpdate {
+    /// Mean total loss `L_ssl + alpha * (L_n + L_p)`.
+    pub loss: f32,
+    /// Mean self-supervised term `L_ssl`.
+    pub ssl: f32,
+    /// Mean prototype-noise regularizer `L_n`.
+    pub l_n: f32,
+    /// Mean prototype-alignment regularizer `L_p`.
+    pub l_p: f32,
+    /// Mean divergence rate — what the client reports to the server.
+    pub divergence: f32,
+}
+
 /// Runs `epochs` of calibrated two-view training over a client's SSL pool.
 ///
 /// Returns `(mean_total_loss, mean_divergence)` of the final epoch — the
-/// divergence is what the client reports to the server.
+/// divergence is what the client reports to the server. Use
+/// [`calibre_local_update_detailed`] to also get the loss decomposition.
 #[allow(clippy::too_many_arguments)]
 pub fn calibre_local_update<R: Rng + ?Sized>(
     method: &mut dyn SslMethod,
@@ -58,17 +78,38 @@ pub fn calibre_local_update<R: Rng + ?Sized>(
     opt: &mut Sgd,
     rng_: &mut R,
 ) -> (f32, f32) {
+    let update = calibre_local_update_detailed(
+        method, data, generator, aug, epochs, batch_size, config, opt, rng_,
+    );
+    (update.loss, update.divergence)
+}
+
+/// Like [`calibre_local_update`], returning the full final-epoch loss
+/// decomposition (the per-client telemetry payload).
+#[allow(clippy::too_many_arguments)]
+pub fn calibre_local_update_detailed<R: Rng + ?Sized>(
+    method: &mut dyn SslMethod,
+    data: &ClientData,
+    generator: &SynthVision,
+    aug: &AugmentConfig,
+    epochs: usize,
+    batch_size: usize,
+    config: &CalibreConfig,
+    opt: &mut Sgd,
+    rng_: &mut R,
+) -> LocalUpdate {
     let pool = data.ssl_pool();
     if pool.len() < 2 {
-        return (0.0, 0.0);
+        return LocalUpdate::default();
     }
-    let mut last_loss = 0.0;
-    let mut last_divergence = 0.0;
+    let mut last = LocalUpdate::default();
     for epoch in 0..epochs {
-        let mut loss_sum = 0.0;
-        let mut div_sum = 0.0;
+        let mut sums = LocalUpdate::default();
         let mut seen = 0u64;
-        for (b, batch) in batches(pool.len(), batch_size, true, rng_).into_iter().enumerate() {
+        for (b, batch) in batches(pool.len(), batch_size, true, rng_)
+            .into_iter()
+            .enumerate()
+        {
             let samples = batch.iter().map(|&i| pool[i]);
             let (view_e, view_o) = generator.render_two_views(samples, aug, rng_);
             let kmeans_seed = (epoch as u64) << 32 | b as u64;
@@ -79,14 +120,23 @@ pub fn calibre_local_update<R: Rng + ?Sized>(
                 opt,
                 kmeans_seed,
             );
-            loss_sum += outcome.ssl_loss + config.alpha * (outcome.l_n + outcome.l_p);
-            div_sum += outcome.divergence;
+            sums.loss += outcome.ssl_loss + config.alpha * (outcome.l_n + outcome.l_p);
+            sums.ssl += outcome.ssl_loss;
+            sums.l_n += outcome.l_n;
+            sums.l_p += outcome.l_p;
+            sums.divergence += outcome.divergence;
             seen += 1;
         }
-        last_loss = loss_sum / seen.max(1) as f32;
-        last_divergence = div_sum / seen.max(1) as f32;
+        let inv = 1.0 / seen.max(1) as f32;
+        last = LocalUpdate {
+            loss: sums.loss * inv,
+            ssl: sums.ssl * inv,
+            l_n: sums.l_n * inv,
+            l_p: sums.l_p * inv,
+            divergence: sums.divergence * inv,
+        };
     }
-    (last_loss, last_divergence)
+    last
 }
 
 struct CalibreClient {
@@ -118,7 +168,27 @@ pub fn train_calibre_encoder_with(
     kind: SslKind,
     config: &CalibreConfig,
     aug: &AugmentConfig,
-    mut round_observer: Option<&mut dyn FnMut(usize, &Mlp)>,
+    round_observer: Option<RoundObserver<'_>>,
+) -> (Mlp, Vec<f32>, Vec<f32>) {
+    train_calibre_encoder_observed(fed, fl, kind, config, aug, round_observer, &NullRecorder)
+}
+
+/// Like [`train_calibre_encoder_with`], additionally reporting the round
+/// lifecycle to a telemetry [`Recorder`].
+///
+/// Each `client_update` event carries the full Calibre loss decomposition
+/// (`L_ssl`, `L_n`, `L_p`) and divergence rate from
+/// [`calibre_local_update_detailed`], with wall-clock measured inside the
+/// worker thread that ran the client.
+#[allow(clippy::too_many_arguments)]
+pub fn train_calibre_encoder_observed(
+    fed: &FederatedDataset,
+    fl: &FlConfig,
+    kind: SslKind,
+    config: &CalibreConfig,
+    aug: &AugmentConfig,
+    mut round_observer: Option<RoundObserver<'_>>,
+    recorder: &dyn Recorder,
 ) -> (Mlp, Vec<f32>, Vec<f32>) {
     let reference = create_method(kind, fl.ssl.clone());
     let mut global_encoder = reference.encoder().clone();
@@ -129,6 +199,7 @@ pub fn train_calibre_encoder_with(
     let mut round_divergences = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
+        recorder.round_start(round, selected);
         let inputs: Vec<CalibreClient> = selected
             .iter()
             .map(|&id| {
@@ -151,7 +222,7 @@ pub fn train_calibre_encoder_with(
             ..*config
         };
 
-        let updates = parallel_map_owned(inputs, |mut client| {
+        let updates = parallel_map_owned_timed(inputs, |mut client| {
             client.method.encoder_mut().load_flat(&global_flat);
             let mut opt = Sgd::new(SgdConfig::with_lr_momentum(fl.local_lr, fl.local_momentum));
             let mut r = rng::seeded(
@@ -160,7 +231,7 @@ pub fn train_calibre_encoder_with(
                     ^ (client.id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
             );
             let data = fed.client(client.id);
-            let (loss, divergence) = calibre_local_update(
+            let update = calibre_local_update_detailed(
                 client.method.as_mut(),
                 data,
                 fed.generator(),
@@ -173,14 +244,39 @@ pub fn train_calibre_encoder_with(
             );
             let flat = client.method.encoder().to_flat();
             let count = data.ssl_pool().len();
-            (client, flat, count, loss, divergence)
+            (client, flat, count, update)
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(_, f, _, _, _)| f.clone()).collect();
-        let counts: Vec<usize> = updates.iter().map(|(_, _, c, _, _)| *c).collect();
-        let divergences: Vec<f32> = updates.iter().map(|(_, _, _, _, d)| *d).collect();
-        let mean_loss =
-            updates.iter().map(|(_, _, _, l, _)| l).sum::<f32>() / updates.len().max(1) as f32;
+        let mut client_wall_ms = Vec::with_capacity(updates.len());
+        let mut client_loss = Vec::with_capacity(updates.len());
+        let mut observed_bytes = 0u64;
+        for ((client, flat, _, update), wall) in &updates {
+            recorder.client_update(
+                round,
+                client.id,
+                *wall,
+                ClientLosses {
+                    total: update.loss,
+                    ssl: update.ssl,
+                    l_n: update.l_n,
+                    l_p: update.l_p,
+                },
+                update.divergence,
+            );
+            client_wall_ms.push(wall.as_secs_f64() * 1e3);
+            client_loss.push(update.loss);
+            // One encoder down, one encoder up per client.
+            observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
+        }
+
+        let flats: Vec<Vec<f32>> = updates.iter().map(|((_, f, _, _), _)| f.clone()).collect();
+        let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
+        let divergences: Vec<f32> = updates
+            .iter()
+            .map(|((_, _, _, u), _)| u.divergence)
+            .collect();
+        let mean_loss = updates.iter().map(|((_, _, _, u), _)| u.loss).sum::<f32>()
+            / updates.len().max(1) as f32;
         let mean_div = divergences.iter().sum::<f32>() / divergences.len().max(1) as f32;
 
         // Divergence-aware aggregation (§IV-B): sample-count weights are
@@ -195,12 +291,22 @@ pub fn train_calibre_encoder_with(
         } else {
             sample_count_weights(&counts)
         };
+        recorder.aggregate(round, flats.len(), weights.iter().sum());
         global_encoder.load_flat(&weighted_average(&flats, &weights));
-        for (client, _, _, _, _) in updates {
+        for ((client, _, _, _), _) in updates {
             states[client.id] = Some(client.method);
         }
         round_losses.push(mean_loss);
         round_divergences.push(mean_div);
+        let planned_bytes = CommReport::for_module(&global_encoder, 1, selected.len()).total as u64;
+        recorder.round_end(
+            round,
+            mean_loss,
+            &client_wall_ms,
+            &client_loss,
+            planned_bytes,
+            observed_bytes,
+        );
         if let Some(observer) = round_observer.as_deref_mut() {
             observer(round, &global_encoder);
         }
@@ -217,9 +323,23 @@ pub fn run_calibre(
     config: &CalibreConfig,
     aug: &AugmentConfig,
 ) -> BaselineResult {
+    run_calibre_observed(fed, fl, kind, config, aug, &NullRecorder)
+}
+
+/// Like [`run_calibre`], reporting both stages to a telemetry [`Recorder`].
+pub fn run_calibre_observed(
+    fed: &FederatedDataset,
+    fl: &FlConfig,
+    kind: SslKind,
+    config: &CalibreConfig,
+    aug: &AugmentConfig,
+    recorder: &dyn Recorder,
+) -> BaselineResult {
     let num_classes = fed.generator().num_classes();
-    let (encoder, round_losses, _) = train_calibre_encoder(fed, fl, kind, config, aug);
-    let seen = personalize_cohort(&encoder, fed, num_classes, &fl.probe);
+    let (encoder, round_losses, _) =
+        train_calibre_encoder_observed(fed, fl, kind, config, aug, None, recorder);
+    let seen =
+        calibre_fl::personalize_cohort_observed(&encoder, fed, num_classes, &fl.probe, recorder);
     BaselineResult {
         name: format!("Calibre ({})", kind.name()),
         seen,
@@ -241,7 +361,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 59,
             },
         )

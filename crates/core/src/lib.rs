@@ -24,6 +24,13 @@
 //! (SimCLR, BYOL, SimSiam, MoCoV2, SwAV, SMoG) — exactly the *Calibre (X)*
 //! variants of the paper — and with the full baseline zoo in `calibre-fl`.
 //!
+//! **Role in Algorithm 1:** the whole algorithm, end to end. The federated
+//! *training* stage is [`train_calibre_encoder`] (calibrated local updates +
+//! divergence-aware aggregation); the *personalization* stage is delegated
+//! to `calibre_fl::personalize`; [`run_calibre`] chains the two. The
+//! `_observed` variants stream both stages to a
+//! `calibre_telemetry::Recorder`.
+//!
 //! # Example: Calibre (SimCLR) on a small federation
 //!
 //! ```no_run
@@ -53,7 +60,8 @@ mod framework;
 mod loss;
 
 pub use framework::{
-    calibre_local_update, calibre_step, run_calibre, train_calibre_encoder,
-    train_calibre_encoder_with,
+    calibre_local_update, calibre_local_update_detailed, calibre_step, run_calibre,
+    run_calibre_observed, train_calibre_encoder, train_calibre_encoder_observed,
+    train_calibre_encoder_with, LocalUpdate,
 };
 pub use loss::{calibre_loss, divergence_rate, CalibreConfig, CalibreLoss};

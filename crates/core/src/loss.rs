@@ -120,7 +120,11 @@ pub struct CalibreLoss {
 /// `kmeans_seed` must vary across steps (e.g. derived from the round and
 /// batch index) so prototype initialization does not correlate between
 /// batches.
-pub fn calibre_loss(ssl_graph: &mut SslGraph, config: &CalibreConfig, kmeans_seed: u64) -> CalibreLoss {
+pub fn calibre_loss(
+    ssl_graph: &mut SslGraph,
+    config: &CalibreConfig,
+    kmeans_seed: u64,
+) -> CalibreLoss {
     let ssl_loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
 
     // ---- Prototype generation (Algorithm 1, line 13): cluster the
@@ -153,6 +157,7 @@ pub fn calibre_loss(ssl_graph: &mut SslGraph, config: &CalibreConfig, kmeans_see
             max_iters: 20,
             tol: 1e-3,
             seed: kmeans_seed,
+            n_init: 1,
         },
     );
     let assignments_e = km.assignments.clone();
@@ -230,12 +235,7 @@ fn prototype_meta_loss(
 
 /// Pull-only `L_n` variant: `mean_j (1 − cos(z_j, v_{a(j)}))`, compacting
 /// each cluster without any repulsion term.
-fn prototype_pull_loss(
-    g: &mut Graph,
-    z: Node,
-    prototypes: &Matrix,
-    assignments: &[usize],
-) -> Node {
+fn prototype_pull_loss(g: &mut Graph, z: Node, prototypes: &Matrix, assignments: &[usize]) -> Node {
     let zn = g.row_l2_normalize(z);
     let assigned = prototypes.row_l2_normalized().gather_rows(assignments);
     let v = g.constant(assigned);
@@ -311,6 +311,7 @@ pub fn divergence_rate(encodings: &Matrix, num_prototypes: usize, seed: u64) -> 
             max_iters: 20,
             tol: 1e-3,
             seed,
+            n_init: 1,
         },
     );
     mean_distance_to_assigned(encodings, &km.centroids, &km.assignments)
@@ -361,7 +362,10 @@ mod tests {
         let mut c = toy_graph(2);
         let neither = calibre_loss(&mut c, &CalibreConfig::ablation(false, false), 7);
         let total = c.graph.value(neither.total).get(0, 0);
-        assert!((total - neither.ssl_loss).abs() < 1e-6, "pure SSL when both off");
+        assert!(
+            (total - neither.ssl_loss).abs() < 1e-6,
+            "pure SSL when both off"
+        );
     }
 
     #[test]

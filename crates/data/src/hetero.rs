@@ -177,8 +177,9 @@ mod tests {
 
     #[test]
     fn quantity_skew_is_low_entropy_high_tv() {
-        let report =
-            HeterogeneityReport::measure(&build(NonIid::Quantity { classes_per_client: 2 }));
+        let report = HeterogeneityReport::measure(&build(NonIid::Quantity {
+            classes_per_client: 2,
+        }));
         assert!(report.mean_classes_per_client <= 2.0 + 1e-9);
         assert!(report.normalized_entropy() < 0.5, "{report}");
         assert!(report.mean_pairwise_tv > 0.5, "{report}");
@@ -203,7 +204,9 @@ mod tests {
 
     #[test]
     fn entropy_of_single_class_client_is_zero() {
-        let fed = build(NonIid::Quantity { classes_per_client: 1 });
+        let fed = build(NonIid::Quantity {
+            classes_per_client: 1,
+        });
         for c in fed.clients() {
             assert!(label_entropy(c, 10) < 1e-9);
         }

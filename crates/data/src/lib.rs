@@ -4,6 +4,11 @@
 //! augmentations for the Calibre personalized-federated-learning
 //! reproduction (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** feeds both stages. The federated *training*
+//! stage draws two-view augmented batches from each client's unlabeled SSL
+//! pool; the *personalization* stage draws the client's labeled train/test
+//! split for the linear probe.
+//!
 //! The paper evaluates on CIFAR-10 / CIFAR-100 / STL-10 images. This crate
 //! provides their synthetic analogs via [`SynthVision`], a seeded
 //! class-conditional latent-variable generator (see `DESIGN.md` §2 for the

@@ -99,7 +99,8 @@ impl FederatedDataset {
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
             // Independent, reproducible stream per client.
-            let mut crng = rng::seeded(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)));
+            let mut crng =
+                rng::seeded(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)));
             let dist = client_label_distribution(&config.non_iid, k, &mut crng);
             clients.push(generate_client(&generator, &dist, config, &mut crng));
         }
@@ -182,7 +183,10 @@ impl FederatedDataset {
     ///
     /// Panics if `n >= num_clients`.
     pub fn split_novel(self, n: usize) -> (FederatedDataset, FederatedDataset) {
-        assert!(n < self.clients.len(), "cannot split off all clients as novel");
+        assert!(
+            n < self.clients.len(),
+            "cannot split off all clients as novel"
+        );
         let mut clients = self.clients;
         let novel = clients.split_off(clients.len() - n);
         (
@@ -237,7 +241,7 @@ fn draw_labels<R: Rng + ?Sized>(dist: &[f64], n: usize, rng_: &mut R) -> Vec<usi
     // to its distribution even for small n.
     for (k, &p) in dist.iter().enumerate() {
         let count = (p * n as f64).floor() as usize;
-        labels.extend(std::iter::repeat(k).take(count));
+        labels.extend(std::iter::repeat_n(k, count));
     }
     // Top up the rounding remainder with independent draws.
     while labels.len() < n {
@@ -321,7 +325,9 @@ mod tests {
             train_per_client: 60,
             test_per_client: 20,
             unlabeled_per_client: 0,
-            non_iid: NonIid::Quantity { classes_per_client: 2 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
             seed: 2,
         };
         let fed = FederatedDataset::build(SynthVisionSpec::cifar10(), &cfg);
@@ -351,7 +357,10 @@ mod tests {
         let fed = FederatedDataset::build(SynthVisionSpec::cifar10(), &cfg);
         // Skew: at least one client should be dominated by few classes.
         let min_classes = fed.clients().iter().map(count_classes).min().unwrap();
-        assert!(min_classes < 10, "Dirichlet 0.3 should produce skewed clients");
+        assert!(
+            min_classes < 10,
+            "Dirichlet 0.3 should produce skewed clients"
+        );
         // Coverage: globally all 10 classes appear.
         let hist = fed.global_label_histogram();
         assert!(hist.iter().all(|&h| h > 0), "global histogram {hist:?}");
@@ -473,7 +482,9 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn quantity_rejects_too_many_classes() {
         let cfg = PartitionConfig {
-            non_iid: NonIid::Quantity { classes_per_client: 11 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 11,
+            },
             ..PartitionConfig::default()
         };
         FederatedDataset::build(SynthVisionSpec::cifar10(), &cfg);

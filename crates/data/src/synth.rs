@@ -299,25 +299,36 @@ mod tests {
     fn same_class_samples_are_closer_than_cross_class() {
         // The core property the encoder must exploit: within-class distances
         // in observation space are smaller on average than between-class.
+        // Averaged over every class (pair) — any single pair of prototypes
+        // can land close together on the prototype sphere by chance.
         let gen = SynthVision::new(SynthVisionSpec::cifar10());
+        let spec = SynthVisionSpec::cifar10();
         let mut r = rng::seeded(5);
-        let n = 40;
-        let a: Vec<Sample> = (0..n).map(|_| gen.sample(0, &mut r)).collect();
-        let b: Vec<Sample> = (0..n).map(|_| gen.sample(5, &mut r)).collect();
-        let am = gen.render_batch(a.iter());
-        let bm = gen.render_batch(b.iter());
+        let n = 20;
+        let rendered: Vec<Matrix> = (0..spec.num_classes)
+            .map(|k| {
+                let samples: Vec<Sample> = (0..n).map(|_| gen.sample(k, &mut r)).collect();
+                gen.render_batch(samples.iter())
+            })
+            .collect();
         let mut within = 0.0;
-        let mut between = 0.0;
         let mut cw = 0;
+        let mut between = 0.0;
         let mut cb = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                within += am.row_distance_sq(i, &am, j);
-                cw += 1;
+        for (ka, am) in rendered.iter().enumerate() {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    within += am.row_distance_sq(i, am, j);
+                    cw += 1;
+                }
             }
-            for j in 0..n {
-                between += am.row_distance_sq(i, &bm, j);
-                cb += 1;
+            for bm in rendered.iter().skip(ka + 1) {
+                for i in 0..n {
+                    for j in 0..n {
+                        between += am.row_distance_sq(i, bm, j);
+                        cb += 1;
+                    }
+                }
             }
         }
         let within = within / cw as f32;

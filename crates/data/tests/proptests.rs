@@ -1,8 +1,7 @@
 //! Property-based tests for dataset generation and partitioning invariants.
 
 use calibre_data::{
-    AugmentConfig, FederatedDataset, NonIid, PartitionConfig, Sample, SynthVision,
-    SynthVisionSpec,
+    AugmentConfig, FederatedDataset, NonIid, PartitionConfig, Sample, SynthVision, SynthVisionSpec,
 };
 use calibre_tensor::rng::seeded;
 use proptest::prelude::*;

@@ -4,6 +4,10 @@
 //! representation-quality figures (Figs. 1, 2, 5–8) of the Calibre paper
 //! (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** none at run time — this crate is post-hoc
+//! analysis. It embeds encoders *produced by* the training stage to
+//! visualize what the personalization stage has to work with.
+//!
 //! The paper's qualitative argument — "Calibre representations form crisp
 //! per-class clusters; plain pFL-SSL representations do not" — is reproduced
 //! by embedding encoder outputs with [`tsne`] and exporting the coordinates

@@ -131,7 +131,13 @@ mod tests {
         let data = normal_matrix(&mut r, 100, 5, 1.0);
         let fit = pca(&data, 3, 0);
         for i in 0..3 {
-            let norm: f32 = fit.components.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = fit
+                .components
+                .row(i)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-3, "component {i} norm {norm}");
             for j in (i + 1)..3 {
                 let dot: f32 = fit

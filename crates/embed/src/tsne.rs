@@ -74,7 +74,11 @@ pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
         } else {
             1.0
         };
-        let momentum = if iter < config.exaggeration_iters { 0.5 } else { 0.8 };
+        let momentum = if iter < config.exaggeration_iters {
+            0.5
+        } else {
+            0.8
+        };
 
         // Student-t affinities in embedding space.
         let mut q_num = Matrix::zeros(n, n);
@@ -236,7 +240,13 @@ mod tests {
     #[test]
     fn embedding_has_two_columns_and_is_finite() {
         let (data, _) = two_blobs(20, 5.0);
-        let y = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(y.shape(), (40, 2));
         assert!(y.all_finite());
     }
@@ -244,15 +254,28 @@ mod tests {
     #[test]
     fn separated_blobs_stay_separated_in_embedding() {
         let (data, labels) = two_blobs(25, 8.0);
-        let y = tsne(&data, &TsneConfig { iterations: 150, perplexity: 10.0, ..Default::default() });
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 150,
+                perplexity: 10.0,
+                ..Default::default()
+            },
+        );
         let s = silhouette_score(&y, &labels);
-        assert!(s > 0.3, "embedded silhouette {s} too low for separated blobs");
+        assert!(
+            s > 0.3,
+            "embedded silhouette {s} too low for separated blobs"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (data, _) = two_blobs(10, 4.0);
-        let cfg = TsneConfig { iterations: 30, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 30,
+            ..Default::default()
+        };
         let a = tsne(&data, &cfg);
         let b = tsne(&data, &cfg);
         assert_eq!(a, b);

@@ -23,7 +23,12 @@ pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
     );
     let dim = updates[0].len();
     for (i, u) in updates.iter().enumerate() {
-        assert_eq!(u.len(), dim, "update {i} has length {} expected {dim}", u.len());
+        assert_eq!(
+            u.len(),
+            dim,
+            "update {i} has length {} expected {dim}",
+            u.len()
+        );
     }
     let total: f32 = weights.iter().sum();
     let normalized: Vec<f32> = if total > 0.0 {
@@ -61,7 +66,10 @@ pub fn sample_count_weights(counts: &[usize]) -> Vec<f32> {
 ///
 /// A small epsilon keeps the weights finite when a divergence is zero.
 pub fn divergence_weights(divergences: &[f32]) -> Vec<f32> {
-    divergences.iter().map(|&d| 1.0 / (d.max(0.0) + 1e-3)).collect()
+    divergences
+        .iter()
+        .map(|&d| 1.0 / (d.max(0.0) + 1e-3))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, supervised_step, TrainScope};
+use crate::model::{supervised_step, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::batch::batches;
@@ -54,7 +54,10 @@ pub fn run_apfl(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             let mut w = global.clone();
             let mut v = local.clone();
             let mut alpha = *alpha;
-            let mut w_opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut w_opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, *id));
             let mut loss_sum = 0.0;
             let mut steps = 0;
@@ -112,7 +115,7 @@ pub fn run_apfl(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         let mean_loss =
             updates.iter().map(|(_, _, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
         global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        for ((id, _, _), (_, v, alpha, _, _)) in inputs.iter().zip(updates.into_iter()) {
+        for ((id, _, _), (_, v, alpha, _, _)) in inputs.iter().zip(updates) {
             locals[*id] = v;
             alphas[*id] = alpha;
         }
@@ -149,7 +152,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 37,
             },
         );

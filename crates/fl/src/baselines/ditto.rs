@@ -8,7 +8,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, supervised_step, train_supervised, TrainScope};
+use crate::model::{supervised_step, train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::batch::batches;
@@ -41,7 +41,10 @@ pub fn run_ditto(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             let labels = data.train_labels();
             let mut w = global.clone();
             let mut v = personal.clone();
-            let mut w_opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut w_opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut v_opt = Sgd::new(SgdConfig::with_lr(cfg.local_lr));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, *id));
             let mut loss_sum = 0.0;
@@ -79,7 +82,7 @@ pub fn run_ditto(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         let mean_loss =
             updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
         global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        for ((id, _), (_, v, _, _)) in inputs.iter().zip(updates.into_iter()) {
+        for ((id, _), (_, v, _, _)) in inputs.iter().zip(updates) {
             personals[*id] = v;
         }
         round_losses.push(mean_loss);
@@ -94,7 +97,7 @@ pub fn run_ditto(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
     let accuracies = parallel_map(&ids, |&id| {
         let mut v = personals[id].clone();
         let mut opt = Sgd::new(SgdConfig::with_lr(cfg.probe.lr));
-        let mut r = rng::seeded(cfg.seed ^ 0xD177_0E ^ id as u64);
+        let mut r = rng::seeded(cfg.seed ^ 0xD1_770E ^ id as u64);
         let data = fed.client(id);
         for _ in 0..cfg.probe.epochs {
             train_supervised(
@@ -141,7 +144,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 41,
             },
         );

@@ -8,7 +8,7 @@ use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::compress::{quantize, top_k_sparsify};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::FederatedDataset;
@@ -51,10 +51,7 @@ impl Compression {
 
 /// Trains a global classifier with FedAvg and returns it together with the
 /// round-loss history.
-pub fn train_fedavg_global(
-    fed: &FederatedDataset,
-    cfg: &FlConfig,
-) -> (ClassifierModel, Vec<f32>) {
+pub fn train_fedavg_global(fed: &FederatedDataset, cfg: &FlConfig) -> (ClassifierModel, Vec<f32>) {
     train_fedavg_global_compressed(fed, cfg, Compression::None)
 }
 
@@ -73,7 +70,10 @@ pub fn train_fedavg_global_compressed(
     for (round, selected) in schedule.iter().enumerate() {
         let updates = parallel_map(selected, |&id| {
             let mut local = global.clone();
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
             let loss = train_supervised(
                 &mut local,
@@ -183,7 +183,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 11,
             },
         )
@@ -221,7 +223,11 @@ mod tests {
         let result = run_fedavg(&fed, &cfg, true);
         let first = result.round_losses.first().copied().unwrap();
         let last = result.round_losses.last().copied().unwrap();
-        assert!(last < first, "round losses should fall: {:?}", result.round_losses);
+        assert!(
+            last < first,
+            "round losses should fall: {:?}",
+            result.round_losses
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use calibre_data::FederatedDataset;
 use calibre_tensor::nn::Module;
@@ -31,7 +31,10 @@ pub fn run_fedbabu(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             let mut model = template.clone();
             model.encoder_mut().load_flat(&global_encoder.to_flat());
             model.set_head(fixed_head.clone());
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
             let loss = train_supervised(
                 &mut model,
@@ -48,9 +51,8 @@ pub fn run_fedbabu(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
         global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        round_losses.push(
-            updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
-        );
+        round_losses
+            .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }
 
     // Personalization: fine-tune the head from the shared initialization.
@@ -80,7 +82,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 19,
             },
         );

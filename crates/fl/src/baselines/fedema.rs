@@ -67,7 +67,10 @@ pub fn run_fedema(fed: &FederatedDataset, cfg: &FlConfig, aug: &AugmentConfig) -
                 .collect();
             byol.encoder_mut().load_flat(&merged);
 
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
             let data = fed.client(id);
             let loss = ssl_local_update(
@@ -132,7 +135,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 53,
             },
         );

@@ -5,7 +5,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use calibre_data::FederatedDataset;
 use calibre_tensor::nn::{Linear, Module};
@@ -19,7 +19,7 @@ pub fn run_fedper(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
     let mut global_encoder = template.encoder().clone();
     let mut heads: Vec<Linear> = (0..fed.num_clients())
         .map(|id| {
-            let mut r = rng::seeded(cfg.seed ^ 0xFED0_4EB ^ id as u64);
+            let mut r = rng::seeded(cfg.seed ^ 0x0FED_04EB ^ id as u64);
             Linear::new(cfg.ssl.repr_dim(), num_classes, &mut r)
         })
         .collect();
@@ -27,15 +27,16 @@ pub fn run_fedper(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
     let mut round_losses = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
-        let inputs: Vec<(usize, Linear)> = selected
-            .iter()
-            .map(|&id| (id, heads[id].clone()))
-            .collect();
+        let inputs: Vec<(usize, Linear)> =
+            selected.iter().map(|&id| (id, heads[id].clone())).collect();
         let updates = parallel_map(&inputs, |(id, head)| {
             let mut model = template.clone();
             model.encoder_mut().load_flat(&global_encoder.to_flat());
             model.set_head(head.clone());
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, *id));
             // Joint training of encoder + personalization layer.
             let loss = train_supervised(
@@ -61,9 +62,8 @@ pub fn run_fedper(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         for ((id, _), (_, head, _, _)) in inputs.iter().zip(updates.iter()) {
             heads[*id] = head.clone();
         }
-        round_losses.push(
-            updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
-        );
+        round_losses
+            .push(updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }
 
     let seen = evaluate_with_head_finetune(&global_encoder, fed, num_classes, &cfg.probe, |id| {
@@ -92,7 +92,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 23,
             },
         );

@@ -33,7 +33,10 @@ pub fn run_fedprox(fed: &FederatedDataset, cfg: &FlConfig, mu: f32) -> BaselineR
             let data = fed.client(id);
             let labels = data.train_labels();
             let mut local = global.clone();
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
             let mut loss_sum = 0.0;
             let mut steps = 0;
@@ -65,9 +68,8 @@ pub fn run_fedprox(fed: &FederatedDataset, cfg: &FlConfig, mu: f32) -> BaselineR
         let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
         global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        round_losses.push(
-            updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
-        );
+        round_losses
+            .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }
 
     let head = global.head().clone();
@@ -95,7 +97,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 61,
             },
         )

@@ -6,7 +6,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use calibre_data::FederatedDataset;
 use calibre_tensor::nn::{Linear, Module};
@@ -21,7 +21,7 @@ pub fn run_fedrep(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
     // Every client owns a persistent local head.
     let mut heads: Vec<Linear> = (0..fed.num_clients())
         .map(|id| {
-            let mut r = rng::seeded(cfg.seed ^ 0xFED0_0EB ^ id as u64);
+            let mut r = rng::seeded(cfg.seed ^ 0x0FED_00EB ^ id as u64);
             Linear::new(cfg.ssl.repr_dim(), num_classes, &mut r)
         })
         .collect();
@@ -29,15 +29,16 @@ pub fn run_fedrep(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
     let mut round_losses = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
-        let inputs: Vec<(usize, Linear)> = selected
-            .iter()
-            .map(|&id| (id, heads[id].clone()))
-            .collect();
+        let inputs: Vec<(usize, Linear)> =
+            selected.iter().map(|&id| (id, heads[id].clone())).collect();
         let updates = parallel_map(&inputs, |(id, head)| {
             let mut model = template.clone();
             model.encoder_mut().load_flat(&global_encoder.to_flat());
             model.set_head(head.clone());
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, *id));
             // Phase 1: head only, frozen encoder (FedRep trains the head to
             // convergence first — we give it the configured local epochs).
@@ -109,7 +110,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 17,
             },
         );

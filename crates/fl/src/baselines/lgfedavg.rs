@@ -5,7 +5,7 @@
 use crate::aggregate::{sample_count_weights, uniform_average, weighted_average};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::FederatedDataset;
@@ -46,7 +46,10 @@ pub fn run_lgfedavg(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             let mut model = template.clone();
             model.encoder_mut().load_flat(&encoder.to_flat());
             model.set_head(global_head.clone());
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, *id));
             let loss = train_supervised(
                 &mut model,
@@ -68,13 +71,15 @@ pub fn run_lgfedavg(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         // Only the head aggregates.
         let head_flats: Vec<Vec<f32>> = updates.iter().map(|(_, h, _, _)| h.clone()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, _, c, _)| *c).collect();
-        global_head.load_flat(&weighted_average(&head_flats, &sample_count_weights(&counts)));
+        global_head.load_flat(&weighted_average(
+            &head_flats,
+            &sample_count_weights(&counts),
+        ));
         for ((id, _), (enc_flat, _, _, _)) in inputs.iter().zip(updates.iter()) {
             encoders[*id].load_flat(enc_flat);
         }
-        round_losses.push(
-            updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
-        );
+        round_losses
+            .push(updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }
 
     // Personalization: each client keeps its local encoder and fine-tunes
@@ -128,7 +133,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 29,
             },
         );

@@ -6,7 +6,7 @@
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::batch::batches;
@@ -16,11 +16,7 @@ use calibre_tensor::optim::{Sgd, SgdConfig};
 use calibre_tensor::{rng, Graph, Matrix};
 
 /// Computes cross-entropy gradients of `model` on a rendered batch.
-fn batch_gradients(
-    model: &mut ClassifierModel,
-    x: &Matrix,
-    y: &[usize],
-) -> (Vec<Matrix>, f32) {
+fn batch_gradients(model: &mut ClassifierModel, x: &Matrix, y: &[usize]) -> (Vec<Matrix>, f32) {
     let mut g = Graph::new();
     let xn = g.constant(x.clone());
     let mut binding = Binding::new();
@@ -92,9 +88,8 @@ pub fn run_perfedavg(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
         let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
         global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        round_losses.push(
-            updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32,
-        );
+        round_losses
+            .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }
 
     // Personalization: every client adapts the full model locally (the MAML
@@ -140,7 +135,9 @@ mod tests {
                 train_per_client: 64,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 31,
             },
         );

@@ -109,7 +109,10 @@ pub fn train_scaffold_global(
         });
 
         let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _, _)| f.clone()).collect();
-        let counts: Vec<usize> = selected.iter().map(|&id| fed.client(id).train_len()).collect();
+        let counts: Vec<usize> = selected
+            .iter()
+            .map(|&id| fed.client(id).train_len())
+            .collect();
         global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
 
         // c ← c + (|S|/N) · mean_i(c_i⁺ − c_i)
@@ -169,7 +172,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 13,
             },
         )

@@ -8,7 +8,7 @@
 
 use crate::baselines::BaselineResult;
 use crate::config::FlConfig;
-use crate::model::{ClassifierModel, train_supervised, TrainScope};
+use crate::model::{train_supervised, ClassifierModel, TrainScope};
 use crate::parallel::parallel_map;
 use crate::personalize::PersonalizationOutcome;
 use calibre_data::FederatedDataset;
@@ -25,11 +25,14 @@ const FAIR_EPOCHS: usize = 10;
 /// vs Script-Fair (10 epochs).
 pub fn run_script(fed: &FederatedDataset, cfg: &FlConfig, convergent: bool) -> BaselineResult {
     let num_classes = fed.generator().num_classes();
-    let epochs = if convergent { CONVERGENT_EPOCHS } else { FAIR_EPOCHS };
+    let epochs = if convergent {
+        CONVERGENT_EPOCHS
+    } else {
+        FAIR_EPOCHS
+    };
     let ids: Vec<usize> = (0..fed.num_clients()).collect();
     let accuracies = parallel_map(&ids, |&id| {
-        let mut model =
-            ClassifierModel::new(&cfg.ssl, num_classes, cfg.seed ^ 0x5C1F7 ^ id as u64);
+        let mut model = ClassifierModel::new(&cfg.ssl, num_classes, cfg.seed ^ 0x5C1F7 ^ id as u64);
         // Long purely-local runs on tiny datasets can blow up without a
         // norm bound; clipping keeps Script-Convergent stable.
         let mut opt = Sgd::new(SgdConfig {
@@ -38,7 +41,7 @@ pub fn run_script(fed: &FederatedDataset, cfg: &FlConfig, convergent: bool) -> B
             weight_decay: 0.0,
             grad_clip: 5.0,
         });
-        let mut r = rng::seeded(cfg.seed ^ 0x5C1F7_5EED ^ id as u64);
+        let mut r = rng::seeded(cfg.seed ^ 0x05_C1F7_5EED ^ id as u64);
         train_supervised(
             &mut model,
             fed.client(id),
@@ -82,7 +85,9 @@ mod tests {
                 train_per_client: 50,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 43,
             },
         )

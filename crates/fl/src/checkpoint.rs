@@ -80,9 +80,7 @@ pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or_default();
     if header != "calibre-checkpoint v1" {
-        return Err(CheckpointError::Parse(format!(
-            "unknown header {header:?}"
-        )));
+        return Err(CheckpointError::Parse(format!("unknown header {header:?}")));
     }
     let count_line = lines
         .next()
@@ -118,9 +116,8 @@ pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
                 .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: missing row {r}")))?;
             let values: Result<Vec<f32>, _> =
                 row_line.split_whitespace().map(str::parse::<f32>).collect();
-            let values = values.map_err(|e| {
-                CheckpointError::Parse(format!("tensor {t} row {r}: {e}"))
-            })?;
+            let values =
+                values.map_err(|e| CheckpointError::Parse(format!("tensor {t} row {r}: {e}")))?;
             if values.len() != cols {
                 return Err(CheckpointError::Parse(format!(
                     "tensor {t} row {r}: expected {cols} values, got {}",
@@ -139,7 +136,10 @@ pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
 /// # Errors
 ///
 /// Returns [`CheckpointError::ShapeMismatch`] if counts or shapes differ.
-pub fn restore<M: Module + ?Sized>(module: &mut M, tensors: &[Matrix]) -> Result<(), CheckpointError> {
+pub fn restore<M: Module + ?Sized>(
+    module: &mut M,
+    tensors: &[Matrix],
+) -> Result<(), CheckpointError> {
     let mut params = module.parameters_mut();
     if params.len() != tensors.len() {
         return Err(CheckpointError::ShapeMismatch(format!(
@@ -168,7 +168,10 @@ pub fn restore<M: Module + ?Sized>(module: &mut M, tensors: &[Matrix]) -> Result
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn save<M: Module + ?Sized, P: AsRef<Path>>(module: &M, path: P) -> Result<(), CheckpointError> {
+pub fn save<M: Module + ?Sized, P: AsRef<Path>>(
+    module: &M,
+    path: P,
+) -> Result<(), CheckpointError> {
     if let Some(parent) = path.as_ref().parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -181,7 +184,10 @@ pub fn save<M: Module + ?Sized, P: AsRef<Path>>(module: &M, path: P) -> Result<(
 /// # Errors
 ///
 /// Returns I/O, parse, or shape errors.
-pub fn load<M: Module + ?Sized, P: AsRef<Path>>(module: &mut M, path: P) -> Result<(), CheckpointError> {
+pub fn load<M: Module + ?Sized, P: AsRef<Path>>(
+    module: &mut M,
+    path: P,
+) -> Result<(), CheckpointError> {
     let text = std::fs::read_to_string(path)?;
     let tensors = parse(&text)?;
     restore(module, &tensors)

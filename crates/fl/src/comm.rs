@@ -15,6 +15,21 @@ use serde::{Deserialize, Serialize};
 pub const BYTES_PER_PARAM: usize = 4;
 
 /// Communication totals for one federated training run.
+///
+/// # Example
+///
+/// ```
+/// use calibre_fl::comm::{CommReport, BYTES_PER_PARAM};
+///
+/// // A 1000-parameter encoder exchanged by 5 clients over 10 rounds.
+/// let report = CommReport::new(1000, 10, 5);
+/// assert_eq!(report.upload_per_round, 1000 * BYTES_PER_PARAM * 5);
+/// assert_eq!(report.upload_per_round, report.download_per_round);
+/// assert_eq!(report.total, 2 * report.upload_per_round * 10);
+///
+/// // Doubling the rounds doubles the bytes moved.
+/// assert_eq!(CommReport::new(1000, 20, 5).total, 2 * report.total);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommReport {
     /// Scalars exchanged per client per direction each round.

@@ -47,7 +47,10 @@ impl SparseUpdate {
 /// Panics if `k == 0` or the update is longer than `u32::MAX` scalars.
 pub fn top_k_sparsify(update: &[f32], k: usize) -> SparseUpdate {
     assert!(k > 0, "k must be positive");
-    assert!(update.len() <= u32::MAX as usize, "update too large for u32 indices");
+    assert!(
+        update.len() <= u32::MAX as usize,
+        "update too large for u32 indices"
+    );
     let k = k.min(update.len());
     let mut order: Vec<usize> = (0..update.len()).collect();
     order.sort_by(|&a, &b| {
@@ -113,7 +116,11 @@ pub fn quantize(update: &[f32], bits: u8) -> QuantizedUpdate {
     );
     let min = update.iter().cloned().fold(f32::INFINITY, f32::min);
     let max = update.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let (min, max) = if update.is_empty() { (0.0, 0.0) } else { (min, max) };
+    let (min, max) = if update.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    };
     let levels = (1u32 << bits) - 1;
     let scale = if max > min {
         levels as f32 / (max - min)
@@ -180,7 +187,7 @@ mod tests {
     }
 
     #[test]
-    fn top_k_wire_size_beats_dense_when_sparse_enough(){
+    fn top_k_wire_size_beats_dense_when_sparse_enough() {
         let update = random_update(1000, 3);
         let sparse = top_k_sparsify(&update, 100);
         assert!(sparse.wire_bytes() < 1000 * 4);
@@ -239,10 +246,7 @@ mod tests {
         use crate::aggregate::uniform_average;
         let updates: Vec<Vec<f32>> = (0..5).map(|i| random_update(128, 10 + i)).collect();
         let exact = uniform_average(&updates);
-        let compressed: Vec<Vec<f32>> = updates
-            .iter()
-            .map(|u| quantize(u, 8).to_dense())
-            .collect();
+        let compressed: Vec<Vec<f32>> = updates.iter().map(|u| quantize(u, 8).to_dense()).collect();
         let approx = uniform_average(&compressed);
         let err = reconstruction_error(&exact, &approx);
         assert!(err < 0.05, "aggregated quantization error {err}");

@@ -133,7 +133,10 @@ mod tests {
         let total: usize = schedule.iter().map(Vec::len).sum();
         // Expect roughly half the nominal participation.
         let nominal = 200 * 5;
-        assert!(total < nominal * 7 / 10, "dropout had no effect: {total}/{nominal}");
+        assert!(
+            total < nominal * 7 / 10,
+            "dropout had no effect: {total}/{nominal}"
+        );
         assert!(schedule.iter().all(|round| !round.is_empty()));
     }
 

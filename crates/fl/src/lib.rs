@@ -3,6 +3,13 @@
 //! Federated-learning runtime, aggregation strategies and the full baseline
 //! zoo used in the Calibre evaluation (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** the orchestrator of both stages. The federated
+//! *training* stage is the select → broadcast → local-update → aggregate
+//! round loop ([`pfl_ssl`] for the SSL chassis, [`baselines`] for the
+//! supervised zoo); the *personalization* stage is [`personalize`], which
+//! fits every client's linear probe on the frozen global encoder. Both
+//! stages report their lifecycle to a `calibre_telemetry::Recorder`.
+//!
 //! The crate provides:
 //!
 //! - the run configuration and client-selection schedule ([`FlConfig`]);
@@ -55,4 +62,4 @@ pub mod secure;
 
 pub use config::FlConfig;
 pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};
-pub use personalize::{personalize_cohort, PersonalizationOutcome};
+pub use personalize::{personalize_cohort, personalize_cohort_observed, PersonalizationOutcome};

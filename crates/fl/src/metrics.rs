@@ -151,8 +151,14 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.counts.len(), "actual class {actual} out of range");
-        assert!(predicted < self.counts.len(), "predicted class {predicted} out of range");
+        assert!(
+            actual < self.counts.len(),
+            "actual class {actual} out of range"
+        );
+        assert!(
+            predicted < self.counts.len(),
+            "predicted class {predicted} out of range"
+        );
         self.counts[actual][predicted] += 1;
     }
 

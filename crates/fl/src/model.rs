@@ -116,6 +116,7 @@ pub enum TrainScope {
 ///
 /// The `scope` selects which parameters receive gradients; frozen parts
 /// still participate in the forward pass.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's local-update signature
 pub fn train_supervised<R: Rng + ?Sized>(
     model: &mut ClassifierModel,
     data: &ClientData,
@@ -196,7 +197,9 @@ mod tests {
                 train_per_client: 60,
                 test_per_client: 30,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 3 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 3,
+                },
                 seed: 1,
             },
         )
@@ -271,7 +274,11 @@ mod tests {
             &mut r,
         );
         assert_ne!(model.head().to_flat(), head_before, "head must train");
-        assert_eq!(model.encoder().to_flat(), enc_before, "encoder must stay frozen");
+        assert_eq!(
+            model.encoder().to_flat(),
+            enc_before,
+            "encoder must stay frozen"
+        );
     }
 
     #[test]

@@ -1,10 +1,25 @@
 //! Parallel execution of independent client updates.
 //!
 //! Within a federated round the selected clients are independent, so their
-//! local updates run on crossbeam scoped threads. The helper preserves input
-//! order in its output, which the aggregation code relies on.
+//! local updates run on `std::thread` scoped threads. The helpers preserve
+//! input order in their output, which the aggregation code relies on.
+//!
+//! # Chunking and load imbalance
+//!
+//! Work is split into *contiguous chunks* of `ceil(items / threads)` items,
+//! one chunk per thread. This costs nothing in coordination — no work queue,
+//! no atomics on the hot path — but it load-balances poorly when per-item
+//! cost is skewed: a thread whose chunk holds the slowest clients (e.g. the
+//! ones with the largest local datasets) finishes last while the others sit
+//! idle. That tradeoff is acceptable here because a round's selected clients
+//! have similar sample budgets by construction; if a future workload breaks
+//! that assumption (say, clients with order-of-magnitude different data
+//! sizes), switch to work stealing or size-sorted round-robin assignment
+//! before tuning anything else. The [`parallel_map_owned_timed`] variant
+//! exposes exactly the per-item wall-clock needed to diagnose such skew.
 
 use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
@@ -12,6 +27,15 @@ use std::num::NonZeroUsize;
 /// are collected in input order. Uses up to `available_parallelism` threads
 /// (capped by the item count); falls back to sequential execution for a
 /// single item.
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::parallel::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -21,32 +45,25 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
+    let threads = worker_count(items.len());
     if threads <= 1 || items.len() == 1 {
         return items.iter().map(&f).collect();
     }
 
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let chunk_size = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (item_chunk, result_chunk)) in items
-            .chunks(chunk_size)
-            .zip(results.chunks_mut(chunk_size))
-            .enumerate()
+    std::thread::scope(|scope| {
+        for (item_chunk, result_chunk) in
+            items.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
         {
             let f = &f;
-            let _ = chunk_idx;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("client update thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled by its chunk thread"))
@@ -62,38 +79,67 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_owned_timed(items, f)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// Like [`parallel_map_owned`], but additionally reports each item's
+/// wall-clock execution time, measured *inside* its worker thread.
+///
+/// This is the round-telemetry hook: per-client timings taken outside the
+/// parallel section would measure the whole round, not the client, so the
+/// clock must run where the work runs. Results stay in input order.
+pub fn parallel_map_owned_timed<T, R, F>(items: Vec<T>, f: F) -> Vec<(R, Duration)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
+    let timed = |f: &F, item: T| {
+        let start = Instant::now();
+        let out = f(item);
+        (out, start.elapsed())
+    };
+    let threads = worker_count(items.len());
     if threads <= 1 || items.len() == 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(|item| timed(&f, item)).collect();
     }
     let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let mut results: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
+    let mut results: Vec<Option<(R, Duration)>> = (0..slots.len()).map(|_| None).collect();
     let chunk_size = slots.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (in_chunk, out_chunk) in slots
             .chunks_mut(chunk_size)
             .zip(results.chunks_mut(chunk_size))
         {
             let f = &f;
-            scope.spawn(move |_| {
+            let timed = &timed;
+            scope.spawn(move || {
                 for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
                     let item = slot.take().expect("slot filled before scope");
-                    *out = Some(f(item));
+                    *out = Some(timed(f, item));
                 }
             });
         }
-    })
-    .expect("client update thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled by its chunk thread"))
         .collect()
+}
+
+/// Number of worker threads for `len` items: `available_parallelism` capped
+/// by the item count.
+fn worker_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(len)
 }
 
 #[cfg(test)]
@@ -134,5 +180,28 @@ mod tests {
     fn single_item_runs_sequentially() {
         let out = parallel_map(&[41usize], |&i| i + 1);
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn timed_variant_measures_each_item() {
+        let items: Vec<u64> = vec![1, 5, 1, 5];
+        let out = parallel_map_owned_timed(items, |ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out.len(), 4);
+        for (ms, elapsed) in &out {
+            assert!(
+                *elapsed >= Duration::from_millis(*ms),
+                "item slept {ms}ms but measured {elapsed:?}"
+            );
+        }
+        assert_eq!(out[1].0, 5);
+    }
+
+    #[test]
+    fn timed_empty_input_gives_empty_output() {
+        let out: Vec<(usize, Duration)> = parallel_map_owned_timed(Vec::new(), |i: usize| i);
+        assert!(out.is_empty());
     }
 }

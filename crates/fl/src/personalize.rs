@@ -10,6 +10,7 @@ use crate::metrics::Stats;
 use crate::parallel::parallel_map;
 use calibre_data::FederatedDataset;
 use calibre_ssl::{probe_accuracy, train_linear_probe, ProbeConfig};
+use calibre_telemetry::{NullRecorder, Recorder};
 use calibre_tensor::nn::Mlp;
 
 /// Outcome of personalizing a cohort of clients.
@@ -38,6 +39,18 @@ pub fn personalize_cohort(
     num_classes: usize,
     probe: &ProbeConfig,
 ) -> PersonalizationOutcome {
+    personalize_cohort_observed(encoder, fed, num_classes, probe, &NullRecorder)
+}
+
+/// Like [`personalize_cohort`], additionally reporting one `personalize`
+/// event per client (in client order) to a telemetry [`Recorder`].
+pub fn personalize_cohort_observed(
+    encoder: &Mlp,
+    fed: &FederatedDataset,
+    num_classes: usize,
+    probe: &ProbeConfig,
+    recorder: &dyn Recorder,
+) -> PersonalizationOutcome {
     let ids: Vec<usize> = (0..fed.num_clients()).collect();
     let accuracies = parallel_map(&ids, |&id| {
         let data = fed.client(id);
@@ -51,6 +64,9 @@ pub fn personalize_cohort(
         let head = train_linear_probe(&train_x, &data.train_labels(), num_classes, &client_probe);
         probe_accuracy(&head, &test_x, &data.test_labels())
     });
+    for (&id, &accuracy) in ids.iter().zip(&accuracies) {
+        recorder.personalize(id, accuracy);
+    }
     PersonalizationOutcome::from_accuracies(accuracies)
 }
 
@@ -69,7 +85,9 @@ mod tests {
                 train_per_client: 60,
                 test_per_client: 30,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed,
             },
         )

@@ -11,12 +11,14 @@
 
 use crate::aggregate::{sample_count_weights, weighted_average};
 use crate::baselines::{client_round_seed, BaselineResult};
+use crate::comm::{CommReport, BYTES_PER_PARAM};
 use crate::config::FlConfig;
-use crate::parallel::parallel_map_owned;
-use crate::personalize::personalize_cohort;
+use crate::parallel::parallel_map_owned_timed;
+use crate::personalize::personalize_cohort_observed;
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, SynthVision};
 use calibre_ssl::{create_method, ssl_step, SslKind, SslMethod, TwoViewBatch};
+use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
 use calibre_tensor::nn::Module;
 use calibre_tensor::optim::{Sgd, SgdConfig};
 use calibre_tensor::rng;
@@ -28,6 +30,7 @@ use rand::Rng;
 ///
 /// Batches with fewer than 2 samples are skipped (contrastive losses need a
 /// negative).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's local-update signature
 pub fn ssl_local_update<R: Rng + ?Sized>(
     method: &mut dyn SslMethod,
     data: &ClientData,
@@ -57,6 +60,9 @@ pub fn ssl_local_update<R: Rng + ?Sized>(
     last_epoch_loss
 }
 
+/// Observer invoked after every aggregation with `(round, global_encoder)`.
+pub type RoundObserver<'a> = &'a mut dyn FnMut(usize, &calibre_tensor::nn::Mlp);
+
 /// Persistent client state for SSL federated training.
 struct SslClient {
     id: usize,
@@ -81,7 +87,27 @@ pub fn train_pfl_ssl_encoder_with(
     cfg: &FlConfig,
     kind: SslKind,
     aug: &AugmentConfig,
-    mut round_observer: Option<&mut dyn FnMut(usize, &calibre_tensor::nn::Mlp)>,
+    round_observer: Option<RoundObserver<'_>>,
+) -> (calibre_tensor::nn::Mlp, Vec<f32>) {
+    train_pfl_ssl_encoder_observed(fed, cfg, kind, aug, round_observer, &NullRecorder)
+}
+
+/// Like [`train_pfl_ssl_encoder_with`], additionally reporting the round
+/// lifecycle to a telemetry [`Recorder`].
+///
+/// Per round the recorder sees: `round_start` with the selection, one
+/// `client_update` per client carrying the wall-clock time measured inside
+/// the worker thread that ran the update (via
+/// [`crate::parallel::parallel_map_owned_timed`]) and the final local loss,
+/// an `aggregate` event, and a `round_end` event with the per-client
+/// wall-clock/loss vectors plus planned vs observed communication bytes.
+pub fn train_pfl_ssl_encoder_observed(
+    fed: &calibre_data::FederatedDataset,
+    cfg: &FlConfig,
+    kind: SslKind,
+    aug: &AugmentConfig,
+    mut round_observer: Option<RoundObserver<'_>>,
+    recorder: &dyn Recorder,
 ) -> (calibre_tensor::nn::Mlp, Vec<f32>) {
     // The global encoder starts from the seed-0 reference model.
     let reference = create_method(kind, cfg.ssl.clone());
@@ -96,6 +122,7 @@ pub fn train_pfl_ssl_encoder_with(
     let mut round_losses = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
+        recorder.round_start(round, selected);
         let inputs: Vec<SslClient> = selected
             .iter()
             .map(|&id| {
@@ -107,9 +134,12 @@ pub fn train_pfl_ssl_encoder_with(
             .collect();
         let global_flat = global_encoder.to_flat();
 
-        let updates = parallel_map_owned(inputs, |mut client| {
+        let updates = parallel_map_owned_timed(inputs, |mut client| {
             client.method.encoder_mut().load_flat(&global_flat);
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(cfg.local_lr, cfg.local_momentum));
+            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                cfg.local_lr,
+                cfg.local_momentum,
+            ));
             let mut r = rng::seeded(client_round_seed(cfg.seed, round, client.id));
             let data = fed.client(client.id);
             let loss = ssl_local_update(
@@ -127,15 +157,48 @@ pub fn train_pfl_ssl_encoder_with(
             (client, flat, weight, loss)
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(_, f, _, _)| f.clone()).collect();
-        let counts: Vec<usize> = updates.iter().map(|(_, _, c, _)| *c).collect();
+        let mut client_wall_ms = Vec::with_capacity(updates.len());
+        let mut client_loss = Vec::with_capacity(updates.len());
+        let mut observed_bytes = 0u64;
+        for ((client, flat, _, loss), wall) in &updates {
+            recorder.client_update(
+                round,
+                client.id,
+                *wall,
+                ClientLosses {
+                    total: *loss,
+                    ssl: *loss,
+                    l_n: 0.0,
+                    l_p: 0.0,
+                },
+                0.0,
+            );
+            client_wall_ms.push(wall.as_secs_f64() * 1e3);
+            client_loss.push(*loss);
+            // One encoder down, one encoder up per client.
+            observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
+        }
+
+        let flats: Vec<Vec<f32>> = updates.iter().map(|((_, f, _, _), _)| f.clone()).collect();
+        let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
         let mean_loss =
-            updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
-        global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
-        for (client, _, _, _) in updates {
+            updates.iter().map(|((_, _, _, l), _)| l).sum::<f32>() / updates.len().max(1) as f32;
+        let weights = sample_count_weights(&counts);
+        recorder.aggregate(round, flats.len(), weights.iter().sum());
+        global_encoder.load_flat(&weighted_average(&flats, &weights));
+        for ((client, _, _, _), _) in updates {
             states[client.id] = Some(client.method);
         }
         round_losses.push(mean_loss);
+        let planned_bytes = CommReport::for_module(&global_encoder, 1, selected.len()).total as u64;
+        recorder.round_end(
+            round,
+            mean_loss,
+            &client_wall_ms,
+            &client_loss,
+            planned_bytes,
+            observed_bytes,
+        );
         if let Some(observer) = round_observer.as_deref_mut() {
             observer(round, &global_encoder);
         }
@@ -151,9 +214,21 @@ pub fn run_pfl_ssl(
     kind: SslKind,
     aug: &AugmentConfig,
 ) -> BaselineResult {
+    run_pfl_ssl_observed(fed, cfg, kind, aug, &NullRecorder)
+}
+
+/// Like [`run_pfl_ssl`], reporting both stages to a telemetry [`Recorder`].
+pub fn run_pfl_ssl_observed(
+    fed: &calibre_data::FederatedDataset,
+    cfg: &FlConfig,
+    kind: SslKind,
+    aug: &AugmentConfig,
+    recorder: &dyn Recorder,
+) -> BaselineResult {
     let num_classes = fed.generator().num_classes();
-    let (encoder, round_losses) = train_pfl_ssl_encoder(fed, cfg, kind, aug);
-    let seen = personalize_cohort(&encoder, fed, num_classes, &cfg.probe);
+    let (encoder, round_losses) =
+        train_pfl_ssl_encoder_observed(fed, cfg, kind, aug, None, recorder);
+    let seen = personalize_cohort_observed(&encoder, fed, num_classes, &cfg.probe, recorder);
     BaselineResult {
         name: format!("pFL-{}", kind.name()),
         seen,
@@ -175,7 +250,9 @@ mod tests {
                 train_per_client: 40,
                 test_per_client: 20,
                 unlabeled_per_client: 0,
-                non_iid: NonIid::Quantity { classes_per_client: 2 },
+                non_iid: NonIid::Quantity {
+                    classes_per_client: 2,
+                },
                 seed: 47,
             },
         )

@@ -28,14 +28,12 @@ fn pair_mask(round_seed: u64, a: usize, b: usize, dim: usize) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `client` is not in `cohort` or appears more than once.
-pub fn mask_update(
-    update: &[f32],
-    client: usize,
-    cohort: &[usize],
-    round_seed: u64,
-) -> Vec<f32> {
+pub fn mask_update(update: &[f32], client: usize, cohort: &[usize], round_seed: u64) -> Vec<f32> {
     let occurrences = cohort.iter().filter(|&&c| c == client).count();
-    assert_eq!(occurrences, 1, "client {client} must appear exactly once in the cohort");
+    assert_eq!(
+        occurrences, 1,
+        "client {client} must appear exactly once in the cohort"
+    );
     let mut masked = update.to_vec();
     for &other in cohort {
         if other == client {

@@ -196,7 +196,10 @@ mod tests {
         for _ in 0..25 {
             last = ssl_step(&mut m, &batch, &mut opt);
         }
-        assert!(last < first, "Barlow loss should decrease: {first} -> {last}");
+        assert!(
+            last < first,
+            "Barlow loss should decrease: {first} -> {last}"
+        );
     }
 
     #[test]

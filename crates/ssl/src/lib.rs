@@ -4,6 +4,11 @@
 //! substrate, for the Calibre personalized-federated-learning reproduction
 //! (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** both stages. The federated *training* stage
+//! optimizes one of these SSL objectives inside every client's local update;
+//! the *personalization* stage is this crate's linear probe
+//! ([`train_linear_probe`]) fit on the frozen encoder.
+//!
 //! Implements the six two-view SSL methods the paper builds on —
 //! [`SimClr`], [`Byol`], [`SimSiam`], [`MoCoV2`], [`SwAv`] and [`Smog`] —
 //! behind the common [`SslMethod`] trait, plus:
@@ -192,7 +197,10 @@ mod tests {
                 late <= early,
                 "{kind}: loss did not trend down ({early} -> {late}): {losses:?}"
             );
-            assert!(losses.iter().all(|l| l.is_finite()), "{kind}: non-finite loss");
+            assert!(
+                losses.iter().all(|l| l.is_finite()),
+                "{kind}: non-finite loss"
+            );
         }
     }
 

@@ -232,7 +232,10 @@ mod tests {
         );
         // And the full-queue loss must beat the chance level ln(queue+1).
         let chance = ((m.config.queue_size + 1) as f32).ln();
-        assert!(late < chance, "late loss {late} should beat chance {chance}");
+        assert!(
+            late < chance,
+            "late loss {late} should beat chance {chance}"
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn train_linear_probe_from(
         labels.iter().all(|&l| l < num_classes),
         "labels must be < num_classes"
     );
-    assert_eq!(head.input_dim(), features.cols(), "head input width mismatch");
+    assert_eq!(
+        head.input_dim(),
+        features.cols(),
+        "head input width mismatch"
+    );
     assert_eq!(head.output_dim(), num_classes, "head output width mismatch");
     let mut rng_ = rng::seeded(config.seed);
     let mut opt = Sgd::new(SgdConfig::with_lr(config.lr));
@@ -180,9 +184,20 @@ mod tests {
         let mut r = seeded(5);
         let x = normal_matrix(&mut r, 400, 8, 1.0);
         let y: Vec<usize> = (0..400).map(|i| i % 4).collect();
-        let head = train_linear_probe(&x, &y, 4, &ProbeConfig { epochs: 2, ..Default::default() });
+        let head = train_linear_probe(
+            &x,
+            &y,
+            4,
+            &ProbeConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let acc = probe_accuracy(&head, &x, &y);
-        assert!(acc < 0.5, "random features should stay near chance, got {acc}");
+        assert!(
+            acc < 0.5,
+            "random features should stay near chance, got {acc}"
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ mod tests {
         for _ in 0..20 {
             last = ssl_step(&mut m, &batch, &mut opt);
         }
-        assert!(last < first, "SimSiam loss should decrease: {first} -> {last}");
+        assert!(
+            last < first,
+            "SimSiam loss should decrease: {first} -> {last}"
+        );
     }
 
     #[test]

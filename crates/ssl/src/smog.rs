@@ -33,13 +33,8 @@ impl Smog {
         let mut r = rng::seeded(config.seed);
         let encoder = Mlp::new(&config.encoder_layer_dims(), Activation::Relu, &mut r);
         let projector = Mlp::new(&config.projector_layer_dims(), Activation::Relu, &mut r);
-        let groups = rng::normal_matrix(
-            &mut r,
-            config.num_prototypes,
-            config.projection_dim,
-            1.0,
-        )
-        .row_l2_normalized();
+        let groups = rng::normal_matrix(&mut r, config.num_prototypes, config.projection_dim, 1.0)
+            .row_l2_normalized();
         Smog {
             config,
             encoder,
@@ -161,11 +156,11 @@ impl SslMethod for Smog {
             }
         }
         let m = self.config.group_momentum;
-        for g in 0..k {
-            if counts[g] == 0 {
+        for (g, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
-            let inv = 1.0 / counts[g] as f32;
+            let inv = 1.0 / count as f32;
             for (c, s) in sums.row(g).iter().enumerate() {
                 let mean = s * inv;
                 let old = self.groups.get(g, c);
@@ -183,7 +178,7 @@ impl SslMethod for Smog {
             let excess = self.feature_buffer.len() - cap;
             self.feature_buffer.drain(0..excess);
         }
-        if self.steps % self.config.group_reset_interval == 0
+        if self.steps.is_multiple_of(self.config.group_reset_interval)
             && self.feature_buffer.len() >= self.config.num_prototypes
         {
             let data = Matrix::from_rows(&self.feature_buffer);
@@ -194,6 +189,7 @@ impl SslMethod for Smog {
                     max_iters: 20,
                     tol: 1e-3,
                     seed: self.config.seed ^ self.steps as u64,
+                    n_init: 1,
                 },
             );
             // Pad (rare: fewer distinct points than groups) by keeping old rows.

@@ -27,12 +27,8 @@ impl SwAv {
         let mut r = rng::seeded(config.seed);
         let encoder = Mlp::new(&config.encoder_layer_dims(), Activation::Relu, &mut r);
         let projector = Mlp::new(&config.projector_layer_dims(), Activation::Relu, &mut r);
-        let prototypes = rng::normal_matrix(
-            &mut r,
-            config.projection_dim,
-            config.num_prototypes,
-            1.0,
-        );
+        let prototypes =
+            rng::normal_matrix(&mut r, config.projection_dim, config.num_prototypes, 1.0);
         let mut swav = SwAv {
             config,
             encoder,
@@ -167,7 +163,13 @@ mod tests {
     fn prototype_columns_are_unit_norm() {
         let m = SwAv::new(SslConfig::for_input(64));
         for c in 0..m.prototypes().cols() {
-            let norm: f32 = m.prototypes().col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = m
+                .prototypes()
+                .col(c)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-5, "column {c} norm {norm}");
         }
     }
@@ -184,7 +186,13 @@ mod tests {
             ssl_step(&mut m, &TwoViewBatch::new(&batch_a, &batch_b), &mut opt);
         }
         for c in 0..m.prototypes().cols() {
-            let norm: f32 = m.prototypes().col(c).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = m
+                .prototypes()
+                .col(c)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
             assert!((norm - 1.0).abs() < 1e-4);
         }
     }
@@ -209,8 +217,7 @@ mod tests {
     #[test]
     fn prototypes_are_trainable_parameters() {
         let m = SwAv::new(SslConfig::for_input(64));
-        let expected =
-            m.encoder.num_scalars() + m.projector.num_scalars() + m.prototypes.len();
+        let expected = m.encoder.num_scalars() + m.projector.num_scalars() + m.prototypes.len();
         assert_eq!(m.num_scalars(), expected);
     }
 }

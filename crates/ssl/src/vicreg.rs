@@ -66,7 +66,7 @@ fn variance_covariance_terms(g: &mut Graph, h: Node, n: usize, d: usize) -> (Nod
     // Per-feature variance: mean of squared centered values over the batch.
     let sq = g.mul(centered, centered);
     let var_row = g.group_mean_rows(sq, &all_one_group, 1); // (1, d)
-    // std = sqrt(var + eps); hinge = mean(max(0, 1 - std)).
+                                                            // std = sqrt(var + eps); hinge = mean(max(0, 1 - std)).
     let eps = g.add_scalar(var_row, 1e-4);
     let log_var = g.log(eps);
     let half_log = g.scale(log_var, 0.5);
@@ -219,7 +219,10 @@ mod tests {
         for _ in 0..30 {
             last = ssl_step(&mut m, &batch, &mut opt);
         }
-        assert!(last < first, "VICReg loss should decrease: {first} -> {last}");
+        assert!(
+            last < first,
+            "VICReg loss should decrease: {first} -> {last}"
+        );
     }
 
     #[test]

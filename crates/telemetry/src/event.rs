@@ -1,0 +1,309 @@
+//! Telemetry event types and their JSON-lines encoding.
+
+use std::fmt::Write as _;
+
+/// The per-client loss decomposition from the Calibre objective
+/// (`L = L_ssl + alpha * L_n + beta * L_p`).
+///
+/// Methods that do not use the prototype regularizers report zero for
+/// [`ClientLosses::l_n`] and [`ClientLosses::l_p`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClientLosses {
+    /// Total local training loss (the value the optimizer stepped on).
+    pub total: f32,
+    /// Self-supervised contrastive term `L_ssl` (`l_s` in the paper).
+    pub ssl: f32,
+    /// Prototype-noise regularizer `L_n`.
+    pub l_n: f32,
+    /// Prototype-alignment regularizer `L_p`.
+    pub l_p: f32,
+}
+
+/// One observable moment in the federated loop.
+///
+/// Events are plain data: producing one has no side effects, and every field
+/// is public so sinks can reduce them however they like.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A federated round began with this set of selected client ids.
+    RoundStart {
+        /// Zero-based round index.
+        round: usize,
+        /// Ids of the clients selected for this round.
+        selected: Vec<usize>,
+    },
+    /// One client finished its local update.
+    ClientUpdate {
+        /// Zero-based round index.
+        round: usize,
+        /// Client id.
+        client: usize,
+        /// Wall-clock time of the local update, measured in the worker
+        /// thread that ran it, in milliseconds.
+        wall_ms: f64,
+        /// Loss decomposition at the end of the local update.
+        losses: ClientLosses,
+        /// Divergence between the client's model and the global model
+        /// (the paper's divergence-aware aggregation signal).
+        divergence: f32,
+    },
+    /// The server aggregated the round's client payloads.
+    Aggregate {
+        /// Zero-based round index.
+        round: usize,
+        /// Number of client payloads aggregated.
+        num_clients: usize,
+        /// Sum of aggregation weights (sample counts or divergence weights).
+        total_weight: f32,
+    },
+    /// A federated round completed.
+    RoundEnd {
+        /// Zero-based round index.
+        round: usize,
+        /// Mean of the selected clients' total losses.
+        mean_loss: f32,
+        /// Per-client wall-clock times in milliseconds, in selection order.
+        client_wall_ms: Vec<f64>,
+        /// Per-client total losses, in selection order.
+        client_loss: Vec<f32>,
+        /// Bytes the communication model predicts for this round
+        /// (both directions, from `calibre_fl::comm::CommReport`).
+        planned_bytes: u64,
+        /// Bytes actually moved through the aggregator this round.
+        observed_bytes: u64,
+    },
+    /// One client finished the personalization stage.
+    Personalize {
+        /// Client id.
+        client: usize,
+        /// Personalized test accuracy of the local probe, in `[0, 1]`.
+        accuracy: f32,
+    },
+}
+
+/// Formats a float as JSON, mapping non-finite values to `null`.
+fn json_num(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_usize_array(xs: &[usize], out: &mut String) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+fn json_f64_array(xs: &[f64], out: &mut String) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_num(x, out);
+    }
+    out.push(']');
+}
+
+fn json_f32_array(xs: &[f32], out: &mut String) {
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_num(f64::from(x), out);
+    }
+    out.push(']');
+}
+
+impl Event {
+    /// Encodes the event as a single JSON object (one JSONL line, without
+    /// the trailing newline).
+    ///
+    /// The encoding is hand-rolled: every field is numeric or an array of
+    /// numbers, and the only strings are the fixed `"type"` tags, so no
+    /// escaping is needed. Non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            Event::RoundStart { round, selected } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"round_start\",\"round\":{round},\"selected\":"
+                );
+                json_usize_array(selected, &mut s);
+                s.push('}');
+            }
+            Event::ClientUpdate {
+                round,
+                client,
+                wall_ms,
+                losses,
+                divergence,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"client_update\",\"round\":{round},\"client\":{client},\"wall_ms\":"
+                );
+                json_num(*wall_ms, &mut s);
+                s.push_str(",\"loss\":");
+                json_num(f64::from(losses.total), &mut s);
+                s.push_str(",\"l_ssl\":");
+                json_num(f64::from(losses.ssl), &mut s);
+                s.push_str(",\"l_n\":");
+                json_num(f64::from(losses.l_n), &mut s);
+                s.push_str(",\"l_p\":");
+                json_num(f64::from(losses.l_p), &mut s);
+                s.push_str(",\"divergence\":");
+                json_num(f64::from(*divergence), &mut s);
+                s.push('}');
+            }
+            Event::Aggregate {
+                round,
+                num_clients,
+                total_weight,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"aggregate\",\"round\":{round},\"num_clients\":{num_clients},\"total_weight\":"
+                );
+                json_num(f64::from(*total_weight), &mut s);
+                s.push('}');
+            }
+            Event::RoundEnd {
+                round,
+                mean_loss,
+                client_wall_ms,
+                client_loss,
+                planned_bytes,
+                observed_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"round_end\",\"round\":{round},\"mean_loss\":"
+                );
+                json_num(f64::from(*mean_loss), &mut s);
+                s.push_str(",\"client_wall_ms\":");
+                json_f64_array(client_wall_ms, &mut s);
+                s.push_str(",\"client_loss\":");
+                json_f32_array(client_loss, &mut s);
+                let _ = write!(
+                    s,
+                    ",\"planned_bytes\":{planned_bytes},\"observed_bytes\":{observed_bytes}}}"
+                );
+            }
+            Event::Personalize { client, accuracy } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"personalize\",\"client\":{client},\"accuracy\":"
+                );
+                json_num(f64::from(*accuracy), &mut s);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Returns the round index the event belongs to, if it is round-scoped.
+    ///
+    /// [`Event::Personalize`] happens after training finishes and returns
+    /// `None`.
+    pub fn round(&self) -> Option<usize> {
+        match self {
+            Event::RoundStart { round, .. }
+            | Event::ClientUpdate { round, .. }
+            | Event::Aggregate { round, .. }
+            | Event::RoundEnd { round, .. } => Some(*round),
+            Event::Personalize { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_start_encodes_selection() {
+        let e = Event::RoundStart {
+            round: 3,
+            selected: vec![0, 4, 7],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"round_start\",\"round\":3,\"selected\":[0,4,7]}"
+        );
+    }
+
+    #[test]
+    fn client_update_carries_loss_decomposition() {
+        let e = Event::ClientUpdate {
+            round: 1,
+            client: 9,
+            wall_ms: 12.5,
+            losses: ClientLosses {
+                total: 2.0,
+                ssl: 1.5,
+                l_n: 0.25,
+                l_p: 0.25,
+            },
+            divergence: 0.125,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"wall_ms\":12.5"));
+        assert!(json.contains("\"l_ssl\":1.5"));
+        assert!(json.contains("\"l_n\":0.25"));
+        assert!(json.contains("\"l_p\":0.25"));
+        assert!(json.contains("\"divergence\":0.125"));
+    }
+
+    #[test]
+    fn round_end_arrays_and_bytes() {
+        let e = Event::RoundEnd {
+            round: 0,
+            mean_loss: 1.5,
+            client_wall_ms: vec![1.0, 2.5],
+            client_loss: vec![1.0, 2.0],
+            planned_bytes: 100,
+            observed_bytes: 120,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"client_wall_ms\":[1,2.5]"));
+        assert!(json.contains("\"client_loss\":[1,2]"));
+        assert!(json.contains("\"planned_bytes\":100"));
+        assert!(json.contains("\"observed_bytes\":120"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::Personalize {
+            client: 0,
+            accuracy: f32::NAN,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"personalize\",\"client\":0,\"accuracy\":null}"
+        );
+    }
+
+    #[test]
+    fn round_accessor() {
+        let start = Event::RoundStart {
+            round: 2,
+            selected: vec![],
+        };
+        assert_eq!(start.round(), Some(2));
+        let p = Event::Personalize {
+            client: 0,
+            accuracy: 0.5,
+        };
+        assert_eq!(p.round(), None);
+    }
+}

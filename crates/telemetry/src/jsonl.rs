@@ -1,0 +1,140 @@
+//! Streaming JSON-lines file sink.
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A [`Recorder`] that appends one JSON object per event to a file.
+///
+/// Writes go through a buffered writer behind a mutex, so the sink is safe
+/// to share across the worker threads of a federated round. The buffer is
+/// flushed on [`JsonlSink::flush`] and on drop; a write failure after
+/// construction is reported to stderr once rather than panicking, because
+/// telemetry must never take down a training run.
+///
+/// The output is the machine-readable artifact of a run:
+///
+/// ```text
+/// {"type":"round_start","round":0,"selected":[0,3]}
+/// {"type":"client_update","round":0,"client":0,"wall_ms":41.8,...}
+/// {"type":"round_end","round":0,"mean_loss":2.1,"client_wall_ms":[41.8,41.0],...}
+/// ```
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    failed: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            failed: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Flushes buffered events to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().flush()
+    }
+
+    fn note_failure(&self, err: io::Error) {
+        use std::sync::atomic::Ordering;
+        if !self.failed.swap(true, Ordering::Relaxed) {
+            eprintln!("telemetry: dropping events, write failed: {err}");
+        }
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn record(&self, event: Event) {
+        use std::sync::atomic::Ordering;
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let line = event.to_json();
+        let mut writer = self.writer.lock();
+        if let Err(err) = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+        {
+            drop(writer);
+            self.note_failure(err);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.get_mut().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ClientLosses;
+    use std::time::Duration;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "calibre-telemetry-test-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn writes_one_json_object_per_event() {
+        let path = temp_path("basic.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.round_start(0, &[0, 1]);
+            sink.client_update(0, 0, Duration::from_millis(2), ClientLosses::default(), 0.0);
+            sink.round_end(0, 1.0, &[2.0], &[1.0], 8, 8);
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"round_start\""));
+        assert!(lines[2].contains("\"observed_bytes\":8"));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writes_produce_whole_lines() {
+        let path = temp_path("concurrent.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            std::thread::scope(|scope| {
+                for client in 0..16usize {
+                    let sink = &sink;
+                    scope.spawn(move || {
+                        sink.client_update(
+                            0,
+                            client,
+                            Duration::from_micros(5),
+                            ClientLosses::default(),
+                            0.0,
+                        );
+                    });
+                }
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 16);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"type\":\"client_update\""), "{line}");
+            assert!(line.ends_with('}'));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

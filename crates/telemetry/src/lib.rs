@@ -1,0 +1,53 @@
+//! Round-level telemetry for the Calibre federated loop.
+//!
+//! In Algorithm 1 terms this crate observes both stages without taking part
+//! in either: the *training stage* emits one [`Event::RoundStart`], one
+//! [`Event::ClientUpdate`] per selected client, one [`Event::Aggregate`] and
+//! one [`Event::RoundEnd`] per federated round, and the *personalization
+//! stage* emits one [`Event::Personalize`] per client when the frozen global
+//! encoder is evaluated with a local linear probe.
+//!
+//! The design splits cleanly into three layers:
+//!
+//! * **Events** ([`Event`], [`ClientLosses`]) — plain-data descriptions of
+//!   what happened, with a hand-rolled JSON encoding ([`Event::to_json`]) so
+//!   the crate works in hermetic builds without a serialization framework.
+//! * **Recorders** ([`Recorder`]) — where events go. [`NullRecorder`]
+//!   discards them, [`MemoryRecorder`] keeps them for tests,
+//!   [`JsonlSink`] streams them to a JSON-lines file, and [`Fanout`]
+//!   broadcasts to several recorders at once.
+//! * **Aggregation** ([`MetricsHub`]) — a thread-safe reducer that folds the
+//!   event stream into per-round wall-clock/loss summaries and a final
+//!   fairness summary (mean, std, worst-10% accuracy) matching the paper's
+//!   evaluation protocol.
+//!
+//! Every recorder is `Send + Sync`, so a single `&dyn Recorder` can be
+//! captured by the closure that `calibre_fl::parallel::parallel_map_owned`
+//! fans out across worker threads: per-client events are recorded from the
+//! thread that ran the client.
+//!
+//! ```
+//! use calibre_telemetry::{ClientLosses, MemoryRecorder, Recorder};
+//! use std::time::Duration;
+//!
+//! let rec = MemoryRecorder::new();
+//! rec.round_start(0, &[0, 1]);
+//! rec.client_update(0, 1, Duration::from_millis(12),
+//!                   ClientLosses { total: 1.5, ssl: 1.4, l_n: 0.06, l_p: 0.04 },
+//!                   0.2);
+//! rec.aggregate(0, 2, 2.0);
+//! rec.round_end(0, 1.5, &[12.0, 13.5], &[1.5, 1.6], 4096, 4096);
+//! assert_eq!(rec.events().len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod event;
+mod hub;
+mod jsonl;
+mod recorder;
+
+pub use event::{ClientLosses, Event};
+pub use hub::{FairnessSummary, MetricsHub, RoundSummary};
+pub use jsonl::JsonlSink;
+pub use recorder::{Fanout, MemoryRecorder, NullRecorder, Recorder};

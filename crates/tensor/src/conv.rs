@@ -270,8 +270,7 @@ pub(crate) fn im2col_matrix(
                     for kx in 0..kernel {
                         let x = ox * stride + kx;
                         let src = (y * shape.width + x) * shape.channels;
-                        dst[i..i + shape.channels]
-                            .copy_from_slice(&img[src..src + shape.channels]);
+                        dst[i..i + shape.channels].copy_from_slice(&img[src..src + shape.channels]);
                         i += shape.channels;
                     }
                 }
@@ -425,8 +424,7 @@ mod tests {
                 for y in 0..8 {
                     for x in 0..8 {
                         let stripe = if class == 0 { x % 2 } else { y % 2 };
-                        img[y * 8 + x] =
-                            stripe as f32 + 0.3 * crate::rng::normal(&mut r);
+                        img[y * 8 + x] = stripe as f32 + 0.3 * crate::rng::normal(&mut r);
                     }
                 }
                 rows.push(img);

@@ -59,7 +59,11 @@ where
             let mut g = Graph::new();
             let x = g.leaf(perturbed);
             let out = build(&mut g, x);
-            assert_eq!(g.value(out).shape(), (1, 1), "gradcheck requires scalar output");
+            assert_eq!(
+                g.value(out).shape(),
+                (1, 1),
+                "gradcheck requires scalar output"
+            );
             g.value(out).get(0, 0)
         };
         let numeric = (eval(epsilon) - eval(-epsilon)) / (2.0 * epsilon);
@@ -233,11 +237,20 @@ mod tests {
 
     #[test]
     fn report_passes_uses_either_bound() {
-        let r = GradCheckReport { max_abs_err: 10.0, max_rel_err: 1e-6 };
+        let r = GradCheckReport {
+            max_abs_err: 10.0,
+            max_rel_err: 1e-6,
+        };
         assert!(r.passes(1e-3));
-        let r2 = GradCheckReport { max_abs_err: 1e-7, max_rel_err: 0.5 };
+        let r2 = GradCheckReport {
+            max_abs_err: 1e-7,
+            max_rel_err: 0.5,
+        };
         assert!(r2.passes(1e-3));
-        let r3 = GradCheckReport { max_abs_err: 1.0, max_rel_err: 1.0 };
+        let r3 = GradCheckReport {
+            max_abs_err: 1.0,
+            max_rel_err: 1.0,
+        };
         assert!(!r3.passes(1e-3));
     }
 }

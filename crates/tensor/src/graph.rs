@@ -383,13 +383,7 @@ impl Graph {
         let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
         let data: Vec<f32> = (0..av.rows())
-            .map(|r| {
-                av.row(r)
-                    .iter()
-                    .zip(bv.row(r))
-                    .map(|(&x, &y)| x * y)
-                    .sum()
-            })
+            .map(|r| av.row(r).iter().zip(bv.row(r)).map(|(&x, &y)| x * y).sum())
             .collect();
         let v = Matrix::from_vec(av.rows(), 1, data);
         let rg = self.rg(a) || self.rg(b);
@@ -419,12 +413,20 @@ impl Graph {
     /// target is out of range.
     pub fn cross_entropy(&mut self, logits: Node, targets: &[usize]) -> Node {
         let lv = &self.nodes[logits.0].value;
-        assert_eq!(targets.len(), lv.rows(), "one target per logit row required");
+        assert_eq!(
+            targets.len(),
+            lv.rows(),
+            "one target per logit row required"
+        );
         let soft = lv.row_softmax();
         let log_soft = lv.row_log_softmax();
         let mut loss = 0.0;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < lv.cols(), "target {t} out of range for {} classes", lv.cols());
+            assert!(
+                t < lv.cols(),
+                "target {t} out of range for {} classes",
+                lv.cols()
+            );
             loss -= log_soft.get(r, t);
         }
         loss /= targets.len().max(1) as f32;
@@ -446,7 +448,11 @@ impl Graph {
     /// Panics if shapes disagree.
     pub fn cross_entropy_soft(&mut self, logits: Node, targets: Matrix) -> Node {
         let lv = &self.nodes[logits.0].value;
-        assert_eq!(lv.shape(), targets.shape(), "soft targets must match logits shape");
+        assert_eq!(
+            lv.shape(),
+            targets.shape(),
+            "soft targets must match logits shape"
+        );
         let soft = lv.row_softmax();
         let log_soft = lv.row_log_softmax();
         let mut loss = 0.0;
@@ -474,7 +480,11 @@ impl Graph {
     /// Panics if the node is not square.
     pub fn mask_diagonal(&mut self, a: Node, value: f32) -> Node {
         let av = &self.nodes[a.0].value;
-        assert_eq!(av.rows(), av.cols(), "mask_diagonal requires a square matrix");
+        assert_eq!(
+            av.rows(),
+            av.cols(),
+            "mask_diagonal requires a square matrix"
+        );
         let mut v = av.clone();
         for i in 0..v.rows() {
             v.set(i, i, value);
@@ -590,9 +600,7 @@ impl Graph {
                 let bv = &self.nodes[b.0].value;
                 let av = &self.nodes[a.0].value;
                 let da = grad.div(bv);
-                let db = grad
-                    .mul(av)
-                    .zip_with(bv, |num, den| -num / (den * den));
+                let db = grad.mul(av).zip_with(bv, |num, den| -num / (den * den));
                 self.accumulate(a, da);
                 self.accumulate(b, db);
             }
@@ -614,7 +622,9 @@ impl Graph {
             Op::Scale(a, s) => self.accumulate(a, grad.scale(s)),
             Op::AddScalar(a, _) => self.accumulate(a, grad.clone()),
             Op::Relu(a) => {
-                let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let mask = self.nodes[a.0]
+                    .value
+                    .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                 self.accumulate(a, grad.mul(&mask));
             }
             Op::Tanh(a) => {
@@ -663,8 +673,12 @@ impl Graph {
                 for r in 0..x.rows() {
                     let n = x.cols() as f32;
                     let mean: f32 = x.row(r).iter().sum::<f32>() / n;
-                    let var: f32 =
-                        x.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let var: f32 = x
+                        .row(r)
+                        .iter()
+                        .map(|v| (v - mean) * (v - mean))
+                        .sum::<f32>()
+                        / n;
                     let inv_std = 1.0 / (var + 1e-5).sqrt();
                     let g_mean: f32 = grad.row(r).iter().sum::<f32>() / n;
                     let gy_mean: f32 = grad
@@ -760,7 +774,10 @@ impl Graph {
                 self.accumulate(a, Matrix::full(shape.0, shape.1, s));
             }
             Op::CrossEntropy(logits, targets) => {
-                let soft = self.nodes[id].aux.clone().expect("softmax cached in forward");
+                let soft = self.nodes[id]
+                    .aux
+                    .clone()
+                    .expect("softmax cached in forward");
                 let g = grad.get(0, 0) / targets.len().max(1) as f32;
                 let mut d = soft;
                 for (r, &t) in targets.iter().enumerate() {
@@ -770,7 +787,10 @@ impl Graph {
                 self.accumulate(logits, d.scale(g));
             }
             Op::CrossEntropySoft(logits, targets) => {
-                let soft = self.nodes[id].aux.clone().expect("softmax cached in forward");
+                let soft = self.nodes[id]
+                    .aux
+                    .clone()
+                    .expect("softmax cached in forward");
                 let g = grad.get(0, 0) / targets.rows().max(1) as f32;
                 // Per-row gradient: (sum_k t_k) * softmax - t. For probability
                 // rows the row sum is 1 and this reduces to softmax - t.
@@ -996,7 +1016,10 @@ mod tests {
         let loss = g.sum_all(sq); // = ||y||² = 1 identically
         g.backward(loss);
         let grad = g.grad(x).unwrap();
-        assert!(grad.max_abs() < 1e-6, "norm of a normalized row is constant; grad {grad:?}");
+        assert!(
+            grad.max_abs() < 1e-6,
+            "norm of a normalized row is constant; grad {grad:?}"
+        );
     }
 
     #[test]
@@ -1072,7 +1095,10 @@ mod tests {
     #[test]
     fn layer_norm_rows_have_zero_mean_unit_variance() {
         let mut g = Graph::new();
-        let x = g.constant(Matrix::from_rows(&[vec![1.0, 3.0, 5.0], vec![-2.0, 0.0, 2.0]]));
+        let x = g.constant(Matrix::from_rows(&[
+            vec![1.0, 3.0, 5.0],
+            vec![-2.0, 0.0, 2.0],
+        ]));
         let y = g.layer_norm(x);
         for r in 0..2 {
             let row = g.value(y).row(r);
@@ -1090,7 +1116,12 @@ mod tests {
         let mut g = Graph::new();
         let x = g.leaf(Matrix::from_rows(&[vec![0.5, -1.0, 2.0, 0.3]]));
         let y = g.layer_norm(x);
-        let w = g.constant(Matrix::from_rows(&[vec![1.0], vec![-2.0], vec![0.5], vec![3.0]]));
+        let w = g.constant(Matrix::from_rows(&[
+            vec![1.0],
+            vec![-2.0],
+            vec![0.5],
+            vec![3.0],
+        ]));
         let out = g.matmul(y, w);
         let loss = g.sum_all(out);
         g.backward(loss);
@@ -1107,6 +1138,9 @@ mod tests {
         let loss = g.sum_all(y);
         g.backward(loss);
         g.backward(loss);
-        assert!((g.grad(x).unwrap().get(0, 0) - 3.0).abs() < 1e-6, "grad must not double-accumulate");
+        assert!(
+            (g.grad(x).unwrap().get(0, 0) - 3.0).abs() < 1e-6,
+            "grad must not double-accumulate"
+        );
     }
 }

@@ -4,6 +4,11 @@
 //! the numerical substrate for the Calibre personalized-federated-learning
 //! reproduction (ICDCS 2024).
 //!
+//! **Role in Algorithm 1:** substrate for *both* stages — the federated
+//! training stage differentiates SSL + calibration losses through this tape,
+//! and the personalization stage trains its per-client linear probe with the
+//! same autograd and [`optim::Sgd`] optimizer.
+//!
 //! The crate provides exactly what the reproduction needs and nothing more:
 //!
 //! - [`Matrix`] — dense row-major `f32` matrix with the linear-algebra

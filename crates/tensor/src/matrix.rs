@@ -111,7 +111,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Matrix {
@@ -205,7 +210,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -216,7 +226,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -395,7 +410,12 @@ impl Matrix {
 
     /// Adds a `(rows, 1)` column vector to every column, returning a new matrix.
     pub fn add_col_vec(&self, col: &Matrix) -> Matrix {
-        assert_eq!(col.cols, 1, "expected a column vector, got {:?}", col.shape());
+        assert_eq!(
+            col.cols,
+            1,
+            "expected a column vector, got {:?}",
+            col.shape()
+        );
         assert_eq!(col.rows, self.rows, "column vector length mismatch");
         let mut out = self.clone();
         for r in 0..out.rows {
@@ -517,7 +537,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "row index {idx} out of bounds for {} rows", self.rows);
+            assert!(
+                idx < self.rows,
+                "row index {idx} out of bounds for {} rows",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out

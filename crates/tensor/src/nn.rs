@@ -77,7 +77,12 @@ pub trait Module {
     /// Panics if `flat.len()` does not match [`Module::num_scalars`].
     fn load_flat(&mut self, flat: &[f32]) {
         let expected = self.num_scalars();
-        assert_eq!(flat.len(), expected, "flat parameter length mismatch: got {}, expected {expected}", flat.len());
+        assert_eq!(
+            flat.len(),
+            expected,
+            "flat parameter length mismatch: got {}, expected {expected}",
+            flat.len()
+        );
         let mut offset = 0;
         for p in self.parameters_mut() {
             let n = p.len();
@@ -95,7 +100,11 @@ pub trait Module {
 /// Panics if the two modules have different parameter shapes.
 pub fn ema_update<M: Module + ?Sized>(target: &mut M, online: &M, momentum: f32) {
     let online_params: Vec<Matrix> = online.parameters().into_iter().cloned().collect();
-    for (t, o) in target.parameters_mut().into_iter().zip(online_params.iter()) {
+    for (t, o) in target
+        .parameters_mut()
+        .into_iter()
+        .zip(online_params.iter())
+    {
         assert_eq!(t.shape(), o.shape(), "ema_update shape mismatch");
         for (tv, &ov) in t.iter_mut().zip(o.iter()) {
             *tv = momentum * *tv + (1.0 - momentum) * ov;
@@ -179,7 +188,11 @@ impl Linear {
     ///
     /// Panics if `b` is not a `(1, w.cols())` row vector.
     pub fn from_parts(w: Matrix, b: Matrix) -> Self {
-        assert_eq!(b.shape(), (1, w.cols()), "bias must be a (1, out) row vector");
+        assert_eq!(
+            b.shape(),
+            (1, w.cols()),
+            "bias must be a (1, out) row vector"
+        );
         Linear { w, b }
     }
 
@@ -280,7 +293,11 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if fewer than two dimensions are given.
-    pub fn new<R: Rng + ?Sized>(dims: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
         Self::with_output_activation(dims, hidden_activation, Activation::Identity, rng)
     }
 
@@ -295,7 +312,10 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))

@@ -121,10 +121,14 @@ impl Sgd {
         );
 
         let clip_scale = if self.config.grad_clip > 0.0 {
-            let total: f32 = grads.iter().map(|g| {
-                let n = g.frobenius_norm();
-                n * n
-            }).sum::<f32>().sqrt();
+            let total: f32 = grads
+                .iter()
+                .map(|g| {
+                    let n = g.frobenius_norm();
+                    n * n
+                })
+                .sum::<f32>()
+                .sqrt();
             if total > self.config.grad_clip {
                 self.config.grad_clip / total
             } else {
@@ -345,7 +349,10 @@ impl LrSchedule {
     pub fn lr_at(&self, step: usize, base_lr: f32) -> f32 {
         match *self {
             LrSchedule::Constant => base_lr,
-            LrSchedule::Cosine { total_steps, min_lr } => {
+            LrSchedule::Cosine {
+                total_steps,
+                min_lr,
+            } => {
                 assert!(total_steps > 0, "total_steps must be positive");
                 if step >= total_steps {
                     return min_lr;
@@ -389,7 +396,8 @@ mod tests {
         let mut m = Mlp::new(&[2, 3], Activation::Relu, &mut r);
         let before = m.to_flat();
         let mut opt = Sgd::new(SgdConfig::with_lr(0.5));
-        let gr = unit_grads(&m); opt.step(&mut m, &gr);
+        let gr = unit_grads(&m);
+        opt.step(&mut m, &gr);
         for (b, a) in before.iter().zip(m.to_flat().iter()) {
             assert!((b - 0.5 - a).abs() < 1e-6);
         }
@@ -401,8 +409,10 @@ mod tests {
         let mut m = Mlp::new(&[1, 1], Activation::Identity, &mut r);
         let mut opt = Sgd::new(SgdConfig::with_lr_momentum(1.0, 0.5));
         let start = m.to_flat();
-        let gr = unit_grads(&m); opt.step(&mut m, &gr); // v=1, p -= 1
-        let gr = unit_grads(&m); opt.step(&mut m, &gr); // v=1.5, p -= 1.5
+        let gr = unit_grads(&m);
+        opt.step(&mut m, &gr); // v=1, p -= 1
+        let gr = unit_grads(&m);
+        opt.step(&mut m, &gr); // v=1.5, p -= 1.5
         let end = m.to_flat();
         for (s, e) in start.iter().zip(end.iter()) {
             assert!((s - 2.5 - e).abs() < 1e-6, "expected total step 2.5");
@@ -452,7 +462,10 @@ mod tests {
             .map(|(b, a)| (b - a) * (b - a))
             .sum::<f32>()
             .sqrt();
-        assert!(delta_norm <= 1.0 + 1e-4, "clipped update norm {delta_norm} > 1");
+        assert!(
+            delta_norm <= 1.0 + 1e-4,
+            "clipped update norm {delta_norm} > 1"
+        );
     }
 
     #[test]
@@ -460,10 +473,12 @@ mod tests {
         let mut r = rng::seeded(4);
         let mut m = Mlp::new(&[1, 1], Activation::Identity, &mut r);
         let mut opt = Sgd::new(SgdConfig::with_lr_momentum(1.0, 0.9));
-        let gr = unit_grads(&m); opt.step(&mut m, &gr);
+        let gr = unit_grads(&m);
+        opt.step(&mut m, &gr);
         opt.reset();
         let before = m.to_flat();
-        let gr = unit_grads(&m); opt.step(&mut m, &gr);
+        let gr = unit_grads(&m);
+        opt.step(&mut m, &gr);
         // After reset, velocity starts at zero again: step is exactly lr·g.
         for (b, a) in before.iter().zip(m.to_flat().iter()) {
             assert!((b - 1.0 - a).abs() < 1e-6);
@@ -481,7 +496,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_anneals_monotonically() {
-        let sched = LrSchedule::Cosine { total_steps: 100, min_lr: 0.001 };
+        let sched = LrSchedule::Cosine {
+            total_steps: 100,
+            min_lr: 0.001,
+        };
         assert!((sched.lr_at(0, 0.1) - 0.1).abs() < 1e-4);
         let mut last = f32::INFINITY;
         for step in 0..120 {
@@ -490,12 +508,18 @@ mod tests {
             assert!(lr >= 0.001 - 1e-7);
             last = lr;
         }
-        assert!((sched.lr_at(150, 0.1) - 0.001).abs() < 1e-6, "clamps at min");
+        assert!(
+            (sched.lr_at(150, 0.1) - 0.001).abs() < 1e-6,
+            "clamps at min"
+        );
     }
 
     #[test]
     fn step_schedule_decays_at_milestones() {
-        let sched = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let sched = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(sched.lr_at(0, 1.0), 1.0);
         assert_eq!(sched.lr_at(9, 1.0), 1.0);
         assert_eq!(sched.lr_at(10, 1.0), 0.5);
@@ -514,7 +538,10 @@ mod tests {
     fn schedule_drives_sgd_via_set_lr() {
         let mut m = Mlp::new(&[1, 1], Activation::Identity, &mut rng::seeded(12));
         let mut opt = Sgd::new(SgdConfig::with_lr(1.0));
-        let sched = LrSchedule::Step { every: 1, gamma: 0.5 };
+        let sched = LrSchedule::Step {
+            every: 1,
+            gamma: 0.5,
+        };
         let gr = unit_grads(&m);
         let start = m.to_flat();
         for step in 0..3 {

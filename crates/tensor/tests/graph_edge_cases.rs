@@ -67,7 +67,10 @@ fn log_clamps_nonpositive_inputs() {
     let mut g = Graph::new();
     let x = g.constant(Matrix::from_rows(&[vec![0.0, -1.0]]));
     let l = g.log(x);
-    assert!(g.value(l).all_finite(), "log of clamped input must be finite");
+    assert!(
+        g.value(l).all_finite(),
+        "log of clamped input must be finite"
+    );
 }
 
 #[test]

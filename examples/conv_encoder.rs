@@ -64,7 +64,10 @@ fn main() {
     let mut mlp_opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
     let mut head_opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
 
-    println!("{:>6} {:>14} {:>14}", "epoch", "conv test(%)", "mlp test(%)");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "epoch", "conv test(%)", "mlp test(%)"
+    );
     let mut shuffle = rng::seeded(1);
     for epoch in 0..20 {
         for batch in calibre_data::batch::batches(train_x.rows(), 32, false, &mut shuffle) {

@@ -63,7 +63,10 @@ fn analyze(fed: &FederatedDataset, cfg: &FlConfig, result: &BaselineResult) {
         }
     }
     let recall = confusion.per_class_recall();
-    println!("pooled accuracy {:.2}%  per-class recall:", confusion.accuracy() * 100.0);
+    println!(
+        "pooled accuracy {:.2}%  per-class recall:",
+        confusion.accuracy() * 100.0
+    );
     for (class, r) in recall.iter().enumerate() {
         println!("  class {class}: {:.1}%", r * 100.0);
     }
@@ -92,6 +95,12 @@ fn main() {
         warmup_rounds: cfg.rounds / 2,
         ..CalibreConfig::default()
     };
-    let calibre = run_calibre(&fed, &cfg, SslKind::SimClr, &ccfg, &AugmentConfig::default());
+    let calibre = run_calibre(
+        &fed,
+        &cfg,
+        SslKind::SimClr,
+        &ccfg,
+        &AugmentConfig::default(),
+    );
     analyze(&fed, &cfg, &calibre);
 }

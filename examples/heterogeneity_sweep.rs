@@ -28,7 +28,13 @@ fn main() {
 
     println!(
         "{:<24} {:<18} {:>9} {:>10}  {:<18} {:>9} {:>10}",
-        "heterogeneity", "FedAvg-FT", "mean(%)", "variance", "Calibre(SimCLR)", "mean(%)", "variance"
+        "heterogeneity",
+        "FedAvg-FT",
+        "mean(%)",
+        "variance",
+        "Calibre(SimCLR)",
+        "mean(%)",
+        "variance"
     );
 
     // From mild to severe Dirichlet skew, then the extreme quantity regime.
@@ -37,7 +43,12 @@ fn main() {
         ("dirichlet(1.0)".into(), NonIid::Dirichlet { alpha: 1.0 }),
         ("dirichlet(0.3)".into(), NonIid::Dirichlet { alpha: 0.3 }),
         ("dirichlet(0.1)".into(), NonIid::Dirichlet { alpha: 0.1 }),
-        ("quantity(S=2)".into(), NonIid::Quantity { classes_per_client: 2 }),
+        (
+            "quantity(S=2)".into(),
+            NonIid::Quantity {
+                classes_per_client: 2,
+            },
+        ),
     ];
 
     for (name, non_iid) in regimes {

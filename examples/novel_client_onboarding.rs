@@ -59,8 +59,16 @@ fn main() {
         &fl.probe,
     );
 
-    println!("\nseen cohort : mean {:.2}%  variance {:.5}", result.stats().mean_percent(), result.stats().variance);
-    println!("novel cohort: mean {:.2}%  variance {:.5}", novel.stats.mean_percent(), novel.stats.variance);
+    println!(
+        "\nseen cohort : mean {:.2}%  variance {:.5}",
+        result.stats().mean_percent(),
+        result.stats().variance
+    );
+    println!(
+        "novel cohort: mean {:.2}%  variance {:.5}",
+        novel.stats.mean_percent(),
+        novel.stats.variance
+    );
     for (i, acc) in novel.accuracies.iter().enumerate() {
         println!("  novel client {i}: {:.1}%", acc * 100.0);
     }

@@ -20,7 +20,9 @@ fn main() {
             train_per_client: 100,
             test_per_client: 40,
             unlabeled_per_client: 0,
-            non_iid: NonIid::Quantity { classes_per_client: 2 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
             seed: 5,
         },
     );

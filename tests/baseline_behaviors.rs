@@ -2,6 +2,7 @@
 //! down the *reason* an algorithm exists, not just that it runs.
 
 use calibre_bench::{build_dataset, DatasetId, Scale, Setting};
+use calibre_data::{FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
 use calibre_fl::baselines::fedavg::{run_fedavg, train_fedavg_global};
 use calibre_fl::baselines::fedprox::run_fedprox;
 use calibre_fl::baselines::fedrep::run_fedrep;
@@ -9,7 +10,6 @@ use calibre_fl::baselines::scaffold::train_scaffold_global;
 use calibre_fl::checkpoint;
 use calibre_fl::comm::CommReport;
 use calibre_fl::{personalize_cohort, FlConfig};
-use calibre_data::{FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
 use calibre_tensor::nn::Module;
 
 fn skewed_fed(seed: u64) -> FederatedDataset {
@@ -20,7 +20,9 @@ fn skewed_fed(seed: u64) -> FederatedDataset {
             train_per_client: 50,
             test_per_client: 30,
             unlabeled_per_client: 0,
-            non_iid: NonIid::Quantity { classes_per_client: 2 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
             seed,
         },
     )
@@ -84,7 +86,11 @@ fn fedprox_mu_zero_and_positive_bracket_fedavg_drift() {
     let loose = run_fedprox(&fed, &one_round, 0.0);
     let tight = run_fedprox(&fed, &one_round, 10.0);
     let delta = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
     };
     let loose_move = delta(&loose.encoder.to_flat(), &tight.encoder.to_flat());
     assert!(loose_move > 0.0, "different μ must give different encoders");
@@ -112,7 +118,13 @@ fn checkpointed_encoder_reproduces_personalization_exactly() {
 
 #[test]
 fn comm_report_matches_what_the_encoder_actually_ships() {
-    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 5);
+    let fed = build_dataset(
+        DatasetId::Cifar10,
+        Setting::QuantityNonIid,
+        Scale::Smoke,
+        0,
+        5,
+    );
     let cfg = Scale::Smoke.fl_config(5);
     let result = run_fedavg(&fed, &cfg, true);
     let report = CommReport::for_module(&result.encoder, cfg.rounds, cfg.clients_per_round);

@@ -12,7 +12,13 @@ use calibre_tensor::Matrix;
 
 #[test]
 fn fig3_cell_produces_complete_rows() {
-    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 3);
+    let fed = build_dataset(
+        DatasetId::Cifar10,
+        Setting::QuantityNonIid,
+        Scale::Smoke,
+        0,
+        3,
+    );
     let cfg = Scale::Smoke.fl_config(3);
     let mut rows = Vec::new();
     for id in MethodId::short_roster() {
@@ -58,7 +64,13 @@ fn fig4_novel_cohort_pipeline_works() {
 
 #[test]
 fn table1_ablation_grid_runs_and_varies() {
-    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 7);
+    let fed = build_dataset(
+        DatasetId::Cifar10,
+        Setting::QuantityNonIid,
+        Scale::Smoke,
+        0,
+        7,
+    );
     let cfg = Scale::Smoke.fl_config(7);
     let mut means = Vec::new();
     for (ln, lp) in [(false, false), (false, true), (true, false), (true, true)] {
@@ -72,15 +84,19 @@ fn table1_ablation_grid_runs_and_varies() {
     }
     // The four variants must not all collapse to one number — the toggles
     // must change training.
-    let distinct = means
-        .iter()
-        .any(|&m| (m - means[0]).abs() > 1e-6);
+    let distinct = means.iter().any(|&m| (m - means[0]).abs() > 1e-6);
     assert!(distinct, "ablation toggles had no effect: {means:?}");
 }
 
 #[test]
 fn tsne_figure_pipeline_produces_plottable_output() {
-    let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, Scale::Smoke, 0, 9);
+    let fed = build_dataset(
+        DatasetId::Cifar10,
+        Setting::DirichletNonIid,
+        Scale::Smoke,
+        0,
+        9,
+    );
     let cfg = Scale::Smoke.fl_config(9);
     let result = run_method(MethodId::PflSsl(SslKind::SimClr), &fed, &cfg);
     let mut rows = Vec::new();
@@ -95,7 +111,13 @@ fn tsne_figure_pipeline_produces_plottable_output() {
     }
     let obs = Matrix::from_rows(&rows);
     let feats = result.encoder.infer(&obs);
-    let coords = tsne(&feats, &TsneConfig { iterations: 60, ..Default::default() });
+    let coords = tsne(
+        &feats,
+        &TsneConfig {
+            iterations: 60,
+            ..Default::default()
+        },
+    );
     assert_eq!(coords.shape(), (labels.len(), 2));
     assert!(coords.all_finite());
     let points = collect_points(&coords, &labels, &clients);

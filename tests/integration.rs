@@ -24,7 +24,9 @@ fn small_fed(seed: u64) -> FederatedDataset {
             train_per_client: 60,
             test_per_client: 30,
             unlabeled_per_client: 0,
-            non_iid: NonIid::Quantity { classes_per_client: 2 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
             seed,
         },
     )
@@ -66,9 +68,7 @@ fn calibre_loss_composes_with_every_ssl_backbone() {
     let mut rng = calibre_tensor::rng::seeded(0);
     let pool: Vec<_> = fed.client(0).ssl_pool();
     let samples: Vec<_> = pool.iter().take(12).copied().collect();
-    let (ve, vo) = fed
-        .generator()
-        .render_two_views(samples.into_iter(), &aug, &mut rng);
+    let (ve, vo) = fed.generator().render_two_views(samples, &aug, &mut rng);
     for kind in SslKind::ALL {
         let mut method = create_method(kind, FlConfig::for_input(64).ssl);
         let mut opt = Sgd::new(SgdConfig::with_lr(0.05));
@@ -81,9 +81,16 @@ fn calibre_loss_composes_with_every_ssl_backbone() {
             7,
         );
         assert!(outcome.ssl_loss.is_finite(), "{kind}: ssl loss");
-        assert!(outcome.l_n.is_finite() && outcome.l_p.is_finite(), "{kind}: regularizers");
+        assert!(
+            outcome.l_n.is_finite() && outcome.l_p.is_finite(),
+            "{kind}: regularizers"
+        );
         assert!(outcome.divergence > 0.0, "{kind}: divergence");
-        assert_ne!(method.encoder().to_flat(), before, "{kind}: encoder must move");
+        assert_ne!(
+            method.encoder().to_flat(),
+            before,
+            "{kind}: encoder must move"
+        );
     }
 }
 
@@ -131,7 +138,9 @@ fn novel_clients_personalize_comparably_to_seen_clients() {
             train_per_client: 60,
             test_per_client: 30,
             unlabeled_per_client: 0,
-            non_iid: NonIid::Quantity { classes_per_client: 2 },
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
             seed: 4,
         },
     );
@@ -153,7 +162,10 @@ fn novel_clients_personalize_comparably_to_seen_clients() {
         result.stats(),
         novel.stats
     );
-    assert!(novel.stats.mean > 0.5, "novel cohort must beat chance on 2-way tasks");
+    assert!(
+        novel.stats.mean > 0.5,
+        "novel cohort must beat chance on 2-way tasks"
+    );
 }
 
 #[test]
@@ -174,12 +186,23 @@ fn personalization_beats_global_model_under_label_skew() {
 
 #[test]
 fn every_roster_method_runs_at_smoke_scale() {
-    let fed = build_dataset(DatasetId::Cifar10, Setting::QuantityNonIid, Scale::Smoke, 0, 11);
+    let fed = build_dataset(
+        DatasetId::Cifar10,
+        Setting::QuantityNonIid,
+        Scale::Smoke,
+        0,
+        11,
+    );
     let cfg = Scale::Smoke.fl_config(11);
     for id in MethodId::roster() {
         let result = run_method(id, &fed, &cfg);
         let stats = result.stats();
-        assert_eq!(stats.count, fed.num_clients(), "{}: cohort size", result.name);
+        assert_eq!(
+            stats.count,
+            fed.num_clients(),
+            "{}: cohort size",
+            result.name
+        );
         assert!(
             stats.mean.is_finite() && stats.mean > 0.0 && stats.mean <= 1.0,
             "{}: mean {:?}",
@@ -193,10 +216,19 @@ fn every_roster_method_runs_at_smoke_scale() {
 #[test]
 fn stl10_analog_gives_ssl_methods_an_unlabeled_advantage() {
     // SSL sees labeled + unlabeled samples; supervised sees labeled only.
-    let fed = build_dataset(DatasetId::Stl10, Setting::QuantityNonIid, Scale::Smoke, 0, 12);
+    let fed = build_dataset(
+        DatasetId::Stl10,
+        Setting::QuantityNonIid,
+        Scale::Smoke,
+        0,
+        12,
+    );
     let pool = fed.client(0).ssl_pool().len();
     let labeled = fed.client(0).train_len();
-    assert!(pool > 2 * labeled, "unlabeled pool should dominate: {pool} vs {labeled}");
+    assert!(
+        pool > 2 * labeled,
+        "unlabeled pool should dominate: {pool} vs {labeled}"
+    );
 }
 
 #[test]
@@ -217,7 +249,13 @@ fn dirichlet_severity_increases_fedavg_variance() {
         )
     };
     let iid = run_fedavg(&make(NonIid::Iid), &cfg, false);
-    let skewed = run_fedavg(&make(NonIid::Quantity { classes_per_client: 2 }), &cfg, false);
+    let skewed = run_fedavg(
+        &make(NonIid::Quantity {
+            classes_per_client: 2,
+        }),
+        &cfg,
+        false,
+    );
     assert!(
         skewed.stats().variance > iid.stats().variance,
         "skew {:?} must be less fair than iid {:?}",

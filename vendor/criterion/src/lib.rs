@@ -1,0 +1,235 @@
+// Vendored offline stub: keep clippy quiet, this is stand-in third-party code.
+#![allow(clippy::all)]
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! API the calibre workspace's benches use.
+//!
+//! Hermetic build environments cannot fetch the real `criterion`, so this
+//! crate provides [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple — warm up,
+//! run timed samples, report mean / min / max per iteration — with none of
+//! upstream's statistical machinery. Numbers are comparable run-to-run on
+//! the same machine, which is all the workspace's microbenches need.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API parity, the stub treats
+/// every batch size the same (one input per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: per-iteration setup is cheap.
+    SmallInput,
+    /// Large inputs: per-iteration setup dominates.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Benchmark runner configuration + entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API parity with upstream; the stub has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let s = &bencher.samples;
+        if s.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        let mean = s.iter().copied().sum::<f64>() / s.len() as f64;
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<40} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            s.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Per-benchmark measurement driver passed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput)
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        // Measurement: collect up to sample_size samples within the budget,
+        // but always at least one.
+        let run_start = Instant::now();
+        for done in 0..self.sample_size {
+            if done > 0 && run_start.elapsed() > self.budget {
+                break;
+            }
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 3, "warm-up plus three samples, got {runs}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(smoke, noop_target);
+
+    fn noop_target(c: &mut Criterion) {
+        let mut tuned = c
+            .clone()
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        tuned.bench_function("group_target", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        smoke();
+    }
+}

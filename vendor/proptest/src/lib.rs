@@ -1,0 +1,440 @@
+// Vendored offline stub: keep clippy quiet, this is stand-in third-party code.
+#![allow(clippy::all)]
+//! Offline mini property-testing engine exposing the subset of the
+//! `proptest` API the calibre workspace's test suites use.
+//!
+//! Hermetic build environments cannot fetch the real `proptest`, so this
+//! crate reimplements the pieces the workspace needs: the [`Strategy`]
+//! trait (ranges, tuples, [`Just`], `prop_map`, [`collection::vec`],
+//! `any::<T>()`, `prop_oneof!`) and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, deliberately accepted for a test-only stub:
+//!
+//! - **no shrinking** — a failing case reports the seed and case number
+//!   instead of a minimized input;
+//! - **fixed seeding** — each test function derives its RNG seed from its
+//!   name, so failures reproduce across runs without a persistence file;
+//! - strategies are simple samplers (`fn sample(&mut TestRng) -> Value`),
+//!   not value trees.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {} // `#[test]` fns are stripped outside `--test` builds
+//! ```
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Run-time configuration of a [`proptest!`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(value)` for each drawn `value`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_for_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A full-range sampler for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for AnyPrimitive<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        // Finite, roughly symmetric values; tests wanting a specific range
+        // use range strategies instead.
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = AnyPrimitive<f32>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// One-of combinator over same-valued strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    samplers: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.samplers.len())
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds a union from boxed samplers; used by [`prop_oneof!`].
+    pub fn new(samplers: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+        assert!(!samplers.is_empty(), "prop_oneof! needs at least one arm");
+        Union { samplers }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let arm = rng.gen_range(0..self.samplers.len());
+        (self.samplers[arm])(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec()`]: an exact length or a half-open range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Vector of values from `element` with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prop` (`prop::collection::…`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Derives a stable 64-bit seed from a test's module path and name, so
+/// failures reproduce across runs without a persistence file.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::SeedableRng;
+}
+
+/// The everything-you-need import for tests.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// expression (and optional formatted context) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::sample(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, …) { … }`
+/// expands to a normal `#[test]` that samples its inputs `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng: $crate::TestRng = <$crate::TestRng as $crate::__rt::SeedableRng>::
+                        seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)*
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed in {} (seed {:#x})",
+                            case + 1, config.cases, stringify!($name), seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-1.0f32..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(2);
+        let s = (0usize..5).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+        assert_eq!(Just(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn vec_strategy_honors_exact_and_ranged_lengths() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(3);
+        assert_eq!(collection::vec(0usize..3, 4).sample(&mut rng).len(), 4);
+        for _ in 0..50 {
+            let v = collection::vec(0usize..3, 1..6).sample(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(4);
+        let s = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns(a in 0usize..10, (b, c) in (0usize..5, Just(3usize))) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            prop_assert_eq!(c, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(x in any::<bool>()) {
+            prop_assert!(x || !x);
+        }
+    }
+}

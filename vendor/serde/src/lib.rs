@@ -1,0 +1,30 @@
+// Vendored offline stub: keep clippy quiet, this is stand-in third-party code.
+#![allow(clippy::all)]
+//! Offline facade over the `serde` API surface the calibre workspace uses.
+//!
+//! The workspace annotates config/report structs with
+//! `#[derive(Serialize, Deserialize)]` so downstream users *could* plug in a
+//! real serializer, but no crate in the workspace actually serializes
+//! through serde (checkpoints and CSV/JSONL output are hand-rolled,
+//! dependency-free text formats). In hermetic build environments with no
+//! crates.io access, this facade keeps those annotations compiling:
+//!
+//! - [`Serialize`] / [`Deserialize`] are marker traits with blanket
+//!   implementations, so bounds like `T: Serialize` are always satisfied;
+//! - the derive macros (re-exported from `serde_derive`) parse and discard
+//!   their input.
+//!
+//! Swapping the workspace back to upstream serde is a one-line change in the
+//! root `Cargo.toml` and requires no source edits.
+
+#![warn(missing_docs)]
+
+/// Marker for types that could be serialized. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that could be deserialized. Blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+// Vendored offline stub: keep clippy quiet, this is stand-in third-party code.
+#![allow(clippy::all)]
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! facade (see that crate's docs for the rationale). The facade's traits
+//! have blanket implementations, so the derives have nothing to emit; they
+//! exist only so `#[derive(Serialize, Deserialize)]` attributes compile
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
