@@ -11,10 +11,17 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin ablations -- \
-//!     [--scale smoke|default] [--dataset cifar10|stl10] [--seed 7]
+//!     [--scale smoke|default] [--dataset cifar10|stl10] [--seed 7] \
+//!     [--telemetry out.jsonl] [--trace out.json] [--profile prof.json]
 //! ```
+//!
+//! The shared observability flags stream round-level JSONL events (all
+//! variants concatenated) and capture the span layer; a fairness summary
+//! over every variant's personalizations is printed at the end (see
+//! `calibre_bench::obs`).
 
-use calibre::{run_calibre, CalibreConfig};
+use calibre::{run_calibre_observed, CalibreConfig};
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::{build_dataset, parse_args, DatasetId, Scale, Setting};
 use calibre_data::AugmentConfig;
 use calibre_fl::{jain_index, worst_fraction_mean};
@@ -33,7 +40,11 @@ fn main() {
     let mut scale = Scale::Default;
     let mut dataset = DatasetId::Stl10;
     let mut seed = 7u64;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "dataset" => {
@@ -46,6 +57,7 @@ fn main() {
             }
         }
     }
+    let obs = obs_args.build();
 
     let fed = build_dataset(dataset, Setting::DirichletNonIid, scale, 0, seed);
     let cfg = scale.fl_config(seed);
@@ -121,7 +133,7 @@ fn main() {
     let mut csv_rows = Vec::new();
     for (name, ccfg) in variants {
         let start = std::time::Instant::now();
-        let result = run_calibre(&fed, &cfg, SslKind::SimClr, &ccfg, &aug);
+        let result = run_calibre_observed(&fed, &cfg, SslKind::SimClr, &ccfg, &aug, obs.recorder());
         let jain = jain_index(&result.seen.accuracies);
         let worst = worst_fraction_mean(&result.seen.accuracies, 0.1);
         println!(
@@ -151,4 +163,5 @@ fn main() {
         writeln!(f, "{row}").unwrap();
     }
     println!("\nwrote results/ablations.csv");
+    obs.finish();
 }

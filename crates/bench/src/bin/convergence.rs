@@ -10,7 +10,7 @@
 //! ```text
 //! cargo run -p calibre-bench --release --bin convergence -- \
 //!     [--scale smoke|default|paper] [--every 5] [--seed 7] \
-//!     [--telemetry out.jsonl]
+//!     [--telemetry out.jsonl] [--trace out.json] [--profile prof.json]
 //! ```
 //!
 //! Writes `results/convergence.csv` with columns
@@ -21,16 +21,18 @@
 //! per-client wall-clock and loss payloads) to `<path>`, and a round/fairness
 //! summary is printed at the end. The two training runs are concatenated in
 //! the file; the round index restarting at 0 marks the Calibre run's start.
+//! `--trace` and `--profile` capture the span layer — a Perfetto-loadable
+//! Chrome trace and an aggregated hot-path profile respectively (see
+//! `calibre_bench::obs`).
 
 use calibre::{train_calibre_encoder_observed, CalibreConfig};
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::{build_dataset, parse_args, DatasetId, Scale, Setting};
 use calibre_data::AugmentConfig;
 use calibre_fl::personalize_cohort;
 use calibre_fl::pfl_ssl::train_pfl_ssl_encoder_observed;
 use calibre_ssl::SslKind;
-use calibre_telemetry::{Fanout, JsonlSink, MetricsHub, NullRecorder, Recorder};
 use std::io::Write;
-use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,13 +46,15 @@ fn main() {
     let mut scale = Scale::Default;
     let mut every = 5usize;
     let mut seed = 7u64;
-    let mut telemetry: Option<String> = None;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "every" => every = value.parse().expect("--every must be an integer"),
             "seed" => seed = value.parse().expect("seed must be an integer"),
-            "telemetry" => telemetry = Some(value),
             other => {
                 eprintln!("unknown flag --{other}");
                 std::process::exit(2);
@@ -59,21 +63,11 @@ fn main() {
     }
     assert!(every > 0, "--every must be positive");
 
-    // With --telemetry, fan events out to a JSONL file and an in-memory hub
-    // for the end-of-run summary; otherwise record into the void.
-    let hub = Arc::new(MetricsHub::new());
-    let recorder: Box<dyn Recorder> = match &telemetry {
-        Some(path) => {
-            let sink = JsonlSink::create(path)
-                .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
-            Box::new(
-                Fanout::new()
-                    .with(Box::new(sink))
-                    .with(Box::new(Arc::clone(&hub))),
-            )
-        }
-        None => Box::new(NullRecorder),
-    };
+    // With --telemetry, events fan out to a JSONL file and an in-memory hub
+    // for the end-of-run summary; otherwise they are recorded into the void.
+    // --trace/--profile install the span collector for the whole run.
+    let obs = obs_args.build();
+    let recorder = obs.recorder();
 
     let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, scale, 0, seed);
     let cfg = scale.fl_config(seed);
@@ -112,7 +106,7 @@ fn main() {
             SslKind::SimClr,
             &aug,
             Some(&mut observer),
-            recorder.as_ref(),
+            recorder,
         );
     }
 
@@ -147,7 +141,7 @@ fn main() {
             &ccfg,
             &aug,
             Some(&mut observer),
-            recorder.as_ref(),
+            recorder,
         );
     }
 
@@ -161,22 +155,5 @@ fn main() {
     }
     println!("\nwrote results/convergence.csv");
 
-    if let Some(path) = &telemetry {
-        drop(recorder); // flush the JSONL sink
-        let rounds = hub.round_summaries();
-        let (planned, observed) = hub.total_bytes();
-        println!("\n== telemetry summary ({} round events) ==", rounds.len());
-        for s in &rounds {
-            println!(
-                "round {:>3}: {} clients, mean loss {:.4}, wall mean {:.1} ms / max {:.1} ms",
-                s.round, s.num_clients, s.mean_loss, s.mean_wall_ms, s.max_wall_ms
-            );
-        }
-        println!(
-            "comm: planned {:.2} MiB, observed {:.2} MiB",
-            planned as f64 / (1024.0 * 1024.0),
-            observed as f64 / (1024.0 * 1024.0)
-        );
-        println!("wrote {path}");
-    }
+    obs.finish();
 }

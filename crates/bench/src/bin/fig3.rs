@@ -7,15 +7,22 @@
 //! cargo run -p calibre-bench --release --bin fig3 -- \
 //!     [--scale smoke|default|paper] [--datasets cifar10,stl10] \
 //!     [--settings q,d] [--methods fedavg-ft,calibre-simclr] [--seed 7] \
-//!     [--repeats 3]
+//!     [--repeats 3] [--telemetry out.jsonl] [--trace out.json] \
+//!     [--profile prof.json]
 //! ```
 //!
 //! With `--repeats N > 1` every cell is run on N independent dataset/run
 //! seeds and the reported mean/variance are averaged across repeats
-//! (single-seed runs at this scale move by ±1-1.5 pp).
+//! (single-seed runs at this scale move by ±1-1.5 pp). The shared
+//! observability flags stream round-level JSONL events (all cells
+//! concatenated), capture the span layer, and print a fairness summary over
+//! every cell's personalizations at the end (see `calibre_bench::obs`).
 
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::report::{print_table, write_csv, Row};
-use calibre_bench::{build_dataset, parse_args, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_bench::{
+    build_dataset, parse_args, run_method_observed, DatasetId, MethodId, Scale, Setting,
+};
 use calibre_fl::Stats;
 
 /// Averages cell statistics across independent repeats (mean of means,
@@ -55,7 +62,11 @@ fn main() {
     let mut methods: Vec<MethodId> = MethodId::roster();
     let mut seed = 7u64;
     let mut repeats = 1usize;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "seed" => seed = value.parse().expect("seed must be an integer"),
@@ -88,6 +99,7 @@ fn main() {
         }
     }
 
+    let obs = obs_args.build();
     let mut rows = Vec::new();
     for &dataset in &datasets {
         for &setting in &settings {
@@ -106,7 +118,7 @@ fn main() {
                     let run_seed = seed.wrapping_add(1000 * r);
                     let fed = build_dataset(dataset, setting, scale, 0, run_seed);
                     let cfg = scale.fl_config(run_seed);
-                    let result = run_method(method, &fed, &cfg);
+                    let result = run_method_observed(method, &fed, &cfg, obs.recorder());
                     name = result.name.clone();
                     per_repeat.push(result.stats());
                 }
@@ -136,4 +148,5 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    obs.finish();
 }

@@ -5,12 +5,19 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin fig4 -- \
-//!     [--scale smoke|default|paper] [--methods ...] [--seed 7]
+//!     [--scale smoke|default|paper] [--methods ...] [--seed 7] \
+//!     [--telemetry out.jsonl] [--trace out.json] [--profile prof.json]
 //! ```
+//!
+//! The shared observability flags (see `calibre_bench::obs`) cover both the
+//! seen-cohort training runs and the novel-cohort personalizations.
 
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::report::{print_table, write_csv, Row};
-use calibre_bench::{build_dataset, parse_args, run_method, DatasetId, MethodId, Scale, Setting};
-use calibre_fl::personalize_cohort;
+use calibre_bench::{
+    build_dataset, parse_args, run_method_observed, DatasetId, MethodId, Scale, Setting,
+};
+use calibre_fl::personalize_cohort_observed;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +31,11 @@ fn main() {
     let mut scale = Scale::Default;
     let mut methods: Vec<MethodId> = MethodId::roster();
     let mut seed = 7u64;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "seed" => seed = value.parse().expect("seed must be an integer"),
@@ -41,6 +52,7 @@ fn main() {
         }
     }
 
+    let obs = obs_args.build();
     let mut rows = Vec::new();
     for dataset in [DatasetId::Cifar10, DatasetId::Cifar100] {
         let setting = Setting::DirichletNonIid;
@@ -57,10 +69,16 @@ fn main() {
         );
         for &method in &methods {
             let start = std::time::Instant::now();
-            let result = run_method(method, &seen_fed, &cfg);
+            let result = run_method_observed(method, &seen_fed, &cfg, obs.recorder());
             // Novel clients download the trained encoder and run the same
             // personalization protocol (paper §V-D).
-            let novel = personalize_cohort(&result.encoder, &novel_fed, num_classes, &cfg.probe);
+            let novel = personalize_cohort_observed(
+                &result.encoder,
+                &novel_fed,
+                num_classes,
+                &cfg.probe,
+                obs.recorder(),
+            );
             eprintln!(
                 "[fig4]   {:<22} seen {:>6.2}%/{:.5}  novel {:>6.2}%/{:.5}  ({:.1?})",
                 result.name,
@@ -94,4 +112,5 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    obs.finish();
 }

@@ -5,21 +5,22 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin table1 -- \
-//!     [--scale smoke|default|paper] [--seed 7] [--telemetry out.jsonl]
+//!     [--scale smoke|default|paper] [--seed 7] [--telemetry out.jsonl] \
+//!     [--trace out.json] [--profile prof.json]
 //! ```
 //!
 //! With `--telemetry <path>`, every ablation variant's federated rounds
 //! stream JSONL telemetry events to `<path>` (all variants concatenated; the
-//! round index restarts at 0 on each variant boundary), and a fairness
-//! summary over all personalization events is printed at the end.
+//! round index restarts at 0 on each variant boundary), and a round/fairness
+//! summary is printed at the end. `--trace`/`--profile` capture the span
+//! layer (see `calibre_bench::obs`).
 
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::report::{write_csv, Row};
 use calibre_bench::{
     build_dataset, parse_args, run_method_observed, DatasetId, MethodId, Scale, Setting,
 };
 use calibre_ssl::SslKind;
-use calibre_telemetry::{Fanout, JsonlSink, MetricsHub, NullRecorder, Recorder};
-use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,12 +33,14 @@ fn main() {
     };
     let mut scale = Scale::Default;
     let mut seed = 7u64;
-    let mut telemetry: Option<String> = None;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "seed" => seed = value.parse().expect("seed must be an integer"),
-            "telemetry" => telemetry = Some(value),
             other => {
                 eprintln!("unknown flag --{other}");
                 std::process::exit(2);
@@ -45,19 +48,7 @@ fn main() {
         }
     }
 
-    let hub = Arc::new(MetricsHub::new());
-    let recorder: Box<dyn Recorder> = match &telemetry {
-        Some(path) => {
-            let sink = JsonlSink::create(path)
-                .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
-            Box::new(
-                Fanout::new()
-                    .with(Box::new(sink))
-                    .with(Box::new(Arc::clone(&hub))),
-            )
-        }
-        None => Box::new(NullRecorder),
-    };
+    let obs = obs_args.build();
 
     let dataset = DatasetId::Cifar10;
     let setting = Setting::QuantityNonIid; // (2, 500) at paper scale
@@ -77,7 +68,7 @@ fn main() {
         for kind in backbones {
             let method = MethodId::CalibreAblation(kind, use_ln, use_lp);
             let start = std::time::Instant::now();
-            let result = run_method_observed(method, &fed, &cfg, recorder.as_ref());
+            let result = run_method_observed(method, &fed, &cfg, obs.recorder());
             println!(
                 "{:<6} {:<6} {:<28} {:<18} ({:.1?})",
                 if use_ln { "✓" } else { "" },
@@ -100,20 +91,5 @@ fn main() {
         Err(e) => eprintln!("csv write failed: {e}"),
     }
 
-    if let Some(path) = &telemetry {
-        drop(recorder); // flush the JSONL sink
-        let rounds = hub.round_summaries();
-        if let Some(fairness) = hub.fairness_summary() {
-            println!(
-                "\n== telemetry: {} round events, fairness over {} personalizations: \
-                 mean {:.3}, std {:.3}, worst-10% {:.3} ==",
-                rounds.len(),
-                fairness.num_clients,
-                fairness.mean,
-                fairness.std,
-                fairness.worst_10pct
-            );
-        }
-        println!("wrote {path}");
-    }
+    obs.finish();
 }

@@ -5,13 +5,20 @@
 //!
 //! ```text
 //! cargo run -p calibre-bench --release --bin tsne -- \
-//!     [--experiment fig1_2|fig5_6|fig7_8|all] [--scale smoke|default|paper] [--seed 7]
+//!     [--experiment fig1_2|fig5_6|fig7_8|all] [--scale smoke|default|paper] \
+//!     [--seed 7] [--telemetry out.jsonl] [--trace out.json] [--profile prof.json]
 //! ```
 //!
 //! Output CSVs land in `results/tsne/<figure>_<method>.csv` with columns
 //! `x,y,label,client` — plot them with any tool to get the paper's panels.
+//! The shared observability flags stream the training rounds behind each
+//! panel as JSONL, capture the span layer, and print a fairness summary at
+//! the end (see `calibre_bench::obs`).
 
-use calibre_bench::{build_dataset, parse_args, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_bench::obs::ObsArgs;
+use calibre_bench::{
+    build_dataset, parse_args, run_method_observed, DatasetId, MethodId, Scale, Setting,
+};
 use calibre_cluster::{nmi, purity, silhouette_score};
 use calibre_data::FederatedDataset;
 use calibre_embed::{collect_points, tsne, write_csv_file, TsneConfig};
@@ -207,7 +214,11 @@ fn main() {
     let mut scale = Scale::Default;
     let mut experiment = "all".to_string();
     let mut seed = 7u64;
+    let mut obs_args = ObsArgs::default();
     for (key, value) in parsed {
+        if obs_args.accept(&key, &value) {
+            continue;
+        }
         match key.as_str() {
             "scale" => scale = Scale::parse(&value).unwrap_or_else(|| panic!("bad scale {value}")),
             "seed" => seed = value.parse().expect("seed must be an integer"),
@@ -219,6 +230,7 @@ fn main() {
         }
     }
 
+    let obs = obs_args.build();
     println!(
         "== t-SNE figure reproduction (cluster metrics quantify the paper's visual claims) =="
     );
@@ -235,7 +247,7 @@ fn main() {
             CLIENTS_PER_PANEL
         );
         for &method in &panel.methods {
-            let result = run_method(method, &fed, &cfg);
+            let result = run_method_observed(method, &fed, &cfg, obs.recorder());
             embed_and_report(
                 panel.figure,
                 &result.name,
@@ -253,4 +265,5 @@ fn main() {
             }
         }
     }
+    obs.finish();
 }

@@ -16,9 +16,12 @@
 //!
 //! All binaries accept `--scale smoke|default|paper` to trade fidelity for
 //! wall-clock time; `paper` restores the publication's 100 clients × 200
-//! rounds. `table1` and `convergence` additionally accept
-//! `--telemetry <path>` to stream round-level JSONL events (see
-//! `calibre-telemetry` and the README's "Observing a run" walkthrough).
+//! rounds. The shared observability flags (`--telemetry <path>`,
+//! `--trace <path>`, `--profile <path>`; see [`obs`]) stream round-level
+//! JSONL events, export a Perfetto-compatible Chrome trace of the span
+//! layer, and print/write an aggregated hot-path profile (see
+//! `calibre-telemetry` and the README's "Observing a run" and "Profiling a
+//! run" walkthroughs).
 //!
 //! **Role in Algorithm 1:** the driver. Every binary runs the federated
 //! *training* stage to produce an encoder and the *personalization* stage to
@@ -26,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod scale;

@@ -1,0 +1,218 @@
+//! Shared observability plumbing for the bench binaries.
+//!
+//! Every binary accepts the same three flags, all optional and freely
+//! combinable:
+//!
+//! - `--telemetry <path>` — stream round-level JSONL events to `<path>` and
+//!   print a round/fairness summary at the end of the run;
+//! - `--trace <path>` — record every span as a Chrome trace-event and write
+//!   the JSON to `<path>` (open it in `ui.perfetto.dev` or
+//!   `chrome://tracing`);
+//! - `--profile <path>` — aggregate spans into a hot-path profile, print the
+//!   top-self-time table, and write the profile JSON to `<path>` (`-` prints
+//!   the table without writing a file). The JSON is what
+//!   `calibre-bench regression` compares against the committed baseline.
+//!
+//! Usage pattern inside a binary's `main`:
+//!
+//! ```no_run
+//! use calibre_bench::obs::ObsArgs;
+//!
+//! let mut obs_args = ObsArgs::default();
+//! // inside the flag loop: `if obs_args.accept(&key, &value) { continue; }`
+//! let obs = obs_args.build();
+//! // ... run experiments, passing `obs.recorder()` to *_observed entry
+//! // points ...
+//! obs.finish(); // flushes, uninstalls the span collector, writes outputs
+//! ```
+
+use calibre_telemetry::{
+    install_collector, uninstall_collector, Fanout, JsonlSink, MetricsHub, NullRecorder,
+    ProfileCollector, Recorder, SpanFanout, TraceCollector,
+};
+use std::sync::Arc;
+
+/// How many rows of the self-time table `--profile` prints.
+const TOP_N: usize = 15;
+
+/// Parsed observability flags, before the sinks exist.
+#[derive(Default, Debug, Clone)]
+pub struct ObsArgs {
+    /// Destination for round-level JSONL events (`--telemetry`).
+    pub telemetry: Option<String>,
+    /// Destination for the Chrome trace-event JSON (`--trace`).
+    pub trace: Option<String>,
+    /// Destination for the profile JSON, `-` for table-only (`--profile`).
+    pub profile: Option<String>,
+}
+
+impl ObsArgs {
+    /// Consumes one parsed `--key value` pair if it is an observability
+    /// flag; returns `false` (leaving `self` untouched) otherwise.
+    pub fn accept(&mut self, key: &str, value: &str) -> bool {
+        match key {
+            "telemetry" => self.telemetry = Some(value.to_string()),
+            "trace" => self.trace = Some(value.to_string()),
+            "profile" => self.profile = Some(value.to_string()),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Whether any observability flag was given.
+    pub fn any(&self) -> bool {
+        self.telemetry.is_some() || self.trace.is_some() || self.profile.is_some()
+    }
+
+    /// Builds the live observability state: opens the JSONL sink, and
+    /// installs the process-wide span collector when `--trace` or
+    /// `--profile` was given.
+    pub fn build(self) -> Obs {
+        let hub = Arc::new(MetricsHub::new());
+        let recorder: Box<dyn Recorder> = match &self.telemetry {
+            Some(path) => {
+                let sink = JsonlSink::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
+                Box::new(
+                    Fanout::new()
+                        .with(Box::new(sink))
+                        .with(Box::new(Arc::clone(&hub))),
+                )
+            }
+            None => Box::new(NullRecorder),
+        };
+
+        let trace = self
+            .trace
+            .map(|path| (Arc::new(TraceCollector::new()), path));
+        let profile = self
+            .profile
+            .map(|path| (Arc::new(ProfileCollector::new()), path));
+        if trace.is_some() || profile.is_some() {
+            let mut fanout = SpanFanout::new();
+            if let Some((collector, _)) = &trace {
+                fanout = fanout.with(Arc::clone(collector) as Arc<dyn calibre_telemetry::SpanSink>);
+            }
+            if let Some((collector, _)) = &profile {
+                fanout = fanout.with(Arc::clone(collector) as Arc<dyn calibre_telemetry::SpanSink>);
+            }
+            install_collector(Arc::new(fanout));
+        }
+
+        Obs {
+            hub,
+            recorder,
+            telemetry: self.telemetry,
+            trace,
+            profile,
+        }
+    }
+}
+
+/// Live observability state for one bench run. Obtain via
+/// [`ObsArgs::build`]; call [`Obs::finish`] exactly once at the end of the
+/// run.
+pub struct Obs {
+    hub: Arc<MetricsHub>,
+    recorder: Box<dyn Recorder>,
+    telemetry: Option<String>,
+    trace: Option<(Arc<TraceCollector>, String)>,
+    profile: Option<(Arc<ProfileCollector>, String)>,
+}
+
+impl Obs {
+    /// The recorder to hand to `*_observed` entry points. A `NullRecorder`
+    /// unless `--telemetry` was given.
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// The in-memory metrics hub fed by [`Obs::recorder`].
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Ends the run: flushes the recorder, uninstalls the span collector,
+    /// writes the trace/profile outputs and prints the telemetry summary.
+    pub fn finish(self) {
+        // Explicit flush (recorders also flush on drop, but an explicit
+        // flush surfaces write failures while the run's output is still on
+        // screen).
+        self.recorder.flush();
+        drop(self.recorder);
+        if self.trace.is_some() || self.profile.is_some() {
+            uninstall_collector();
+        }
+
+        if let Some(path) = &self.telemetry {
+            let rounds = self.hub.round_summaries();
+            let (planned, observed) = self.hub.total_bytes();
+            println!("\n== telemetry summary ({} round events) ==", rounds.len());
+            for s in &rounds {
+                println!(
+                    "round {:>3}: {} clients, mean loss {:.4}, wall mean {:.1} ms / max {:.1} ms",
+                    s.round, s.num_clients, s.mean_loss, s.mean_wall_ms, s.max_wall_ms
+                );
+            }
+            println!(
+                "comm: planned {:.2} MiB, observed {:.2} MiB",
+                planned as f64 / (1024.0 * 1024.0),
+                observed as f64 / (1024.0 * 1024.0)
+            );
+            if let Some(fairness) = self.hub.fairness_summary() {
+                println!(
+                    "fairness over {} personalizations: mean {:.3}, std {:.3}, worst-10% {:.3}",
+                    fairness.num_clients, fairness.mean, fairness.std, fairness.worst_10pct
+                );
+            }
+            println!("wrote {path}");
+        }
+
+        if let Some((collector, path)) = &self.trace {
+            match collector.write_chrome_trace(path) {
+                Ok(()) => println!("wrote {path} ({} trace events)", collector.len()),
+                Err(e) => eprintln!("trace write failed for {path}: {e}"),
+            }
+        }
+
+        if let Some((collector, path)) = &self.profile {
+            let report = collector.report();
+            println!("\n== hot-path profile (top {TOP_N} by self time) ==");
+            print!("{}", report.top_self_table(TOP_N));
+            if path != "-" {
+                match std::fs::write(path, report.to_json()) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("profile write failed for {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_consumes_only_observability_flags() {
+        let mut args = ObsArgs::default();
+        assert!(args.accept("telemetry", "t.jsonl"));
+        assert!(args.accept("trace", "t.json"));
+        assert!(args.accept("profile", "-"));
+        assert!(!args.accept("scale", "smoke"));
+        assert!(args.any());
+        assert_eq!(args.telemetry.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.trace.as_deref(), Some("t.json"));
+        assert_eq!(args.profile.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn default_args_build_an_inert_obs() {
+        let obs = ObsArgs::default().build();
+        // No collector must be installed when no flag asked for one.
+        assert!(!calibre_telemetry::collector_installed());
+        obs.recorder().personalize(0, 0.5);
+        assert!(obs.hub().fairness_summary().is_none(), "NullRecorder path");
+        obs.finish();
+    }
+}

@@ -75,6 +75,8 @@ pub struct KMeansResult {
 ///
 /// Panics if `config.k == 0` or the data is empty.
 pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> KMeansResult {
+    let span = calibre_telemetry::span("kmeans");
+    span.add_items(data.rows() as u64);
     assert!(config.k > 0, "k must be positive");
     assert!(data.rows() > 0, "cannot cluster an empty matrix");
     let restarts = config.n_init.max(1);
@@ -96,6 +98,7 @@ pub fn kmeans(data: &Matrix, config: &KMeansConfig) -> KMeansResult {
 
 /// One Lloyd run from a single kmeans++ initialization.
 fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResult {
+    let restart_span = calibre_telemetry::span("kmeans_restart");
     let k = config.k.min(data.rows());
     let mut rng_ = rng::seeded(seed);
     let mut centroids = kmeanspp_init(data, k, &mut rng_);
@@ -105,6 +108,7 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
     for _ in 0..config.max_iters {
         iterations += 1;
         assignments = assign_to_centroids(data, &centroids);
+        let update_span = calibre_telemetry::span("kmeans_update");
         let mut new_centroids = Matrix::zeros(k, data.cols());
         let mut counts = vec![0usize; k];
         for (r, &a) in assignments.iter().enumerate() {
@@ -129,10 +133,12 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
             .map(|c| new_centroids.row_distance_sq(c, &centroids, c).sqrt())
             .sum();
         centroids = new_centroids;
+        drop(update_span);
         if movement < config.tol {
             break;
         }
     }
+    restart_span.add_items(iterations as u64);
     assignments = assign_to_centroids(data, &centroids);
     let inertia = inertia_of(data, &centroids, &assignments);
     KMeansResult {
@@ -145,6 +151,8 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
 
 /// Assigns every row of `data` to its nearest centroid (squared Euclidean).
 pub fn assign_to_centroids(data: &Matrix, centroids: &Matrix) -> Vec<usize> {
+    let span = calibre_telemetry::span("kmeans_assign");
+    span.add_items(data.rows() as u64);
     (0..data.rows())
         .map(|r| {
             let mut best = 0;

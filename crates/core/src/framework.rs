@@ -36,7 +36,10 @@ pub fn calibre_step(
     opt: &mut Sgd,
     kmeans_seed: u64,
 ) -> CalibreLoss {
+    let forward = calibre_telemetry::span("ssl_forward");
+    forward.add_items(batch.len() as u64);
     let mut ssl_graph = method.build_graph(batch);
+    drop(forward);
     let loss = calibre_loss(&mut ssl_graph, config, kmeans_seed);
     ssl_graph.graph.backward(loss.total);
     let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
@@ -199,6 +202,8 @@ pub fn train_calibre_encoder_observed(
     let mut round_divergences = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
+        let round_span = calibre_telemetry::span("round");
+        round_span.add_items(selected.len() as u64);
         recorder.round_start(round, selected);
         let inputs: Vec<CalibreClient> = selected
             .iter()

@@ -150,6 +150,8 @@ pub fn calibre_loss(
     } else {
         config.num_prototypes
     };
+    let proto_span = calibre_telemetry::span("prototype_generation");
+    proto_span.add_items(n as u64);
     let km = kmeans(
         &z_e_val,
         &KMeansConfig {
@@ -162,7 +164,11 @@ pub fn calibre_loss(
     );
     let assignments_e = km.assignments.clone();
     let assignments_o = assign_to_centroids(&z_o_val, &km.centroids);
-    let divergence = mean_distance_to_assigned(&z_e_val, &km.centroids, &assignments_e);
+    let divergence = {
+        let _span = calibre_telemetry::span("divergence");
+        mean_distance_to_assigned(&z_e_val, &km.centroids, &assignments_e)
+    };
+    drop(proto_span);
 
     let mut l_n_value = 0.0;
     let mut l_p_value = 0.0;
@@ -173,6 +179,7 @@ pub fn calibre_loss(
     // view-e prototypes (lines 14-17). Gradient flows through z_o only; the
     // prototypes are constants of this step.
     if config.use_ln {
+        let _span = calibre_telemetry::span("l_n");
         let ln_node = if config.ln_contrastive {
             prototype_meta_loss(g, ssl_graph.z_o, &km.centroids, &assignments_o, config.tau)
         } else {
@@ -187,6 +194,7 @@ pub fn calibre_loss(
     // outputs (lines 8-12), differentiable through both views' h via the
     // grouped-mean op. Only clusters populated in BOTH views participate.
     if config.use_lp {
+        let _span = calibre_telemetry::span("l_p");
         if let Some(lp_node) = prototype_contrastive_loss(
             g,
             ssl_graph.h_e,

@@ -15,6 +15,14 @@
 /// Panics if `updates` is empty, lengths differ, or `weights.len()`
 /// mismatches `updates.len()`.
 pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(updates.len() as u64);
+    span.add_bytes(
+        updates
+            .iter()
+            .map(|u| (u.len() * std::mem::size_of::<f32>()) as u64)
+            .sum(),
+    );
     assert!(!updates.is_empty(), "cannot aggregate zero updates");
     assert_eq!(
         updates.len(),

@@ -172,6 +172,7 @@ pub fn save<M: Module + ?Sized, P: AsRef<Path>>(
     module: &M,
     path: P,
 ) -> Result<(), CheckpointError> {
+    let _span = calibre_telemetry::span("checkpoint_save");
     if let Some(parent) = path.as_ref().parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -188,6 +189,7 @@ pub fn load<M: Module + ?Sized, P: AsRef<Path>>(
     module: &mut M,
     path: P,
 ) -> Result<(), CheckpointError> {
+    let _span = calibre_telemetry::span("checkpoint_load");
     let text = std::fs::read_to_string(path)?;
     let tensors = parse(&text)?;
     restore(module, &tensors)

@@ -30,6 +30,8 @@ impl SparseUpdate {
 
     /// Reconstructs the dense vector (zeros at dropped coordinates).
     pub fn to_dense(&self) -> Vec<f32> {
+        let span = calibre_telemetry::span("decompress");
+        span.add_items(self.dim as u64);
         let mut out = vec![0.0f32; self.dim];
         for (&i, &v) in self.indices.iter().zip(&self.values) {
             out[i as usize] = v;
@@ -46,6 +48,8 @@ impl SparseUpdate {
 ///
 /// Panics if `k == 0` or the update is longer than `u32::MAX` scalars.
 pub fn top_k_sparsify(update: &[f32], k: usize) -> SparseUpdate {
+    let span = calibre_telemetry::span("compress");
+    span.add_items(update.len() as u64);
     assert!(k > 0, "k must be positive");
     assert!(
         update.len() <= u32::MAX as usize,
@@ -109,6 +113,8 @@ impl QuantizedUpdate {
 ///
 /// Panics if `bits` is 0 or greater than 8, or any value is non-finite.
 pub fn quantize(update: &[f32], bits: u8) -> QuantizedUpdate {
+    let span = calibre_telemetry::span("compress");
+    span.add_items(update.len() as u64);
     assert!((1..=8).contains(&bits), "bits must be in 1..=8, got {bits}");
     assert!(
         update.iter().all(|v| v.is_finite()),

@@ -59,6 +59,7 @@ where
             let f = &f;
             scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    let _span = calibre_telemetry::span("client");
                     *slot = Some(f(item));
                 }
             });
@@ -100,7 +101,10 @@ where
     if items.is_empty() {
         return Vec::new();
     }
+    // The span wraps the same region the per-item clock measures, from
+    // inside the worker thread — so parallel clients land on distinct tids.
     let timed = |f: &F, item: T| {
+        let _span = calibre_telemetry::span("client");
         let start = Instant::now();
         let out = f(item);
         (out, start.elapsed())

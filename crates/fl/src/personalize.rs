@@ -51,6 +51,8 @@ pub fn personalize_cohort_observed(
     probe: &ProbeConfig,
     recorder: &dyn Recorder,
 ) -> PersonalizationOutcome {
+    let span = calibre_telemetry::span("personalize");
+    span.add_items(fed.num_clients() as u64);
     let ids: Vec<usize> = (0..fed.num_clients()).collect();
     let accuracies = parallel_map(&ids, |&id| {
         let data = fed.client(id);

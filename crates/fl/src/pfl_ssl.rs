@@ -122,6 +122,8 @@ pub fn train_pfl_ssl_encoder_observed(
     let mut round_losses = Vec::with_capacity(schedule.len());
 
     for (round, selected) in schedule.iter().enumerate() {
+        let round_span = calibre_telemetry::span("round");
+        round_span.add_items(selected.len() as u64);
         recorder.round_start(round, selected);
         let inputs: Vec<SslClient> = selected
             .iter()

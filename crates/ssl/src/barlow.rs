@@ -85,6 +85,7 @@ impl SslMethod for BarlowTwins {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("barlow_forward");
         let n = batch.len();
         let d = self.config.projection_dim;
         let mut graph = calibre_tensor::Graph::new();

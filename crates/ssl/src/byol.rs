@@ -84,6 +84,7 @@ impl SslMethod for Byol {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("byol_forward");
         let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         let enc = self.encoder.bind(&mut graph, &mut binding);

@@ -24,7 +24,9 @@ use calibre_tensor::{Graph, Matrix, Node};
 /// Panics if the two views have different shapes or fewer than 2 rows
 /// (a contrastive loss needs at least one negative).
 pub fn nt_xent(g: &mut Graph, h_e: Node, h_o: Node, tau: f32) -> Node {
+    let span = calibre_telemetry::span("nt_xent");
     let (n, d) = g.value(h_e).shape();
+    span.add_items(n as u64);
     assert_eq!(g.value(h_o).shape(), (n, d), "view shape mismatch");
     assert!(n >= 2, "NT-Xent needs at least 2 samples, got {n}");
     let h = g.concat_rows(h_e, h_o);

@@ -111,7 +111,10 @@ pub fn ssl_step<M: SslMethod + ?Sized>(
     batch: &TwoViewBatch<'_>,
     opt: &mut Sgd,
 ) -> f32 {
+    let forward = calibre_telemetry::span("ssl_forward");
+    forward.add_items(batch.len() as u64);
     let mut ssl_graph = method.build_graph(batch);
+    drop(forward);
     let loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
     ssl_graph.graph.backward(ssl_graph.ssl_loss);
     let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);

@@ -94,6 +94,7 @@ impl SslMethod for MoCoV2 {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("moco_forward");
         let n = batch.len();
         let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();

@@ -71,6 +71,7 @@ impl SslMethod for SimClr {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("simclr_forward");
         let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         // Bind each parameter once; both views share the leaves so their

@@ -89,6 +89,7 @@ impl SslMethod for Smog {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("smog_forward");
         let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         let enc = self.encoder.bind(&mut graph, &mut binding);

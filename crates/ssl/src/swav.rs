@@ -97,6 +97,7 @@ impl SslMethod for SwAv {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("swav_forward");
         let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         let enc = self.encoder.bind(&mut graph, &mut binding);

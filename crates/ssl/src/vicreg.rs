@@ -120,6 +120,7 @@ impl SslMethod for VicReg {
     }
 
     fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        let _span = calibre_telemetry::span("vicreg_forward");
         let n = batch.len();
         let d = self.config.projection_dim;
         let mut graph = Graph::new();

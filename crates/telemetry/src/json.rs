@@ -1,0 +1,337 @@
+//! A minimal JSON reader for the crate's own artifacts.
+//!
+//! The workspace builds hermetically without a serialization framework, so
+//! the telemetry crate hand-rolls both directions: encoding lives next to
+//! each producer ([`crate::Event::to_json`], profile/trace serializers) and
+//! this module provides the decoding half — enough of RFC 8259 to read back
+//! profile JSON for the `calibre-bench regression` gate and to validate
+//! Chrome trace files in tests. Numbers are kept as `f64`; strings support
+//! the standard escapes (`\"`, `\\`, `\/`, `\b`, `\f`, `\n`, `\r`, `\t`,
+//! `\uXXXX`).
+//!
+//! ```
+//! use calibre_telemetry::json::JsonValue;
+//!
+//! let v = JsonValue::parse(r#"{"spans":[{"name":"matmul","self_us":12.5}]}"#).unwrap();
+//! let spans = v.get("spans").unwrap().as_array().unwrap();
+//! assert_eq!(spans[0].get("name").unwrap().as_str(), Some("matmul"));
+//! assert_eq!(spans[0].get("self_us").unwrap().as_f64(), Some(12.5));
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as a double.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Key order is not preserved.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document; trailing whitespace is allowed,
+    /// trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an integer, if this is a number with an exact integer
+    /// value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() < 9e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex}"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our encoders;
+                            // map lone surrogates to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(
+            JsonValue::parse("-2.5e2").unwrap(),
+            JsonValue::Number(-250.0)
+        );
+        assert_eq!(
+            JsonValue::parse(r#""a\nbA""#).unwrap(),
+            JsonValue::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a":[1,{"b":false}],"c":"x"}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_i64(), Some(1));
+        assert_eq!(a[1].get("b").unwrap(), &JsonValue::Bool(false));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(JsonValue::parse("{} x").is_err());
+        assert!(JsonValue::parse(r#"{"a":1"#).is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn round_trips_event_jsonl() {
+        // The PR-1 event encoder's output must be readable by this parser.
+        use crate::recorder::{MemoryRecorder, Recorder};
+        let rec = MemoryRecorder::new();
+        rec.round_start(3, &[1, 4]);
+        rec.round_end(3, 1.25, &[10.0, 12.5], &[1.2, 1.3], 64, 32);
+        for event in rec.events() {
+            let v = JsonValue::parse(&event.to_json()).expect("event json parses");
+            assert!(v.get("type").is_some());
+        }
+    }
+}

@@ -51,6 +51,12 @@ impl JsonlSink {
 }
 
 impl Recorder for JsonlSink {
+    fn flush(&self) {
+        if let Err(err) = JsonlSink::flush(self) {
+            self.note_failure(err);
+        }
+    }
+
     fn record(&self, event: Event) {
         use std::sync::atomic::Ordering;
         if self.failed.load(Ordering::Relaxed) {
@@ -78,6 +84,7 @@ impl Drop for JsonlSink {
 mod tests {
     use super::*;
     use crate::event::ClientLosses;
+    use crate::recorder::Fanout;
     use std::time::Duration;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -106,6 +113,22 @@ mod tests {
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fanout_flush_reaches_the_file_sink() {
+        // Satellite: flush must propagate through Fanout so bench binaries
+        // can force events to disk without dropping the recorder.
+        let path = temp_path("fanout-flush.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let fan = Fanout::new().with(Box::new(sink));
+        fan.round_start(0, &[0]);
+        fan.flush();
+        // The sink is still alive (not dropped) — flush alone must suffice.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text:?}");
+        drop(fan);
         std::fs::remove_file(&path).ok();
     }
 

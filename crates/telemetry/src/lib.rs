@@ -26,6 +26,12 @@
 //! fans out across worker threads: per-client events are recorded from the
 //! thread that ran the client.
 //!
+//! Below the round-level events sits a second, finer-grained layer added in
+//! PR 2: **spans** ([`mod@span`]) — RAII-guarded named regions with thread-local
+//! nesting — consumed by an aggregating profiler ([`profile`]) and a
+//! Chrome trace-event exporter for Perfetto ([`trace`]). [`json`] is the
+//! matching hand-rolled reader used by the perf-regression gate.
+//!
 //! ```
 //! use calibre_telemetry::{ClientLosses, MemoryRecorder, Recorder};
 //! use std::time::Duration;
@@ -44,10 +50,21 @@
 
 mod event;
 mod hub;
+pub mod json;
 mod jsonl;
+pub mod profile;
 mod recorder;
+pub mod span;
+pub mod trace;
 
 pub use event::{ClientLosses, Event};
 pub use hub::{FairnessSummary, MetricsHub, RoundSummary};
+pub use json::JsonValue;
 pub use jsonl::JsonlSink;
+pub use profile::{ProfileCollector, ProfileReport, SpanStats};
 pub use recorder::{Fanout, MemoryRecorder, NullRecorder, Recorder};
+pub use span::{
+    collector_installed, install_collector, span, uninstall_collector, SpanFanout, SpanGuard,
+    SpanSink,
+};
+pub use trace::TraceCollector;

@@ -1,0 +1,426 @@
+//! Aggregated hot-path profile built from closed spans.
+//!
+//! [`ProfileCollector`] is a [`SpanSink`] that folds
+//! every closed span into per-path statistics: call count, total and *self*
+//! wall-time (self = total minus time in child spans), min/max durations,
+//! and the items/bytes counters. Contention is kept low by sharding the
+//! underlying maps by path hash, so worker threads closing `client` spans
+//! rarely touch the same lock.
+//!
+//! A finished run is snapshotted into a [`ProfileReport`], which renders
+//! two views:
+//!
+//! * [`ProfileReport::tree_string`] — the full call tree, indented, children
+//!   sorted by total time;
+//! * [`ProfileReport::top_self_table`] — the top-N spans by *self* time
+//!   aggregated across all paths with the same leaf name, which is the
+//!   "where does the time actually go" table the ROADMAP's performance work
+//!   navigates by.
+//!
+//! ```
+//! use calibre_telemetry::profile::ProfileCollector;
+//! use calibre_telemetry::span::{ClosedSpan, SpanSink};
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(ProfileCollector::new());
+//! collector.span_closed(&ClosedSpan {
+//!     path: &["round", "client"],
+//!     start_us: 0.0, dur_us: 900.0, self_us: 900.0,
+//!     tid: 1, items: 16, bytes: 0,
+//! });
+//! collector.span_closed(&ClosedSpan {
+//!     path: &["round"],
+//!     start_us: 0.0, dur_us: 1000.0, self_us: 100.0,
+//!     tid: 1, items: 0, bytes: 0,
+//! });
+//! let report = collector.report();
+//! assert_eq!(report.entries().len(), 2);
+//! assert!(report.top_self_table(5).contains("client"));
+//! ```
+
+use crate::span::{ClosedSpan, SpanSink};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+
+const SHARDS: usize = 16;
+
+/// Accumulated statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Total wall-time across all calls, microseconds.
+    pub total_us: f64,
+    /// Self wall-time (total minus child spans), microseconds.
+    pub self_us: f64,
+    /// Shortest single call, microseconds.
+    pub min_us: f64,
+    /// Longest single call, microseconds.
+    pub max_us: f64,
+    /// Sum of the items counter across calls.
+    pub items: u64,
+    /// Sum of the bytes counter across calls.
+    pub bytes: u64,
+}
+
+impl SpanStats {
+    fn fold(&mut self, span: &ClosedSpan<'_>) {
+        if self.calls == 0 {
+            self.min_us = span.dur_us;
+            self.max_us = span.dur_us;
+        } else {
+            self.min_us = self.min_us.min(span.dur_us);
+            self.max_us = self.max_us.max(span.dur_us);
+        }
+        self.calls += 1;
+        self.total_us += span.dur_us;
+        self.self_us += span.self_us;
+        self.items = self.items.saturating_add(span.items);
+        self.bytes = self.bytes.saturating_add(span.bytes);
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        if self.calls == 0 {
+            self.min_us = other.min_us;
+            self.max_us = other.max_us;
+        } else if other.calls > 0 {
+            self.min_us = self.min_us.min(other.min_us);
+            self.max_us = self.max_us.max(other.max_us);
+        }
+        self.calls += other.calls;
+        self.total_us += other.total_us;
+        self.self_us += other.self_us;
+        self.items = self.items.saturating_add(other.items);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+    }
+}
+
+/// A [`SpanSink`] that aggregates closed spans into per-path statistics.
+///
+/// Sharded by path hash to keep multi-threaded rounds from serializing on
+/// one lock.
+pub struct ProfileCollector {
+    shards: Vec<Mutex<HashMap<Vec<&'static str>, SpanStats>>>,
+}
+
+impl Default for ProfileCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        ProfileCollector {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_for(&self, path: &[&'static str]) -> &Mutex<HashMap<Vec<&'static str>, SpanStats>> {
+        let mut hasher = DefaultHasher::new();
+        path.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Snapshots the accumulated statistics into a report.
+    pub fn report(&self) -> ProfileReport {
+        let mut entries: HashMap<Vec<&'static str>, SpanStats> = HashMap::new();
+        for shard in &self.shards {
+            for (path, stats) in shard.lock().iter() {
+                entries.entry(path.clone()).or_default().merge(stats);
+            }
+        }
+        let mut entries: Vec<(Vec<&'static str>, SpanStats)> = entries.into_iter().collect();
+        entries.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(b.1.total_us.partial_cmp(&a.1.total_us).unwrap())
+        });
+        ProfileReport { entries }
+    }
+}
+
+impl SpanSink for ProfileCollector {
+    fn span_closed(&self, span: &ClosedSpan<'_>) {
+        let mut shard = self.shard_for(span.path).lock();
+        match shard.get_mut(span.path) {
+            Some(stats) => stats.fold(span),
+            None => {
+                let mut stats = SpanStats::default();
+                stats.fold(span);
+                shard.insert(span.path.to_vec(), stats);
+            }
+        }
+    }
+}
+
+/// An immutable snapshot of a [`ProfileCollector`], ready for rendering.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// (path, stats) pairs sorted lexicographically by path.
+    entries: Vec<(Vec<&'static str>, SpanStats)>,
+}
+
+impl ProfileReport {
+    /// All (path, stats) pairs, sorted by path.
+    pub fn entries(&self) -> &[(Vec<&'static str>, SpanStats)] {
+        &self.entries
+    }
+
+    /// Statistics for an exact path, if that path ever closed.
+    pub fn stats(&self, path: &[&str]) -> Option<&SpanStats> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.len() == path.len() && p.iter().zip(path).all(|(a, b)| a == b))
+            .map(|(_, s)| s)
+    }
+
+    /// Aggregates statistics across every path ending in `name`.
+    pub fn by_name(&self, name: &str) -> SpanStats {
+        let mut out = SpanStats::default();
+        for (path, stats) in &self.entries {
+            if path.last().copied() == Some(name) {
+                out.merge(stats);
+            }
+        }
+        out
+    }
+
+    /// Total self time across all spans, microseconds. Since self times are
+    /// disjoint this approximates instrumented wall-time per thread.
+    pub fn total_self_us(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s.self_us).sum()
+    }
+
+    /// Renders the full call tree, indented two spaces per level, siblings
+    /// sorted by total time descending.
+    pub fn tree_string(&self) -> String {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        // Sort by path prefix with total-time as the sibling tiebreak:
+        // compare element-wise; where names differ, the heavier subtree wins.
+        let subtree_total = |path: &[&'static str]| -> f64 {
+            self.entries
+                .iter()
+                .filter(|(p, _)| p.len() >= path.len() && p[..path.len()] == *path)
+                .map(|(_, s)| s.total_us)
+                .sum()
+        };
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.entries[a].0, &self.entries[b].0);
+            let shared = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count();
+            match (pa.len() == shared, pb.len() == shared) {
+                (true, _) | (_, true) => pa.len().cmp(&pb.len()),
+                _ => {
+                    let ta = subtree_total(&pa[..shared + 1]);
+                    let tb = subtree_total(&pb[..shared + 1]);
+                    tb.partial_cmp(&ta)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| pa[shared].cmp(pb[shared]))
+                }
+            }
+        });
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<42} {:>8} {:>11} {:>11} {:>9} {:>9}",
+            "span", "calls", "total(ms)", "self(ms)", "min(ms)", "max(ms)"
+        );
+        for &i in &order {
+            let (path, s) = &self.entries[i];
+            let indent = "  ".repeat(path.len().saturating_sub(1));
+            let name = format!("{indent}{}", path.last().copied().unwrap_or(""));
+            let _ = writeln!(
+                out,
+                "{:<42} {:>8} {:>11.3} {:>11.3} {:>9.3} {:>9.3}",
+                name,
+                s.calls,
+                s.total_us / 1e3,
+                s.self_us / 1e3,
+                s.min_us / 1e3,
+                s.max_us / 1e3
+            );
+        }
+        out
+    }
+
+    /// Renders the top-`n` spans by aggregated *self* time, grouped by leaf
+    /// name across paths — the "where the time goes" table.
+    pub fn top_self_table(&self, n: usize) -> String {
+        let mut by_name: HashMap<&'static str, SpanStats> = HashMap::new();
+        for (path, stats) in &self.entries {
+            if let Some(name) = path.last() {
+                by_name.entry(name).or_default().merge(stats);
+            }
+        }
+        let grand_self: f64 = by_name.values().map(|s| s.self_us).sum::<f64>().max(1e-9);
+        let mut rows: Vec<(&'static str, SpanStats)> = by_name.into_iter().collect();
+        rows.sort_by(|a, b| {
+            b.1.self_us
+                .partial_cmp(&a.1.self_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        rows.truncate(n);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>11} {:>11} {:>7} {:>12} {:>12}",
+            "span", "calls", "self(ms)", "total(ms)", "self%", "items", "bytes"
+        );
+        for (name, s) in &rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>11.3} {:>11.3} {:>6.1}% {:>12} {:>12}",
+                name,
+                s.calls,
+                s.self_us / 1e3,
+                s.total_us / 1e3,
+                100.0 * s.self_us / grand_self,
+                s.items,
+                s.bytes
+            );
+        }
+        out
+    }
+
+    /// Serializes the per-name aggregate as JSON — the schema consumed by
+    /// `calibre-bench regression` and committed as
+    /// `results/bench_baseline.json`:
+    ///
+    /// ```text
+    /// {"spans":[{"name":"matmul","calls":12,"total_us":...,"self_us":...,
+    ///            "min_us":...,"max_us":...,"items":...,"bytes":...},...]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut by_name: HashMap<&'static str, SpanStats> = HashMap::new();
+        for (path, stats) in &self.entries {
+            if let Some(name) = path.last() {
+                by_name.entry(name).or_default().merge(stats);
+            }
+        }
+        let mut rows: Vec<(&'static str, SpanStats)> = by_name.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = String::from("{\"spans\":[");
+        for (i, (name, s)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"calls\":{},\"total_us\":{:.3},\"self_us\":{:.3},\
+                 \"min_us\":{:.3},\"max_us\":{:.3},\"items\":{},\"bytes\":{}}}",
+                name, s.calls, s.total_us, s.self_us, s.min_us, s.max_us, s.items, s.bytes
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(collector: &ProfileCollector, path: &[&'static str], dur: f64, self_us: f64) {
+        collector.span_closed(&ClosedSpan {
+            path,
+            start_us: 0.0,
+            dur_us: dur,
+            self_us,
+            tid: 1,
+            items: 1,
+            bytes: 10,
+        });
+    }
+
+    #[test]
+    fn folds_calls_into_stats() {
+        let c = ProfileCollector::new();
+        close(&c, &["round", "client"], 100.0, 80.0);
+        close(&c, &["round", "client"], 300.0, 250.0);
+        close(&c, &["round"], 500.0, 100.0);
+        let report = c.report();
+        let stats = report.stats(&["round", "client"]).unwrap();
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.total_us, 400.0);
+        assert_eq!(stats.self_us, 330.0);
+        assert_eq!(stats.min_us, 100.0);
+        assert_eq!(stats.max_us, 300.0);
+        assert_eq!(stats.items, 2);
+        assert_eq!(stats.bytes, 20);
+    }
+
+    #[test]
+    fn by_name_aggregates_across_paths() {
+        let c = ProfileCollector::new();
+        close(&c, &["round", "client", "matmul"], 10.0, 10.0);
+        close(&c, &["personalize", "matmul"], 30.0, 30.0);
+        let agg = c.report().by_name("matmul");
+        assert_eq!(agg.calls, 2);
+        assert_eq!(agg.total_us, 40.0);
+    }
+
+    #[test]
+    fn tree_renders_children_indented_under_parents() {
+        let c = ProfileCollector::new();
+        close(&c, &["round"], 500.0, 100.0);
+        close(&c, &["round", "client"], 400.0, 400.0);
+        let tree = c.report().tree_string();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[1].starts_with("round"));
+        assert!(lines[2].starts_with("  client"));
+    }
+
+    #[test]
+    fn top_table_sorts_by_self_time() {
+        let c = ProfileCollector::new();
+        close(&c, &["a"], 100.0, 10.0);
+        close(&c, &["b"], 50.0, 50.0);
+        let table = c.report().top_self_table(10);
+        let b_pos = table.find("\nb").unwrap();
+        let a_pos = table.find("\na").unwrap();
+        assert!(
+            b_pos < a_pos,
+            "b has more self time, must come first:\n{table}"
+        );
+    }
+
+    #[test]
+    fn json_has_one_row_per_name() {
+        let c = ProfileCollector::new();
+        close(&c, &["round", "matmul"], 10.0, 10.0);
+        close(&c, &["probe", "matmul"], 20.0, 20.0);
+        close(&c, &["round"], 40.0, 30.0);
+        let json = c.report().to_json();
+        assert!(json.starts_with("{\"spans\":["));
+        assert_eq!(json.matches("\"name\":\"matmul\"").count(), 1);
+        assert!(json.contains("\"calls\":2"));
+    }
+
+    #[test]
+    fn concurrent_folding_loses_nothing() {
+        let c = ProfileCollector::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = &c;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        c.span_closed(&ClosedSpan {
+                            path: &["round", "client"],
+                            start_us: 0.0,
+                            dur_us: 1.0,
+                            self_us: 1.0,
+                            tid: t,
+                            items: 1,
+                            bytes: 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(c.report().stats(&["round", "client"]).unwrap().calls, 800);
+    }
+}

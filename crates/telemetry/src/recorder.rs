@@ -91,17 +91,31 @@ pub trait Recorder: Send + Sync {
     fn personalize(&self, client: usize, accuracy: f32) {
         self.record(Event::Personalize { client, accuracy });
     }
+
+    /// Pushes buffered events to their destination. A no-op for most
+    /// recorders; file-backed sinks override it. Bench binaries call this
+    /// explicitly at end-of-run so a hard exit can't truncate the output,
+    /// and [`Fanout`] forwards it to every sink.
+    fn flush(&self) {}
 }
 
 impl<T: Recorder + ?Sized> Recorder for std::sync::Arc<T> {
     fn record(&self, event: Event) {
         (**self).record(event);
     }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
 }
 
 impl<T: Recorder + ?Sized> Recorder for Box<T> {
     fn record(&self, event: Event) {
         (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
     }
 }
 
@@ -181,6 +195,12 @@ impl Recorder for Fanout {
                 }
                 last.record(event);
             }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Chrome trace-event (Perfetto) exporter.
+//!
+//! [`TraceCollector`] is a [`SpanSink`] that buffers
+//! every closed span as a `ph:"X"` *complete* event in the
+//! [Chrome trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+//! the JSON array understood by `ui.perfetto.dev` and `chrome://tracing`.
+//! Each event carries the span name, start (`ts`) and duration (`dur`) in
+//! microseconds, the process id, and the stable per-thread id assigned by
+//! [`mod@crate::span`] — so a multi-threaded federated round renders its
+//! parallel `client` spans as parallel tracks. Span counters travel in the
+//! event's `args`.
+//!
+//! `ph:"M"` metadata events name each thread track (`calibre-worker-<tid>`).
+//!
+//! ```
+//! use calibre_telemetry::span::{ClosedSpan, SpanSink};
+//! use calibre_telemetry::trace::TraceCollector;
+//!
+//! let collector = TraceCollector::new();
+//! collector.span_closed(&ClosedSpan {
+//!     path: &["round"], start_us: 5.0, dur_us: 100.0, self_us: 100.0,
+//!     tid: 1, items: 0, bytes: 0,
+//! });
+//! let json = collector.to_chrome_json();
+//! assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+
+use crate::span::{ClosedSpan, SpanSink};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+struct TraceEvent {
+    name: &'static str,
+    ts_us: f64,
+    dur_us: f64,
+    tid: u64,
+    items: u64,
+    bytes: u64,
+}
+
+/// Buffers closed spans and serializes them as a Chrome trace-event JSON
+/// array for Perfetto.
+#[derive(Default)]
+pub struct TraceCollector {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of span events buffered so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no spans have been buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Serializes everything buffered so far as a Chrome trace-event JSON
+    /// array: one `ph:"M"` thread-name metadata event per thread seen,
+    /// then one `ph:"X"` complete event per span.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events.lock();
+        let pid = std::process::id();
+        let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for tid in tids {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"calibre-worker-{tid}\"}}}}"
+            );
+        }
+        for e in events.iter() {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"calibre\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":{pid},\"tid\":{},\"args\":{{\"items\":{},\"bytes\":{}}}}}",
+                e.name, e.ts_us, e.dur_us, e.tid, e.items, e.bytes
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Writes [`TraceCollector::to_chrome_json`] to `path`.
+    pub fn write_chrome_trace<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+impl SpanSink for TraceCollector {
+    fn span_closed(&self, span: &ClosedSpan<'_>) {
+        self.events.lock().push(TraceEvent {
+            name: span.name(),
+            ts_us: span.start_us,
+            dur_us: span.dur_us,
+            tid: span.tid,
+            items: span.items,
+            bytes: span.bytes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn close(c: &TraceCollector, name: &'static str, tid: u64, ts: f64, dur: f64) {
+        c.span_closed(&ClosedSpan {
+            path: &[name],
+            start_us: ts,
+            dur_us: dur,
+            self_us: dur,
+            tid,
+            items: 2,
+            bytes: 5,
+        });
+    }
+
+    #[test]
+    fn emits_complete_events_with_required_fields() {
+        let c = TraceCollector::new();
+        close(&c, "round", 1, 0.0, 100.0);
+        close(&c, "client", 2, 10.0, 50.0);
+        let parsed = JsonValue::parse(&c.to_chrome_json()).expect("valid json");
+        let events = parsed.as_array().expect("array");
+        // 2 metadata + 2 span events.
+        assert_eq!(events.len(), 4);
+        for e in events {
+            for field in ["name", "ph", "pid", "tid"] {
+                assert!(e.get(field).is_some(), "missing {field}");
+            }
+        }
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            assert!(s.get("ts").and_then(JsonValue::as_f64).is_some());
+            assert!(s.get("dur").and_then(JsonValue::as_f64).is_some());
+        }
+        let tids: std::collections::HashSet<i64> = spans
+            .iter()
+            .filter_map(|s| s.get("tid").and_then(JsonValue::as_i64))
+            .collect();
+        assert_eq!(tids.len(), 2, "spans keep their distinct tids");
+    }
+
+    #[test]
+    fn metadata_names_each_thread_once() {
+        let c = TraceCollector::new();
+        close(&c, "a", 7, 0.0, 1.0);
+        close(&c, "b", 7, 1.0, 1.0);
+        let json = c.to_chrome_json();
+        assert_eq!(json.matches("thread_name").count(), 1);
+        assert!(json.contains("calibre-worker-7"));
+    }
+
+    #[test]
+    fn empty_collector_serializes_to_empty_array() {
+        let c = TraceCollector::new();
+        assert!(c.is_empty());
+        let parsed = JsonValue::parse(&c.to_chrome_json()).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+    }
+}

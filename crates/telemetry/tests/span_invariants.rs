@@ -1,0 +1,156 @@
+//! Property tests for the span-stack invariants.
+//!
+//! Random interleavings of nested span guards — opened, closed newest-first,
+//! closed oldest-first (out-of-order), counter-updated, and dropped during
+//! unwinding via `catch_unwind` — must always leave the thread-local stack
+//! balanced (depth returns to zero) and yield a profile tree where every
+//! child path hangs off an existing parent and no child subtree outweighs
+//! its parent.
+
+use calibre_telemetry::span::{
+    current_depth, install_collector, span, uninstall_collector, SpanGuard,
+};
+use calibre_telemetry::ProfileCollector;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// The process-wide collector is shared state: serialize the tests here.
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+const NAMES: [&str; 6] = [
+    "round",
+    "client",
+    "ssl_forward",
+    "nt_xent",
+    "kmeans",
+    "matmul",
+];
+
+/// One step of a random span program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a span with the given name index.
+    Open(usize),
+    /// Drop the most recently opened live guard.
+    CloseNewest,
+    /// Drop the oldest live guard (out-of-order: closes every newer frame).
+    CloseOldest,
+    /// Bump the counters of the newest live guard.
+    Count(u64),
+    /// Open `depth` spans inside `catch_unwind` and panic, unwinding them.
+    PanicNested(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NAMES.len()).prop_map(Op::Open),
+        Just(Op::CloseNewest),
+        Just(Op::CloseOldest),
+        (1u64..100).prop_map(Op::Count),
+        (1usize..4).prop_map(Op::PanicNested),
+    ]
+}
+
+fn run_program(ops: &[Op]) {
+    let mut live: Vec<SpanGuard> = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Open(name) => live.push(span(NAMES[name])),
+            Op::CloseNewest => {
+                live.pop();
+            }
+            Op::CloseOldest => {
+                if !live.is_empty() {
+                    // Dropping the oldest guard closes all newer frames; the
+                    // remaining guards become inert no-ops.
+                    drop(live.remove(0));
+                }
+            }
+            Op::Count(n) => {
+                if let Some(g) = live.last() {
+                    g.add_items(n);
+                    g.add_bytes(n * 3);
+                }
+            }
+            Op::PanicNested(depth) => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let _guards: Vec<SpanGuard> =
+                        (0..depth).map(|i| span(NAMES[i % NAMES.len()])).collect();
+                    panic!("unwind through open spans");
+                }));
+                assert!(result.is_err());
+            }
+        }
+    }
+    drop(live);
+}
+
+/// Swallow the panic-hook noise from the intentional `PanicNested` panics
+/// while a program runs.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_leave_stack_balanced(
+        ops in prop::collection::vec(op_strategy(), 0..40)
+    ) {
+        let _lock = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let collector = Arc::new(ProfileCollector::new());
+        install_collector(collector.clone());
+        let depth_before = current_depth();
+        prop_assert_eq!(depth_before, 0usize);
+        with_quiet_panics(|| run_program(&ops));
+        let depth_after = current_depth();
+        uninstall_collector();
+        prop_assert_eq!(depth_after, 0usize, "stack poisoned by {:?}", &ops);
+
+        // Balanced profile tree: every nested path hangs off a recorded
+        // parent, timings are sane, and children fit inside their parent.
+        let report = collector.report();
+        for (path, stats) in report.entries() {
+            prop_assert!(stats.calls > 0);
+            prop_assert!(stats.self_us >= 0.0);
+            prop_assert!(stats.total_us + 1e-9 >= stats.self_us);
+            prop_assert!(stats.max_us + 1e-9 >= stats.min_us);
+            if path.len() > 1 {
+                let parent = &path[..path.len() - 1];
+                prop_assert!(
+                    report.stats(parent).is_some(),
+                    "child {:?} has no parent entry", path
+                );
+            }
+        }
+        for (path, parent) in report.entries() {
+            let children_total: f64 = report
+                .entries()
+                .iter()
+                .filter(|(p, _)| p.len() == path.len() + 1 && p[..path.len()] == path[..])
+                .map(|(_, s)| s.total_us)
+                .sum();
+            prop_assert!(
+                parent.total_us + 1e-6 >= children_total * (1.0 - 1e-6),
+                "children of {:?} outweigh parent: {} vs {}",
+                path, children_total, parent.total_us
+            );
+        }
+    }
+
+    #[test]
+    fn programs_without_a_collector_never_touch_the_stack(
+        ops in prop::collection::vec(op_strategy(), 0..40)
+    ) {
+        let _lock = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall_collector();
+        with_quiet_panics(|| run_program(&ops));
+        prop_assert_eq!(current_depth(), 0usize);
+    }
+}

@@ -134,7 +134,9 @@ impl Conv2d {
     /// Differentiable forward pass over an `(N, H·W·C)` node; returns an
     /// `(N, OH·OW·K)` node.
     pub fn forward(&self, g: &mut Graph, x: Node, binding: &mut Binding) -> Node {
+        let span = calibre_telemetry::span("conv_forward");
         let n = g.value(x).rows();
+        span.add_items(n as u64);
         let out = self.output_shape();
         let w = g.leaf(self.weight.clone());
         let b = g.leaf(self.bias.clone());

@@ -183,7 +183,10 @@ impl Graph {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&mut self, a: Node, b: Node) -> Node {
+        let span = calibre_telemetry::span("matmul");
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        span.add_items(v.rows() as u64);
+        span.add_bytes((v.rows() * v.cols() * std::mem::size_of::<f32>()) as u64);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MatMul(a, b), rg, None)
     }
@@ -542,6 +545,8 @@ impl Graph {
     ///
     /// Panics if `out` is not a `(1, 1)` scalar node.
     pub fn backward(&mut self, out: Node) {
+        let span = calibre_telemetry::span("backward");
+        span.add_items(self.nodes.len() as u64);
         assert_eq!(
             self.nodes[out.0].value.shape(),
             (1, 1),

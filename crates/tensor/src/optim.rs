@@ -111,6 +111,8 @@ impl Sgd {
     /// Panics if `grads.len()` differs from the module's parameter count or
     /// any gradient shape mismatches its parameter.
     pub fn step<M: Module + ?Sized>(&mut self, module: &mut M, grads: &[Matrix]) {
+        let span = calibre_telemetry::span("optimizer_step");
+        span.add_items(grads.len() as u64);
         let mut params = module.parameters_mut();
         assert_eq!(
             params.len(),
@@ -261,6 +263,8 @@ impl Adam {
     /// Panics if `grads.len()` differs from the module's parameter count or
     /// any gradient shape mismatches its parameter.
     pub fn step<M: Module + ?Sized>(&mut self, module: &mut M, grads: &[Matrix]) {
+        let span = calibre_telemetry::span("optimizer_step");
+        span.add_items(grads.len() as u64);
         let mut params = module.parameters_mut();
         assert_eq!(
             params.len(),

@@ -1,0 +1,191 @@
+//! End-to-end tests of the span layer: Chrome-trace export schema, profile
+//! aggregation, and the guarantee that observing a run does not perturb it.
+//!
+//! The span collector is process-global, so every test that installs one
+//! holds [`COLLECTOR_LOCK`] for its whole body.
+
+use calibre::{run_calibre, CalibreConfig};
+use calibre_data::{AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
+use calibre_fl::FlConfig;
+use calibre_ssl::SslKind;
+use calibre_telemetry::{
+    install_collector, uninstall_collector, JsonValue, ProfileCollector, SpanFanout, SpanSink,
+    TraceCollector,
+};
+use calibre_tensor::nn::Module;
+use std::sync::{Arc, Mutex};
+
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn small_fed(seed: u64) -> FederatedDataset {
+    FederatedDataset::build(
+        SynthVisionSpec::cifar10(),
+        &PartitionConfig {
+            num_clients: 6,
+            train_per_client: 60,
+            test_per_client: 30,
+            unlabeled_per_client: 0,
+            non_iid: NonIid::Quantity {
+                classes_per_client: 2,
+            },
+            seed,
+        },
+    )
+}
+
+fn smoke_cfg() -> FlConfig {
+    let mut cfg = FlConfig::for_input(64);
+    cfg.rounds = 3;
+    cfg.clients_per_round = 3;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    cfg
+}
+
+fn smoke_calibre() -> CalibreConfig {
+    CalibreConfig {
+        warmup_rounds: 1,
+        ..CalibreConfig::default()
+    }
+}
+
+#[test]
+fn tracing_leaves_training_bit_identical() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let fed = small_fed(11);
+    let cfg = smoke_cfg();
+    let ccfg = smoke_calibre();
+    let aug = AugmentConfig::default();
+
+    uninstall_collector();
+    let bare = run_calibre(&fed, &cfg, SslKind::SimClr, &ccfg, &aug);
+
+    let profile = Arc::new(ProfileCollector::new());
+    let trace = Arc::new(TraceCollector::new());
+    install_collector(Arc::new(
+        SpanFanout::new()
+            .with(Arc::clone(&profile) as Arc<dyn SpanSink>)
+            .with(Arc::clone(&trace) as Arc<dyn SpanSink>),
+    ));
+    let observed = run_calibre(&fed, &cfg, SslKind::SimClr, &ccfg, &aug);
+    uninstall_collector();
+
+    assert!(
+        !trace.is_empty(),
+        "the observed run must actually have produced spans"
+    );
+    assert_eq!(
+        bare.encoder.to_flat(),
+        observed.encoder.to_flat(),
+        "enabling tracing must leave the trained encoder bit-identical"
+    );
+    assert_eq!(
+        bare.seen.accuracies, observed.seen.accuracies,
+        "enabling tracing must leave personalized accuracies bit-identical"
+    );
+}
+
+#[test]
+fn trace_export_is_valid_chrome_trace_with_required_spans() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let fed = small_fed(12);
+    let cfg = smoke_cfg();
+
+    let profile = Arc::new(ProfileCollector::new());
+    let trace = Arc::new(TraceCollector::new());
+    install_collector(Arc::new(
+        SpanFanout::new()
+            .with(Arc::clone(&profile) as Arc<dyn SpanSink>)
+            .with(Arc::clone(&trace) as Arc<dyn SpanSink>),
+    ));
+    run_calibre(
+        &fed,
+        &cfg,
+        SslKind::SimClr,
+        &smoke_calibre(),
+        &AugmentConfig::default(),
+    );
+    uninstall_collector();
+
+    let json = trace.to_chrome_json();
+    let value = JsonValue::parse(&json).expect("trace output must be valid JSON");
+    let events = value.as_array().expect("a Chrome trace is a JSON array");
+    assert!(!events.is_empty());
+
+    let mut names = std::collections::BTreeSet::new();
+    let mut client_tids = std::collections::BTreeSet::new();
+    for event in events {
+        let name = event
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .expect("every event has a name");
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .expect("every event has a phase");
+        assert!(event.get("pid").and_then(JsonValue::as_i64).is_some());
+        let tid = event
+            .get("tid")
+            .and_then(JsonValue::as_i64)
+            .expect("every event has a tid");
+        match ph {
+            "X" => {
+                assert!(event.get("ts").and_then(JsonValue::as_f64).is_some());
+                assert!(event.get("dur").and_then(JsonValue::as_f64).is_some());
+                names.insert(name.to_string());
+                if name == "client" {
+                    client_tids.insert(tid);
+                }
+            }
+            "M" => assert_eq!(name, "thread_name"),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // The acceptance set: a round span, client spans, an SSL loss and a
+    // KMeans phase must all be visible in one traced Calibre run.
+    for required in ["round", "client", "nt_xent", "kmeans_assign"] {
+        assert!(names.contains(required), "missing span {required:?}");
+    }
+    // Parallel clients must land on distinct Perfetto tracks (thread ids)
+    // whenever the machine can actually run workers in parallel.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 2 {
+        assert!(
+            client_tids.len() >= 2,
+            "expected parallel client spans on distinct tids, got {client_tids:?}"
+        );
+    }
+
+    // The profile consumer saw the same run: per-round and per-client call
+    // counts line up with the training schedule.
+    let report = profile.report();
+    assert_eq!(report.by_name("round").calls, cfg.rounds as u64);
+    assert!(report.by_name("client").calls >= (cfg.rounds * cfg.clients_per_round) as u64);
+    let round = report.by_name("round");
+    assert!(round.total_us >= round.self_us);
+}
+
+#[test]
+fn profile_json_round_trips_through_the_reader() {
+    let _guard = COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let profile = Arc::new(ProfileCollector::new());
+    install_collector(Arc::clone(&profile) as Arc<dyn SpanSink>);
+    {
+        let outer = calibre_telemetry::span("outer");
+        outer.add_items(3);
+        let _inner = calibre_telemetry::span("inner");
+    }
+    uninstall_collector();
+
+    let json = profile.report().to_json();
+    let value = JsonValue::parse(&json).expect("profile JSON parses");
+    let spans = value.get("spans").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(spans.len(), 2);
+    for span in spans {
+        assert!(span.get("name").and_then(JsonValue::as_str).is_some());
+        assert_eq!(span.get("calls").and_then(JsonValue::as_i64), Some(1));
+        assert!(span.get("self_us").and_then(JsonValue::as_f64).is_some());
+    }
+}
