@@ -7,10 +7,11 @@ use calibre_cluster::{kmeans, KMeansConfig};
 use calibre_data::{AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
 use calibre_embed::{tsne, TsneConfig};
 use calibre_fl::aggregate::weighted_average;
-use calibre_ssl::{nt_xent, ssl_step, SimClr, SslConfig, SslMethod, TwoViewBatch};
+use calibre_ssl::{nt_xent, ssl_step, ssl_step_in, SimClr, SslConfig, SslMethod, TwoViewBatch};
+use calibre_tensor::backend::{Backend, Blocked, Scalar};
 use calibre_tensor::nn::{gradients, Binding, Mlp};
 use calibre_tensor::optim::{Sgd, SgdConfig};
-use calibre_tensor::{rng, Graph};
+use calibre_tensor::{rng, Graph, Matrix, StepArena};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -20,6 +21,74 @@ fn bench_matmul(c: &mut Criterion) {
     let b = rng::normal_matrix(&mut r, 128, 128, 1.0);
     c.bench_function("matmul_128x128", |bench| {
         bench.iter(|| black_box(a.matmul(&b)))
+    });
+    // The same product through each execution backend, on pre-allocated
+    // output storage — isolates kernel cost from allocation.
+    let mut out = Matrix::zeros(128, 128);
+    c.bench_function("matmul_128x128_scalar", |bench| {
+        bench.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            Scalar.matmul(&a, &b, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    c.bench_function("matmul_128x128_blocked", |bench| {
+        bench.iter(|| {
+            out.as_mut_slice().fill(0.0);
+            Blocked.matmul(&a, &b, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    // Smoke-workload shape: a ReLU-sparse activation batch against a layer
+    // weight — the product the federated smoke runs issue hundreds of times.
+    let act = rng::normal_matrix(&mut r, 16, 64, 1.0).map(|v| if v > 0.0 { v } else { 0.0 });
+    let w = rng::normal_matrix(&mut r, 64, 32, 1.0);
+    let mut small = Matrix::zeros(16, 32);
+    c.bench_function("matmul_smoke_16x64x32_scalar", |bench| {
+        bench.iter(|| {
+            small.as_mut_slice().fill(0.0);
+            Scalar.matmul(&act, &w, &mut small);
+            black_box(small.get(0, 0))
+        })
+    });
+    c.bench_function("matmul_smoke_16x64x32_blocked", |bench| {
+        bench.iter(|| {
+            small.as_mut_slice().fill(0.0);
+            Blocked.matmul(&act, &w, &mut small);
+            black_box(small.get(0, 0))
+        })
+    });
+    // The same shape with a dense operand (a data batch rather than a ReLU
+    // activation) — exercises the register-blocked quad path.
+    let dense = rng::normal_matrix(&mut r, 16, 64, 1.0);
+    c.bench_function("matmul_smoke_dense_scalar", |bench| {
+        bench.iter(|| {
+            small.as_mut_slice().fill(0.0);
+            Scalar.matmul(&dense, &w, &mut small);
+            black_box(small.get(0, 0))
+        })
+    });
+    c.bench_function("matmul_smoke_dense_blocked", |bench| {
+        bench.iter(|| {
+            small.as_mut_slice().fill(0.0);
+            Blocked.matmul(&dense, &w, &mut small);
+            black_box(small.get(0, 0))
+        })
+    });
+    // The dA-of-backward kernel at the same shape (grad · Wᵀ).
+    let grad = rng::normal_matrix(&mut r, 16, 32, 1.0);
+    let mut da = Matrix::zeros(16, 64);
+    c.bench_function("matmul_nt_smoke_scalar", |bench| {
+        bench.iter(|| {
+            Scalar.matmul_nt(&grad, &w, &mut da);
+            black_box(da.get(0, 0))
+        })
+    });
+    c.bench_function("matmul_nt_smoke_blocked", |bench| {
+        bench.iter(|| {
+            Blocked.matmul_nt(&grad, &w, &mut da);
+            black_box(da.get(0, 0))
+        })
     });
 }
 
@@ -32,7 +101,7 @@ fn bench_mlp_backward(c: &mut Criterion) {
     c.bench_function("supervised_forward_backward_b32", |bench| {
         bench.iter(|| {
             let mut g = Graph::new();
-            let xn = g.constant(x.clone());
+            let xn = g.constant_from(&x);
             let mut binding = Binding::new();
             let feats = mlp.forward(&mut g, xn, &mut binding);
             let logits = head.forward(&mut g, feats, &mut binding);
@@ -50,11 +119,26 @@ fn bench_nt_xent(c: &mut Criterion) {
     c.bench_function("nt_xent_b64", |bench| {
         bench.iter(|| {
             let mut g = Graph::new();
-            let a = g.leaf(he.clone());
-            let b = g.leaf(ho.clone());
+            let a = g.leaf_from(&he);
+            let b = g.leaf_from(&ho);
             let loss = nt_xent(&mut g, a, b, 0.5);
             g.backward(loss);
             black_box(g.grad(a).is_some())
+        })
+    });
+    // Same forward+backward on an arena-recycled tape: after the first
+    // iteration every buffer comes from the pool.
+    c.bench_function("nt_xent_b64_arena", |bench| {
+        let mut arena = StepArena::new();
+        bench.iter(|| {
+            let mut g = arena.take();
+            let a = g.leaf_from(&he);
+            let b = g.leaf_from(&ho);
+            let loss = nt_xent(&mut g, a, b, 0.5);
+            g.backward(loss);
+            let out = g.grad(a).is_some();
+            arena.put(g);
+            black_box(out)
         })
     });
 }
@@ -90,6 +174,28 @@ fn bench_ssl_step(c: &mut Criterion) {
                 )
             },
             |(mut m, mut opt)| black_box(ssl_step(&mut m, &TwoViewBatch::new(&ve, &vo), &mut opt)),
+            BatchSize::SmallInput,
+        )
+    });
+    // The same step through a persistent arena: tape storage is recycled
+    // across iterations, so steady-state allocation drops to near zero.
+    c.bench_function("simclr_step_b32_arena", |bench| {
+        let mut arena = StepArena::new();
+        bench.iter_batched(
+            || {
+                (
+                    SimClr::new(SslConfig::for_input(64)),
+                    Sgd::new(SgdConfig::with_lr(0.05)),
+                )
+            },
+            |(mut m, mut opt)| {
+                black_box(ssl_step_in(
+                    &mut m,
+                    &TwoViewBatch::new(&ve, &vo),
+                    &mut opt,
+                    &mut arena,
+                ))
+            },
             BatchSize::SmallInput,
         )
     });

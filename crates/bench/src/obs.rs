@@ -13,6 +13,13 @@
 //!   the table without writing a file). The JSON is what
 //!   `calibre-bench regression` compares against the committed baseline.
 //!
+//! The hook also consumes one shared *execution* flag:
+//!
+//! - `--backend scalar|blocked` — select the process-wide tensor execution
+//!   backend (see `calibre_tensor::backend`). `scalar` is the bit-exact
+//!   reference; `blocked` is the cache-tiled, row-parallel implementation.
+//!   The default is `scalar`.
+//!
 //! Usage pattern inside a binary's `main`:
 //!
 //! ```no_run
@@ -48,12 +55,23 @@ pub struct ObsArgs {
 
 impl ObsArgs {
     /// Consumes one parsed `--key value` pair if it is an observability
-    /// flag; returns `false` (leaving `self` untouched) otherwise.
+    /// flag or the shared `--backend` execution flag; returns `false`
+    /// (leaving `self` untouched) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--backend` names an unknown backend.
     pub fn accept(&mut self, key: &str, value: &str) -> bool {
         match key {
             "telemetry" => self.telemetry = Some(value.to_string()),
             "trace" => self.trace = Some(value.to_string()),
             "profile" => self.profile = Some(value.to_string()),
+            "backend" => {
+                let be = calibre_tensor::backend::backend_by_name(value).unwrap_or_else(|| {
+                    panic!("unknown --backend {value:?} (expected \"scalar\" or \"blocked\")")
+                });
+                calibre_tensor::backend::set_global_backend(be);
+            }
             _ => return false,
         }
         true
@@ -199,6 +217,8 @@ mod tests {
         assert!(args.accept("telemetry", "t.jsonl"));
         assert!(args.accept("trace", "t.json"));
         assert!(args.accept("profile", "-"));
+        // "scalar" is the process default, so accepting it here is a no-op.
+        assert!(args.accept("backend", "scalar"));
         assert!(!args.accept("scale", "smoke"));
         assert!(args.any());
         assert_eq!(args.telemetry.as_deref(), Some("t.jsonl"));

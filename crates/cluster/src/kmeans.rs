@@ -5,6 +5,7 @@
 //! cluster means become prototypes, and assignments become pseudo-labels for
 //! the `L_n` / `L_p` regularizers.
 
+use calibre_tensor::backend::global_backend;
 use calibre_tensor::{rng, Matrix};
 use rand::Rng;
 
@@ -109,13 +110,12 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
         iterations += 1;
         assignments = assign_to_centroids(data, &centroids);
         let update_span = calibre_telemetry::span("kmeans_update");
+        let be = global_backend();
         let mut new_centroids = Matrix::zeros(k, data.cols());
         let mut counts = vec![0usize; k];
         for (r, &a) in assignments.iter().enumerate() {
             counts[a] += 1;
-            for (o, &v) in new_centroids.row_mut(a).iter_mut().zip(data.row(r)) {
-                *o += v;
-            }
+            be.axpy(new_centroids.row_mut(a), data.row(r), 1.0);
         }
         for (c, &count) in counts.iter().enumerate() {
             if count > 0 {
@@ -130,7 +130,10 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
             }
         }
         let movement: f32 = (0..k)
-            .map(|c| new_centroids.row_distance_sq(c, &centroids, c).sqrt())
+            .map(|c| {
+                be.squared_distance(new_centroids.row(c), centroids.row(c))
+                    .sqrt()
+            })
             .sum();
         centroids = new_centroids;
         drop(update_span);
@@ -153,12 +156,14 @@ fn kmeans_single(data: &Matrix, config: &KMeansConfig, seed: u64) -> KMeansResul
 pub fn assign_to_centroids(data: &Matrix, centroids: &Matrix) -> Vec<usize> {
     let span = calibre_telemetry::span("kmeans_assign");
     span.add_items(data.rows() as u64);
+    assert_eq!(data.cols(), centroids.cols(), "assignment dim mismatch");
+    let be = global_backend();
     (0..data.rows())
         .map(|r| {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for c in 0..centroids.rows() {
-                let d = data.row_distance_sq(r, centroids, c);
+                let d = be.squared_distance(data.row(r), centroids.row(c));
                 if d < best_d {
                     best_d = d;
                     best = c;
@@ -177,19 +182,21 @@ pub fn mean_distance_to_assigned(data: &Matrix, centroids: &Matrix, assignments:
     if data.rows() == 0 {
         return 0.0;
     }
+    let be = global_backend();
     let total: f32 = assignments
         .iter()
         .enumerate()
-        .map(|(r, &a)| data.row_distance_sq(r, centroids, a).sqrt())
+        .map(|(r, &a)| be.squared_distance(data.row(r), centroids.row(a)).sqrt())
         .sum();
     total / data.rows() as f32
 }
 
 fn inertia_of(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f32 {
+    let be = global_backend();
     assignments
         .iter()
         .enumerate()
-        .map(|(r, &a)| data.row_distance_sq(r, centroids, a))
+        .map(|(r, &a)| be.squared_distance(data.row(r), centroids.row(a)))
         .sum()
 }
 

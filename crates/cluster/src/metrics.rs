@@ -202,7 +202,7 @@ mod tests {
         let s = silhouette_score(&data, &wrong);
         // Swapping the labels wholesale keeps clusters internally consistent,
         // so instead corrupt half of one blob.
-        let mut half_wrong = labels.clone();
+        let mut half_wrong = labels;
         for item in half_wrong.iter_mut().take(10) {
             *item = 1;
         }

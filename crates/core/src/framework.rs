@@ -12,7 +12,7 @@
 use crate::loss::{calibre_loss, CalibreConfig, CalibreLoss};
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, FederatedDataset, SynthVision};
-use calibre_fl::aggregate::{divergence_weights, sample_count_weights, weighted_average};
+use calibre_fl::aggregate::{divergence_weights, sample_count_weights, weighted_average_refs};
 use calibre_fl::baselines::BaselineResult;
 use calibre_fl::comm::{CommReport, BYTES_PER_PARAM};
 use calibre_fl::parallel::parallel_map_owned_timed;
@@ -20,15 +20,18 @@ use calibre_fl::pfl_ssl::RoundObserver;
 use calibre_fl::FlConfig;
 use calibre_ssl::{create_method, SslKind, SslMethod, TwoViewBatch};
 use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
-use calibre_tensor::nn::{gradients, Mlp, Module};
+use calibre_tensor::nn::{Mlp, Module};
 use calibre_tensor::optim::{Sgd, SgdConfig};
-use calibre_tensor::rng;
+use calibre_tensor::pool::report_arena_stats;
+use calibre_tensor::{rng, StepArena};
 use rand::Rng;
 
 /// One Calibre optimization step: SSL graph → prototype regularizers →
 /// backward on the combined loss → optimizer step → method bookkeeping.
 ///
-/// Returns the loss decomposition and batch divergence.
+/// Returns the loss decomposition and batch divergence. Allocates a fresh
+/// tape; step loops should prefer [`calibre_step_in`] with a reused
+/// [`StepArena`].
 pub fn calibre_step(
     method: &mut dyn SslMethod,
     batch: &TwoViewBatch<'_>,
@@ -36,15 +39,30 @@ pub fn calibre_step(
     opt: &mut Sgd,
     kmeans_seed: u64,
 ) -> CalibreLoss {
+    let mut arena = StepArena::new();
+    calibre_step_in(method, batch, config, opt, kmeans_seed, &mut arena)
+}
+
+/// Like [`calibre_step`], building the loss graph on the arena's recycled
+/// tape and returning it afterwards so the next step reuses its buffers.
+/// Bit-identical to [`calibre_step`].
+pub fn calibre_step_in(
+    method: &mut dyn SslMethod,
+    batch: &TwoViewBatch<'_>,
+    config: &CalibreConfig,
+    opt: &mut Sgd,
+    kmeans_seed: u64,
+    arena: &mut StepArena,
+) -> CalibreLoss {
     let forward = calibre_telemetry::span("ssl_forward");
     forward.add_items(batch.len() as u64);
-    let mut ssl_graph = method.build_graph(batch);
+    let mut ssl_graph = method.build_graph_with(batch, arena.take());
     drop(forward);
     let loss = calibre_loss(&mut ssl_graph, config, kmeans_seed);
     ssl_graph.graph.backward(loss.total);
-    let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
-    opt.step(method, &grads);
+    opt.step_graph(method, &ssl_graph.graph, &ssl_graph.binding);
     method.post_step(&ssl_graph);
+    arena.put(ssl_graph.graph);
     loss
 }
 
@@ -106,6 +124,7 @@ pub fn calibre_local_update_detailed<R: Rng + ?Sized>(
         return LocalUpdate::default();
     }
     let mut last = LocalUpdate::default();
+    let mut arena = StepArena::new();
     for epoch in 0..epochs {
         let mut sums = LocalUpdate::default();
         let mut seen = 0u64;
@@ -116,12 +135,13 @@ pub fn calibre_local_update_detailed<R: Rng + ?Sized>(
             let samples = batch.iter().map(|&i| pool[i]);
             let (view_e, view_o) = generator.render_two_views(samples, aug, rng_);
             let kmeans_seed = (epoch as u64) << 32 | b as u64;
-            let outcome = calibre_step(
+            let outcome = calibre_step_in(
                 method,
                 &TwoViewBatch::new(&view_e, &view_o),
                 config,
                 opt,
                 kmeans_seed,
+                &mut arena,
             );
             sums.loss += outcome.ssl_loss + config.alpha * (outcome.l_n + outcome.l_p);
             sums.ssl += outcome.ssl_loss;
@@ -139,6 +159,7 @@ pub fn calibre_local_update_detailed<R: Rng + ?Sized>(
             divergence: sums.divergence * inv,
         };
     }
+    report_arena_stats(&arena);
     last
 }
 
@@ -274,7 +295,10 @@ pub fn train_calibre_encoder_observed(
             observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
         }
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|((_, f, _, _), _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates
+            .iter()
+            .map(|((_, f, _, _), _)| f.as_slice())
+            .collect();
         let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
         let divergences: Vec<f32> = updates
             .iter()
@@ -297,7 +321,9 @@ pub fn train_calibre_encoder_observed(
             sample_count_weights(&counts)
         };
         recorder.aggregate(round, flats.len(), weights.iter().sum());
-        global_encoder.load_flat(&weighted_average(&flats, &weights));
+        let aggregated = weighted_average_refs(&flats, &weights);
+        drop(flats);
+        global_encoder.load_flat(&aggregated);
         for ((client, _, _, _), _) in updates {
             states[client.id] = Some(client.method);
         }

@@ -162,11 +162,11 @@ pub fn calibre_loss(
             n_init: 1,
         },
     );
-    let assignments_e = km.assignments.clone();
+    let assignments_e = &km.assignments;
     let assignments_o = assign_to_centroids(&z_o_val, &km.centroids);
     let divergence = {
         let _span = calibre_telemetry::span("divergence");
-        mean_distance_to_assigned(&z_e_val, &km.centroids, &assignments_e)
+        mean_distance_to_assigned(&z_e_val, &km.centroids, assignments_e)
     };
     drop(proto_span);
 
@@ -199,7 +199,7 @@ pub fn calibre_loss(
             g,
             ssl_graph.h_e,
             ssl_graph.h_o,
-            &assignments_e,
+            assignments_e,
             &assignments_o,
             km.centroids.rows(),
             config.tau,

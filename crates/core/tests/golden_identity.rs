@@ -1,0 +1,83 @@
+//! Golden checksums pinning training bit-for-bit across refactors.
+//!
+//! The values below were recorded from a known-good build. Any change to the
+//! numerics of the local step (graph ops, optimizer, aggregation) under the
+//! default `Scalar` backend shows up here as a checksum mismatch, which is
+//! exactly what the arena/backend refactor must not cause.
+
+use calibre::{train_calibre_encoder, CalibreConfig};
+use calibre_data::{AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
+use calibre_fl::FlConfig;
+use calibre_ssl::{ssl_step, SimClr, SslConfig, SslKind, TwoViewBatch};
+use calibre_tensor::nn::Module;
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::rng;
+
+/// FNV-1a over the exact bit patterns of the parameters: equal checksums
+/// mean bit-identical training (modulo +0.0 / -0.0, which f32 `==` already
+/// treats as equal but the bit hash would not — so the flats are canonicalized
+/// first).
+fn flat_checksum(flat: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in flat {
+        let canonical = if v == 0.0 { 0.0f32 } else { v };
+        for b in canonical.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn tiny_fed() -> FederatedDataset {
+    FederatedDataset::build(
+        SynthVisionSpec::cifar10(),
+        &PartitionConfig {
+            num_clients: 3,
+            train_per_client: 40,
+            test_per_client: 10,
+            unlabeled_per_client: 0,
+            non_iid: NonIid::Dirichlet { alpha: 0.3 },
+            seed: 11,
+        },
+    )
+}
+
+#[test]
+fn calibre_training_checksum_is_stable() {
+    let fed = tiny_fed();
+    let mut cfg = FlConfig::for_input(64);
+    cfg.rounds = 2;
+    cfg.clients_per_round = 3;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    let (encoder, losses, _) = train_calibre_encoder(
+        &fed,
+        &cfg,
+        SslKind::SimClr,
+        &CalibreConfig::default(),
+        &AugmentConfig::default(),
+    );
+    let checksum = flat_checksum(&encoder.to_flat());
+    eprintln!("calibre checksum: {checksum:#018x} losses {losses:?}");
+    assert_eq!(checksum, GOLDEN_CALIBRE, "Calibre training drifted");
+}
+
+#[test]
+fn simclr_multi_step_checksum_is_stable() {
+    let mut r = rng::seeded(33);
+    let base = rng::normal_matrix(&mut r, 24, 64, 1.0);
+    let ve = base.map(|v| v + 0.04);
+    let vo = base.map(|v| v - 0.04);
+    let mut m = SimClr::new(SslConfig::for_input(64));
+    let mut opt = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+    for _ in 0..8 {
+        ssl_step(&mut m, &TwoViewBatch::new(&ve, &vo), &mut opt);
+    }
+    let checksum = flat_checksum(&m.to_flat());
+    eprintln!("simclr checksum: {checksum:#018x}");
+    assert_eq!(checksum, GOLDEN_SIMCLR, "SimCLR stepping drifted");
+}
+
+const GOLDEN_CALIBRE: u64 = 0xf693_2ed4_aed3_569c;
+const GOLDEN_SIMCLR: u64 = 0x45bc_4e68_002f_c982;

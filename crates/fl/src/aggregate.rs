@@ -15,14 +15,18 @@
 /// Panics if `updates` is empty, lengths differ, or `weights.len()`
 /// mismatches `updates.len()`.
 pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
-    let span = calibre_telemetry::span("aggregate");
-    span.add_items(updates.len() as u64);
-    span.add_bytes(
-        updates
-            .iter()
-            .map(|u| (u.len() * std::mem::size_of::<f32>()) as u64)
-            .sum(),
-    );
+    let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+    weighted_average_refs(&refs, weights)
+}
+
+/// Weighted average over borrowed flat vectors — the zero-copy core of
+/// [`weighted_average`]. The server loop aggregates straight from the
+/// clients' owned flats without cloning each one first.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`weighted_average`].
+pub fn weighted_average_refs(updates: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     assert!(!updates.is_empty(), "cannot aggregate zero updates");
     assert_eq!(
         updates.len(),
@@ -38,16 +42,19 @@ pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
             u.len()
         );
     }
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(updates.len() as u64);
+    span.add_bytes((updates.len() * dim * std::mem::size_of::<f32>()) as u64);
+    // Normalization is folded into the accumulation: each update's scale is
+    // `w / total` (uniform fallback on a non-positive total), so no
+    // intermediate normalized-weights vector is materialized.
     let total: f32 = weights.iter().sum();
-    let normalized: Vec<f32> = if total > 0.0 {
-        weights.iter().map(|w| w / total).collect()
-    } else {
-        vec![1.0 / updates.len() as f32; updates.len()]
-    };
+    let uniform = 1.0 / updates.len() as f32;
     let mut out = vec![0.0f32; dim];
-    for (u, &w) in updates.iter().zip(normalized.iter()) {
+    for (u, &w) in updates.iter().zip(weights.iter()) {
+        let scale = if total > 0.0 { w / total } else { uniform };
         for (o, &v) in out.iter_mut().zip(u.iter()) {
-            *o += w * v;
+            *o += scale * v;
         }
     }
     out
@@ -125,6 +132,19 @@ mod tests {
     fn sample_count_weights_are_proportional() {
         let w = sample_count_weights(&[10, 30]);
         assert_eq!(w, vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn refs_variant_matches_owned_variant_bitwise() {
+        let updates = vec![vec![1.0f32, -2.5, 3.25], vec![0.5, 4.0, -1.0]];
+        let weights = [2.0, 5.0];
+        let owned = weighted_average(&updates, &weights);
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let borrowed = weighted_average_refs(&refs, &weights);
+        assert_eq!(
+            owned.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            borrowed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

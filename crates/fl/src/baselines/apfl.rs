@@ -6,7 +6,7 @@
 //! and takes mixture-gradient steps on `v`; the mixing weight `α` adapts by
 //! a closed-form gradient step, as in the original paper.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{supervised_step, ClassifierModel, TrainScope};
@@ -110,11 +110,14 @@ pub fn run_apfl(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             )
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, _, _, c, _)| *c).collect();
         let mean_loss =
             updates.iter().map(|(_, _, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         for ((id, _, _), (_, v, alpha, _, _)) in inputs.iter().zip(updates) {
             locals[*id] = v;
             alphas[*id] = alpha;

@@ -5,7 +5,7 @@
 //! tethers it to the global solution. The personal model is the one
 //! evaluated — Ditto is the paper's dedicated fairness baseline (§V-A).
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{supervised_step, train_supervised, ClassifierModel, TrainScope};
@@ -77,11 +77,14 @@ pub fn run_ditto(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             )
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, _, c, _)| *c).collect();
         let mean_loss =
             updates.iter().map(|(_, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         for ((id, _), (_, v, _, _)) in inputs.iter().zip(updates) {
             personals[*id] = v;
         }

@@ -4,7 +4,7 @@
 //! local models. The `-FT` variant (paper §V-A) additionally fine-tunes the
 //! head on each client's local data during personalization.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::compress::{quantize, top_k_sparsify};
 use crate::config::FlConfig;
@@ -91,12 +91,15 @@ pub fn train_fedavg_global_compressed(
                 loss,
             )
         });
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
         let mean_loss =
             updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
         round_losses.push(mean_loss);
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
     }
     (global, round_losses)
 }

@@ -6,7 +6,7 @@
 //! initialization. The paper (§II) notes FedBABU's two-stage structure is
 //! the closest supervised relative of Calibre's own pipeline.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{train_supervised, ClassifierModel, TrainScope};
@@ -48,9 +48,12 @@ pub fn run_fedbabu(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
             );
             (model.encoder().to_flat(), fed.client(id).train_len(), loss)
         });
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
-        global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global_encoder.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         round_losses
             .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }

@@ -8,7 +8,7 @@
 //! clients far from the global model adopt more of it. This is the paper's
 //! closest related work (§II).
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
 use crate::parallel::parallel_map_owned;
@@ -88,11 +88,14 @@ pub fn run_fedema(fed: &FederatedDataset, cfg: &FlConfig, aug: &AugmentConfig) -
             (id, byol, flat, weight, loss)
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(_, _, f, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(_, _, f, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, _, _, c, _)| *c).collect();
         let mean_loss =
             updates.iter().map(|(_, _, _, _, l)| l).sum::<f32>() / updates.len().max(1) as f32;
-        global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global_encoder.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         for (id, byol, _, _, _) in updates {
             states[id] = Some(byol);
         }

@@ -2,7 +2,7 @@
 //! personalization layers — the encoder is shared and aggregated, the head
 //! is a persistent personalization layer trained jointly but never shipped.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{train_supervised, ClassifierModel, TrainScope};
@@ -56,9 +56,12 @@ pub fn run_fedper(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
                 loss,
             )
         });
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, _, c, _)| *c).collect();
-        global_encoder.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global_encoder.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         for ((id, _), (_, head, _, _)) in inputs.iter().zip(updates.iter()) {
             heads[*id] = head.clone();
         }

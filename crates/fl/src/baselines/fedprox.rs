@@ -6,7 +6,7 @@
 //! extension because it is the most common drift-control baseline and the
 //! plumbing (per-batch proximal pull) was already needed for Ditto.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{supervised_step, ClassifierModel, TrainScope};
@@ -65,9 +65,12 @@ pub fn run_fedprox(fed: &FederatedDataset, cfg: &FlConfig, mu: f32) -> BaselineR
                 loss_sum / steps.max(1) as f32,
             )
         });
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         round_losses
             .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }

@@ -3,7 +3,7 @@
 //! produce a good personalized model; evaluation therefore adapts the full
 //! model locally before testing.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::{train_supervised, ClassifierModel, TrainScope};
@@ -85,9 +85,12 @@ pub fn run_perfedavg(fed: &FederatedDataset, cfg: &FlConfig) -> BaselineResult {
                 loss_sum / meta_steps.max(1) as f32,
             )
         });
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = updates.iter().map(|(_, c, _)| *c).collect();
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
         round_losses
             .push(updates.iter().map(|(_, _, l)| l).sum::<f32>() / updates.len().max(1) as f32);
     }

@@ -3,7 +3,7 @@
 //! variates `c` (server) and `c_i` (per client): every local gradient is
 //! adjusted by `− c_i + c`.
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, evaluate_with_head_finetune, BaselineResult};
 use crate::config::FlConfig;
 use crate::model::ClassifierModel;
@@ -108,12 +108,15 @@ pub fn train_scaffold_global(
             local_update(fed, *id, &global_flat, &c_global, c_i, cfg, round)
         });
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|(f, _, _, _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates.iter().map(|(f, _, _, _)| f.as_slice()).collect();
         let counts: Vec<usize> = selected
             .iter()
             .map(|&id| fed.client(id).train_len())
             .collect();
-        global.load_flat(&weighted_average(&flats, &sample_count_weights(&counts)));
+        global.load_flat(&weighted_average_refs(
+            &flats,
+            &sample_count_weights(&counts),
+        ));
 
         // c ← c + (|S|/N) · mean_i(c_i⁺ − c_i)
         let frac = selected.len() as f32 / fed.num_clients() as f32;

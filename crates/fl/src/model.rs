@@ -9,9 +9,10 @@
 use calibre_data::batch::batches;
 use calibre_data::{ClientData, SynthVision};
 use calibre_ssl::SslConfig;
-use calibre_tensor::nn::{gradients, Activation, Binding, Linear, Mlp, Module};
+use calibre_tensor::nn::{Activation, Binding, Linear, Mlp, Module};
 use calibre_tensor::optim::Sgd;
-use calibre_tensor::{rng, Graph, Matrix};
+use calibre_tensor::pool::report_arena_stats;
+use calibre_tensor::{rng, Matrix, StepArena};
 use rand::Rng;
 
 /// Encoder + linear head classifier.
@@ -132,6 +133,7 @@ pub fn train_supervised<R: Rng + ?Sized>(
     }
     let labels = data.train_labels();
     let mut last_epoch_loss = 0.0;
+    let mut arena = StepArena::new();
     for _ in 0..epochs {
         let mut epoch_loss = 0.0;
         let mut batches_seen = 0;
@@ -139,15 +141,18 @@ pub fn train_supervised<R: Rng + ?Sized>(
             let samples: Vec<_> = batch.iter().map(|&i| &data.train[i]).collect();
             let x = generator.render_batch(samples.iter().copied());
             let y: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
-            epoch_loss += supervised_step(model, &x, &y, opt, scope);
+            epoch_loss += supervised_step_in(model, &x, &y, opt, scope, &mut arena);
             batches_seen += 1;
         }
         last_epoch_loss = epoch_loss / batches_seen.max(1) as f32;
     }
+    report_arena_stats(&arena);
     last_epoch_loss
 }
 
 /// One supervised gradient step on a rendered batch. Returns the loss.
+/// Allocates a fresh tape; step loops should prefer [`supervised_step_in`]
+/// with a reused [`StepArena`].
 pub fn supervised_step(
     model: &mut ClassifierModel,
     x: &Matrix,
@@ -155,31 +160,39 @@ pub fn supervised_step(
     opt: &mut Sgd,
     scope: TrainScope,
 ) -> f32 {
-    let mut g = Graph::new();
-    let xn = g.constant(x.clone());
+    let mut arena = StepArena::new();
+    supervised_step_in(model, x, y, opt, scope, &mut arena)
+}
+
+/// Like [`supervised_step`], building the loss graph on the arena's recycled
+/// tape. The frozen scope is expressed as a gradient mask to the optimizer
+/// (frozen parameters behave exactly as if their gradients were zero, so
+/// momentum/weight-decay bookkeeping is unchanged). Bit-identical to
+/// [`supervised_step`].
+pub fn supervised_step_in(
+    model: &mut ClassifierModel,
+    x: &Matrix,
+    y: &[usize],
+    opt: &mut Sgd,
+    scope: TrainScope,
+    arena: &mut StepArena,
+) -> f32 {
+    let mut g = arena.take();
+    let xn = g.constant_from(x);
     let mut binding = Binding::new();
     let feats = model.encoder.forward(&mut g, xn, &mut binding);
     let logits = model.head.forward(&mut g, feats, &mut binding);
     let loss = g.cross_entropy(logits, y);
     let loss_value = g.value(loss).get(0, 0);
     g.backward(loss);
-    let mut grads = gradients(&g, &binding);
-    // Zero out the frozen scope before the optimizer step.
     let encoder_params = model.encoder.parameters().len();
-    match scope {
-        TrainScope::Full => {}
-        TrainScope::EncoderOnly => {
-            for grad in grads.iter_mut().skip(encoder_params) {
-                *grad = Matrix::zeros(grad.rows(), grad.cols());
-            }
-        }
-        TrainScope::HeadOnly => {
-            for grad in grads.iter_mut().take(encoder_params) {
-                *grad = Matrix::zeros(grad.rows(), grad.cols());
-            }
-        }
-    }
-    opt.step(model, &grads);
+    let frozen = |i: usize| match scope {
+        TrainScope::Full => false,
+        TrainScope::EncoderOnly => i >= encoder_params,
+        TrainScope::HeadOnly => i < encoder_params,
+    };
+    opt.step_graph_masked(model, &g, &binding, frozen);
+    arena.put(g);
     loss_value
 }
 

@@ -17,6 +17,15 @@
 //! sizes), switch to work stealing or size-sorted round-robin assignment
 //! before tuning anything else. The [`parallel_map_owned_timed`] variant
 //! exposes exactly the per-item wall-clock needed to diagnose such skew.
+//!
+//! # Workspaces are per worker
+//!
+//! The local-update closures each create their own
+//! [`calibre_tensor::StepArena`], so every worker thread owns a private
+//! buffer pool — recycled tape storage never crosses threads and needs no
+//! locking. The only shared execution state is the process-wide backend
+//! selection (`calibre_tensor::backend::global_backend`), which workers read
+//! through an `Arc` at workspace creation.
 
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};

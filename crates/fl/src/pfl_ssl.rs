@@ -9,7 +9,7 @@
 //! crate swaps in a calibrated local update and a divergence-aware
 //! aggregation).
 
-use crate::aggregate::{sample_count_weights, weighted_average};
+use crate::aggregate::{sample_count_weights, weighted_average_refs};
 use crate::baselines::{client_round_seed, BaselineResult};
 use crate::comm::{CommReport, BYTES_PER_PARAM};
 use crate::config::FlConfig;
@@ -17,11 +17,12 @@ use crate::parallel::parallel_map_owned_timed;
 use crate::personalize::personalize_cohort_observed;
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, SynthVision};
-use calibre_ssl::{create_method, ssl_step, SslKind, SslMethod, TwoViewBatch};
+use calibre_ssl::{create_method, ssl_step_in, SslKind, SslMethod, TwoViewBatch};
 use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
 use calibre_tensor::nn::Module;
 use calibre_tensor::optim::{Sgd, SgdConfig};
-use calibre_tensor::rng;
+use calibre_tensor::pool::report_arena_stats;
+use calibre_tensor::{rng, StepArena};
 use rand::Rng;
 
 /// Runs `epochs` of two-view SSL training over a client's SSL pool
@@ -46,17 +47,24 @@ pub fn ssl_local_update<R: Rng + ?Sized>(
         return 0.0;
     }
     let mut last_epoch_loss = 0.0;
+    let mut arena = StepArena::new();
     for _ in 0..epochs {
         let mut epoch_loss = 0.0;
         let mut seen = 0;
         for batch in batches(pool.len(), batch_size, true, rng_) {
             let samples = batch.iter().map(|&i| pool[i]);
             let (view_e, view_o) = generator.render_two_views(samples, aug, rng_);
-            epoch_loss += ssl_step(method, &TwoViewBatch::new(&view_e, &view_o), opt);
+            epoch_loss += ssl_step_in(
+                method,
+                &TwoViewBatch::new(&view_e, &view_o),
+                opt,
+                &mut arena,
+            );
             seen += 1;
         }
         last_epoch_loss = epoch_loss / seen.max(1) as f32;
     }
+    report_arena_stats(&arena);
     last_epoch_loss
 }
 
@@ -181,13 +189,18 @@ pub fn train_pfl_ssl_encoder_observed(
             observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
         }
 
-        let flats: Vec<Vec<f32>> = updates.iter().map(|((_, f, _, _), _)| f.clone()).collect();
+        let flats: Vec<&[f32]> = updates
+            .iter()
+            .map(|((_, f, _, _), _)| f.as_slice())
+            .collect();
         let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
         let mean_loss =
             updates.iter().map(|((_, _, _, l), _)| l).sum::<f32>() / updates.len().max(1) as f32;
         let weights = sample_count_weights(&counts);
         recorder.aggregate(round, flats.len(), weights.iter().sum());
-        global_encoder.load_flat(&weighted_average(&flats, &weights));
+        let aggregated = weighted_average_refs(&flats, &weights);
+        drop(flats);
+        global_encoder.load_flat(&aggregated);
         for ((client, _, _, _), _) in updates {
             states[client.id] = Some(client.method);
         }

@@ -5,9 +5,12 @@ use calibre_fl::aggregate::{
 };
 use calibre_fl::checkpoint;
 use calibre_fl::comm::CommReport;
+use calibre_fl::model::{supervised_step, supervised_step_in, ClassifierModel, TrainScope};
 use calibre_fl::{jain_index, worst_fraction_mean, Stats};
+use calibre_ssl::SslConfig;
 use calibre_tensor::nn::{Activation, Mlp, Module};
-use calibre_tensor::rng;
+use calibre_tensor::optim::{Sgd, SgdConfig};
+use calibre_tensor::{rng, StepArena};
 use proptest::prelude::*;
 
 proptest! {
@@ -100,6 +103,34 @@ proptest! {
         let mut restored = Mlp::new(&[5, hidden, output], Activation::Relu, &mut r);
         checkpoint::restore(&mut restored, &tensors).unwrap();
         prop_assert_eq!(restored.to_flat(), original.to_flat());
+    }
+
+    #[test]
+    fn supervised_arena_training_is_bit_identical(seed in 0u64..200, scope_idx in 0usize..3) {
+        // Arena-recycled supervised steps must match the fresh-graph path
+        // bit for bit under every training scope — the frozen-scope gradient
+        // mask and the pooled tape are both numerically transparent.
+        let scope = [TrainScope::Full, TrainScope::EncoderOnly, TrainScope::HeadOnly][scope_idx];
+        let cfg = SslConfig::for_input(64);
+        let mut r = rng::seeded(seed);
+        let x = rng::normal_matrix(&mut r, 10, 64, 1.0);
+        let y: Vec<usize> = (0..10).map(|i| i % 10).collect();
+        let mut fresh = ClassifierModel::new(&cfg, 10, seed);
+        let mut pooled = fresh.clone();
+        let mut opt_fresh = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut opt_pooled = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut arena = StepArena::new();
+        for step in 0..3 {
+            let lf = supervised_step(&mut fresh, &x, &y, &mut opt_fresh, scope);
+            let lp = supervised_step_in(&mut pooled, &x, &y, &mut opt_pooled, scope, &mut arena);
+            prop_assert_eq!(lf.to_bits(), lp.to_bits(), "loss diverged at step {}", step);
+        }
+        let fresh_flat = fresh.to_flat();
+        let pooled_flat = pooled.to_flat();
+        prop_assert_eq!(fresh_flat.len(), pooled_flat.len());
+        for (a, b) in fresh_flat.iter().zip(pooled_flat.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "params diverged: {} vs {}", a, b);
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use barlow::BarlowTwins;
 pub use byol::Byol;
 pub use config::SslConfig;
 pub use losses::{neg_cosine, nt_xent, sinkhorn};
-pub use method::{extract_features, ssl_step, SslGraph, SslMethod, TwoViewBatch};
+pub use method::{extract_features, ssl_step, ssl_step_in, SslGraph, SslMethod, TwoViewBatch};
 pub use moco::MoCoV2;
 pub use probe::{probe_accuracy, train_linear_probe, train_linear_probe_from, ProbeConfig};
 pub use simclr::SimClr;

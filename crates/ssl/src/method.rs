@@ -9,9 +9,9 @@
 //! approach is used".
 
 use crate::SslConfig;
-use calibre_tensor::nn::{gradients, Binding, Mlp, Module};
+use calibre_tensor::nn::{Binding, Mlp, Module};
 use calibre_tensor::optim::Sgd;
-use calibre_tensor::{Graph, Matrix, Node};
+use calibre_tensor::{Graph, Matrix, Node, StepArena};
 
 /// A two-view augmented batch (`I_e`, `I_o` in Algorithm 1).
 #[derive(Debug, Clone, Copy)]
@@ -92,7 +92,15 @@ pub trait SslMethod: Module + Send {
     fn encoder_mut(&mut self) -> &mut Mlp;
 
     /// Builds the loss graph for one batch without updating any state.
-    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph;
+    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+        self.build_graph_with(batch, Graph::new())
+    }
+
+    /// Builds the loss graph for one batch onto a caller-provided tape —
+    /// typically one recycled through a [`calibre_tensor::StepArena`], so the
+    /// step reuses the previous step's buffers instead of allocating fresh
+    /// ones. The tape must be empty (freshly created or [`Graph::reset`]).
+    fn build_graph_with(&self, batch: &TwoViewBatch<'_>, graph: Graph) -> SslGraph;
 
     /// Post-gradient bookkeeping: EMA target updates, negative-queue pushes,
     /// prototype renormalization, group refreshes. Called by [`ssl_step`]
@@ -117,9 +125,30 @@ pub fn ssl_step<M: SslMethod + ?Sized>(
     drop(forward);
     let loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
     ssl_graph.graph.backward(ssl_graph.ssl_loss);
-    let grads = gradients(&ssl_graph.graph, &ssl_graph.binding);
-    opt.step(method, &grads);
+    opt.step_graph(method, &ssl_graph.graph, &ssl_graph.binding);
     method.post_step(&ssl_graph);
+    loss_value
+}
+
+/// Like [`ssl_step`], but builds each step's graph on a recycled tape from
+/// `arena` and returns it afterwards, so a loop of steps performs almost no
+/// heap allocation once the arena's pool is warm. Bit-identical to
+/// [`ssl_step`].
+pub fn ssl_step_in<M: SslMethod + ?Sized>(
+    method: &mut M,
+    batch: &TwoViewBatch<'_>,
+    opt: &mut Sgd,
+    arena: &mut StepArena,
+) -> f32 {
+    let forward = calibre_telemetry::span("ssl_forward");
+    forward.add_items(batch.len() as u64);
+    let mut ssl_graph = method.build_graph_with(batch, arena.take());
+    drop(forward);
+    let loss_value = ssl_graph.graph.value(ssl_graph.ssl_loss).get(0, 0);
+    ssl_graph.graph.backward(ssl_graph.ssl_loss);
+    opt.step_graph(method, &ssl_graph.graph, &ssl_graph.binding);
+    method.post_step(&ssl_graph);
+    arena.put(ssl_graph.graph);
     loss_value
 }
 

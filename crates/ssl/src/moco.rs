@@ -93,16 +93,19 @@ impl SslMethod for MoCoV2 {
         &mut self.encoder
     }
 
-    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+    fn build_graph_with(
+        &self,
+        batch: &TwoViewBatch<'_>,
+        mut graph: calibre_tensor::Graph,
+    ) -> SslGraph {
         let _span = calibre_telemetry::span("moco_forward");
         let n = batch.len();
-        let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         let enc = self.encoder.bind(&mut graph, &mut binding);
         let proj = self.projector.bind(&mut graph, &mut binding);
 
-        let xe = graph.constant(batch.view_e.clone());
-        let xo = graph.constant(batch.view_o.clone());
+        let xe = graph.constant_from(batch.view_e);
+        let xo = graph.constant_from(batch.view_o);
         // Queries from both views through the trainable networks.
         let z_e = self.encoder.forward_with(&mut graph, xe, &enc);
         let z_o = self.encoder.forward_with(&mut graph, xo, &enc);
@@ -125,7 +128,7 @@ impl SslMethod for MoCoV2 {
         let q_o = graph.row_l2_normalize(h_o);
         let build_logits = |graph: &mut calibre_tensor::Graph, q, keys: &Matrix| {
             // Positive logit: rowwise dot with the aligned key.
-            let keys_node = graph.constant(keys.clone());
+            let keys_node = graph.constant_from(keys);
             let l_pos = graph.rowwise_dot(q, keys_node);
             if queue.is_empty() {
                 // Fall back to in-batch negatives: q × all keysᵀ with the

@@ -7,9 +7,9 @@
 //! (§V-A, learning settings).
 
 use calibre_data::batch::batches;
-use calibre_tensor::nn::{gradients, Binding, Linear};
+use calibre_tensor::nn::{Binding, Linear};
 use calibre_tensor::optim::{Sgd, SgdConfig};
-use calibre_tensor::{rng, Graph, Matrix};
+use calibre_tensor::{rng, Matrix, StepArena};
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of the linear probe (paper defaults).
@@ -85,18 +85,19 @@ pub fn train_linear_probe_from(
     let mut rng_ = rng::seeded(config.seed);
     let mut opt = Sgd::new(SgdConfig::with_lr(config.lr));
 
+    let mut arena = StepArena::new();
     for _ in 0..config.epochs {
         for batch in batches(features.rows(), config.batch_size, false, &mut rng_) {
             let x = features.gather_rows(&batch);
             let y: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
-            let mut g = Graph::new();
+            let mut g = arena.take();
             let xn = g.constant(x);
             let mut binding = Binding::new();
             let logits = head.forward(&mut g, xn, &mut binding);
             let loss = g.cross_entropy(logits, &y);
             g.backward(loss);
-            let grads = gradients(&g, &binding);
-            opt.step(&mut head, &grads);
+            opt.step_graph(&mut head, &g, &binding);
+            arena.put(g);
         }
     }
     head

@@ -71,16 +71,19 @@ impl SslMethod for SimSiam {
         &mut self.encoder
     }
 
-    fn build_graph(&self, batch: &TwoViewBatch<'_>) -> SslGraph {
+    fn build_graph_with(
+        &self,
+        batch: &TwoViewBatch<'_>,
+        mut graph: calibre_tensor::Graph,
+    ) -> SslGraph {
         let _span = calibre_telemetry::span("simsiam_forward");
-        let mut graph = calibre_tensor::Graph::new();
         let mut binding = Binding::new();
         let enc = self.encoder.bind(&mut graph, &mut binding);
         let proj = self.projector.bind(&mut graph, &mut binding);
         let pred = self.predictor.bind(&mut graph, &mut binding);
 
-        let xe = graph.constant(batch.view_e.clone());
-        let xo = graph.constant(batch.view_o.clone());
+        let xe = graph.constant_from(batch.view_e);
+        let xo = graph.constant_from(batch.view_o);
         let z_e = self.encoder.forward_with(&mut graph, xe, &enc);
         let z_o = self.encoder.forward_with(&mut graph, xo, &enc);
         let h_e = self.projector.forward_with(&mut graph, z_e, &proj);

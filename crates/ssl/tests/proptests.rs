@@ -1,11 +1,12 @@
 //! Property-based tests for the SSL losses and methods.
 
 use calibre_ssl::{
-    create_method, neg_cosine, nt_xent, sinkhorn, ssl_step, SslConfig, SslKind, TwoViewBatch,
+    create_method, neg_cosine, nt_xent, sinkhorn, ssl_step, ssl_step_in, SslConfig, SslKind,
+    TwoViewBatch,
 };
 use calibre_tensor::nn::Module;
 use calibre_tensor::optim::{Sgd, SgdConfig};
-use calibre_tensor::{rng, Graph, Matrix};
+use calibre_tensor::{rng, Graph, Matrix, StepArena};
 use proptest::prelude::*;
 
 fn views(n: usize, d: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
@@ -86,6 +87,31 @@ proptest! {
         prop_assert!(loss.is_finite(), "{kind}: loss {loss}");
         prop_assert!(method.encoder().to_flat() != before, "{kind}: frozen encoder");
         prop_assert!(method.parameters().iter().all(|p| p.all_finite()), "{kind}: NaN params");
+    }
+
+    #[test]
+    fn arena_recycled_simclr_training_is_bit_identical((va, vb) in views(8, 64), seed in 0u64..100) {
+        // A loop of ssl_step_in on one persistent arena must reproduce the
+        // fresh-graph ssl_step loop bit for bit: the recycled tape storage is
+        // an allocation optimization, never a numeric one.
+        let cfg = SslConfig::for_input(64).with_seed(seed);
+        let mut fresh = create_method(SslKind::SimClr, cfg.clone());
+        let mut pooled = create_method(SslKind::SimClr, cfg);
+        let mut opt_fresh = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut opt_pooled = Sgd::new(SgdConfig::with_lr_momentum(0.05, 0.9));
+        let mut arena = StepArena::new();
+        let batch = TwoViewBatch::new(&va, &vb);
+        for step in 0..3 {
+            let lf = ssl_step(fresh.as_mut(), &batch, &mut opt_fresh);
+            let lp = ssl_step_in(pooled.as_mut(), &batch, &mut opt_pooled, &mut arena);
+            prop_assert_eq!(lf.to_bits(), lp.to_bits(), "loss diverged at step {}", step);
+        }
+        let fresh_flat = fresh.to_flat();
+        let pooled_flat = pooled.to_flat();
+        prop_assert_eq!(fresh_flat.len(), pooled_flat.len());
+        for (a, b) in fresh_flat.iter().zip(pooled_flat.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "params diverged: {} vs {}", a, b);
+        }
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Tape-based reverse-mode automatic differentiation.
 //!
-//! A [`Graph`] is a single-use tape: each training step builds a fresh graph,
-//! runs [`Graph::backward`] on a scalar loss node, reads the parameter
-//! gradients out, and drops the graph. Parameters themselves live *outside*
-//! the graph (see [`crate::nn`]) and are inserted as leaf nodes each step —
-//! this keeps the tape trivially `Send` for the parallel federated runtime
-//! and sidesteps interior-mutability entirely.
+//! A [`Graph`] is a reusable tape: each training step builds the step's ops
+//! on it, runs [`Graph::backward`] on a scalar loss node, reads the
+//! parameter gradients out, and either drops the graph or — on the hot path
+//! — recycles it through a [`crate::pool::StepArena`], which calls
+//! [`Graph::reset`] to reclaim every buffer into the graph's
+//! [`crate::pool::Workspace`] pool for the next step. Parameters themselves
+//! live *outside* the graph (see [`crate::nn`]) and are inserted as leaf
+//! nodes each step — this keeps the tape trivially `Send` for the parallel
+//! federated runtime and sidesteps interior-mutability entirely.
+//!
+//! All dense kernels dispatch through the workspace's
+//! [`crate::backend::Backend`]; the default `Scalar` backend reproduces the
+//! original `Matrix` loops bit-for-bit, while `Blocked` trades bitwise
+//! reproducibility for speed.
 //!
 //! The operation set is exactly what the Calibre reproduction needs: dense
 //! linear algebra, the nonlinearities of the encoder MLPs, the normalizations
@@ -13,12 +21,13 @@
 //! gather/concat/group-mean plumbing used by the prototype regularizers.
 
 use crate::conv::ImageShape;
+use crate::pool::{PoolStats, Workspace};
 use crate::Matrix;
 
 /// Handle to a node in a [`Graph`] tape.
 ///
 /// `Node` is a cheap copyable index; it is only meaningful together with the
-/// graph that produced it.
+/// graph that produced it (and only until that graph is [`Graph::reset`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Node(pub(crate) usize);
 
@@ -84,7 +93,7 @@ struct NodeData {
     aux: Option<Matrix>,
 }
 
-/// A single-use reverse-mode autodiff tape.
+/// A reusable reverse-mode autodiff tape.
 ///
 /// # Examples
 ///
@@ -107,6 +116,7 @@ struct NodeData {
 pub struct Graph {
     nodes: Vec<NodeData>,
     grads: Vec<Option<Matrix>>,
+    ws: Workspace,
 }
 
 impl Default for Graph {
@@ -122,12 +132,45 @@ impl std::fmt::Debug for Graph {
 }
 
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape on a fresh [`Workspace`] (process-global
+    /// backend, empty pool).
     pub fn new() -> Self {
+        Graph::with_workspace(Workspace::new())
+    }
+
+    /// Creates an empty tape on an explicit workspace (backend + pool).
+    pub fn with_workspace(ws: Workspace) -> Self {
         Graph {
             nodes: Vec::new(),
             grads: Vec::new(),
+            ws,
         }
+    }
+
+    /// Clears the tape for reuse, reclaiming every node value, cached
+    /// softmax and gradient into the workspace pool. Node handles from
+    /// before the reset are invalidated.
+    pub fn reset(&mut self) {
+        let Graph { nodes, grads, ws } = self;
+        for n in nodes.drain(..) {
+            ws.reclaim(n.value);
+            if let Some(aux) = n.aux {
+                ws.reclaim(aux);
+            }
+        }
+        for m in grads.drain(..).flatten() {
+            ws.reclaim(m);
+        }
+    }
+
+    /// Buffer-pool counters of this graph's workspace.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.ws.pool_stats()
+    }
+
+    /// Name of the backend this graph's kernels dispatch through.
+    pub fn backend_name(&self) -> &'static str {
+        self.ws.backend().name()
     }
 
     /// Number of nodes recorded on the tape so far.
@@ -166,6 +209,22 @@ impl Graph {
         self.push(value, Op::Leaf, true, None)
     }
 
+    /// Like [`Graph::constant`], but copies `value` into pooled storage
+    /// instead of taking ownership — the allocation-free way to insert a
+    /// batch view on a recycled graph.
+    pub fn constant_from(&mut self, value: &Matrix) -> Node {
+        let v = self.ws.alloc_copy(value);
+        self.push(v, Op::Leaf, false, None)
+    }
+
+    /// Like [`Graph::leaf`], but copies `value` into pooled storage — used
+    /// by the layer bind path so re-binding parameters every step stops
+    /// allocating.
+    pub fn leaf_from(&mut self, value: &Matrix) -> Node {
+        let v = self.ws.alloc_copy(value);
+        self.push(v, Op::Leaf, true, None)
+    }
+
     /// Value of a node.
     pub fn value(&self, n: Node) -> &Matrix {
         &self.nodes[n.0].value
@@ -184,86 +243,148 @@ impl Graph {
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&mut self, a: Node, b: Node) -> Node {
         let span = calibre_telemetry::span("matmul");
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let Graph { nodes, ws, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        assert_eq!(
+            av.cols(),
+            bv.rows(),
+            "matmul shape mismatch: {}x{} * {}x{}",
+            av.rows(),
+            av.cols(),
+            bv.rows(),
+            bv.cols()
+        );
+        let mut v = ws.alloc_zeros(av.rows(), bv.cols());
+        ws.backend().matmul(av, bv, &mut v);
         span.add_items(v.rows() as u64);
         span.add_bytes((v.rows() * v.cols() * std::mem::size_of::<f32>()) as u64);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MatMul(a, b), rg, None)
     }
 
+    fn zip_values<F: Fn(f32, f32) -> f32>(&mut self, a: Node, b: Node, f: F) -> Matrix {
+        let Graph { nodes, ws, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        pooled_zip(ws, av, bv, f)
+    }
+
+    fn map_value<F: Fn(f32) -> f32>(&mut self, a: Node, f: F) -> Matrix {
+        let Graph { nodes, ws, .. } = self;
+        pooled_map(ws, &nodes[a.0].value, f)
+    }
+
+    fn copy_value(&mut self, a: Node) -> Matrix {
+        let Graph { nodes, ws, .. } = self;
+        ws.alloc_copy(&nodes[a.0].value)
+    }
+
     /// Elementwise sum of two equally-shaped nodes.
     pub fn add(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let v = self.zip_values(a, b, |x, y| x + y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg, None)
     }
 
     /// Elementwise difference of two equally-shaped nodes.
     pub fn sub(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let v = self.zip_values(a, b, |x, y| x - y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg, None)
     }
 
     /// Elementwise product of two equally-shaped nodes.
     pub fn mul(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let v = self.zip_values(a, b, |x, y| x * y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Mul(a, b), rg, None)
     }
 
     /// Elementwise quotient of two equally-shaped nodes.
     pub fn div(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.div(&self.nodes[b.0].value);
+        let v = self.zip_values(a, b, |x, y| x / y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Div(a, b), rg, None)
     }
 
     /// Adds a `(1, D)` row-vector node to every row of an `(N, D)` node.
     pub fn add_row(&mut self, a: Node, row: Node) -> Node {
-        let v = self.nodes[a.0].value.add_row_vec(&self.nodes[row.0].value);
+        let mut v = {
+            let Graph { nodes, ws, .. } = self;
+            let (av, rv) = (&nodes[a.0].value, &nodes[row.0].value);
+            assert_eq!(rv.rows(), 1, "expected a row vector, got {:?}", rv.shape());
+            assert_eq!(rv.cols(), av.cols(), "row vector length mismatch");
+            ws.alloc_copy(av)
+        };
+        {
+            let rv = &self.nodes[row.0].value;
+            for r in 0..v.rows() {
+                for (o, &b) in v.row_mut(r).iter_mut().zip(rv.iter()) {
+                    *o += b;
+                }
+            }
+        }
         let rg = self.rg(a) || self.rg(row);
         self.push(v, Op::AddRow(a, row), rg, None)
     }
 
     /// Adds an `(N, 1)` column-vector node to every column of an `(N, D)` node.
     pub fn add_col(&mut self, a: Node, col: Node) -> Node {
-        let v = self.nodes[a.0].value.add_col_vec(&self.nodes[col.0].value);
+        let mut v = {
+            let Graph { nodes, ws, .. } = self;
+            let (av, cv) = (&nodes[a.0].value, &nodes[col.0].value);
+            assert_eq!(
+                cv.cols(),
+                1,
+                "expected a column vector, got {:?}",
+                cv.shape()
+            );
+            assert_eq!(cv.rows(), av.rows(), "column vector length mismatch");
+            ws.alloc_copy(av)
+        };
+        {
+            let cv = &self.nodes[col.0].value;
+            for r in 0..v.rows() {
+                let add = cv.get(r, 0);
+                for o in v.row_mut(r) {
+                    *o += add;
+                }
+            }
+        }
         let rg = self.rg(a) || self.rg(col);
         self.push(v, Op::AddCol(a, col), rg, None)
     }
 
     /// Multiplies every element by a scalar.
     pub fn scale(&mut self, a: Node, s: f32) -> Node {
-        let v = self.nodes[a.0].value.scale(s);
+        let v = self.map_value(a, |x| x * s);
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, s), rg, None)
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&mut self, a: Node, s: f32) -> Node {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let v = self.map_value(a, |x| x + s);
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a, s), rg, None)
     }
 
     /// Rectified linear unit, elementwise.
     pub fn relu(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = self.map_value(a, |x| x.max(0.0));
         let rg = self.rg(a);
         self.push(v, Op::Relu(a), rg, None)
     }
 
     /// Hyperbolic tangent, elementwise.
     pub fn tanh(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let v = self.map_value(a, f32::tanh);
         let rg = self.rg(a);
         self.push(v, Op::Tanh(a), rg, None)
     }
 
     /// Exponential, elementwise.
     pub fn exp(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.map(f32::exp);
+        let v = self.map_value(a, f32::exp);
         let rg = self.rg(a);
         self.push(v, Op::Exp(a), rg, None)
     }
@@ -271,14 +392,17 @@ impl Graph {
     /// Natural logarithm, elementwise. Inputs are clamped to `1e-12` from
     /// below so the forward value is always finite.
     pub fn log(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.map(|x| x.max(1e-12).ln());
+        let v = self.map_value(a, |x| x.max(1e-12).ln());
         let rg = self.rg(a);
         self.push(v, Op::Log(a), rg, None)
     }
 
     /// Transposed copy.
     pub fn transpose(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.transpose();
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            pooled_transpose(ws, &nodes[a.0].value)
+        };
         let rg = self.rg(a);
         self.push(v, Op::Transpose(a), rg, None)
     }
@@ -286,7 +410,15 @@ impl Graph {
     /// Scales every row to unit Euclidean norm (rows with near-zero norm pass
     /// through unchanged).
     pub fn row_l2_normalize(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.row_l2_normalized();
+        let mut v = self.copy_value(a);
+        for r in 0..v.rows() {
+            let norm: f32 = v.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for x in v.row_mut(r) {
+                    *x /= norm;
+                }
+            }
+        }
         let rg = self.rg(a);
         self.push(v, Op::RowL2Normalize(a), rg, None)
     }
@@ -294,8 +426,7 @@ impl Graph {
     /// Per-row layer normalization `(x − μ) / √(σ² + 1e-5)` (no affine
     /// parameters). The standard stabilizer for projector/predictor MLPs.
     pub fn layer_norm(&mut self, a: Node) -> Node {
-        let x = &self.nodes[a.0].value;
-        let mut v = x.clone();
+        let mut v = self.copy_value(a);
         for r in 0..v.rows() {
             let row = v.row_mut(r);
             let n = row.len() as f32;
@@ -312,7 +443,13 @@ impl Graph {
 
     /// Per-row sum of squares, producing an `(N, 1)` column node.
     pub fn row_sum_sq(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.row_sum_sq();
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let av = &nodes[a.0].value;
+            let mut out = ws.alloc_uninit(av.rows(), 1);
+            ws.backend().row_sum_sq(av, &mut out);
+            out
+        };
         let rg = self.rg(a);
         self.push(v, Op::RowSumSq(a), rg, None)
     }
@@ -323,21 +460,53 @@ impl Graph {
     ///
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&mut self, a: Node, indices: &[usize]) -> Node {
-        let v = self.nodes[a.0].value.gather_rows(indices);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let av = &nodes[a.0].value;
+            let mut out = ws.alloc_uninit(indices.len(), av.cols());
+            for (i, &idx) in indices.iter().enumerate() {
+                assert!(
+                    idx < av.rows(),
+                    "row index {idx} out of bounds for {} rows",
+                    av.rows()
+                );
+                out.row_mut(i).copy_from_slice(av.row(idx));
+            }
+            out
+        };
         let rg = self.rg(a);
         self.push(v, Op::GatherRows(a, indices.to_vec()), rg, None)
     }
 
     /// Vertically stacks two nodes with equal column counts.
     pub fn concat_rows(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.concat_rows(&self.nodes[b.0].value);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+            assert_eq!(av.cols(), bv.cols(), "concat_rows column mismatch");
+            let mut out = ws.alloc_uninit(av.rows() + bv.rows(), av.cols());
+            out.as_mut_slice()[..av.len()].copy_from_slice(av.as_slice());
+            out.as_mut_slice()[av.len()..].copy_from_slice(bv.as_slice());
+            out
+        };
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::ConcatRows(a, b), rg, None)
     }
 
     /// Horizontally stacks two nodes with equal row counts.
     pub fn concat_cols(&mut self, a: Node, b: Node) -> Node {
-        let v = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+            assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+            let ca = av.cols();
+            let mut out = ws.alloc_uninit(av.rows(), ca + bv.cols());
+            for r in 0..av.rows() {
+                out.row_mut(r)[..ca].copy_from_slice(av.row(r));
+                out.row_mut(r)[ca..].copy_from_slice(bv.row(r));
+            }
+            out
+        };
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::ConcatCols(a, b), rg, None)
     }
@@ -354,55 +523,77 @@ impl Graph {
     /// Panics if `assignments.len()` differs from the row count of `a`, or if
     /// any assignment is `>= k`.
     pub fn group_mean_rows(&mut self, a: Node, assignments: &[usize], k: usize) -> Node {
-        let input = &self.nodes[a.0].value;
-        assert_eq!(
-            assignments.len(),
-            input.rows(),
-            "assignment length must match row count"
-        );
-        let mut counts = vec![0usize; k];
-        let mut out = Matrix::zeros(k, input.cols());
-        for (r, &g) in assignments.iter().enumerate() {
-            assert!(g < k, "assignment {g} out of range for {k} groups");
-            counts[g] += 1;
-            for (o, &v) in out.row_mut(g).iter_mut().zip(input.row(r)) {
-                *o += v;
-            }
-        }
-        for (g, &c) in counts.iter().enumerate() {
-            if c > 0 {
-                let inv = 1.0 / c as f32;
-                for o in out.row_mut(g) {
-                    *o *= inv;
+        let out = {
+            let Graph { nodes, ws, .. } = self;
+            let input = &nodes[a.0].value;
+            assert_eq!(
+                assignments.len(),
+                input.rows(),
+                "assignment length must match row count"
+            );
+            let mut counts = vec![0usize; k];
+            let mut out = ws.alloc_zeros(k, input.cols());
+            for (r, &g) in assignments.iter().enumerate() {
+                assert!(g < k, "assignment {g} out of range for {k} groups");
+                counts[g] += 1;
+                for (o, &v) in out.row_mut(g).iter_mut().zip(input.row(r)) {
+                    *o += v;
                 }
             }
-        }
+            for (g, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let inv = 1.0 / c as f32;
+                    for o in out.row_mut(g) {
+                        *o *= inv;
+                    }
+                }
+            }
+            out
+        };
         let rg = self.rg(a);
         self.push(out, Op::GroupMeanRows(a, assignments.to_vec(), k), rg, None)
     }
 
     /// Row-wise dot product of two `(N, D)` nodes, producing `(N, 1)`.
     pub fn rowwise_dot(&mut self, a: Node, b: Node) -> Node {
-        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
-        let data: Vec<f32> = (0..av.rows())
-            .map(|r| av.row(r).iter().zip(bv.row(r)).map(|(&x, &y)| x * y).sum())
-            .collect();
-        let v = Matrix::from_vec(av.rows(), 1, data);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+            assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
+            let mut out = ws.alloc_uninit(av.rows(), 1);
+            for r in 0..av.rows() {
+                let dot: f32 = av.row(r).iter().zip(bv.row(r)).map(|(&x, &y)| x * y).sum();
+                out.set(r, 0, dot);
+            }
+            out
+        };
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::RowwiseDot(a, b), rg, None)
     }
 
     /// Sum of all elements, producing a `(1, 1)` scalar node.
     pub fn sum_all(&mut self, a: Node) -> Node {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let s = ws.backend().sum(&nodes[a.0].value);
+            ws.alloc_full(1, 1, s)
+        };
         let rg = self.rg(a);
         self.push(v, Op::SumAll(a), rg, None)
     }
 
     /// Mean of all elements, producing a `(1, 1)` scalar node.
     pub fn mean_all(&mut self, a: Node) -> Node {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let av = &nodes[a.0].value;
+            let mean = if av.is_empty() {
+                0.0
+            } else {
+                ws.backend().sum(av) / av.len() as f32
+            };
+            ws.alloc_full(1, 1, mean)
+        };
         let rg = self.rg(a);
         self.push(v, Op::MeanAll(a), rg, None)
     }
@@ -415,27 +606,30 @@ impl Graph {
     /// Panics if `targets.len()` differs from the number of logit rows or any
     /// target is out of range.
     pub fn cross_entropy(&mut self, logits: Node, targets: &[usize]) -> Node {
-        let lv = &self.nodes[logits.0].value;
-        assert_eq!(
-            targets.len(),
-            lv.rows(),
-            "one target per logit row required"
-        );
-        let soft = lv.row_softmax();
-        let log_soft = lv.row_log_softmax();
-        let mut loss = 0.0;
-        for (r, &t) in targets.iter().enumerate() {
-            assert!(
-                t < lv.cols(),
-                "target {t} out of range for {} classes",
-                lv.cols()
+        let (value, soft) = {
+            let Graph { nodes, ws, .. } = self;
+            let lv = &nodes[logits.0].value;
+            assert_eq!(
+                targets.len(),
+                lv.rows(),
+                "one target per logit row required"
             );
-            loss -= log_soft.get(r, t);
-        }
-        loss /= targets.len().max(1) as f32;
+            let soft = pooled_row_softmax(ws, lv);
+            let mut loss = 0.0;
+            for (r, &t) in targets.iter().enumerate() {
+                assert!(
+                    t < lv.cols(),
+                    "target {t} out of range for {} classes",
+                    lv.cols()
+                );
+                loss -= row_log_softmax_at(lv.row(r), t);
+            }
+            loss /= targets.len().max(1) as f32;
+            (ws.alloc_full(1, 1, loss), soft)
+        };
         let rg = self.rg(logits);
         self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
+            value,
             Op::CrossEntropy(logits, targets.to_vec()),
             rg,
             Some(soft),
@@ -450,28 +644,29 @@ impl Graph {
     ///
     /// Panics if shapes disagree.
     pub fn cross_entropy_soft(&mut self, logits: Node, targets: Matrix) -> Node {
-        let lv = &self.nodes[logits.0].value;
-        assert_eq!(
-            lv.shape(),
-            targets.shape(),
-            "soft targets must match logits shape"
-        );
-        let soft = lv.row_softmax();
-        let log_soft = lv.row_log_softmax();
-        let mut loss = 0.0;
-        for r in 0..lv.rows() {
-            for c in 0..lv.cols() {
-                loss -= targets.get(r, c) * log_soft.get(r, c);
+        let (value, soft) = {
+            let Graph { nodes, ws, .. } = self;
+            let lv = &nodes[logits.0].value;
+            assert_eq!(
+                lv.shape(),
+                targets.shape(),
+                "soft targets must match logits shape"
+            );
+            let soft = pooled_row_softmax(ws, lv);
+            let mut loss = 0.0;
+            for r in 0..lv.rows() {
+                let row = lv.row(r);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+                for (c, &v) in row.iter().enumerate() {
+                    loss -= targets.get(r, c) * (v - max - log_sum);
+                }
             }
-        }
-        loss /= lv.rows().max(1) as f32;
+            loss /= lv.rows().max(1) as f32;
+            (ws.alloc_full(1, 1, loss), soft)
+        };
         let rg = self.rg(logits);
-        self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::CrossEntropySoft(logits, targets),
-            rg,
-            Some(soft),
-        )
+        self.push(value, Op::CrossEntropySoft(logits, targets), rg, Some(soft))
     }
 
     /// Overwrites the main diagonal of a square node with `value`; the
@@ -482,13 +677,16 @@ impl Graph {
     ///
     /// Panics if the node is not square.
     pub fn mask_diagonal(&mut self, a: Node, value: f32) -> Node {
-        let av = &self.nodes[a.0].value;
-        assert_eq!(
-            av.rows(),
-            av.cols(),
-            "mask_diagonal requires a square matrix"
-        );
-        let mut v = av.clone();
+        let mut v = {
+            let Graph { nodes, ws, .. } = self;
+            let av = &nodes[a.0].value;
+            assert_eq!(
+                av.rows(),
+                av.cols(),
+                "mask_diagonal requires a square matrix"
+            );
+            ws.alloc_copy(av)
+        };
         for i in 0..v.rows() {
             v.set(i, i, value);
         }
@@ -517,21 +715,26 @@ impl Graph {
     ///
     /// Panics if the element count changes.
     pub fn reshape(&mut self, a: Node, rows: usize, cols: usize) -> Node {
-        let value = &self.nodes[a.0].value;
-        assert_eq!(
-            value.len(),
-            rows * cols,
-            "reshape cannot change element count: {} -> {rows}x{cols}",
-            value.len()
-        );
-        let v = Matrix::from_vec(rows, cols, value.as_slice().to_vec());
+        let v = {
+            let Graph { nodes, ws, .. } = self;
+            let value = &nodes[a.0].value;
+            assert_eq!(
+                value.len(),
+                rows * cols,
+                "reshape cannot change element count: {} -> {rows}x{cols}",
+                value.len()
+            );
+            let mut out = ws.alloc_uninit(rows, cols);
+            out.as_mut_slice().copy_from_slice(value.as_slice());
+            out
+        };
         let rg = self.rg(a);
         self.push(v, Op::Reshape(a), rg, None)
     }
 
     /// Stop-gradient: forwards the value unchanged, blocks all gradient flow.
     pub fn detach(&mut self, a: Node) -> Node {
-        let v = self.nodes[a.0].value.clone();
+        let v = self.copy_value(a);
         self.push(v, Op::Detach(a), false, None)
     }
 
@@ -552,104 +755,243 @@ impl Graph {
             (1, 1),
             "backward requires a scalar (1x1) output node"
         );
-        for g in &mut self.grads {
-            *g = None;
+        let Graph { nodes, grads, ws } = self;
+        for g in grads.iter_mut() {
+            if let Some(m) = g.take() {
+                ws.reclaim(m);
+            }
         }
-        self.grads[out.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        grads[out.0] = Some(ws.alloc_full(1, 1, 1.0));
 
         for id in (0..=out.0).rev() {
-            if self.grads[id].is_none() || !self.nodes[id].requires_grad {
+            if grads[id].is_none() || !nodes[id].requires_grad {
                 continue;
             }
-            let grad = self.grads[id].take().expect("checked above");
-            self.apply_backward(id, &grad);
-            self.grads[id] = Some(grad);
+            let grad = grads[id].take().expect("checked above");
+            apply_backward(nodes, grads, ws, id, &grad);
+            grads[id] = Some(grad);
         }
     }
+}
 
-    fn accumulate(&mut self, n: Node, delta: Matrix) {
-        if !self.nodes[n.0].requires_grad {
-            return;
-        }
-        match &mut self.grads[n.0] {
-            Some(g) => g.add_scaled(&delta, 1.0),
-            slot @ None => *slot = Some(delta),
+/// Pooled elementwise combination of two equally-shaped matrices.
+fn pooled_zip<F: Fn(f32, f32) -> f32>(ws: &mut Workspace, a: &Matrix, b: &Matrix, f: F) -> Matrix {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise op shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = ws.alloc_uninit(a.rows(), a.cols());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = f(x, y);
+    }
+    out
+}
+
+/// Pooled elementwise map.
+fn pooled_map<F: Fn(f32) -> f32>(ws: &mut Workspace, a: &Matrix, f: F) -> Matrix {
+    let mut out = ws.alloc_uninit(a.rows(), a.cols());
+    for (o, &x) in out.iter_mut().zip(a.iter()) {
+        *o = f(x);
+    }
+    out
+}
+
+/// Pooled transposed copy.
+fn pooled_transpose(ws: &mut Workspace, a: &Matrix) -> Matrix {
+    let mut out = ws.alloc_uninit(a.cols(), a.rows());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            out.set(c, r, a.get(r, c));
         }
     }
+    out
+}
 
-    fn apply_backward(&mut self, id: usize, grad: &Matrix) {
-        let op = self.nodes[id].op.clone();
-        match op {
-            Op::Leaf | Op::Detach(_) => {}
-            Op::MatMul(a, b) => {
-                let da = grad.matmul_transpose(&self.nodes[b.0].value);
-                let db = self.nodes[a.0].value.transpose().matmul(grad);
-                self.accumulate(a, da);
-                self.accumulate(b, db);
+/// Pooled row-softmax with the standard max-subtraction stabilization —
+/// value-identical to `Matrix::row_softmax`.
+fn pooled_row_softmax(ws: &mut Workspace, a: &Matrix) -> Matrix {
+    let mut out = ws.alloc_copy(a);
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
             }
-            Op::Add(a, b) => {
-                self.accumulate(a, grad.clone());
-                self.accumulate(b, grad.clone());
-            }
-            Op::Sub(a, b) => {
-                self.accumulate(a, grad.clone());
-                self.accumulate(b, grad.scale(-1.0));
-            }
-            Op::Mul(a, b) => {
-                let da = grad.mul(&self.nodes[b.0].value);
-                let db = grad.mul(&self.nodes[a.0].value);
-                self.accumulate(a, da);
-                self.accumulate(b, db);
-            }
-            Op::Div(a, b) => {
-                let bv = &self.nodes[b.0].value;
-                let av = &self.nodes[a.0].value;
-                let da = grad.div(bv);
-                let db = grad.mul(av).zip_with(bv, |num, den| -num / (den * den));
-                self.accumulate(a, da);
-                self.accumulate(b, db);
-            }
-            Op::AddRow(a, row) => {
-                self.accumulate(a, grad.clone());
-                let mut drow = Matrix::zeros(1, grad.cols());
-                for r in 0..grad.rows() {
-                    for (o, &v) in drow.row_mut(0).iter_mut().zip(grad.row(r)) {
-                        *o += v;
-                    }
+        }
+    }
+    out
+}
+
+/// `log_softmax(row)[t]` computed without materializing the full row —
+/// value-identical to `Matrix::row_log_softmax` at column `t`.
+fn row_log_softmax_at(row: &[f32], t: usize) -> f32 {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    row[t] - max - log_sum
+}
+
+/// Adds `delta` into the gradient slot of `n` (moving it in when the slot is
+/// empty), reclaiming the buffer when the target does not track gradients.
+fn accumulate(
+    nodes: &[NodeData],
+    grads: &mut [Option<Matrix>],
+    ws: &mut Workspace,
+    n: Node,
+    delta: Matrix,
+) {
+    if !nodes[n.0].requires_grad {
+        ws.reclaim(delta);
+        return;
+    }
+    match &mut grads[n.0] {
+        Some(g) => {
+            ws.backend().add_scaled(g, &delta, 1.0);
+            ws.reclaim(delta);
+        }
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Propagates `grad` (the gradient at node `id`) one op backwards,
+/// accumulating into the input nodes' gradient slots.
+///
+/// Free function over the graph's split-borrowed parts so the op can be
+/// matched by reference (no per-node `Op` clone, which used to copy the
+/// index payloads of gather/group ops on every backward step).
+fn apply_backward(
+    nodes: &[NodeData],
+    grads: &mut [Option<Matrix>],
+    ws: &mut Workspace,
+    id: usize,
+    grad: &Matrix,
+) {
+    match &nodes[id].op {
+        Op::Leaf | Op::Detach(_) => {}
+        Op::MatMul(a, b) => {
+            let (a, b) = (*a, *b);
+            let mut da = ws.alloc_uninit(grad.rows(), nodes[b.0].value.rows());
+            ws.backend().matmul_nt(grad, &nodes[b.0].value, &mut da);
+            let mut db = ws.alloc_zeros(nodes[a.0].value.cols(), grad.cols());
+            ws.backend().matmul_tn(&nodes[a.0].value, grad, &mut db);
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::Add(a, b) => {
+            let (a, b) = (*a, *b);
+            let da = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, a, da);
+            let db = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::Sub(a, b) => {
+            let (a, b) = (*a, *b);
+            let da = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, a, da);
+            let db = pooled_map(ws, grad, |v| -v);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::Mul(a, b) => {
+            let (a, b) = (*a, *b);
+            let da = pooled_zip(ws, grad, &nodes[b.0].value, |g, x| g * x);
+            let db = pooled_zip(ws, grad, &nodes[a.0].value, |g, x| g * x);
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::Div(a, b) => {
+            let (a, b) = (*a, *b);
+            let da = pooled_zip(ws, grad, &nodes[b.0].value, |g, den| g / den);
+            let db = {
+                let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                let mut out = ws.alloc_uninit(grad.rows(), grad.cols());
+                for (((o, &g), &x), &den) in out
+                    .iter_mut()
+                    .zip(grad.iter())
+                    .zip(av.iter())
+                    .zip(bv.iter())
+                {
+                    let num = g * x;
+                    *o = -num / (den * den);
                 }
-                self.accumulate(row, drow);
+                out
+            };
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::AddRow(a, row) => {
+            let (a, row) = (*a, *row);
+            let da = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, a, da);
+            let mut drow = ws.alloc_zeros(1, grad.cols());
+            for r in 0..grad.rows() {
+                for (o, &v) in drow.row_mut(0).iter_mut().zip(grad.row(r)) {
+                    *o += v;
+                }
             }
-            Op::AddCol(a, col) => {
-                self.accumulate(a, grad.clone());
-                let data: Vec<f32> = (0..grad.rows()).map(|r| grad.row(r).iter().sum()).collect();
-                self.accumulate(col, Matrix::from_vec(grad.rows(), 1, data));
+            accumulate(nodes, grads, ws, row, drow);
+        }
+        Op::AddCol(a, col) => {
+            let (a, col) = (*a, *col);
+            let da = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, a, da);
+            let mut dcol = ws.alloc_uninit(grad.rows(), 1);
+            for r in 0..grad.rows() {
+                let s: f32 = grad.row(r).iter().sum();
+                dcol.set(r, 0, s);
             }
-            Op::Scale(a, s) => self.accumulate(a, grad.scale(s)),
-            Op::AddScalar(a, _) => self.accumulate(a, grad.clone()),
-            Op::Relu(a) => {
-                let mask = self.nodes[a.0]
-                    .value
-                    .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                self.accumulate(a, grad.mul(&mask));
-            }
-            Op::Tanh(a) => {
-                let y = &self.nodes[id].value;
-                let d = grad.zip_with(y, |g, t| g * (1.0 - t * t));
-                self.accumulate(a, d);
-            }
-            Op::Exp(a) => {
-                let d = grad.mul(&self.nodes[id].value);
-                self.accumulate(a, d);
-            }
-            Op::Log(a) => {
-                let d = grad.zip_with(&self.nodes[a.0].value, |g, x| g / x.max(1e-12));
-                self.accumulate(a, d);
-            }
-            Op::Transpose(a) => self.accumulate(a, grad.transpose()),
-            Op::RowL2Normalize(a) => {
-                let x = &self.nodes[a.0].value;
-                let y = &self.nodes[id].value;
-                let mut d = Matrix::zeros(x.rows(), x.cols());
+            accumulate(nodes, grads, ws, col, dcol);
+        }
+        Op::Scale(a, s) => {
+            let (a, s) = (*a, *s);
+            let da = pooled_map(ws, grad, |v| v * s);
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::AddScalar(a, _) => {
+            let a = *a;
+            let da = ws.alloc_copy(grad);
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::Relu(a) => {
+            let a = *a;
+            let da = pooled_zip(ws, grad, &nodes[a.0].value, |g, x| {
+                g * if x > 0.0 { 1.0 } else { 0.0 }
+            });
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::Tanh(a) => {
+            let a = *a;
+            let da = pooled_zip(ws, grad, &nodes[id].value, |g, t| g * (1.0 - t * t));
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::Exp(a) => {
+            let a = *a;
+            let da = pooled_zip(ws, grad, &nodes[id].value, |g, y| g * y);
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::Log(a) => {
+            let a = *a;
+            let da = pooled_zip(ws, grad, &nodes[a.0].value, |g, x| g / x.max(1e-12));
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::Transpose(a) => {
+            let a = *a;
+            let da = pooled_transpose(ws, grad);
+            accumulate(nodes, grads, ws, a, da);
+        }
+        Op::RowL2Normalize(a) => {
+            let a = *a;
+            let d = {
+                let x = &nodes[a.0].value;
+                let y = &nodes[id].value;
+                let mut d = ws.alloc_uninit(x.rows(), x.cols());
                 for r in 0..x.rows() {
                     let norm: f32 = x.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
                     if norm <= 1e-12 {
@@ -668,13 +1010,17 @@ impl Graph {
                         d.set(r, c, v);
                     }
                 }
-                self.accumulate(a, d);
-            }
-            Op::LayerNorm(a) => {
-                // With y = (x − μ)/σ: dx = (g − mean(g) − y·mean(g⊙y)) / σ.
-                let x = &self.nodes[a.0].value;
-                let y = &self.nodes[id].value;
-                let mut d = Matrix::zeros(x.rows(), x.cols());
+                d
+            };
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::LayerNorm(a) => {
+            let a = *a;
+            // With y = (x − μ)/σ: dx = (g − mean(g) − y·mean(g⊙y)) / σ.
+            let d = {
+                let x = &nodes[a.0].value;
+                let y = &nodes[id].value;
+                let mut d = ws.alloc_uninit(x.rows(), x.cols());
                 for r in 0..x.rows() {
                     let n = x.cols() as f32;
                     let mean: f32 = x.row(r).iter().sum::<f32>() / n;
@@ -698,65 +1044,82 @@ impl Graph {
                         d.set(r, c, v);
                     }
                 }
-                self.accumulate(a, d);
-            }
-            Op::RowSumSq(a) => {
-                let x = &self.nodes[a.0].value;
-                let mut d = Matrix::zeros(x.rows(), x.cols());
+                d
+            };
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::RowSumSq(a) => {
+            let a = *a;
+            let d = {
+                let x = &nodes[a.0].value;
+                let mut d = ws.alloc_uninit(x.rows(), x.cols());
                 for r in 0..x.rows() {
                     let g = grad.get(r, 0);
                     for c in 0..x.cols() {
                         d.set(r, c, 2.0 * x.get(r, c) * g);
                     }
                 }
-                self.accumulate(a, d);
-            }
-            Op::GatherRows(a, indices) => {
-                let mut d = Matrix::zeros(self.nodes[a.0].value.rows(), grad.cols());
-                for (i, &idx) in indices.iter().enumerate() {
-                    for (o, &v) in d.row_mut(idx).iter_mut().zip(grad.row(i)) {
-                        *o += v;
-                    }
+                d
+            };
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::GatherRows(a, indices) => {
+            let a = *a;
+            let mut d = ws.alloc_zeros(nodes[a.0].value.rows(), grad.cols());
+            for (i, &idx) in indices.iter().enumerate() {
+                for (o, &v) in d.row_mut(idx).iter_mut().zip(grad.row(i)) {
+                    *o += v;
                 }
-                self.accumulate(a, d);
             }
-            Op::ConcatRows(a, b) => {
-                let ra = self.nodes[a.0].value.rows();
-                let da = grad.gather_rows(&(0..ra).collect::<Vec<_>>());
-                let db = grad.gather_rows(&(ra..grad.rows()).collect::<Vec<_>>());
-                self.accumulate(a, da);
-                self.accumulate(b, db);
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::ConcatRows(a, b) => {
+            let (a, b) = (*a, *b);
+            let ra = nodes[a.0].value.rows();
+            let cols = grad.cols();
+            let mut da = ws.alloc_uninit(ra, cols);
+            da.as_mut_slice()
+                .copy_from_slice(&grad.as_slice()[..ra * cols]);
+            let mut db = ws.alloc_uninit(grad.rows() - ra, cols);
+            db.as_mut_slice()
+                .copy_from_slice(&grad.as_slice()[ra * cols..]);
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::ConcatCols(a, b) => {
+            let (a, b) = (*a, *b);
+            let ca = nodes[a.0].value.cols();
+            let mut da = ws.alloc_uninit(grad.rows(), ca);
+            let mut db = ws.alloc_uninit(grad.rows(), grad.cols() - ca);
+            for r in 0..grad.rows() {
+                da.row_mut(r).copy_from_slice(&grad.row(r)[..ca]);
+                db.row_mut(r).copy_from_slice(&grad.row(r)[ca..]);
             }
-            Op::ConcatCols(a, b) => {
-                let ca = self.nodes[a.0].value.cols();
-                let mut da = Matrix::zeros(grad.rows(), ca);
-                let mut db = Matrix::zeros(grad.rows(), grad.cols() - ca);
-                for r in 0..grad.rows() {
-                    da.row_mut(r).copy_from_slice(&grad.row(r)[..ca]);
-                    db.row_mut(r).copy_from_slice(&grad.row(r)[ca..]);
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::GroupMeanRows(a, assignments, k) => {
+            let a = *a;
+            let mut counts = vec![0usize; *k];
+            for &g in assignments {
+                counts[g] += 1;
+            }
+            let x_rows = nodes[a.0].value.rows();
+            let mut d = ws.alloc_zeros(x_rows, grad.cols());
+            for (r, &g) in assignments.iter().enumerate() {
+                let inv = 1.0 / counts[g] as f32;
+                for (o, &v) in d.row_mut(r).iter_mut().zip(grad.row(g)) {
+                    *o += v * inv;
                 }
-                self.accumulate(a, da);
-                self.accumulate(b, db);
             }
-            Op::GroupMeanRows(a, assignments, k) => {
-                let mut counts = vec![0usize; k];
-                for &g in &assignments {
-                    counts[g] += 1;
-                }
-                let x_rows = self.nodes[a.0].value.rows();
-                let mut d = Matrix::zeros(x_rows, grad.cols());
-                for (r, &g) in assignments.iter().enumerate() {
-                    let inv = 1.0 / counts[g] as f32;
-                    for (o, &v) in d.row_mut(r).iter_mut().zip(grad.row(g)) {
-                        *o += v * inv;
-                    }
-                }
-                self.accumulate(a, d);
-            }
-            Op::RowwiseDot(a, b) => {
-                let (av, bv) = (self.nodes[a.0].value.clone(), self.nodes[b.0].value.clone());
-                let mut da = Matrix::zeros(av.rows(), av.cols());
-                let mut db = Matrix::zeros(bv.rows(), bv.cols());
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::RowwiseDot(a, b) => {
+            let (a, b) = (*a, *b);
+            let (da, db) = {
+                let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+                let mut da = ws.alloc_uninit(av.rows(), av.cols());
+                let mut db = ws.alloc_uninit(bv.rows(), bv.cols());
                 for r in 0..av.rows() {
                     let g = grad.get(r, 0);
                     for c in 0..av.cols() {
@@ -764,67 +1127,83 @@ impl Graph {
                         db.set(r, c, g * av.get(r, c));
                     }
                 }
-                self.accumulate(a, da);
-                self.accumulate(b, db);
+                (da, db)
+            };
+            accumulate(nodes, grads, ws, a, da);
+            accumulate(nodes, grads, ws, b, db);
+        }
+        Op::SumAll(a) => {
+            let a = *a;
+            let s = grad.get(0, 0);
+            let shape = nodes[a.0].value.shape();
+            let d = ws.alloc_full(shape.0, shape.1, s);
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::MeanAll(a) => {
+            let a = *a;
+            let shape = nodes[a.0].value.shape();
+            let n = (shape.0 * shape.1).max(1) as f32;
+            let s = grad.get(0, 0) / n;
+            let d = ws.alloc_full(shape.0, shape.1, s);
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::CrossEntropy(logits, targets) => {
+            let logits = *logits;
+            let mut d = {
+                let soft = nodes[id].aux.as_ref().expect("softmax cached in forward");
+                ws.alloc_copy(soft)
+            };
+            let g = grad.get(0, 0) / targets.len().max(1) as f32;
+            for (r, &t) in targets.iter().enumerate() {
+                let v = d.get(r, t) - 1.0;
+                d.set(r, t, v);
             }
-            Op::SumAll(a) => {
-                let s = grad.get(0, 0);
-                let shape = self.nodes[a.0].value.shape();
-                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
+            for v in d.iter_mut() {
+                *v *= g;
             }
-            Op::MeanAll(a) => {
-                let shape = self.nodes[a.0].value.shape();
-                let n = (shape.0 * shape.1).max(1) as f32;
-                let s = grad.get(0, 0) / n;
-                self.accumulate(a, Matrix::full(shape.0, shape.1, s));
-            }
-            Op::CrossEntropy(logits, targets) => {
-                let soft = self.nodes[id]
-                    .aux
-                    .clone()
-                    .expect("softmax cached in forward");
-                let g = grad.get(0, 0) / targets.len().max(1) as f32;
-                let mut d = soft;
-                for (r, &t) in targets.iter().enumerate() {
-                    let v = d.get(r, t) - 1.0;
-                    d.set(r, t, v);
-                }
-                self.accumulate(logits, d.scale(g));
-            }
-            Op::CrossEntropySoft(logits, targets) => {
-                let soft = self.nodes[id]
-                    .aux
-                    .clone()
-                    .expect("softmax cached in forward");
-                let g = grad.get(0, 0) / targets.rows().max(1) as f32;
-                // Per-row gradient: (sum_k t_k) * softmax - t. For probability
-                // rows the row sum is 1 and this reduces to softmax - t.
-                let mut d = Matrix::zeros(soft.rows(), soft.cols());
+            accumulate(nodes, grads, ws, logits, d);
+        }
+        Op::CrossEntropySoft(logits, targets) => {
+            let logits = *logits;
+            let g = grad.get(0, 0) / targets.rows().max(1) as f32;
+            // Per-row gradient: (sum_k t_k) * softmax - t. For probability
+            // rows the row sum is 1 and this reduces to softmax - t.
+            let mut d = {
+                let soft = nodes[id].aux.as_ref().expect("softmax cached in forward");
+                let mut d = ws.alloc_uninit(soft.rows(), soft.cols());
                 for r in 0..soft.rows() {
                     let t_sum: f32 = targets.row(r).iter().sum();
                     for c in 0..soft.cols() {
                         d.set(r, c, t_sum * soft.get(r, c) - targets.get(r, c));
                     }
                 }
-                self.accumulate(logits, d.scale(g));
+                d
+            };
+            for v in d.iter_mut() {
+                *v *= g;
             }
-            Op::Im2Col(a, shape, kernel, stride) => {
-                let rows = self.nodes[a.0].value.rows();
-                let d = crate::conv::col2im_matrix(grad, rows, shape, kernel, stride);
-                self.accumulate(a, d);
+            accumulate(nodes, grads, ws, logits, d);
+        }
+        Op::Im2Col(a, shape, kernel, stride) => {
+            let (a, shape, kernel, stride) = (*a, *shape, *kernel, *stride);
+            let rows = nodes[a.0].value.rows();
+            let d = crate::conv::col2im_matrix(grad, rows, shape, kernel, stride);
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::Reshape(a) => {
+            let a = *a;
+            let (r, c) = nodes[a.0].value.shape();
+            let mut d = ws.alloc_uninit(r, c);
+            d.as_mut_slice().copy_from_slice(grad.as_slice());
+            accumulate(nodes, grads, ws, a, d);
+        }
+        Op::MaskDiagonal(a, _) => {
+            let a = *a;
+            let mut d = ws.alloc_copy(grad);
+            for i in 0..d.rows() {
+                d.set(i, i, 0.0);
             }
-            Op::Reshape(a) => {
-                let (r, c) = self.nodes[a.0].value.shape();
-                let d = Matrix::from_vec(r, c, grad.as_slice().to_vec());
-                self.accumulate(a, d);
-            }
-            Op::MaskDiagonal(a, _) => {
-                let mut d = grad.clone();
-                for i in 0..d.rows() {
-                    d.set(i, i, 0.0);
-                }
-                self.accumulate(a, d);
-            }
+            accumulate(nodes, grads, ws, a, d);
         }
     }
 }
@@ -1147,5 +1526,48 @@ mod tests {
             (g.grad(x).unwrap().get(0, 0) - 3.0).abs() < 1e-6,
             "grad must not double-accumulate"
         );
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_preserves_results() {
+        let x_val = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let w_val = Matrix::from_rows(&[vec![0.3, 0.7], vec![-0.4, 0.1]]);
+        let run = |g: &mut Graph| -> (f32, Matrix) {
+            let x = g.constant_from(&x_val);
+            let w = g.leaf_from(&w_val);
+            let h = g.matmul(x, w);
+            let act = g.relu(h);
+            let loss = g.mean_all(act);
+            g.backward(loss);
+            (g.value(loss).get(0, 0), g.grad(w).unwrap().clone())
+        };
+
+        let mut fresh = Graph::new();
+        let (loss_fresh, grad_fresh) = run(&mut fresh);
+
+        let mut recycled = Graph::new();
+        let mut loss_rec = 0.0;
+        let mut grad_rec = Matrix::zeros(0, 0);
+        for _ in 0..4 {
+            recycled.reset();
+            let (l, gr) = run(&mut recycled);
+            loss_rec = l;
+            grad_rec = gr;
+        }
+        assert_eq!(loss_fresh.to_bits(), loss_rec.to_bits());
+        assert_eq!(grad_fresh, grad_rec, "recycled tape must be bit-identical");
+        let stats = recycled.pool_stats();
+        assert!(stats.hits > 0, "later steps must reuse pooled buffers");
+    }
+
+    #[test]
+    fn leaf_from_matches_leaf() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let mut g = Graph::new();
+        let a = g.leaf(m.clone());
+        let b = g.leaf_from(&m);
+        assert_eq!(g.value(a), g.value(b));
+        let c = g.constant_from(&m);
+        assert_eq!(g.value(c), &m);
     }
 }

@@ -13,10 +13,19 @@
 //!
 //! - [`Matrix`] — dense row-major `f32` matrix with the linear-algebra
 //!   helpers used across the workspace.
-//! - [`Graph`] / [`Node`] — a single-use autodiff tape covering dense
+//! - [`Graph`] / [`Node`] — a reusable autodiff tape covering dense
 //!   layers, contrastive-loss plumbing (row normalization, diagonal masking,
 //!   fused cross-entropies) and the prototype machinery (grouped row means,
-//!   gathers/concats).
+//!   gathers/concats). Tapes recycle their buffers across steps through a
+//!   [`pool::StepArena`].
+//! - [`backend`] — the pluggable execution seam: every dense kernel
+//!   dispatches through a [`backend::Backend`] ([`backend::Scalar`] is the
+//!   bit-exact reference, [`backend::Blocked`] the cache-tiled, row-parallel
+//!   fast path), selected once per run via
+//!   [`backend::set_global_backend`].
+//! - [`pool`] — [`pool::BufferPool`] / [`pool::Workspace`] /
+//!   [`pool::StepArena`]: size-keyed buffer recycling so a local update of
+//!   E epochs reuses one arena instead of allocating fresh tapes per step.
 //! - [`nn`] — [`nn::Linear`] / [`nn::Mlp`] modules with parameter
 //!   flattening for federated aggregation, plus EMA updates for momentum
 //!   encoders.
@@ -56,11 +65,14 @@
 mod graph;
 mod matrix;
 
+pub mod backend;
 pub mod conv;
 pub mod gradcheck;
 pub mod nn;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 
 pub use graph::{Graph, Node};
 pub use matrix::Matrix;
+pub use pool::{StepArena, Workspace};

@@ -99,12 +99,7 @@ pub trait Module {
 ///
 /// Panics if the two modules have different parameter shapes.
 pub fn ema_update<M: Module + ?Sized>(target: &mut M, online: &M, momentum: f32) {
-    let online_params: Vec<Matrix> = online.parameters().into_iter().cloned().collect();
-    for (t, o) in target
-        .parameters_mut()
-        .into_iter()
-        .zip(online_params.iter())
-    {
+    for (t, o) in target.parameters_mut().into_iter().zip(online.parameters()) {
         assert_eq!(t.shape(), o.shape(), "ema_update shape mismatch");
         for (tv, &ov) in t.iter_mut().zip(o.iter()) {
             *tv = momentum * *tv + (1.0 - momentum) * ov;
@@ -218,8 +213,8 @@ impl Linear {
 
     /// Differentiable forward pass; binds `W` and `b` as leaves on `g`.
     pub fn forward(&self, g: &mut Graph, x: Node, binding: &mut Binding) -> Node {
-        let w = g.leaf(self.w.clone());
-        let b = g.leaf(self.b.clone());
+        let w = g.leaf_from(&self.w);
+        let b = g.leaf_from(&self.b);
         binding.push(w);
         binding.push(b);
         let xw = g.matmul(x, w);
@@ -236,8 +231,8 @@ impl Linear {
     /// several inputs in one graph (e.g. the two SSL views) so gradients
     /// accumulate on a single leaf per parameter.
     pub fn bind(&self, g: &mut Graph, binding: &mut Binding) -> (Node, Node) {
-        let w = g.leaf(self.w.clone());
-        let b = g.leaf(self.b.clone());
+        let w = g.leaf_from(&self.w);
+        let b = g.leaf_from(&self.b);
         binding.push(w);
         binding.push(b);
         (w, b)

@@ -159,9 +159,156 @@ impl Sgd {
                 for (vv, &gv) in v.iter_mut().zip(effective.iter()) {
                     *vv = self.config.momentum * *vv + gv;
                 }
-                p.add_scaled(&self.velocity[i].clone(), -self.config.lr);
+                p.add_scaled(&self.velocity[i], -self.config.lr);
             } else {
                 p.add_scaled(&effective, -self.config.lr);
+            }
+        }
+    }
+
+    /// Applies one update step reading gradients directly off a
+    /// differentiated [`Graph`], with in-place parameter updates.
+    ///
+    /// Equivalent to `step(module, &gradients(graph, binding))` but without
+    /// materializing the gradient vector: parameters whose leaves received
+    /// no gradient are treated as having zero gradients (weight decay and
+    /// momentum-velocity decay still apply), bit-identically to the
+    /// materialized path. This is the arena hot-path entry point — one local
+    /// update performs no per-step allocation at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `binding.len()` differs from the module's parameter count
+    /// or any gradient shape mismatches its parameter.
+    pub fn step_graph<M: Module + ?Sized>(
+        &mut self,
+        module: &mut M,
+        graph: &crate::Graph,
+        binding: &crate::nn::Binding,
+    ) {
+        self.step_graph_masked(module, graph, binding, |_| false);
+    }
+
+    /// Like [`Sgd::step_graph`] but treats parameters for which
+    /// `frozen(index)` returns `true` as having zero gradients, regardless
+    /// of what the tape computed. Used for partial-model training (e.g.
+    /// head-only fine-tuning where the encoder is frozen): frozen parameters
+    /// still see weight decay and momentum-velocity decay, exactly as if a
+    /// zero gradient matrix had been passed to [`Sgd::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `binding.len()` differs from the module's parameter count
+    /// or any live gradient shape mismatches its parameter.
+    pub fn step_graph_masked<M, F>(
+        &mut self,
+        module: &mut M,
+        graph: &crate::Graph,
+        binding: &crate::nn::Binding,
+        frozen: F,
+    ) where
+        M: Module + ?Sized,
+        F: Fn(usize) -> bool,
+    {
+        let span = calibre_telemetry::span("optimizer_step");
+        span.add_items(binding.len() as u64);
+        let mut params = module.parameters_mut();
+        assert_eq!(
+            params.len(),
+            binding.len(),
+            "binding count {} does not match parameter count {}",
+            binding.len(),
+            params.len()
+        );
+        let grad_of = |i: usize| -> Option<&Matrix> {
+            if frozen(i) {
+                None
+            } else {
+                graph.grad(binding.nodes()[i])
+            }
+        };
+
+        let clip_scale = if self.config.grad_clip > 0.0 {
+            let total: f32 = (0..params.len())
+                .map(|i| match grad_of(i) {
+                    Some(g) => {
+                        let n = g.frobenius_norm();
+                        n * n
+                    }
+                    None => 0.0,
+                })
+                .sum::<f32>()
+                .sqrt();
+            if total > self.config.grad_clip {
+                self.config.grad_clip / total
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+
+        if self.config.momentum > 0.0 && self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+        }
+
+        let (lr, mom, wd) = (
+            self.config.lr,
+            self.config.momentum,
+            self.config.weight_decay,
+        );
+        for (i, p) in params.iter_mut().enumerate() {
+            let grad = grad_of(i);
+            if let Some(g) = grad {
+                assert_eq!(p.shape(), g.shape(), "gradient {i} shape mismatch");
+            }
+            if mom > 0.0 {
+                let v = &mut self.velocity[i];
+                match grad {
+                    Some(g) => {
+                        for ((pv, vv), &gv) in p.iter_mut().zip(v.iter_mut()).zip(g.iter()) {
+                            let mut ev = gv * clip_scale;
+                            if wd > 0.0 {
+                                ev += *pv * wd;
+                            }
+                            *vv = mom * *vv + ev;
+                            *pv += *vv * (-lr);
+                        }
+                    }
+                    None => {
+                        for (pv, vv) in p.iter_mut().zip(v.iter_mut()) {
+                            let mut ev = 0.0;
+                            if wd > 0.0 {
+                                ev += *pv * wd;
+                            }
+                            *vv = mom * *vv + ev;
+                            *pv += *vv * (-lr);
+                        }
+                    }
+                }
+            } else {
+                match grad {
+                    Some(g) => {
+                        for (pv, &gv) in p.iter_mut().zip(g.iter()) {
+                            let mut ev = gv * clip_scale;
+                            if wd > 0.0 {
+                                ev += *pv * wd;
+                            }
+                            *pv += ev * (-lr);
+                        }
+                    }
+                    None => {
+                        if wd > 0.0 {
+                            for pv in p.iter_mut() {
+                                let ev = *pv * wd;
+                                *pv += ev * (-lr);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -556,6 +703,96 @@ mod tests {
         for (s, e) in start.iter().zip(m.to_flat().iter()) {
             assert!((s - 1.75 - e).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn step_graph_matches_materialized_step_bitwise() {
+        // The in-place graph path must be indistinguishable from
+        // materializing gradients and calling step — including momentum,
+        // weight decay and clipping interactions, down to the bit.
+        let mut r = rng::seeded(13);
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Relu, &mut r);
+        let x = rng::normal_matrix(&mut r, 6, 3, 1.0);
+        let cfg = SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.01,
+            grad_clip: 1.0,
+        };
+
+        let run = |use_graph: bool| -> Vec<u32> {
+            let mut m = mlp.clone();
+            let mut opt = Sgd::new(cfg);
+            for _ in 0..3 {
+                let mut g = crate::Graph::new();
+                let xn = g.constant(x.clone());
+                let mut binding = crate::nn::Binding::new();
+                let y = m.forward(&mut g, xn, &mut binding);
+                let sq = g.mul(y, y);
+                let loss = g.mean_all(sq);
+                g.backward(loss);
+                if use_graph {
+                    opt.step_graph(&mut m, &g, &binding);
+                } else {
+                    let grads = crate::nn::gradients(&g, &binding);
+                    opt.step(&mut m, &grads);
+                }
+            }
+            m.to_flat().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn step_graph_masked_matches_zero_grad_step() {
+        // Masking a parameter must behave exactly like passing an explicit
+        // zero gradient: weight decay applies and momentum velocity decays.
+        let mut r = rng::seeded(14);
+        let mlp = Mlp::new(&[2, 3, 2], Activation::Tanh, &mut r);
+        let x = rng::normal_matrix(&mut r, 4, 2, 1.0);
+        let cfg = SgdConfig {
+            lr: 0.1,
+            momentum: 0.5,
+            weight_decay: 0.02,
+            grad_clip: 0.0,
+        };
+        // Freeze the first layer (parameters 0 and 1).
+        let frozen = |i: usize| i < 2;
+
+        let build = |m: &Mlp| -> (crate::Graph, crate::nn::Binding) {
+            let mut g = crate::Graph::new();
+            let xn = g.constant(x.clone());
+            let mut binding = crate::nn::Binding::new();
+            let y = m.forward(&mut g, xn, &mut binding);
+            let sq = g.mul(y, y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            (g, binding)
+        };
+
+        let mut m_ref = mlp.clone();
+        let mut opt_ref = Sgd::new(cfg);
+        for _ in 0..2 {
+            let (g, binding) = build(&m_ref);
+            let mut grads = crate::nn::gradients(&g, &binding);
+            for (i, gr) in grads.iter_mut().enumerate() {
+                if frozen(i) {
+                    *gr = Matrix::zeros(gr.rows(), gr.cols());
+                }
+            }
+            opt_ref.step(&mut m_ref, &grads);
+        }
+
+        let mut m_graph = mlp;
+        let mut opt_graph = Sgd::new(cfg);
+        for _ in 0..2 {
+            let (g, binding) = build(&m_graph);
+            opt_graph.step_graph_masked(&mut m_graph, &g, &binding, frozen);
+        }
+
+        let a: Vec<u32> = m_ref.to_flat().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = m_graph.to_flat().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]
