@@ -57,10 +57,11 @@ fn main() {
             }
         }
     }
-    let obs = obs_args.build();
-
     let fed = build_dataset(dataset, Setting::DirichletNonIid, scale, 0, seed);
-    let cfg = scale.fl_config(seed);
+    let mut cfg = scale.fl_config(seed);
+    obs_args.apply_fl(&mut cfg);
+    let cfg = cfg;
+    let obs = obs_args.build();
     let aug = AugmentConfig::default();
     let base = CalibreConfig {
         warmup_rounds: cfg.rounds / 2,

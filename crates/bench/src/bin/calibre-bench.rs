@@ -24,6 +24,7 @@
 //! from tripping the gate on noise). Any regression exits 1; a missing
 //! baseline warns and exits 0 so fresh checkouts do not fail.
 
+use calibre_bench::obs::ObsArgs;
 use calibre_bench::{build_dataset, parse_args, run_method_observed, DatasetId, MethodId};
 use calibre_bench::{Scale, Setting};
 use calibre_ssl::SslKind;
@@ -44,7 +45,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: calibre-bench <baseline|regression> [--out p] [--baseline p] \
          [--current p] [--threshold-pct n] [--min-share-pts n] [--runs n] [--seed n] \
-         [--backend scalar|blocked]"
+         [--backend scalar|blocked] [--chaos spec] [--min-quorum n] [--aggregator name]"
     );
     std::process::exit(2);
 }
@@ -52,7 +53,7 @@ fn usage() -> ! {
 /// Runs the built-in smoke workload under the profiler `runs` times and
 /// keeps the quietest run (smallest total self time) — scheduler noise only
 /// ever inflates timings, so the minimum is the most repeatable estimate.
-fn profiled_smoke_run(seed: u64, runs: usize) -> ProfileReport {
+fn profiled_smoke_run(seed: u64, runs: usize, fl_overrides: &ObsArgs) -> ProfileReport {
     let fed = build_dataset(
         DatasetId::Cifar10,
         Setting::DirichletNonIid,
@@ -60,7 +61,9 @@ fn profiled_smoke_run(seed: u64, runs: usize) -> ProfileReport {
         0,
         seed,
     );
-    let cfg = Scale::Smoke.fl_config(seed);
+    let mut cfg = Scale::Smoke.fl_config(seed);
+    fl_overrides.apply_fl(&mut cfg);
+    let cfg = cfg;
     let mut best: Option<ProfileReport> = None;
     for run in 0..runs.max(1) {
         let collector = Arc::new(ProfileCollector::new());
@@ -139,8 +142,12 @@ fn main() {
     let mut min_share_pts = 2.0f64;
     let mut runs = 3usize;
     let mut seed = 7u64;
+    let mut fl_overrides = ObsArgs::default();
     for (key, value) in parsed {
         match key.as_str() {
+            "chaos" | "min-quorum" | "aggregator" => {
+                fl_overrides.accept(&key, &value);
+            }
             "baseline" => baseline_path = value,
             "out" => out_path = value,
             "current" => current_path = Some(value),
@@ -163,7 +170,7 @@ fn main() {
 
     match subcommand.as_str() {
         "baseline" => {
-            let report = profiled_smoke_run(seed, runs);
+            let report = profiled_smoke_run(seed, runs, &fl_overrides);
             if let Some(parent) = std::path::Path::new(&out_path).parent() {
                 std::fs::create_dir_all(parent).expect("create output dir");
             }
@@ -189,7 +196,10 @@ fn main() {
                         .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
                     load_profile(&text, "current")
                 }
-                None => load_profile(&profiled_smoke_run(seed, runs).to_json(), "current"),
+                None => load_profile(
+                    &profiled_smoke_run(seed, runs, &fl_overrides).to_json(),
+                    "current",
+                ),
             };
 
             let base_total = total_self(&baseline);

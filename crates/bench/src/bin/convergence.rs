@@ -10,7 +10,8 @@
 //! ```text
 //! cargo run -p calibre-bench --release --bin convergence -- \
 //!     [--scale smoke|default|paper] [--every 5] [--seed 7] \
-//!     [--telemetry out.jsonl] [--trace out.json] [--profile prof.json]
+//!     [--telemetry out.jsonl] [--trace out.json] [--profile prof.json] \
+//!     [--chaos drop=0.3,corrupt=0.1] [--min-quorum 2] [--aggregator median]
 //! ```
 //!
 //! Writes `results/convergence.csv` with columns
@@ -63,14 +64,16 @@ fn main() {
     }
     assert!(every > 0, "--every must be positive");
 
+    let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, scale, 0, seed);
+    let mut cfg = scale.fl_config(seed);
+    obs_args.apply_fl(&mut cfg);
+    let cfg = cfg;
+
     // With --telemetry, events fan out to a JSONL file and an in-memory hub
     // for the end-of-run summary; otherwise they are recorded into the void.
     // --trace/--profile install the span collector for the whole run.
     let obs = obs_args.build();
     let recorder = obs.recorder();
-
-    let fed = build_dataset(DatasetId::Cifar10, Setting::DirichletNonIid, scale, 0, seed);
-    let cfg = scale.fl_config(seed);
     let aug = AugmentConfig::default();
     let num_classes = fed.generator().num_classes();
 

@@ -2,7 +2,8 @@
 //! a random encoder vs pFL-SimCLR vs Calibre (SimCLR). Not a paper figure —
 //! a tuning tool for the reproduction itself.
 
-use calibre_bench::{build_dataset, run_method, DatasetId, MethodId, Scale, Setting};
+use calibre_bench::obs::ObsArgs;
+use calibre_bench::{build_dataset, parse_args, run_method, DatasetId, MethodId, Scale, Setting};
 use calibre_cluster::silhouette_score;
 use calibre_fl::personalize_cohort;
 use calibre_ssl::SslKind;
@@ -10,14 +11,30 @@ use calibre_tensor::nn::{Activation, Mlp};
 use calibre_tensor::{rng, Matrix};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
+    // First positional argument (if any) is the scale; the rest are the
+    // shared `--key value` flags (`--chaos`, `--min-quorum`, `--backend`, …).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (scale_arg, flags) = match argv.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.clone()), &argv[1..]),
+        _ => (None, &argv[..]),
+    };
+    let scale = match scale_arg.as_deref() {
         Some("default") | None => Scale::Default,
         Some("smoke") => Scale::Smoke,
         Some(other) => panic!("bad scale {other}"),
     };
+    let mut fl_overrides = ObsArgs::default();
+    for (key, value) in parse_args(flags).unwrap_or_else(|e| panic!("argument error: {e}")) {
+        if !fl_overrides.accept(&key, &value) {
+            eprintln!("unknown flag --{key}");
+            std::process::exit(2);
+        }
+    }
     for setting in [Setting::QuantityNonIid, Setting::DirichletNonIid] {
         let fed = build_dataset(DatasetId::Cifar10, setting, scale, 0, 7);
-        let cfg = scale.fl_config(7);
+        let mut cfg = scale.fl_config(7);
+        fl_overrides.apply_fl(&mut cfg);
+        let cfg = cfg;
 
         // Pool of samples for feature metrics.
         let mut rows = Vec::new();

@@ -99,6 +99,7 @@ fn main() {
         }
     }
 
+    let fl_overrides = obs_args.clone();
     let obs = obs_args.build();
     let mut rows = Vec::new();
     for &dataset in &datasets {
@@ -117,7 +118,8 @@ fn main() {
                 for r in 0..repeats as u64 {
                     let run_seed = seed.wrapping_add(1000 * r);
                     let fed = build_dataset(dataset, setting, scale, 0, run_seed);
-                    let cfg = scale.fl_config(run_seed);
+                    let mut cfg = scale.fl_config(run_seed);
+                    fl_overrides.apply_fl(&mut cfg);
                     let result = run_method_observed(method, &fed, &cfg, obs.recorder());
                     name = result.name.clone();
                     per_repeat.push(result.stats());

@@ -52,13 +52,15 @@ fn main() {
         }
     }
 
+    let fl_overrides = obs_args.clone();
     let obs = obs_args.build();
     let mut rows = Vec::new();
     for dataset in [DatasetId::Cifar10, DatasetId::Cifar100] {
         let setting = Setting::DirichletNonIid;
         let full = build_dataset(dataset, setting, scale, scale.novel_clients(), seed);
         let (seen_fed, novel_fed) = full.split_novel(scale.novel_clients());
-        let cfg = scale.fl_config(seed);
+        let mut cfg = scale.fl_config(seed);
+        fl_overrides.apply_fl(&mut cfg);
         let num_classes = seen_fed.generator().num_classes();
         eprintln!(
             "[fig4] {}: {} training + {} novel clients, {} rounds",

@@ -48,12 +48,13 @@ fn main() {
         }
     }
 
-    let obs = obs_args.build();
-
     let dataset = DatasetId::Cifar10;
     let setting = Setting::QuantityNonIid; // (2, 500) at paper scale
     let fed = build_dataset(dataset, setting, scale, 0, seed);
-    let cfg = scale.fl_config(seed);
+    let mut cfg = scale.fl_config(seed);
+    obs_args.apply_fl(&mut cfg);
+    let cfg = cfg;
+    let obs = obs_args.build();
     let backbones = [SslKind::SimClr, SslKind::SwAv, SslKind::Smog];
     // Table I rows: (use_ln, use_lp) in the paper's order.
     let variants = [(false, false), (false, true), (true, false), (true, true)];

@@ -230,13 +230,16 @@ fn main() {
         }
     }
 
+    let fl_overrides = obs_args.clone();
     let obs = obs_args.build();
     println!(
         "== t-SNE figure reproduction (cluster metrics quantify the paper's visual claims) =="
     );
     for panel in panels(&experiment) {
         let fed = build_dataset(panel.dataset, panel.setting, scale, 0, seed);
-        let cfg: FlConfig = scale.fl_config(seed);
+        let mut cfg: FlConfig = scale.fl_config(seed);
+        fl_overrides.apply_fl(&mut cfg);
+        let cfg = cfg;
         let (observations, labels, clients) = collect_samples(&fed);
         eprintln!(
             "[tsne] {} on {} / {}: {} points from {} clients",

@@ -20,6 +20,20 @@
 //!   reference; `blocked` is the cache-tiled, row-parallel implementation.
 //!   The default is `scalar`.
 //!
+//! And three shared *resilience* flags, applied to the run's `FlConfig` via
+//! [`ObsArgs::apply_fl`]:
+//!
+//! - `--chaos <spec>` — deterministic fault injection, e.g.
+//!   `--chaos drop=0.3,corrupt=0.1,panic=0.05,straggle=0.1,seed=42` (see
+//!   `calibre_fl::chaos::FaultPlan::parse` for the full grammar);
+//! - `--min-quorum <n>` — minimum surviving clients required to aggregate a
+//!   round; rounds below quorum are skipped, never fatal;
+//! - `--aggregator weighted|median|trimmed[:ratio]` — the server-side
+//!   aggregation statistic.
+//!
+//! When a run emitted any resilience telemetry, [`Obs::finish`] prints a
+//! fault/retry/quorum summary next to the round table.
+//!
 //! Usage pattern inside a binary's `main`:
 //!
 //! ```no_run
@@ -51,6 +65,12 @@ pub struct ObsArgs {
     pub trace: Option<String>,
     /// Destination for the profile JSON, `-` for table-only (`--profile`).
     pub profile: Option<String>,
+    /// Parsed fault-injection plan (`--chaos`).
+    pub chaos: Option<calibre_fl::FaultPlan>,
+    /// Minimum aggregation quorum (`--min-quorum`).
+    pub min_quorum: Option<usize>,
+    /// Server aggregation statistic (`--aggregator`).
+    pub aggregator: Option<calibre_fl::aggregate::Aggregator>,
 }
 
 impl ObsArgs {
@@ -60,7 +80,9 @@ impl ObsArgs {
     ///
     /// # Panics
     ///
-    /// Panics if `--backend` names an unknown backend.
+    /// Panics if `--backend` names an unknown backend, `--chaos` carries an
+    /// unparsable spec, `--min-quorum` is not an integer, or `--aggregator`
+    /// names an unknown statistic.
     pub fn accept(&mut self, key: &str, value: &str) -> bool {
         match key {
             "telemetry" => self.telemetry = Some(value.to_string()),
@@ -72,9 +94,41 @@ impl ObsArgs {
                 });
                 calibre_tensor::backend::set_global_backend(be);
             }
+            "chaos" => {
+                let plan = calibre_fl::FaultPlan::parse(value)
+                    .unwrap_or_else(|e| panic!("bad --chaos spec {value:?}: {e}"));
+                self.chaos = Some(plan);
+            }
+            "min-quorum" => {
+                self.min_quorum = Some(value.parse().expect("--min-quorum must be an integer"));
+            }
+            "aggregator" => {
+                let agg = calibre_fl::aggregate::Aggregator::parse(value).unwrap_or_else(|| {
+                    panic!(
+                        "unknown --aggregator {value:?} (expected \"weighted\", \"median\" or \"trimmed[:ratio]\")"
+                    )
+                });
+                self.aggregator = Some(agg);
+            }
             _ => return false,
         }
         true
+    }
+
+    /// Applies the resilience flags to a run's federated configuration:
+    /// `--chaos` replaces the (inactive by default) fault plan, and
+    /// `--min-quorum` / `--aggregator` override the round policy. Flags
+    /// that were not given leave `cfg` untouched.
+    pub fn apply_fl(&self, cfg: &mut calibre_fl::FlConfig) {
+        if let Some(plan) = &self.chaos {
+            cfg.chaos = plan.clone();
+        }
+        if let Some(quorum) = self.min_quorum {
+            cfg.policy.min_quorum = quorum;
+        }
+        if let Some(aggregator) = self.aggregator {
+            cfg.policy.aggregator = aggregator;
+        }
     }
 
     /// Whether any observability flag was given.
@@ -183,6 +237,19 @@ impl Obs {
                     fairness.num_clients, fairness.mean, fairness.std, fairness.worst_10pct
                 );
             }
+            let resilience = self.hub.resilience_summary();
+            if resilience != calibre_telemetry::ResilienceSummary::default() {
+                println!(
+                    "resilience: {} faults injected ({} detected), {} retries, {} rounds skipped, min quorum {}",
+                    resilience.faults_injected,
+                    resilience.faults_detected,
+                    resilience.retries,
+                    resilience.rounds_skipped,
+                    resilience
+                        .min_quorum_seen
+                        .map_or_else(|| "-".to_string(), |q| q.to_string()),
+                );
+            }
             println!("wrote {path}");
         }
 
@@ -224,6 +291,32 @@ mod tests {
         assert_eq!(args.telemetry.as_deref(), Some("t.jsonl"));
         assert_eq!(args.trace.as_deref(), Some("t.json"));
         assert_eq!(args.profile.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn resilience_flags_are_parsed_and_applied() {
+        let mut args = ObsArgs::default();
+        assert!(args.accept("chaos", "drop=0.3,corrupt=0.1,seed=42"));
+        assert!(args.accept("min-quorum", "2"));
+        assert!(args.accept("aggregator", "trimmed:0.1"));
+
+        let mut cfg = calibre_fl::FlConfig::for_input(64);
+        assert!(!cfg.chaos.is_active());
+        args.apply_fl(&mut cfg);
+        assert!(cfg.chaos.is_active());
+        assert_eq!(cfg.chaos.drop_prob, 0.3);
+        assert_eq!(cfg.chaos.seed, 42);
+        assert_eq!(cfg.policy.min_quorum, 2);
+        assert_eq!(
+            cfg.policy.aggregator,
+            calibre_fl::aggregate::Aggregator::TrimmedMean(0.1)
+        );
+
+        // Absent flags leave the config alone.
+        let mut untouched = calibre_fl::FlConfig::for_input(64);
+        let before = untouched.clone();
+        ObsArgs::default().apply_fl(&mut untouched);
+        assert_eq!(untouched, before);
     }
 
     #[test]

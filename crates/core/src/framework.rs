@@ -12,11 +12,12 @@
 use crate::loss::{calibre_loss, CalibreConfig, CalibreLoss};
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, FederatedDataset, SynthVision};
-use calibre_fl::aggregate::{divergence_weights, sample_count_weights, weighted_average_refs};
+use calibre_fl::aggregate::{divergence_weights, sample_count_weights};
 use calibre_fl::baselines::BaselineResult;
+use calibre_fl::chaos::FaultInjector;
 use calibre_fl::comm::{CommReport, BYTES_PER_PARAM};
-use calibre_fl::parallel::parallel_map_owned_timed;
 use calibre_fl::pfl_ssl::RoundObserver;
+use calibre_fl::resilient::{run_round_resilient, ClientOutcome};
 use calibre_fl::FlConfig;
 use calibre_ssl::{create_method, SslKind, SslMethod, TwoViewBatch};
 use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
@@ -163,11 +164,6 @@ pub fn calibre_local_update_detailed<R: Rng + ?Sized>(
     last
 }
 
-struct CalibreClient {
-    id: usize,
-    method: Box<dyn SslMethod>,
-}
-
 /// Trains the global encoder with the full Calibre framework.
 ///
 /// Returns the encoder, the per-round mean losses, and the per-round mean
@@ -221,20 +217,15 @@ pub fn train_calibre_encoder_observed(
     let schedule = fl.selection_schedule(fed.num_clients());
     let mut round_losses = Vec::with_capacity(schedule.len());
     let mut round_divergences = Vec::with_capacity(schedule.len());
+    let injector = fl
+        .chaos
+        .is_active()
+        .then(|| FaultInjector::for_run(fl.chaos.clone(), fl.seed));
 
     for (round, selected) in schedule.iter().enumerate() {
         let round_span = calibre_telemetry::span("round");
         round_span.add_items(selected.len() as u64);
         recorder.round_start(round, selected);
-        let inputs: Vec<CalibreClient> = selected
-            .iter()
-            .map(|&id| {
-                let method = states[id].take().unwrap_or_else(|| {
-                    create_method(kind, fl.ssl.clone().with_seed(fl.seed ^ (id as u64) << 8))
-                });
-                CalibreClient { id, method }
-            })
-            .collect();
         let global_flat = global_encoder.to_flat();
         // Linear α warmup (see CalibreConfig::warmup_rounds): pseudo-labels
         // from an untrained encoder are noise, so the regularizers fade in.
@@ -248,84 +239,116 @@ pub fn train_calibre_encoder_observed(
             ..*config
         };
 
-        let updates = parallel_map_owned_timed(inputs, |mut client| {
-            client.method.encoder_mut().load_flat(&global_flat);
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(fl.local_lr, fl.local_momentum));
-            let mut r = rng::seeded(
-                fl.seed
-                    ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ (client.id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-            );
-            let data = fed.client(client.id);
-            let update = calibre_local_update_detailed(
-                client.method.as_mut(),
-                data,
-                fed.generator(),
-                aug,
-                fl.local_epochs,
-                fl.batch_size,
-                &round_config,
-                &mut opt,
-                &mut r,
-            );
-            let flat = client.method.encoder().to_flat();
-            let count = data.ssl_pool().len();
-            (client, flat, count, update)
-        });
+        let outcome = run_round_resilient(
+            round,
+            selected,
+            |id| {
+                states[id].take().unwrap_or_else(|| {
+                    create_method(kind, fl.ssl.clone().with_seed(fl.seed ^ (id as u64) << 8))
+                })
+            },
+            |id, mut method: Box<dyn SslMethod>| {
+                method.encoder_mut().load_flat(&global_flat);
+                let mut opt = Sgd::new(SgdConfig::with_lr_momentum(fl.local_lr, fl.local_momentum));
+                let mut r = rng::seeded(
+                    fl.seed
+                        ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                );
+                let data = fed.client(id);
+                let update = calibre_local_update_detailed(
+                    method.as_mut(),
+                    data,
+                    fed.generator(),
+                    aug,
+                    fl.local_epochs,
+                    fl.batch_size,
+                    &round_config,
+                    &mut opt,
+                    &mut r,
+                );
+                let flat = method.encoder().to_flat();
+                let count = data.ssl_pool().len();
+                ClientOutcome {
+                    state: method,
+                    flat,
+                    count,
+                    payload: update,
+                }
+            },
+            |accepted| {
+                // Divergence-aware aggregation (§IV-B): sample-count
+                // weights are modulated by inverse divergence so clients
+                // whose representations already form tight prototypes
+                // anchor the global model.
+                let counts: Vec<usize> = accepted.iter().map(|a| a.count).collect();
+                if config.divergence_aware_aggregation {
+                    let divergences: Vec<f32> =
+                        accepted.iter().map(|a| a.payload.divergence).collect();
+                    sample_count_weights(&counts)
+                        .iter()
+                        .zip(divergence_weights(&divergences).iter())
+                        .map(|(s, d)| s * d)
+                        .collect()
+                } else {
+                    sample_count_weights(&counts)
+                }
+            },
+            injector.as_ref(),
+            &fl.policy,
+            recorder,
+        );
 
-        let mut client_wall_ms = Vec::with_capacity(updates.len());
-        let mut client_loss = Vec::with_capacity(updates.len());
+        let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
+        let mut client_loss = Vec::with_capacity(outcome.accepted.len());
         let mut observed_bytes = 0u64;
-        for ((client, flat, _, update), wall) in &updates {
+        for a in &outcome.accepted {
             recorder.client_update(
                 round,
-                client.id,
-                *wall,
+                a.id,
+                a.wall,
                 ClientLosses {
-                    total: update.loss,
-                    ssl: update.ssl,
-                    l_n: update.l_n,
-                    l_p: update.l_p,
+                    total: a.payload.loss,
+                    ssl: a.payload.ssl,
+                    l_n: a.payload.l_n,
+                    l_p: a.payload.l_p,
                 },
-                update.divergence,
+                a.payload.divergence,
             );
-            client_wall_ms.push(wall.as_secs_f64() * 1e3);
-            client_loss.push(update.loss);
+            client_wall_ms.push(a.wall.as_secs_f64() * 1e3);
+            client_loss.push(a.payload.loss);
             // One encoder down, one encoder up per client.
-            observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
+            observed_bytes += ((a.flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
         }
 
-        let flats: Vec<&[f32]> = updates
-            .iter()
-            .map(|((_, f, _, _), _)| f.as_slice())
-            .collect();
-        let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
-        let divergences: Vec<f32> = updates
-            .iter()
-            .map(|((_, _, _, u), _)| u.divergence)
-            .collect();
-        let mean_loss = updates.iter().map(|((_, _, _, u), _)| u.loss).sum::<f32>()
-            / updates.len().max(1) as f32;
-        let mean_div = divergences.iter().sum::<f32>() / divergences.len().max(1) as f32;
-
-        // Divergence-aware aggregation (§IV-B): sample-count weights are
-        // modulated by inverse divergence so clients whose representations
-        // already form tight prototypes anchor the global model.
-        let weights: Vec<f32> = if config.divergence_aware_aggregation {
-            sample_count_weights(&counts)
-                .iter()
-                .zip(divergence_weights(&divergences).iter())
-                .map(|(s, d)| s * d)
-                .collect()
+        let n = outcome.accepted.len();
+        let (mean_loss, mean_div) = if n == 0 {
+            // Skipped round: repeat the previous values so histories stay
+            // finite and plottable.
+            (
+                round_losses.last().copied().unwrap_or(0.0),
+                round_divergences.last().copied().unwrap_or(0.0),
+            )
         } else {
-            sample_count_weights(&counts)
+            (
+                outcome.accepted.iter().map(|a| a.payload.loss).sum::<f32>() / n as f32,
+                outcome
+                    .accepted
+                    .iter()
+                    .map(|a| a.payload.divergence)
+                    .sum::<f32>()
+                    / n as f32,
+            )
         };
-        recorder.aggregate(round, flats.len(), weights.iter().sum());
-        let aggregated = weighted_average_refs(&flats, &weights);
-        drop(flats);
-        global_encoder.load_flat(&aggregated);
-        for ((client, _, _, _), _) in updates {
-            states[client.id] = Some(client.method);
+        recorder.aggregate(round, outcome.report.quorum, outcome.report.weight_sum);
+        if let Some(aggregated) = &outcome.aggregated {
+            global_encoder.load_flat(aggregated);
+        }
+        for a in outcome.accepted {
+            states[a.id] = Some(a.state);
+        }
+        for (id, state) in outcome.rejected_states {
+            states[id] = Some(state);
         }
         round_losses.push(mean_loss);
         round_divergences.push(mean_div);

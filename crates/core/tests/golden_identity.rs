@@ -81,3 +81,61 @@ fn simclr_multi_step_checksum_is_stable() {
 
 const GOLDEN_CALIBRE: u64 = 0xf693_2ed4_aed3_569c;
 const GOLDEN_SIMCLR: u64 = 0x45bc_4e68_002f_c982;
+
+#[test]
+fn killed_and_resumed_training_matches_the_uninterrupted_run() {
+    // Crash-safe resume must be bit-identical: training 2 rounds, "dying",
+    // and resuming to 4 rounds from the checkpoint store must produce the
+    // exact parameters of an uninterrupted 4-round run. This leans on the
+    // selection schedule's prefix stability and on SimCLR state being fully
+    // parameter-backed.
+    use calibre_fl::checkpoint::CheckpointStore;
+    use calibre_fl::pfl_ssl::{train_pfl_ssl_encoder, train_pfl_ssl_encoder_resumable};
+    use calibre_telemetry::NullRecorder;
+
+    let fed = tiny_fed();
+    let aug = AugmentConfig::default();
+    let mut cfg = FlConfig::for_input(64);
+    cfg.clients_per_round = 2;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    cfg.rounds = 4;
+    let (straight, straight_losses) = train_pfl_ssl_encoder(&fed, &cfg, SslKind::SimClr, &aug);
+
+    let dir = std::env::temp_dir().join(format!("calibre-resume-{}", std::process::id()));
+    let store = CheckpointStore::new(dir.join("trainer.txt"));
+
+    // Phase 1: run only 2 rounds, checkpointing every round — then "crash".
+    let mut short = cfg.clone();
+    short.rounds = 2;
+    train_pfl_ssl_encoder_resumable(
+        &fed,
+        &short,
+        SslKind::SimClr,
+        &aug,
+        None,
+        &NullRecorder,
+        Some(&store),
+    );
+
+    // Phase 2: restart with the full 4-round config; rounds 0-1 come from
+    // the checkpoint, rounds 2-3 train live.
+    let (resumed, resumed_losses) = train_pfl_ssl_encoder_resumable(
+        &fed,
+        &cfg,
+        SslKind::SimClr,
+        &aug,
+        None,
+        &NullRecorder,
+        Some(&store),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        flat_checksum(&resumed.to_flat()),
+        flat_checksum(&straight.to_flat()),
+        "resumed run diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.to_flat(), straight.to_flat());
+    assert_eq!(resumed_losses, straight_losses);
+}

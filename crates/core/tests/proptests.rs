@@ -76,3 +76,61 @@ proptest! {
         prop_assert!(dl > dt, "scaling up dispersion must raise divergence: {dt} vs {dl}");
     }
 }
+
+// The full Calibre loop under fault injection is far slower than the loss
+// properties above, so it runs with a tiny case count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn calibre_training_survives_chaos(seed in 0u64..1_000) {
+        use calibre::train_calibre_encoder;
+        use calibre_data::{
+            AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec,
+        };
+        use calibre_fl::{FaultPlan, FlConfig, RoundPolicy};
+        use calibre_ssl::SslKind;
+        use calibre_tensor::nn::Module;
+
+        let fed = FederatedDataset::build(
+            SynthVisionSpec::cifar10(),
+            &PartitionConfig {
+                num_clients: 3,
+                train_per_client: 40,
+                test_per_client: 10,
+                unlabeled_per_client: 0,
+                non_iid: NonIid::Dirichlet { alpha: 0.3 },
+                seed: 11,
+            },
+        );
+        let mut cfg = FlConfig::for_input(64);
+        cfg.rounds = 6;
+        cfg.clients_per_round = 3;
+        cfg.local_epochs = 1;
+        cfg.batch_size = 16;
+        cfg.seed = seed;
+        cfg.chaos = FaultPlan {
+            drop_prob: 0.3,
+            corrupt_prob: 0.2,
+            panic_prob: 0.1,
+            seed,
+            ..FaultPlan::default()
+        };
+        cfg.policy = RoundPolicy {
+            min_quorum: 2,
+            max_retries: 2,
+            ..RoundPolicy::default()
+        };
+        let (encoder, losses, divergences) = train_calibre_encoder(
+            &fed,
+            &cfg,
+            SslKind::SimClr,
+            &CalibreConfig::default(),
+            &AugmentConfig::default(),
+        );
+        prop_assert_eq!(losses.len(), cfg.rounds);
+        prop_assert!(losses.iter().all(|l| l.is_finite()), "loss went non-finite: {:?}", losses);
+        prop_assert!(divergences.iter().all(|d| d.is_finite()));
+        prop_assert!(encoder.to_flat().iter().all(|v| v.is_finite()));
+    }
+}

@@ -4,6 +4,24 @@
 //! plain weighted average is FedAvg; Calibre's divergence-aware variant
 //! (in the `calibre` crate) reuses [`weighted_average`] with
 //! prototype-distance-derived weights.
+//!
+//! # Robustness
+//!
+//! A best-effort cohort can report garbage: NaN/Inf poisoned vectors, norm
+//! blow-ups, sign flips (see `crate::chaos`). The fault-tolerant path layers
+//! three defenses, all selectable via [`Aggregator`]:
+//!
+//! 1. **Validation** ([`validate_update`]) rejects non-finite updates before
+//!    they touch the accumulator — one NaN coordinate would otherwise poison
+//!    the entire global model.
+//! 2. **Norm clipping** ([`clip_norm`]) caps finite-but-huge updates.
+//! 3. **Robust statistics** — [`trimmed_mean`] and [`coordinate_median`]
+//!    bound the influence of any single client, absorbing silent
+//!    corruptions (sign flips) that validation cannot see.
+//!
+//! [`aggregate_robust`] is the typed-error front door used by the resilient
+//! round executor; the panicking [`weighted_average`] family remains for
+//! call sites that have already validated their cohort.
 
 /// Weighted average of flat parameter vectors.
 ///
@@ -73,6 +91,249 @@ pub fn uniform_average(updates: &[Vec<f32>]) -> Vec<f32> {
 /// Converts per-client sample counts into FedAvg weights.
 pub fn sample_count_weights(counts: &[usize]) -> Vec<f32> {
     counts.iter().map(|&c| c as f32).collect()
+}
+
+/// Typed failure of a fault-tolerant aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateError {
+    /// No updates survived validation — nothing to aggregate.
+    Empty,
+    /// Update `index` has a different length than the first update.
+    LengthMismatch {
+        /// Position of the offending update.
+        index: usize,
+        /// Expected vector length (from update 0).
+        expected: usize,
+        /// Actual vector length.
+        got: usize,
+    },
+    /// `weights.len()` does not match `updates.len()`.
+    WeightCountMismatch {
+        /// Number of updates.
+        updates: usize,
+        /// Number of weights.
+        weights: usize,
+    },
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::Empty => write!(f, "cannot aggregate zero updates"),
+            AggregateError::LengthMismatch {
+                index,
+                expected,
+                got,
+            } => write!(f, "update {index} has length {got}, expected {expected}"),
+            AggregateError::WeightCountMismatch { updates, weights } => {
+                write!(f, "{updates} updates but {weights} weights")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Aggregation statistic for the fault-tolerant round path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregator {
+    /// Plain weighted average — bit-identical to [`weighted_average_refs`],
+    /// zero robustness to silent corruption.
+    WeightedAverage,
+    /// Per-coordinate weighted average after discarding the
+    /// `ceil(ratio * n)` smallest and largest values of each coordinate.
+    /// `ratio = 0` degrades to the weighted average (up to summation
+    /// order); `ratio` must be `< 0.5`.
+    TrimmedMean(f32),
+    /// Per-coordinate weighted median: tolerates just under half the cohort
+    /// being arbitrarily corrupted, ignores weights magnitudes least.
+    CoordinateMedian,
+}
+
+impl Aggregator {
+    /// Parses a CLI name: `weighted`, `trimmed` / `trimmed:<ratio>`,
+    /// `median`.
+    pub fn parse(s: &str) -> Option<Aggregator> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "weighted" | "weighted-average" | "mean" => Some(Aggregator::WeightedAverage),
+            "median" | "coordinate-median" => Some(Aggregator::CoordinateMedian),
+            "trimmed" | "trimmed-mean" => Some(Aggregator::TrimmedMean(0.2)),
+            other => {
+                let ratio = other.strip_prefix("trimmed:")?.parse().ok()?;
+                (0.0..0.5)
+                    .contains(&ratio)
+                    .then_some(Aggregator::TrimmedMean(ratio))
+            }
+        }
+    }
+
+    /// Display name (parsable by [`Aggregator::parse`]).
+    pub fn name(self) -> String {
+        match self {
+            Aggregator::WeightedAverage => "weighted".into(),
+            Aggregator::TrimmedMean(r) => format!("trimmed:{r}"),
+            Aggregator::CoordinateMedian => "median".into(),
+        }
+    }
+}
+
+/// Whether every coordinate of an update is finite. The validation gate the
+/// resilient executor applies before letting an update near the aggregator.
+pub fn validate_update(update: &[f32]) -> bool {
+    update.iter().all(|v| v.is_finite())
+}
+
+/// Clips `update` in place to L2 norm at most `max_norm`; returns `true`
+/// when clipping actually happened. Non-finite inputs are left untouched
+/// (they must be rejected by [`validate_update`], not laundered).
+pub fn clip_norm(update: &mut [f32], max_norm: f32) -> bool {
+    let norm_sq: f32 = update.iter().map(|v| v * v).sum();
+    if !norm_sq.is_finite() {
+        return false;
+    }
+    let norm = norm_sq.sqrt();
+    if norm <= max_norm || norm == 0.0 {
+        return false;
+    }
+    let scale = max_norm / norm;
+    for v in update.iter_mut() {
+        *v *= scale;
+    }
+    true
+}
+
+fn check_shapes(updates: &[&[f32]], weights: &[f32]) -> Result<usize, AggregateError> {
+    if updates.is_empty() {
+        return Err(AggregateError::Empty);
+    }
+    if updates.len() != weights.len() {
+        return Err(AggregateError::WeightCountMismatch {
+            updates: updates.len(),
+            weights: weights.len(),
+        });
+    }
+    let dim = updates[0].len();
+    for (i, u) in updates.iter().enumerate() {
+        if u.len() != dim {
+            return Err(AggregateError::LengthMismatch {
+                index: i,
+                expected: dim,
+                got: u.len(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// Per-coordinate weighted trimmed mean.
+///
+/// For each coordinate, the `ceil(ratio * n)` smallest and largest values
+/// are discarded and the survivors are averaged with their (re-normalized)
+/// weights. At `ratio = 0` nothing is trimmed and the result equals the
+/// weighted average up to floating-point summation order.
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`]; additionally trims are capped so
+/// at least one value survives per coordinate.
+pub fn trimmed_mean(
+    updates: &[&[f32]],
+    weights: &[f32],
+    ratio: f32,
+) -> Result<Vec<f32>, AggregateError> {
+    let dim = check_shapes(updates, weights)?;
+    let n = updates.len();
+    let mut trim = (ratio.max(0.0) * n as f32).ceil() as usize;
+    // Keep at least one value per coordinate.
+    while n.saturating_sub(2 * trim) == 0 && trim > 0 {
+        trim -= 1;
+    }
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(n as u64);
+    let mut out = vec![0.0f32; dim];
+    let mut column: Vec<(f32, f32)> = Vec::with_capacity(n);
+    for (j, o) in out.iter_mut().enumerate() {
+        column.clear();
+        column.extend(updates.iter().zip(weights).map(|(u, &w)| (u[j], w)));
+        column.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let kept = &column[trim..n - trim];
+        let total: f32 = kept.iter().map(|(_, w)| w).sum();
+        let uniform = 1.0 / kept.len() as f32;
+        *o = kept
+            .iter()
+            .map(|(v, w)| v * if total > 0.0 { w / total } else { uniform })
+            .sum();
+    }
+    Ok(out)
+}
+
+/// Per-coordinate weighted median.
+///
+/// Each output coordinate is the smallest value whose cumulative weight
+/// reaches half the total (uniform weights when the total is non-positive).
+/// Tolerates just under half the cohort being arbitrarily corrupted.
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`].
+pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>, AggregateError> {
+    let dim = check_shapes(updates, weights)?;
+    let n = updates.len();
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(n as u64);
+    let total: f32 = weights.iter().sum();
+    let uniform = total <= 0.0;
+    let full: f32 = if uniform { n as f32 } else { total };
+    let mut out = vec![0.0f32; dim];
+    let mut column: Vec<(f32, f32)> = Vec::with_capacity(n);
+    for (j, o) in out.iter_mut().enumerate() {
+        column.clear();
+        column.extend(
+            updates
+                .iter()
+                .zip(weights)
+                .map(|(u, &w)| (u[j], if uniform { 1.0 } else { w })),
+        );
+        column.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut acc = 0.0f32;
+        let mut median = column[n - 1].0;
+        for &(v, w) in column.iter() {
+            acc += w;
+            if acc >= full * 0.5 {
+                median = v;
+                break;
+            }
+        }
+        *o = median;
+    }
+    Ok(out)
+}
+
+/// Fault-tolerant aggregation front door: dispatches on [`Aggregator`] and
+/// returns a typed error instead of panicking.
+///
+/// [`Aggregator::WeightedAverage`] delegates to [`weighted_average_refs`]
+/// after validating shapes, so its output is bit-identical to the legacy
+/// path — the golden-checksum tests rely on that.
+///
+/// # Errors
+///
+/// [`AggregateError::Empty`] on an empty cohort (e.g. everything was
+/// rejected by validation), and shape/weight-count mismatches.
+pub fn aggregate_robust(
+    aggregator: Aggregator,
+    updates: &[&[f32]],
+    weights: &[f32],
+) -> Result<Vec<f32>, AggregateError> {
+    match aggregator {
+        Aggregator::WeightedAverage => {
+            check_shapes(updates, weights)?;
+            Ok(weighted_average_refs(updates, weights))
+        }
+        Aggregator::TrimmedMean(ratio) => trimmed_mean(updates, weights, ratio),
+        Aggregator::CoordinateMedian => coordinate_median(updates, weights),
+    }
 }
 
 /// Converts per-client divergence rates into aggregation weights via
@@ -157,5 +418,132 @@ mod tests {
     #[should_panic(expected = "expected")]
     fn mismatched_lengths_panic() {
         uniform_average(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn validate_update_flags_non_finite_values() {
+        assert!(validate_update(&[1.0, -2.0, 0.0]));
+        assert!(!validate_update(&[1.0, f32::NAN]));
+        assert!(!validate_update(&[f32::INFINITY]));
+        assert!(!validate_update(&[f32::NEG_INFINITY, 2.0]));
+        assert!(validate_update(&[]));
+    }
+
+    #[test]
+    fn clip_norm_scales_only_oversized_updates() {
+        let mut big = vec![3.0f32, 4.0];
+        assert!(clip_norm(&mut big, 1.0));
+        let norm = (big[0] * big[0] + big[1] * big[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "clipped norm {norm}");
+        assert!((big[0] / big[1] - 0.75).abs() < 1e-5, "direction changed");
+
+        let mut small = vec![0.3f32, 0.4];
+        assert!(!clip_norm(&mut small, 1.0));
+        assert_eq!(small, vec![0.3, 0.4]);
+
+        // Non-finite norms are left for validation to reject.
+        let mut poisoned = vec![f32::NAN, 1.0];
+        assert!(!clip_norm(&mut poisoned, 1.0));
+        assert!(poisoned[0].is_nan());
+    }
+
+    #[test]
+    fn trimmed_mean_discards_an_outlier() {
+        // Five honest clients around 1.0 and one blown-up straggler: a 20%
+        // trim must remove the 1e6 update from every coordinate.
+        let updates: Vec<Vec<f32>> = vec![
+            vec![0.9, 1.1],
+            vec![1.0, 1.0],
+            vec![1.1, 0.9],
+            vec![0.95, 1.05],
+            vec![1.05, 0.95],
+            vec![1e6, -1e6],
+        ];
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let weights = vec![1.0f32; refs.len()];
+        let out = trimmed_mean(&refs, &weights, 0.2).unwrap();
+        assert!(
+            out.iter().all(|v| (*v - 1.0).abs() < 0.2),
+            "outlier leaked into {out:?}"
+        );
+    }
+
+    #[test]
+    fn coordinate_median_resists_a_minority_of_liars() {
+        let updates: Vec<Vec<f32>> = vec![
+            vec![1.0, -1.0],
+            vec![1.1, -0.9],
+            vec![0.9, -1.1],
+            vec![-500.0, 500.0],
+        ];
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let out = coordinate_median(&refs, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(out[0] > 0.0 && out[0] < 1.2, "median hijacked: {out:?}");
+        assert!(out[1] < 0.0 && out[1] > -1.2, "median hijacked: {out:?}");
+    }
+
+    #[test]
+    fn coordinate_median_respects_weights() {
+        let refs: Vec<&[f32]> = vec![&[0.0f32], &[10.0f32]];
+        // The heavy client owns more than half the total weight, so the
+        // weighted median lands on its value.
+        let out = coordinate_median(&refs, &[1.0, 3.0]).unwrap();
+        assert_eq!(out, vec![10.0]);
+        let out = coordinate_median(&refs, &[3.0, 1.0]).unwrap();
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn robust_aggregation_reports_typed_errors() {
+        assert!(matches!(
+            aggregate_robust(Aggregator::WeightedAverage, &[], &[]),
+            Err(AggregateError::Empty)
+        ));
+        let refs: Vec<&[f32]> = vec![&[1.0f32, 2.0], &[1.0f32]];
+        assert!(matches!(
+            aggregate_robust(Aggregator::CoordinateMedian, &refs, &[1.0, 1.0]),
+            Err(AggregateError::LengthMismatch {
+                index: 1,
+                expected: 2,
+                got: 1
+            })
+        ));
+        let refs: Vec<&[f32]> = vec![&[1.0f32]];
+        assert!(matches!(
+            aggregate_robust(Aggregator::TrimmedMean(0.2), &refs, &[1.0, 1.0]),
+            Err(AggregateError::WeightCountMismatch {
+                updates: 1,
+                weights: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn aggregator_parse_accepts_the_documented_spellings() {
+        assert_eq!(
+            Aggregator::parse("weighted").unwrap(),
+            Aggregator::WeightedAverage
+        );
+        assert_eq!(
+            Aggregator::parse("mean").unwrap(),
+            Aggregator::WeightedAverage
+        );
+        assert_eq!(
+            Aggregator::parse("median").unwrap(),
+            Aggregator::CoordinateMedian
+        );
+        assert_eq!(
+            Aggregator::parse("trimmed").unwrap(),
+            Aggregator::TrimmedMean(0.2)
+        );
+        assert_eq!(
+            Aggregator::parse("trimmed:0.1").unwrap(),
+            Aggregator::TrimmedMean(0.1)
+        );
+        assert!(
+            Aggregator::parse("trimmed:0.7").is_none(),
+            "ratio above 0.5"
+        );
+        assert!(Aggregator::parse("krum").is_none(), "unknown aggregator");
     }
 }

@@ -1,0 +1,461 @@
+//! Deterministic fault injection for federated rounds.
+//!
+//! Cross-device federated learning (SSFL, He et al.) is a best-effort
+//! regime: per round, some clients drop out, some straggle, some crash
+//! mid-update, and some return garbage. This module simulates all four
+//! fault classes **deterministically**: every decision is a pure function of
+//! `(plan seed, run seed, round, client, attempt)`, so any failure a test or
+//! a chaos run observes can be replayed bit-for-bit by re-running with the
+//! same seeds.
+//!
+//! The chaos layer only *decides and applies* faults. Surviving them is the
+//! resilient round executor's job ([`crate::resilient`]): bounded retries,
+//! update validation, minimum-quorum partial aggregation, and crash-safe
+//! checkpoints.
+//!
+//! # Spec strings
+//!
+//! Bench binaries accept `--chaos <spec>` where `<spec>` is a comma list of
+//! `key=value` pairs, e.g. `drop=0.3,corrupt=0.1,panic=0.05,straggle=0.2`:
+//!
+//! | key           | meaning                                   | default |
+//! |---------------|-------------------------------------------|---------|
+//! | `drop`        | per-client dropout probability            | 0       |
+//! | `straggle`    | per-client straggler probability          | 0       |
+//! | `straggle-ms` | straggler delay in milliseconds           | 10      |
+//! | `panic`       | per-client mid-update panic probability   | 0       |
+//! | `corrupt`     | per-client update-corruption probability  | 0       |
+//! | `seed`        | chaos seed (mixed with the run seed)      | 0       |
+
+use calibre_tensor::rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The ways an injected corruption can mangle a client's update vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Poisons a slice of coordinates with NaN (detectable by validation).
+    NaN,
+    /// Poisons a slice of coordinates with ±∞ (detectable by validation).
+    Inf,
+    /// Scales the whole update by a large factor (finite, so it slips past
+    /// validation; norm clipping or robust aggregation must absorb it).
+    NormBlowup,
+    /// Negates the whole update (finite and norm-preserving; only robust
+    /// aggregators can absorb it).
+    SignFlip,
+}
+
+impl Corruption {
+    /// Telemetry tag for this corruption kind.
+    pub fn kind_tag(self) -> &'static str {
+        match self {
+            Corruption::NaN => "corrupt_nan",
+            Corruption::Inf => "corrupt_inf",
+            Corruption::NormBlowup => "corrupt_norm",
+            Corruption::SignFlip => "corrupt_sign",
+        }
+    }
+}
+
+/// One fault assigned to one `(round, client, attempt)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// The client never responds this attempt (no compute happens).
+    Dropout,
+    /// The client completes, but only after an artificial delay.
+    Straggle {
+        /// Injected delay in milliseconds, slept inside the worker thread.
+        delay_ms: u64,
+    },
+    /// The client's worker panics partway through its local update.
+    PanicMidUpdate,
+    /// The client completes but its reported update is corrupted.
+    Corrupt(Corruption),
+}
+
+impl ClientFault {
+    /// Telemetry tag for this fault.
+    pub fn kind_tag(self) -> &'static str {
+        match self {
+            ClientFault::Dropout => "dropout",
+            ClientFault::Straggle { .. } => "straggle",
+            ClientFault::PanicMidUpdate => "panic",
+            ClientFault::Corrupt(c) => c.kind_tag(),
+        }
+    }
+}
+
+/// Per-round, per-client fault probabilities for a chaos run.
+///
+/// The default plan is inactive (all probabilities zero); training behaves
+/// exactly as if the chaos layer did not exist, which is what the golden
+/// bit-identity tests pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a selected client drops out of an attempt.
+    pub drop_prob: f32,
+    /// Probability a client straggles (completes after `straggle_ms`).
+    pub straggle_prob: f32,
+    /// Injected straggler delay, milliseconds.
+    pub straggle_ms: u64,
+    /// Probability a client's worker panics mid-update.
+    pub panic_prob: f32,
+    /// Probability a client's reported update is corrupted.
+    pub corrupt_prob: f32,
+    /// Chaos seed, mixed with the run seed by [`FaultInjector::for_run`].
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            straggle_prob: 0.0,
+            straggle_ms: 10,
+            panic_prob: 0.0,
+            corrupt_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether any fault has a nonzero probability. An inactive plan means
+    /// the round loop takes the exact nominal path.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.straggle_prob > 0.0
+            || self.panic_prob > 0.0
+            || self.corrupt_prob > 0.0
+    }
+
+    /// Parses a `--chaos` spec string (see the module docs for the table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending pair on unknown keys,
+    /// malformed numbers, or probabilities outside `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use calibre_fl::chaos::FaultPlan;
+    ///
+    /// let plan = FaultPlan::parse("drop=0.3,corrupt=0.1,seed=7").unwrap();
+    /// assert_eq!(plan.drop_prob, 0.3);
+    /// assert_eq!(plan.corrupt_prob, 0.1);
+    /// assert_eq!(plan.seed, 7);
+    /// assert!(plan.is_active());
+    /// assert!(FaultPlan::parse("drop=1.5").is_err());
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec: expected key=value, got {pair:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |v: &str| -> Result<f32, String> {
+                let p: f32 = v
+                    .parse()
+                    .map_err(|_| format!("chaos spec: bad number {v:?} for {key}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos spec: {key}={p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "drop" => plan.drop_prob = prob(value)?,
+                "straggle" => plan.straggle_prob = prob(value)?,
+                "panic" => plan.panic_prob = prob(value)?,
+                "corrupt" => plan.corrupt_prob = prob(value)?,
+                "straggle-ms" => {
+                    plan.straggle_ms = value
+                        .parse()
+                        .map_err(|_| format!("chaos spec: bad straggle-ms {value:?}"))?
+                }
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos spec: bad seed {value:?}"))?
+                }
+                other => return Err(format!("chaos spec: unknown key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Seeded fault oracle: maps `(round, client, attempt)` to an optional
+/// [`ClientFault`], reproducibly.
+///
+/// Internally each cell gets its own short-lived RNG seeded by mixing the
+/// injector seed with the cell coordinates (SplitMix-style odd constants),
+/// so decisions are independent across cells and replay identically
+/// regardless of scheduling or iteration order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector whose decisions depend only on `plan.seed`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let seed = plan.seed;
+        FaultInjector { plan, seed }
+    }
+
+    /// Builds an injector for a training run, folding the run seed into the
+    /// chaos seed so two runs with different `FlConfig::seed`s see
+    /// different (but individually reproducible) fault sequences.
+    pub fn for_run(plan: FaultPlan, run_seed: u64) -> Self {
+        let seed = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ run_seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        FaultInjector { plan, seed }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn cell_rng(&self, round: usize, client: usize, attempt: usize) -> rand::rngs::StdRng {
+        let mixed = self
+            .seed
+            .wrapping_add((round as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add((client as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            .wrapping_add((attempt as u64).wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        rng::seeded(mixed)
+    }
+
+    /// Decides the fault (if any) for one delivery attempt of one client in
+    /// one round. Pure: same inputs, same answer, forever.
+    ///
+    /// The draws are ordered dropout → panic → corruption → straggle, so at
+    /// most one fault fires per cell and the earlier (harsher) classes win
+    /// ties.
+    pub fn decide(&self, round: usize, client: usize, attempt: usize) -> Option<ClientFault> {
+        if !self.plan.is_active() {
+            return None;
+        }
+        let mut r = self.cell_rng(round, client, attempt);
+        if r.gen::<f32>() < self.plan.drop_prob {
+            return Some(ClientFault::Dropout);
+        }
+        if r.gen::<f32>() < self.plan.panic_prob {
+            return Some(ClientFault::PanicMidUpdate);
+        }
+        if r.gen::<f32>() < self.plan.corrupt_prob {
+            let kind = match r.gen_range(0usize..4) {
+                0 => Corruption::NaN,
+                1 => Corruption::Inf,
+                2 => Corruption::NormBlowup,
+                _ => Corruption::SignFlip,
+            };
+            return Some(ClientFault::Corrupt(kind));
+        }
+        if r.gen::<f32>() < self.plan.straggle_prob {
+            return Some(ClientFault::Straggle {
+                delay_ms: self.plan.straggle_ms,
+            });
+        }
+        None
+    }
+
+    /// Applies a corruption to an update vector in place, deterministically
+    /// for the `(round, client, attempt)` cell that decided it.
+    pub fn corrupt(
+        &self,
+        round: usize,
+        client: usize,
+        attempt: usize,
+        kind: Corruption,
+        update: &mut [f32],
+    ) {
+        let mut r = self.cell_rng(round ^ 0x5EED, client, attempt);
+        apply_corruption(kind, update, &mut r);
+    }
+}
+
+/// Mangles `update` in place according to `kind`.
+///
+/// NaN/Inf poison roughly one in eight coordinates (at least one) so the
+/// corruption survives any later averaging; blow-up scales by 10⁶; sign flip
+/// negates everything.
+pub fn apply_corruption<R: Rng + ?Sized>(kind: Corruption, update: &mut [f32], r: &mut R) {
+    if update.is_empty() {
+        return;
+    }
+    match kind {
+        Corruption::NaN | Corruption::Inf => {
+            let poison = if kind == Corruption::NaN {
+                f32::NAN
+            } else {
+                f32::INFINITY
+            };
+            let stride = 8.min(update.len());
+            let offset = r.gen_range(0..stride);
+            for i in (offset..update.len()).step_by(stride) {
+                update[i] = poison;
+            }
+        }
+        Corruption::NormBlowup => {
+            for v in update.iter_mut() {
+                *v *= 1e6;
+            }
+        }
+        Corruption::SignFlip => {
+            for v in update.iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+/// Panics with a recognizable message — the injected "client crashed
+/// mid-update" fault. Always caught by `parallel_map_resilient`'s
+/// `catch_unwind`; never escapes the resilient executor.
+pub fn panic_injected(round: usize, client: usize) -> ! {
+    panic!("chaos: injected mid-update panic (round {round}, client {client})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            drop_prob: 0.3,
+            straggle_prob: 0.2,
+            straggle_ms: 1,
+            panic_prob: 0.1,
+            corrupt_prob: 0.2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn default_plan_is_inactive_and_decides_nothing() {
+        let inj = FaultInjector::new(FaultPlan::default());
+        for round in 0..10 {
+            for client in 0..10 {
+                assert_eq!(inj.decide(round, client, 0), None);
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_replay_identically_from_the_same_seed() {
+        let a = FaultInjector::for_run(busy_plan(), 7);
+        let b = FaultInjector::for_run(busy_plan(), 7);
+        for round in 0..20 {
+            for client in 0..8 {
+                for attempt in 0..3 {
+                    assert_eq!(
+                        a.decide(round, client, attempt),
+                        b.decide(round, client, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_run_seeds_give_different_fault_sequences() {
+        let a = FaultInjector::for_run(busy_plan(), 1);
+        let b = FaultInjector::for_run(busy_plan(), 2);
+        let seq = |inj: &FaultInjector| -> Vec<Option<ClientFault>> {
+            (0..40).map(|i| inj.decide(i / 4, i % 4, 0)).collect()
+        };
+        assert_ne!(seq(&a), seq(&b));
+    }
+
+    #[test]
+    fn fault_rates_track_the_plan() {
+        let inj = FaultInjector::new(busy_plan());
+        let mut drops = 0usize;
+        let n = 4000;
+        for i in 0..n {
+            if inj.decide(i, 0, 0) == Some(ClientFault::Dropout) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f32 / n as f32;
+        assert!((rate - 0.3).abs() < 0.05, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn all_fault_kinds_eventually_fire() {
+        let inj = FaultInjector::new(busy_plan());
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..2000 {
+            if let Some(f) = inj.decide(i, i % 5, 0) {
+                seen.insert(f.kind_tag());
+            }
+        }
+        for tag in [
+            "dropout",
+            "straggle",
+            "panic",
+            "corrupt_nan",
+            "corrupt_inf",
+            "corrupt_norm",
+            "corrupt_sign",
+        ] {
+            assert!(seen.contains(tag), "never saw {tag}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips_and_rejects_garbage() {
+        let plan =
+            FaultPlan::parse("drop=0.25,straggle=0.1,straggle-ms=25,panic=0.05,corrupt=0.2,seed=9")
+                .unwrap();
+        assert_eq!(plan.drop_prob, 0.25);
+        assert_eq!(plan.straggle_prob, 0.1);
+        assert_eq!(plan.straggle_ms, 25);
+        assert_eq!(plan.panic_prob, 0.05);
+        assert_eq!(plan.corrupt_prob, 0.2);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("warp=0.5").is_err());
+        assert!(FaultPlan::parse("panic=2.0").is_err());
+        assert!(FaultPlan::parse("straggle-ms=fast").is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_corruption_is_detectable() {
+        let mut r = rng::seeded(3);
+        for kind in [Corruption::NaN, Corruption::Inf] {
+            let mut update = vec![1.0f32; 37];
+            apply_corruption(kind, &mut update, &mut r);
+            assert!(update.iter().any(|v| !v.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn silent_corruptions_stay_finite() {
+        let mut r = rng::seeded(4);
+        let mut blown = vec![1.0f32, -2.0, 3.0];
+        apply_corruption(Corruption::NormBlowup, &mut blown, &mut r);
+        assert!(blown.iter().all(|v| v.is_finite()));
+        assert!(blown[0] > 1e5);
+        let mut flipped = vec![1.0f32, -2.0];
+        apply_corruption(Corruption::SignFlip, &mut flipped, &mut r);
+        assert_eq!(flipped, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn corruption_application_is_deterministic() {
+        let inj = FaultInjector::new(busy_plan());
+        let mut a = vec![1.0f32; 64];
+        let mut b = vec![1.0f32; 64];
+        inj.corrupt(3, 2, 0, Corruption::NaN, &mut a);
+        inj.corrupt(3, 2, 0, Corruption::NaN, &mut b);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+}

@@ -11,12 +11,30 @@
 //! tensor <rows> <cols>
 //! <v v v ...>           # one line per row
 //! ...
+//! checksum <fnv64 hex>  # over everything above, verified on load
 //! ```
+//!
+//! # Crash safety
+//!
+//! [`save`] never writes a checkpoint in place: the text goes to a sibling
+//! `*.tmp` file, is fsynced, and is then renamed over the target, so a
+//! crash mid-write leaves either the old checkpoint or the new one — never
+//! a torn file. The trailing `checksum` line catches the remaining hazards
+//! (torn *reads*, bit rot, manual edits); [`parse`] verifies it when
+//! present and rejects any non-finite parameter value outright.
+//!
+//! [`CheckpointStore`] adds one more layer: a `current` / `.prev` rotation
+//! where loading falls back to the previous good checkpoint when the
+//! current one is missing or corrupt. [`TrainerCheckpoint`] captures a full
+//! resilient-training snapshot (round index, global encoder, per-client
+//! state, loss history) in the same format family so `run_pfl_ssl`-style
+//! loops can resume bit-identically after a kill.
 
 use calibre_tensor::nn::Module;
 use calibre_tensor::Matrix;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Error produced when loading a checkpoint.
 #[derive(Debug)]
@@ -27,6 +45,17 @@ pub enum CheckpointError {
     Parse(String),
     /// Checkpoint shapes do not match the target module.
     ShapeMismatch(String),
+    /// A parameter value is NaN or infinite — a checkpoint like that could
+    /// only have been produced by corrupted training state, and restoring
+    /// it would silently poison everything downstream.
+    NonFinite(String),
+    /// The trailing checksum line does not match the file contents.
+    Checksum {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum recomputed from the file body.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -35,6 +64,13 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             CheckpointError::Parse(msg) => write!(f, "invalid checkpoint: {msg}"),
             CheckpointError::ShapeMismatch(msg) => write!(f, "checkpoint shape mismatch: {msg}"),
+            CheckpointError::NonFinite(msg) => {
+                write!(f, "checkpoint contains non-finite value: {msg}")
+            }
+            CheckpointError::Checksum { expected, got } => write!(
+                f,
+                "checkpoint checksum mismatch: recorded {expected:#018x}, recomputed {got:#018x}"
+            ),
         }
     }
 }
@@ -54,13 +90,48 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Serializes a module's parameters to the checkpoint text format.
-pub fn to_string<M: Module + ?Sized>(module: &M) -> String {
-    let params = module.parameters();
-    let mut out = String::new();
-    out.push_str("calibre-checkpoint v1\n");
-    let _ = writeln!(out, "tensors {}", params.len());
-    for p in params {
+/// FNV-1a over the raw bytes of the checkpoint body.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the trailing `checksum <hex>` line over everything written so far.
+fn append_checksum(out: &mut String) {
+    let h = fnv1a(out.as_bytes());
+    let _ = writeln!(out, "checksum {h:016x}");
+}
+
+/// Strips and verifies an optional trailing `checksum` line, returning the
+/// body the remaining parser should see. Files written before the checksum
+/// was introduced (no such line) pass through unchanged.
+fn verify_checksum(text: &str) -> Result<&str, CheckpointError> {
+    let Some(pos) = text.rfind("\nchecksum ") else {
+        return Ok(text);
+    };
+    let line = text[pos + 1..].trim_end();
+    // Only treat it as a checksum if it really is the final line.
+    if text[pos + 1..].trim_end_matches('\n') != line {
+        return Ok(text);
+    }
+    let hex = line.strip_prefix("checksum ").unwrap_or_default();
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|e| CheckpointError::Parse(format!("bad checksum line {line:?}: {e}")))?;
+    let body = &text[..pos + 1];
+    let got = fnv1a(body.as_bytes());
+    if got != expected {
+        return Err(CheckpointError::Checksum { expected, got });
+    }
+    Ok(body)
+}
+
+/// Writes a `tensor`-block sequence (shape header + row lines per matrix).
+fn write_tensors(out: &mut String, tensors: &[&Matrix]) {
+    for p in tensors {
         let _ = writeln!(out, "tensor {} {}", p.rows(), p.cols());
         for r in 0..p.rows() {
             let row: Vec<String> = p.row(r).iter().map(|v| format!("{v}")).collect();
@@ -68,16 +139,85 @@ pub fn to_string<M: Module + ?Sized>(module: &M) -> String {
             out.push('\n');
         }
     }
+}
+
+/// Parses `count` tensor blocks from the line stream.
+fn parse_tensors<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    count: usize,
+    ctx: &str,
+) -> Result<Vec<Matrix>, CheckpointError> {
+    let mut tensors = Vec::with_capacity(count);
+    for t in 0..count {
+        let shape_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Parse(format!("{ctx}: missing tensor {t} header")))?;
+        let mut parts = shape_line.split_whitespace();
+        if parts.next() != Some("tensor") {
+            return Err(CheckpointError::Parse(format!(
+                "{ctx} tensor {t}: expected 'tensor <rows> <cols>', got {shape_line:?}"
+            )));
+        }
+        let rows: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse(format!("{ctx} tensor {t}: bad rows")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse(format!("{ctx} tensor {t}: bad cols")))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row_line = lines.next().ok_or_else(|| {
+                CheckpointError::Parse(format!("{ctx} tensor {t}: missing row {r}"))
+            })?;
+            let values: Result<Vec<f32>, _> =
+                row_line.split_whitespace().map(str::parse::<f32>).collect();
+            let values = values
+                .map_err(|e| CheckpointError::Parse(format!("{ctx} tensor {t} row {r}: {e}")))?;
+            if values.len() != cols {
+                return Err(CheckpointError::Parse(format!(
+                    "{ctx} tensor {t} row {r}: expected {cols} values, got {}",
+                    values.len()
+                )));
+            }
+            if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                return Err(CheckpointError::NonFinite(format!(
+                    "{ctx} tensor {t} row {r}: value {bad}"
+                )));
+            }
+            data.extend(values);
+        }
+        tensors.push(Matrix::from_vec(rows, cols, data));
+    }
+    Ok(tensors)
+}
+
+/// Serializes a module's parameters to the checkpoint text format,
+/// including the trailing integrity checksum.
+pub fn to_string<M: Module + ?Sized>(module: &M) -> String {
+    let params = module.parameters();
+    let mut out = String::new();
+    out.push_str("calibre-checkpoint v1\n");
+    let _ = writeln!(out, "tensors {}", params.len());
+    write_tensors(&mut out, &params);
+    append_checksum(&mut out);
     out
 }
 
 /// Parses checkpoint text into parameter matrices.
 ///
+/// A trailing `checksum` line, when present, is verified against the body
+/// before any tensor is accepted; non-finite values are rejected.
+///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Parse`] on any structural problem.
+/// Returns [`CheckpointError::Parse`] on structural problems,
+/// [`CheckpointError::Checksum`] on an integrity mismatch, and
+/// [`CheckpointError::NonFinite`] when a value is NaN or infinite.
 pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
-    let mut lines = text.lines();
+    let body = verify_checksum(text)?;
+    let mut lines = body.lines();
     let header = lines.next().unwrap_or_default();
     if header != "calibre-checkpoint v1" {
         return Err(CheckpointError::Parse(format!("unknown header {header:?}")));
@@ -89,46 +229,7 @@ pub fn parse(text: &str) -> Result<Vec<Matrix>, CheckpointError> {
         .strip_prefix("tensors ")
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| CheckpointError::Parse(format!("bad tensor count line {count_line:?}")))?;
-
-    let mut tensors = Vec::with_capacity(count);
-    for t in 0..count {
-        let shape_line = lines
-            .next()
-            .ok_or_else(|| CheckpointError::Parse(format!("missing tensor {t} header")))?;
-        let mut parts = shape_line.split_whitespace();
-        if parts.next() != Some("tensor") {
-            return Err(CheckpointError::Parse(format!(
-                "tensor {t}: expected 'tensor <rows> <cols>', got {shape_line:?}"
-            )));
-        }
-        let rows: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: bad rows")))?;
-        let cols: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: bad cols")))?;
-        let mut data = Vec::with_capacity(rows * cols);
-        for r in 0..rows {
-            let row_line = lines
-                .next()
-                .ok_or_else(|| CheckpointError::Parse(format!("tensor {t}: missing row {r}")))?;
-            let values: Result<Vec<f32>, _> =
-                row_line.split_whitespace().map(str::parse::<f32>).collect();
-            let values =
-                values.map_err(|e| CheckpointError::Parse(format!("tensor {t} row {r}: {e}")))?;
-            if values.len() != cols {
-                return Err(CheckpointError::Parse(format!(
-                    "tensor {t} row {r}: expected {cols} values, got {}",
-                    values.len()
-                )));
-            }
-            data.extend(values);
-        }
-        tensors.push(Matrix::from_vec(rows, cols, data));
-    }
-    Ok(tensors)
+    parse_tensors(&mut lines, count, "checkpoint")
 }
 
 /// Restores a module from parsed checkpoint tensors.
@@ -163,7 +264,28 @@ pub fn restore<M: Module + ?Sized>(
     Ok(())
 }
 
+/// Atomically writes `text` to `path`: sibling `.tmp` file, fsync, rename.
+///
+/// A crash at any point leaves either the previous file or the complete new
+/// one — never a torn mix of both.
+fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".into());
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Saves a module to a checkpoint file, creating parent directories.
+///
+/// The write is atomic (temp file + fsync + rename), so an interrupted save
+/// never corrupts an existing checkpoint at `path`.
 ///
 /// # Errors
 ///
@@ -176,7 +298,7 @@ pub fn save<M: Module + ?Sized, P: AsRef<Path>>(
     if let Some(parent) = path.as_ref().parent() {
         std::fs::create_dir_all(parent)?;
     }
-    std::fs::write(path, to_string(module))?;
+    atomic_write(path.as_ref(), &to_string(module))?;
     Ok(())
 }
 
@@ -193,6 +315,208 @@ pub fn load<M: Module + ?Sized, P: AsRef<Path>>(
     let text = std::fs::read_to_string(path)?;
     let tensors = parse(&text)?;
     restore(module, &tensors)
+}
+
+/// A crash-safe checkpoint slot with one level of history.
+///
+/// Saving rotates the current file to `<path>.prev` before atomically
+/// writing the new one; loading validates the current file and silently
+/// falls back to `.prev` when the current one is missing or fails
+/// validation (checksum, parse, non-finite values). Combined with the
+/// atomic writes, a process killed at *any* instant leaves at least one
+/// loadable checkpoint behind once the first save completed.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store writing its current checkpoint at `path`.
+    pub fn new<P: Into<PathBuf>>(path: P) -> Self {
+        CheckpointStore { path: path.into() }
+    }
+
+    /// Path of the current checkpoint.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Path of the rotated previous checkpoint.
+    pub fn prev_path(&self) -> PathBuf {
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "checkpoint".into());
+        self.path.with_file_name(format!("{file_name}.prev"))
+    }
+
+    /// Rotates the current checkpoint to `.prev` and atomically writes
+    /// `text` as the new current checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save_text(&self, text: &str) -> Result<(), CheckpointError> {
+        let _span = calibre_telemetry::span("checkpoint_save");
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        if self.path.exists() {
+            std::fs::rename(&self.path, self.prev_path())?;
+        }
+        atomic_write(&self.path, text)?;
+        Ok(())
+    }
+
+    /// Loads the newest checkpoint that passes `parse_fn`, preferring the
+    /// current file and falling back to `.prev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *current* file's error when both candidates fail (the
+    /// fallback's failure is secondary), or the current file's error when
+    /// no `.prev` exists.
+    pub fn load_with<T>(
+        &self,
+        parse_fn: impl Fn(&str) -> Result<T, CheckpointError>,
+    ) -> Result<T, CheckpointError> {
+        let _span = calibre_telemetry::span("checkpoint_load");
+        let current = std::fs::read_to_string(&self.path)
+            .map_err(CheckpointError::from)
+            .and_then(|text| parse_fn(&text));
+        match current {
+            Ok(v) => Ok(v),
+            Err(primary) => {
+                let prev = std::fs::read_to_string(self.prev_path())
+                    .map_err(CheckpointError::from)
+                    .and_then(|text| parse_fn(&text));
+                prev.map_err(|_| primary)
+            }
+        }
+    }
+}
+
+/// Complete snapshot of a resilient federated training run.
+///
+/// Captures everything `run_pfl_ssl`-style loops need to continue
+/// bit-identically after a kill: the round index to resume *from* (i.e.
+/// rounds `0..round` already folded into the state), the global encoder
+/// parameters, each client's cached SSL-method parameters, and the loss
+/// history so far. Client selection and per-round RNGs are re-derived from
+/// the run config's seed, so they need no persistence.
+#[derive(Debug, Clone)]
+pub struct TrainerCheckpoint {
+    /// Number of rounds already completed (resume starts here).
+    pub round: usize,
+    /// Global encoder parameter matrices.
+    pub global: Vec<Matrix>,
+    /// Per-client cached state as `(client_id, parameters)` — only clients
+    /// that have trained at least once appear.
+    pub clients: Vec<(usize, Vec<Matrix>)>,
+    /// Mean training loss per completed round.
+    pub round_losses: Vec<f32>,
+}
+
+impl TrainerCheckpoint {
+    /// Serializes the snapshot, with a trailing integrity checksum.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("calibre-trainer-checkpoint v1\n");
+        let _ = writeln!(out, "round {}", self.round);
+        let _ = write!(out, "losses {}", self.round_losses.len());
+        for l in &self.round_losses {
+            let _ = write!(out, " {l}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "global tensors {}", self.global.len());
+        let refs: Vec<&Matrix> = self.global.iter().collect();
+        write_tensors(&mut out, &refs);
+        let _ = writeln!(out, "clients {}", self.clients.len());
+        for (id, tensors) in &self.clients {
+            let _ = writeln!(out, "client {id} tensors {}", tensors.len());
+            let refs: Vec<&Matrix> = tensors.iter().collect();
+            write_tensors(&mut out, &refs);
+        }
+        append_checksum(&mut out);
+        out
+    }
+
+    /// Parses a snapshot, verifying the checksum when present.
+    ///
+    /// # Errors
+    ///
+    /// Structural, checksum, or non-finite errors as for [`parse`].
+    pub fn parse(text: &str) -> Result<TrainerCheckpoint, CheckpointError> {
+        fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, CheckpointError> {
+            line.and_then(|l| l.strip_prefix(key))
+                .ok_or_else(|| CheckpointError::Parse(format!("missing/bad {key:?} line")))
+        }
+        let body = verify_checksum(text)?;
+        let mut lines = body.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "calibre-trainer-checkpoint v1" {
+            return Err(CheckpointError::Parse(format!("unknown header {header:?}")));
+        }
+        let round: usize = field(lines.next(), "round ")?
+            .parse()
+            .map_err(|e| CheckpointError::Parse(format!("bad round: {e}")))?;
+        let losses_line = field(lines.next(), "losses ")?;
+        let mut parts = losses_line.split_whitespace();
+        let n_losses: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("bad loss count".into()))?;
+        let round_losses: Vec<f32> = parts
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|e| CheckpointError::Parse(format!("bad loss value: {e}")))?;
+        if round_losses.len() != n_losses {
+            return Err(CheckpointError::Parse(format!(
+                "expected {n_losses} losses, got {}",
+                round_losses.len()
+            )));
+        }
+        if let Some(bad) = round_losses.iter().find(|v| !v.is_finite()) {
+            return Err(CheckpointError::NonFinite(format!("loss value {bad}")));
+        }
+        let n_global: usize = field(lines.next(), "global tensors ")?
+            .parse()
+            .map_err(|e| CheckpointError::Parse(format!("bad global tensor count: {e}")))?;
+        let global = parse_tensors(&mut lines, n_global, "global")?;
+        let n_clients: usize = field(lines.next(), "clients ")?
+            .parse()
+            .map_err(|e| CheckpointError::Parse(format!("bad client count: {e}")))?;
+        let mut clients = Vec::with_capacity(n_clients);
+        for c in 0..n_clients {
+            let line = field(lines.next(), "client ")?;
+            let mut parts = line.split_whitespace();
+            let id: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CheckpointError::Parse(format!("client entry {c}: bad id")))?;
+            let n_tensors: usize = match (parts.next(), parts.next()) {
+                (Some("tensors"), Some(n)) => n
+                    .parse()
+                    .map_err(|e| CheckpointError::Parse(format!("client {id}: bad count: {e}")))?,
+                _ => {
+                    return Err(CheckpointError::Parse(format!(
+                        "client entry {c}: expected 'client <id> tensors <n>'"
+                    )))
+                }
+            };
+            let tensors = parse_tensors(&mut lines, n_tensors, &format!("client {id}"))?;
+            clients.push((id, tensors));
+        }
+        Ok(TrainerCheckpoint {
+            round,
+            global,
+            clients,
+            round_losses,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +591,112 @@ mod tests {
     fn error_display_is_informative() {
         let e = CheckpointError::Parse("tensor 0: bad rows".into());
         assert!(e.to_string().contains("invalid checkpoint"));
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("calibre-checkpoint v1\ntensors 1\ntensor 1 2\n1 {bad}\n");
+            assert!(
+                matches!(parse(&text), Err(CheckpointError::NonFinite(_))),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_checksum_mismatch() {
+        let original = model(7);
+        let text = to_string(&original);
+        // Flip one digit in a parameter value; the checksum line stays stale.
+        let corrupted = text.replacen("0.", "1.", 1);
+        assert_ne!(corrupted, text);
+        assert!(matches!(
+            parse(&corrupted),
+            Err(CheckpointError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_fails_parse_cleanly() {
+        // Simulate a torn write: drop the second half of a valid checkpoint.
+        let original = model(8);
+        let text = to_string(&original);
+        let truncated = &text[..text.len() / 2];
+        let err = parse(truncated).expect_err("truncated checkpoint must not parse");
+        assert!(
+            matches!(err, CheckpointError::Parse(_)),
+            "expected a parse error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_without_checksum_still_parse() {
+        // Pre-checksum files (or hand-written fixtures) stay loadable.
+        let text = "calibre-checkpoint v1\ntensors 1\ntensor 1 2\n1 2\n";
+        let tensors = parse(text).unwrap();
+        assert_eq!(tensors[0].as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_on_corruption() {
+        let dir =
+            std::env::temp_dir().join(format!("calibre-store-{}-{}", std::process::id(), line!()));
+        let store = CheckpointStore::new(dir.join("ckpt.txt"));
+        let a = model(9);
+        let b = model(10);
+        store.save_text(&to_string(&a)).unwrap();
+        store.save_text(&to_string(&b)).unwrap();
+        // Both generations on disk; current wins.
+        let tensors = store.load_with(parse).unwrap();
+        assert_eq!(tensors[0].as_slice(), b.parameters()[0].as_slice());
+        // Corrupt the current file; the previous generation is recovered.
+        std::fs::write(store.path(), "garbage").unwrap();
+        let tensors = store.load_with(parse).unwrap();
+        assert_eq!(tensors[0].as_slice(), a.parameters()[0].as_slice());
+        // Corrupt both: the current file's error surfaces.
+        std::fs::write(store.prev_path(), "also garbage").unwrap();
+        assert!(store.load_with(parse).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trainer_checkpoint_roundtrips() {
+        let global = model(11).parameters().into_iter().cloned().collect();
+        let client_state: Vec<Matrix> = model(12).parameters().into_iter().cloned().collect();
+        let ckpt = TrainerCheckpoint {
+            round: 3,
+            global,
+            clients: vec![(2, client_state)],
+            round_losses: vec![1.5, 1.25, 1.0],
+        };
+        let text = ckpt.to_text();
+        let back = TrainerCheckpoint::parse(&text).unwrap();
+        assert_eq!(back.round, 3);
+        assert_eq!(back.round_losses, ckpt.round_losses);
+        assert_eq!(back.clients.len(), 1);
+        assert_eq!(back.clients[0].0, 2);
+        for (a, b) in ckpt.global.iter().zip(&back.global) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        for (a, b) in ckpt.clients[0].1.iter().zip(&back.clients[0].1) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Truncation is detected, not mis-parsed.
+        assert!(TrainerCheckpoint::parse(&text[..text.len() / 3]).is_err());
+    }
+
+    #[test]
+    fn trainer_checkpoint_with_no_clients_roundtrips() {
+        let ckpt = TrainerCheckpoint {
+            round: 0,
+            global: vec![Matrix::from_vec(1, 2, vec![0.5, -0.5])],
+            clients: vec![],
+            round_losses: vec![],
+        };
+        let back = TrainerCheckpoint::parse(&ckpt.to_text()).unwrap();
+        assert_eq!(back.round, 0);
+        assert!(back.clients.is_empty());
+        assert!(back.round_losses.is_empty());
     }
 }

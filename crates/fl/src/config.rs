@@ -1,5 +1,7 @@
 //! Federated-learning run configuration and client-selection schedule.
 
+use crate::chaos::FaultPlan;
+use crate::resilient::RoundPolicy;
 use calibre_ssl::{ProbeConfig, SslConfig};
 use calibre_tensor::rng;
 use serde::{Deserialize, Serialize};
@@ -33,7 +35,18 @@ pub struct FlConfig {
     /// Probability that a selected client drops out of a round before
     /// reporting (device unavailability / network failure simulation).
     /// At least one client always survives per round. 0 disables dropout.
+    ///
+    /// This thins the *selection schedule* up front. For runtime faults
+    /// (dropout after selection, stragglers, crashes, corrupted updates)
+    /// use [`FlConfig::chaos`], which the resilient round executor
+    /// handles per attempt.
     pub dropout_prob: f32,
+    /// Deterministic runtime fault injection. The default plan is inactive
+    /// and training is bit-identical to a chaos-free build.
+    pub chaos: FaultPlan,
+    /// Server-side failure handling: retries, minimum quorum, aggregation
+    /// statistic, optional norm clipping.
+    pub policy: RoundPolicy,
     /// Run seed (client sampling, initialization, shuffling).
     pub seed: u64,
 }
@@ -51,6 +64,8 @@ impl FlConfig {
             probe: ProbeConfig::default(),
             ssl: SslConfig::for_input(input_dim),
             dropout_prob: 0.0,
+            chaos: FaultPlan::default(),
+            policy: RoundPolicy::default(),
             seed: 0,
         }
     }

@@ -25,7 +25,13 @@
 //!   SCAFFOLD(-FT), FedRep, FedBABU, FedPer, LG-FedAvg, PerFedAvg, APFL,
 //!   Ditto, FedEMA and the local-only Script baselines;
 //! - parallel client execution ([`parallel`]) and fairness metrics
-//!   ([`metrics`]).
+//!   ([`metrics`]);
+//! - deterministic fault injection ([`chaos`]) and the resilient round
+//!   executor ([`resilient`]) that survives dropouts, stragglers, panics
+//!   and corrupted updates with bounded retries and minimum-quorum
+//!   partial aggregation;
+//! - crash-safe checkpointing ([`checkpoint`]) with atomic writes,
+//!   integrity checksums, and a previous-generation fallback.
 //!
 //! # Example: FedAvg-FT on a tiny federation
 //!
@@ -49,6 +55,7 @@
 
 pub mod aggregate;
 pub mod baselines;
+pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
 pub mod compress;
@@ -58,8 +65,11 @@ pub mod model;
 pub mod parallel;
 pub mod personalize;
 pub mod pfl_ssl;
+pub mod resilient;
 pub mod secure;
 
+pub use chaos::{FaultInjector, FaultPlan};
 pub use config::FlConfig;
 pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};
 pub use personalize::{personalize_cohort, personalize_cohort_observed, PersonalizationOutcome};
+pub use resilient::RoundPolicy;

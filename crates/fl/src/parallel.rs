@@ -146,6 +146,115 @@ where
         .collect()
 }
 
+/// A panic caught from one client's worker closure.
+///
+/// Produced by [`parallel_map_resilient`]; the payload is stringified so it
+/// can cross threads and land in telemetry without generic baggage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPanic {
+    /// The panic payload, if it was a `&str` or `String` (the usual case);
+    /// `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for ClientPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for ClientPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Like [`parallel_map_owned_timed`], but a panic in one item's closure is
+/// caught (`catch_unwind` around the worker body) and surfaces as an `Err`
+/// in that item's slot instead of aborting the whole round.
+///
+/// This is the execution substrate of the resilient round executor: a
+/// client crashing mid-update must cost exactly one cohort slot, never the
+/// run. Results stay in input order; the per-item wall clock covers the
+/// failed attempt too (crash time is still time spent).
+///
+/// The closure must be idempotent-safe to lose: when it panics, the moved
+/// item is gone with it — retry logic has to rebuild state upstream.
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::parallel::parallel_map_resilient;
+///
+/// let out = parallel_map_resilient(vec![1, 2, 3], |x| {
+///     if x == 2 { panic!("boom") }
+///     x * 10
+/// });
+/// assert_eq!(out[0].0.as_ref().unwrap(), &10);
+/// assert!(out[1].0.is_err());
+/// assert_eq!(out[2].0.as_ref().unwrap(), &30);
+/// ```
+pub fn parallel_map_resilient<T, R, F>(
+    items: Vec<T>,
+    f: F,
+) -> Vec<(Result<R, ClientPanic>, Duration)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let guarded = |f: &F, item: T| {
+        let _span = calibre_telemetry::span("client");
+        let start = Instant::now();
+        // AssertUnwindSafe: the closure owns `item` (moved in, lost on
+        // panic) and the shared captures are read-only (`Fn` + `Sync`), so
+        // no observable state can be left torn by an unwind.
+        let out =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
+                ClientPanic {
+                    message: panic_message(payload),
+                }
+            });
+        (out, start.elapsed())
+    };
+    let threads = worker_count(items.len());
+    if threads <= 1 || items.len() == 1 {
+        return items.into_iter().map(|item| guarded(&f, item)).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<(Result<R, ClientPanic>, Duration)>> =
+        (0..slots.len()).map(|_| None).collect();
+    let chunk_size = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots
+            .chunks_mut(chunk_size)
+            .zip(results.chunks_mut(chunk_size))
+        {
+            let f = &f;
+            let guarded = &guarded;
+            scope.spawn(move || {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot.take().expect("slot filled before scope");
+                    *out = Some(guarded(f, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its chunk thread"))
+        .collect()
+}
+
 /// Number of worker threads for `len` items: `available_parallelism` capped
 /// by the item count.
 fn worker_count(len: usize) -> usize {
@@ -215,6 +324,51 @@ mod tests {
     #[test]
     fn timed_empty_input_gives_empty_output() {
         let out: Vec<(usize, Duration)> = parallel_map_owned_timed(Vec::new(), |i: usize| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resilient_map_isolates_panics_to_their_slot() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = parallel_map_resilient(items, |i| {
+            if i % 7 == 3 {
+                panic!("injected failure on {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 20);
+        for (i, (result, _)) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                let err = result.as_ref().unwrap_err();
+                assert!(err.message.contains("injected failure"), "{err}");
+            } else {
+                assert_eq!(result.as_ref().unwrap(), &(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_map_matches_timed_map_when_nothing_panics() {
+        let items: Vec<usize> = (0..13).collect();
+        let ok: Vec<usize> = parallel_map_resilient(items, |i| i + 1)
+            .into_iter()
+            .map(|(r, _)| r.unwrap())
+            .collect();
+        assert_eq!(ok, (1..14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resilient_map_stringifies_string_panics() {
+        let out = parallel_map_resilient(vec![0usize], |_| -> usize {
+            panic!("{}", String::from("owned message"))
+        });
+        assert_eq!(out[0].0.as_ref().unwrap_err().message, "owned message");
+    }
+
+    #[test]
+    fn resilient_empty_input_gives_empty_output() {
+        let out: Vec<(Result<usize, ClientPanic>, Duration)> =
+            parallel_map_resilient(Vec::new(), |i: usize| i);
         assert!(out.is_empty());
     }
 }

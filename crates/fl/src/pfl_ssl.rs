@@ -9,12 +9,14 @@
 //! crate swaps in a calibrated local update and a divergence-aware
 //! aggregation).
 
-use crate::aggregate::{sample_count_weights, weighted_average_refs};
+use crate::aggregate::sample_count_weights;
 use crate::baselines::{client_round_seed, BaselineResult};
+use crate::chaos::FaultInjector;
+use crate::checkpoint::{self, CheckpointStore, TrainerCheckpoint};
 use crate::comm::{CommReport, BYTES_PER_PARAM};
 use crate::config::FlConfig;
-use crate::parallel::parallel_map_owned_timed;
 use crate::personalize::personalize_cohort_observed;
+use crate::resilient::{run_round_resilient, ClientOutcome};
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, SynthVision};
 use calibre_ssl::{create_method, ssl_step_in, SslKind, SslMethod, TwoViewBatch};
@@ -71,12 +73,6 @@ pub fn ssl_local_update<R: Rng + ?Sized>(
 /// Observer invoked after every aggregation with `(round, global_encoder)`.
 pub type RoundObserver<'a> = &'a mut dyn FnMut(usize, &calibre_tensor::nn::Mlp);
 
-/// Persistent client state for SSL federated training.
-struct SslClient {
-    id: usize,
-    method: Box<dyn SslMethod>,
-}
-
 /// Trains a global encoder with federated SSL (the pFL-SSL training stage)
 /// and returns it with the round-loss history.
 pub fn train_pfl_ssl_encoder(
@@ -104,18 +100,88 @@ pub fn train_pfl_ssl_encoder_with(
 /// lifecycle to a telemetry [`Recorder`].
 ///
 /// Per round the recorder sees: `round_start` with the selection, one
-/// `client_update` per client carrying the wall-clock time measured inside
-/// the worker thread that ran the update (via
-/// [`crate::parallel::parallel_map_owned_timed`]) and the final local loss,
-/// an `aggregate` event, and a `round_end` event with the per-client
+/// `client_update` per accepted client carrying the wall-clock time measured
+/// inside the worker thread that ran the update (via the resilient executor,
+/// [`crate::resilient::run_round_resilient`]) and the final local loss, an
+/// `aggregate` event, and a `round_end` event with the per-client
 /// wall-clock/loss vectors plus planned vs observed communication bytes.
+/// Under active chaos ([`FlConfig::chaos`]) additional `fault` and
+/// `round_resilience` events surface injected faults; nominal rounds emit
+/// the exact legacy event sequence.
 pub fn train_pfl_ssl_encoder_observed(
+    fed: &calibre_data::FederatedDataset,
+    cfg: &FlConfig,
+    kind: SslKind,
+    aug: &AugmentConfig,
+    round_observer: Option<RoundObserver<'_>>,
+    recorder: &dyn Recorder,
+) -> (calibre_tensor::nn::Mlp, Vec<f32>) {
+    train_pfl_ssl_encoder_resumable(fed, cfg, kind, aug, round_observer, recorder, None)
+}
+
+/// Creates a client's SSL method with its deterministic per-client seed.
+fn fresh_method(cfg: &FlConfig, kind: SslKind, id: usize) -> Box<dyn SslMethod> {
+    create_method(kind, cfg.ssl.clone().with_seed(cfg.seed ^ (id as u64) << 8))
+}
+
+/// Restores per-client SSL state and the global encoder from a
+/// [`TrainerCheckpoint`], returning the round to resume from. Any client
+/// entry that fails shape checks is dropped (it will be recreated fresh).
+fn restore_from_checkpoint(
+    ckpt: &TrainerCheckpoint,
+    cfg: &FlConfig,
+    kind: SslKind,
+    global_encoder: &mut calibre_tensor::nn::Mlp,
+    states: &mut [Option<Box<dyn SslMethod>>],
+    round_losses: &mut Vec<f32>,
+    total_rounds: usize,
+) -> usize {
+    if checkpoint::restore(global_encoder, &ckpt.global).is_err() {
+        return 0;
+    }
+    for (id, tensors) in &ckpt.clients {
+        if *id >= states.len() {
+            continue;
+        }
+        let mut method = fresh_method(cfg, kind, *id);
+        if checkpoint::restore(method.as_mut(), tensors).is_ok() {
+            states[*id] = Some(method);
+        }
+    }
+    let start = ckpt.round.min(total_rounds);
+    *round_losses = ckpt.round_losses.clone();
+    round_losses.truncate(start);
+    start
+}
+
+/// Like [`train_pfl_ssl_encoder_observed`], with runtime fault handling and
+/// optional crash-safe resume.
+///
+/// The round loop runs through [`run_round_resilient`]: faults from
+/// `cfg.chaos` are injected per `(round, client, attempt)`, panicked
+/// clients are retried per `cfg.policy`, non-finite updates are rejected,
+/// and rounds missing the minimum quorum are skipped (the skipped round
+/// repeats the previous mean loss so histories stay finite). With an
+/// inactive chaos plan and the default policy this is bit-identical to the
+/// nominal training path.
+///
+/// When `store` is given, a [`TrainerCheckpoint`] is written after every
+/// round (atomic write + previous-generation rotation), and training
+/// resumes from the newest loadable checkpoint — continuing bit-identically
+/// for parameter-backed SSL methods like SimCLR, because client selection,
+/// per-round RNGs, and optimizers are all re-derived from `cfg.seed`.
+/// Methods with non-parameter state (BYOL/MoCo EMA targets, queues) resume
+/// with that auxiliary state rebuilt fresh. Checkpoint write failures are
+/// ignored (training continues; the previous generation stays loadable).
+#[allow(clippy::too_many_arguments)] // superset of the observed signature
+pub fn train_pfl_ssl_encoder_resumable(
     fed: &calibre_data::FederatedDataset,
     cfg: &FlConfig,
     kind: SslKind,
     aug: &AugmentConfig,
     mut round_observer: Option<RoundObserver<'_>>,
     recorder: &dyn Recorder,
+    store: Option<&CheckpointStore>,
 ) -> (calibre_tensor::nn::Mlp, Vec<f32>) {
     // The global encoder starts from the seed-0 reference model.
     let reference = create_method(kind, cfg.ssl.clone());
@@ -129,80 +195,114 @@ pub fn train_pfl_ssl_encoder_observed(
     let schedule = cfg.selection_schedule(fed.num_clients());
     let mut round_losses = Vec::with_capacity(schedule.len());
 
-    for (round, selected) in schedule.iter().enumerate() {
+    let start_round = store
+        .and_then(|s| s.load_with(TrainerCheckpoint::parse).ok())
+        .map(|ckpt| {
+            restore_from_checkpoint(
+                &ckpt,
+                cfg,
+                kind,
+                &mut global_encoder,
+                &mut states,
+                &mut round_losses,
+                schedule.len(),
+            )
+        })
+        .unwrap_or(0);
+
+    let injector = cfg
+        .chaos
+        .is_active()
+        .then(|| FaultInjector::for_run(cfg.chaos.clone(), cfg.seed));
+
+    for (round, selected) in schedule.iter().enumerate().skip(start_round) {
         let round_span = calibre_telemetry::span("round");
         round_span.add_items(selected.len() as u64);
         recorder.round_start(round, selected);
-        let inputs: Vec<SslClient> = selected
-            .iter()
-            .map(|&id| {
-                let method = states[id].take().unwrap_or_else(|| {
-                    create_method(kind, cfg.ssl.clone().with_seed(cfg.seed ^ (id as u64) << 8))
-                });
-                SslClient { id, method }
-            })
-            .collect();
         let global_flat = global_encoder.to_flat();
 
-        let updates = parallel_map_owned_timed(inputs, |mut client| {
-            client.method.encoder_mut().load_flat(&global_flat);
-            let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
-                cfg.local_lr,
-                cfg.local_momentum,
-            ));
-            let mut r = rng::seeded(client_round_seed(cfg.seed, round, client.id));
-            let data = fed.client(client.id);
-            let loss = ssl_local_update(
-                client.method.as_mut(),
-                data,
-                fed.generator(),
-                aug,
-                cfg.local_epochs,
-                cfg.batch_size,
-                &mut opt,
-                &mut r,
-            );
-            let flat = client.method.encoder().to_flat();
-            let weight = data.ssl_pool().len();
-            (client, flat, weight, loss)
-        });
+        let outcome = run_round_resilient(
+            round,
+            selected,
+            |id| {
+                states[id]
+                    .take()
+                    .unwrap_or_else(|| fresh_method(cfg, kind, id))
+            },
+            |id, mut method: Box<dyn SslMethod>| {
+                method.encoder_mut().load_flat(&global_flat);
+                let mut opt = Sgd::new(SgdConfig::with_lr_momentum(
+                    cfg.local_lr,
+                    cfg.local_momentum,
+                ));
+                let mut r = rng::seeded(client_round_seed(cfg.seed, round, id));
+                let data = fed.client(id);
+                let loss = ssl_local_update(
+                    method.as_mut(),
+                    data,
+                    fed.generator(),
+                    aug,
+                    cfg.local_epochs,
+                    cfg.batch_size,
+                    &mut opt,
+                    &mut r,
+                );
+                let flat = method.encoder().to_flat();
+                let count = data.ssl_pool().len();
+                ClientOutcome {
+                    state: method,
+                    flat,
+                    count,
+                    payload: loss,
+                }
+            },
+            |accepted| {
+                let counts: Vec<usize> = accepted.iter().map(|a| a.count).collect();
+                sample_count_weights(&counts)
+            },
+            injector.as_ref(),
+            &cfg.policy,
+            recorder,
+        );
 
-        let mut client_wall_ms = Vec::with_capacity(updates.len());
-        let mut client_loss = Vec::with_capacity(updates.len());
+        let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
+        let mut client_loss = Vec::with_capacity(outcome.accepted.len());
         let mut observed_bytes = 0u64;
-        for ((client, flat, _, loss), wall) in &updates {
+        for a in &outcome.accepted {
             recorder.client_update(
                 round,
-                client.id,
-                *wall,
+                a.id,
+                a.wall,
                 ClientLosses {
-                    total: *loss,
-                    ssl: *loss,
+                    total: a.payload,
+                    ssl: a.payload,
                     l_n: 0.0,
                     l_p: 0.0,
                 },
                 0.0,
             );
-            client_wall_ms.push(wall.as_secs_f64() * 1e3);
-            client_loss.push(*loss);
+            client_wall_ms.push(a.wall.as_secs_f64() * 1e3);
+            client_loss.push(a.payload);
             // One encoder down, one encoder up per client.
-            observed_bytes += ((flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
+            observed_bytes += ((a.flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
         }
 
-        let flats: Vec<&[f32]> = updates
-            .iter()
-            .map(|((_, f, _, _), _)| f.as_slice())
-            .collect();
-        let counts: Vec<usize> = updates.iter().map(|((_, _, c, _), _)| *c).collect();
-        let mean_loss =
-            updates.iter().map(|((_, _, _, l), _)| l).sum::<f32>() / updates.len().max(1) as f32;
-        let weights = sample_count_weights(&counts);
-        recorder.aggregate(round, flats.len(), weights.iter().sum());
-        let aggregated = weighted_average_refs(&flats, &weights);
-        drop(flats);
-        global_encoder.load_flat(&aggregated);
-        for ((client, _, _, _), _) in updates {
-            states[client.id] = Some(client.method);
+        let mean_loss = if outcome.accepted.is_empty() {
+            // Skipped round: repeat the last known loss so the history
+            // stays finite and plottable.
+            round_losses.last().copied().unwrap_or(0.0)
+        } else {
+            outcome.accepted.iter().map(|a| a.payload).sum::<f32>() / outcome.accepted.len() as f32
+        };
+        recorder.aggregate(round, outcome.report.quorum, outcome.report.weight_sum);
+        if let Some(aggregated) = &outcome.aggregated {
+            global_encoder.load_flat(aggregated);
+        }
+        for a in outcome.accepted {
+            states[a.id] = Some(a.state);
+        }
+        for (id, state) in outcome.rejected_states {
+            states[id] = Some(state);
         }
         round_losses.push(mean_loss);
         let planned_bytes = CommReport::for_module(&global_encoder, 1, selected.len()).total as u64;
@@ -216,6 +316,22 @@ pub fn train_pfl_ssl_encoder_observed(
         );
         if let Some(observer) = round_observer.as_deref_mut() {
             observer(round, &global_encoder);
+        }
+        if let Some(store) = store {
+            let ckpt = TrainerCheckpoint {
+                round: round + 1,
+                global: global_encoder.parameters().into_iter().cloned().collect(),
+                clients: states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, s)| {
+                        s.as_ref()
+                            .map(|m| (id, m.parameters().into_iter().cloned().collect()))
+                    })
+                    .collect(),
+                round_losses: round_losses.clone(),
+            };
+            let _ = store.save_text(&ckpt.to_text());
         }
     }
     (global_encoder, round_losses)
@@ -243,6 +359,31 @@ pub fn run_pfl_ssl_observed(
     let num_classes = fed.generator().num_classes();
     let (encoder, round_losses) =
         train_pfl_ssl_encoder_observed(fed, cfg, kind, aug, None, recorder);
+    let seen = personalize_cohort_observed(&encoder, fed, num_classes, &cfg.probe, recorder);
+    BaselineResult {
+        name: format!("pFL-{}", kind.name()),
+        seen,
+        encoder,
+        round_losses,
+    }
+}
+
+/// Like [`run_pfl_ssl_observed`], checkpointing every round into `store`
+/// and resuming from the newest loadable checkpoint — the crash-safe entry
+/// point. A killed run restarted with the same config and store continues
+/// where it left off (bit-identically for parameter-backed methods like
+/// SimCLR).
+pub fn run_pfl_ssl_resumable(
+    fed: &calibre_data::FederatedDataset,
+    cfg: &FlConfig,
+    kind: SslKind,
+    aug: &AugmentConfig,
+    recorder: &dyn Recorder,
+    store: &CheckpointStore,
+) -> BaselineResult {
+    let num_classes = fed.generator().num_classes();
+    let (encoder, round_losses) =
+        train_pfl_ssl_encoder_resumable(fed, cfg, kind, aug, None, recorder, Some(store));
     let seen = personalize_cohort_observed(&encoder, fed, num_classes, &cfg.probe, recorder);
     BaselineResult {
         name: format!("pFL-{}", kind.name()),

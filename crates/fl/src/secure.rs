@@ -50,10 +50,73 @@ pub fn mask_update(update: &[f32], client: usize, cohort: &[usize], round_seed: 
     masked
 }
 
+/// Typed failure of the cohort-aware secure aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecureAggError {
+    /// No updates arrived at all — there is nothing to unmask.
+    Empty,
+    /// A contributing client id is not a member of the declared cohort.
+    UnknownClient(usize),
+    /// The same client contributed more than once.
+    DuplicateClient(usize),
+    /// Update lengths disagree (`expected` from the first update).
+    LengthMismatch {
+        /// Client whose update has the wrong length.
+        client: usize,
+        /// Expected vector length.
+        expected: usize,
+        /// Actual vector length.
+        got: usize,
+    },
+    /// Fewer (or more) updates arrived than the cohort that masked them —
+    /// the pairwise masks cannot cancel.
+    CohortMismatch {
+        /// Size of the cohort the updates were masked with.
+        cohort: usize,
+        /// Number of updates that actually arrived.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SecureAggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecureAggError::Empty => write!(f, "no masked updates to aggregate"),
+            SecureAggError::UnknownClient(c) => {
+                write!(f, "client {c} contributed but is not in the cohort")
+            }
+            SecureAggError::DuplicateClient(c) => {
+                write!(f, "client {c} contributed more than once")
+            }
+            SecureAggError::LengthMismatch {
+                client,
+                expected,
+                got,
+            } => write!(f, "client {client} sent length {got}, expected {expected}"),
+            SecureAggError::CohortMismatch { cohort, got } => write!(
+                f,
+                "{got} masked updates for a cohort of {cohort}: masks cannot cancel"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SecureAggError {}
+
 /// Sums masked updates — the only operation the server can perform.
 ///
-/// If every cohort member contributed exactly once, the pairwise masks
-/// cancel and the result equals the sum of the plaintext updates.
+/// # Cancellation invariant
+///
+/// The pairwise masks cancel **only** when every member of the cohort that
+/// masked with [`mask_update`] contributes exactly once. If any client
+/// drops out after masking, the masks it shared with the survivors remain
+/// in the sum as un-cancelled noise and the result is silently garbage.
+/// When the cohort is known, prefer [`aggregate_masked_cohort`], which
+/// detects dropouts and re-derives the residual masks; this function is the
+/// raw primitive for the no-dropout case.
+///
+/// In debug builds, pass the cohort size you masked with via
+/// [`aggregate_masked_checked`] to turn the hazard into a loud failure.
 ///
 /// # Panics
 ///
@@ -69,6 +132,109 @@ pub fn aggregate_masked(updates: &[Vec<f32>]) -> Vec<f32> {
         }
     }
     sum
+}
+
+/// [`aggregate_masked`] with the cancellation invariant asserted.
+///
+/// `cohort_len` is the size of the cohort the contributors masked with. In
+/// debug builds a mismatch (i.e. at least one dropout) is a panic; in
+/// release builds it returns a typed error instead of silently producing a
+/// mask-polluted sum.
+///
+/// # Errors
+///
+/// [`SecureAggError::Empty`] when `updates` is empty,
+/// [`SecureAggError::CohortMismatch`] when the counts disagree.
+pub fn aggregate_masked_checked(
+    updates: &[Vec<f32>],
+    cohort_len: usize,
+) -> Result<Vec<f32>, SecureAggError> {
+    if updates.is_empty() {
+        return Err(SecureAggError::Empty);
+    }
+    debug_assert_eq!(
+        updates.len(),
+        cohort_len,
+        "secure aggregation cancellation invariant violated: {} updates for a cohort of {}",
+        updates.len(),
+        cohort_len
+    );
+    if updates.len() != cohort_len {
+        // A dropout without recovery: refuse to return garbage.
+        return Err(SecureAggError::CohortMismatch {
+            cohort: cohort_len,
+            got: updates.len(),
+        });
+    }
+    Ok(aggregate_masked(updates))
+}
+
+/// Cohort-aware secure aggregation that survives client dropout.
+///
+/// `updates` pairs each *surviving* client id with its masked update;
+/// `cohort` is the full set every contributor masked with. For each dropped
+/// client `d`, the masks `pair_mask(round_seed, s, d)` it shared with every
+/// survivor `s` never got their cancelling counterpart, so this function
+/// re-derives them (the simulation's stand-in for the secret-share recovery
+/// round of Bonawitz et al.) and subtracts each survivor's residual
+/// contribution. The result equals the sum of the survivors' plaintext
+/// updates exactly as if the dropped clients had never been in the cohort.
+///
+/// # Errors
+///
+/// - [`SecureAggError::Empty`] — every client dropped.
+/// - [`SecureAggError::UnknownClient`] — a contributor is not in `cohort`.
+/// - [`SecureAggError::DuplicateClient`] — a client contributed twice.
+/// - [`SecureAggError::LengthMismatch`] — update lengths disagree.
+pub fn aggregate_masked_cohort(
+    updates: &[(usize, Vec<f32>)],
+    cohort: &[usize],
+    round_seed: u64,
+) -> Result<Vec<f32>, SecureAggError> {
+    if updates.is_empty() {
+        return Err(SecureAggError::Empty);
+    }
+    let dim = updates[0].1.len();
+    let mut seen: Vec<usize> = Vec::with_capacity(updates.len());
+    for (client, u) in updates {
+        if !cohort.contains(client) {
+            return Err(SecureAggError::UnknownClient(*client));
+        }
+        if seen.contains(client) {
+            return Err(SecureAggError::DuplicateClient(*client));
+        }
+        seen.push(*client);
+        if u.len() != dim {
+            return Err(SecureAggError::LengthMismatch {
+                client: *client,
+                expected: dim,
+                got: u.len(),
+            });
+        }
+    }
+    let mut sum = vec![0.0f32; dim];
+    for (_, u) in updates {
+        for (s, &v) in sum.iter_mut().zip(u) {
+            *s += v;
+        }
+    }
+    // Recovery: strip the residual masks each survivor shared with each
+    // dropped cohort member.
+    let dropped: Vec<usize> = cohort
+        .iter()
+        .copied()
+        .filter(|c| !seen.contains(c))
+        .collect();
+    for &d in &dropped {
+        for &s in &seen {
+            let mask = pair_mask(round_seed, s, d, dim);
+            let sign = if s < d { 1.0 } else { -1.0 };
+            for (acc, &v) in sum.iter_mut().zip(&mask) {
+                *acc -= sign * v;
+            }
+        }
+    }
+    Ok(sum)
 }
 
 #[cfg(test)]
@@ -153,6 +319,110 @@ mod tests {
     #[should_panic(expected = "exactly once")]
     fn client_outside_cohort_is_rejected() {
         mask_update(&[1.0], 9, &[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn dropout_pollutes_the_plain_sum() {
+        // Losing one member after masking leaves un-cancelled masks behind.
+        let cohort = vec![3usize, 7, 11, 20];
+        let dim = 64;
+        let updates: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| rng::normal_vec(&mut rng::seeded(c as u64), dim))
+            .collect();
+        let masked: Vec<Vec<f32>> = cohort
+            .iter()
+            .zip(&updates)
+            .map(|(&c, u)| mask_update(u, c, &cohort, 99))
+            .collect();
+        let partial = aggregate_masked(&masked[..3]);
+        let plain = plain_sum(&updates[..3]);
+        let err: f32 = partial.iter().zip(&plain).map(|(s, p)| (s - p).abs()).sum();
+        assert!(err > 1.0, "dropout should skew the sum, error was {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cancellation invariant")]
+    fn checked_aggregation_catches_dropout_in_debug() {
+        aggregate_masked_checked(&[vec![1.0f32; 4]], 2).unwrap();
+    }
+
+    #[test]
+    fn checked_aggregation_passes_full_cohorts() {
+        let cohort = vec![1usize, 2];
+        let masked: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| mask_update(&[1.0f32; 8], c, &cohort, 5))
+            .collect();
+        let sum = aggregate_masked_checked(&masked, 2).unwrap();
+        for v in &sum {
+            assert!((v - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cohort_aggregation_recovers_dropped_clients() {
+        let cohort = vec![3usize, 7, 11, 20];
+        let dim = 64;
+        let updates: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| rng::normal_vec(&mut rng::seeded(c as u64), dim))
+            .collect();
+        let masked: Vec<(usize, Vec<f32>)> = cohort
+            .iter()
+            .zip(&updates)
+            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 99)))
+            .collect();
+        // Clients 11 and 20 drop after masking.
+        let survivors = &masked[..2];
+        let recovered = aggregate_masked_cohort(survivors, &cohort, 99).unwrap();
+        let plain = plain_sum(&updates[..2]);
+        for (s, p) in recovered.iter().zip(&plain) {
+            assert!((s - p).abs() < 1e-3, "recovered {s} vs plain {p}");
+        }
+    }
+
+    #[test]
+    fn cohort_aggregation_without_dropout_matches_plain_path() {
+        let cohort = vec![1usize, 2, 3];
+        let updates: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&c| rng::normal_vec(&mut rng::seeded(50 + c as u64), 16))
+            .collect();
+        let masked: Vec<(usize, Vec<f32>)> = cohort
+            .iter()
+            .zip(&updates)
+            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 8)))
+            .collect();
+        let full = aggregate_masked_cohort(&masked, &cohort, 8).unwrap();
+        let plain = plain_sum(&updates);
+        for (s, p) in full.iter().zip(&plain) {
+            assert!((s - p).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cohort_aggregation_rejects_bad_inputs() {
+        assert_eq!(
+            aggregate_masked_cohort(&[], &[1, 2], 0),
+            Err(SecureAggError::Empty)
+        );
+        assert_eq!(
+            aggregate_masked_cohort(&[(9, vec![1.0])], &[1, 2], 0),
+            Err(SecureAggError::UnknownClient(9))
+        );
+        assert_eq!(
+            aggregate_masked_cohort(&[(1, vec![1.0]), (1, vec![1.0])], &[1, 2], 0),
+            Err(SecureAggError::DuplicateClient(1))
+        );
+        assert_eq!(
+            aggregate_masked_cohort(&[(1, vec![1.0]), (2, vec![1.0, 2.0])], &[1, 2], 0),
+            Err(SecureAggError::LengthMismatch {
+                client: 2,
+                expected: 1,
+                got: 2
+            })
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests for aggregation, metrics and checkpoint invariants.
 
 use calibre_fl::aggregate::{
-    divergence_weights, sample_count_weights, uniform_average, weighted_average,
+    aggregate_robust, clip_norm, coordinate_median, divergence_weights, sample_count_weights,
+    trimmed_mean, uniform_average, weighted_average, Aggregator,
 };
+use calibre_fl::chaos::{FaultInjector, FaultPlan};
 use calibre_fl::checkpoint;
 use calibre_fl::comm::CommReport;
 use calibre_fl::model::{supervised_step, supervised_step_in, ClassifierModel, TrainScope};
@@ -138,6 +140,161 @@ proptest! {
         let report = CommReport::new(params, rounds, clients);
         prop_assert_eq!(report.total, 2 * report.upload_per_round * rounds);
         prop_assert_eq!(report.upload_per_round, params * 4 * clients);
+    }
+
+    #[test]
+    fn robust_weighted_average_is_bit_identical_to_legacy(
+        updates in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 1..6),
+        weights in prop::collection::vec(0.1f32..5.0, 6),
+    ) {
+        let weights = &weights[..updates.len()];
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let robust = aggregate_robust(Aggregator::WeightedAverage, &refs, weights).unwrap();
+        let legacy = weighted_average(&updates, weights);
+        for (a, b) in robust.iter().zip(legacy.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "robust path drifted from legacy");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_ratio_matches_weighted_average(
+        updates in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 1..6),
+        weights in prop::collection::vec(0.1f32..5.0, 6),
+    ) {
+        let weights = &weights[..updates.len()];
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let trimmed = trimmed_mean(&refs, weights, 0.0).unwrap();
+        let legacy = weighted_average(&updates, weights);
+        for (a, b) in trimmed.iter().zip(legacy.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "trim(0) {a} vs mean {b}");
+        }
+    }
+
+    #[test]
+    fn robust_aggregators_agree_on_identical_updates(
+        update in prop::collection::vec(-10.0f32..10.0, 8),
+        copies in 1usize..6,
+        ratio in 0.0f32..0.45,
+    ) {
+        // With every client reporting the same update, trimming and the
+        // weighted median cannot move the aggregate.
+        let owned = vec![update.clone(); copies];
+        let refs: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let weights = vec![1.0f32; copies];
+        let med = coordinate_median(&refs, &weights).unwrap();
+        let trm = trimmed_mean(&refs, &weights, ratio).unwrap();
+        for ((m, t), v) in med.iter().zip(trm.iter()).zip(update.iter()) {
+            prop_assert!((m - v).abs() < 1e-5, "median moved: {m} vs {v}");
+            prop_assert!((t - v).abs() < 1e-5, "trimmed mean moved: {t} vs {v}");
+        }
+    }
+
+    #[test]
+    fn clip_norm_enforces_the_cap(
+        mut update in prop::collection::vec(-100.0f32..100.0, 1..32),
+        max_norm in 0.5f32..10.0,
+    ) {
+        let before: f32 = update.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let clipped = clip_norm(&mut update, max_norm);
+        let after: f32 = update.iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!(after <= max_norm * (1.0 + 1e-4), "norm {after} above cap {max_norm}");
+        prop_assert_eq!(clipped, before > max_norm, "clip flag disagrees with norms");
+        if !clipped {
+            prop_assert!((after - before).abs() < 1e-6, "unclipped update was modified");
+        }
+    }
+
+    #[test]
+    fn fault_injector_replays_identically(
+        plan_seed in 0u64..10_000,
+        run_seed in 0u64..10_000,
+        drop_prob in 0.0f32..0.6,
+        corrupt_prob in 0.0f32..0.6,
+        panic_prob in 0.0f32..0.6,
+    ) {
+        // Fault decisions are a pure function of (plan, run seed, round,
+        // client, attempt): two injectors built from the same inputs must
+        // agree on every cell, including the corruption bytes.
+        let plan = FaultPlan {
+            drop_prob,
+            corrupt_prob,
+            panic_prob,
+            straggle_prob: 0.1,
+            seed: plan_seed,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::for_run(plan.clone(), run_seed);
+        let b = FaultInjector::for_run(plan, run_seed);
+        for round in 0..4 {
+            for client in 0..4 {
+                for attempt in 0..3 {
+                    let fa = a.decide(round, client, attempt);
+                    prop_assert_eq!(fa, b.decide(round, client, attempt));
+                    if let Some(calibre_fl::chaos::ClientFault::Corrupt(kind)) = fa {
+                        let mut ua = vec![1.0f32; 16];
+                        let mut ub = ua.clone();
+                        a.corrupt(round, client, attempt, kind, &mut ua);
+                        b.corrupt(round, client, attempt, kind, &mut ub);
+                        let bits_a: Vec<u32> = ua.iter().map(|v| v.to_bits()).collect();
+                        let bits_b: Vec<u32> = ub.iter().map(|v| v.to_bits()).collect();
+                        prop_assert_eq!(bits_a, bits_b, "corruption replay diverged");
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Whole-training chaos runs are orders of magnitude slower than the pure
+// aggregation properties above, so they get their own small-case block.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn chaos_training_never_panics_and_stays_finite(seed in 0u64..1_000) {
+        use calibre_data::{AugmentConfig, FederatedDataset, NonIid, PartitionConfig, SynthVisionSpec};
+        use calibre_fl::pfl_ssl::train_pfl_ssl_encoder;
+        use calibre_fl::{FlConfig, RoundPolicy};
+        use calibre_ssl::SslKind;
+
+        let fed = FederatedDataset::build(
+            SynthVisionSpec::cifar10(),
+            &PartitionConfig {
+                num_clients: 3,
+                train_per_client: 40,
+                test_per_client: 10,
+                unlabeled_per_client: 0,
+                non_iid: NonIid::Dirichlet { alpha: 0.3 },
+                seed: 11,
+            },
+        );
+        let mut cfg = FlConfig::for_input(64);
+        cfg.rounds = 10;
+        cfg.clients_per_round = 3;
+        cfg.local_epochs = 1;
+        cfg.batch_size = 16;
+        cfg.seed = seed;
+        cfg.chaos = FaultPlan {
+            drop_prob: 0.3,
+            corrupt_prob: 0.2,
+            panic_prob: 0.1,
+            straggle_prob: 0.1,
+            straggle_ms: 1,
+            seed,
+        };
+        cfg.policy = RoundPolicy {
+            min_quorum: 2,
+            max_retries: 2,
+            ..RoundPolicy::default()
+        };
+        let (encoder, losses) =
+            train_pfl_ssl_encoder(&fed, &cfg, SslKind::SimClr, &AugmentConfig::default());
+        prop_assert_eq!(losses.len(), cfg.rounds);
+        prop_assert!(losses.iter().all(|l| l.is_finite()), "loss went non-finite: {:?}", losses);
+        prop_assert!(
+            encoder.to_flat().iter().all(|v| v.is_finite()),
+            "global encoder picked up a non-finite parameter"
+        );
     }
 }
 

@@ -79,6 +79,47 @@ pub enum Event {
         /// Personalized test accuracy of the local probe, in `[0, 1]`.
         accuracy: f32,
     },
+    /// A fault was injected into (or detected in) one client's round.
+    ///
+    /// Emitted twice per fault in the common case: once at injection time
+    /// (`detected: false`) by the chaos layer, and once more (`detected:
+    /// true`) if the resilient executor catches it — a caught panic, a
+    /// noticed dropout, or an update rejected by validation. Silent
+    /// corruptions (sign flips, norm blow-ups under the clip threshold)
+    /// only produce the injection event.
+    Fault {
+        /// Zero-based round index.
+        round: usize,
+        /// Client id the fault applies to.
+        client: usize,
+        /// Zero-based delivery attempt within the round.
+        attempt: usize,
+        /// Fault kind tag: `"dropout"`, `"straggle"`, `"panic"`,
+        /// `"corrupt_nan"`, `"corrupt_inf"`, `"corrupt_norm"`,
+        /// `"corrupt_sign"`.
+        kind: &'static str,
+        /// `false` when the chaos layer injected the fault, `true` when the
+        /// executor/validator observed it.
+        detected: bool,
+    },
+    /// Per-round resilience accounting, emitted by the resilient round
+    /// executor only for rounds where something non-nominal happened
+    /// (faults, retries, rejections, or a missed quorum).
+    RoundResilience {
+        /// Zero-based round index.
+        round: usize,
+        /// Faults the chaos layer injected this round.
+        injected: usize,
+        /// Faults the executor detected (panics caught, dropouts noticed,
+        /// updates rejected by validation).
+        detected: usize,
+        /// Client update attempts that were retried.
+        retries: usize,
+        /// Number of client updates that survived into aggregation.
+        quorum: usize,
+        /// Whether the round was skipped because `quorum < min_quorum`.
+        skipped: bool,
+    },
 }
 
 /// Formats a float as JSON, mapping non-finite values to `null`.
@@ -207,6 +248,36 @@ impl Event {
                 json_num(f64::from(*accuracy), &mut s);
                 s.push('}');
             }
+            Event::Fault {
+                round,
+                client,
+                attempt,
+                kind,
+                detected,
+            } => {
+                // `kind` comes from a fixed set of static tags, so it needs
+                // no JSON escaping.
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"fault\",\"round\":{round},\"client\":{client},\
+                     \"attempt\":{attempt},\"kind\":\"{kind}\",\"detected\":{detected}}}"
+                );
+            }
+            Event::RoundResilience {
+                round,
+                injected,
+                detected,
+                retries,
+                quorum,
+                skipped,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"round_resilience\",\"round\":{round},\
+                     \"injected\":{injected},\"detected\":{detected},\
+                     \"retries\":{retries},\"quorum\":{quorum},\"skipped\":{skipped}}}"
+                );
+            }
         }
         s
     }
@@ -220,7 +291,9 @@ impl Event {
             Event::RoundStart { round, .. }
             | Event::ClientUpdate { round, .. }
             | Event::Aggregate { round, .. }
-            | Event::RoundEnd { round, .. } => Some(*round),
+            | Event::RoundEnd { round, .. }
+            | Event::Fault { round, .. }
+            | Event::RoundResilience { round, .. } => Some(*round),
             Event::Personalize { .. } => None,
         }
     }
@@ -291,6 +364,43 @@ mod tests {
             e.to_json(),
             "{\"type\":\"personalize\",\"client\":0,\"accuracy\":null}"
         );
+    }
+
+    #[test]
+    fn fault_event_encodes_kind_and_detection() {
+        let e = Event::Fault {
+            round: 2,
+            client: 5,
+            attempt: 1,
+            kind: "corrupt_nan",
+            detected: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"fault\",\"round\":2,\"client\":5,\"attempt\":1,\
+             \"kind\":\"corrupt_nan\",\"detected\":true}"
+        );
+        assert_eq!(e.round(), Some(2));
+    }
+
+    #[test]
+    fn round_resilience_encodes_counters() {
+        let e = Event::RoundResilience {
+            round: 7,
+            injected: 3,
+            detected: 2,
+            retries: 1,
+            quorum: 4,
+            skipped: false,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"type\":\"round_resilience\""));
+        assert!(json.contains("\"injected\":3"));
+        assert!(json.contains("\"detected\":2"));
+        assert!(json.contains("\"retries\":1"));
+        assert!(json.contains("\"quorum\":4"));
+        assert!(json.contains("\"skipped\":false"));
+        assert_eq!(e.round(), Some(7));
     }
 
     #[test]

@@ -87,6 +87,27 @@ struct HubState {
     current: Option<RoundInProgress>,
     rounds: Vec<RoundSummary>,
     accuracies: Vec<f32>,
+    resilience: ResilienceSummary,
+}
+
+/// Run-level totals of the chaos/resilience event stream.
+///
+/// All zeros for a run with no fault injection and no failures — the
+/// resilient executor only emits [`Event::Fault`] / [`Event::RoundResilience`]
+/// when something non-nominal happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSummary {
+    /// Faults the chaos layer injected across all rounds.
+    pub faults_injected: usize,
+    /// Faults the executor detected (caught panics, noticed dropouts,
+    /// validation rejections).
+    pub faults_detected: usize,
+    /// Client update attempts that were retried.
+    pub retries: usize,
+    /// Rounds skipped because the surviving quorum was below `min_quorum`.
+    pub rounds_skipped: usize,
+    /// Smallest quorum that was actually aggregated, if any round reported.
+    pub min_quorum_seen: Option<usize>,
 }
 
 /// A thread-safe reducer over the telemetry stream.
@@ -150,6 +171,11 @@ impl MetricsHub {
             std: var.sqrt(),
             worst_10pct: worst,
         })
+    }
+
+    /// Run-level chaos/resilience totals (all zeros for a nominal run).
+    pub fn resilience_summary(&self) -> ResilienceSummary {
+        self.state.lock().resilience
     }
 
     /// Total planned and observed communication bytes across all completed
@@ -228,6 +254,29 @@ impl Recorder for MetricsHub {
             Event::Personalize { accuracy, .. } => {
                 state.accuracies.push(accuracy);
             }
+            Event::Fault { detected, .. } => {
+                state.resilience.faults_injected += 1;
+                if detected {
+                    state.resilience.faults_detected += 1;
+                }
+            }
+            Event::RoundResilience {
+                retries,
+                quorum,
+                skipped,
+                ..
+            } => {
+                state.resilience.retries += retries;
+                if skipped {
+                    state.resilience.rounds_skipped += 1;
+                } else {
+                    let best = state
+                        .resilience
+                        .min_quorum_seen
+                        .map_or(quorum, |q| q.min(quorum));
+                    state.resilience.min_quorum_seen = Some(best);
+                }
+            }
         }
     }
 }
@@ -237,6 +286,27 @@ mod tests {
     use super::*;
     use crate::event::ClientLosses;
     use std::time::Duration;
+
+    #[test]
+    fn folds_resilience_counters() {
+        let hub = MetricsHub::new();
+        assert_eq!(hub.resilience_summary(), ResilienceSummary::default());
+        hub.fault(0, 3, 0, "dropout", false);
+        hub.fault(0, 3, 0, "dropout", true);
+        hub.fault(1, 2, 1, "corrupt_nan", false);
+        hub.round_resilience(0, 1, 1, 1, 4, false);
+        hub.round_resilience(1, 1, 0, 0, 2, false);
+        hub.round_resilience(2, 0, 0, 0, 0, true);
+        let s = hub.resilience_summary();
+        assert_eq!(s.faults_injected, 3, "every fault event counts as injected");
+        assert_eq!(
+            s.faults_detected, 1,
+            "only flagged faults count as detected"
+        );
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.rounds_skipped, 1);
+        assert_eq!(s.min_quorum_seen, Some(2));
+    }
 
     #[test]
     fn folds_rounds_and_fairness() {

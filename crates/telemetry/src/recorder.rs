@@ -92,6 +92,48 @@ pub trait Recorder: Send + Sync {
         self.record(Event::Personalize { client, accuracy });
     }
 
+    /// A fault was injected into (`detected: false`) or observed in
+    /// (`detected: true`) one client's round. See [`Event::Fault`] for the
+    /// `kind` vocabulary.
+    fn fault(
+        &self,
+        round: usize,
+        client: usize,
+        attempt: usize,
+        kind: &'static str,
+        detected: bool,
+    ) {
+        self.record(Event::Fault {
+            round,
+            client,
+            attempt,
+            kind,
+            detected,
+        });
+    }
+
+    /// Per-round resilience accounting from the resilient round executor.
+    /// Only emitted for rounds where faults, retries, rejections or a
+    /// missed quorum occurred.
+    fn round_resilience(
+        &self,
+        round: usize,
+        injected: usize,
+        detected: usize,
+        retries: usize,
+        quorum: usize,
+        skipped: bool,
+    ) {
+        self.record(Event::RoundResilience {
+            round,
+            injected,
+            detected,
+            retries,
+            quorum,
+            skipped,
+        });
+    }
+
     /// Pushes buffered events to their destination. A no-op for most
     /// recorders; file-backed sinks override it. Bench binaries call this
     /// explicitly at end-of-run so a hard exit can't truncate the output,

@@ -167,7 +167,8 @@ impl Sgd {
     }
 
     /// Applies one update step reading gradients directly off a
-    /// differentiated [`Graph`], with in-place parameter updates.
+    /// differentiated [`Graph`](crate::Graph), with in-place parameter
+    /// updates.
     ///
     /// Equivalent to `step(module, &gradients(graph, binding))` but without
     /// materializing the gradient vector: parameters whose leaves received
