@@ -1,0 +1,7 @@
+//! Fixture: a lossy cast in an aggregation file (the `lossy-cast` rule only
+//! watches loss/aggregation code). Scanned by the CLI test, never compiled.
+
+pub fn mean(values: &[f32]) -> f32 {
+    let n = values.len() as f32;
+    values.iter().sum::<f32>() / n
+}

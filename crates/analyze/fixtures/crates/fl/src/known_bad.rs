@@ -1,0 +1,40 @@
+//! Deliberately bad code for the analyzer's integration tests.
+//!
+//! This file is never compiled — it lives outside any `src/` tree that
+//! cargo builds and is only *scanned* by the CLI test, which asserts that
+//! `calibre-analyze check` fails on it and names every rule below.
+
+use std::collections::HashMap;
+
+pub fn wallclock_read() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn index_and_unwrap(xs: &[f32], v: Option<f32>) -> f32 {
+    let head = xs[0];
+    head + v.unwrap()
+}
+
+pub fn named_unwrap(v: Option<f32>) -> f32 {
+    v.expect("always set")
+}
+
+pub fn give_up() {
+    panic!("unreachable");
+}
+
+pub fn float_order(a: f32, b: f32) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn unjustified_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// analyze:allow(not-a-rule) -- an unknown rule makes the annotation itself
+// a violation, so typos cannot silently disable a check.
+pub fn annotated() {}
+
+pub fn container() -> HashMap<usize, f32> {
+    HashMap::new()
+}

@@ -1,0 +1,336 @@
+//! The committed, ratcheting baseline.
+//!
+//! `results/analyze_baseline.json` records, per workspace-relative file,
+//! how many violations of each rule are *tolerated* — the debt inherited
+//! when the analyzer landed — plus each crate's unsafe-code policy. The
+//! contract is a one-way ratchet:
+//!
+//! * `check` fails when any (file, rule) count **exceeds** its baseline
+//!   entry (a new violation appeared) or a crate's unsafe policy weakens;
+//! * `ratchet` refuses to run while any count exceeds the baseline, and
+//!   otherwise rewrites it to the current (lower or equal) counts, so debt
+//!   can be paid down but never re-borrowed.
+//!
+//! The file is parsed with the workspace's own offline JSON reader and
+//! written with deterministic key order, so diffs stay reviewable.
+
+use crate::engine::{policy_rank, ScanResult, Violation};
+use calibre_telemetry::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Parsed baseline contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Tolerated violation counts: file → rule → count.
+    pub files: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Per-crate unsafe-code policy (`forbid` / `deny` / `none`).
+    pub unsafe_policy: BTreeMap<String, String>,
+}
+
+impl Baseline {
+    /// Builds the baseline that exactly mirrors a scan.
+    pub fn from_scan(scan: &ScanResult) -> Baseline {
+        Baseline {
+            files: scan.counts(),
+            unsafe_policy: scan.unsafe_policy.clone(),
+        }
+    }
+
+    /// Tolerated count for one (file, rule) pair (0 when absent).
+    pub fn count(&self, file: &str, rule: &str) -> u64 {
+        self.files
+            .get(file)
+            .and_then(|rules| rules.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not JSON or not the
+    /// expected schema.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let root = JsonValue::parse(text)?;
+        let mut out = Baseline::default();
+        if let Some(JsonValue::Object(files)) = root.get("files") {
+            for (file, rules) in files {
+                let JsonValue::Object(rules) = rules else {
+                    return Err(format!("files.{file}: expected an object"));
+                };
+                let mut counts = BTreeMap::new();
+                for (rule, count) in rules {
+                    let n = count
+                        .as_i64()
+                        .ok_or_else(|| format!("files.{file}.{rule}: expected a count"))?;
+                    counts.insert(rule.clone(), n.max(0) as u64);
+                }
+                out.files.insert(file.clone(), counts);
+            }
+        }
+        if let Some(JsonValue::Object(policy)) = root.get("unsafe_policy") {
+            for (crate_dir, level) in policy {
+                let level = level
+                    .as_str()
+                    .ok_or_else(|| format!("unsafe_policy.{crate_dir}: expected a string"))?;
+                out.unsafe_policy
+                    .insert(crate_dir.clone(), level.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serializes with stable key order and 2-space indentation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"unsafe_policy\": {");
+        for (i, (crate_dir, level)) in self.unsafe_policy.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json_string(crate_dir),
+                json_string(level)
+            ));
+        }
+        out.push_str("\n  },\n  \"files\": {");
+        for (i, (file, rules)) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {{", json_string(file)));
+            for (j, (rule, count)) in rules.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n      {}: {count}", json_string(rule)));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One (file, rule) pair whose count moved against the ratchet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountDelta {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Tolerated count from the baseline.
+    pub baseline: u64,
+    /// Count in the current scan.
+    pub current: u64,
+}
+
+/// Outcome of comparing a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// (file, rule) pairs that grew — these fail `check`.
+    pub regressions: Vec<CountDelta>,
+    /// (file, rule) pairs that shrank — `ratchet` candidates.
+    pub improvements: Vec<CountDelta>,
+    /// Crates whose unsafe policy is weaker than the baseline records
+    /// (crate, baseline policy, current policy) — these fail `check`.
+    pub policy_regressions: Vec<(String, String, String)>,
+    /// Violations belonging to regressed (file, rule) pairs, for display.
+    pub offending: Vec<Violation>,
+}
+
+impl Comparison {
+    /// Whether the scan honours the ratchet.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.policy_regressions.is_empty()
+    }
+}
+
+/// Compares a scan against the baseline.
+///
+/// A file absent from the baseline tolerates nothing; a crate absent from
+/// the baseline's policy map must enter at `forbid` (new crates start
+/// clean).
+pub fn compare(baseline: &Baseline, scan: &ScanResult) -> Comparison {
+    let mut cmp = Comparison::default();
+    let current = scan.counts();
+
+    for (file, rules) in &current {
+        for (rule, &count) in rules {
+            let tolerated = baseline.count(file, rule);
+            if count > tolerated {
+                cmp.regressions.push(CountDelta {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    baseline: tolerated,
+                    current: count,
+                });
+            } else if count < tolerated {
+                cmp.improvements.push(CountDelta {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    baseline: tolerated,
+                    current: count,
+                });
+            }
+        }
+    }
+    // Entries that vanished entirely (file deleted or cleaned) are
+    // improvements too: the ratchet should shed them.
+    for (file, rules) in &baseline.files {
+        for (rule, &tolerated) in rules {
+            let still = current
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if still == 0 && tolerated > 0 {
+                cmp.improvements.push(CountDelta {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    baseline: tolerated,
+                    current: 0,
+                });
+            }
+        }
+    }
+
+    for (crate_dir, policy) in &scan.unsafe_policy {
+        let required = baseline
+            .unsafe_policy
+            .get(crate_dir)
+            .map(String::as_str)
+            .unwrap_or("forbid");
+        if policy_rank(policy) < policy_rank(required) {
+            cmp.policy_regressions
+                .push((crate_dir.clone(), required.to_string(), policy.clone()));
+        }
+    }
+
+    for v in &scan.violations {
+        if cmp
+            .regressions
+            .iter()
+            .any(|d| d.file == v.file && d.rule == v.rule)
+        {
+            cmp.offending.push(v.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scan_source;
+
+    fn scan_of(files: &[(&str, &str)]) -> ScanResult {
+        let mut scan = ScanResult::default();
+        for (path, src) in files {
+            scan.violations.extend(scan_source(path, src));
+            scan.files_scanned += 1;
+        }
+        scan
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let mut base = Baseline::default();
+        base.files.insert(
+            "crates/fl/src/x.rs".into(),
+            [("no-unwrap".to_string(), 2u64)].into_iter().collect(),
+        );
+        base.unsafe_policy.insert("fl".into(), "forbid".into());
+        let parsed = Baseline::parse(&base.to_json()).expect("own output parses");
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn empty_baseline_serializes_and_parses() {
+        let base = Baseline::default();
+        assert_eq!(Baseline::parse(&base.to_json()).ok(), Some(base));
+    }
+
+    #[test]
+    fn new_violation_is_a_regression() {
+        let scan = scan_of(&[("crates/fl/src/x.rs", "fn f() { v.unwrap(); }")]);
+        let cmp = compare(&Baseline::default(), &scan);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].rule, "no-unwrap");
+        assert_eq!(cmp.offending.len(), 1);
+    }
+
+    #[test]
+    fn tolerated_violation_passes_and_cleanup_improves() {
+        let scan = scan_of(&[("crates/fl/src/x.rs", "fn f() { v.unwrap(); }")]);
+        let base = Baseline::from_scan(&scan);
+        assert!(compare(&base, &scan).ok());
+
+        let clean = scan_of(&[("crates/fl/src/x.rs", "fn f() {}")]);
+        let cmp = compare(&base, &clean);
+        assert!(cmp.ok());
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.improvements[0].current, 0);
+    }
+
+    #[test]
+    fn count_increase_within_a_known_file_fails() {
+        let one = scan_of(&[("crates/fl/src/x.rs", "fn f() { v.unwrap(); }")]);
+        let base = Baseline::from_scan(&one);
+        let two = scan_of(&[(
+            "crates/fl/src/x.rs",
+            "fn f() { v.unwrap(); }\nfn g() { w.unwrap(); }",
+        )]);
+        let cmp = compare(&base, &two);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].baseline, 1);
+        assert_eq!(cmp.regressions[0].current, 2);
+    }
+
+    #[test]
+    fn policy_weakening_fails_and_new_crates_must_forbid() {
+        let mut scan = ScanResult::default();
+        scan.unsafe_policy.insert("fl".into(), "deny".into());
+        let mut base = Baseline::default();
+        base.unsafe_policy.insert("fl".into(), "forbid".into());
+        let cmp = compare(&base, &scan);
+        assert_eq!(cmp.policy_regressions.len(), 1);
+
+        // A crate unknown to the baseline defaults to requiring forbid.
+        let mut scan = ScanResult::default();
+        scan.unsafe_policy.insert("newcrate".into(), "none".into());
+        let cmp = compare(&Baseline::default(), &scan);
+        assert_eq!(cmp.policy_regressions.len(), 1);
+
+        let mut scan = ScanResult::default();
+        scan.unsafe_policy
+            .insert("newcrate".into(), "forbid".into());
+        assert!(compare(&Baseline::default(), &scan).ok());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,580 @@
+//! Per-file analysis and workspace walking.
+//!
+//! The engine glues the lexer and the rule matchers together and resolves
+//! everything that needs context beyond a token pattern:
+//!
+//! * `#[cfg(test)]` / `#[test]` regions (and the blocks they attach to)
+//!   are exempt — the rules guard *library* behaviour, and tests assert
+//!   panics on purpose;
+//! * `// analyze:allow(rule-name) -- reason` annotations suppress hits on
+//!   their own line and the line below; a malformed annotation is itself
+//!   a violation, so typos cannot silently disable a rule;
+//! * `unsafe` candidates are cleared by a `SAFETY:` comment within the
+//!   three lines above (or on the same line);
+//! * each crate's `src/lib.rs` is scanned for its unsafe-code policy
+//!   (`forbid(unsafe_code)` > `deny(unsafe_code)` > none), which the
+//!   baseline ratchets alongside the violation counts.
+
+use crate::lexer::{lex, Comment, Token};
+use crate::rules::{match_tokens, rule_by_name, Candidate, FileCtx};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One confirmed violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name from [`crate::rules::RULES`].
+    pub rule: &'static str,
+    /// Trimmed source line, truncated for display.
+    pub excerpt: String,
+}
+
+/// Result of scanning a workspace tree.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Violations ordered by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Per-crate unsafe-code policy (`forbid` / `deny` / `none`), keyed by
+    /// the `crates/<dir>` name.
+    pub unsafe_policy: BTreeMap<String, String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanResult {
+    /// Per-(file, rule) violation counts — the baseline currency.
+    pub fn counts(&self) -> BTreeMap<String, BTreeMap<String, u64>> {
+        let mut out: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for v in &self.violations {
+            *out.entry(v.file.clone())
+                .or_default()
+                .entry(v.rule.to_string())
+                .or_default() += 1;
+        }
+        out
+    }
+
+    /// Total hits per rule, in [`crate::rules::RULES`] order.
+    pub fn rule_totals(&self) -> Vec<(&'static str, u64)> {
+        crate::rules::RULES
+            .iter()
+            .map(|r| {
+                let n = self.violations.iter().filter(|v| v.rule == r.name).count() as u64;
+                (r.name, n)
+            })
+            .collect()
+    }
+}
+
+/// Scans one file's source text. `rel_path` chooses the rule scope; paths
+/// outside `crates/*/src/` yield no violations.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let Some(ctx) = FileCtx::from_rel_path(rel_path) else {
+        return Vec::new();
+    };
+    let lexed = lex(source);
+    let exempt = test_regions(&lexed.tokens);
+    let allows = collect_allows(&lexed.comments);
+    let mut out: Vec<Violation> = Vec::new();
+
+    let mut candidates: Vec<Candidate> = match_tokens(&ctx, &lexed.tokens);
+    candidates.extend(allows.malformed.iter().map(|&line| Candidate {
+        rule: "malformed-allow",
+        line,
+    }));
+
+    let mut seen: Vec<(u32, &'static str)> = Vec::new();
+    for c in candidates {
+        // unsafe-no-safety applies inside test regions too; everything else
+        // is a library-behaviour rule.
+        let in_tests = exempt.iter().any(|r| r.contains(c.line));
+        if in_tests && c.rule != "unsafe-no-safety" {
+            continue;
+        }
+        if c.rule == "unsafe-no-safety" && has_safety_comment(&lexed.comments, c.line) {
+            continue;
+        }
+        if c.rule != "malformed-allow" && allows.suppresses(c.rule, c.line) {
+            continue;
+        }
+        if seen.contains(&(c.line, c.rule)) {
+            continue; // one report per (line, rule)
+        }
+        seen.push((c.line, c.rule));
+        out.push(Violation {
+            file: ctx.rel_path.clone(),
+            line: c.line,
+            rule: c.rule,
+            excerpt: excerpt_of(source, c.line),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root` plus each crate's
+/// unsafe-code policy. Deterministic: directory entries are visited in
+/// sorted order.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanResult> {
+    let mut result = ScanResult::default();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_entries(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = file_name_of(&crate_dir);
+        let mut files: Vec<PathBuf> = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            let rel = rel_path_from(root, &file);
+            result.violations.extend(scan_source(&rel, &source));
+            result.files_scanned += 1;
+            if rel == format!("crates/{crate_name}/src/lib.rs") {
+                result
+                    .unsafe_policy
+                    .insert(crate_name.clone(), unsafe_policy_of(&source));
+            }
+        }
+        // A crate without a lib.rs (pure binary) still gets a policy row.
+        result
+            .unsafe_policy
+            .entry(crate_name)
+            .or_insert_with(|| "none".to_string());
+    }
+    result
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(result)
+}
+
+/// Rank of an unsafe-code policy for ratchet comparisons.
+pub fn policy_rank(policy: &str) -> u8 {
+    match policy {
+        "forbid" => 2,
+        "deny" => 1,
+        _ => 0,
+    }
+}
+
+/// Extracts the crate-level unsafe policy from `lib.rs` source:
+/// `#![forbid(unsafe_code)]` → `forbid`, `#![deny(unsafe_code)]` → `deny`,
+/// otherwise `none`.
+fn unsafe_policy_of(source: &str) -> String {
+    let tokens = lex(source).tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("unsafe_code") {
+            let level = tokens
+                .get(i.saturating_sub(2))
+                .map(|t| t.text.as_str())
+                .unwrap_or("");
+            match level {
+                "forbid" => return "forbid".to_string(),
+                "deny" => return "deny".to_string(),
+                _ => {}
+            }
+        }
+    }
+    "none".to_string()
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn rel_path_from(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn sorted_entries(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// An inclusive line range.
+#[derive(Debug, Clone, Copy)]
+struct LineRange {
+    start: u32,
+    end: u32,
+}
+
+impl LineRange {
+    fn contains(&self, line: u32) -> bool {
+        line >= self.start && line <= self.end
+    }
+}
+
+/// Finds the line ranges of `#[cfg(test)]` / `#[test]` items: from the
+/// attribute to the closing brace of the block that follows. An attribute
+/// followed by `;` before any `{` (e.g. `mod tests;`) exempts nothing.
+fn test_regions(tokens: &[Token]) -> Vec<LineRange> {
+    let mut regions: Vec<LineRange> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr_start = tokens.get(i).is_some_and(|t| t.is_punct('#'))
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('[') || t.is_punct('!'));
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens.get(i).map(|t| t.line).unwrap_or(1);
+        let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        let Some(close) = matching_bracket(tokens, open) else {
+            break;
+        };
+        // `test` anywhere in the attribute covers `#[test]`, `#[cfg(test)]`
+        // and `#[cfg(all(test, …))]`; a `not` (as in `#[cfg(not(test))]`)
+        // means the block is production code and must stay scanned.
+        let attr_tokens = tokens.get(open..close).unwrap_or(&[]);
+        let is_test_attr = attr_tokens.iter().any(|t| t.is_ident("test"))
+            && !attr_tokens.iter().any(|t| t.is_ident("not"));
+        i = close + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Walk to the block this attribute decorates, skipping further
+        // attributes; give up at `;` (no block to exempt).
+        while let Some(t) = tokens.get(i) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('#') {
+                let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                match matching_bracket(tokens, open) {
+                    Some(close) => {
+                        i = close + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if t.is_punct('{') {
+                let end = matching_brace(tokens, i);
+                let end_line = end
+                    .and_then(|j| tokens.get(j))
+                    .map(|t| t.line)
+                    .unwrap_or(u32::MAX);
+                regions.push(LineRange {
+                    start: attr_line,
+                    end: end_line,
+                });
+                i = end.map(|j| j + 1).unwrap_or(tokens.len());
+                break;
+            }
+            i += 1;
+        }
+    }
+    regions
+}
+
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Parsed `analyze:allow` annotations of one file.
+#[derive(Debug, Default)]
+struct Allows {
+    /// (rule, line the annotation may suppress on).
+    entries: Vec<(String, u32)>,
+    /// Lines with annotations that failed to parse.
+    malformed: Vec<u32>,
+}
+
+impl Allows {
+    fn suppresses(&self, rule: &str, line: u32) -> bool {
+        self.entries.iter().any(|(r, l)| r == rule && *l == line)
+    }
+}
+
+const ALLOW_MARKER: &str = "analyze:allow";
+
+/// Parses allow annotations out of the comment stream. The grammar is the
+/// marker followed by `(rule[, rule…]) -- reason`; the comment must *start*
+/// with the marker (after doc-comment slashes), so prose that merely
+/// mentions the grammar is not an annotation. Each annotation suppresses
+/// its own line and the line after its comment ends, so both trailing and
+/// preceding-line placement work.
+fn collect_allows(comments: &[Comment]) -> Allows {
+    let mut out = Allows::default();
+    for (i, c) in comments.iter().enumerate() {
+        let trimmed = c.text.trim_start_matches(['/', '!', '*', ' ']);
+        let Some(rest) = trimmed.strip_prefix(ALLOW_MARKER) else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Some(rules) => {
+                // A standalone annotation may continue over a run of further
+                // standalone `//` lines (the reason rarely fits on one); the
+                // suppressed code line is the first line after the run.
+                let mut last = c.end_line;
+                if !c.trailing {
+                    for next in comments.iter().skip(i + 1) {
+                        if next.trailing || next.line != last + 1 {
+                            break;
+                        }
+                        last = next.end_line;
+                    }
+                }
+                for rule in rules {
+                    out.entries.push((rule.clone(), c.line));
+                    out.entries.push((rule, last + 1));
+                }
+            }
+            None => out.malformed.push(c.line),
+        }
+    }
+    out
+}
+
+/// Parses `(rule[, rule…]) -- reason`; `None` when malformed, the rule
+/// list is empty, a rule is unknown, or the reason is missing/empty.
+fn parse_allow(rest: &str) -> Option<Vec<String>> {
+    let rest = rest.trim_start();
+    let inner_end = rest.strip_prefix('(')?.find(')')?;
+    let inner = rest.get(1..1 + inner_end)?;
+    let after = rest.get(1 + inner_end + 1..)?.trim_start();
+    let reason = after.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    let mut rules = Vec::new();
+    for name in inner.split(',') {
+        let name = name.trim();
+        if name.is_empty() || rule_by_name(name).is_none() {
+            return None;
+        }
+        rules.push(name.to_string());
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    Some(rules)
+}
+
+/// Whether a comment containing `SAFETY:` ends within the 3 lines above
+/// `line` (or on `line` itself).
+fn has_safety_comment(comments: &[Comment], line: u32) -> bool {
+    comments
+        .iter()
+        .any(|c| c.end_line <= line && c.end_line + 3 >= line && c.text.contains("SAFETY:"))
+}
+
+fn excerpt_of(source: &str, line: u32) -> String {
+    let text = source
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim();
+    let mut out: String = text.chars().take(120).collect();
+    if out.len() < text.len() {
+        out.push('…');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        scan_source("crates/fl/src/x.rs", src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "pub fn lib() -> u32 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { lib_result().unwrap(); panic!(\"x\"); }\n\
+                   }\n";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_not_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { v.unwrap(); } }\n\
+                   pub fn lib() { w.unwrap(); }\n";
+        let got = scan_source("crates/fl/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn test_attribute_on_a_single_fn_is_exempt() {
+        let src = "#[test]\nfn t() { v.unwrap(); }\nfn lib() { w.unwrap(); }\n";
+        let got = scan_source("crates/fl/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_semicolon_exempts_nothing() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_same_line_and_next() {
+        let same = "fn f() { v.unwrap(); } // analyze:allow(no-unwrap) -- provably non-empty\n";
+        assert_eq!(rules_hit(same), Vec::<&str>::new());
+        let above = "// analyze:allow(no-unwrap) -- provably non-empty\nfn f() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(above), Vec::<&str>::new());
+        let wrong_rule = "// analyze:allow(no-expect) -- wrong rule\nfn f() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(wrong_rule), vec!["no-unwrap"]);
+        let too_far = "// analyze:allow(no-unwrap) -- too far\n\nfn f() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(too_far), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn allow_annotation_continues_over_comment_runs() {
+        // The reason may wrap onto further `//` lines; the first code line
+        // after the run is the one suppressed.
+        let src = "// analyze:allow(no-unwrap) -- the reason is long and\n\
+                   // wraps onto a second comment line before the code.\n\
+                   fn f() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+        // A trailing annotation does not leak onto later lines via a
+        // following unrelated comment.
+        let trailing = "fn f() {} // analyze:allow(no-unwrap) -- here\n\
+                        // unrelated comment\n\
+                        fn g() { v.unwrap(); }\n";
+        assert_eq!(rules_hit(trailing), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn allow_annotation_can_name_several_rules() {
+        let src = "// analyze:allow(no-unwrap, slice-index) -- bounds checked above\n\
+                   fn f() { xs[0].unwrap(); }\n";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn malformed_allow_is_itself_a_violation() {
+        for bad in [
+            "fn f() {} // analyze:allow(no-unwrap)\n", // missing reason
+            "fn f() {} // analyze:allow(not-a-rule) -- x\n", // unknown rule
+            "fn f() {} // analyze:allow no-unwrap -- x\n", // missing parens
+            "fn f() {} // analyze:allow() -- x\n",     // empty list
+        ] {
+            assert_eq!(rules_hit(bad), vec!["malformed-allow"], "case: {bad}");
+        }
+    }
+
+    #[test]
+    fn safety_comment_clears_unsafe() {
+        let with = "// SAFETY: the pointer is valid for reads\nunsafe { f() }\n";
+        assert_eq!(rules_hit(with), Vec::<&str>::new());
+        let without = "unsafe { f() }\n";
+        assert_eq!(rules_hit(without), vec!["unsafe-no-safety"]);
+        let too_far = "// SAFETY: stale\n\n\n\n\nunsafe { f() }\n";
+        assert_eq!(rules_hit(too_far), vec!["unsafe-no-safety"]);
+    }
+
+    #[test]
+    fn one_report_per_line_and_rule() {
+        let src =
+            "use std::collections::HashMap;\nfn f(a: HashMap<u32, u32>, b: HashMap<u32, u32>) {}\n";
+        let got = scan_source("crates/fl/src/x.rs", src);
+        assert_eq!(got.len(), 2, "one per line, not one per token: {got:?}");
+    }
+
+    #[test]
+    fn violations_carry_excerpts_and_sort_order() {
+        let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }\n";
+        let got = scan_source("crates/fl/src/x.rs", src);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].line < got[1].line);
+        assert!(got[0].excerpt.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn unsafe_policy_extraction() {
+        assert_eq!(
+            unsafe_policy_of("#![forbid(unsafe_code)]\nfn f() {}"),
+            "forbid"
+        );
+        assert_eq!(unsafe_policy_of("#![deny(unsafe_code)]"), "deny");
+        assert_eq!(unsafe_policy_of("#![allow(unsafe_code)]"), "none");
+        assert_eq!(unsafe_policy_of("fn f() {}"), "none");
+    }
+
+    #[test]
+    fn doctest_examples_do_not_fire() {
+        let src = "/// ```\n/// x.unwrap();\n/// panic!(\"doc\");\n/// ```\npub fn f() {}\n";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn non_workspace_paths_scan_empty() {
+        assert!(scan_source("vendor/rand/src/lib.rs", "v.unwrap();").is_empty());
+        assert!(scan_source("tests/integration.rs", "v.unwrap();").is_empty());
+    }
+}

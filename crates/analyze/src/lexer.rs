@@ -1,0 +1,447 @@
+//! A minimal Rust lexer — just enough structure for line-oriented rules.
+//!
+//! The analyzer does not need a full grammar: every rule matches short
+//! token patterns (`.` `unwrap` `(` `)`, `unsafe`, `HashMap`, …) and the
+//! only hard part is *not* matching inside places that merely look like
+//! code — string literals, char literals, doc examples, `//` and nested
+//! `/* */` comments, raw strings with arbitrary `#` fences. The lexer
+//! resolves exactly those ambiguities and hands the rule engine two flat,
+//! line-tagged streams: significant tokens and comments.
+//!
+//! Doctest code inside `///` comments is comment text here, which is how
+//! the engine gets the "doctests are exempt" behaviour for free.
+
+/// What a significant token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Integer or float literal (suffixes included).
+    Number,
+    /// String, raw string, byte string, or char literal.
+    Literal,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A single punctuation byte: `.`, `(`, `[`, `#`, `!`, …
+    Punct,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, a single byte).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation byte `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+///
+/// `text` excludes the delimiters; a block comment spanning several lines
+/// is a single entry.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without `//`, `/*`, `*/` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for line comments).
+    pub end_line: u32,
+    /// Whether a significant token precedes the comment on its start line
+    /// (i.e. it trails code instead of standing alone).
+    pub trailing: bool,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// literals or comments simply run to end-of-file, which is the right
+/// behaviour for a linter that must not die on a file rustc would reject.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        last_token_line: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    last_token_line: u32,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push_token(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_token_line = self.line;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push_token(TokKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump_n(2);
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text =
+            String::from_utf8_lossy(self.bytes.get(start..self.pos).unwrap_or(&[])).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.last_token_line == line;
+        self.bump_n(2);
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                end = self.pos;
+                self.bump_n(2);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        if depth > 0 {
+            end = self.pos; // unterminated: comment runs to EOF
+        }
+        let text = String::from_utf8_lossy(self.bytes.get(start..end).unwrap_or(&[])).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+            trailing,
+        });
+    }
+
+    /// Plain `"..."` strings with escapes.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push_token(TokKind::Literal, String::from("\"…\""), line);
+    }
+
+    /// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // A lifetime is `'` + ident whose next char is NOT a closing quote;
+        // everything else that starts with `'` is a char literal.
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut end = 2;
+            while self.peek(end).is_some_and(is_ident_continue) {
+                end += 1;
+            }
+            if self.peek(end) != Some(b'\'') {
+                self.bump_n(end);
+                self.push_token(TokKind::Lifetime, String::from("'_"), line);
+                return;
+            }
+        }
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // stray quote, not a literal — stop scanning
+                _ => self.bump(),
+            }
+        }
+        self.push_token(TokKind::Literal, String::from("'…'"), line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and raw identifiers
+    /// (`r#match`). Returns false when the current position is a plain
+    /// identifier starting with `r`/`b`, leaving the state untouched.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let line = self.line;
+        let mut offset = 1; // past the leading r/b
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            offset = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(offset + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(offset + hashes) {
+            // Raw identifier `r#ident` (exactly one hash, then ident char).
+            Some(c) if hashes == 1 && offset == 1 && is_ident_start(c) => {
+                self.bump_n(2);
+                self.ident();
+                true
+            }
+            Some(b'"') if self.peek(0) == Some(b'r') || offset == 2 || hashes == 0 => {
+                // Plain b"…" (offset 1, no hashes) also lands here.
+                if self.peek(0) == Some(b'b') && offset == 1 && hashes > 0 {
+                    return false; // `b#...` is not a literal
+                }
+                self.bump_n(offset + hashes + 1);
+                self.raw_string_tail(hashes, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes until `"` followed by `hashes` `#`s (or EOF).
+    fn raw_string_tail(&mut self, hashes: usize, line: u32) {
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    self.push_token(TokKind::Literal, String::from("r\"…\""), line);
+                    return;
+                }
+            }
+            self.bump();
+        }
+        self.push_token(TokKind::Literal, String::from("r\"…\""), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text =
+            String::from_utf8_lossy(self.bytes.get(start..self.pos).unwrap_or(&[])).into_owned();
+        self.push_token(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` and `1.method()` do not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Number, String::new(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let src = r##"let s = "x.unwrap() // not code"; s.len();"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"len".to_string()));
+        assert!(lex(src).comments.is_empty(), "// inside a string");
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = "let s = r#\"quote \" and .unwrap() stay text\"#; done();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ids = idents("let a = b\"unwrap()\"; let c = br#\"panic!\"#; tail();");
+        assert_eq!(ids, vec!["let", "a", "let", "c", "tail"]);
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_rest_of_the_file() {
+        // A '"' char literal must not open a string.
+        let ids = idents("let q = '\"'; let p = '\\''; rest();");
+        assert!(ids.contains(&"rest".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner.unwrap() */ still comment */ after();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner.unwrap()"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_position() {
+        let src = "let x = 1; // analyze:allow(no-unwrap) -- why\nnext();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        let c = &lexed.comments[0];
+        assert_eq!(c.line, 1);
+        assert!(c.trailing, "comment trails code on its line");
+        assert!(c.text.contains("analyze:allow(no-unwrap)"));
+    }
+
+    #[test]
+    fn standalone_comments_are_not_trailing() {
+        let lexed = lex("// SAFETY: fine\nunsafe { x() }");
+        assert!(!lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn doc_comments_with_code_examples_are_comments() {
+        let src = "/// ```\n/// v.unwrap();\n/// ```\nfn f() {}";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(lexed.comments.len(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let ids = idents("let r#type = 1; use r#match;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_methods() {
+        let toks = lex("for i in 0..10 { let x = 1.5f32; 2.pow(3); }").tokens;
+        // `0..10` must produce two numbers and two dots, not `0.` `.10`.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3);
+        assert!(toks.iter().any(|t| t.is_ident("pow")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nfinal_ident();";
+        let lexed = lex(src);
+        let last = lexed.tokens.iter().find(|t| t.is_ident("final_ident"));
+        assert_eq!(last.map(|t| t.line), Some(5));
+        assert_eq!(lexed.comments[0].line, 3);
+        assert_eq!(lexed.comments[0].end_line, 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! `calibre-analyze` — the CI gate for the workspace's static invariants.
+//!
+//! ```text
+//! calibre-analyze check   [--root DIR] [--baseline FILE] [--json FILE]
+//! calibre-analyze ratchet [--root DIR] [--baseline FILE]
+//! calibre-analyze report  [--root DIR] [--baseline FILE] [--json FILE]
+//! ```
+//!
+//! * `check` — scan and compare against the committed baseline; exit 1 on
+//!   any new violation or unsafe-policy weakening.
+//! * `ratchet` — rewrite the baseline to the current (lower) counts;
+//!   refuses while the scan is above the baseline. Creates the baseline
+//!   when the file does not exist yet.
+//! * `report` — print the scan without gating (exit 0).
+
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use calibre_analyze::baseline::{compare, Baseline, Comparison};
+use calibre_analyze::engine::{scan_workspace, ScanResult};
+use calibre_analyze::report::{human_report, json_report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    root: PathBuf,
+    baseline: PathBuf,
+    json: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: calibre-analyze <check|ratchet|report> \
+                     [--root DIR] [--baseline FILE] [--json FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or(USAGE)?;
+    if !matches!(command.as_str(), "check" | "ratchet" | "report") {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = None;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--root" => root = value("--root")?,
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--json" => json = Some(value("--json")?),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("results/analyze_baseline.json"));
+    Ok(Args {
+        command,
+        root,
+        baseline,
+        json,
+    })
+}
+
+/// Loads the baseline; the bool is false when the file does not exist yet
+/// (first run — `ratchet` bootstraps it instead of refusing).
+fn load_baseline(args: &Args) -> Result<(Baseline, bool), String> {
+    match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => Baseline::parse(&text)
+            .map(|b| (b, true))
+            .map_err(|e| format!("{}: {e}", args.baseline.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((Baseline::default(), false)),
+        Err(e) => Err(format!("{}: {e}", args.baseline.display())),
+    }
+}
+
+fn write_json(args: &Args, scan: &ScanResult, cmp: &Comparison) -> Result<(), String> {
+    if let Some(path) = &args.json {
+        std::fs::write(path, json_report(scan, cmp))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("machine report written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let scan =
+        scan_workspace(&args.root).map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+    if scan.files_scanned == 0 {
+        return Err(format!(
+            "no crates/*/src/**/*.rs under {} — wrong --root?",
+            args.root.display()
+        ));
+    }
+    let (baseline, baseline_exists) = load_baseline(&args)?;
+    let cmp = compare(&baseline, &scan);
+
+    match args.command.as_str() {
+        "report" => {
+            print!("{}", human_report(&scan, &cmp));
+            write_json(&args, &scan, &cmp)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            print!("{}", human_report(&scan, &cmp));
+            write_json(&args, &scan, &cmp)?;
+            if cmp.ok() {
+                println!("\ncheck passed: no new violations against the baseline");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "\ncheck FAILED: {} new violation group(s), {} policy regression(s)",
+                    cmp.regressions.len(),
+                    cmp.policy_regressions.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        "ratchet" => {
+            if !baseline_exists {
+                // First run: record the current debt as the starting line.
+                let first = Baseline::from_scan(&scan);
+                if let Some(dir) = args.baseline.parent() {
+                    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                }
+                std::fs::write(&args.baseline, first.to_json())
+                    .map_err(|e| format!("{}: {e}", args.baseline.display()))?;
+                println!(
+                    "baseline bootstrapped at {} ({} violation(s) tolerated)",
+                    args.baseline.display(),
+                    scan.violations.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            if !cmp.ok() {
+                print!("{}", human_report(&scan, &cmp));
+                return Err(
+                    "ratchet refused: the scan exceeds the baseline; fix or annotate the \
+                     new violations first (the ratchet only ever moves down)"
+                        .to_string(),
+                );
+            }
+            let next = Baseline::from_scan(&scan);
+            std::fs::write(&args.baseline, next.to_json())
+                .map_err(|e| format!("{}: {e}", args.baseline.display()))?;
+            println!(
+                "baseline written to {} ({} tolerated entr{}, {} improvement(s) shed)",
+                args.baseline.display(),
+                next.files.values().map(|r| r.len()).sum::<usize>(),
+                if next.files.len() == 1 { "y" } else { "ies" },
+                cmp.improvements.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("calibre-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Human table and machine JSON rendering of a scan.
+
+use crate::baseline::{json_string, Comparison};
+use crate::engine::{ScanResult, Violation};
+use crate::rules::RULES;
+use std::fmt::Write as _;
+
+/// Renders the per-rule totals table plus, when the ratchet is violated,
+/// every offending violation with its file:line and excerpt.
+pub fn human_report(scan: &ScanResult, cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>10} | invariant", "rule", "violations");
+    let _ = writeln!(out, "{:-<18}-{:->10}-+-{:-<48}", "", "", "");
+    for (rule, total) in scan.rule_totals() {
+        let summary = RULES
+            .iter()
+            .find(|r| r.name == rule)
+            .map(|r| r.summary)
+            .unwrap_or("");
+        let _ = writeln!(out, "{rule:<18} {total:>10} | {summary}");
+    }
+    let _ = writeln!(out, "\n{} files scanned", scan.files_scanned);
+
+    let _ = writeln!(out, "\nunsafe policy:");
+    for (crate_dir, policy) in &scan.unsafe_policy {
+        let _ = writeln!(out, "  {crate_dir:<12} {policy}");
+    }
+
+    if !cmp.offending.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nNEW violations (beyond the committed baseline) — fix, or annotate with\n\
+             `// analyze:allow(rule-name) -- reason`:"
+        );
+        for v in &cmp.offending {
+            let fix = RULES
+                .iter()
+                .find(|r| r.name == v.rule)
+                .map(|r| r.fix)
+                .unwrap_or("");
+            let _ = writeln!(out, "  {}:{} [{}] {}", v.file, v.line, v.rule, v.excerpt);
+            let _ = writeln!(out, "      fix: {fix}");
+        }
+        for d in &cmp.regressions {
+            let _ = writeln!(
+                out,
+                "  {} [{}]: {} tolerated, {} found",
+                d.file, d.rule, d.baseline, d.current
+            );
+        }
+    }
+    for (crate_dir, required, current) in &cmp.policy_regressions {
+        let _ = writeln!(
+            out,
+            "\nunsafe policy regression: crate `{crate_dir}` must be `{required}`, found `{current}`"
+        );
+    }
+    if !cmp.improvements.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{} baseline entr{} can ratchet down — run `calibre-analyze ratchet`",
+            cmp.improvements.len(),
+            if cmp.improvements.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+    out
+}
+
+fn violation_json(v: &Violation) -> String {
+    format!(
+        "{{\"file\":{},\"line\":{},\"rule\":{},\"excerpt\":{}}}",
+        json_string(&v.file),
+        v.line,
+        json_string(v.rule),
+        json_string(&v.excerpt)
+    )
+}
+
+/// Machine-readable report: ratchet verdict, per-rule totals, the new
+/// violations, every violation, and the unsafe policy map.
+pub fn json_report(scan: &ScanResult, cmp: &Comparison) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"ok\":{},", cmp.ok());
+    out.push_str("\"totals\":{");
+    for (i, (rule, total)) in scan.rule_totals().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(rule), total);
+    }
+    out.push_str("},\"new\":[");
+    for (i, v) in cmp.offending.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&violation_json(v));
+    }
+    out.push_str("],\"policy_regressions\":[");
+    for (i, (crate_dir, required, current)) in cmp.policy_regressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"crate\":{},\"required\":{},\"current\":{}}}",
+            json_string(crate_dir),
+            json_string(required),
+            json_string(current)
+        );
+    }
+    out.push_str("],\"violations\":[");
+    for (i, v) in scan.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&violation_json(v));
+    }
+    out.push_str("],\"unsafe_policy\":{");
+    for (i, (crate_dir, policy)) in scan.unsafe_policy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(crate_dir), json_string(policy));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{compare, Baseline};
+    use crate::engine::scan_source;
+
+    fn demo() -> (ScanResult, Comparison) {
+        let mut scan = ScanResult::default();
+        scan.violations
+            .extend(scan_source("crates/fl/src/x.rs", "fn f() { v.unwrap(); }"));
+        scan.files_scanned = 1;
+        scan.unsafe_policy.insert("fl".into(), "forbid".into());
+        let cmp = compare(&Baseline::default(), &scan);
+        (scan, cmp)
+    }
+
+    #[test]
+    fn human_report_names_the_rule_and_location() {
+        let (scan, cmp) = demo();
+        let text = human_report(&scan, &cmp);
+        assert!(text.contains("no-unwrap"));
+        assert!(text.contains("crates/fl/src/x.rs:1"));
+        assert!(text.contains("NEW violations"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_carries_the_verdict() {
+        let (scan, cmp) = demo();
+        let text = json_report(&scan, &cmp);
+        let v = calibre_telemetry::json::JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+        let new = v.get("new").and_then(|n| n.as_array()).expect("new array");
+        assert_eq!(new.len(), 1);
+        assert_eq!(
+            new[0].get("rule").and_then(|r| r.as_str()),
+            Some("no-unwrap")
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `calibre-analyze` binary against the seeded
+//! known-bad fixture workspace in `fixtures/`.
+
+use calibre_telemetry::json::JsonValue;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_calibre-analyze"))
+}
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "calibre-analyze-test-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+#[test]
+fn check_fails_on_the_seeded_fixture_and_names_every_rule() {
+    let json_path = temp_path("check.json");
+    let out = bin()
+        .arg("check")
+        .arg("--root")
+        .arg(fixture_root())
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "check must fail on the fixture:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    let _ = std::fs::remove_file(&json_path);
+    let report = JsonValue::parse(&json).expect("report is valid json");
+    assert_eq!(report.get("ok").and_then(JsonValue::as_bool), Some(false));
+
+    // Every rule must appear among the NEW violations (empty baseline), so
+    // a rule that silently stopped firing breaks this test.
+    let new = report
+        .get("new")
+        .and_then(JsonValue::as_array)
+        .expect("new array");
+    let new_rules: Vec<&str> = new
+        .iter()
+        .filter_map(|d| d.get("rule").and_then(JsonValue::as_str))
+        .collect();
+    for rule in [
+        "hash-container",
+        "wallclock",
+        "no-unwrap",
+        "no-expect",
+        "no-panic",
+        "slice-index",
+        "unsafe-no-safety",
+        "float-cmp-unwrap",
+        "lossy-cast",
+        "malformed-allow",
+    ] {
+        assert!(
+            new_rules.contains(&rule),
+            "rule {rule} did not fire on the fixture; fired: {new_rules:?}"
+        );
+    }
+
+    // The fixture fl crate has no lib.rs, so its unsafe policy is `none`
+    // and a crate unknown to the baseline must enter at `forbid`.
+    let policy = report
+        .get("policy_regressions")
+        .and_then(JsonValue::as_array)
+        .expect("policy_regressions array");
+    assert!(!policy.is_empty(), "fixture crate must regress the policy");
+}
+
+#[test]
+fn report_never_gates() {
+    let out = bin()
+        .arg("report")
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "report must exit 0 even on violations"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("files scanned"), "human table:\n{stdout}");
+}
+
+#[test]
+fn ratchet_bootstraps_then_check_passes_then_ratchet_refuses_regrowth() {
+    let baseline = temp_path("baseline.json");
+    let _ = std::fs::remove_file(&baseline);
+
+    // First run: no baseline file — ratchet records the current debt.
+    let out = bin()
+        .args(["ratchet", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "bootstrap ratchet:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(baseline.exists());
+
+    // With the debt recorded, check passes.
+    let out = bin()
+        .args(["check", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "check against the bootstrapped baseline:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Shrink a tolerated count below the scan: the ratchet must refuse to
+    // move the baseline back up.
+    let text = std::fs::read_to_string(&baseline).expect("baseline readable");
+    let shrunk = text.replacen("\"slice-index\": 1", "\"slice-index\": 0", 1);
+    assert_ne!(text, shrunk, "fixture baseline should tolerate slice-index");
+    std::fs::write(&baseline, shrunk).expect("baseline writable");
+
+    let out = bin()
+        .args(["ratchet", "--root"])
+        .arg(fixture_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "ratchet must refuse while above the baseline:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&baseline);
+}

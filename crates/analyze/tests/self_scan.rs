@@ -1,0 +1,77 @@
+//! The committed baseline must exactly mirror a fresh scan of this
+//! workspace: stale entries would let debt silently re-grow up to the old
+//! tolerance, and missing entries would fail CI for unrelated changes.
+
+use calibre_analyze::baseline::{compare, Baseline};
+use calibre_analyze::engine::scan_workspace;
+use std::path::PathBuf;
+
+#[test]
+fn committed_baseline_matches_a_fresh_scan() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = scan_workspace(&root).expect("workspace scans");
+    assert!(scan.files_scanned > 0, "self-scan found no files");
+
+    let path = root.join("results/analyze_baseline.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} — run `cargo run -p calibre-analyze -- ratchet`",
+            path.display()
+        )
+    });
+    let committed = Baseline::parse(&text).expect("committed baseline parses");
+
+    let cmp = compare(&committed, &scan);
+    assert!(
+        cmp.ok(),
+        "scan exceeds the committed baseline; new violations: {:?}",
+        cmp.offending
+    );
+    assert_eq!(
+        committed,
+        Baseline::from_scan(&scan),
+        "baseline is stale — run `cargo run -p calibre-analyze -- ratchet` and commit the result"
+    );
+}
+
+#[test]
+fn workspace_panic_family_debt_is_fully_paid() {
+    // The PR that introduced the analyzer also swept the workspace: the
+    // behavioural rules below must stay at zero (only slice-index and
+    // lossy-cast debt is tolerated). This pins the sweep itself.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = scan_workspace(&root).expect("workspace scans");
+    let totals: std::collections::BTreeMap<&str, u64> = scan.rule_totals().into_iter().collect();
+    for rule in [
+        "hash-container",
+        "wallclock",
+        "no-unwrap",
+        "no-expect",
+        "no-panic",
+        "unsafe-no-safety",
+        "float-cmp-unwrap",
+        "malformed-allow",
+    ] {
+        assert_eq!(
+            totals.get(rule).copied().unwrap_or(0),
+            0,
+            "rule {rule} regressed; violations: {:#?}",
+            scan.violations
+                .iter()
+                .filter(|v| v.rule == rule)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_workspace_crate_forbids_unsafe_code() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = scan_workspace(&root).expect("workspace scans");
+    for (crate_dir, policy) in &scan.unsafe_policy {
+        assert_eq!(
+            policy, "forbid",
+            "crate {crate_dir} must keep #![forbid(unsafe_code)]"
+        );
+    }
+}

@@ -27,6 +27,8 @@
 //! *training* stage to produce an encoder and the *personalization* stage to
 //! score it, at the scale the experiment calls for.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod obs;

@@ -33,6 +33,8 @@
 //! assert!(silhouette_score(&data, &result.assignments) > 0.9);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

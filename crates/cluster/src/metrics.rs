@@ -83,8 +83,8 @@ pub fn purity(assignments: &[usize], labels: &[usize]) -> f32 {
         !assignments.is_empty(),
         "purity of an empty clustering is undefined"
     );
-    let k = assignments.iter().max().unwrap() + 1;
-    let c = labels.iter().max().unwrap() + 1;
+    let k = assignments.iter().max().copied().unwrap_or(0) + 1;
+    let c = labels.iter().max().copied().unwrap_or(0) + 1;
     let mut table = vec![vec![0usize; c]; k];
     for (&a, &l) in assignments.iter().zip(labels) {
         table[a][l] += 1;
@@ -109,8 +109,8 @@ pub fn nmi(assignments: &[usize], labels: &[usize]) -> f32 {
         "NMI of an empty clustering is undefined"
     );
     let n = assignments.len() as f64;
-    let k = assignments.iter().max().unwrap() + 1;
-    let c = labels.iter().max().unwrap() + 1;
+    let k = assignments.iter().max().copied().unwrap_or(0) + 1;
+    let c = labels.iter().max().copied().unwrap_or(0) + 1;
     let mut joint = vec![vec![0f64; c]; k];
     let mut pa = vec![0f64; k];
     let mut pl = vec![0f64; c];

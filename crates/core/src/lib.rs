@@ -53,6 +53,8 @@
 //! println!("mean {:.3} variance {:.5}", result.stats().mean, result.stats().variance);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

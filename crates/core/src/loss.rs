@@ -294,6 +294,8 @@ fn prototype_contrastive_loss(
             .collect();
         let compact: Vec<usize> = keep
             .iter()
+            // analyze:allow(no-expect) -- `keep` retains exactly the rows
+            // whose remap entry is Some, checked two lines above.
             .map(|&i| remap[assignments[i]].expect("filtered above"))
             .collect();
         let kept = g.gather_rows(h, &keep);

@@ -38,6 +38,8 @@
 //! assert_eq!(fed.client(0).train_classes().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

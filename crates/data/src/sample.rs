@@ -27,6 +27,8 @@ impl Sample {
     ///
     /// Panics if the sample is unlabeled.
     pub fn expect_label(&self) -> usize {
+        // analyze:allow(no-expect) -- this accessor *is* the documented
+        // panicking contract; callers with unlabeled data match on `label`.
         self.label.expect("sample is unlabeled")
     }
 }

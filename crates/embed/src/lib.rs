@@ -26,6 +26,8 @@
 //! assert_eq!(coords.shape(), (30, 2));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

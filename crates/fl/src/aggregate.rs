@@ -256,7 +256,7 @@ pub fn trimmed_mean(
     for (j, o) in out.iter_mut().enumerate() {
         column.clear();
         column.extend(updates.iter().zip(weights).map(|(u, &w)| (u[j], w)));
-        column.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        column.sort_by(|a, b| a.0.total_cmp(&b.0));
         let kept = &column[trim..n - trim];
         let total: f32 = kept.iter().map(|(_, w)| w).sum();
         let uniform = 1.0 / kept.len() as f32;
@@ -295,7 +295,7 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
                 .zip(weights)
                 .map(|(u, &w)| (u[j], if uniform { 1.0 } else { w })),
         );
-        column.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        column.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut acc = 0.0f32;
         let mut median = column[n - 1].0;
         for &(v, w) in column.iter() {

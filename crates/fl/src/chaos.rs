@@ -318,6 +318,8 @@ pub fn apply_corruption<R: Rng + ?Sized>(kind: Corruption, update: &mut [f32], r
 /// mid-update" fault. Always caught by `parallel_map_resilient`'s
 /// `catch_unwind`; never escapes the resilient executor.
 pub fn panic_injected(round: usize, client: usize) -> ! {
+    // analyze:allow(no-panic) -- this *is* the injected fault: the chaos
+    // harness exists to throw this panic at the resilient executor.
     panic!("chaos: injected mid-update panic (round {round}, client {client})");
 }
 

@@ -57,12 +57,7 @@ pub fn top_k_sparsify(update: &[f32], k: usize) -> SparseUpdate {
     );
     let k = k.min(update.len());
     let mut order: Vec<usize> = (0..update.len()).collect();
-    order.sort_by(|&a, &b| {
-        update[b]
-            .abs()
-            .partial_cmp(&update[a].abs())
-            .expect("finite update values")
-    });
+    order.sort_by(|&a, &b| update[b].abs().total_cmp(&update[a].abs()));
     let mut kept: Vec<usize> = order[..k].to_vec();
     kept.sort_unstable();
     SparseUpdate {

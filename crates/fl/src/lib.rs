@@ -50,6 +50,8 @@
 //! assert_eq!(result.seen.accuracies.len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

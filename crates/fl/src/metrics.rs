@@ -115,7 +115,7 @@ pub fn worst_fraction_mean(values: &[f32], fraction: f32) -> f32 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite accuracies"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let count = ((values.len() as f32 * fraction).ceil() as usize).max(1);
     sorted[..count].iter().sum::<f32>() / count as f32
 }

@@ -28,6 +28,8 @@
 //! through an `Arc` at workspace creation.
 
 use std::num::NonZeroUsize;
+// analyze:allow(wallclock) -- Duration/Instant feed per-client telemetry
+// only; scheduling and aggregation stay clock-free.
 use std::time::{Duration, Instant};
 
 /// Maps `f` over `items` in parallel, preserving order.
@@ -76,6 +78,8 @@ where
     });
     results
         .into_iter()
+        // analyze:allow(no-expect) -- the scoped threads fill every slot
+        // before `scope` returns; an empty slot is impossible.
         .map(|r| r.expect("every slot filled by its chunk thread"))
         .collect()
 }
@@ -114,7 +118,7 @@ where
     // inside the worker thread — so parallel clients land on distinct tids.
     let timed = |f: &F, item: T| {
         let _span = calibre_telemetry::span("client");
-        let start = Instant::now();
+        let start = Instant::now(); // analyze:allow(wallclock) -- telemetry only
         let out = f(item);
         (out, start.elapsed())
     };
@@ -134,6 +138,8 @@ where
             let timed = &timed;
             scope.spawn(move || {
                 for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    // analyze:allow(no-expect) -- slots are populated just
+                    // before the scope spawns and taken exactly once.
                     let item = slot.take().expect("slot filled before scope");
                     *out = Some(timed(f, item));
                 }
@@ -142,6 +148,8 @@ where
     });
     results
         .into_iter()
+        // analyze:allow(no-expect) -- the scoped threads fill every slot
+        // before `scope` returns; an empty slot is impossible.
         .map(|r| r.expect("every slot filled by its chunk thread"))
         .collect()
 }
@@ -214,10 +222,10 @@ where
     }
     let guarded = |f: &F, item: T| {
         let _span = calibre_telemetry::span("client");
-        let start = Instant::now();
-        // AssertUnwindSafe: the closure owns `item` (moved in, lost on
-        // panic) and the shared captures are read-only (`Fn` + `Sync`), so
-        // no observable state can be left torn by an unwind.
+        let start = Instant::now(); // analyze:allow(wallclock) -- telemetry only
+                                    // AssertUnwindSafe: the closure owns `item` (moved in, lost on
+                                    // panic) and the shared captures are read-only (`Fn` + `Sync`), so
+                                    // no observable state can be left torn by an unwind.
         let out =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
                 ClientPanic {
@@ -243,6 +251,8 @@ where
             let guarded = &guarded;
             scope.spawn(move || {
                 for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    // analyze:allow(no-expect) -- slots are populated just
+                    // before the scope spawns and taken exactly once.
                     let item = slot.take().expect("slot filled before scope");
                     *out = Some(guarded(f, item));
                 }
@@ -251,6 +261,8 @@ where
     });
     results
         .into_iter()
+        // analyze:allow(no-expect) -- the scoped threads fill every slot
+        // before `scope` returns; an empty slot is impossible.
         .map(|r| r.expect("every slot filled by its chunk thread"))
         .collect()
 }

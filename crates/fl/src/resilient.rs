@@ -246,6 +246,8 @@ where
                 Ok(mut outcome) => {
                     if let Some(ClientFault::Corrupt(kind)) = fault {
                         injector
+                            // analyze:allow(no-expect) -- `fault` is Some
+                            // only when an injector produced it above.
                             .expect("corruption faults only come from an injector")
                             .corrupt(round, id, attempt, kind, &mut outcome.flat);
                     }

@@ -25,15 +25,23 @@ fn pair_mask(round_seed: u64, a: usize, b: usize, dim: usize) -> Vec<f32> {
 /// `client` must be a member of `cohort`; all cohort members must call this
 /// with the same `round_seed` and cohort for the masks to cancel.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `client` is not in `cohort` or appears more than once.
-pub fn mask_update(update: &[f32], client: usize, cohort: &[usize], round_seed: u64) -> Vec<f32> {
-    let occurrences = cohort.iter().filter(|&&c| c == client).count();
-    assert_eq!(
-        occurrences, 1,
-        "client {client} must appear exactly once in the cohort"
-    );
+/// [`SecureAggError::UnknownClient`] when `client` is not in `cohort`,
+/// [`SecureAggError::DuplicateClient`] when the cohort lists it twice —
+/// either way the pairwise masks could never cancel, so masking refuses to
+/// produce an update the server would silently mis-sum.
+pub fn mask_update(
+    update: &[f32],
+    client: usize,
+    cohort: &[usize],
+    round_seed: u64,
+) -> Result<Vec<f32>, SecureAggError> {
+    match cohort.iter().filter(|&&c| c == client).count() {
+        0 => return Err(SecureAggError::UnknownClient(client)),
+        1 => {}
+        _ => return Err(SecureAggError::DuplicateClient(client)),
+    }
     let mut masked = update.to_vec();
     for &other in cohort {
         if other == client {
@@ -47,7 +55,7 @@ pub fn mask_update(update: &[f32], client: usize, cohort: &[usize], round_seed: 
             *m += sign * v;
         }
     }
-    masked
+    Ok(masked)
 }
 
 /// Typed failure of the cohort-aware secure aggregation.
@@ -118,20 +126,31 @@ impl std::error::Error for SecureAggError {}
 /// In debug builds, pass the cohort size you masked with via
 /// [`aggregate_masked_checked`] to turn the hazard into a loud failure.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `updates` is empty or lengths differ.
-pub fn aggregate_masked(updates: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!updates.is_empty(), "cannot aggregate zero masked updates");
-    let dim = updates[0].len();
+/// [`SecureAggError::Empty`] when `updates` is empty,
+/// [`SecureAggError::LengthMismatch`] when lengths differ (the `client`
+/// field carries the *position* of the offending update — this raw
+/// primitive does not know client ids).
+pub fn aggregate_masked(updates: &[Vec<f32>]) -> Result<Vec<f32>, SecureAggError> {
+    let dim = match updates.first() {
+        Some(u) => u.len(),
+        None => return Err(SecureAggError::Empty),
+    };
     let mut sum = vec![0.0f32; dim];
-    for u in updates {
-        assert_eq!(u.len(), dim, "masked update length mismatch");
+    for (i, u) in updates.iter().enumerate() {
+        if u.len() != dim {
+            return Err(SecureAggError::LengthMismatch {
+                client: i,
+                expected: dim,
+                got: u.len(),
+            });
+        }
         for (s, &v) in sum.iter_mut().zip(u) {
             *s += v;
         }
     }
-    sum
+    Ok(sum)
 }
 
 /// [`aggregate_masked`] with the cancellation invariant asserted.
@@ -166,7 +185,7 @@ pub fn aggregate_masked_checked(
             got: updates.len(),
         });
     }
-    Ok(aggregate_masked(updates))
+    aggregate_masked(updates)
 }
 
 /// Cohort-aware secure aggregation that survives client dropout.
@@ -262,9 +281,9 @@ mod tests {
         let masked: Vec<Vec<f32>> = cohort
             .iter()
             .zip(&updates)
-            .map(|(&c, u)| mask_update(u, c, &cohort, 99))
+            .map(|(&c, u)| mask_update(u, c, &cohort, 99).unwrap())
             .collect();
-        let secure = aggregate_masked(&masked);
+        let secure = aggregate_masked(&masked).unwrap();
         let plain = plain_sum(&updates);
         for (s, p) in secure.iter().zip(&plain) {
             assert!((s - p).abs() < 1e-3, "masked sum {s} vs plain {p}");
@@ -276,7 +295,7 @@ mod tests {
         let cohort = vec![0usize, 1, 2, 3, 4, 5, 6, 7];
         let dim = 256;
         let update = vec![0.0f32; dim]; // all-zero plaintext
-        let masked = mask_update(&update, 3, &cohort, 7);
+        let masked = mask_update(&update, 3, &cohort, 7).unwrap();
         // The mask contribution should dominate: a zero update becomes
         // something with variance ≈ (cohort-1) after masking.
         let energy: f32 = masked.iter().map(|v| v * v).sum::<f32>() / dim as f32;
@@ -287,8 +306,8 @@ mod tests {
     fn two_client_masks_are_antisymmetric() {
         let cohort = vec![4usize, 9];
         let zeros = vec![0.0f32; 16];
-        let a = mask_update(&zeros, 4, &cohort, 1);
-        let b = mask_update(&zeros, 9, &cohort, 1);
+        let a = mask_update(&zeros, 4, &cohort, 1).unwrap();
+        let b = mask_update(&zeros, 9, &cohort, 1).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert!((x + y).abs() < 1e-6, "pair masks must cancel: {x} vs {y}");
         }
@@ -299,12 +318,12 @@ mod tests {
         let cohort = vec![1usize, 2, 3];
         let update = vec![1.0f32; 8];
         assert_eq!(
-            mask_update(&update, 2, &cohort, 5),
-            mask_update(&update, 2, &cohort, 5)
+            mask_update(&update, 2, &cohort, 5).unwrap(),
+            mask_update(&update, 2, &cohort, 5).unwrap()
         );
         assert_ne!(
-            mask_update(&update, 2, &cohort, 5),
-            mask_update(&update, 2, &cohort, 6),
+            mask_update(&update, 2, &cohort, 5).unwrap(),
+            mask_update(&update, 2, &cohort, 6).unwrap(),
             "different rounds must use different masks"
         );
     }
@@ -312,13 +331,32 @@ mod tests {
     #[test]
     fn single_client_cohort_is_a_no_op() {
         let update = vec![1.0, -2.0, 3.0];
-        assert_eq!(mask_update(&update, 5, &[5], 0), update);
+        assert_eq!(mask_update(&update, 5, &[5], 0).unwrap(), update);
     }
 
     #[test]
-    #[should_panic(expected = "exactly once")]
     fn client_outside_cohort_is_rejected() {
-        mask_update(&[1.0], 9, &[1, 2, 3], 0);
+        assert_eq!(
+            mask_update(&[1.0], 9, &[1, 2, 3], 0),
+            Err(SecureAggError::UnknownClient(9))
+        );
+        assert_eq!(
+            mask_update(&[1.0], 2, &[1, 2, 2], 0),
+            Err(SecureAggError::DuplicateClient(2))
+        );
+    }
+
+    #[test]
+    fn raw_aggregation_rejects_bad_inputs() {
+        assert_eq!(aggregate_masked(&[]), Err(SecureAggError::Empty));
+        assert_eq!(
+            aggregate_masked(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(SecureAggError::LengthMismatch {
+                client: 1,
+                expected: 1,
+                got: 2
+            })
+        );
     }
 
     #[test]
@@ -333,9 +371,9 @@ mod tests {
         let masked: Vec<Vec<f32>> = cohort
             .iter()
             .zip(&updates)
-            .map(|(&c, u)| mask_update(u, c, &cohort, 99))
+            .map(|(&c, u)| mask_update(u, c, &cohort, 99).unwrap())
             .collect();
-        let partial = aggregate_masked(&masked[..3]);
+        let partial = aggregate_masked(&masked[..3]).unwrap();
         let plain = plain_sum(&updates[..3]);
         let err: f32 = partial.iter().zip(&plain).map(|(s, p)| (s - p).abs()).sum();
         assert!(err > 1.0, "dropout should skew the sum, error was {err}");
@@ -352,7 +390,7 @@ mod tests {
         let cohort = vec![1usize, 2];
         let masked: Vec<Vec<f32>> = cohort
             .iter()
-            .map(|&c| mask_update(&[1.0f32; 8], c, &cohort, 5))
+            .map(|&c| mask_update(&[1.0f32; 8], c, &cohort, 5).unwrap())
             .collect();
         let sum = aggregate_masked_checked(&masked, 2).unwrap();
         for v in &sum {
@@ -371,7 +409,7 @@ mod tests {
         let masked: Vec<(usize, Vec<f32>)> = cohort
             .iter()
             .zip(&updates)
-            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 99)))
+            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 99).unwrap()))
             .collect();
         // Clients 11 and 20 drop after masking.
         let survivors = &masked[..2];
@@ -392,7 +430,7 @@ mod tests {
         let masked: Vec<(usize, Vec<f32>)> = cohort
             .iter()
             .zip(&updates)
-            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 8)))
+            .map(|(&c, u)| (c, mask_update(u, c, &cohort, 8).unwrap()))
             .collect();
         let full = aggregate_masked_cohort(&masked, &cohort, 8).unwrap();
         let plain = plain_sum(&updates);
@@ -438,9 +476,9 @@ mod tests {
         let masked: Vec<Vec<f32>> = cohort
             .iter()
             .zip(&updates)
-            .map(|(&c, u)| mask_update(u, c, &cohort, 42))
+            .map(|(&c, u)| mask_update(u, c, &cohort, 42).unwrap())
             .collect();
-        let sum = aggregate_masked(&masked);
+        let sum = aggregate_masked(&masked).unwrap();
         let secure_mean: Vec<f32> = sum.iter().map(|v| v / cohort.len() as f32).collect();
         let plain_mean = uniform_average(&updates);
         for (s, p) in secure_mean.iter().zip(&plain_mean) {

@@ -69,6 +69,9 @@ impl SslConfig {
         *self
             .encoder_dims
             .last()
+            // analyze:allow(no-expect) -- an empty encoder_dims is a
+            // malformed config; every constructor in this module seeds at
+            // least one width, so this is the documented failure surface.
             .expect("encoder needs at least one layer width")
     }
 

@@ -46,6 +46,8 @@
 //! assert_eq!(rec.events().len(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
 mod event;

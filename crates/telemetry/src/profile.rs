@@ -41,7 +41,7 @@
 use crate::span::{ClosedSpan, SpanSink};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 
@@ -103,7 +103,7 @@ impl SpanStats {
 /// Sharded by path hash to keep multi-threaded rounds from serializing on
 /// one lock.
 pub struct ProfileCollector {
-    shards: Vec<Mutex<HashMap<Vec<&'static str>, SpanStats>>>,
+    shards: Vec<Mutex<BTreeMap<Vec<&'static str>, SpanStats>>>,
 }
 
 impl Default for ProfileCollector {
@@ -116,11 +116,11 @@ impl ProfileCollector {
     /// Creates an empty collector.
     pub fn new() -> Self {
         ProfileCollector {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
         }
     }
 
-    fn shard_for(&self, path: &[&'static str]) -> &Mutex<HashMap<Vec<&'static str>, SpanStats>> {
+    fn shard_for(&self, path: &[&'static str]) -> &Mutex<BTreeMap<Vec<&'static str>, SpanStats>> {
         let mut hasher = DefaultHasher::new();
         path.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
@@ -128,18 +128,17 @@ impl ProfileCollector {
 
     /// Snapshots the accumulated statistics into a report.
     pub fn report(&self) -> ProfileReport {
-        let mut entries: HashMap<Vec<&'static str>, SpanStats> = HashMap::new();
+        let mut merged: BTreeMap<Vec<&'static str>, SpanStats> = BTreeMap::new();
         for shard in &self.shards {
             for (path, stats) in shard.lock().iter() {
-                entries.entry(path.clone()).or_default().merge(stats);
+                merged.entry(path.clone()).or_default().merge(stats);
             }
         }
-        let mut entries: Vec<(Vec<&'static str>, SpanStats)> = entries.into_iter().collect();
-        entries.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(b.1.total_us.partial_cmp(&a.1.total_us).unwrap())
-        });
-        ProfileReport { entries }
+        // Paths are unique keys, so iterating the BTreeMap already yields
+        // the lexicographic order the report promises.
+        ProfileReport {
+            entries: merged.into_iter().collect(),
+        }
     }
 }
 
@@ -216,9 +215,7 @@ impl ProfileReport {
                 _ => {
                     let ta = subtree_total(&pa[..shared + 1]);
                     let tb = subtree_total(&pb[..shared + 1]);
-                    tb.partial_cmp(&ta)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| pa[shared].cmp(pb[shared]))
+                    tb.total_cmp(&ta).then_with(|| pa[shared].cmp(pb[shared]))
                 }
             }
         });
@@ -249,7 +246,7 @@ impl ProfileReport {
     /// Renders the top-`n` spans by aggregated *self* time, grouped by leaf
     /// name across paths — the "where the time goes" table.
     pub fn top_self_table(&self, n: usize) -> String {
-        let mut by_name: HashMap<&'static str, SpanStats> = HashMap::new();
+        let mut by_name: BTreeMap<&'static str, SpanStats> = BTreeMap::new();
         for (path, stats) in &self.entries {
             if let Some(name) = path.last() {
                 by_name.entry(name).or_default().merge(stats);
@@ -257,12 +254,7 @@ impl ProfileReport {
         }
         let grand_self: f64 = by_name.values().map(|s| s.self_us).sum::<f64>().max(1e-9);
         let mut rows: Vec<(&'static str, SpanStats)> = by_name.into_iter().collect();
-        rows.sort_by(|a, b| {
-            b.1.self_us
-                .partial_cmp(&a.1.self_us)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(b.0))
-        });
+        rows.sort_by(|a, b| b.1.self_us.total_cmp(&a.1.self_us).then(a.0.cmp(b.0)));
         rows.truncate(n);
         let mut out = String::new();
         let _ = writeln!(
@@ -295,16 +287,16 @@ impl ProfileReport {
     ///            "min_us":...,"max_us":...,"items":...,"bytes":...},...]}
     /// ```
     pub fn to_json(&self) -> String {
-        let mut by_name: HashMap<&'static str, SpanStats> = HashMap::new();
+        let mut by_name: BTreeMap<&'static str, SpanStats> = BTreeMap::new();
         for (path, stats) in &self.entries {
             if let Some(name) = path.last() {
                 by_name.entry(name).or_default().merge(stats);
             }
         }
-        let mut rows: Vec<(&'static str, SpanStats)> = by_name.into_iter().collect();
-        rows.sort_by(|a, b| a.0.cmp(b.0));
+        // BTreeMap iteration is already name-sorted, matching the committed
+        // baseline schema's ordering.
         let mut out = String::from("{\"spans\":[");
-        for (i, (name, s)) in rows.iter().enumerate() {
+        for (i, (name, s)) in by_name.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

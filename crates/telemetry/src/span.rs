@@ -279,6 +279,8 @@ fn close_top(stack: &mut SpanStack, collector: Option<&Collector>) {
     let frame = stack
         .frames
         .pop()
+        // analyze:allow(no-expect) -- callers check the stack is non-empty;
+        // an unbalanced close is a bug worth a loud panic in the tracer.
         .expect("close_top requires an open frame");
     let dur = frame.start.elapsed();
     if let Some(parent) = stack.frames.last_mut() {

@@ -360,6 +360,8 @@ static GLOBAL_BACKEND: RwLock<Option<Arc<dyn Backend>>> = RwLock::new(None);
 pub fn global_backend() -> Arc<dyn Backend> {
     GLOBAL_BACKEND
         .read()
+        // analyze:allow(no-expect) -- a poisoned backend lock means a
+        // panic mid-registration; propagating it is the only sane option.
         .expect("backend lock poisoned")
         .clone()
         .unwrap_or_else(|| Arc::new(Scalar))
@@ -369,6 +371,7 @@ pub fn global_backend() -> Arc<dyn Backend> {
 /// at startup (the bench binaries' `--backend` flag); switching mid-run only
 /// affects graphs created afterwards.
 pub fn set_global_backend(backend: Arc<dyn Backend>) {
+    // analyze:allow(no-expect) -- same poisoning policy as global_backend.
     *GLOBAL_BACKEND.write().expect("backend lock poisoned") = Some(backend);
 }
 

@@ -767,6 +767,8 @@ impl Graph {
             if grads[id].is_none() || !nodes[id].requires_grad {
                 continue;
             }
+            // analyze:allow(no-expect) -- is_none() was checked two lines
+            // above; `take` cannot observe None here.
             let grad = grads[id].take().expect("checked above");
             apply_backward(nodes, grads, ws, id, &grad);
             grads[id] = Some(grad);
@@ -1150,6 +1152,8 @@ fn apply_backward(
         Op::CrossEntropy(logits, targets) => {
             let logits = *logits;
             let mut d = {
+                // analyze:allow(no-expect) -- forward always caches the
+                // softmax in aux for CrossEntropy nodes.
                 let soft = nodes[id].aux.as_ref().expect("softmax cached in forward");
                 ws.alloc_copy(soft)
             };
@@ -1169,6 +1173,8 @@ fn apply_backward(
             // Per-row gradient: (sum_k t_k) * softmax - t. For probability
             // rows the row sum is 1 and this reduces to softmax - t.
             let mut d = {
+                // analyze:allow(no-expect) -- forward always caches the
+                // softmax in aux for CrossEntropySoft nodes.
                 let soft = nodes[id].aux.as_ref().expect("softmax cached in forward");
                 let mut d = ws.alloc_uninit(soft.rows(), soft.cols());
                 for r in 0..soft.rows() {

@@ -324,11 +324,13 @@ impl Mlp {
 
     /// Input dimensionality.
     pub fn input_dim(&self) -> usize {
+        // analyze:allow(no-expect) -- Mlp::new rejects empty layer lists.
         self.layers.first().expect("at least one layer").input_dim()
     }
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
+        // analyze:allow(no-expect) -- Mlp::new rejects empty layer lists.
         self.layers.last().expect("at least one layer").output_dim()
     }
 

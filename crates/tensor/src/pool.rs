@@ -20,7 +20,7 @@
 
 use crate::backend::{global_backend, Backend};
 use crate::{Graph, Matrix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Counters describing pool behaviour since creation.
@@ -43,7 +43,7 @@ pub struct PoolStats {
 /// step on without any wasted slack.
 #[derive(Debug, Default)]
 pub struct BufferPool {
-    free: HashMap<usize, Vec<Vec<f32>>>,
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
     stats: PoolStats,
 }
 
