@@ -237,6 +237,21 @@ impl Obs {
                     fairness.num_clients, fairness.mean, fairness.std, fairness.worst_10pct
                 );
             }
+            let cohorts = self.hub.cohort_summaries();
+            if !cohorts.is_empty() {
+                println!("cohort sweep ({} points):", cohorts.len());
+                for c in &cohorts {
+                    println!(
+                        "  cohort {:>7} (dim {}, groups {}): {:.2} rounds/sec, peak agg {} B, peak rss {:.1} MiB",
+                        c.cohort,
+                        c.dim,
+                        c.groups,
+                        c.rounds_per_sec,
+                        c.peak_state_bytes,
+                        c.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+                    );
+                }
+            }
             let resilience = self.hub.resilience_summary();
             if resilience != calibre_telemetry::ResilienceSummary::default() {
                 println!(

@@ -14,10 +14,10 @@ use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, FederatedDataset, SynthVision};
 use calibre_fl::aggregate::{divergence_weights, sample_count_weights};
 use calibre_fl::baselines::BaselineResult;
-use calibre_fl::chaos::FaultInjector;
-use calibre_fl::comm::{CommReport, BYTES_PER_PARAM};
+use calibre_fl::comm::CommReport;
 use calibre_fl::pfl_ssl::RoundObserver;
-use calibre_fl::resilient::{run_round_resilient, ClientOutcome};
+use calibre_fl::resilient::ClientOutcome;
+use calibre_fl::scheduler::{RoundContext, RoundScheduler};
 use calibre_fl::FlConfig;
 use calibre_ssl::{create_method, SslKind, SslMethod, TwoViewBatch};
 use calibre_telemetry::{ClientLosses, NullRecorder, Recorder};
@@ -214,18 +214,14 @@ pub fn train_calibre_encoder_observed(
     let mut global_encoder = reference.encoder().clone();
     let mut states: Vec<Option<Box<dyn SslMethod>>> =
         (0..fed.num_clients()).map(|_| None).collect();
-    let schedule = fl.selection_schedule(fed.num_clients());
-    let mut round_losses = Vec::with_capacity(schedule.len());
-    let mut round_divergences = Vec::with_capacity(schedule.len());
-    let injector = fl
-        .chaos
-        .is_active()
-        .then(|| FaultInjector::for_run(fl.chaos.clone(), fl.seed));
+    let scheduler = RoundScheduler::from_config(fl, fed.num_clients());
+    let mut round_losses = Vec::with_capacity(scheduler.rounds());
+    let mut round_divergences = Vec::with_capacity(scheduler.rounds());
 
-    for (round, selected) in schedule.iter().enumerate() {
+    for round in 0..scheduler.rounds() {
+        let selected = scheduler.select(round, None);
         let round_span = calibre_telemetry::span("round");
         round_span.add_items(selected.len() as u64);
-        recorder.round_start(round, selected);
         let global_flat = global_encoder.to_flat();
         // Linear α warmup (see CalibreConfig::warmup_rounds): pseudo-labels
         // from an untrained encoder are noise, so the regularizers fade in.
@@ -238,10 +234,21 @@ pub fn train_calibre_encoder_observed(
             alpha: config.alpha * ramp,
             ..*config
         };
+        let ctx = RoundContext {
+            recorder,
+            downlink_params: global_flat.len(),
+            // Shape-derived, so computable before the aggregate lands.
+            planned_bytes: CommReport::for_module(&global_encoder, 1, selected.len()).total as u64,
+            // Skipped round: repeat the previous values so histories stay
+            // finite and plottable.
+            fallback_loss: round_losses.last().copied().unwrap_or(0.0),
+            fallback_divergence: round_divergences.last().copied().unwrap_or(0.0),
+        };
 
-        let outcome = run_round_resilient(
+        let outcome = scheduler.run_round(
             round,
-            selected,
+            &selected,
+            &ctx,
             |id| {
                 states[id].take().unwrap_or_else(|| {
                     create_method(kind, fl.ssl.clone().with_seed(fl.seed ^ (id as u64) << 8))
@@ -294,73 +301,30 @@ pub fn train_calibre_encoder_observed(
                     sample_count_weights(&counts)
                 }
             },
-            injector.as_ref(),
-            &fl.policy,
-            recorder,
+            |update| {
+                (
+                    ClientLosses {
+                        total: update.loss,
+                        ssl: update.ssl,
+                        l_n: update.l_n,
+                        l_p: update.l_p,
+                    },
+                    update.divergence,
+                )
+            },
         );
 
-        let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
-        let mut client_loss = Vec::with_capacity(outcome.accepted.len());
-        let mut observed_bytes = 0u64;
-        for a in &outcome.accepted {
-            recorder.client_update(
-                round,
-                a.id,
-                a.wall,
-                ClientLosses {
-                    total: a.payload.loss,
-                    ssl: a.payload.ssl,
-                    l_n: a.payload.l_n,
-                    l_p: a.payload.l_p,
-                },
-                a.payload.divergence,
-            );
-            client_wall_ms.push(a.wall.as_secs_f64() * 1e3);
-            client_loss.push(a.payload.loss);
-            // One encoder down, one encoder up per client.
-            observed_bytes += ((a.flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
-        }
-
-        let n = outcome.accepted.len();
-        let (mean_loss, mean_div) = if n == 0 {
-            // Skipped round: repeat the previous values so histories stay
-            // finite and plottable.
-            (
-                round_losses.last().copied().unwrap_or(0.0),
-                round_divergences.last().copied().unwrap_or(0.0),
-            )
-        } else {
-            (
-                outcome.accepted.iter().map(|a| a.payload.loss).sum::<f32>() / n as f32,
-                outcome
-                    .accepted
-                    .iter()
-                    .map(|a| a.payload.divergence)
-                    .sum::<f32>()
-                    / n as f32,
-            )
-        };
-        recorder.aggregate(round, outcome.report.quorum, outcome.report.weight_sum);
-        if let Some(aggregated) = &outcome.aggregated {
+        if let Some(aggregated) = &outcome.round.aggregated {
             global_encoder.load_flat(aggregated);
         }
-        for a in outcome.accepted {
+        for a in outcome.round.accepted {
             states[a.id] = Some(a.state);
         }
-        for (id, state) in outcome.rejected_states {
+        for (id, state) in outcome.round.rejected_states {
             states[id] = Some(state);
         }
-        round_losses.push(mean_loss);
-        round_divergences.push(mean_div);
-        let planned_bytes = CommReport::for_module(&global_encoder, 1, selected.len()).total as u64;
-        recorder.round_end(
-            round,
-            mean_loss,
-            &client_wall_ms,
-            &client_loss,
-            planned_bytes,
-            observed_bytes,
-        );
+        round_losses.push(outcome.mean_loss);
+        round_divergences.push(outcome.mean_divergence);
         if let Some(observer) = round_observer.as_deref_mut() {
             observer(round, &global_encoder);
         }

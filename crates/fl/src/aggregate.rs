@@ -33,49 +33,54 @@
 /// Panics if `updates` is empty, lengths differ, or `weights.len()`
 /// mismatches `updates.len()`.
 pub fn weighted_average(updates: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
-    let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
-    weighted_average_refs(&refs, weights)
+    fold_weighted(updates.iter().map(Vec::as_slice), weights)
 }
 
 /// Weighted average over borrowed flat vectors — the zero-copy core of
 /// [`weighted_average`]. The server loop aggregates straight from the
 /// clients' owned flats without cloning each one first.
 ///
+/// Bit-identical to folding the same slices in the same order through a
+/// [`StreamingWeightedSink::for_cohort`] sink — it *is* that fold.
+///
 /// # Panics
 ///
 /// Panics under the same conditions as [`weighted_average`].
 pub fn weighted_average_refs(updates: &[&[f32]], weights: &[f32]) -> Vec<f32> {
-    assert!(!updates.is_empty(), "cannot aggregate zero updates");
-    assert_eq!(
-        updates.len(),
-        weights.len(),
-        "one weight per update required"
-    );
-    let dim = updates[0].len();
-    for (i, u) in updates.iter().enumerate() {
+    fold_weighted(updates.iter().copied(), weights)
+}
+
+/// Shared core of the panicking `weighted_average` family: folds each
+/// borrowed slice into a [`StreamingWeightedSink`] in canonical (input)
+/// order, so callers never materialize an intermediate `Vec` of updates —
+/// owned or borrowed.
+fn fold_weighted<'a, I>(updates: I, weights: &[f32]) -> Vec<f32>
+where
+    I: ExactSizeIterator<Item = &'a [f32]> + Clone,
+{
+    let n = updates.len();
+    assert!(n > 0, "cannot aggregate zero updates");
+    assert_eq!(n, weights.len(), "one weight per update required");
+    let dim = updates.clone().next().map(<[f32]>::len).unwrap_or(0);
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(n as u64);
+    span.add_bytes((n * dim * std::mem::size_of::<f32>()) as u64);
+    // The total weight is known up front, so the sink applies the exact
+    // `w / total` per-fold scale (uniform fallback on a non-positive
+    // total); no intermediate normalized-weights vector is materialized.
+    let total: f32 = weights.iter().sum();
+    let mut sink = StreamingWeightedSink::for_cohort(total, n);
+    for (i, (u, &w)) in updates.zip(weights.iter()).enumerate() {
         assert_eq!(
             u.len(),
             dim,
             "update {i} has length {} expected {dim}",
             u.len()
         );
+        // Infallible: the shape was just asserted against `dim`.
+        let _ = sink.fold(i, u, w);
     }
-    let span = calibre_telemetry::span("aggregate");
-    span.add_items(updates.len() as u64);
-    span.add_bytes((updates.len() * dim * std::mem::size_of::<f32>()) as u64);
-    // Normalization is folded into the accumulation: each update's scale is
-    // `w / total` (uniform fallback on a non-positive total), so no
-    // intermediate normalized-weights vector is materialized.
-    let total: f32 = weights.iter().sum();
-    let uniform = 1.0 / updates.len() as f32;
-    let mut out = vec![0.0f32; dim];
-    for (u, &w) in updates.iter().zip(weights.iter()) {
-        let scale = if total > 0.0 { w / total } else { uniform };
-        for (o, &v) in out.iter_mut().zip(u.iter()) {
-            *o += scale * v;
-        }
-    }
-    out
+    sink.finish().unwrap_or_default()
 }
 
 /// Uniform average of flat parameter vectors.
@@ -114,6 +119,12 @@ pub enum AggregateError {
         /// Number of weights.
         weights: usize,
     },
+    /// The fold weights summed to a non-positive total, so a
+    /// deferred-normalization sink cannot recover the uniform-average
+    /// fallback (it accumulated `w·u`, not `u`). Only produced by
+    /// [`UpdateSink::finish`] on the streaming paths; the collect-then-
+    /// aggregate paths fall back to a uniform average instead.
+    NonPositiveTotal,
 }
 
 impl std::fmt::Display for AggregateError {
@@ -127,6 +138,9 @@ impl std::fmt::Display for AggregateError {
             } => write!(f, "update {index} has length {got}, expected {expected}"),
             AggregateError::WeightCountMismatch { updates, weights } => {
                 write!(f, "{updates} updates but {weights} weights")
+            }
+            AggregateError::NonPositiveTotal => {
+                write!(f, "fold weights summed to a non-positive total")
             }
         }
     }
@@ -348,6 +362,529 @@ pub fn divergence_weights(divergences: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Streaming sinks: constant-memory aggregation for massive cohorts.
+// ---------------------------------------------------------------------------
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// A streaming accumulator that client updates are folded into the moment
+/// they finish, instead of being collected into an O(cohort × model) `Vec`
+/// first. This is the aggregation substrate of the massive-cohort execution
+/// path (`DESIGN.md` §11).
+///
+/// # Contract
+///
+/// * **Fold order is the determinism boundary.** Folding the same
+///   `(client, update, weight)` triples in the same order is bit-identical
+///   on replay; folding a permutation is only guaranteed to agree within
+///   f32 round-off. Executors that need replay identity fold in
+///   selection-slot order — [`crate::parallel::parallel_map`] returns
+///   results in input order precisely so they can.
+/// * **Quorum interaction.** A fold cannot be undone, so executors that
+///   enforce a minimum quorum ([`crate::resilient::RoundPolicy::min_quorum`])
+///   must buffer the first `min_quorum` accepted updates and start folding
+///   only once the quorum is reached (see
+///   `RoundScheduler::run_round_streaming` in [`crate::scheduler`]). The
+///   buffer is O(min_quorum × model), independent of cohort size.
+/// * **A sink is spent after [`UpdateSink::finish`]:** the accumulator is
+///   drained, and a second `finish` reports [`AggregateError::Empty`].
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::aggregate::{StreamingWeightedSink, UpdateSink};
+///
+/// let mut sink = StreamingWeightedSink::new();
+/// sink.fold(0, &[0.0, 2.0], 1.0).unwrap();
+/// sink.fold(1, &[2.0, 4.0], 3.0).unwrap();
+/// assert_eq!(sink.folded(), 2);
+/// assert_eq!(sink.finish().unwrap(), vec![1.5, 3.5]);
+/// ```
+pub trait UpdateSink {
+    /// Folds one client's update with its aggregation weight.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::LengthMismatch`] when `update` disagrees with the
+    /// dimension established by the first fold (the `index` field carries
+    /// the fold position).
+    fn fold(&mut self, client: usize, update: &[f32], weight: f32) -> Result<(), AggregateError>;
+
+    /// Number of updates folded so far.
+    fn folded(&self) -> usize;
+
+    /// Bytes of accumulator state currently held — the quantity the
+    /// `cohort` bench asserts stays flat as the cohort grows.
+    fn state_bytes(&self) -> usize;
+
+    /// Drains the accumulated state into the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Empty`] when nothing was folded (or the sink was
+    /// already finished); [`AggregateError::NonPositiveTotal`] when a
+    /// deferred-normalization sink saw weights summing to ≤ 0.
+    fn finish(&mut self) -> Result<Vec<f32>, AggregateError>;
+}
+
+/// How a [`StreamingWeightedSink`] normalizes its weights.
+#[derive(Debug, Clone, Copy)]
+enum WeightedMode {
+    /// Accumulate `Σ wᵢ·uᵢ`, divide by `Σ wᵢ` at finish.
+    Deferred,
+    /// Total weight known up front: apply the exact `wᵢ / total` per-fold
+    /// scale of [`weighted_average_refs`] (uniform `1/n` fallback when the
+    /// total is non-positive).
+    PerFold {
+        /// Pre-computed `Σ wᵢ` over the full cohort.
+        total: f32,
+        /// Cohort size, for the uniform fallback.
+        cohort: usize,
+    },
+}
+
+/// The weighted-average [`UpdateSink`]: O(model) state, the streaming form
+/// of [`weighted_average_refs`].
+///
+/// # Determinism
+///
+/// * [`StreamingWeightedSink::new`] defers normalization to finish
+///   (`Σ wᵢ·uᵢ / Σ wᵢ`) — the true streaming mode for cohorts whose total
+///   weight is unknown until everyone reported. Agrees with
+///   [`weighted_average_refs`] within f32 round-off under *any* fold order,
+///   and is bit-identical on replay of the same fold order.
+/// * [`StreamingWeightedSink::for_cohort`] takes the total weight and
+///   cohort size up front and applies the exact per-fold scale of
+///   [`weighted_average_refs`]; folding in canonical (selection-slot) order
+///   is **bit-identical** to it. This is the mode the round executors use —
+///   the golden-checksum tests pin it.
+///
+/// # Examples
+///
+/// Canonical-order folding through the pre-normalized mode reproduces
+/// [`weighted_average_refs`] bit for bit:
+///
+/// ```
+/// use calibre_fl::aggregate::{weighted_average_refs, StreamingWeightedSink, UpdateSink};
+///
+/// let updates: [&[f32]; 2] = [&[1.0, -2.5], &[0.5, 4.0]];
+/// let weights = [2.0, 5.0];
+/// let total: f32 = weights.iter().sum();
+/// let mut sink = StreamingWeightedSink::for_cohort(total, updates.len());
+/// for (i, (u, &w)) in updates.iter().zip(weights.iter()).enumerate() {
+///     sink.fold(i, u, w).unwrap();
+/// }
+/// let streamed = sink.finish().unwrap();
+/// let reference = weighted_average_refs(&updates, &weights);
+/// assert!(streamed.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()));
+/// ```
+#[derive(Debug)]
+pub struct StreamingWeightedSink {
+    acc: Vec<f32>,
+    total: f32,
+    folded: usize,
+    mode: WeightedMode,
+}
+
+impl StreamingWeightedSink {
+    /// Deferred-normalization mode: `Σ wᵢ·uᵢ / Σ wᵢ` at finish. Requires a
+    /// positive total weight by finish time.
+    pub fn new() -> Self {
+        StreamingWeightedSink {
+            acc: Vec::new(),
+            total: 0.0,
+            folded: 0,
+            mode: WeightedMode::Deferred,
+        }
+    }
+
+    /// Pre-normalized mode for a cohort whose `total_weight` (and size) is
+    /// known before folding starts: bit-identical to
+    /// [`weighted_average_refs`] when folded in canonical order.
+    pub fn for_cohort(total_weight: f32, cohort: usize) -> Self {
+        StreamingWeightedSink {
+            acc: Vec::new(),
+            total: 0.0,
+            folded: 0,
+            mode: WeightedMode::PerFold {
+                total: total_weight,
+                cohort: cohort.max(1),
+            },
+        }
+    }
+}
+
+impl Default for StreamingWeightedSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UpdateSink for StreamingWeightedSink {
+    fn fold(&mut self, _client: usize, update: &[f32], weight: f32) -> Result<(), AggregateError> {
+        if self.folded == 0 && self.acc.is_empty() {
+            self.acc = vec![0.0; update.len()];
+        }
+        if update.len() != self.acc.len() {
+            return Err(AggregateError::LengthMismatch {
+                index: self.folded,
+                expected: self.acc.len(),
+                got: update.len(),
+            });
+        }
+        let scale = match self.mode {
+            WeightedMode::Deferred => weight,
+            WeightedMode::PerFold { total, cohort } => {
+                if total > 0.0 {
+                    weight / total
+                } else {
+                    // analyze:allow(lossy-cast) -- cohort sizes sit far
+                    // below f32 integer precision loss (2^24).
+                    1.0 / cohort as f32
+                }
+            }
+        };
+        for (o, &v) in self.acc.iter_mut().zip(update.iter()) {
+            *o += scale * v;
+        }
+        self.total += weight;
+        self.folded += 1;
+        Ok(())
+    }
+
+    fn folded(&self) -> usize {
+        self.folded
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.acc.len() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+
+    fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
+        if self.folded == 0 {
+            return Err(AggregateError::Empty);
+        }
+        let total = self.total;
+        let mut out = std::mem::take(&mut self.acc);
+        self.folded = 0;
+        self.total = 0.0;
+        match self.mode {
+            WeightedMode::PerFold { .. } => Ok(out),
+            WeightedMode::Deferred => {
+                if total <= 0.0 {
+                    return Err(AggregateError::NonPositiveTotal);
+                }
+                let inv = 1.0 / total;
+                for v in out.iter_mut() {
+                    *v *= inv;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Which robust statistic a [`ReservoirSink`] computes over its reservoir.
+#[derive(Debug, Clone, Copy)]
+enum ReservoirStat {
+    /// [`trimmed_mean`] with the given trim ratio.
+    Trimmed(f32),
+    /// [`coordinate_median`].
+    Median,
+}
+
+/// A bounded-memory [`UpdateSink`] for the robust aggregators
+/// ([`Aggregator::TrimmedMean`], [`Aggregator::CoordinateMedian`]).
+///
+/// Order statistics need the per-coordinate *columns*, so an exact
+/// constant-memory stream is impossible (`DESIGN.md` §11). Instead the sink
+/// keeps a uniform reservoir of at most `capacity` updates (Vitter's
+/// algorithm R, driven by a seeded rng) and finishes with the exact
+/// [`trimmed_mean`] / [`coordinate_median`] over the reservoir:
+///
+/// * cohorts up to `capacity` are **exact** — every update is retained;
+/// * beyond that the statistic is computed over a uniform sample of the
+///   stream, with state bounded by O(capacity × model) regardless of
+///   cohort size.
+///
+/// # Determinism
+///
+/// Replacement choices depend only on `(seed, fold order)`: replaying the
+/// same fold sequence reproduces the reservoir — and the aggregate — bit
+/// for bit. Permutations change which updates survive past `capacity`, so
+/// unlike the weighted sink there is no permutation-tolerance guarantee
+/// beyond it.
+///
+/// # Examples
+///
+/// Under capacity the sink is exact:
+///
+/// ```
+/// use calibre_fl::aggregate::{coordinate_median, ReservoirSink, UpdateSink};
+///
+/// let updates: [&[f32]; 3] = [&[1.0], &[5.0], &[-400.0]];
+/// let mut sink = ReservoirSink::median(16, 7);
+/// for (i, u) in updates.iter().enumerate() {
+///     sink.fold(i, u, 1.0).unwrap();
+/// }
+/// let exact = coordinate_median(&updates, &[1.0; 3]).unwrap();
+/// assert_eq!(sink.finish().unwrap(), exact);
+/// ```
+#[derive(Debug)]
+pub struct ReservoirSink {
+    entries: Vec<Vec<f32>>,
+    weights: Vec<f32>,
+    capacity: usize,
+    rng: StdRng,
+    folded: usize,
+    stat: ReservoirStat,
+}
+
+impl ReservoirSink {
+    fn with_stat(capacity: usize, seed: u64, stat: ReservoirStat) -> Self {
+        let capacity = capacity.max(1);
+        ReservoirSink {
+            entries: Vec::new(),
+            weights: Vec::new(),
+            capacity,
+            rng: calibre_tensor::rng::seeded(seed ^ 0x5EED_5EED_5EED_5EED),
+            folded: 0,
+            stat,
+        }
+    }
+
+    /// Trimmed-mean reservoir (mirrors [`Aggregator::TrimmedMean`]): keeps
+    /// at most `capacity` updates, finishes with [`trimmed_mean`] at the
+    /// given `ratio`.
+    pub fn trimmed(ratio: f32, capacity: usize, seed: u64) -> Self {
+        Self::with_stat(capacity, seed, ReservoirStat::Trimmed(ratio))
+    }
+
+    /// Coordinate-median reservoir (mirrors
+    /// [`Aggregator::CoordinateMedian`]): keeps at most `capacity` updates,
+    /// finishes with [`coordinate_median`].
+    pub fn median(capacity: usize, seed: u64) -> Self {
+        Self::with_stat(capacity, seed, ReservoirStat::Median)
+    }
+}
+
+impl UpdateSink for ReservoirSink {
+    fn fold(&mut self, _client: usize, update: &[f32], weight: f32) -> Result<(), AggregateError> {
+        if let Some(first) = self.entries.first() {
+            if update.len() != first.len() {
+                return Err(AggregateError::LengthMismatch {
+                    index: self.folded,
+                    expected: first.len(),
+                    got: update.len(),
+                });
+            }
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(update.to_vec());
+            self.weights.push(weight);
+        } else {
+            // Algorithm R: item k replaces a uniform j ∈ [0, k]; j beyond
+            // the capacity means the item is discarded.
+            let j = self.rng.gen_range(0..=self.folded);
+            if let (Some(slot), Some(wslot)) = (self.entries.get_mut(j), self.weights.get_mut(j)) {
+                slot.clear();
+                slot.extend_from_slice(update);
+                *wslot = weight;
+            }
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    fn folded(&self) -> usize {
+        self.folded
+    }
+
+    fn state_bytes(&self) -> usize {
+        let held: usize = self.entries.iter().map(|e| e.len()).sum();
+        (held + self.weights.len()) * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+
+    fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
+        // The reservoir is ≤ capacity entries — a bounded borrow, not the
+        // O(cohort) collection this sink exists to avoid.
+        let refs: Vec<&[f32]> = self.entries.iter().map(Vec::as_slice).collect();
+        let out = match self.stat {
+            ReservoirStat::Trimmed(ratio) => trimmed_mean(&refs, &self.weights, ratio),
+            ReservoirStat::Median => coordinate_median(&refs, &self.weights),
+        };
+        drop(refs);
+        self.entries.clear();
+        self.weights.clear();
+        self.folded = 0;
+        out
+    }
+}
+
+/// SplitMix64 finalizer — the deterministic group-assignment hash of
+/// [`HierarchicalSink`].
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Two-level weighted [`UpdateSink`]: clients are deterministically hashed
+/// into one of `groups` edge accumulators, each edge keeps a deferred
+/// weighted sum, and finish folds the edges into the root mean.
+///
+/// State is O(groups × model) — the middle rung of the
+/// O(clients × model) → O(groups × model) → O(model) ladder in `DESIGN.md`
+/// §11. In a real deployment each edge accumulator lives on its own
+/// aggregator node; in-process the type models the memory/communication
+/// shape and pins the determinism contract.
+///
+/// # Determinism
+///
+/// Group assignment depends only on `(seed, client id)` via a SplitMix64
+/// hash, never on arrival order. The result depends on the fold order
+/// *within* each group: replaying the same fold sequence is bit-identical,
+/// and permuting clients across different groups changes nothing. Agreement
+/// with the flat weighted average is within f32 round-off (summation is
+/// re-associated by group).
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::aggregate::{HierarchicalSink, UpdateSink};
+///
+/// let mut sink = HierarchicalSink::new(4, 42);
+/// for client in 0..100usize {
+///     let v = client as f32;
+///     sink.fold(client, &[v, -v], 1.0).unwrap();
+/// }
+/// let mean = sink.finish().unwrap();
+/// assert!((mean[0] - 49.5).abs() < 1e-3); // mean of 0..100
+/// assert!((mean[1] + 49.5).abs() < 1e-3);
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalSink {
+    accs: Vec<Vec<f32>>,
+    totals: Vec<f32>,
+    seed: u64,
+    folded: usize,
+    dim: Option<usize>,
+}
+
+impl HierarchicalSink {
+    /// A sink with `groups` edge accumulators (at least 1) and a seed for
+    /// the group-assignment hash.
+    pub fn new(groups: usize, seed: u64) -> Self {
+        let groups = groups.max(1);
+        HierarchicalSink {
+            accs: vec![Vec::new(); groups],
+            totals: vec![0.0; groups],
+            seed,
+            folded: 0,
+            dim: None,
+        }
+    }
+
+    /// Number of edge accumulators.
+    pub fn groups(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// The edge group `client` folds into — a pure function of
+    /// `(seed, client)`, stable across rounds and replays.
+    pub fn group_of(&self, client: usize) -> usize {
+        // analyze:allow(lossy-cast) -- id→u64 is widening on every
+        // supported target; the modulus keeps the result in-range.
+        (mix64(self.seed ^ client as u64) % self.accs.len() as u64) as usize
+    }
+}
+
+impl UpdateSink for HierarchicalSink {
+    fn fold(&mut self, client: usize, update: &[f32], weight: f32) -> Result<(), AggregateError> {
+        let dim = *self.dim.get_or_insert(update.len());
+        if update.len() != dim {
+            return Err(AggregateError::LengthMismatch {
+                index: self.folded,
+                expected: dim,
+                got: update.len(),
+            });
+        }
+        let g = self.group_of(client);
+        if let (Some(acc), Some(total)) = (self.accs.get_mut(g), self.totals.get_mut(g)) {
+            if acc.is_empty() {
+                acc.resize(dim, 0.0);
+            }
+            for (o, &v) in acc.iter_mut().zip(update.iter()) {
+                *o += weight * v;
+            }
+            *total += weight;
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    fn folded(&self) -> usize {
+        self.folded
+    }
+
+    fn state_bytes(&self) -> usize {
+        let held: usize = self.accs.iter().map(|a| a.len()).sum();
+        (held + self.totals.len()) * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+
+    fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
+        if self.folded == 0 {
+            return Err(AggregateError::Empty);
+        }
+        let dim = self.dim.take().unwrap_or(0);
+        let grand: f32 = self.totals.iter().sum();
+        let accs = std::mem::take(&mut self.accs);
+        let groups = accs.len();
+        self.accs = vec![Vec::new(); groups];
+        for t in self.totals.iter_mut() {
+            *t = 0.0;
+        }
+        self.folded = 0;
+        if grand <= 0.0 {
+            return Err(AggregateError::NonPositiveTotal);
+        }
+        // Root fold: edge sums combine in group-index order, then one
+        // normalization — the same arithmetic a physical edge tier reports.
+        let mut out = vec![0.0f32; dim];
+        for acc in &accs {
+            for (o, &v) in out.iter_mut().zip(acc.iter()) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / grand;
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+        Ok(out)
+    }
+}
+
+impl Aggregator {
+    /// Builds the streaming [`UpdateSink`] mirroring this aggregator.
+    ///
+    /// `capacity` bounds the reservoir of the robust variants (which are
+    /// exact up to `capacity` folded updates, see [`ReservoirSink`]); the
+    /// weighted variant ignores it and holds exactly O(model) state.
+    /// `seed` drives the reservoir's deterministic replacement choices.
+    pub fn sink(self, capacity: usize, seed: u64) -> Box<dyn UpdateSink + Send> {
+        match self {
+            Aggregator::WeightedAverage => Box::new(StreamingWeightedSink::new()),
+            Aggregator::TrimmedMean(ratio) => {
+                Box::new(ReservoirSink::trimmed(ratio, capacity, seed))
+            }
+            Aggregator::CoordinateMedian => Box::new(ReservoirSink::median(capacity, seed)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,5 +1082,172 @@ mod tests {
             "ratio above 0.5"
         );
         assert!(Aggregator::parse("krum").is_none(), "unknown aggregator");
+    }
+
+    #[test]
+    fn streaming_sink_per_fold_matches_refs_bitwise() {
+        let updates: [&[f32]; 3] = [&[1.0, -2.5, 0.125], &[0.5, 4.0, -1.0], &[3.0, 0.0, 9.5]];
+        let weights = [2.0, 5.0, 1.0];
+        let reference = weighted_average_refs(&updates, &weights);
+        let total: f32 = weights.iter().sum();
+        let mut sink = StreamingWeightedSink::for_cohort(total, updates.len());
+        for (i, (u, &w)) in updates.iter().zip(weights.iter()).enumerate() {
+            sink.fold(i, u, w).unwrap();
+        }
+        let streamed = sink.finish().unwrap();
+        assert_eq!(streamed.len(), reference.len());
+        for (s, r) in streamed.iter().zip(reference.iter()) {
+            assert_eq!(s.to_bits(), r.to_bits(), "bit-identity in canonical order");
+        }
+    }
+
+    #[test]
+    fn streaming_sink_deferred_agrees_under_permutation() {
+        let updates: [&[f32]; 3] = [&[1.0, -2.5], &[0.5, 4.0], &[3.0, 0.0]];
+        let weights = [2.0, 5.0, 1.0];
+        let reference = weighted_average_refs(&updates, &weights);
+        for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut sink = StreamingWeightedSink::new();
+            for &i in &order {
+                let (u, w) = updates
+                    .iter()
+                    .zip(weights.iter())
+                    .nth(i)
+                    .map(|(u, &w)| (*u, w))
+                    .unwrap_or((&[], 0.0));
+                sink.fold(i, u, w).unwrap();
+            }
+            let streamed = sink.finish().unwrap();
+            for (s, r) in streamed.iter().zip(reference.iter()) {
+                assert!((s - r).abs() < 1e-5, "{order:?}: {s} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sink_reports_mismatch_and_spent_state() {
+        let mut sink = StreamingWeightedSink::new();
+        sink.fold(0, &[1.0, 2.0], 1.0).unwrap();
+        assert!(matches!(
+            sink.fold(1, &[1.0], 1.0),
+            Err(AggregateError::LengthMismatch {
+                index: 1,
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(sink.finish().is_ok());
+        assert!(
+            matches!(sink.finish(), Err(AggregateError::Empty)),
+            "a sink is spent after finish"
+        );
+    }
+
+    #[test]
+    fn streaming_sink_rejects_non_positive_total() {
+        let mut sink = StreamingWeightedSink::new();
+        sink.fold(0, &[1.0], 0.0).unwrap();
+        assert!(matches!(
+            sink.finish(),
+            Err(AggregateError::NonPositiveTotal)
+        ));
+    }
+
+    #[test]
+    fn reservoir_sink_is_exact_under_capacity() {
+        let updates: [&[f32]; 5] = [&[1.0], &[2.0], &[3.0], &[100.0], &[-50.0]];
+        let weights = [1.0; 5];
+        let mut sink = ReservoirSink::median(8, 3);
+        for (i, u) in updates.iter().enumerate() {
+            sink.fold(i, u, 1.0).unwrap();
+        }
+        assert_eq!(
+            sink.finish().unwrap(),
+            coordinate_median(&updates, &weights).unwrap()
+        );
+
+        let mut sink = ReservoirSink::trimmed(0.2, 8, 3);
+        for (i, u) in updates.iter().enumerate() {
+            sink.fold(i, u, 1.0).unwrap();
+        }
+        assert_eq!(
+            sink.finish().unwrap(),
+            trimmed_mean(&updates, &weights, 0.2).unwrap()
+        );
+    }
+
+    #[test]
+    fn reservoir_sink_is_bounded_and_replay_identical() {
+        let run = || {
+            let mut sink = ReservoirSink::median(16, 9);
+            for i in 0..5_000usize {
+                // analyze:allow(lossy-cast) -- test data generation only.
+                sink.fold(i, &[i as f32, -(i as f32)], 1.0).unwrap();
+            }
+            let bytes = sink.state_bytes();
+            (sink.finish().unwrap(), bytes)
+        };
+        let (a, bytes_a) = run();
+        let (b, bytes_b) = run();
+        assert_eq!(a, b, "same seed + fold order replays bit-identically");
+        assert_eq!(bytes_a, bytes_b);
+        let flat_bytes = 5_000 * 2 * std::mem::size_of::<f32>();
+        assert!(
+            bytes_a < flat_bytes / 10,
+            "reservoir must stay far below the O(cohort) collection ({bytes_a} vs {flat_bytes})"
+        );
+    }
+
+    #[test]
+    fn hierarchical_sink_agrees_with_flat_average() {
+        let mut sink = HierarchicalSink::new(8, 42);
+        let updates: Vec<Vec<f32>> = (0..200)
+            .map(|i| {
+                // analyze:allow(lossy-cast) -- test data generation only.
+                vec![i as f32 * 0.25, 1.0 - i as f32]
+            })
+            .collect();
+        let weights: Vec<f32> = (0..200).map(|i| 1.0 + (i % 7) as f32).collect();
+        for (i, (u, &w)) in updates.iter().zip(weights.iter()).enumerate() {
+            sink.fold(i, u, w).unwrap();
+        }
+        let hier = sink.finish().unwrap();
+        let flat = weighted_average(&updates, &weights);
+        for (h, f) in hier.iter().zip(flat.iter()) {
+            assert!((h - f).abs() < 1e-3, "{h} vs {f}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_sink_group_assignment_is_stable() {
+        let sink = HierarchicalSink::new(4, 7);
+        let assignment: Vec<usize> = (0..64).map(|c| sink.group_of(c)).collect();
+        let again: Vec<usize> = (0..64).map(|c| sink.group_of(c)).collect();
+        assert_eq!(assignment, again);
+        assert!(assignment.iter().all(|&g| g < 4));
+        // The seeded hash must actually spread clients across groups.
+        let used: std::collections::BTreeSet<usize> = assignment.iter().copied().collect();
+        assert!(used.len() > 1, "all clients hashed to one group");
+    }
+
+    #[test]
+    fn aggregator_sink_factory_mirrors_the_enum() {
+        let updates: [&[f32]; 4] = [&[1.0, 8.0], &[2.0, -4.0], &[3.0, 0.5], &[400.0, 1.0]];
+        let weights = [1.0; 4];
+        for agg in [
+            Aggregator::WeightedAverage,
+            Aggregator::TrimmedMean(0.25),
+            Aggregator::CoordinateMedian,
+        ] {
+            let mut sink = agg.sink(64, 11);
+            for (i, u) in updates.iter().enumerate() {
+                sink.fold(i, u, 1.0).unwrap();
+            }
+            let streamed = sink.finish().unwrap();
+            let reference = aggregate_robust(agg, &updates, &weights).unwrap();
+            for (s, r) in streamed.iter().zip(reference.iter()) {
+                assert!((s - r).abs() < 1e-5, "{agg:?}: {s} vs {r}");
+            }
+        }
     }
 }

@@ -68,10 +68,15 @@ pub mod parallel;
 pub mod personalize;
 pub mod pfl_ssl;
 pub mod resilient;
+pub mod sampler;
+pub mod scheduler;
 pub mod secure;
 
+pub use aggregate::{HierarchicalSink, ReservoirSink, StreamingWeightedSink, UpdateSink};
 pub use chaos::{FaultInjector, FaultPlan};
 pub use config::FlConfig;
 pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};
 pub use personalize::{personalize_cohort, personalize_cohort_observed, PersonalizationOutcome};
 pub use resilient::RoundPolicy;
+pub use sampler::{Sampler, SamplerKind};
+pub use scheduler::{RoundScheduler, StreamedRound};

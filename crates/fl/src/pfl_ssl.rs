@@ -11,12 +11,12 @@
 
 use crate::aggregate::sample_count_weights;
 use crate::baselines::{client_round_seed, BaselineResult};
-use crate::chaos::FaultInjector;
 use crate::checkpoint::{self, CheckpointStore, TrainerCheckpoint};
-use crate::comm::{CommReport, BYTES_PER_PARAM};
+use crate::comm::CommReport;
 use crate::config::FlConfig;
 use crate::personalize::personalize_cohort_observed;
-use crate::resilient::{run_round_resilient, ClientOutcome};
+use crate::resilient::ClientOutcome;
+use crate::scheduler::{RoundContext, RoundScheduler};
 use calibre_data::batch::batches;
 use calibre_data::{AugmentConfig, ClientData, SynthVision};
 use calibre_ssl::{create_method, ssl_step_in, SslKind, SslMethod, TwoViewBatch};
@@ -157,7 +157,7 @@ fn restore_from_checkpoint(
 /// Like [`train_pfl_ssl_encoder_observed`], with runtime fault handling and
 /// optional crash-safe resume.
 ///
-/// The round loop runs through [`run_round_resilient`]: faults from
+/// The round loop runs through [`RoundScheduler::run_round`]: faults from
 /// `cfg.chaos` are injected per `(round, client, attempt)`, panicked
 /// clients are retried per `cfg.policy`, non-finite updates are rejected,
 /// and rounds missing the minimum quorum are skipped (the skipped round
@@ -192,8 +192,8 @@ pub fn train_pfl_ssl_encoder_resumable(
     // the global at the start of every round).
     let mut states: Vec<Option<Box<dyn SslMethod>>> =
         (0..fed.num_clients()).map(|_| None).collect();
-    let schedule = cfg.selection_schedule(fed.num_clients());
-    let mut round_losses = Vec::with_capacity(schedule.len());
+    let scheduler = RoundScheduler::from_config(cfg, fed.num_clients());
+    let mut round_losses = Vec::with_capacity(scheduler.rounds());
 
     let start_round = store
         .and_then(|s| s.load_with(TrainerCheckpoint::parse).ok())
@@ -205,25 +205,31 @@ pub fn train_pfl_ssl_encoder_resumable(
                 &mut global_encoder,
                 &mut states,
                 &mut round_losses,
-                schedule.len(),
+                scheduler.rounds(),
             )
         })
         .unwrap_or(0);
 
-    let injector = cfg
-        .chaos
-        .is_active()
-        .then(|| FaultInjector::for_run(cfg.chaos.clone(), cfg.seed));
-
-    for (round, selected) in schedule.iter().enumerate().skip(start_round) {
+    for round in start_round..scheduler.rounds() {
+        let selected = scheduler.select(round, None);
         let round_span = calibre_telemetry::span("round");
         round_span.add_items(selected.len() as u64);
-        recorder.round_start(round, selected);
         let global_flat = global_encoder.to_flat();
+        let ctx = RoundContext {
+            recorder,
+            downlink_params: global_flat.len(),
+            // Shape-derived, so computable before the aggregate lands.
+            planned_bytes: CommReport::for_module(&global_encoder, 1, selected.len()).total as u64,
+            // Skipped round: repeat the last known loss so the history
+            // stays finite and plottable.
+            fallback_loss: round_losses.last().copied().unwrap_or(0.0),
+            fallback_divergence: 0.0,
+        };
 
-        let outcome = run_round_resilient(
+        let outcome = scheduler.run_round(
             round,
-            selected,
+            &selected,
+            &ctx,
             |id| {
                 states[id]
                     .take()
@@ -260,60 +266,29 @@ pub fn train_pfl_ssl_encoder_resumable(
                 let counts: Vec<usize> = accepted.iter().map(|a| a.count).collect();
                 sample_count_weights(&counts)
             },
-            injector.as_ref(),
-            &cfg.policy,
-            recorder,
+            |&loss| {
+                (
+                    ClientLosses {
+                        total: loss,
+                        ssl: loss,
+                        l_n: 0.0,
+                        l_p: 0.0,
+                    },
+                    0.0,
+                )
+            },
         );
 
-        let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
-        let mut client_loss = Vec::with_capacity(outcome.accepted.len());
-        let mut observed_bytes = 0u64;
-        for a in &outcome.accepted {
-            recorder.client_update(
-                round,
-                a.id,
-                a.wall,
-                ClientLosses {
-                    total: a.payload,
-                    ssl: a.payload,
-                    l_n: 0.0,
-                    l_p: 0.0,
-                },
-                0.0,
-            );
-            client_wall_ms.push(a.wall.as_secs_f64() * 1e3);
-            client_loss.push(a.payload);
-            // One encoder down, one encoder up per client.
-            observed_bytes += ((a.flat.len() + global_flat.len()) * BYTES_PER_PARAM) as u64;
-        }
-
-        let mean_loss = if outcome.accepted.is_empty() {
-            // Skipped round: repeat the last known loss so the history
-            // stays finite and plottable.
-            round_losses.last().copied().unwrap_or(0.0)
-        } else {
-            outcome.accepted.iter().map(|a| a.payload).sum::<f32>() / outcome.accepted.len() as f32
-        };
-        recorder.aggregate(round, outcome.report.quorum, outcome.report.weight_sum);
-        if let Some(aggregated) = &outcome.aggregated {
+        if let Some(aggregated) = &outcome.round.aggregated {
             global_encoder.load_flat(aggregated);
         }
-        for a in outcome.accepted {
+        for a in outcome.round.accepted {
             states[a.id] = Some(a.state);
         }
-        for (id, state) in outcome.rejected_states {
+        for (id, state) in outcome.round.rejected_states {
             states[id] = Some(state);
         }
-        round_losses.push(mean_loss);
-        let planned_bytes = CommReport::for_module(&global_encoder, 1, selected.len()).total as u64;
-        recorder.round_end(
-            round,
-            mean_loss,
-            &client_wall_ms,
-            &client_loss,
-            planned_bytes,
-            observed_bytes,
-        );
+        round_losses.push(outcome.mean_loss);
         if let Some(observer) = round_observer.as_deref_mut() {
             observer(round, &global_encoder);
         }

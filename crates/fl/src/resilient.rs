@@ -32,7 +32,9 @@
 //! `RoundResilience` events are emitted only when something non-nominal
 //! actually happened.
 
-use crate::aggregate::{aggregate_robust, clip_norm, validate_update, Aggregator};
+use crate::aggregate::{
+    aggregate_robust, clip_norm, validate_update, Aggregator, StreamingWeightedSink, UpdateSink,
+};
 use crate::chaos::{panic_injected, ClientFault, FaultInjector};
 use crate::parallel::parallel_map_resilient;
 use calibre_telemetry::Recorder;
@@ -314,11 +316,10 @@ where
     let aggregated = if accepted.len() >= min_quorum {
         let weights = weights_of(&accepted);
         report.weight_sum = weights.iter().sum();
-        let flats: Vec<&[f32]> = accepted.iter().map(|a| a.flat.as_slice()).collect();
         // Accepted updates are finite and same-shaped, so this only fails
         // on a caller bug (weight count); degrade to a skipped round rather
         // than panicking mid-training.
-        aggregate_robust(policy.aggregator, &flats, &weights).ok()
+        aggregate_accepted(policy.aggregator, &accepted, &weights)
     } else {
         None
     };
@@ -343,6 +344,43 @@ where
         rejected_states,
         aggregated,
         report,
+    }
+}
+
+/// Aggregates the accepted cohort. The weighted average streams each
+/// update straight out of its [`AcceptedClient`] through a
+/// [`StreamingWeightedSink`] — no intermediate `Vec` of borrows, and
+/// bit-identical to the historical
+/// [`weighted_average_refs`](crate::aggregate::weighted_average_refs) call
+/// because the sink applies the same total-first, slot-ordered arithmetic.
+/// The robust statistics need all per-coordinate columns at once, so they
+/// keep the collected-slice path.
+fn aggregate_accepted<S, P>(
+    aggregator: Aggregator,
+    accepted: &[AcceptedClient<S, P>],
+    weights: &[f32],
+) -> Option<Vec<f32>> {
+    match aggregator {
+        Aggregator::WeightedAverage => {
+            let n = accepted.len();
+            if n == 0 || weights.len() != n {
+                return None;
+            }
+            let dim = accepted.first().map(|a| a.flat.len()).unwrap_or(0);
+            let span = calibre_telemetry::span("aggregate");
+            span.add_items(n as u64);
+            span.add_bytes((n * dim * std::mem::size_of::<f32>()) as u64);
+            let total: f32 = weights.iter().sum();
+            let mut sink = StreamingWeightedSink::for_cohort(total, n);
+            for (a, &w) in accepted.iter().zip(weights.iter()) {
+                sink.fold(a.slot, &a.flat, w).ok()?;
+            }
+            sink.finish().ok()
+        }
+        _ => {
+            let flats: Vec<&[f32]> = accepted.iter().map(|a| a.flat.as_slice()).collect();
+            aggregate_robust(aggregator, &flats, weights).ok()
+        }
     }
 }
 

@@ -1,0 +1,247 @@
+//! Seeded cohort sampling for massive-cohort rounds.
+//!
+//! At production scale only a cohort of the client population participates
+//! in each round. [`Sampler`] picks that cohort deterministically: the
+//! selection is a pure function of `(seed, round, population, cohort,
+//! scores)`, so a replayed run — or a resumed one — selects exactly the
+//! same clients regardless of when or how often `select` is called
+//! (`DESIGN.md` §11).
+
+use calibre_tensor::rng::{sample_without_replacement, seeded};
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// Domain-separation salt so the sampler stream never collides with the
+/// per-client training rngs derived from the same run seed.
+const SAMPLER_SALT: u64 = 0x5A4D_504C_4552_0001;
+
+/// The sampling strategy of a [`Sampler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Every client is equally likely.
+    Uniform,
+    /// Clients are drawn proportionally to a caller-supplied importance
+    /// score (e.g. sample counts), without replacement.
+    Importance,
+    /// Clients are drawn proportionally to their last reported model
+    /// divergence, favouring *high*-divergence clients. This is the inverse
+    /// of the divergence-aware aggregation weighting
+    /// ([`crate::aggregate::divergence_weights`] down-weights divergent
+    /// updates when merging): sampling seeks out the clients the global
+    /// model fits worst so their data is represented, while aggregation
+    /// then tempers how hard each such update pulls.
+    DivergenceWeighted,
+}
+
+impl SamplerKind {
+    /// Parses the CLI spelling (`uniform` / `importance` / `divergence`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "uniform" => Some(SamplerKind::Uniform),
+            "importance" => Some(SamplerKind::Importance),
+            "divergence" => Some(SamplerKind::DivergenceWeighted),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling accepted by [`SamplerKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::Uniform => "uniform",
+            SamplerKind::Importance => "importance",
+            SamplerKind::DivergenceWeighted => "divergence",
+        }
+    }
+}
+
+/// A deterministic cohort sampler.
+///
+/// # Determinism
+///
+/// `select` re-derives its rng from `(seed, round)` on every call, so the
+/// result is replay-identical and independent of call order: sampling
+/// round 7 before round 3, or sampling round 3 twice, changes nothing.
+/// Weighted modes break score ties by client index, so equal scores are
+/// also deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::sampler::{Sampler, SamplerKind};
+///
+/// let sampler = Sampler::new(SamplerKind::Uniform, 42);
+/// let a = sampler.select(3, 1_000, 10, None);
+/// let b = sampler.select(3, 1_000, 10, None);
+/// assert_eq!(a, b, "same (seed, round) always selects the same cohort");
+/// assert_eq!(a.len(), 10);
+/// assert!(a.iter().all(|&c| c < 1_000));
+/// assert_ne!(a, sampler.select(4, 1_000, 10, None), "rounds decorrelate");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    kind: SamplerKind,
+    seed: u64,
+}
+
+impl Sampler {
+    /// A sampler with the given strategy and run seed.
+    pub fn new(kind: SamplerKind, seed: u64) -> Self {
+        Sampler { kind, seed }
+    }
+
+    /// The sampling strategy.
+    pub fn kind(&self) -> SamplerKind {
+        self.kind
+    }
+
+    fn round_rng(&self, round: usize) -> StdRng {
+        // analyze:allow(lossy-cast) -- round→u64 is widening on every
+        // supported target.
+        seeded(self.seed ^ SAMPLER_SALT ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Selects `cohort` distinct clients from `0..population` for `round`.
+    ///
+    /// `scores` feeds the weighted modes: importance scores for
+    /// [`SamplerKind::Importance`], last-known divergences for
+    /// [`SamplerKind::DivergenceWeighted`] (indexed by client id; missing
+    /// or non-positive entries fall back to a tiny uniform weight so every
+    /// client stays reachable). Uniform sampling ignores it, and weighted
+    /// samplers degrade to uniform when no scores exist yet — the first
+    /// round of a divergence-weighted run has no divergences to use.
+    ///
+    /// The result is sorted ascending. A `cohort` of `population` or more
+    /// selects everyone.
+    pub fn select(
+        &self,
+        round: usize,
+        population: usize,
+        cohort: usize,
+        scores: Option<&[f32]>,
+    ) -> Vec<usize> {
+        if cohort >= population {
+            return (0..population).collect();
+        }
+        let mut rng = self.round_rng(round);
+        let mut picked = match (self.kind, scores) {
+            (SamplerKind::Uniform, _) | (_, None) => {
+                sample_without_replacement(&mut rng, population, cohort)
+            }
+            (_, Some(scores)) => weighted_without_replacement(&mut rng, population, cohort, scores),
+        };
+        picked.sort_unstable();
+        picked
+    }
+}
+
+/// Weighted sampling without replacement via the exponential race: client
+/// `i` gets key `-ln(uᵢ)/wᵢ` and the `cohort` smallest keys win. Ties are
+/// broken by client index so the result is a total order.
+fn weighted_without_replacement(
+    rng: &mut StdRng,
+    population: usize,
+    cohort: usize,
+    scores: &[f32],
+) -> Vec<usize> {
+    const FLOOR: f32 = 1e-6;
+    let mut keyed: Vec<(f32, usize)> = (0..population)
+        .map(|i| {
+            let w = scores.get(i).copied().unwrap_or(0.0).max(0.0) + FLOOR;
+            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+            (-u.ln() / w, i)
+        })
+        .collect();
+    keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keyed.into_iter().take(cohort).map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_selection_is_replay_identical_and_in_range() {
+        let sampler = Sampler::new(SamplerKind::Uniform, 7);
+        let a = sampler.select(0, 500, 50, None);
+        let b = sampler.select(0, 500, 50, None);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(a.iter().all(|&c| c < 500));
+    }
+
+    #[test]
+    fn selection_is_independent_of_call_order() {
+        let sampler = Sampler::new(SamplerKind::Uniform, 7);
+        let late_first = sampler.select(9, 100, 10, None);
+        let _ = sampler.select(0, 100, 10, None);
+        assert_eq!(late_first, sampler.select(9, 100, 10, None));
+    }
+
+    #[test]
+    fn rounds_decorrelate() {
+        let sampler = Sampler::new(SamplerKind::Uniform, 7);
+        let rounds: Vec<Vec<usize>> = (0..4).map(|r| sampler.select(r, 1_000, 20, None)).collect();
+        assert!(
+            rounds.windows(2).any(|w| w[0] != w[1]),
+            "consecutive rounds must not repeat the cohort"
+        );
+    }
+
+    #[test]
+    fn full_cohort_selects_everyone() {
+        let sampler = Sampler::new(SamplerKind::DivergenceWeighted, 1);
+        assert_eq!(sampler.select(0, 5, 5, None), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sampler.select(0, 5, 9, None), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn importance_sampling_favours_heavy_scores() {
+        let sampler = Sampler::new(SamplerKind::Importance, 3);
+        let mut scores = vec![0.01f32; 100];
+        for s in scores.iter_mut().take(10) {
+            *s = 100.0;
+        }
+        let mut heavy_hits = 0usize;
+        for round in 0..50 {
+            let picked = sampler.select(round, 100, 10, Some(&scores));
+            heavy_hits += picked.iter().filter(|&&c| c < 10).count();
+        }
+        assert!(
+            heavy_hits > 350,
+            "heavy clients should dominate the cohort, got {heavy_hits}/500"
+        );
+    }
+
+    #[test]
+    fn divergence_weighted_favours_divergent_clients() {
+        let sampler = Sampler::new(SamplerKind::DivergenceWeighted, 11);
+        let mut divergences = vec![0.001f32; 50];
+        if let Some(d) = divergences.get_mut(42) {
+            *d = 50.0;
+        }
+        let hits = (0..40)
+            .filter(|&r| sampler.select(r, 50, 5, Some(&divergences)).contains(&42))
+            .count();
+        assert!(hits > 30, "most divergent client picked {hits}/40 rounds");
+    }
+
+    #[test]
+    fn weighted_sampler_without_scores_degrades_to_uniform() {
+        let with_kind = Sampler::new(SamplerKind::Importance, 5).select(2, 200, 20, None);
+        let uniform = Sampler::new(SamplerKind::Uniform, 5).select(2, 200, 20, None);
+        assert_eq!(with_kind, uniform);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Importance,
+            SamplerKind::DivergenceWeighted,
+        ] {
+            assert_eq!(SamplerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SamplerKind::parse("magic"), None);
+    }
+}

@@ -1,0 +1,624 @@
+//! Round orchestration shared by every training loop.
+//!
+//! [`RoundScheduler`] owns the three per-run decisions that used to be
+//! duplicated inside `pfl_ssl` and the Calibre framework loop: which
+//! clients participate in a round (a fixed schedule or a seeded
+//! [`Sampler`]), what faults are injected ([`FaultInjector`]), and how the
+//! round is executed and aggregated ([`RoundPolicy`]).
+//!
+//! Two execution paths share that state:
+//!
+//! * [`RoundScheduler::run_round`] — the collect-then-aggregate path used
+//!   by training: full per-client telemetry, retries, and state caching via
+//!   [`run_round_resilient`]. Memory is O(cohort × model).
+//! * [`RoundScheduler::run_round_streaming`] — the massive-cohort path:
+//!   updates are folded into an [`UpdateSink`] the moment a wave of workers
+//!   finishes, so aggregation state is O(model) (or O(groups × model) for a
+//!   [`crate::aggregate::HierarchicalSink`]) no matter how many clients
+//!   participate. See `DESIGN.md` §11 for the scaling model.
+//!
+//! # Determinism
+//!
+//! Both paths are replay-identical: selection depends only on
+//! `(seed, round)`, fault decisions only on `(round, client, attempt)`, and
+//! updates are folded in selection-slot order (the parallel maps preserve
+//! input order). With an inactive chaos plan and the default policy,
+//! `run_round` is bit-identical to the historical nominal loop — the
+//! golden-checksum tests pin this through the training entry points.
+
+use crate::aggregate::UpdateSink;
+use crate::chaos::{ClientFault, FaultInjector, FaultPlan};
+use crate::comm::BYTES_PER_PARAM;
+use crate::config::FlConfig;
+use crate::parallel::parallel_map;
+use crate::resilient::{
+    run_round_resilient, AcceptedClient, ClientOutcome, ResilientRound, RoundPolicy,
+};
+use crate::sampler::Sampler;
+use calibre_telemetry::{ClientLosses, Recorder};
+
+/// How a scheduler picks each round's cohort.
+#[derive(Debug, Clone)]
+enum Selection {
+    /// A precomputed per-round schedule (the training loops' historical
+    /// behaviour via [`FlConfig::selection_schedule`]).
+    Fixed(Vec<Vec<usize>>),
+    /// A seeded [`Sampler`] over a large population.
+    Sampled {
+        sampler: Sampler,
+        population: usize,
+        cohort: usize,
+        rounds: usize,
+    },
+}
+
+/// Per-round context the caller threads into [`RoundScheduler::run_round`]:
+/// the telemetry sink plus the few quantities only the caller knows.
+pub struct RoundContext<'a> {
+    /// Destination for the round's telemetry events.
+    pub recorder: &'a dyn Recorder,
+    /// Parameter count pushed down to each client (the global model size),
+    /// used for observed-bytes accounting.
+    pub downlink_params: usize,
+    /// Planned communication volume for the round (shape-derived).
+    pub planned_bytes: u64,
+    /// Mean loss to report if the round is skipped (usually the previous
+    /// round's, so histories stay finite).
+    pub fallback_loss: f32,
+    /// Mean divergence to report if the round is skipped.
+    pub fallback_divergence: f32,
+}
+
+impl std::fmt::Debug for RoundContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundContext")
+            .field("downlink_params", &self.downlink_params)
+            .field("planned_bytes", &self.planned_bytes)
+            .field("fallback_loss", &self.fallback_loss)
+            .field("fallback_divergence", &self.fallback_divergence)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of one scheduled (collect-then-aggregate) round: the resilient
+/// round plus the loss/divergence means the loop histories record.
+#[derive(Debug)]
+pub struct ScheduledRound<S, P> {
+    /// Accepted clients, rejected states, aggregate, and fault accounting.
+    pub round: ResilientRound<S, P>,
+    /// Mean client loss over accepted clients (fallback if skipped).
+    pub mean_loss: f32,
+    /// Mean client divergence over accepted clients (fallback if skipped).
+    pub mean_divergence: f32,
+}
+
+/// Result of one streaming round over a massive cohort.
+#[derive(Debug)]
+pub struct StreamedRound {
+    /// Cohort size this round (selected clients).
+    pub cohort: usize,
+    /// Updates folded into the sink.
+    pub accepted: usize,
+    /// Clients that never reported (dropout or mid-update panic — the
+    /// streaming path does not retry).
+    pub dropped: usize,
+    /// Updates rejected by validation (non-finite).
+    pub rejected: usize,
+    /// Sum of the folded aggregation weights.
+    pub weight_sum: f32,
+    /// Whether the round missed the minimum quorum (no aggregate).
+    pub skipped: bool,
+    /// The aggregate, unless the round was skipped.
+    pub aggregated: Option<Vec<f32>>,
+    /// Peak bytes held by the aggregation path (sink state + quorum buffer
+    /// + in-flight wave) — the O(model) quantity the `cohort` bench pins.
+    pub peak_state_bytes: usize,
+}
+
+/// Owns selection, fault injection, and round policy for a training run.
+///
+/// # Determinism
+///
+/// A scheduler holds no mutable state: every decision is re-derived from
+/// `(seed, round)`, so calling [`RoundScheduler::select`] twice — or
+/// resuming a checkpointed run at round `k` — yields exactly the schedule
+/// of an uninterrupted run.
+///
+/// # Examples
+///
+/// Sampling a 32-client cohort from a 10k population and streaming the
+/// round through a constant-memory sink:
+///
+/// ```
+/// use calibre_fl::aggregate::StreamingWeightedSink;
+/// use calibre_fl::sampler::{Sampler, SamplerKind};
+/// use calibre_fl::scheduler::RoundScheduler;
+/// use calibre_telemetry::NullRecorder;
+///
+/// let scheduler =
+///     RoundScheduler::sampled(Sampler::new(SamplerKind::Uniform, 7), 10_000, 32, 3);
+/// assert_eq!(scheduler.rounds(), 3);
+/// let selected = scheduler.select(0, None);
+/// assert_eq!(selected, scheduler.select(0, None), "replay-identical");
+///
+/// let mut sink = StreamingWeightedSink::new();
+/// let out = scheduler.run_round_streaming(
+///     0,
+///     &selected,
+///     8,
+///     &mut sink,
+///     |client| (vec![client as f32; 4], 1.0),
+///     &NullRecorder,
+/// );
+/// assert_eq!(out.accepted, 32);
+/// assert!(!out.skipped);
+/// assert_eq!(out.aggregated.unwrap().len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct RoundScheduler {
+    selection: Selection,
+    injector: Option<FaultInjector>,
+    policy: RoundPolicy,
+}
+
+impl RoundScheduler {
+    /// The training loops' scheduler: fixed selection schedule, chaos
+    /// injector, and round policy all taken from the run config.
+    pub fn from_config(cfg: &FlConfig, num_clients: usize) -> Self {
+        RoundScheduler {
+            selection: Selection::Fixed(cfg.selection_schedule(num_clients)),
+            injector: cfg
+                .chaos
+                .is_active()
+                .then(|| FaultInjector::for_run(cfg.chaos.clone(), cfg.seed)),
+            policy: cfg.policy,
+        }
+    }
+
+    /// A scheduler that samples `cohort` of `population` clients per round
+    /// for `rounds` rounds, with the default [`RoundPolicy`] and no chaos.
+    pub fn sampled(sampler: Sampler, population: usize, cohort: usize, rounds: usize) -> Self {
+        RoundScheduler {
+            selection: Selection::Sampled {
+                sampler,
+                population,
+                cohort,
+                rounds,
+            },
+            injector: None,
+            policy: RoundPolicy::default(),
+        }
+    }
+
+    /// Replaces the round policy (quorum, aggregator, clipping).
+    pub fn with_policy(mut self, policy: RoundPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms deterministic fault injection with the given plan and run seed
+    /// (a no-op for inactive plans, matching the training loops).
+    pub fn with_chaos(mut self, plan: FaultPlan, run_seed: u64) -> Self {
+        self.injector = plan
+            .is_active()
+            .then(|| FaultInjector::for_run(plan, run_seed));
+        self
+    }
+
+    /// The round policy this scheduler executes under.
+    pub fn policy(&self) -> &RoundPolicy {
+        &self.policy
+    }
+
+    /// Total number of rounds in the run.
+    pub fn rounds(&self) -> usize {
+        match &self.selection {
+            Selection::Fixed(schedule) => schedule.len(),
+            Selection::Sampled { rounds, .. } => *rounds,
+        }
+    }
+
+    /// The cohort for `round`, sorted ascending. `scores` feeds weighted
+    /// samplers (see [`Sampler::select`]); fixed schedules ignore it.
+    pub fn select(&self, round: usize, scores: Option<&[f32]>) -> Vec<usize> {
+        match &self.selection {
+            Selection::Fixed(schedule) => schedule.get(round).cloned().unwrap_or_default(),
+            Selection::Sampled {
+                sampler,
+                population,
+                cohort,
+                ..
+            } => sampler.select(round, *population, *cohort, scores),
+        }
+    }
+
+    /// Executes one collect-then-aggregate round with full telemetry.
+    ///
+    /// This is [`run_round_resilient`] plus the event choreography the
+    /// training loops used to inline: `round_start`, one `client_update`
+    /// per accepted client (losses and divergence extracted from the
+    /// payload by `losses_of`), `aggregate`, and `round_end` with the
+    /// per-client wall-clock/loss vectors and byte accounting. The caller
+    /// keeps what is loop-specific: loading the aggregate into the global
+    /// model, returning states to its cache, and recording the means.
+    #[allow(clippy::too_many_arguments)] // mirrors run_round_resilient's surface
+    pub fn run_round<S, P, MS, W, WF, L>(
+        &self,
+        round: usize,
+        selected: &[usize],
+        ctx: &RoundContext<'_>,
+        make_state: MS,
+        work: W,
+        weights_of: WF,
+        losses_of: L,
+    ) -> ScheduledRound<S, P>
+    where
+        S: Send,
+        P: Send,
+        MS: FnMut(usize) -> S,
+        W: Fn(usize, S) -> ClientOutcome<S, P> + Sync,
+        WF: FnOnce(&[AcceptedClient<S, P>]) -> Vec<f32>,
+        L: Fn(&P) -> (ClientLosses, f32),
+    {
+        ctx.recorder.round_start(round, selected);
+        let outcome = run_round_resilient(
+            round,
+            selected,
+            make_state,
+            work,
+            weights_of,
+            self.injector.as_ref(),
+            &self.policy,
+            ctx.recorder,
+        );
+
+        let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
+        let mut client_loss = Vec::with_capacity(outcome.accepted.len());
+        let mut observed_bytes = 0u64;
+        let mut div_sum = 0.0f32;
+        for a in &outcome.accepted {
+            let (losses, divergence) = losses_of(&a.payload);
+            ctx.recorder
+                .client_update(round, a.id, a.wall, losses, divergence);
+            client_wall_ms.push(a.wall.as_secs_f64() * 1e3);
+            client_loss.push(losses.total);
+            div_sum += divergence;
+            // One model down, one model up per client.
+            observed_bytes += ((a.flat.len() + ctx.downlink_params) * BYTES_PER_PARAM) as u64;
+        }
+
+        let n = outcome.accepted.len();
+        let (mean_loss, mean_divergence) = if n == 0 {
+            (ctx.fallback_loss, ctx.fallback_divergence)
+        } else {
+            // Division (not multiply-by-reciprocal) to stay bit-identical
+            // with the historical inline loops.
+            // analyze:allow(lossy-cast) -- cohort sizes sit far below f32
+            // integer precision loss (2^24).
+            let nf = n as f32;
+            (client_loss.iter().sum::<f32>() / nf, div_sum / nf)
+        };
+        ctx.recorder
+            .aggregate(round, outcome.report.quorum, outcome.report.weight_sum);
+        ctx.recorder.round_end(
+            round,
+            mean_loss,
+            &client_wall_ms,
+            &client_loss,
+            ctx.planned_bytes,
+            observed_bytes,
+        );
+
+        ScheduledRound {
+            round: outcome,
+            mean_loss,
+            mean_divergence,
+        }
+    }
+
+    /// Executes one round over a massive cohort, folding updates into
+    /// `sink` wave by wave so aggregation memory stays at the sink's
+    /// O(model) state bound.
+    ///
+    /// `work` maps a client id to its `(update, weight)` pair and runs on
+    /// the worker pool, at most `wave` clients in flight at once; results
+    /// are folded in selection-slot order, so a replay folds identically.
+    /// Chaos composes with sampling: dropout and mid-update panics remove
+    /// the client for the round (the streaming path does not retry —
+    /// at cohort scale a lost client is noise, and the next round resamples),
+    /// stragglers still report (their delay is accounted, not slept), and
+    /// corrupted updates face the same validation and norm clipping as the
+    /// resilient path.
+    ///
+    /// Because a fold cannot be undone, the first
+    /// [`RoundPolicy::min_quorum`] validated updates are buffered and only
+    /// flushed into the sink once the quorum is reached — a round that
+    /// misses quorum leaves the sink untouched and reports
+    /// `skipped: true`. The buffer is O(min_quorum × model), independent of
+    /// cohort size.
+    ///
+    /// Telemetry is deliberately lean — one `aggregate` event, plus
+    /// `round_resilience` when anything non-nominal happened. Per-client
+    /// `client_update` events would dominate the run at 100k clients; the
+    /// bench layer reports cohort-level summaries instead.
+    pub fn run_round_streaming<W>(
+        &self,
+        round: usize,
+        selected: &[usize],
+        wave: usize,
+        sink: &mut dyn UpdateSink,
+        work: W,
+        recorder: &dyn Recorder,
+    ) -> StreamedRound
+    where
+        W: Fn(usize) -> (Vec<f32>, f32) + Sync,
+    {
+        let wave = wave.max(1);
+        let min_quorum = self.policy.min_quorum.max(1);
+        let mut out = StreamedRound {
+            cohort: selected.len(),
+            accepted: 0,
+            dropped: 0,
+            rejected: 0,
+            weight_sum: 0.0,
+            skipped: false,
+            aggregated: None,
+            peak_state_bytes: 0,
+        };
+
+        // Churn is decided up front on the scheduler thread, per
+        // (round, id, attempt 0) — identical on replay.
+        let mut survivors: Vec<(usize, Option<ClientFault>)> = Vec::with_capacity(selected.len());
+        for &id in selected {
+            let fault = self.injector.as_ref().and_then(|i| i.decide(round, id, 0));
+            match fault {
+                Some(ClientFault::Dropout) | Some(ClientFault::PanicMidUpdate) => out.dropped += 1,
+                _ => survivors.push((id, fault)),
+            }
+        }
+
+        // Fold-or-hold: buffer until the quorum is certain, then stream.
+        let mut held: Vec<(usize, Vec<f32>, f32)> = Vec::new();
+        let mut held_bytes = 0usize;
+        let mut slot = 0usize;
+        for chunk in survivors.chunks(wave) {
+            let results = parallel_map(chunk, |&(id, _fault)| work(id));
+            let wave_bytes: usize = results
+                .iter()
+                .map(|(u, _)| u.len() * std::mem::size_of::<f32>())
+                .sum();
+            for ((id, fault), (mut update, weight)) in chunk.iter().copied().zip(results) {
+                if let (Some(ClientFault::Corrupt(kind)), Some(inj)) =
+                    (fault, self.injector.as_ref())
+                {
+                    inj.corrupt(round, id, 0, kind, &mut update);
+                }
+                if !crate::aggregate::validate_update(&update) {
+                    out.rejected += 1;
+                    continue;
+                }
+                if let Some(max_norm) = self.policy.clip_norm {
+                    crate::aggregate::clip_norm(&mut update, max_norm);
+                }
+                out.accepted += 1;
+                out.weight_sum += weight;
+                if out.accepted <= min_quorum && held.len() + 1 < min_quorum {
+                    held_bytes += update.len() * std::mem::size_of::<f32>();
+                    held.push((slot, update, weight));
+                } else {
+                    for (s, u, w) in held.drain(..) {
+                        let _ = sink.fold(s, &u, w);
+                    }
+                    held_bytes = 0;
+                    let _ = sink.fold(slot, &update, weight);
+                }
+                slot += 1;
+            }
+            out.peak_state_bytes = out
+                .peak_state_bytes
+                .max(sink.state_bytes() + held_bytes + wave_bytes);
+        }
+
+        if out.accepted >= min_quorum {
+            out.aggregated = sink.finish().ok();
+        }
+        out.skipped = out.aggregated.is_none();
+        recorder.aggregate(round, out.accepted, out.weight_sum);
+        if out.dropped > 0 || out.rejected > 0 || out.skipped {
+            recorder.round_resilience(
+                round,
+                out.dropped + out.rejected,
+                out.dropped + out.rejected,
+                0,
+                out.accepted,
+                out.skipped,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{weighted_average_refs, StreamingWeightedSink};
+    use crate::sampler::SamplerKind;
+    use calibre_telemetry::{Event, MemoryRecorder, NullRecorder};
+
+    fn toy_scheduler(cohort: usize, rounds: usize) -> RoundScheduler {
+        RoundScheduler::sampled(Sampler::new(SamplerKind::Uniform, 9), 1_000, cohort, rounds)
+    }
+
+    #[test]
+    fn fixed_selection_mirrors_the_config_schedule() {
+        let mut cfg = FlConfig::for_input(16);
+        cfg.rounds = 4;
+        cfg.clients_per_round = 3;
+        let scheduler = RoundScheduler::from_config(&cfg, 10);
+        assert_eq!(scheduler.rounds(), 4);
+        let schedule = cfg.selection_schedule(10);
+        for (round, expected) in schedule.iter().enumerate() {
+            assert_eq!(&scheduler.select(round, None), expected);
+        }
+    }
+
+    #[test]
+    fn scheduled_round_emits_the_legacy_event_choreography() {
+        let rec = MemoryRecorder::new();
+        let scheduler = toy_scheduler(3, 1);
+        let selected = scheduler.select(0, None);
+        let ctx = RoundContext {
+            recorder: &rec,
+            downlink_params: 4,
+            planned_bytes: 128,
+            fallback_loss: 0.0,
+            fallback_divergence: 0.0,
+        };
+        let out = scheduler.run_round(
+            0,
+            &selected,
+            &ctx,
+            |id| id as u64,
+            |id, state| ClientOutcome {
+                state,
+                // analyze:allow(lossy-cast) -- toy ids in tests.
+                flat: vec![id as f32; 4],
+                count: 1,
+                payload: 0.5f32,
+            },
+            |accepted| vec![1.0; accepted.len()],
+            |&loss| {
+                (
+                    ClientLosses {
+                        total: loss,
+                        ssl: loss,
+                        l_n: 0.0,
+                        l_p: 0.0,
+                    },
+                    0.0,
+                )
+            },
+        );
+        assert_eq!(out.round.accepted.len(), 3);
+        assert!((out.mean_loss - 0.5).abs() < 1e-6);
+        let events = rec.events();
+        assert!(matches!(events[0], Event::RoundStart { .. }));
+        assert!(matches!(events[1], Event::ClientUpdate { .. }));
+        assert!(matches!(events[4], Event::Aggregate { .. }));
+        assert!(matches!(
+            events[5],
+            Event::RoundEnd {
+                planned_bytes: 128,
+                ..
+            }
+        ));
+        assert_eq!(events.len(), 6);
+    }
+
+    #[test]
+    fn streaming_round_matches_the_collected_aggregate() {
+        let scheduler = toy_scheduler(16, 1);
+        let selected = scheduler.select(0, None);
+        // analyze:allow(lossy-cast) -- toy ids in tests.
+        let update_of = |id: usize| vec![id as f32 * 0.5, 1.0 - id as f32];
+        let mut sink = StreamingWeightedSink::new();
+        let out = scheduler.run_round_streaming(
+            0,
+            &selected,
+            4,
+            &mut sink,
+            |id| (update_of(id), 1.0),
+            &NullRecorder,
+        );
+        let updates: Vec<Vec<f32>> = selected.iter().map(|&id| update_of(id)).collect();
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let expected = weighted_average_refs(&refs, &vec![1.0; refs.len()]);
+        let got = out.aggregated.unwrap();
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-5, "{g} vs {e}");
+        }
+        assert_eq!(out.accepted, 16);
+        assert_eq!(out.cohort, 16);
+    }
+
+    #[test]
+    fn streaming_round_is_replay_identical() {
+        let run = || {
+            let scheduler = toy_scheduler(32, 1).with_chaos(
+                FaultPlan {
+                    drop_prob: 0.2,
+                    ..FaultPlan::default()
+                },
+                77,
+            );
+            let selected = scheduler.select(0, None);
+            let mut sink = StreamingWeightedSink::new();
+            let out = scheduler.run_round_streaming(
+                0,
+                &selected,
+                8,
+                &mut sink,
+                // analyze:allow(lossy-cast) -- toy ids in tests.
+                |id| (vec![id as f32; 3], 1.0),
+                &NullRecorder,
+            );
+            (out.accepted, out.dropped, out.aggregated)
+        };
+        let (a_acc, a_drop, a_agg) = run();
+        let (b_acc, b_drop, b_agg) = run();
+        assert_eq!(a_acc, b_acc);
+        assert_eq!(a_drop, b_drop);
+        assert_eq!(a_agg, b_agg, "same seed replays bit-identically");
+        assert!(a_drop > 0, "0.2 drop over 32 clients should hit someone");
+    }
+
+    #[test]
+    fn streaming_round_misses_quorum_without_touching_the_sink() {
+        let scheduler = toy_scheduler(4, 1).with_policy(RoundPolicy {
+            min_quorum: 8,
+            ..RoundPolicy::default()
+        });
+        let selected = scheduler.select(0, None);
+        let rec = MemoryRecorder::new();
+        let mut sink = StreamingWeightedSink::new();
+        let out = scheduler.run_round_streaming(
+            0,
+            &selected,
+            2,
+            &mut sink,
+            |_| (vec![1.0, 2.0], 1.0),
+            &rec,
+        );
+        assert!(out.skipped);
+        assert!(out.aggregated.is_none());
+        assert!(matches!(
+            rec.events().last(),
+            Some(Event::RoundResilience { skipped: true, .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_peak_memory_is_flat_across_cohort_sizes() {
+        let dim = 64;
+        let peak_of = |cohort: usize| {
+            let scheduler = toy_scheduler(cohort, 1);
+            let selected = scheduler.select(0, None);
+            let mut sink = StreamingWeightedSink::new();
+            let out = scheduler.run_round_streaming(
+                0,
+                &selected,
+                8,
+                &mut sink,
+                |_| (vec![1.0; dim], 1.0),
+                &NullRecorder,
+            );
+            out.peak_state_bytes
+        };
+        let small = peak_of(16);
+        let large = peak_of(512);
+        assert_eq!(
+            small, large,
+            "peak aggregation memory must not grow with the cohort"
+        );
+    }
+}

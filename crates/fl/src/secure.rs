@@ -133,24 +133,42 @@ impl std::error::Error for SecureAggError {}
 /// field carries the *position* of the offending update — this raw
 /// primitive does not know client ids).
 pub fn aggregate_masked(updates: &[Vec<f32>]) -> Result<Vec<f32>, SecureAggError> {
-    let dim = match updates.first() {
-        Some(u) => u.len(),
-        None => return Err(SecureAggError::Empty),
-    };
-    let mut sum = vec![0.0f32; dim];
-    for (i, u) in updates.iter().enumerate() {
-        if u.len() != dim {
+    fold_masked(updates.iter().map(Vec::as_slice))
+}
+
+/// [`aggregate_masked`] over borrowed slices — the zero-copy entry point
+/// for callers that already hold their updates elsewhere (e.g. an
+/// [`crate::resilient::AcceptedClient`] cohort) and should not clone
+/// O(cohort × model) floats just to sum them.
+///
+/// # Errors
+///
+/// Same contract as [`aggregate_masked`].
+pub fn aggregate_masked_refs(updates: &[&[f32]]) -> Result<Vec<f32>, SecureAggError> {
+    fold_masked(updates.iter().copied())
+}
+
+/// The shared streaming fold: one O(model) accumulator, updates borrowed
+/// and folded in input order — never copied.
+fn fold_masked<'a, I>(updates: I) -> Result<Vec<f32>, SecureAggError>
+where
+    I: Iterator<Item = &'a [f32]>,
+{
+    let mut sum: Option<Vec<f32>> = None;
+    for (i, u) in updates.enumerate() {
+        let acc = sum.get_or_insert_with(|| vec![0.0f32; u.len()]);
+        if u.len() != acc.len() {
             return Err(SecureAggError::LengthMismatch {
                 client: i,
-                expected: dim,
+                expected: acc.len(),
                 got: u.len(),
             });
         }
-        for (s, &v) in sum.iter_mut().zip(u) {
+        for (s, &v) in acc.iter_mut().zip(u) {
             *s += v;
         }
     }
-    Ok(sum)
+    sum.ok_or(SecureAggError::Empty)
 }
 
 /// [`aggregate_masked`] with the cancellation invariant asserted.
@@ -210,10 +228,10 @@ pub fn aggregate_masked_cohort(
     cohort: &[usize],
     round_seed: u64,
 ) -> Result<Vec<f32>, SecureAggError> {
-    if updates.is_empty() {
-        return Err(SecureAggError::Empty);
-    }
-    let dim = updates[0].1.len();
+    let dim = match updates.first() {
+        Some((_, u)) => u.len(),
+        None => return Err(SecureAggError::Empty),
+    };
     let mut seen: Vec<usize> = Vec::with_capacity(updates.len());
     for (client, u) in updates {
         if !cohort.contains(client) {

@@ -151,6 +151,88 @@ fn heavy_chaos_run_completes_and_accounts_for_every_fault() {
 }
 
 #[test]
+fn ten_thousand_client_streaming_round_accounts_for_every_client() {
+    // The massive-cohort acceptance test: sampling + dropout + corruption +
+    // quorum at a 10k-client simulated cohort. Every round must complete,
+    // every selected client must land in exactly one of
+    // accepted/dropped/rejected, and the whole run must replay
+    // bit-identically from the same seeds.
+    use calibre_fl::aggregate::StreamingWeightedSink;
+    use calibre_fl::sampler::{Sampler, SamplerKind};
+    use calibre_fl::scheduler::RoundScheduler;
+
+    let run = || {
+        let scheduler =
+            RoundScheduler::sampled(Sampler::new(SamplerKind::Uniform, 13), 20_000, 10_000, 3)
+                .with_chaos(
+                    FaultPlan {
+                        drop_prob: 0.15,
+                        corrupt_prob: 0.05,
+                        seed: 13,
+                        ..FaultPlan::default()
+                    },
+                    13,
+                )
+                .with_policy(RoundPolicy {
+                    min_quorum: 100,
+                    ..RoundPolicy::default()
+                });
+
+        let memory = MemoryRecorder::new();
+        let mut counts = Vec::new();
+        let mut aggregates = Vec::new();
+        for round in 0..scheduler.rounds() {
+            let selected = scheduler.select(round, None);
+            assert_eq!(selected.len(), 10_000, "sampler under-filled the cohort");
+            let mut sink = StreamingWeightedSink::new();
+            let out = scheduler.run_round_streaming(
+                round,
+                &selected,
+                64,
+                &mut sink,
+                |id| (vec![(id % 7) as f32, 1.0, -0.5], 1.0),
+                &memory,
+            );
+            assert_eq!(
+                out.accepted + out.dropped + out.rejected,
+                out.cohort,
+                "round {round}: a client went unaccounted for"
+            );
+            assert!(out.dropped > 0, "15% dropout over 10k clients must fire");
+            assert!(!out.skipped, "10k-client round cannot miss a quorum of 100");
+            let agg = out.aggregated.expect("unskipped round must aggregate");
+            assert!(agg.iter().all(|v| v.is_finite()));
+            counts.push((out.accepted, out.dropped, out.rejected));
+            aggregates.push(agg);
+        }
+
+        // Lean telemetry: one aggregate event per round, resilience
+        // accounting only because churn occurred.
+        let events = memory.events();
+        let agg_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::Aggregate { .. }))
+            .count();
+        assert_eq!(agg_events, scheduler.rounds());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::RoundResilience { .. })));
+        (counts, aggregates)
+    };
+
+    let (counts_a, agg_a) = run();
+    let (counts_b, agg_b) = run();
+    assert_eq!(
+        counts_a, counts_b,
+        "churn accounting must replay identically"
+    );
+    assert_eq!(
+        agg_a, agg_b,
+        "streamed aggregate must replay bit-identically"
+    );
+}
+
+#[test]
 fn chaos_free_config_reports_an_all_zero_summary() {
     // The inactive default plan must not emit a single resilience event —
     // this is the observable half of the bit-identity guarantee.

@@ -2,7 +2,8 @@
 
 use calibre_fl::aggregate::{
     aggregate_robust, clip_norm, coordinate_median, divergence_weights, sample_count_weights,
-    trimmed_mean, uniform_average, weighted_average, Aggregator,
+    trimmed_mean, uniform_average, weighted_average, weighted_average_refs, Aggregator,
+    StreamingWeightedSink, UpdateSink,
 };
 use calibre_fl::chaos::{FaultInjector, FaultPlan};
 use calibre_fl::checkpoint;
@@ -201,6 +202,65 @@ proptest! {
         prop_assert_eq!(clipped, before > max_norm, "clip flag disagrees with norms");
         if !clipped {
             prop_assert!((after - before).abs() < 1e-6, "unclipped update was modified");
+        }
+    }
+
+    #[test]
+    fn streaming_sink_canonical_order_is_bit_identical_to_refs(
+        updates in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 1..8),
+        weights in prop::collection::vec(0.1f32..5.0, 8),
+    ) {
+        // The bit-identity contract behind the golden checksums: folding in
+        // selection-slot order through the cohort-mode sink reproduces
+        // `weighted_average_refs` bit for bit.
+        let weights = &weights[..updates.len()];
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let expected = weighted_average_refs(&refs, weights);
+        let total: f32 = weights.iter().sum();
+        let mut sink = StreamingWeightedSink::for_cohort(total, updates.len());
+        for (slot, (u, &w)) in updates.iter().zip(weights.iter()).enumerate() {
+            sink.fold(slot, u, w).unwrap();
+        }
+        let got = sink.finish().unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(g.to_bits(), e.to_bits(), "streaming fold drifted from refs: {} vs {}", g, e);
+        }
+    }
+
+    #[test]
+    fn streaming_sink_fold_order_is_permutation_invariant(
+        updates in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 2..8),
+        weights in prop::collection::vec(0.1f32..5.0, 8),
+        perm_seed in 0u64..1_000,
+    ) {
+        // Deferred-mode folds commute up to f32 rounding: any arrival order
+        // lands within tolerance of the canonical order.
+        use rand::Rng as _;
+        let weights = &weights[..updates.len()];
+        let mut canonical_sink = StreamingWeightedSink::new();
+        for (slot, (u, &w)) in updates.iter().zip(weights.iter()).enumerate() {
+            canonical_sink.fold(slot, u, w).unwrap();
+        }
+        let canonical = canonical_sink.finish().unwrap();
+
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        let mut r = rng::seeded(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = r.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut shuffled_sink = StreamingWeightedSink::new();
+        for (slot, &i) in order.iter().enumerate() {
+            shuffled_sink.fold(slot, &updates[i], weights[i]).unwrap();
+        }
+        let shuffled = shuffled_sink.finish().unwrap();
+        for (a, b) in canonical.iter().zip(shuffled.iter()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs())),
+                "fold order changed the aggregate beyond f32 tolerance: {} vs {} (order {:?})",
+                a, b, order
+            );
         }
     }
 

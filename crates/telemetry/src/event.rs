@@ -102,6 +102,27 @@ pub enum Event {
         /// executor/validator observed it.
         detected: bool,
     },
+    /// One point of a massive-cohort scaling sweep, emitted by the
+    /// `cohort` bench: how fast streaming rounds ran at a given simulated
+    /// cohort size and how much accumulator state aggregation held at peak.
+    CohortPoint {
+        /// Simulated cohort size (clients folded per round).
+        cohort: usize,
+        /// Model dimension (floats per update).
+        dim: usize,
+        /// Number of edge groups (0 = flat streaming sink).
+        groups: usize,
+        /// Rounds executed at this sweep point.
+        rounds: usize,
+        /// Throughput over the sweep point, in rounds per second.
+        rounds_per_sec: f64,
+        /// Peak bytes held by the aggregation path (sink state + quorum
+        /// buffer + in-flight wave) across all rounds of the point.
+        peak_state_bytes: u64,
+        /// Peak resident set size of the process after the point, in
+        /// bytes (0 when the platform does not expose it).
+        peak_rss_bytes: u64,
+    },
     /// Per-round resilience accounting, emitted by the resilient round
     /// executor only for rounds where something non-nominal happened
     /// (faults, retries, rejections, or a missed quorum).
@@ -278,6 +299,26 @@ impl Event {
                      \"retries\":{retries},\"quorum\":{quorum},\"skipped\":{skipped}}}"
                 );
             }
+            Event::CohortPoint {
+                cohort,
+                dim,
+                groups,
+                rounds,
+                rounds_per_sec,
+                peak_state_bytes,
+                peak_rss_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"cohort_point\",\"cohort\":{cohort},\"dim\":{dim},\
+                     \"groups\":{groups},\"rounds\":{rounds},\"rounds_per_sec\":"
+                );
+                json_num(*rounds_per_sec, &mut s);
+                let _ = write!(
+                    s,
+                    ",\"peak_state_bytes\":{peak_state_bytes},\"peak_rss_bytes\":{peak_rss_bytes}}}"
+                );
+            }
         }
         s
     }
@@ -294,7 +335,7 @@ impl Event {
             | Event::RoundEnd { round, .. }
             | Event::Fault { round, .. }
             | Event::RoundResilience { round, .. } => Some(*round),
-            Event::Personalize { .. } => None,
+            Event::Personalize { .. } | Event::CohortPoint { .. } => None,
         }
     }
 }
@@ -401,6 +442,28 @@ mod tests {
         assert!(json.contains("\"quorum\":4"));
         assert!(json.contains("\"skipped\":false"));
         assert_eq!(e.round(), Some(7));
+    }
+
+    #[test]
+    fn cohort_point_encodes_scaling_fields() {
+        let e = Event::CohortPoint {
+            cohort: 10_000,
+            dim: 1024,
+            groups: 0,
+            rounds: 5,
+            rounds_per_sec: 12.5,
+            peak_state_bytes: 4096,
+            peak_rss_bytes: 1 << 20,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"cohort_point\",\"cohort\":10000,\"dim\":1024,\
+             \"groups\":0,\"rounds\":5,\"rounds_per_sec\":12.5,\
+             \"peak_state_bytes\":4096,\"peak_rss_bytes\":1048576"
+                .to_owned()
+                + "}"
+        );
+        assert_eq!(e.round(), None, "sweep points are not round-scoped");
     }
 
     #[test]

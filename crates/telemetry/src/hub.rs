@@ -88,6 +88,27 @@ struct HubState {
     rounds: Vec<RoundSummary>,
     accuracies: Vec<f32>,
     resilience: ResilienceSummary,
+    cohort_points: Vec<CohortSummary>,
+}
+
+/// One point of a massive-cohort scaling sweep, folded from
+/// [`Event::CohortPoint`]. See the `cohort` bench and `DESIGN.md` §11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CohortSummary {
+    /// Simulated cohort size (clients folded per round).
+    pub cohort: usize,
+    /// Model dimension (floats per update).
+    pub dim: usize,
+    /// Number of edge groups (0 = flat streaming sink).
+    pub groups: usize,
+    /// Rounds executed at this sweep point.
+    pub rounds: usize,
+    /// Throughput over the sweep point, rounds per second.
+    pub rounds_per_sec: f64,
+    /// Peak bytes held by the aggregation path across the point's rounds.
+    pub peak_state_bytes: u64,
+    /// Peak process RSS after the point, bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
 }
 
 /// Run-level totals of the chaos/resilience event stream.
@@ -176,6 +197,12 @@ impl MetricsHub {
     /// Run-level chaos/resilience totals (all zeros for a nominal run).
     pub fn resilience_summary(&self) -> ResilienceSummary {
         self.state.lock().resilience
+    }
+
+    /// The massive-cohort sweep points recorded so far, in arrival order
+    /// (empty for training runs — only the `cohort` bench emits them).
+    pub fn cohort_summaries(&self) -> Vec<CohortSummary> {
+        self.state.lock().cohort_points.clone()
     }
 
     /// Total planned and observed communication bytes across all completed
@@ -276,6 +303,25 @@ impl Recorder for MetricsHub {
                         .map_or(quorum, |q| q.min(quorum));
                     state.resilience.min_quorum_seen = Some(best);
                 }
+            }
+            Event::CohortPoint {
+                cohort,
+                dim,
+                groups,
+                rounds,
+                rounds_per_sec,
+                peak_state_bytes,
+                peak_rss_bytes,
+            } => {
+                state.cohort_points.push(CohortSummary {
+                    cohort,
+                    dim,
+                    groups,
+                    rounds,
+                    rounds_per_sec,
+                    peak_state_bytes,
+                    peak_rss_bytes,
+                });
             }
         }
     }
@@ -386,6 +432,19 @@ mod tests {
     #[test]
     fn fairness_empty_is_none() {
         assert!(MetricsHub::new().fairness_summary().is_none());
+    }
+
+    #[test]
+    fn folds_cohort_sweep_points() {
+        let hub = MetricsHub::new();
+        assert!(hub.cohort_summaries().is_empty());
+        hub.cohort_point(1_000, 1024, 0, 5, 20.0, 8192, 0);
+        hub.cohort_point(10_000, 1024, 32, 5, 18.5, 262_144, 1 << 20);
+        let points = hub.cohort_summaries();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].cohort, 1_000);
+        assert_eq!(points[1].groups, 32);
+        assert_eq!(points[1].peak_state_bytes, 262_144);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod span;
 pub mod trace;
 
 pub use event::{ClientLosses, Event};
-pub use hub::{FairnessSummary, MetricsHub, ResilienceSummary, RoundSummary};
+pub use hub::{CohortSummary, FairnessSummary, MetricsHub, ResilienceSummary, RoundSummary};
 pub use json::JsonValue;
 pub use jsonl::JsonlSink;
 pub use profile::{ProfileCollector, ProfileReport, SpanStats};

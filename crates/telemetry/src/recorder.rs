@@ -134,6 +134,30 @@ pub trait Recorder: Send + Sync {
         });
     }
 
+    /// One point of a massive-cohort scaling sweep completed (see
+    /// [`Event::CohortPoint`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the event's fields
+    fn cohort_point(
+        &self,
+        cohort: usize,
+        dim: usize,
+        groups: usize,
+        rounds: usize,
+        rounds_per_sec: f64,
+        peak_state_bytes: u64,
+        peak_rss_bytes: u64,
+    ) {
+        self.record(Event::CohortPoint {
+            cohort,
+            dim,
+            groups,
+            rounds,
+            rounds_per_sec,
+            peak_state_bytes,
+            peak_rss_bytes,
+        });
+    }
+
     /// Pushes buffered events to their destination. A no-op for most
     /// recorders; file-backed sinks override it. Bench binaries call this
     /// explicitly at end-of-run so a hard exit can't truncate the output,
