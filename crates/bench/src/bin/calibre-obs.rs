@@ -1,0 +1,129 @@
+//! `calibre-obs` — query recorded telemetry runs.
+//!
+//! ```text
+//! calibre-obs summary  <run.jsonl>
+//! calibre-obs rounds   <run.jsonl> [--round N]
+//! calibre-obs fairness <run.jsonl>
+//! calibre-obs diff     <a.jsonl> <b.jsonl> [--max-std-increase X]
+//!                      [--max-mean-drop X] [--max-worst-decile-drop X]
+//!                      [--max-skip-increase N]
+//! ```
+//!
+//! Exit codes: `0` success, `1` diff threshold breach, `2` usage or I/O
+//! error. `diff` compares candidate `b` against baseline `a` and fails on
+//! fairness regressions (std up, mean down, worst-decile down) or newly
+//! skipped rounds — CI-friendly regression triage over run artifacts.
+
+use calibre_bench::obsquery::{self, DiffThresholds, RunRecord};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  calibre-obs summary  <run.jsonl>
+  calibre-obs rounds   <run.jsonl> [--round N]
+  calibre-obs fairness <run.jsonl>
+  calibre-obs diff     <a.jsonl> <b.jsonl> [--max-std-increase X] \
+[--max-mean-drop X] [--max-worst-decile-drop X] [--max-skip-increase N]";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("calibre-obs: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<RunRecord, ExitCode> {
+    obsquery::load_run(path).map_err(|e| {
+        eprintln!("calibre-obs: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, ExitCode> {
+    let raw = match value {
+        Some(v) => v,
+        None => return Err(usage_error(&format!("missing value for {flag}"))),
+    };
+    raw.parse()
+        .map_err(|_| usage_error(&format!("bad value {raw:?} for {flag}")))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage_error("no subcommand");
+    };
+    match run(command, &args[1..]) {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}
+
+fn run(command: &str, rest: &[String]) -> Result<ExitCode, ExitCode> {
+    match command {
+        "summary" => {
+            let [path] = rest else {
+                return Err(usage_error("summary takes exactly one run file"));
+            };
+            print!("{}", obsquery::summary(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        "rounds" => {
+            let Some(path) = rest.first() else {
+                return Err(usage_error("rounds needs a run file"));
+            };
+            let run = load(path)?;
+            match rest.get(1).map(String::as_str) {
+                None => print!("{}", obsquery::rounds_table(&run)),
+                Some("--round") => {
+                    let round: usize = parse_flag("--round", rest.get(2))?;
+                    print!("{}", obsquery::round_detail(&run, round));
+                }
+                Some(other) => return Err(usage_error(&format!("unknown flag {other}"))),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "fairness" => {
+            let [path] = rest else {
+                return Err(usage_error("fairness takes exactly one run file"));
+            };
+            print!("{}", obsquery::fairness_table(&load(path)?));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let (Some(path_a), Some(path_b)) = (rest.first(), rest.get(1)) else {
+                return Err(usage_error("diff needs two run files"));
+            };
+            let mut thresholds = DiffThresholds::default();
+            let mut i = 2;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = rest.get(i + 1);
+                match flag {
+                    "--max-std-increase" => {
+                        thresholds.max_std_increase = parse_flag(flag, value)?;
+                    }
+                    "--max-mean-drop" => thresholds.max_mean_drop = parse_flag(flag, value)?,
+                    "--max-worst-decile-drop" => {
+                        thresholds.max_worst_decile_drop = parse_flag(flag, value)?;
+                    }
+                    "--max-skip-increase" => {
+                        thresholds.max_skip_increase = parse_flag(flag, value)?;
+                    }
+                    other => return Err(usage_error(&format!("unknown flag {other}"))),
+                }
+                i += 2;
+            }
+            let run_a = load(path_a)?;
+            let run_b = load(path_b)?;
+            let report = obsquery::diff(&run_a, &run_b, &thresholds);
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.breaches > 0 {
+                eprintln!("calibre-obs: {} threshold breach(es)", report.breaches);
+                Ok(ExitCode::FAILURE)
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        other => Err(usage_error(&format!("unknown subcommand {other:?}"))),
+    }
+}

@@ -16,16 +16,22 @@
 //!        [--wave 64] [--groups 0] [--sampler uniform|importance|divergence]
 //!        [--chaos <spec>] [--min-quorum n] [--aggregator weighted|median|trimmed[:r]]
 //!        [--telemetry out.jsonl] [--trace t.json] [--profile p.json]
+//!        [--metrics-addr host:port] [--metrics-snapshot out.prom]
 //! ```
 //!
 //! `--smoke` runs a reduced sweep and asserts the committed peak-memory
-//! bound — the CI step that keeps the streaming path honest.
+//! bound — the CI step that keeps the streaming path honest — plus a
+//! reservoir-sink gate that holds the *corrected* accounting (sample
+//! buffer included) to a shape-derived bound. `--metrics-addr` serves
+//! `/metrics` and `/status` live while the sweep runs; `--metrics-snapshot`
+//! writes a final self-scrape of `/metrics` to a file.
 
 use calibre_bench::obs::ObsArgs;
 use calibre_bench::parse_args;
-use calibre_fl::aggregate::{HierarchicalSink, UpdateSink};
+use calibre_fl::aggregate::{HierarchicalSink, ReservoirSink, UpdateSink};
 use calibre_fl::sampler::{Sampler, SamplerKind};
 use calibre_fl::scheduler::RoundScheduler;
+use calibre_telemetry::metrics;
 use std::time::Instant;
 
 /// Committed peak-memory bound for the smoke sweep (`--smoke`), in bytes:
@@ -66,6 +72,58 @@ fn simulated_update(round: usize, client: usize, dim: usize) -> (Vec<f32>, f32) 
     }
     let weight = 1.0 + (client % 16) as f32;
     (update, weight)
+}
+
+/// Smoke-only gate for the *corrected* reservoir accounting: the sink's
+/// retained sample buffer is real aggregation state, so `state_bytes` now
+/// counts its capacity. The peak must stay flat across cohort sizes and
+/// under a bound derived purely from the sink shape — `capacity` retained
+/// samples plus their spine, the weight buffer, one in-flight wave, and
+/// fixed headroom for struct overhead. A cohort-sized term appearing here
+/// means the reservoir started scaling with the cohort again.
+fn reservoir_gate(sweep: &SweepConfig) {
+    let capacity = sweep.wave * 4;
+    let sample_bytes = capacity * sweep.dim * std::mem::size_of::<f32>();
+    let spine_bytes = capacity * std::mem::size_of::<Vec<f32>>();
+    let weight_bytes = (capacity + 1) * std::mem::size_of::<f32>();
+    let wave_bytes = sweep.wave * sweep.dim * std::mem::size_of::<f32>();
+    let bound = sample_bytes + spine_bytes + weight_bytes + wave_bytes + 64 * 1024;
+
+    let mut peaks: Vec<usize> = Vec::new();
+    for &cohort in &[1_000usize, 5_000] {
+        let scheduler = RoundScheduler::sampled(
+            Sampler::new(sweep.sampler, sweep.seed),
+            cohort * 2,
+            cohort,
+            1,
+        );
+        let selected = scheduler.select(0, None);
+        let mut sink = ReservoirSink::trimmed(0.1, capacity, sweep.seed);
+        let out = scheduler.run_round_streaming(
+            0,
+            &selected,
+            sweep.wave,
+            &mut sink,
+            |client| simulated_update(0, client, sweep.dim),
+            &calibre_telemetry::NullRecorder,
+        );
+        peaks.push(out.peak_state_bytes);
+    }
+    let (min_peak, max_peak) = match (peaks.iter().min(), peaks.iter().max()) {
+        (Some(&lo), Some(&hi)) => (lo, hi),
+        _ => unreachable!("gate always runs at least one cohort"),
+    };
+    assert_eq!(
+        min_peak, max_peak,
+        "reservoir peak must be flat across cohort sizes, got {peaks:?}"
+    );
+    assert!(
+        max_peak <= bound,
+        "reservoir peak {max_peak} B exceeds the shape-derived bound {bound} B \
+         (capacity {capacity}, dim {})",
+        sweep.dim
+    );
+    println!("reservoir gate: corrected peak {max_peak} B <= shape bound {bound} B, flat");
 }
 
 struct SweepConfig {
@@ -216,6 +274,14 @@ fn main() {
             peak_state,
             rss as f64 / (1024.0 * 1024.0)
         );
+        // Live-export view of the sweep (inert without --metrics-addr).
+        let cohort_label = cohort.to_string();
+        metrics::gauge_set(
+            "calibre_cohort_rounds_per_sec",
+            &[("cohort", &cohort_label)],
+            rounds_per_sec,
+        );
+        metrics::gauge_max("calibre_cohort_peak_state_bytes", &[], peak_state as f64);
         peaks.push(peak_state);
     }
 
@@ -238,6 +304,10 @@ fn main() {
                 sweep.cohorts
             );
         }
+    }
+
+    if sweep.smoke {
+        reservoir_gate(&sweep);
     }
 
     obs.finish();

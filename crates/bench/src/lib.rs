@@ -12,7 +12,10 @@
 //! - `table1` — the `L_n`/`L_p` ablation for Calibre (SimCLR/SwAV/SMoG)
 //!   (paper Table I);
 //! - `tsne` — 2-D embeddings + cluster-quality metrics for the qualitative
-//!   figures (paper Figs. 1, 2, 5–8).
+//!   figures (paper Figs. 1, 2, 5–8);
+//! - `calibre-obs` — offline queries over recorded JSONL telemetry:
+//!   run summaries, per-round drill-downs, fairness tables, and
+//!   threshold-gated diffs between two runs (see [`obsquery`]).
 //!
 //! All binaries accept `--scale smoke|default|paper` to trade fidelity for
 //! wall-clock time; `paper` restores the publication's 100 clients × 200
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod obs;
+pub mod obsquery;
 pub mod registry;
 pub mod report;
 pub mod scale;

@@ -11,7 +11,14 @@
 //! - `--profile <path>` — aggregate spans into a hot-path profile, print the
 //!   top-self-time table, and write the profile JSON to `<path>` (`-` prints
 //!   the table without writing a file). The JSON is what
-//!   `calibre-bench regression` compares against the committed baseline.
+//!   `calibre-bench regression` compares against the committed baseline;
+//! - `--metrics-addr <addr>` — enable the process-wide metrics registry and
+//!   serve live `/metrics` (Prometheus text) and `/status` (JSON snapshot)
+//!   on `<addr>` while the run executes (`127.0.0.1:0` picks a free port,
+//!   printed at startup);
+//! - `--metrics-snapshot <path>` — at the end of the run, self-scrape
+//!   `/metrics` over HTTP once and write the body to `<path>` (requires
+//!   `--metrics-addr`).
 //!
 //! The hook also consumes one shared *execution* flag:
 //!
@@ -47,6 +54,7 @@
 //! obs.finish(); // flushes, uninstalls the span collector, writes outputs
 //! ```
 
+use calibre_telemetry::export::{http_get, MetricsServer};
 use calibre_telemetry::{
     install_collector, uninstall_collector, Fanout, JsonlSink, MetricsHub, NullRecorder,
     ProfileCollector, Recorder, SpanFanout, TraceCollector,
@@ -71,6 +79,13 @@ pub struct ObsArgs {
     pub min_quorum: Option<usize>,
     /// Server aggregation statistic (`--aggregator`).
     pub aggregator: Option<calibre_fl::aggregate::Aggregator>,
+    /// Address for the live metrics HTTP server (`--metrics-addr`), e.g.
+    /// `127.0.0.1:9185` or `127.0.0.1:0` for an ephemeral port. Enables the
+    /// process-wide metrics registry.
+    pub metrics_addr: Option<String>,
+    /// File to write one final `/metrics` self-scrape to at the end of the
+    /// run (`--metrics-snapshot`). Requires `--metrics-addr`.
+    pub metrics_snapshot: Option<String>,
 }
 
 impl ObsArgs {
@@ -88,6 +103,8 @@ impl ObsArgs {
             "telemetry" => self.telemetry = Some(value.to_string()),
             "trace" => self.trace = Some(value.to_string()),
             "profile" => self.profile = Some(value.to_string()),
+            "metrics-addr" => self.metrics_addr = Some(value.to_string()),
+            "metrics-snapshot" => self.metrics_snapshot = Some(value.to_string()),
             "backend" => {
                 let be = calibre_tensor::backend::backend_by_name(value).unwrap_or_else(|| {
                     panic!("unknown --backend {value:?} (expected \"scalar\" or \"blocked\")")
@@ -133,16 +150,23 @@ impl ObsArgs {
 
     /// Whether any observability flag was given.
     pub fn any(&self) -> bool {
-        self.telemetry.is_some() || self.trace.is_some() || self.profile.is_some()
+        self.telemetry.is_some()
+            || self.trace.is_some()
+            || self.profile.is_some()
+            || self.metrics_addr.is_some()
     }
 
-    /// Builds the live observability state: opens the JSONL sink, and
+    /// Builds the live observability state: opens the JSONL sink, starts
+    /// the metrics HTTP server when `--metrics-addr` was given, and
     /// installs the process-wide span collector when `--trace` or
     /// `--profile` was given.
     pub fn build(self) -> Obs {
         let hub = Arc::new(MetricsHub::new());
-        let recorder: Box<dyn Recorder> = match &self.telemetry {
-            Some(path) => {
+        // The hub must see events whenever anything renders from it — the
+        // end-of-run summary (telemetry) or the live endpoints (metrics).
+        let feed_hub = self.telemetry.is_some() || self.metrics_addr.is_some();
+        let recorder: Box<dyn Recorder> = match (&self.telemetry, feed_hub) {
+            (Some(path), _) => {
                 let sink = JsonlSink::create(path)
                     .unwrap_or_else(|e| panic!("cannot create telemetry file {path}: {e}"));
                 Box::new(
@@ -151,8 +175,23 @@ impl ObsArgs {
                         .with(Box::new(Arc::clone(&hub))),
                 )
             }
-            None => Box::new(NullRecorder),
+            (None, true) => Box::new(Arc::clone(&hub)),
+            (None, false) => Box::new(NullRecorder),
         };
+
+        let server = self.metrics_addr.as_ref().map(|addr| {
+            // Opt-in flips the process-wide registry on; without the flag
+            // no instrumentation site records anything and training stays
+            // bit-identical.
+            calibre_telemetry::metrics::set_enabled(true);
+            let server = MetricsServer::bind(addr, Arc::clone(&hub))
+                .unwrap_or_else(|e| panic!("cannot start metrics server: {e}"));
+            println!(
+                "metrics: serving http://{0}/metrics and http://{0}/status",
+                server.local_addr()
+            );
+            server
+        });
 
         let trace = self
             .trace
@@ -177,6 +216,8 @@ impl ObsArgs {
             telemetry: self.telemetry,
             trace,
             profile,
+            server,
+            metrics_snapshot: self.metrics_snapshot,
         }
     }
 }
@@ -190,6 +231,8 @@ pub struct Obs {
     telemetry: Option<String>,
     trace: Option<(Arc<TraceCollector>, String)>,
     profile: Option<(Arc<ProfileCollector>, String)>,
+    server: Option<MetricsServer>,
+    metrics_snapshot: Option<String>,
 }
 
 impl Obs {
@@ -204,67 +247,49 @@ impl Obs {
         &self.hub
     }
 
-    /// Ends the run: flushes the recorder, uninstalls the span collector,
-    /// writes the trace/profile outputs and prints the telemetry summary.
-    pub fn finish(self) {
+    /// The live metrics server's bound address (port 0 resolved), when
+    /// `--metrics-addr` was given.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// Ends the run: flushes the recorder, writes the final `/metrics`
+    /// self-scrape if `--metrics-snapshot` asked for one, stops the metrics
+    /// server, uninstalls the span collector, writes the trace/profile
+    /// outputs and prints the telemetry summary.
+    pub fn finish(mut self) {
         // Explicit flush (recorders also flush on drop, but an explicit
         // flush surfaces write failures while the run's output is still on
         // screen).
         self.recorder.flush();
         drop(self.recorder);
+
+        // Self-scrape over real HTTP before the server goes down — the file
+        // is exactly what an external scraper would have seen.
+        if let (Some(path), Some(server)) = (&self.metrics_snapshot, &self.server) {
+            match http_get(server.local_addr(), "/metrics") {
+                Ok(body) => match std::fs::write(path, &body) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("metrics snapshot write failed for {path}: {e}"),
+                },
+                Err(e) => eprintln!("metrics self-scrape failed: {e}"),
+            }
+        }
+        if let Some(server) = &mut self.server {
+            server.shutdown();
+        }
+
         if self.trace.is_some() || self.profile.is_some() {
             uninstall_collector();
         }
 
+        // One snapshot struct drives the console summary, the `/status`
+        // endpoint, and the `calibre-obs` CLI — they cannot drift apart.
+        if self.telemetry.is_some() || self.server.is_some() {
+            println!();
+            print!("{}", self.hub.snapshot().render_text());
+        }
         if let Some(path) = &self.telemetry {
-            let rounds = self.hub.round_summaries();
-            let (planned, observed) = self.hub.total_bytes();
-            println!("\n== telemetry summary ({} round events) ==", rounds.len());
-            for s in &rounds {
-                println!(
-                    "round {:>3}: {} clients, mean loss {:.4}, wall mean {:.1} ms / max {:.1} ms",
-                    s.round, s.num_clients, s.mean_loss, s.mean_wall_ms, s.max_wall_ms
-                );
-            }
-            println!(
-                "comm: planned {:.2} MiB, observed {:.2} MiB",
-                planned as f64 / (1024.0 * 1024.0),
-                observed as f64 / (1024.0 * 1024.0)
-            );
-            if let Some(fairness) = self.hub.fairness_summary() {
-                println!(
-                    "fairness over {} personalizations: mean {:.3}, std {:.3}, worst-10% {:.3}",
-                    fairness.num_clients, fairness.mean, fairness.std, fairness.worst_10pct
-                );
-            }
-            let cohorts = self.hub.cohort_summaries();
-            if !cohorts.is_empty() {
-                println!("cohort sweep ({} points):", cohorts.len());
-                for c in &cohorts {
-                    println!(
-                        "  cohort {:>7} (dim {}, groups {}): {:.2} rounds/sec, peak agg {} B, peak rss {:.1} MiB",
-                        c.cohort,
-                        c.dim,
-                        c.groups,
-                        c.rounds_per_sec,
-                        c.peak_state_bytes,
-                        c.peak_rss_bytes as f64 / (1024.0 * 1024.0)
-                    );
-                }
-            }
-            let resilience = self.hub.resilience_summary();
-            if resilience != calibre_telemetry::ResilienceSummary::default() {
-                println!(
-                    "resilience: {} faults injected ({} detected), {} retries, {} rounds skipped, min quorum {}",
-                    resilience.faults_injected,
-                    resilience.faults_detected,
-                    resilience.retries,
-                    resilience.rounds_skipped,
-                    resilience
-                        .min_quorum_seen
-                        .map_or_else(|| "-".to_string(), |q| q.to_string()),
-                );
-            }
             println!("wrote {path}");
         }
 
@@ -341,6 +366,35 @@ mod tests {
         assert!(!calibre_telemetry::collector_installed());
         obs.recorder().personalize(0, 0.5);
         assert!(obs.hub().fairness_summary().is_none(), "NullRecorder path");
+        assert!(obs.metrics_addr().is_none());
         obs.finish();
+    }
+
+    #[test]
+    fn metrics_server_serves_live_and_writes_the_snapshot() {
+        let mut args = ObsArgs::default();
+        assert!(args.accept("metrics-addr", "127.0.0.1:0"));
+        let snap_path = std::env::temp_dir().join("calibre_obs_test_metrics.prom");
+        assert!(args.accept("metrics-snapshot", snap_path.to_str().unwrap()));
+        assert!(args.any());
+
+        let obs = args.build();
+        // Without --telemetry the hub must still be fed — /status and
+        // /metrics render from it.
+        obs.recorder().personalize(0, 0.5);
+        obs.recorder().personalize(1, 0.7);
+        assert!(obs.hub().fairness_summary().is_some());
+
+        let addr = obs.metrics_addr().expect("server must be running");
+        let body = calibre_telemetry::export::http_get(addr, "/metrics").expect("live scrape");
+        assert!(body.contains("calibre_fairness_accuracy_mean 0.6"));
+        assert!(body.contains("calibre_fairness_clients 2"));
+        let status = calibre_telemetry::export::http_get(addr, "/status").expect("status scrape");
+        assert!(status.contains("\"fairness\":{\"num_clients\":2"));
+
+        obs.finish();
+        let written = std::fs::read_to_string(&snap_path).expect("snapshot file written");
+        assert!(written.contains("calibre_fairness_worst_decile"));
+        let _ = std::fs::remove_file(&snap_path);
     }
 }

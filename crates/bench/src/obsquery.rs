@@ -1,0 +1,404 @@
+//! Offline queries over recorded telemetry: the engine behind the
+//! `calibre-obs` binary.
+//!
+//! A JSONL telemetry file (written by `--telemetry`) is decoded back into
+//! [`Event`]s and replayed through a fresh
+//! [`MetricsHub`], so every run artifact
+//! becomes the same [`HubSnapshot`] the live run printed — plus the raw
+//! event stream for per-round drill-downs. [`diff`] compares two runs'
+//! fairness and resilience and reports threshold breaches for regression
+//! triage (the CLI exits nonzero on any breach).
+
+use calibre_telemetry::{Event, HubSnapshot, MetricsHub, Recorder};
+use std::fmt::Write as _;
+
+/// One fully loaded telemetry run: the raw events plus the folded snapshot.
+#[derive(Debug)]
+pub struct RunRecord {
+    /// Where the run was loaded from (for messages).
+    pub path: String,
+    /// The decoded event stream, in file order.
+    pub events: Vec<Event>,
+    /// The run folded through a `MetricsHub`, exactly as the live run saw it.
+    pub snapshot: HubSnapshot,
+}
+
+/// Reads and decodes a JSONL telemetry file.
+///
+/// # Errors
+///
+/// Returns a message naming the file (and the offending line, 1-based) when
+/// the file cannot be read or a line fails to decode.
+pub fn load_run(path: &str) -> Result<RunRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let hub = MetricsHub::new();
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_json(line).map_err(|e| format!("{path}:{}: {e}", idx + 1))?;
+        hub.record(event.clone());
+        events.push(event);
+    }
+    Ok(RunRecord {
+        path: path.to_string(),
+        events,
+        snapshot: hub.snapshot(),
+    })
+}
+
+/// The run summary: the same text the live run printed at the end.
+pub fn summary(run: &RunRecord) -> String {
+    let mut out = format!("{} ({} events)\n", run.path, run.events.len());
+    out.push_str(&run.snapshot.render_text());
+    out
+}
+
+/// A per-round table: one line per completed round.
+pub fn rounds_table(run: &RunRecord) -> String {
+    let mut out = String::from(
+        "round  clients  mean_loss  wall_mean_ms  wall_max_ms  planned_B  observed_B\n",
+    );
+    for r in &run.snapshot.rounds {
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>7}  {:>9.4}  {:>12.2}  {:>11.2}  {:>9}  {:>10}",
+            r.round,
+            r.num_clients,
+            r.mean_loss,
+            r.mean_wall_ms,
+            r.max_wall_ms,
+            r.planned_bytes,
+            r.observed_bytes
+        );
+    }
+    out
+}
+
+/// Drill-down into one round: its summary line plus every event that names
+/// the round, in file order.
+pub fn round_detail(run: &RunRecord, round: usize) -> String {
+    let mut out = String::new();
+    match run.snapshot.rounds.iter().find(|r| r.round == round) {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "round {}: {} clients, mean loss {:.4}, wall mean {:.2} ms / max {:.2} ms",
+                r.round, r.num_clients, r.mean_loss, r.mean_wall_ms, r.max_wall_ms
+            );
+        }
+        None => {
+            let _ = writeln!(out, "round {round}: no round_end event recorded");
+        }
+    }
+    for event in &run.events {
+        if event.round() == Some(round) {
+            let _ = writeln!(out, "  {}", event.to_json());
+        }
+    }
+    out
+}
+
+/// Population standard deviation; zero for fewer than two samples.
+fn std_of(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f32>() / n as f32;
+    (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32).sqrt()
+}
+
+/// Mean of the worst decile (at least one element) of `xs`, where *worst*
+/// means highest — used for per-round loss dispersion.
+fn worst_decile_high(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let n = ((sorted.len() as f32) * 0.1).ceil().max(1.0) as usize;
+    sorted.iter().take(n).sum::<f32>() / n as f32
+}
+
+/// Fairness-over-rounds: per-round dispersion of client losses (mean, std,
+/// worst-decile — here the *highest*-loss decile), then the final accuracy
+/// fairness block if the run personalized.
+pub fn fairness_table(run: &RunRecord) -> String {
+    let mut out = String::from("round  clients  loss_mean  loss_std  loss_worst10%\n");
+    for event in &run.events {
+        if let Event::RoundEnd {
+            round, client_loss, ..
+        } = event
+        {
+            let n = client_loss.len();
+            let mean = if n == 0 {
+                0.0
+            } else {
+                client_loss.iter().sum::<f32>() / n as f32
+            };
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>7}  {:>9.4}  {:>8.4}  {:>13.4}",
+                round,
+                n,
+                mean,
+                std_of(client_loss),
+                worst_decile_high(client_loss)
+            );
+        }
+    }
+    match &run.snapshot.fairness {
+        Some(f) => {
+            let _ = writeln!(
+                out,
+                "final accuracy fairness: {} clients, mean {:.4}, std {:.4}, worst-10% {:.4}",
+                f.num_clients, f.mean, f.std, f.worst_10pct
+            );
+        }
+        None => {
+            let _ = writeln!(out, "final accuracy fairness: no personalize events");
+        }
+    }
+    out
+}
+
+/// Regression thresholds for [`diff`]. A breach on any of them makes the
+/// CLI exit nonzero. Fairness checks only apply when both runs recorded
+/// personalized accuracies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Maximum allowed increase in accuracy std (run B vs run A).
+    pub max_std_increase: f32,
+    /// Maximum allowed drop in mean accuracy.
+    pub max_mean_drop: f32,
+    /// Maximum allowed drop in worst-decile accuracy.
+    pub max_worst_decile_drop: f32,
+    /// Maximum allowed increase in skipped rounds.
+    pub max_skip_increase: usize,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            max_std_increase: 0.02,
+            max_mean_drop: 0.02,
+            max_worst_decile_drop: 0.03,
+            max_skip_increase: 0,
+        }
+    }
+}
+
+/// The outcome of comparing two runs.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable comparison lines, breaches prefixed with `BREACH`.
+    pub lines: Vec<String>,
+    /// Number of threshold breaches (CLI exit is nonzero when > 0).
+    pub breaches: usize,
+}
+
+impl DiffReport {
+    fn info(&mut self, line: String) {
+        self.lines.push(line);
+    }
+
+    fn check(&mut self, breached: bool, line: String) {
+        if breached {
+            self.breaches += 1;
+            self.lines.push(format!("BREACH {line}"));
+        } else {
+            self.lines.push(format!("ok     {line}"));
+        }
+    }
+}
+
+/// Compares run `b` against baseline run `a` under the given thresholds.
+pub fn diff(a: &RunRecord, b: &RunRecord, t: &DiffThresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    report.info(format!(
+        "baseline: {} ({} rounds)",
+        a.path,
+        a.snapshot.rounds.len()
+    ));
+    report.info(format!(
+        "candidate: {} ({} rounds)",
+        b.path,
+        b.snapshot.rounds.len()
+    ));
+
+    match (&a.snapshot.fairness, &b.snapshot.fairness) {
+        (Some(fa), Some(fb)) => {
+            let std_delta = fb.std - fa.std;
+            report.check(
+                std_delta > t.max_std_increase,
+                format!(
+                    "accuracy std {:.4} -> {:.4} (delta {:+.4}, max increase {:.4})",
+                    fa.std, fb.std, std_delta, t.max_std_increase
+                ),
+            );
+            let mean_delta = fb.mean - fa.mean;
+            report.check(
+                -mean_delta > t.max_mean_drop,
+                format!(
+                    "accuracy mean {:.4} -> {:.4} (delta {:+.4}, max drop {:.4})",
+                    fa.mean, fb.mean, mean_delta, t.max_mean_drop
+                ),
+            );
+            let worst_delta = fb.worst_10pct - fa.worst_10pct;
+            report.check(
+                -worst_delta > t.max_worst_decile_drop,
+                format!(
+                    "worst-decile accuracy {:.4} -> {:.4} (delta {:+.4}, max drop {:.4})",
+                    fa.worst_10pct, fb.worst_10pct, worst_delta, t.max_worst_decile_drop
+                ),
+            );
+        }
+        _ => report.info(
+            "fairness: not compared (one or both runs have no personalize events)".to_string(),
+        ),
+    }
+
+    let (ra, rb) = (&a.snapshot.resilience, &b.snapshot.resilience);
+    let skip_increase = rb.rounds_skipped.saturating_sub(ra.rounds_skipped);
+    report.check(
+        skip_increase > t.max_skip_increase,
+        format!(
+            "rounds skipped {} -> {} (max increase {})",
+            ra.rounds_skipped, rb.rounds_skipped, t.max_skip_increase
+        ),
+    );
+    report.info(format!(
+        "faults injected {} -> {}, detected {} -> {}",
+        ra.faults_injected, rb.faults_injected, ra.faults_detected, rb.faults_detected
+    ));
+    report.info(format!(
+        "comm observed {} B -> {} B",
+        a.snapshot.observed_bytes, b.snapshot.observed_bytes
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_telemetry::JsonlSink;
+
+    /// Writes a run with the given per-client accuracies to a temp JSONL
+    /// file and returns its path.
+    fn write_run(name: &str, accuracies: &[f32], skipped_rounds: usize) -> String {
+        let path = std::env::temp_dir().join(name);
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        let sink = JsonlSink::create(&path).expect("create temp telemetry");
+        sink.round_start(0, &[0, 1]);
+        sink.round_end(0, 0.5, &[1.0, 2.0], &[0.4, 0.6], 128, 128);
+        for (client, &acc) in accuracies.iter().enumerate() {
+            sink.personalize(client, acc);
+        }
+        for r in 0..skipped_rounds {
+            sink.round_resilience(r + 1, 0, 0, 0, 0, true);
+        }
+        let _ = sink.flush();
+        path
+    }
+
+    #[test]
+    fn load_run_replays_the_file_through_a_hub() {
+        let path = write_run("obsquery_load.jsonl", &[0.7, 0.9], 0);
+        let run = load_run(&path).expect("load");
+        assert_eq!(run.snapshot.rounds.len(), 1);
+        assert_eq!(run.snapshot.rounds[0].num_clients, 2);
+        let fairness = run.snapshot.fairness.expect("personalized");
+        assert_eq!(fairness.num_clients, 2);
+        assert!((fairness.mean - 0.8).abs() < 1e-6);
+        assert!(summary(&run).contains("== telemetry summary (1 round events) =="));
+        assert!(rounds_table(&run).contains("    0        2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_run_reports_the_bad_line() {
+        let path = std::env::temp_dir().join("obsquery_bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"type\":\"round_start\",\"round\":0,\"selected\":[]}\nnot json\n",
+        )
+        .expect("write");
+        let err = load_run(path.to_str().expect("utf-8")).expect_err("must fail");
+        assert!(err.contains(":2:"), "names line 2: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn round_detail_collects_round_scoped_events() {
+        let path = write_run("obsquery_detail.jsonl", &[0.8], 0);
+        let run = load_run(&path).expect("load");
+        let detail = round_detail(&run, 0);
+        assert!(detail.contains("round 0: 2 clients"));
+        assert!(detail.contains("\"type\":\"round_start\""));
+        assert!(detail.contains("\"type\":\"round_end\""));
+        assert!(
+            !detail.contains("\"type\":\"personalize\""),
+            "not round-scoped"
+        );
+        assert!(round_detail(&run, 99).contains("no round_end event"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fairness_table_has_per_round_dispersion() {
+        let path = write_run("obsquery_fair.jsonl", &[0.6, 0.9], 0);
+        let run = load_run(&path).expect("load");
+        let table = fairness_table(&run);
+        assert!(table.contains("loss_worst10%"));
+        assert!(table.contains("final accuracy fairness: 2 clients"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn self_diff_is_breach_free() {
+        let path = write_run("obsquery_self.jsonl", &[0.7, 0.8, 0.9], 0);
+        let run_a = load_run(&path).expect("load a");
+        let run_b = load_run(&path).expect("load b");
+        let report = diff(&run_a, &run_b, &DiffThresholds::default());
+        assert_eq!(report.breaches, 0, "{:?}", report.lines);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fairness_std_regression_breaches() {
+        let a = write_run("obsquery_diff_a.jsonl", &[0.80, 0.80, 0.80], 0);
+        // Same mean, much wider spread: only the std check should fire.
+        let b = write_run("obsquery_diff_b.jsonl", &[0.60, 0.80, 1.00], 0);
+        let run_a = load_run(&a).expect("load a");
+        let run_b = load_run(&b).expect("load b");
+        let report = diff(&run_a, &run_b, &DiffThresholds::default());
+        assert!(report.breaches >= 1);
+        assert!(
+            report
+                .lines
+                .iter()
+                .any(|l| l.starts_with("BREACH") && l.contains("std")),
+            "{:?}",
+            report.lines
+        );
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn skipped_round_increase_breaches() {
+        let a = write_run("obsquery_skip_a.jsonl", &[0.8], 0);
+        let b = write_run("obsquery_skip_b.jsonl", &[0.8], 2);
+        let run_a = load_run(&a).expect("load a");
+        let run_b = load_run(&b).expect("load b");
+        let report = diff(&run_a, &run_b, &DiffThresholds::default());
+        assert!(report
+            .lines
+            .iter()
+            .any(|l| l.starts_with("BREACH") && l.contains("rounds skipped")));
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+}

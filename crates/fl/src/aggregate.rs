@@ -559,7 +559,9 @@ impl UpdateSink for StreamingWeightedSink {
     }
 
     fn state_bytes(&self) -> usize {
-        self.acc.len() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+        // Capacity, not length: allocated-but-unused slack is still resident
+        // memory the cohort bench's flat-peak assertion must see.
+        self.acc.capacity() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
     }
 
     fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
@@ -703,8 +705,15 @@ impl UpdateSink for ReservoirSink {
     }
 
     fn state_bytes(&self) -> usize {
-        let held: usize = self.entries.iter().map(|e| e.len()).sum();
-        (held + self.weights.len()) * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+        // Count allocated capacity — the sample buffer's resident footprint —
+        // including the spine of the `Vec<Vec<f32>>` itself. Length-based
+        // accounting under-reported the reservoir before it filled and hid
+        // the retained buffer from the cohort bench's peak assertion.
+        let held: usize = self.entries.iter().map(Vec::capacity).sum();
+        let spine = self.entries.capacity() * std::mem::size_of::<Vec<f32>>();
+        (held + self.weights.capacity()) * std::mem::size_of::<f32>()
+            + spine
+            + std::mem::size_of::<Self>()
     }
 
     fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
@@ -831,8 +840,13 @@ impl UpdateSink for HierarchicalSink {
     }
 
     fn state_bytes(&self) -> usize {
-        let held: usize = self.accs.iter().map(|a| a.len()).sum();
-        (held + self.totals.len()) * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+        // Capacity-based, matching the other sinks: per-group accumulators,
+        // the spine holding them, and the per-group weight totals.
+        let held: usize = self.accs.iter().map(Vec::capacity).sum();
+        let spine = self.accs.capacity() * std::mem::size_of::<Vec<f32>>();
+        (held + self.totals.capacity()) * std::mem::size_of::<f32>()
+            + spine
+            + std::mem::size_of::<Self>()
     }
 
     fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {

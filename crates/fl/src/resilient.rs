@@ -37,7 +37,7 @@ use crate::aggregate::{
 };
 use crate::chaos::{panic_injected, ClientFault, FaultInjector};
 use crate::parallel::parallel_map_resilient;
-use calibre_telemetry::Recorder;
+use calibre_telemetry::{metrics, Recorder};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -324,6 +324,18 @@ where
         None
     };
     report.skipped = aggregated.is_none();
+
+    // Live-export counters (inert unless the metrics registry is enabled).
+    // Guarded so nominal rounds create no fault series at all.
+    if report.injected > 0 {
+        metrics::counter_add("calibre_faults_injected_total", &[], report.injected as u64);
+    }
+    if report.detected > 0 {
+        metrics::counter_add("calibre_faults_detected_total", &[], report.detected as u64);
+    }
+    if report.retries > 0 {
+        metrics::counter_add("calibre_retries_total", &[], report.retries as u64);
+    }
 
     if !report.is_nominal(selected.len()) {
         for f in &report.faults {

@@ -35,7 +35,7 @@ use crate::resilient::{
     run_round_resilient, AcceptedClient, ClientOutcome, ResilientRound, RoundPolicy,
 };
 use crate::sampler::Sampler;
-use calibre_telemetry::{ClientLosses, Recorder};
+use calibre_telemetry::{metrics, ClientLosses, Recorder};
 
 /// How a scheduler picks each round's cohort.
 #[derive(Debug, Clone)]
@@ -261,6 +261,10 @@ impl RoundScheduler {
         L: Fn(&P) -> (ClientLosses, f32),
     {
         ctx.recorder.round_start(round, selected);
+        // Inert unless `--metrics-addr` enabled the registry; the guard
+        // observes the round's wall-clock into the export histogram on drop.
+        let _round_timer =
+            metrics::start_timer("calibre_round_duration_ms", &[("path", "collect")]);
         let outcome = run_round_resilient(
             round,
             selected,
@@ -309,6 +313,35 @@ impl RoundScheduler {
             observed_bytes,
         );
 
+        metrics::counter_add("calibre_rounds_total", &[("path", "collect")], 1);
+        metrics::counter_add("calibre_clients_accepted_total", &[], n as u64);
+        metrics::counter_add(
+            "calibre_clients_rejected_total",
+            &[],
+            outcome.rejected_states.len() as u64,
+        );
+        metrics::observe(
+            "calibre_round_quorum",
+            &[("path", "collect")],
+            outcome.report.quorum as f64,
+        );
+        metrics::counter_add(
+            "calibre_quorum_outcomes_total",
+            &[(
+                "outcome",
+                if outcome.report.skipped {
+                    "missed"
+                } else {
+                    "met"
+                },
+            )],
+            1,
+        );
+        if outcome.report.skipped {
+            metrics::counter_add("calibre_rounds_skipped_total", &[("path", "collect")], 1);
+        }
+        metrics::gauge_set("calibre_round_mean_loss", &[], f64::from(mean_loss));
+
         ScheduledRound {
             round: outcome,
             mean_loss,
@@ -355,6 +388,8 @@ impl RoundScheduler {
     {
         let wave = wave.max(1);
         let min_quorum = self.policy.min_quorum.max(1);
+        let _round_timer =
+            metrics::start_timer("calibre_round_duration_ms", &[("path", "streaming")]);
         let mut out = StreamedRound {
             cohort: selected.len(),
             accepted: 0,
@@ -434,6 +469,29 @@ impl RoundScheduler {
                 out.skipped,
             );
         }
+
+        metrics::counter_add("calibre_rounds_total", &[("path", "streaming")], 1);
+        metrics::counter_add("calibre_clients_accepted_total", &[], out.accepted as u64);
+        metrics::counter_add("calibre_clients_dropped_total", &[], out.dropped as u64);
+        metrics::counter_add("calibre_clients_rejected_total", &[], out.rejected as u64);
+        metrics::observe(
+            "calibre_round_quorum",
+            &[("path", "streaming")],
+            out.accepted as f64,
+        );
+        metrics::counter_add(
+            "calibre_quorum_outcomes_total",
+            &[("outcome", if out.skipped { "missed" } else { "met" })],
+            1,
+        );
+        if out.skipped {
+            metrics::counter_add("calibre_rounds_skipped_total", &[("path", "streaming")], 1);
+        }
+        metrics::gauge_max(
+            "calibre_sink_peak_state_bytes",
+            &[],
+            out.peak_state_bytes as f64,
+        );
         out
     }
 }

@@ -9,6 +9,7 @@
 //! paths of this workspace are compatible with masked inputs: FedAvg-style
 //! averaging only ever needs the weighted sum.
 
+use calibre_telemetry::metrics;
 use calibre_tensor::rng;
 
 /// Derives the mask shared by the client pair `(a, b)` for a round.
@@ -55,6 +56,7 @@ pub fn mask_update(
             *m += sign * v;
         }
     }
+    metrics::counter_add("calibre_secure_masked_updates_total", &[], 1);
     Ok(masked)
 }
 
@@ -270,6 +272,13 @@ pub fn aggregate_masked_cohort(
                 *acc -= sign * v;
             }
         }
+    }
+    if !dropped.is_empty() {
+        metrics::counter_add(
+            "calibre_secure_dropout_recoveries_total",
+            &[],
+            dropped.len() as u64,
+        );
     }
     Ok(sum)
 }

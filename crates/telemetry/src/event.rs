@@ -1,5 +1,6 @@
 //! Telemetry event types and their JSON-lines encoding.
 
+use crate::json::JsonValue;
 use std::fmt::Write as _;
 
 /// The per-client loss decomposition from the Calibre objective
@@ -323,6 +324,92 @@ impl Event {
         s
     }
 
+    /// Decodes one JSONL line produced by [`Event::to_json`].
+    ///
+    /// The inverse of the encoder, with the same conventions: `null` in a
+    /// numeric position decodes to `NaN` (so non-finite losses survive a
+    /// round trip), a *missing* numeric field is an error. Unknown `"type"`
+    /// tags are errors too — a telemetry file from a newer writer should
+    /// fail loudly, not fold silently wrong.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let value = JsonValue::parse(line)?;
+        Event::from_value(&value)
+    }
+
+    /// Decodes an already-parsed JSON object into an event. See
+    /// [`Event::from_json`].
+    pub fn from_value(value: &JsonValue) -> Result<Event, String> {
+        let tag = value
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "event object has no \"type\" tag".to_string())?;
+        match tag {
+            "round_start" => Ok(Event::RoundStart {
+                round: field_usize(value, "round")?,
+                selected: field_usize_array(value, "selected")?,
+            }),
+            "client_update" => Ok(Event::ClientUpdate {
+                round: field_usize(value, "round")?,
+                client: field_usize(value, "client")?,
+                wall_ms: field_f64(value, "wall_ms")?,
+                losses: ClientLosses {
+                    total: field_f32(value, "loss")?,
+                    ssl: field_f32(value, "l_ssl")?,
+                    l_n: field_f32(value, "l_n")?,
+                    l_p: field_f32(value, "l_p")?,
+                },
+                divergence: field_f32(value, "divergence")?,
+            }),
+            "aggregate" => Ok(Event::Aggregate {
+                round: field_usize(value, "round")?,
+                num_clients: field_usize(value, "num_clients")?,
+                total_weight: field_f32(value, "total_weight")?,
+            }),
+            "round_end" => Ok(Event::RoundEnd {
+                round: field_usize(value, "round")?,
+                mean_loss: field_f32(value, "mean_loss")?,
+                client_wall_ms: field_f64_array(value, "client_wall_ms")?,
+                client_loss: field_f32_array(value, "client_loss")?,
+                planned_bytes: field_u64(value, "planned_bytes")?,
+                observed_bytes: field_u64(value, "observed_bytes")?,
+            }),
+            "personalize" => Ok(Event::Personalize {
+                client: field_usize(value, "client")?,
+                accuracy: field_f32(value, "accuracy")?,
+            }),
+            "fault" => Ok(Event::Fault {
+                round: field_usize(value, "round")?,
+                client: field_usize(value, "client")?,
+                attempt: field_usize(value, "attempt")?,
+                kind: intern_fault_kind(
+                    value
+                        .get("kind")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| "fault event has no \"kind\" string".to_string())?,
+                ),
+                detected: field_bool(value, "detected")?,
+            }),
+            "round_resilience" => Ok(Event::RoundResilience {
+                round: field_usize(value, "round")?,
+                injected: field_usize(value, "injected")?,
+                detected: field_usize(value, "detected")?,
+                retries: field_usize(value, "retries")?,
+                quorum: field_usize(value, "quorum")?,
+                skipped: field_bool(value, "skipped")?,
+            }),
+            "cohort_point" => Ok(Event::CohortPoint {
+                cohort: field_usize(value, "cohort")?,
+                dim: field_usize(value, "dim")?,
+                groups: field_usize(value, "groups")?,
+                rounds: field_usize(value, "rounds")?,
+                rounds_per_sec: field_f64(value, "rounds_per_sec")?,
+                peak_state_bytes: field_u64(value, "peak_state_bytes")?,
+                peak_rss_bytes: field_u64(value, "peak_rss_bytes")?,
+            }),
+            other => Err(format!("unknown event type tag {other:?}")),
+        }
+    }
+
     /// Returns the round index the event belongs to, if it is round-scoped.
     ///
     /// [`Event::Personalize`] happens after training finishes and returns
@@ -338,6 +425,100 @@ impl Event {
             Event::Personalize { .. } | Event::CohortPoint { .. } => None,
         }
     }
+}
+
+/// Maps a decoded fault-kind string back to the static tag the producers
+/// use. Unknown kinds (from a newer writer) fold to `"other"` — faults
+/// still count, the label just coarsens.
+fn intern_fault_kind(kind: &str) -> &'static str {
+    match kind {
+        "dropout" => "dropout",
+        "straggle" => "straggle",
+        "panic" => "panic",
+        "corrupt_nan" => "corrupt_nan",
+        "corrupt_inf" => "corrupt_inf",
+        "corrupt_norm" => "corrupt_norm",
+        "corrupt_sign" => "corrupt_sign",
+        "invalid" => "invalid",
+        _ => "other",
+    }
+}
+
+/// A required non-negative integer field.
+fn field_usize(value: &JsonValue, name: &str) -> Result<usize, String> {
+    let raw = value
+        .get(name)
+        .and_then(JsonValue::as_i64)
+        .ok_or_else(|| format!("missing or non-integer field {name:?}"))?;
+    usize::try_from(raw).map_err(|_| format!("field {name:?} is negative: {raw}"))
+}
+
+/// A required non-negative integer field, widened to `u64`.
+fn field_u64(value: &JsonValue, name: &str) -> Result<u64, String> {
+    let raw = value
+        .get(name)
+        .and_then(JsonValue::as_i64)
+        .ok_or_else(|| format!("missing or non-integer field {name:?}"))?;
+    u64::try_from(raw).map_err(|_| format!("field {name:?} is negative: {raw}"))
+}
+
+/// A required numeric field; `null` decodes to `NaN` (the encoder writes
+/// non-finite values as `null`), absence is an error.
+fn field_f64(value: &JsonValue, name: &str) -> Result<f64, String> {
+    match value.get(name) {
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("field {name:?} is not a number")),
+        None => Err(format!("missing numeric field {name:?}")),
+    }
+}
+
+fn field_f32(value: &JsonValue, name: &str) -> Result<f32, String> {
+    field_f64(value, name).map(|v| v as f32)
+}
+
+fn field_bool(value: &JsonValue, name: &str) -> Result<bool, String> {
+    value
+        .get(name)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing or non-bool field {name:?}"))
+}
+
+fn field_usize_array(value: &JsonValue, name: &str) -> Result<Vec<usize>, String> {
+    let items = value
+        .get(name)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing or non-array field {name:?}"))?;
+    items
+        .iter()
+        .map(|v| {
+            let raw = v
+                .as_i64()
+                .ok_or_else(|| format!("non-integer element in {name:?}"))?;
+            usize::try_from(raw).map_err(|_| format!("negative element in {name:?}"))
+        })
+        .collect()
+}
+
+fn field_f64_array(value: &JsonValue, name: &str) -> Result<Vec<f64>, String> {
+    let items = value
+        .get(name)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing or non-array field {name:?}"))?;
+    items
+        .iter()
+        .map(|v| match v {
+            JsonValue::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| format!("non-numeric element in {name:?}")),
+        })
+        .collect()
+}
+
+fn field_f32_array(value: &JsonValue, name: &str) -> Result<Vec<f32>, String> {
+    field_f64_array(value, name).map(|xs| xs.into_iter().map(|x| x as f32).collect())
 }
 
 #[cfg(test)]
@@ -464,6 +645,114 @@ mod tests {
                 + "}"
         );
         assert_eq!(e.round(), None, "sweep points are not round-scoped");
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_json() {
+        let events = vec![
+            Event::RoundStart {
+                round: 3,
+                selected: vec![0, 4, 7],
+            },
+            Event::ClientUpdate {
+                round: 1,
+                client: 9,
+                wall_ms: 12.5,
+                losses: ClientLosses {
+                    total: 2.0,
+                    ssl: 1.5,
+                    l_n: 0.25,
+                    l_p: 0.25,
+                },
+                divergence: 0.125,
+            },
+            Event::Aggregate {
+                round: 2,
+                num_clients: 5,
+                total_weight: 5.5,
+            },
+            Event::RoundEnd {
+                round: 0,
+                mean_loss: 1.5,
+                client_wall_ms: vec![1.0, 2.5],
+                client_loss: vec![1.0, 2.0],
+                planned_bytes: 100,
+                observed_bytes: 120,
+            },
+            Event::Personalize {
+                client: 4,
+                accuracy: 0.875,
+            },
+            Event::Fault {
+                round: 2,
+                client: 5,
+                attempt: 1,
+                kind: "corrupt_nan",
+                detected: true,
+            },
+            Event::RoundResilience {
+                round: 7,
+                injected: 3,
+                detected: 2,
+                retries: 1,
+                quorum: 4,
+                skipped: false,
+            },
+            Event::CohortPoint {
+                cohort: 10_000,
+                dim: 1024,
+                groups: 8,
+                rounds: 5,
+                rounds_per_sec: 12.5,
+                peak_state_bytes: 4096,
+                peak_rss_bytes: 1 << 20,
+            },
+        ];
+        for event in events {
+            let decoded = Event::from_json(&event.to_json()).expect("roundtrip decode");
+            assert_eq!(decoded, event);
+        }
+    }
+
+    #[test]
+    fn null_decodes_to_nan() {
+        let decoded = Event::from_json("{\"type\":\"personalize\",\"client\":0,\"accuracy\":null}")
+            .expect("null accuracy decodes");
+        match decoded {
+            Event::Personalize { client, accuracy } => {
+                assert_eq!(client, 0);
+                assert!(accuracy.is_nan());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fault_kind_folds_to_other() {
+        let decoded = Event::from_json(
+            "{\"type\":\"fault\",\"round\":0,\"client\":1,\"attempt\":0,\
+             \"kind\":\"brand_new_kind\",\"detected\":false}",
+        )
+        .expect("unknown kinds still decode");
+        assert!(matches!(decoded, Event::Fault { kind: "other", .. }));
+    }
+
+    #[test]
+    fn decode_errors_are_loud() {
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("{\"round\":1}").is_err(), "no type tag");
+        assert!(
+            Event::from_json("{\"type\":\"warp_drive\",\"round\":1}").is_err(),
+            "unknown tag"
+        );
+        assert!(
+            Event::from_json("{\"type\":\"personalize\",\"client\":0}").is_err(),
+            "missing numeric field"
+        );
+        assert!(
+            Event::from_json("{\"type\":\"round_start\",\"round\":-1,\"selected\":[]}").is_err(),
+            "negative round"
+        );
     }
 
     #[test]

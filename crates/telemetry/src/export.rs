@@ -1,0 +1,393 @@
+//! Hand-rolled, dependency-free HTTP exposition of live metrics.
+//!
+//! [`MetricsServer`] runs a blocking [`std::net::TcpListener`] on one
+//! background thread — the same no-new-deps spirit as the hand-rolled JSON
+//! layer — and serves two endpoints:
+//!
+//! * `GET /metrics` — the process-wide [`crate::metrics`] registry
+//!   plus hub-derived fairness/round/communication families, in the
+//!   Prometheus text exposition format (version 0.0.4);
+//! * `GET /status` — the full [`HubSnapshot`](crate::HubSnapshot) as JSON,
+//!   byte-for-byte the struct the console summary renders from.
+//!
+//! The server is strictly an *observer*: it never mutates the hub or the
+//! registry, and binding it does not by itself enable metric collection —
+//! `calibre_bench::obs` flips the registry on when `--metrics-addr` is
+//! given. Training that never scrapes stays bit-identical.
+
+use crate::hub::MetricsHub;
+use crate::metrics;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Errors from binding, serving, or scraping the exposition endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// The listener could not bind the requested address.
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
+    /// A socket read/write/configure step failed.
+    Io {
+        /// Which step failed (static context, e.g. `"read response"`).
+        context: &'static str,
+        /// The underlying I/O error, stringified.
+        detail: String,
+    },
+    /// The peer sent something that is not the HTTP we speak.
+    Http {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::Bind { addr, detail } => {
+                write!(f, "cannot bind metrics listener on {addr}: {detail}")
+            }
+            ExportError::Io { context, detail } => write!(f, "metrics I/O ({context}): {detail}"),
+            ExportError::Http { detail } => write!(f, "malformed HTTP: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// How long the accept loop naps when no connection is pending. Bounds
+/// shutdown latency; scrapes themselves are handled synchronously.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Per-connection socket timeout — a stuck scraper cannot wedge the server.
+const CONN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head we accept before dropping the connection.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A background HTTP server exposing `/metrics` and `/status`.
+///
+/// Dropping (or [`shutdown`](MetricsServer::shutdown)ing) the server stops
+/// the accept loop and joins the thread.
+///
+/// ```no_run
+/// use calibre_telemetry::{export::MetricsServer, MetricsHub};
+/// use std::sync::Arc;
+///
+/// let hub = Arc::new(MetricsHub::new());
+/// let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub))?;
+/// println!("serving http://{}/metrics", server.local_addr());
+/// # Ok::<(), calibre_telemetry::export::ExportError>(())
+/// ```
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9185"`, port `0` for ephemeral) and
+    /// starts serving the given hub on a background thread.
+    pub fn bind(addr: &str, hub: Arc<MetricsHub>) -> Result<Self, ExportError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ExportError::Bind {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ExportError::Io {
+            context: "query local addr",
+            detail: e.to_string(),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ExportError::Io {
+                context: "set listener nonblocking",
+                detail: e.to_string(),
+            })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("calibre-metrics-export".to_string())
+            .spawn(move || serve_loop(listener, hub, stop_thread))
+            .map_err(|e| ExportError::Io {
+                context: "spawn export thread",
+                detail: e.to_string(),
+            })?;
+        Ok(MetricsServer {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound — resolves port `0` to the real port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            // A panicked serving thread has nothing left to clean up.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, hub: Arc<MetricsHub>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve synchronously: scrapes are tiny and rare, and one
+                // thread keeps the failure surface small.
+                let _ = handle_conn(stream, &hub);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake): back
+                // off briefly and keep serving.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, hub: &Arc<MetricsHub>) -> Result<(), ExportError> {
+    stream.set_nonblocking(false).map_err(|e| ExportError::Io {
+        context: "set stream blocking",
+        detail: e.to_string(),
+    })?;
+    stream
+        .set_read_timeout(Some(CONN_TIMEOUT))
+        .map_err(|e| ExportError::Io {
+            context: "set read timeout",
+            detail: e.to_string(),
+        })?;
+    stream
+        .set_write_timeout(Some(CONN_TIMEOUT))
+        .map_err(|e| ExportError::Io {
+            context: "set write timeout",
+            detail: e.to_string(),
+        })?;
+
+    let head = read_head(&mut stream)?;
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                exposition(hub),
+            ),
+            "/status" => ("200 OK", "application/json", hub.snapshot().to_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown path; try /metrics or /status\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(response.as_bytes())
+        .map_err(|e| ExportError::Io {
+            context: "write response",
+            detail: e.to_string(),
+        })
+}
+
+/// Reads the request head (everything up to the blank line). The body, if
+/// any, is ignored — both endpoints are GET-only.
+fn read_head(stream: &mut TcpStream) -> Result<String, ExportError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| ExportError::Io {
+            context: "read request",
+            detail: e.to_string(),
+        })?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ExportError::Http {
+                detail: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+    }
+    String::from_utf8(buf).map_err(|_| ExportError::Http {
+        detail: "request head is not UTF-8".to_string(),
+    })
+}
+
+/// Renders the full `/metrics` body: the process-wide registry first, then
+/// families derived from the hub snapshot. The hub-derived fairness family
+/// is **always** present (zeros before any personalization) so dashboards
+/// can alert on its absence-of-change rather than absence-of-series.
+pub fn exposition(hub: &Arc<MetricsHub>) -> String {
+    let mut out = metrics::global().render_prometheus();
+    let snap = hub.snapshot();
+
+    let fairness = snap.fairness.unwrap_or(crate::hub::FairnessSummary {
+        num_clients: 0,
+        mean: 0.0,
+        std: 0.0,
+        worst_10pct: 0.0,
+    });
+    push_gauge(
+        &mut out,
+        "calibre_fairness_clients",
+        "clients with a personalized accuracy so far",
+        fairness.num_clients as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_fairness_accuracy_mean",
+        "mean personalized accuracy across clients",
+        f64::from(fairness.mean),
+    );
+    push_gauge(
+        &mut out,
+        "calibre_fairness_accuracy_std",
+        "standard deviation of personalized accuracy",
+        f64::from(fairness.std),
+    );
+    push_gauge(
+        &mut out,
+        "calibre_fairness_worst_decile",
+        "mean accuracy of the worst 10% of clients",
+        f64::from(fairness.worst_10pct),
+    );
+    push_gauge(
+        &mut out,
+        "calibre_rounds_completed",
+        "rounds folded into the hub",
+        snap.rounds.len() as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_comm_planned_bytes",
+        "total planned communication bytes",
+        snap.planned_bytes as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_comm_observed_bytes",
+        "total observed communication bytes",
+        snap.observed_bytes as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_resilience_faults_injected",
+        "faults injected by the chaos layer",
+        snap.resilience.faults_injected as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_resilience_faults_detected",
+        "injected faults the executor detected",
+        snap.resilience.faults_detected as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_resilience_rounds_skipped",
+        "rounds skipped for missing quorum",
+        snap.resilience.rounds_skipped as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_cohort_points",
+        "cohort sweep points recorded",
+        snap.cohorts.len() as f64,
+    );
+    out
+}
+
+fn push_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    if value.is_finite() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name} NaN");
+    }
+}
+
+/// Minimal HTTP/1.1 GET against a [`MetricsServer`] (or anything speaking
+/// plain HTTP), returning the response body. Used by the bench's
+/// `--metrics-snapshot` self-scrape, the CI smoke step, and tests — it
+/// keeps the scrape path dependency-free too.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, ExportError> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, CONN_TIMEOUT).map_err(|e| ExportError::Io {
+            context: "connect",
+            detail: e.to_string(),
+        })?;
+    stream
+        .set_read_timeout(Some(CONN_TIMEOUT))
+        .map_err(|e| ExportError::Io {
+            context: "set read timeout",
+            detail: e.to_string(),
+        })?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| ExportError::Io {
+            context: "write request",
+            detail: e.to_string(),
+        })?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| ExportError::Io {
+            context: "read response",
+            detail: e.to_string(),
+        })?;
+    let body_at = response.find("\r\n\r\n").ok_or_else(|| ExportError::Http {
+        detail: "response has no header/body separator".to_string(),
+    })?;
+    Ok(response.split_off(body_at + 4))
+}

@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::recorder::Recorder;
+use crate::snapshot::HubSnapshot;
 use parking_lot::Mutex;
 
 /// Summary statistics for one completed federated round.
@@ -61,7 +62,9 @@ impl Histogram {
             bound *= 2.0;
             idx += 1;
         }
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
     }
 
     /// Bucket counts; bucket `i` covers `[2^(i-1), 2^i)` milliseconds
@@ -185,7 +188,7 @@ impl MetricsHub {
         let mut sorted = accs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let worst_n = (n as f32 * 0.1).ceil().max(1.0) as usize;
-        let worst = sorted[..worst_n].iter().sum::<f32>() / worst_n as f32;
+        let worst = sorted.iter().take(worst_n).sum::<f32>() / worst_n as f32;
         Some(FairnessSummary {
             num_clients: n,
             mean,
@@ -212,6 +215,23 @@ impl MetricsHub {
         state.rounds.iter().fold((0, 0), |(p, o), r| {
             (p + r.planned_bytes, o + r.observed_bytes)
         })
+    }
+
+    /// A consistent point-in-time copy of everything folded so far: the
+    /// single source for console summaries, the `/status` endpoint, and the
+    /// `calibre-obs` CLI. All sections are captured under one lock
+    /// acquisition per accessor, taken back-to-back — good enough for a
+    /// hub that is only appended to.
+    pub fn snapshot(&self) -> HubSnapshot {
+        let (planned_bytes, observed_bytes) = self.total_bytes();
+        HubSnapshot {
+            rounds: self.round_summaries(),
+            fairness: self.fairness_summary(),
+            resilience: self.resilience_summary(),
+            cohorts: self.cohort_summaries(),
+            planned_bytes,
+            observed_bytes,
+        }
     }
 }
 
@@ -445,6 +465,61 @@ mod tests {
         assert_eq!(points[0].cohort, 1_000);
         assert_eq!(points[1].groups, 32);
         assert_eq!(points[1].peak_state_bytes, 262_144);
+    }
+
+    #[test]
+    fn round_with_zero_accepted_clients_folds_to_zeros() {
+        // A below-quorum round ends with no client data at all; the summary
+        // must fold to zeros instead of NaN-ing or panicking on division.
+        let hub = MetricsHub::new();
+        hub.round_start(0, &[]);
+        hub.round_end(0, f32::NAN, &[], &[], 0, 0);
+        let rounds = hub.round_summaries();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].num_clients, 0);
+        assert_eq!(rounds[0].mean_wall_ms, 0.0);
+        assert_eq!(rounds[0].max_wall_ms, 0.0);
+        assert_eq!(rounds[0].wall_histogram.total(), 0);
+        // mean_loss stays NaN (there is nothing to recompute it from) —
+        // the JSON layer encodes that as null downstream.
+        assert!(rounds[0].mean_loss.is_nan());
+        assert_eq!(hub.total_bytes(), (0, 0));
+    }
+
+    #[test]
+    fn single_round_run_summarizes_cleanly() {
+        let hub = MetricsHub::new();
+        hub.round_start(0, &[0]);
+        hub.round_end(0, 0.25, &[4.0], &[0.25], 64, 64);
+        hub.personalize(0, 0.9);
+        let snap = hub.snapshot();
+        assert_eq!(snap.rounds.len(), 1);
+        assert_eq!(snap.rounds[0].num_clients, 1);
+        assert_eq!(snap.rounds[0].mean_wall_ms, 4.0);
+        assert_eq!(snap.rounds[0].max_wall_ms, 4.0);
+        let fairness = snap.fairness.expect("one personalize event recorded");
+        // With a single client, mean == worst-10% and std is zero.
+        assert_eq!(fairness.num_clients, 1);
+        assert!((fairness.mean - 0.9).abs() < 1e-6);
+        assert!((fairness.worst_10pct - 0.9).abs() < 1e-6);
+        assert_eq!(fairness.std, 0.0);
+        assert_eq!((snap.planned_bytes, snap.observed_bytes), (64, 64));
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_accessors() {
+        let hub = MetricsHub::new();
+        hub.round_start(0, &[0, 1]);
+        hub.round_end(0, 0.5, &[1.0, 2.0], &[0.4, 0.6], 128, 120);
+        hub.personalize(0, 0.7);
+        hub.cohort_point(100, 16, 0, 2, 5.0, 1024, 0);
+        hub.round_resilience(0, 0, 0, 1, 2, false);
+        let snap = hub.snapshot();
+        assert_eq!(snap.rounds, hub.round_summaries());
+        assert_eq!(snap.fairness, hub.fairness_summary());
+        assert_eq!(snap.resilience, hub.resilience_summary());
+        assert_eq!(snap.cohorts, hub.cohort_summaries());
+        assert_eq!((snap.planned_bytes, snap.observed_bytes), hub.total_bytes());
     }
 
     #[test]

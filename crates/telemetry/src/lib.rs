@@ -32,6 +32,13 @@
 //! Chrome trace-event exporter for Perfetto ([`trace`]). [`json`] is the
 //! matching hand-rolled reader used by the perf-regression gate.
 //!
+//! PR 7 adds the *live* surface: a deterministic metrics registry
+//! ([`metrics`] — counters, gauges, log₂-bucket histograms, disabled by
+//! default so training stays bit-identical), a dependency-free HTTP
+//! exposition server ([`export`] — `/metrics` in Prometheus text format,
+//! `/status` as JSON), and [`HubSnapshot`] — the single struct that the
+//! console summary, `/status`, and the `calibre-obs` CLI all render from.
+//!
 //! ```
 //! use calibre_telemetry::{ClientLosses, MemoryRecorder, Recorder};
 //! use std::time::Duration;
@@ -51,20 +58,25 @@
 #![deny(missing_docs)]
 
 mod event;
+pub mod export;
 mod hub;
 pub mod json;
 mod jsonl;
+pub mod metrics;
 pub mod profile;
 mod recorder;
+mod snapshot;
 pub mod span;
 pub mod trace;
 
 pub use event::{ClientLosses, Event};
+pub use export::MetricsServer;
 pub use hub::{CohortSummary, FairnessSummary, MetricsHub, ResilienceSummary, RoundSummary};
 pub use json::JsonValue;
 pub use jsonl::JsonlSink;
 pub use profile::{ProfileCollector, ProfileReport, SpanStats};
 pub use recorder::{Fanout, MemoryRecorder, NullRecorder, Recorder};
+pub use snapshot::HubSnapshot;
 pub use span::{
     collector_installed, install_collector, span, uninstall_collector, SpanFanout, SpanGuard,
     SpanSink,

@@ -1,0 +1,591 @@
+//! Deterministic metrics registry: counters, gauges, and log₂-bucket
+//! histograms with a Prometheus text exposition.
+//!
+//! The registry is the *live* face of observability: the round executors in
+//! `calibre-fl` and the bench drivers publish counters (rounds, accepted/
+//! dropped/rejected clients, faults), gauges (mean loss, peak sink bytes)
+//! and histograms (round duration, achieved quorum) into it, and the
+//! export server (`crate::export`) renders the whole thing on demand.
+//!
+//! # Determinism
+//!
+//! Metrics must never perturb training:
+//!
+//! * The registry is **disabled by default**. Every update begins with one
+//!   relaxed atomic load and returns immediately when the registry is off,
+//!   so runs without `--metrics-addr` execute the exact instruction stream
+//!   they always did — the golden-checksum tests stay green.
+//! * All state is keyed by `BTreeMap`, so two identical runs render
+//!   byte-identical expositions (no hash-order noise).
+//! * Histograms use **fixed** power-of-two bucket boundaries — replaying a
+//!   run reproduces the same snapshot, and merging per-shard histograms is
+//!   associative and order-independent (element-wise sums).
+//! * Only this crate observes the clock: [`MetricsRegistry::start_timer`]
+//!   hands out a guard that samples `Instant` internally (and not at all
+//!   while the registry is disabled), so instrumented crates never name a
+//!   clock type and the `calibre-analyze` wallclock rule keeps holding.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Number of log₂ buckets every [`Log2Histogram`] carries. Bucket 0 covers
+/// `[0, 1)`, bucket `i` covers `[2^(i-1), 2^i)`, and the final bucket is
+/// the open-ended overflow — enough range for milliseconds-scale timings up
+/// to ~18 hours and for quorum counts up to ~67 million clients.
+pub const LOG2_BUCKETS: usize = 28;
+
+/// A fixed-boundary log₂ histogram: power-of-two buckets plus an exact sum
+/// and count, so the Prometheus `_bucket`/`_sum`/`_count` exposition is
+/// loss-free for rates and means.
+///
+/// Boundaries never depend on the data, which buys two properties the
+/// deterministic-replay story needs: the same observations always land in
+/// the same buckets, and merging histograms (element-wise) is associative
+/// and order-independent — the property-based tests pin both.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    sum: f64,
+    total: u64,
+}
+
+impl Log2Histogram {
+    /// Adds one observation. Negative values count into bucket 0 (the
+    /// boundaries start at zero); non-finite values are ignored entirely —
+    /// a poisoned timing must not poison the sum.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut idx = 0usize;
+        let mut bound = 1.0f64;
+        while value >= bound && idx < LOG2_BUCKETS - 1 {
+            bound *= 2.0;
+            idx += 1;
+        }
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.sum += value.max(0.0);
+        self.total += 1;
+    }
+
+    /// Per-bucket counts, bucket 0 first, overflow bucket last.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all (non-negative-clamped) observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another histogram into this one, element-wise. Because the
+    /// boundaries are fixed, `a.merge(b)` equals `b.merge(a)` equals
+    /// observing the union of both streams in any order.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
+    /// The inclusive upper bound of bucket `i` as Prometheus renders it:
+    /// `1, 2, 4, …` and `+Inf` for the overflow bucket.
+    fn le_label(i: usize) -> String {
+        if i + 1 >= LOG2_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            // Bucket i covers [2^(i-1), 2^i): its upper bound is 2^i.
+            format!("{}", 1u64 << i)
+        }
+    }
+}
+
+/// The value side of one registry entry.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    // Boxed: a histogram is ~240 B of fixed buckets, far larger than the
+    // other variants.
+    Histogram(Box<Log2Histogram>),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Key: metric family name plus the pre-rendered, sorted label pairs.
+type MetricKey = (String, String);
+
+/// A deterministic, thread-safe metrics registry.
+///
+/// See the [module docs](self) for the determinism contract. Most callers
+/// use the process-wide registry via the free functions ([`counter_add`],
+/// [`gauge_set`], [`gauge_max`], [`observe`], [`start_timer`]); local
+/// registries exist so tests can assert in isolation.
+///
+/// ```
+/// use calibre_telemetry::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter_add("calibre_rounds_total", &[("path", "collect")], 1);
+/// reg.observe("calibre_round_quorum", &[], 24.0);
+/// let text = reg.render_prometheus();
+/// assert!(text.contains("# TYPE calibre_rounds_total counter"));
+/// assert!(text.contains("calibre_rounds_total{path=\"collect\"} 1"));
+/// assert!(text.contains("calibre_round_quorum_count 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    state: Mutex<BTreeMap<MetricKey, MetricValue>>,
+}
+
+/// Escapes a label value for the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders label pairs as `k="v",k2="v2"`, sorted by key so the same label
+/// set always produces the same registry key and exposition line.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let sorted: BTreeMap<&str, &str> = labels.iter().copied().collect();
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (`NaN`, `+Inf`, `-Inf` for
+/// the non-finite values).
+fn fmt_f64(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry (for tests and embedding).
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: AtomicBool::new(true),
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry — every update is a no-op until
+    /// [`MetricsRegistry::set_enabled`] turns it on. The process-wide
+    /// registry starts in this state so default runs stay bit-identical.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Turns collection on or off. Off is the hot-path no-op state.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether updates are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to a monotonic counter, creating it at zero first.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = (name.to_string(), render_labels(labels));
+        let mut state = self.state.lock();
+        // Type mismatch with an existing family drops the update rather
+        // than corrupt or panic — the exposition stays self-consistent.
+        if let MetricValue::Counter(c) = state.entry(key).or_insert(MetricValue::Counter(0)) {
+            *c = c.saturating_add(delta);
+        }
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauge_update(name, labels, value, |_old, new| new);
+    }
+
+    /// Raises a gauge to `value` if it is higher than the current value —
+    /// the idiom for peaks (e.g. peak aggregation-state bytes).
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauge_update(name, labels, value, f64::max);
+    }
+
+    fn gauge_update(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        f: fn(f64, f64) -> f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = (name.to_string(), render_labels(labels));
+        let mut state = self.state.lock();
+        if let MetricValue::Gauge(g) = state.entry(key).or_insert(MetricValue::Gauge(f64::NAN)) {
+            *g = if g.is_nan() { value } else { f(*g, value) };
+        }
+    }
+
+    /// Records one observation into a log₂ histogram.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = (name.to_string(), render_labels(labels));
+        self.observe_rendered(key, value);
+    }
+
+    fn observe_rendered(&self, key: MetricKey, value: f64) {
+        let mut state = self.state.lock();
+        if let MetricValue::Histogram(h) = state
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            h.observe(value);
+        }
+    }
+
+    /// Starts a wall-clock timer that, when dropped, observes the elapsed
+    /// milliseconds into the named histogram. While the registry is
+    /// disabled the guard holds no clock sample at all, so instrumented
+    /// code pays nothing and — crucially — never observes time.
+    pub fn start_timer(&self, name: &str, labels: &[(&str, &str)]) -> Timer<'_> {
+        if !self.is_enabled() {
+            return Timer {
+                registry: self,
+                key: None,
+                start: None,
+            };
+        }
+        Timer {
+            registry: self,
+            key: Some((name.to_string(), render_labels(labels))),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Current value of a counter (zero when absent) — test support.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = (name.to_string(), render_labels(labels));
+        match self.state.lock().get(&key) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge, if one exists — test support.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = (name.to_string(), render_labels(labels));
+        match self.state.lock().get(&key) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A clone of a histogram, if one exists — test support.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Log2Histogram> {
+        let key = (name.to_string(), render_labels(labels));
+        match self.state.lock().get(&key) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref().clone()),
+            _ => None,
+        }
+    }
+
+    /// Drops every recorded series (the enabled flag is untouched). Test
+    /// support — production code never resets a live registry.
+    pub fn reset(&self) {
+        self.state.lock().clear();
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per family, counter/gauge sample
+    /// lines, and cumulative `_bucket`/`_sum`/`_count` lines for
+    /// histograms. Output order is fully deterministic (sorted by family
+    /// name, then label set).
+    pub fn render_prometheus(&self) -> String {
+        let state = self.state.lock();
+        let mut out = String::with_capacity(256 * state.len().max(1));
+        let mut last_family: Option<&str> = None;
+        for ((name, labels), value) in state.iter() {
+            if last_family != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", value.type_name());
+                last_family = Some(name.as_str());
+            }
+            match value {
+                MetricValue::Counter(c) => {
+                    render_sample_u64(&mut out, name, labels, "", *c);
+                }
+                MetricValue::Gauge(g) => {
+                    render_sample_f64(&mut out, name, labels, "", *g);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, count) in h.counts().iter().enumerate() {
+                        cumulative += count;
+                        let le = Log2Histogram::le_label(i);
+                        let mut labels_with_le = labels.clone();
+                        if !labels_with_le.is_empty() {
+                            labels_with_le.push(',');
+                        }
+                        let _ = write!(labels_with_le, "le=\"{le}\"");
+                        render_sample_u64(&mut out, name, &labels_with_le, "_bucket", cumulative);
+                    }
+                    render_sample_f64(&mut out, name, labels, "_sum", h.sum());
+                    render_sample_u64(&mut out, name, labels, "_count", h.total());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_sample_u64(out: &mut String, name: &str, labels: &str, suffix: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}{suffix} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{suffix}{{{labels}}} {value}");
+    }
+}
+
+fn render_sample_f64(out: &mut String, name: &str, labels: &str, suffix: &str, value: f64) {
+    if labels.is_empty() {
+        let _ = write!(out, "{name}{suffix} ");
+    } else {
+        let _ = write!(out, "{name}{suffix}{{{labels}}} ");
+    }
+    fmt_f64(value, out);
+    out.push('\n');
+}
+
+/// RAII guard from [`MetricsRegistry::start_timer`]: observes the elapsed
+/// wall-clock milliseconds into its histogram on drop. Inert (no clock
+/// sample taken, nothing recorded) when the registry was disabled at start.
+#[derive(Debug)]
+pub struct Timer<'a> {
+    registry: &'a MetricsRegistry,
+    key: Option<MetricKey>,
+    start: Option<Instant>,
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        if let (Some(key), Some(start)) = (self.key.take(), self.start.take()) {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            self.registry.observe_rendered(key, ms);
+        }
+    }
+}
+
+/// The process-wide registry the instrumented crates publish into. Starts
+/// disabled; `--metrics-addr` (via `calibre_bench::obs`) enables it.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::disabled)
+}
+
+/// Enables or disables the process-wide registry.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Adds `delta` to a counter in the process-wide registry.
+pub fn counter_add(name: &str, labels: &[(&str, &str)], delta: u64) {
+    global().counter_add(name, labels, delta);
+}
+
+/// Sets a gauge in the process-wide registry.
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], value: f64) {
+    global().gauge_set(name, labels, value);
+}
+
+/// Raises a gauge in the process-wide registry to `value` if higher.
+pub fn gauge_max(name: &str, labels: &[(&str, &str)], value: f64) {
+    global().gauge_max(name, labels, value);
+}
+
+/// Records a histogram observation in the process-wide registry.
+pub fn observe(name: &str, labels: &[(&str, &str)], value: f64) {
+    global().observe(name, labels, value);
+}
+
+/// Starts a duration timer against the process-wide registry.
+pub fn start_timer(name: &str, labels: &[(&str, &str)]) -> Timer<'static> {
+    global().start_timer(name, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::disabled();
+        reg.counter_add("c", &[], 5);
+        reg.gauge_set("g", &[], 1.0);
+        reg.observe("h", &[], 3.0);
+        assert_eq!(reg.counter_value("c", &[]), 0);
+        assert!(reg.gauge_value("g", &[]).is_none());
+        assert!(reg.histogram("h", &[]).is_none());
+        assert!(reg.render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("calibre_rounds_total", &[("path", "collect")], 1);
+        reg.counter_add("calibre_rounds_total", &[("path", "collect")], 2);
+        reg.counter_add("calibre_rounds_total", &[("path", "streaming")], 7);
+        assert_eq!(
+            reg.counter_value("calibre_rounds_total", &[("path", "collect")]),
+            3
+        );
+        assert_eq!(
+            reg.counter_value("calibre_rounds_total", &[("path", "streaming")]),
+            7
+        );
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", &[("a", "1"), ("b", "2")], 1);
+        reg.counter_add("c", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(reg.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_peak() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_max("peak", &[], 10.0);
+        reg.gauge_max("peak", &[], 4.0);
+        reg.gauge_max("peak", &[], 12.0);
+        assert_eq!(reg.gauge_value("peak", &[]), Some(12.0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Log2Histogram::default();
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 1
+        h.observe(3.9); // bucket 2
+        h.observe(1e12); // overflow
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().first().copied(), Some(1));
+        assert_eq!(h.counts().get(1).copied(), Some(1));
+        assert_eq!(h.counts().get(2).copied(), Some(1));
+        assert_eq!(h.counts().last().copied(), Some(1));
+        assert!((h.sum() - (0.5 + 1.0 + 3.9 + 1e12)).abs() < 1.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("calibre_rounds_total", &[("path", "collect")], 3);
+        reg.gauge_set("calibre_round_mean_loss", &[], 1.25);
+        reg.observe("calibre_round_duration_ms", &[("path", "collect")], 1.5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE calibre_rounds_total counter"));
+        assert!(text.contains("calibre_rounds_total{path=\"collect\"} 3"));
+        assert!(text.contains("# TYPE calibre_round_mean_loss gauge"));
+        assert!(text.contains("calibre_round_mean_loss 1.25"));
+        assert!(text.contains("# TYPE calibre_round_duration_ms histogram"));
+        assert!(text.contains("calibre_round_duration_ms_bucket{path=\"collect\",le=\"2\"} 1"));
+        assert!(text.contains("calibre_round_duration_ms_bucket{path=\"collect\",le=\"+Inf\"} 1"));
+        assert!(text.contains("calibre_round_duration_ms_count{path=\"collect\"} 1"));
+        // Exactly one TYPE line per family.
+        assert_eq!(text.matches("# TYPE calibre_rounds_total ").count(), 1);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter_add("b_total", &[], 1);
+            reg.counter_add("a_total", &[("k", "v")], 2);
+            reg.observe("h_ms", &[], 7.0);
+            reg.render_prometheus()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn type_mismatch_is_ignored_not_corrupted() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("x", &[], 1);
+        reg.gauge_set("x", &[], 99.0); // ignored: x is a counter
+        reg.observe("x", &[], 5.0); // ignored too
+        assert_eq!(reg.counter_value("x", &[]), 1);
+        assert!(reg.gauge_value("x", &[]).is_none());
+    }
+
+    #[test]
+    fn timer_observes_elapsed_ms() {
+        let reg = MetricsRegistry::new();
+        {
+            let _t = reg.start_timer("op_ms", &[]);
+        }
+        let h = reg.histogram("op_ms", &[]).unwrap_or_default();
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn timer_on_disabled_registry_is_inert() {
+        let reg = MetricsRegistry::disabled();
+        {
+            let _t = reg.start_timer("op_ms", &[]);
+        }
+        assert!(reg.histogram("op_ms", &[]).is_none());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", &[("k", "a\"b\\c\nd")], 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("k=\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -1,0 +1,297 @@
+//! One-shot, self-contained snapshot of a [`MetricsHub`](crate::MetricsHub).
+//!
+//! Console summaries (`calibre_bench::obs`), the HTTP `/status` endpoint
+//! (`crate::export`), and the `calibre-obs` CLI all render from this one
+//! struct, so the three surfaces can never drift apart: what you read in
+//! the terminal is exactly what a scraper or the query CLI sees.
+
+use crate::hub::{CohortSummary, FairnessSummary, ResilienceSummary, RoundSummary};
+use std::fmt::Write as _;
+
+/// A consistent point-in-time copy of everything a
+/// [`MetricsHub`](crate::MetricsHub) has folded so far.
+///
+/// Obtain via [`MetricsHub::snapshot`](crate::MetricsHub::snapshot); render
+/// with [`HubSnapshot::render_text`] for humans or
+/// [`HubSnapshot::to_json`] for machines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HubSnapshot {
+    /// Per-round summaries in round order.
+    pub rounds: Vec<RoundSummary>,
+    /// Fairness over personalized accuracies, when any were recorded.
+    pub fairness: Option<FairnessSummary>,
+    /// Run-level chaos/resilience totals.
+    pub resilience: ResilienceSummary,
+    /// Massive-cohort sweep points (empty outside the `cohort` bench).
+    pub cohorts: Vec<CohortSummary>,
+    /// Total planned communication bytes across completed rounds.
+    pub planned_bytes: u64,
+    /// Total observed communication bytes across completed rounds.
+    pub observed_bytes: u64,
+}
+
+impl HubSnapshot {
+    /// Renders the end-of-run console summary. Lines match the historical
+    /// `calibre_bench` output format so existing eyeballs and scripts keep
+    /// working; the caller owns any leading blank line and trailing
+    /// "wrote …" line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== telemetry summary ({} round events) ==",
+            self.rounds.len()
+        );
+        for s in &self.rounds {
+            let _ = writeln!(
+                out,
+                "round {:>3}: {} clients, mean loss {:.4}, wall mean {:.1} ms / max {:.1} ms",
+                s.round, s.num_clients, s.mean_loss, s.mean_wall_ms, s.max_wall_ms
+            );
+        }
+        let _ = writeln!(
+            out,
+            "comm: planned {:.2} MiB, observed {:.2} MiB",
+            self.planned_bytes as f64 / (1024.0 * 1024.0),
+            self.observed_bytes as f64 / (1024.0 * 1024.0)
+        );
+        if let Some(fairness) = &self.fairness {
+            let _ = writeln!(
+                out,
+                "fairness over {} personalizations: mean {:.3}, std {:.3}, worst-10% {:.3}",
+                fairness.num_clients, fairness.mean, fairness.std, fairness.worst_10pct
+            );
+        }
+        if !self.cohorts.is_empty() {
+            let _ = writeln!(out, "cohort sweep ({} points):", self.cohorts.len());
+            for c in &self.cohorts {
+                let _ = writeln!(
+                    out,
+                    "  cohort {:>7} (dim {}, groups {}): {:.2} rounds/sec, peak agg {} B, peak rss {:.1} MiB",
+                    c.cohort,
+                    c.dim,
+                    c.groups,
+                    c.rounds_per_sec,
+                    c.peak_state_bytes,
+                    c.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
+        }
+        if self.resilience != ResilienceSummary::default() {
+            let _ = writeln!(
+                out,
+                "resilience: {} faults injected ({} detected), {} retries, {} rounds skipped, min quorum {}",
+                self.resilience.faults_injected,
+                self.resilience.faults_detected,
+                self.resilience.retries,
+                self.resilience.rounds_skipped,
+                self.resilience
+                    .min_quorum_seen
+                    .map_or_else(|| "-".to_string(), |q| q.to_string()),
+            );
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a JSON object — the `/status` payload.
+    /// Non-finite floats encode as `null`, matching the event stream's
+    /// convention.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"num_clients\":{},\"mean_loss\":",
+                r.round, r.num_clients
+            );
+            push_num(&mut out, f64::from(r.mean_loss));
+            out.push_str(",\"mean_wall_ms\":");
+            push_num(&mut out, r.mean_wall_ms);
+            out.push_str(",\"max_wall_ms\":");
+            push_num(&mut out, r.max_wall_ms);
+            let _ = write!(
+                out,
+                ",\"planned_bytes\":{},\"observed_bytes\":{}}}",
+                r.planned_bytes, r.observed_bytes
+            );
+        }
+        out.push_str("],\"fairness\":");
+        match &self.fairness {
+            Some(f) => {
+                let _ = write!(out, "{{\"num_clients\":{},\"mean\":", f.num_clients);
+                push_num(&mut out, f64::from(f.mean));
+                out.push_str(",\"std\":");
+                push_num(&mut out, f64::from(f.std));
+                out.push_str(",\"worst_10pct\":");
+                push_num(&mut out, f64::from(f.worst_10pct));
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        let r = &self.resilience;
+        let _ = write!(
+            out,
+            ",\"resilience\":{{\"faults_injected\":{},\"faults_detected\":{},\"retries\":{},\"rounds_skipped\":{},\"min_quorum_seen\":{}}}",
+            r.faults_injected,
+            r.faults_detected,
+            r.retries,
+            r.rounds_skipped,
+            r.min_quorum_seen
+                .map_or_else(|| "null".to_string(), |q| q.to_string()),
+        );
+        out.push_str(",\"cohorts\":[");
+        for (i, c) in self.cohorts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cohort\":{},\"dim\":{},\"groups\":{},\"rounds\":{},\"rounds_per_sec\":",
+                c.cohort, c.dim, c.groups, c.rounds
+            );
+            push_num(&mut out, c.rounds_per_sec);
+            let _ = write!(
+                out,
+                ",\"peak_state_bytes\":{},\"peak_rss_bytes\":{}}}",
+                c.peak_state_bytes, c.peak_rss_bytes
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"planned_bytes\":{},\"observed_bytes\":{}}}",
+            self.planned_bytes, self.observed_bytes
+        );
+        out
+    }
+}
+
+/// JSON number with the event-stream convention: non-finite → `null`.
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::Histogram;
+    use crate::json::JsonValue;
+
+    fn sample() -> HubSnapshot {
+        HubSnapshot {
+            rounds: vec![RoundSummary {
+                round: 0,
+                num_clients: 3,
+                mean_loss: 1.5,
+                mean_wall_ms: 2.0,
+                max_wall_ms: 3.0,
+                wall_histogram: Histogram::default(),
+                planned_bytes: 96,
+                observed_bytes: 96,
+            }],
+            fairness: Some(FairnessSummary {
+                num_clients: 10,
+                mean: 0.8,
+                std: 0.05,
+                worst_10pct: 0.7,
+            }),
+            resilience: ResilienceSummary {
+                faults_injected: 2,
+                faults_detected: 1,
+                retries: 1,
+                rounds_skipped: 0,
+                min_quorum_seen: Some(4),
+            },
+            cohorts: vec![CohortSummary {
+                cohort: 1000,
+                dim: 256,
+                groups: 0,
+                rounds: 2,
+                rounds_per_sec: 12.5,
+                peak_state_bytes: 4096,
+                peak_rss_bytes: 0,
+            }],
+            planned_bytes: 96,
+            observed_bytes: 96,
+        }
+    }
+
+    #[test]
+    fn text_rendering_covers_every_section() {
+        let text = sample().render_text();
+        assert!(text.starts_with("== telemetry summary (1 round events) =="));
+        assert!(text.contains("round   0: 3 clients, mean loss 1.5000"));
+        assert!(text.contains("comm: planned 0.00 MiB, observed 0.00 MiB"));
+        assert!(text
+            .contains("fairness over 10 personalizations: mean 0.800, std 0.050, worst-10% 0.700"));
+        assert!(text.contains("cohort sweep (1 points):"));
+        assert!(text.contains(
+            "resilience: 2 faults injected (1 detected), 1 retries, 0 rounds skipped, min quorum 4"
+        ));
+    }
+
+    #[test]
+    fn quiet_sections_stay_silent() {
+        let text = HubSnapshot::default().render_text();
+        assert!(!text.contains("fairness"));
+        assert!(!text.contains("cohort sweep"));
+        assert!(!text.contains("resilience:"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let json = sample().to_json();
+        let value = JsonValue::parse(&json).expect("snapshot JSON must parse");
+        assert_eq!(
+            value
+                .get("rounds")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            value
+                .get("fairness")
+                .and_then(|f| f.get("num_clients"))
+                .and_then(JsonValue::as_i64),
+            Some(10)
+        );
+        assert_eq!(
+            value
+                .get("resilience")
+                .and_then(|r| r.get("min_quorum_seen"))
+                .and_then(JsonValue::as_i64),
+            Some(4)
+        );
+        assert_eq!(
+            value
+                .get("cohorts")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            value.get("planned_bytes").and_then(JsonValue::as_i64),
+            Some(96)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_nulls() {
+        let json = HubSnapshot::default().to_json();
+        let value = JsonValue::parse(&json).expect("empty snapshot JSON must parse");
+        assert!(matches!(value.get("fairness"), Some(JsonValue::Null)));
+        assert!(matches!(
+            value
+                .get("resilience")
+                .and_then(|r| r.get("min_quorum_seen")),
+            Some(JsonValue::Null)
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the hand-rolled `/metrics` + `/status` export
+//! server: bind on an ephemeral port, scrape over real TCP, and check the
+//! Prometheus text and JSON snapshot are well-formed.
+
+use calibre_telemetry::export::http_get;
+use calibre_telemetry::{Event, MetricsHub, MetricsServer, Recorder};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A hub with one training round and two personalized clients recorded.
+fn seeded_hub() -> Arc<MetricsHub> {
+    let hub = Arc::new(MetricsHub::new());
+    hub.record(Event::RoundStart {
+        round: 0,
+        selected: vec![0, 1],
+    });
+    hub.record(Event::RoundEnd {
+        round: 0,
+        mean_loss: 1.25,
+        client_wall_ms: vec![3.0, 4.0],
+        client_loss: vec![1.0, 1.5],
+        planned_bytes: 2_048,
+        observed_bytes: 1_024,
+    });
+    hub.record(Event::Personalize {
+        client: 0,
+        accuracy: 0.5,
+    });
+    hub.record(Event::Personalize {
+        client: 1,
+        accuracy: 0.7,
+    });
+    hub
+}
+
+fn bind(hub: Arc<MetricsHub>) -> MetricsServer {
+    MetricsServer::bind("127.0.0.1:0", hub).expect("ephemeral bind must succeed")
+}
+
+/// Issue a raw HTTP request and return the full response (head + body).
+fn raw_request(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn metrics_endpoint_serves_wellformed_prometheus_text() {
+    let server = bind(seeded_hub());
+    let body = http_get(server.local_addr(), "/metrics").expect("scrape /metrics");
+
+    // Every always-on family is present with a TYPE line.
+    for family in [
+        "calibre_fairness_clients",
+        "calibre_fairness_accuracy_mean",
+        "calibre_fairness_accuracy_std",
+        "calibre_fairness_worst_decile",
+        "calibre_rounds_completed",
+        "calibre_comm_planned_bytes",
+        "calibre_comm_observed_bytes",
+        "calibre_resilience_faults_injected",
+        "calibre_resilience_faults_detected",
+        "calibre_resilience_rounds_skipped",
+        "calibre_cohort_points",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family} gauge")),
+            "missing TYPE line for {family} in:\n{body}"
+        );
+        assert!(
+            body.lines().any(|l| l.starts_with(&format!("{family} "))),
+            "missing sample for {family} in:\n{body}"
+        );
+    }
+    // The hub state flows through: 2 personalized clients, mean 0.6, and
+    // one completed round moving 1 KiB observed.
+    assert!(body.contains("calibre_fairness_clients 2"), "{body}");
+    assert!(
+        body.contains("calibre_fairness_accuracy_mean 0.6"),
+        "{body}"
+    );
+    assert!(body.contains("calibre_rounds_completed 1"), "{body}");
+    assert!(body.contains("calibre_comm_observed_bytes 1024"), "{body}");
+
+    // Well-formed exposition: every non-comment line is `name{labels} value`
+    // with a parseable float value.
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let value = line.rsplit(' ').next().expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable sample value in line {line:?}"
+        );
+    }
+}
+
+#[test]
+fn status_endpoint_serves_the_json_snapshot() {
+    let server = bind(seeded_hub());
+    let body = http_get(server.local_addr(), "/status").expect("scrape /status");
+    let parsed =
+        calibre_telemetry::json::JsonValue::parse(&body).expect("/status body must be valid JSON");
+    let fairness = parsed.get("fairness").expect("fairness key");
+    assert_eq!(
+        fairness.get("num_clients").and_then(|v| v.as_i64()),
+        Some(2),
+        "two personalized clients in {body}"
+    );
+    assert!(parsed.get("rounds").is_some(), "rounds key in {body}");
+}
+
+#[test]
+fn unknown_path_is_404_and_non_get_is_405() {
+    let server = bind(seeded_hub());
+    let addr = server.local_addr();
+
+    let not_found = raw_request(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(
+        not_found.starts_with("HTTP/1.1 404"),
+        "expected 404, got: {not_found}"
+    );
+
+    let bad_method = raw_request(
+        addr,
+        "POST /metrics HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(
+        bad_method.starts_with("HTTP/1.1 405"),
+        "expected 405, got: {bad_method}"
+    );
+}
+
+#[test]
+fn shutdown_is_idempotent_and_frees_the_port() {
+    let hub = seeded_hub();
+    let mut server = bind(Arc::clone(&hub));
+    let addr = server.local_addr();
+    server.shutdown();
+    server.shutdown();
+    drop(server);
+
+    // The port is free again: a new server can bind the exact same address.
+    let rebound = MetricsServer::bind(&addr.to_string(), hub).expect("rebind freed port");
+    assert_eq!(rebound.local_addr(), addr);
+    let body = http_get(addr, "/metrics").expect("scrape rebound server");
+    assert!(body.contains("calibre_fairness_clients 2"));
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the deterministic metrics registry and its
+//! log₂-bucket histograms.
+//!
+//! The unit tests in `metrics.rs` pin single-call behavior; here we pin the
+//! cross-cutting properties the live exporter relies on: a disabled registry
+//! is a strict no-op (the bit-identity argument), rendering is a pure
+//! function of recorded state, and histogram merging is associative and
+//! order-independent — so per-wave or per-worker histograms can be folded
+//! in any grouping without changing the exposition.
+
+use calibre_telemetry::metrics::{Log2Histogram, MetricsRegistry, LOG2_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn registry_is_isolated_per_instance() {
+    let a = MetricsRegistry::new();
+    let b = MetricsRegistry::new();
+    a.counter_add("calibre_it_rounds_total", &[], 3);
+    assert_eq!(a.counter_value("calibre_it_rounds_total", &[]), 3);
+    assert_eq!(b.counter_value("calibre_it_rounds_total", &[]), 0);
+}
+
+#[test]
+fn disabled_registry_records_nothing_and_renders_empty() {
+    let reg = MetricsRegistry::disabled();
+    reg.counter_add("calibre_it_c", &[], 1);
+    reg.gauge_set("calibre_it_g", &[], 4.5);
+    reg.gauge_max("calibre_it_m", &[], 9.0);
+    reg.observe("calibre_it_h", &[], 2.0);
+    {
+        let _t = reg.start_timer("calibre_it_t", &[]);
+    }
+    assert_eq!(reg.counter_value("calibre_it_c", &[]), 0);
+    assert!(reg.gauge_value("calibre_it_g", &[]).is_none());
+    assert!(reg.histogram("calibre_it_h", &[]).is_none());
+    assert!(reg.render_prometheus().is_empty());
+}
+
+#[test]
+fn reenabling_resumes_recording_without_losing_prior_state() {
+    let reg = MetricsRegistry::new();
+    reg.counter_add("calibre_it_c", &[], 2);
+    reg.set_enabled(false);
+    reg.counter_add("calibre_it_c", &[], 100);
+    reg.set_enabled(true);
+    reg.counter_add("calibre_it_c", &[], 3);
+    assert_eq!(reg.counter_value("calibre_it_c", &[]), 5);
+}
+
+#[test]
+fn timer_feeds_the_named_histogram() {
+    let reg = MetricsRegistry::new();
+    {
+        let _t = reg.start_timer("calibre_it_duration_ms", &[("path", "x")]);
+    }
+    let hist = reg
+        .histogram("calibre_it_duration_ms", &[("path", "x")])
+        .expect("timer drop must observe one sample");
+    assert_eq!(hist.total(), 1);
+}
+
+#[test]
+fn registry_state_is_shared_across_threads() {
+    let reg = std::sync::Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let reg = std::sync::Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    reg.counter_add("calibre_it_threads", &[], 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread must not panic");
+    }
+    assert_eq!(reg.counter_value("calibre_it_threads", &[]), 400);
+}
+
+/// Rebuild a histogram from a slice of sample values.
+fn hist_of(samples: &[f64]) -> Log2Histogram {
+    let mut h = Log2Histogram::default();
+    for &s in samples {
+        h.observe(s);
+    }
+    h
+}
+
+/// Deterministically expand sampled integers into observation values that
+/// cover several buckets, including the underflow and overflow ends.
+fn expand(raw: &[u32]) -> Vec<f64> {
+    raw.iter()
+        .map(|&r| match r % 5 {
+            0 => 0.25,                                  // bucket 0: [0, 1)
+            1 => f64::from(r % 97) + 1.0,               // low buckets
+            2 => f64::from(r % 4_093).exp2().min(1e18), // spread across buckets
+            3 => 1e12,                                  // high bucket
+            _ => f64::from(r % 1_021) * 1024.0,         // mid buckets
+        })
+        .collect()
+}
+
+fn assert_hist_eq(a: &Log2Histogram, b: &Log2Histogram) {
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.total(), b.total());
+    let err = (a.sum() - b.sum()).abs();
+    let scale = a.sum().abs().max(1.0);
+    assert!(
+        err <= scale * 1e-9,
+        "sums diverge: {} vs {}",
+        a.sum(),
+        b.sum()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_merge_is_associative(
+        ra in prop::collection::vec(any::<u32>(), 0..64),
+        rb in prop::collection::vec(any::<u32>(), 0..64),
+        rc in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let (a, b, c) = (expand(&ra), expand(&rb), expand(&rc));
+        // (a ⊕ b) ⊕ c
+        let mut left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hist_of(&b);
+        right_tail.merge(&hist_of(&c));
+        let mut right = hist_of(&a);
+        right.merge(&right_tail);
+        assert_hist_eq(&left, &right);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent(
+        ra in prop::collection::vec(any::<u32>(), 0..64),
+        rb in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let (a, b) = (expand(&ra), expand(&rb));
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        assert_hist_eq(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_equals_observing_the_concatenation(
+        ra in prop::collection::vec(any::<u32>(), 0..64),
+        rb in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let (a, b) = (expand(&ra), expand(&rb));
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_hist_eq(&merged, &hist_of(&concat));
+    }
+
+    #[test]
+    fn every_observation_lands_in_exactly_one_bucket(
+        raw in prop::collection::vec(any::<u32>(), 1..128),
+    ) {
+        let samples = expand(&raw);
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.counts().len(), LOG2_BUCKETS);
+        let bucketed: u64 = h.counts().iter().sum();
+        prop_assert_eq!(bucketed, samples.len() as u64);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_under_label_permutation(
+        c in any::<u32>(),
+        g in -1_000i32..1_000,
+    ) {
+        let render = |swap: bool| {
+            let reg = MetricsRegistry::new();
+            let labels: [(&str, &str); 2] = if swap {
+                [("method", "calibre"), ("dataset", "cifar10")]
+            } else {
+                [("dataset", "cifar10"), ("method", "calibre")]
+            };
+            reg.counter_add("calibre_it_runs_total", &labels, u64::from(c));
+            reg.gauge_set("calibre_it_acc", &labels, f64::from(g) / 100.0);
+            reg.render_prometheus()
+        };
+        prop_assert_eq!(render(false), render(true));
+    }
+}
