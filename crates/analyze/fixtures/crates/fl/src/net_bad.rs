@@ -1,0 +1,13 @@
+//! Deliberately bad socket code for the analyzer's integration tests.
+//!
+//! Never compiled — only scanned. A `TcpStream` is read without any
+//! `set_read_timeout` in the file, so `net-read-no-timeout` must fire.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn hang_forever(mut stream: TcpStream) -> Vec<u8> {
+    let mut buf = vec![0u8; 64];
+    let _ = stream.read_exact(&mut buf);
+    buf
+}

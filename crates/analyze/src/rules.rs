@@ -13,6 +13,7 @@
 //! | `unsafe-no-safety` | every `unsafe` carries its justification |
 //! | `float-cmp-unwrap` | float ordering is total (`total_cmp`), never a NaN panic |
 //! | `lossy-cast` | loss/aggregation arithmetic flags precision loss |
+//! | `net-read-no-timeout` | socket reads cannot hang a server forever |
 //!
 //! Matchers work on the token stream from [`crate::lexer`]; everything
 //! context-sensitive (test regions, allow annotations, `SAFETY:` comments)
@@ -78,6 +79,11 @@ pub const RULES: &[Rule] = &[
         name: "lossy-cast",
         summary: "lossy `as` cast in loss/aggregation code",
         fix: "annotate with the value-range argument, or use From/TryFrom",
+    },
+    Rule {
+        name: "net-read-no-timeout",
+        summary: "blocking socket read in a file that never sets a read timeout",
+        fix: "call set_read_timeout(Some(..)) on the stream before reading",
     },
     Rule {
         name: "malformed-allow",
@@ -150,7 +156,9 @@ pub fn rule_applies(rule: &str, ctx: &FileCtx) -> bool {
         "lossy-cast" => {
             library && matches!(ctx.file_name(), "loss.rs" | "losses.rs" | "aggregate.rs")
         }
-        "unsafe-no-safety" | "malformed-allow" => true,
+        // A blocking read hangs a serve loop no matter where it lives, so
+        // unlike the panic-safety family this applies to binaries too.
+        "net-read-no-timeout" | "unsafe-no-safety" | "malformed-allow" => true,
         _ => false,
     }
 }
@@ -209,6 +217,38 @@ pub fn match_tokens(ctx: &FileCtx, tokens: &[Token]) -> Vec<Candidate> {
                 }
             }
             i += 1;
+        }
+    }
+
+    // Pass 1.5: `net-read-no-timeout` needs two file-level facts before
+    // any site can fire — does the file touch raw sockets at all, and does
+    // it ever set a read timeout? A file that configures a timeout
+    // anywhere is trusted for all its reads: the rule catches servers that
+    // *never* bound their blocking reads, not specific call sites.
+    if on("net-read-no-timeout") {
+        const SOCKET_TYPES: &[&str] = &["TcpStream", "UnixStream", "TcpListener", "UnixListener"];
+        let touches_sockets = tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && SOCKET_TYPES.contains(&t.text.as_str()));
+        let sets_timeout = tokens
+            .iter()
+            .any(|t| t.is_ident("set_read_timeout") || t.is_ident("set_nonblocking"));
+        if touches_sockets && !sets_timeout {
+            for (i, t) in tokens.iter().enumerate() {
+                let reads = t.is_ident("read")
+                    || t.is_ident("read_exact")
+                    || t.is_ident("read_to_end")
+                    || t.is_ident("read_to_string");
+                let called = i > 0
+                    && tokens.get(i - 1).is_some_and(|p| p.is_punct('.'))
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if reads && called {
+                    out.push(Candidate {
+                        rule: "net-read-no-timeout",
+                        line: t.line,
+                    });
+                }
+            }
         }
     }
 
@@ -438,6 +478,30 @@ mod tests {
         assert_eq!(
             hits("crates/fl/src/aggregate.rs", "let y = x as MyType;"),
             vec![]
+        );
+    }
+
+    #[test]
+    fn net_read_requires_sockets_and_no_timeout() {
+        // A socket file with an unbounded read fires once per read call.
+        let bad = "fn serve(mut s: TcpStream) { s.read_exact(&mut buf); s.read(&mut b); }";
+        assert_eq!(
+            hits("crates/fl/src/x.rs", bad),
+            vec![("net-read-no-timeout", 1), ("net-read-no-timeout", 1)]
+        );
+        // Setting a read timeout anywhere in the file clears it.
+        let good = "fn serve(mut s: TcpStream) { s.set_read_timeout(Some(d)); s.read(&mut b); }";
+        assert_eq!(hits("crates/fl/src/x.rs", good), vec![]);
+        // Nonblocking sockets cannot hang either.
+        let nb = "fn serve(l: TcpListener) { l.set_nonblocking(true); s.read(&mut b); }";
+        assert_eq!(hits("crates/fl/src/x.rs", nb), vec![]);
+        // Reads in files that never touch sockets (readers, files) are fine.
+        let file_io = "fn load(mut f: File) { f.read_to_end(&mut buf); }";
+        assert_eq!(hits("crates/fl/src/x.rs", file_io), vec![]);
+        // Binaries are covered: a CLI hanging on accept is still a hang.
+        assert_eq!(
+            hits("crates/bench/src/bin/t.rs", bad),
+            vec![("net-read-no-timeout", 1), ("net-read-no-timeout", 1)]
         );
     }
 

@@ -65,6 +65,7 @@ fn check_fails_on_the_seeded_fixture_and_names_every_rule() {
         "unsafe-no-safety",
         "float-cmp-unwrap",
         "lossy-cast",
+        "net-read-no-timeout",
         "malformed-allow",
     ] {
         assert!(

@@ -90,15 +90,9 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// FNV-1a over the raw bytes of the checkpoint body.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The integrity checksum is the crate-wide FNV-1a, shared with the wire
+// protocol's frame checksums and the serve-path model fingerprints.
+use crate::proto::fnv1a;
 
 /// Appends the trailing `checksum <hex>` line over everything written so far.
 fn append_checksum(out: &mut String) {
@@ -519,6 +513,78 @@ impl TrainerCheckpoint {
     }
 }
 
+/// Snapshot of a `calibre-serve` run: the round to resume from and the
+/// global model, persisted through a [`CheckpointStore`] after every round.
+///
+/// The model is stored as IEEE-754 bit patterns in hex, so a save/load
+/// cycle is **bit-exact** — required for the cross-transport identity
+/// guarantee to survive a server restart. Cohort selection, chaos, and the
+/// simulated workload are all re-derived from the run seed, so nothing
+/// else needs persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerCheckpoint {
+    /// Rounds already folded into the model (resume starts here).
+    pub round: usize,
+    /// The global model after `round` rounds.
+    pub model: Vec<f32>,
+}
+
+impl ServerCheckpoint {
+    /// Serializes the snapshot, with a trailing integrity checksum.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("calibre-server-checkpoint v1\n");
+        let _ = writeln!(out, "round {}", self.round);
+        let _ = write!(out, "model {}", self.model.len());
+        for v in &self.model {
+            let _ = write!(out, " {:08x}", v.to_bits());
+        }
+        out.push('\n');
+        append_checksum(&mut out);
+        out
+    }
+
+    /// Parses a snapshot, verifying the checksum when present.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Parse`] on structural damage,
+    /// [`CheckpointError::Checksum`] on integrity failure.
+    pub fn parse(text: &str) -> Result<ServerCheckpoint, CheckpointError> {
+        let body = verify_checksum(text)?;
+        let mut lines = body.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "calibre-server-checkpoint v1" {
+            return Err(CheckpointError::Parse(format!("unknown header {header:?}")));
+        }
+        let round: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("round "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("missing/bad round line".into()))?;
+        let model_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("model "))
+            .ok_or_else(|| CheckpointError::Parse("missing/bad model line".into()))?;
+        let mut parts = model_line.split_whitespace();
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("bad model element count".into()))?;
+        let model: Vec<f32> = parts
+            .map(|s| u32::from_str_radix(s, 16).map(f32::from_bits))
+            .collect::<Result<_, _>>()
+            .map_err(|e| CheckpointError::Parse(format!("bad model element: {e}")))?;
+        if model.len() != n {
+            return Err(CheckpointError::Parse(format!(
+                "expected {n} model elements, got {}",
+                model.len()
+            )));
+        }
+        Ok(ServerCheckpoint { round, model })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,6 +593,26 @@ mod tests {
 
     fn model(seed: u64) -> Mlp {
         Mlp::new(&[4, 6, 3], Activation::Relu, &mut rng::seeded(seed))
+    }
+
+    #[test]
+    fn server_checkpoint_roundtrips_bit_exactly_and_detects_damage() {
+        let ckpt = ServerCheckpoint {
+            round: 7,
+            model: vec![1.5, -0.0, f32::MIN_POSITIVE, 3.141592e-4, 1e30],
+        };
+        let text = ckpt.to_text();
+        let parsed = ServerCheckpoint::parse(&text).unwrap();
+        assert_eq!(parsed.round, 7);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&parsed.model), bits(&ckpt.model), "bit-exact");
+
+        let tampered = text.replace("round 7", "round 8");
+        assert!(matches!(
+            ServerCheckpoint::parse(&tampered),
+            Err(CheckpointError::Checksum { .. })
+        ));
+        assert!(ServerCheckpoint::parse("garbage").is_err());
     }
 
     #[test]

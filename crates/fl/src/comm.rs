@@ -8,11 +8,23 @@
 //! the model each algorithm ships (e.g. LG-FedAvg ships only the head;
 //! FedAvg ships encoder + head).
 
+use crate::proto::FRAME_OVERHEAD_BYTES;
 use calibre_tensor::nn::Module;
 use serde::{Deserialize, Serialize};
 
 /// Bytes per scalar parameter on the wire (f32).
 pub const BYTES_PER_PARAM: usize = 4;
+
+/// Bytes a single framed message carrying `params` scalars occupies on the
+/// wire: the f32 payload plus the fixed frame envelope (version, tag,
+/// length, checksum — see [`crate::proto`]).
+///
+/// `CommReport` deliberately counts payload only, because it compares
+/// algorithms by *what* they ship; this helper is for capacity planning of
+/// an actual socket deployment, where the envelope is paid per message.
+pub fn framed_bytes(params: usize) -> usize {
+    params * BYTES_PER_PARAM + FRAME_OVERHEAD_BYTES
+}
 
 /// Communication totals for one federated training run.
 ///
@@ -74,6 +86,12 @@ impl CommReport {
     pub fn total_megabytes(&self) -> f64 {
         self.total as f64 / (1024.0 * 1024.0)
     }
+
+    /// Total bytes over the whole run when every exchange is a framed wire
+    /// message (one frame down and one frame up per client per round).
+    pub fn total_framed(&self) -> usize {
+        2 * framed_bytes(self.params_per_client) * self.clients_per_round * self.rounds
+    }
 }
 
 impl std::fmt::Display for CommReport {
@@ -119,6 +137,14 @@ mod tests {
         let enc = CommReport::for_module(&encoder, 10, 5);
         let all = CommReport::for_module(&full, 10, 5);
         assert!(enc.total < all.total);
+    }
+
+    #[test]
+    fn framed_totals_add_the_envelope_per_message() {
+        let report = CommReport::new(1000, 10, 5);
+        assert_eq!(framed_bytes(1000), 1000 * BYTES_PER_PARAM + 14);
+        // Two frames per client per round, each paying one envelope.
+        assert_eq!(report.total_framed() - report.total, 2 * 14 * 5 * 10);
     }
 
     #[test]

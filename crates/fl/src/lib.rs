@@ -67,16 +67,23 @@ pub mod model;
 pub mod parallel;
 pub mod personalize;
 pub mod pfl_ssl;
+pub mod proto;
 pub mod resilient;
 pub mod sampler;
 pub mod scheduler;
 pub mod secure;
+pub mod serve;
+pub mod transport;
 
 pub use aggregate::{HierarchicalSink, ReservoirSink, StreamingWeightedSink, UpdateSink};
-pub use chaos::{FaultInjector, FaultPlan};
-pub use config::FlConfig;
+pub use chaos::{FaultInjector, FaultPlan, WireFaultPlan, WireInjector};
+pub use config::{FlConfig, RoundPath, StreamingConfig};
 pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};
 pub use personalize::{personalize_cohort, personalize_cohort_observed, PersonalizationOutcome};
 pub use resilient::RoundPolicy;
 pub use sampler::{Sampler, SamplerKind};
 pub use scheduler::{RoundScheduler, StreamedRound};
+pub use transport::{
+    ClientAddr, ClientOptions, InProcessTransport, Listener, SocketTransport, StreamUpdate,
+    Transport, TransportError, WaveSlot,
+};

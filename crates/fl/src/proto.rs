@@ -1,0 +1,750 @@
+//! Hand-rolled wire protocol for the `calibre-serve`/`calibre-client` pair.
+//!
+//! The transport seam (DESIGN.md §13) speaks a small length-prefixed binary
+//! protocol over TCP or Unix-domain sockets — no serialization crates, in
+//! the same spirit as `calibre-telemetry`'s hand-rolled JSON. Every frame
+//! carries a version byte, a message tag, a little-endian payload length,
+//! and an FNV-1a checksum over the header and payload:
+//!
+//! ```text
+//! +---------+---------+-------------+-----------------+----------------+
+//! | version |   tag   |  len (u32)  |     payload     | checksum (u64) |
+//! |  1 byte |  1 byte | 4 bytes LE  |   `len` bytes   |  8 bytes LE    |
+//! +---------+---------+-------------+-----------------+----------------+
+//!            checksum = FNV-1a(version ‖ tag ‖ len ‖ payload)
+//! ```
+//!
+//! Model vectors travel as raw IEEE-754 bit patterns (`f32::to_bits`, LE),
+//! so a value survives the wire **bit-identically** — the foundation of the
+//! cross-transport golden test: same seeds ⇒ byte-identical final model
+//! whether rounds run in-process or over a loopback socket.
+//!
+//! Decoding is total: arbitrary junk, truncated frames, bad versions, bad
+//! tags, and flipped bits all surface as typed [`WireError`]s, never as
+//! panics (a proptest pins this).
+
+use std::io::{Read, Write};
+
+use calibre_telemetry::metrics;
+
+/// Current protocol version, first byte of every frame.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Bytes of frame framing around a payload: version, tag, length, checksum.
+pub const FRAME_OVERHEAD_BYTES: usize = 1 + 1 + 4 + 8;
+
+/// Upper bound on a payload length (64 MiB). Anything larger is rejected
+/// before allocation — a desynced or hostile stream cannot OOM the peer.
+pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the checksum shared by wire frames,
+/// checkpoints, and the serve-path model fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a model vector's IEEE-754 bit patterns (LE) — the
+/// fingerprint the identity tests and `calibre-serve` print and compare.
+pub fn model_checksum(model: &[f32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in model {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// A decode or I/O failure on the wire. Every malformed input maps to one
+/// of these — frame decoding never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket read or write failed (includes timeouts).
+    Io(std::io::Error),
+    /// The input ended before the structure it promised.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The version byte is not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// The tag byte names no known message.
+    BadTag(u8),
+    /// The payload length exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversize(u32),
+    /// The checksum does not match the frame contents.
+    BadChecksum {
+        /// Checksum recomputed from the received bytes.
+        expected: u64,
+        /// Checksum carried by the frame.
+        got: u64,
+    },
+    /// The payload decoded but left unconsumed trailing bytes.
+    TrailingBytes(usize),
+}
+
+impl WireError {
+    /// Whether this is a read timeout (the peer is merely idle, not gone).
+    /// Both `WouldBlock` and `TimedOut` occur in practice depending on the
+    /// platform's socket timeout errno.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+
+    /// Short tag for metrics labels.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            WireError::Io(e) if self.is_timeout() => {
+                let _ = e;
+                "timeout"
+            }
+            WireError::Io(_) => "io",
+            WireError::Truncated { .. } => "truncated",
+            WireError::BadVersion(_) => "bad_version",
+            WireError::BadTag(_) => "bad_tag",
+            WireError::Oversize(_) => "oversize",
+            WireError::BadChecksum { .. } => "bad_checksum",
+            WireError::TrailingBytes(_) => "trailing",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::BadVersion(v) => {
+                write!(f, "bad protocol version {v} (expected {PROTO_VERSION})")
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Oversize(len) => {
+                write!(f, "payload length {len} exceeds {MAX_PAYLOAD_BYTES}")
+            }
+            WireError::BadChecksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: computed {expected:#018x}, frame carried {got:#018x}"
+                )
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// The messages of the serve protocol.
+///
+/// Handshake: client sends [`Msg::Hello`], server replies [`Msg::Welcome`]
+/// (also after every reconnect). Rounds: server sends [`Msg::Assign`] per
+/// delivery attempt, client replies [`Msg::Update`]. Shutdown: server
+/// broadcasts [`Msg::Finish`] with the final model fingerprint; either side
+/// may send [`Msg::Bye`] before closing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → server: registration / re-registration with its id.
+    Hello {
+        /// The client's stable id in `0..population`.
+        client: u64,
+    },
+    /// Server → client: run parameters the client needs to compute
+    /// deterministically and to decide its own (seeded) reconnect churn.
+    Welcome {
+        /// Echo of the registered client id.
+        client: u64,
+        /// Run seed — the client derives its local RNG streams from it.
+        seed: u64,
+        /// Total rounds in the run.
+        rounds: u32,
+        /// Model dimension.
+        dim: u32,
+        /// Registered population size.
+        population: u32,
+        /// Per-round reconnect-churn probability (wire chaos, client side).
+        churn_prob: f32,
+        /// Seed for the client's churn decisions.
+        churn_seed: u64,
+    },
+    /// Server → client: one delivery attempt of a round's global model.
+    Assign {
+        /// Round index.
+        round: u32,
+        /// The client's selection slot this round (fold position).
+        slot: u32,
+        /// Delivery attempt (retries re-send with attempt + 1).
+        attempt: u32,
+        /// The global model at the start of the round.
+        model: Vec<f32>,
+    },
+    /// Client → server: the computed local update for one assignment.
+    Update {
+        /// Round index (echoed; stale replies are discarded by it).
+        round: u32,
+        /// Selection slot (echoed).
+        slot: u32,
+        /// Client id (echoed, for cross-checking the connection map).
+        client: u64,
+        /// Aggregation weight.
+        weight: f32,
+        /// Local training loss, for round summaries.
+        loss: f32,
+        /// The update vector, bit-exact.
+        update: Vec<f32>,
+    },
+    /// Server → client: the run is over.
+    Finish {
+        /// Rounds completed.
+        rounds: u32,
+        /// FNV-1a fingerprint of the final model ([`model_checksum`]).
+        checksum: u64,
+    },
+    /// Either side: clean goodbye before closing the connection.
+    Bye,
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 1,
+            Msg::Welcome { .. } => 2,
+            Msg::Assign { .. } => 3,
+            Msg::Update { .. } => 4,
+            Msg::Finish { .. } => 5,
+            Msg::Bye => 6,
+        }
+    }
+
+    /// Human/metrics name of this message's tag.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "hello",
+            Msg::Welcome { .. } => "welcome",
+            Msg::Assign { .. } => "assign",
+            Msg::Update { .. } => "update",
+            Msg::Finish { .. } => "finish",
+            Msg::Bye => "bye",
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Hello { client } => put_u64(out, *client),
+            Msg::Welcome {
+                client,
+                seed,
+                rounds,
+                dim,
+                population,
+                churn_prob,
+                churn_seed,
+            } => {
+                put_u64(out, *client);
+                put_u64(out, *seed);
+                put_u32(out, *rounds);
+                put_u32(out, *dim);
+                put_u32(out, *population);
+                put_f32(out, *churn_prob);
+                put_u64(out, *churn_seed);
+            }
+            Msg::Assign {
+                round,
+                slot,
+                attempt,
+                model,
+            } => {
+                put_u32(out, *round);
+                put_u32(out, *slot);
+                put_u32(out, *attempt);
+                put_vec_f32(out, model);
+            }
+            Msg::Update {
+                round,
+                slot,
+                client,
+                weight,
+                loss,
+                update,
+            } => {
+                put_u32(out, *round);
+                put_u32(out, *slot);
+                put_u64(out, *client);
+                put_f32(out, *weight);
+                put_f32(out, *loss);
+                put_vec_f32(out, update);
+            }
+            Msg::Finish { rounds, checksum } => {
+                put_u32(out, *rounds);
+                put_u64(out, *checksum);
+            }
+            Msg::Bye => {}
+        }
+    }
+
+    fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, WireError> {
+        let mut c = Cursor::new(payload);
+        let msg = match tag {
+            1 => Msg::Hello {
+                client: c.take_u64()?,
+            },
+            2 => Msg::Welcome {
+                client: c.take_u64()?,
+                seed: c.take_u64()?,
+                rounds: c.take_u32()?,
+                dim: c.take_u32()?,
+                population: c.take_u32()?,
+                churn_prob: c.take_f32()?,
+                churn_seed: c.take_u64()?,
+            },
+            3 => Msg::Assign {
+                round: c.take_u32()?,
+                slot: c.take_u32()?,
+                attempt: c.take_u32()?,
+                model: c.take_vec_f32()?,
+            },
+            4 => Msg::Update {
+                round: c.take_u32()?,
+                slot: c.take_u32()?,
+                client: c.take_u64()?,
+                weight: c.take_f32()?,
+                loss: c.take_f32()?,
+                update: c.take_vec_f32()?,
+            },
+            5 => Msg::Finish {
+                rounds: c.take_u32()?,
+                checksum: c.take_u64()?,
+            },
+            6 => Msg::Bye,
+            other => return Err(WireError::BadTag(other)),
+        };
+        let left = c.remaining();
+        if left > 0 {
+            return Err(WireError::TrailingBytes(left));
+        }
+        Ok(msg)
+    }
+
+    /// Encodes this message into a complete frame (header + payload +
+    /// checksum), ready to write to a socket.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        let mut frame = Vec::with_capacity(FRAME_OVERHEAD_BYTES + payload.len());
+        frame.push(PROTO_VERSION);
+        frame.push(self.tag());
+        // Payload length is bounded by message construction well below
+        // u32::MAX; the cast cannot truncate in practice, and the decoder
+        // enforces MAX_PAYLOAD_BYTES regardless.
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        let checksum = fnv1a(&frame);
+        put_u64(&mut frame, checksum);
+        frame
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the message and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input — truncation, wrong version, unknown tag,
+    /// oversize length, checksum mismatch, trailing payload bytes —
+    /// returns the matching [`WireError`]; this function never panics.
+    pub fn decode(buf: &[u8]) -> Result<(Msg, usize), WireError> {
+        let header = buf.get(..6).ok_or(WireError::Truncated {
+            needed: 6,
+            got: buf.len(),
+        })?;
+        let mut h = Cursor::new(header);
+        let version = h.take_u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = h.take_u8()?;
+        let len = h.take_u32()?;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(WireError::Oversize(len));
+        }
+        let total = 6 + len as usize + 8;
+        let frame = buf.get(..total).ok_or(WireError::Truncated {
+            needed: total,
+            got: buf.len(),
+        })?;
+        let (body, sum_bytes) = frame.split_at(6 + len as usize);
+        let mut s = Cursor::new(sum_bytes);
+        let got = s.take_u64()?;
+        let expected = fnv1a(body);
+        if got != expected {
+            return Err(WireError::BadChecksum { expected, got });
+        }
+        let payload = body.get(6..).unwrap_or(&[]);
+        let msg = Msg::decode_payload(tag, payload)?;
+        Ok((msg, total))
+    }
+
+    /// Writes this message as one frame to `w` and returns the frame size.
+    /// Records `calibre_net_frames_sent_total` / `calibre_net_bytes_sent_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the write fails.
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W) -> Result<usize, WireError> {
+        let frame = self.encode();
+        w.write_all(&frame)?;
+        w.flush()?;
+        metrics::counter_add(
+            "calibre_net_frames_sent_total",
+            &[("tag", self.tag_name())],
+            1,
+        );
+        metrics::counter_add("calibre_net_bytes_sent_total", &[], frame.len() as u64);
+        Ok(frame.len())
+    }
+
+    /// Reads exactly one frame from `r`.
+    ///
+    /// Respects the stream's read timeout: an idle timeout surfaces as a
+    /// [`WireError::Io`] for which [`WireError::is_timeout`] is true.
+    /// Records receive/error metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on read failures; the decode errors of
+    /// [`Msg::decode`] on malformed frames.
+    pub fn read_from<R: Read + ?Sized>(r: &mut R) -> Result<Msg, WireError> {
+        match Self::read_from_inner(r) {
+            Ok((msg, bytes)) => {
+                metrics::counter_add(
+                    "calibre_net_frames_received_total",
+                    &[("tag", msg.tag_name())],
+                    1,
+                );
+                metrics::counter_add("calibre_net_bytes_received_total", &[], bytes as u64);
+                Ok(msg)
+            }
+            Err(e) => {
+                if !e.is_timeout() {
+                    metrics::counter_add(
+                        "calibre_net_frame_errors_total",
+                        &[("kind", e.kind_tag())],
+                        1,
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn read_from_inner<R: Read + ?Sized>(r: &mut R) -> Result<(Msg, usize), WireError> {
+        let mut header = [0u8; 6];
+        r.read_exact(&mut header)?;
+        let mut h = Cursor::new(&header);
+        let version = h.take_u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let tag = h.take_u8()?;
+        let len = h.take_u32()?;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(WireError::Oversize(len));
+        }
+        let mut rest = vec![0u8; len as usize + 8];
+        r.read_exact(&mut rest)?;
+        let (payload, sum_bytes) = rest.split_at(len as usize);
+        let mut expected = fnv1a(&header);
+        for &b in payload {
+            expected ^= u64::from(b);
+            expected = expected.wrapping_mul(FNV_PRIME);
+        }
+        let mut s = Cursor::new(sum_bytes);
+        let got = s.take_u64()?;
+        if got != expected {
+            return Err(WireError::BadChecksum { expected, got });
+        }
+        let msg = Msg::decode_payload(tag, payload)?;
+        Ok((msg, 6 + rest.len()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_vec_f32(out: &mut Vec<u8>, v: &[f32]) {
+    // Length bounded by MAX_PAYLOAD_BYTES / 4 on decode; encode mirrors it.
+    put_u32(out, v.len() as u32);
+    for x in v {
+        put_f32(out, *x);
+    }
+}
+
+/// A bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: self.remaining(),
+        })?;
+        let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated {
+            needed: n,
+            got: self.remaining(),
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        let b = self.take(1)?;
+        b.first()
+            .copied()
+            .ok_or(WireError::Truncated { needed: 1, got: 0 })
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn take_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.take_u32()?))
+    }
+
+    fn take_vec_f32(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.take_u32()? as usize;
+        // Each element needs 4 payload bytes; an absurd count is caught
+        // here before any allocation.
+        if n > self.remaining() / 4 {
+            return Err(WireError::Truncated {
+                needed: n.saturating_mul(4),
+                got: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_f32()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello { client: 3 },
+            Msg::Welcome {
+                client: 3,
+                seed: 0xDEAD_BEEF,
+                rounds: 12,
+                dim: 64,
+                population: 8,
+                churn_prob: 0.25,
+                churn_seed: 99,
+            },
+            Msg::Assign {
+                round: 2,
+                slot: 1,
+                attempt: 0,
+                model: vec![1.0, -2.5, f32::MIN_POSITIVE, 3.25e-7],
+            },
+            Msg::Update {
+                round: 2,
+                slot: 1,
+                client: 3,
+                weight: 4.0,
+                loss: 0.125,
+                update: vec![0.5; 17],
+            },
+            Msg::Finish {
+                rounds: 12,
+                checksum: 0x0123_4567_89AB_CDEF,
+            },
+            Msg::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips_bit_exactly() {
+        for msg in sample_msgs() {
+            let frame = msg.encode();
+            let (decoded, consumed) = Msg::decode(&frame).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn streams_of_frames_roundtrip_through_read_write() {
+        let mut buf = Vec::new();
+        for msg in sample_msgs() {
+            msg.write_to(&mut buf).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for msg in sample_msgs() {
+            assert_eq!(Msg::read_from(&mut r).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn model_vectors_survive_bit_identically() {
+        let model = vec![f32::NAN, -0.0, 1.0 + f32::EPSILON, 1e-40];
+        let frame = Msg::Assign {
+            round: 0,
+            slot: 0,
+            attempt: 0,
+            model: model.clone(),
+        }
+        .encode();
+        let (decoded, _) = Msg::decode(&frame).unwrap();
+        match decoded {
+            Msg::Assign { model: got, .. } => {
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&got), bits(&model));
+            }
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_frame_is_a_typed_error() {
+        let frame = sample_msgs()
+            .into_iter()
+            .nth(2)
+            .map(|m| m.encode())
+            .unwrap();
+        for cut in 0..frame.len() {
+            let err = Msg::decode(frame.get(..cut).unwrap_or(&[])).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_flipped_bit_is_detected() {
+        let frame = Msg::Finish {
+            rounds: 3,
+            checksum: 42,
+        }
+        .encode();
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            if let Some(b) = bad.get_mut(byte) {
+                *b ^= 0x10;
+            }
+            assert!(Msg::decode(&bad).is_err(), "flip at byte {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn wrong_version_tag_and_oversize_are_typed() {
+        let mut frame = Msg::Bye.encode();
+        if let Some(b) = frame.first_mut() {
+            *b = 9;
+        }
+        assert!(matches!(Msg::decode(&frame), Err(WireError::BadVersion(9))));
+
+        // A frame with an unknown tag, re-checksummed so only the tag is bad.
+        let mut body = vec![PROTO_VERSION, 200, 0, 0, 0, 0];
+        let sum = fnv1a(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(Msg::decode(&body), Err(WireError::BadTag(200))));
+
+        let mut huge = vec![PROTO_VERSION, 6];
+        huge.extend_from_slice(&(MAX_PAYLOAD_BYTES + 1).to_le_bytes());
+        assert!(matches!(Msg::decode(&huge), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn oversized_element_counts_do_not_allocate() {
+        // An Assign payload claiming u32::MAX model elements but carrying
+        // none: decode must fail without attempting the allocation.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 0); // round
+        put_u32(&mut payload, 0); // slot
+        put_u32(&mut payload, 0); // attempt
+        put_u32(&mut payload, u32::MAX); // claimed element count
+        let mut frame = vec![PROTO_VERSION, 3];
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        let sum = fnv1a(&frame);
+        put_u64(&mut frame, sum);
+        assert!(matches!(
+            Msg::decode(&frame),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn model_checksum_matches_bytewise_fnv() {
+        let model = vec![0.5f32, -1.25, 3.0];
+        let mut bytes = Vec::new();
+        for v in &model {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(model_checksum(&model), fnv1a(&bytes));
+        assert_ne!(model_checksum(&model), model_checksum(&[0.5, -1.25]));
+    }
+}

@@ -234,6 +234,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_cohort_selects_nobody() {
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Importance,
+            SamplerKind::DivergenceWeighted,
+        ] {
+            let sampler = Sampler::new(kind, 9);
+            assert!(sampler.select(0, 100, 0, None).is_empty());
+            assert!(sampler.select(3, 100, 0, Some(&[1.0; 100])).is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_population_selects_nobody() {
+        let sampler = Sampler::new(SamplerKind::Uniform, 9);
+        assert!(sampler.select(0, 0, 0, None).is_empty());
+        assert!(sampler.select(0, 0, 10, None).is_empty());
+    }
+
+    #[test]
+    fn fraction_rounding_to_zero_clients_is_an_empty_round() {
+        // A 0.4% participation fraction of a 100-client population truncates
+        // to a cohort of zero — the round must come back empty, not panic.
+        let population = 100usize;
+        // analyze:allow(lossy-cast) -- test-scale populations only.
+        let cohort = (population as f32 * 0.004) as usize;
+        assert_eq!(cohort, 0);
+        let sampler = Sampler::new(SamplerKind::Uniform, 21);
+        assert!(sampler.select(0, population, cohort, None).is_empty());
+    }
+
+    #[test]
+    fn fraction_of_one_selects_the_whole_population() {
+        let population = 37usize;
+        // analyze:allow(lossy-cast) -- test-scale populations only.
+        let cohort = (population as f32 * 1.0) as usize;
+        let sampler = Sampler::new(SamplerKind::Importance, 21);
+        let picked = sampler.select(5, population, cohort, Some(&vec![2.0; population]));
+        assert_eq!(picked, (0..population).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_zero_weights_still_fill_the_cohort_deterministically() {
+        // Zero (and negative) scores sum to nothing; the exponential-race
+        // floor keeps every client reachable instead of dividing by zero.
+        let zeros = vec![0.0f32; 60];
+        let sampler = Sampler::new(SamplerKind::Importance, 13);
+        let a = sampler.select(2, 60, 12, Some(&zeros));
+        let b = sampler.select(2, 60, 12, Some(&zeros));
+        assert_eq!(a, b, "zero weights must still be replay-identical");
+        assert_eq!(a.len(), 12);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(a.iter().all(|&c| c < 60));
+
+        let negative = vec![-3.0f32; 60];
+        let c = sampler.select(2, 60, 12, Some(&negative));
+        assert_eq!(a, c, "negative scores clamp to the same floor as zeros");
+        assert!(a.iter().all(|&i| i < 60));
+    }
+
+    #[test]
     fn kind_parse_round_trips() {
         for kind in [
             SamplerKind::Uniform,

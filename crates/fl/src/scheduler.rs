@@ -35,6 +35,7 @@ use crate::resilient::{
     run_round_resilient, AcceptedClient, ClientOutcome, ResilientRound, RoundPolicy,
 };
 use crate::sampler::Sampler;
+use crate::transport::{StreamUpdate, Transport, TransportError, WaveSlot};
 use calibre_telemetry::{metrics, ClientLosses, Recorder};
 
 /// How a scheduler picks each round's cohort.
@@ -113,6 +114,90 @@ pub struct StreamedRound {
     /// Peak bytes held by the aggregation path (sink state + quorum buffer
     /// + in-flight wave) — the O(model) quantity the `cohort` bench pins.
     pub peak_state_bytes: usize,
+    /// Mean reported loss over accepted clients (0 when none reported a
+    /// loss — the tuple-based [`RoundScheduler::run_round_streaming`] entry
+    /// reports no losses).
+    pub mean_loss: f32,
+    /// Mean reported divergence over accepted clients (0 when untracked).
+    pub mean_divergence: f32,
+}
+
+/// The quorum hold-then-flush gate shared by every streaming fold path.
+///
+/// A fold cannot be undone, so the first `min_quorum - 1` validated updates
+/// are buffered; once the quorum is certain the buffer is flushed and
+/// subsequent updates stream straight into the sink. The buffer is
+/// O(min_quorum × model), independent of cohort size. Fold indices are
+/// assigned in acceptance order, so replaying the same acceptance sequence
+/// folds bit-identically.
+struct FoldGate {
+    min_quorum: usize,
+    held: Vec<(usize, Vec<f32>, f32)>,
+    held_bytes: usize,
+    accepted: usize,
+    weight_sum: f32,
+    loss_sum: f32,
+    div_sum: f32,
+    slot: usize,
+}
+
+impl FoldGate {
+    fn new(min_quorum: usize) -> Self {
+        FoldGate {
+            min_quorum: min_quorum.max(1),
+            held: Vec::new(),
+            held_bytes: 0,
+            accepted: 0,
+            weight_sum: 0.0,
+            loss_sum: 0.0,
+            div_sum: 0.0,
+            slot: 0,
+        }
+    }
+
+    /// Accepts one validated update: buffers it while the quorum is
+    /// uncertain, otherwise flushes the buffer and folds.
+    fn accept(
+        &mut self,
+        sink: &mut dyn UpdateSink,
+        update: Vec<f32>,
+        weight: f32,
+        loss: f32,
+        divergence: f32,
+    ) {
+        self.accepted += 1;
+        self.weight_sum += weight;
+        self.loss_sum += loss;
+        self.div_sum += divergence;
+        if self.accepted <= self.min_quorum && self.held.len() + 1 < self.min_quorum {
+            self.held_bytes += update.len() * std::mem::size_of::<f32>();
+            self.held.push((self.slot, update, weight));
+        } else {
+            for (s, u, w) in self.held.drain(..) {
+                let _ = sink.fold(s, &u, w);
+            }
+            self.held_bytes = 0;
+            let _ = sink.fold(self.slot, &update, weight);
+        }
+        self.slot += 1;
+    }
+
+    /// Bytes currently buffered awaiting quorum certainty.
+    fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+
+    /// Mean loss/divergence over accepted updates (0 when none accepted).
+    fn means(&self) -> (f32, f32) {
+        if self.accepted == 0 {
+            (0.0, 0.0)
+        } else {
+            // analyze:allow(lossy-cast) -- cohort sizes sit far below f32
+            // integer precision loss (2^24).
+            let nf = self.accepted as f32;
+            (self.loss_sum / nf, self.div_sum / nf)
+        }
+    }
 }
 
 /// Owns selection, fault injection, and round policy for a training run.
@@ -386,12 +471,146 @@ impl RoundScheduler {
     where
         W: Fn(usize) -> (Vec<f32>, f32) + Sync,
     {
+        self.run_round_streaming_with(
+            round,
+            selected,
+            wave,
+            sink,
+            |id| {
+                let (update, weight) = work(id);
+                StreamUpdate {
+                    update,
+                    weight,
+                    loss: 0.0,
+                    divergence: 0.0,
+                }
+            },
+            recorder,
+        )
+    }
+
+    /// [`RoundScheduler::run_round_streaming`] for workloads that also
+    /// report per-client loss and divergence: `work` returns a full
+    /// [`StreamUpdate`], and the result's `mean_loss`/`mean_divergence`
+    /// average the accepted clients' reports. This is the entry the
+    /// training loops use when they stream above the cohort threshold
+    /// ([`FlConfig::streaming`]).
+    pub fn run_round_streaming_with<W>(
+        &self,
+        round: usize,
+        selected: &[usize],
+        wave: usize,
+        sink: &mut dyn UpdateSink,
+        work: W,
+        recorder: &dyn Recorder,
+    ) -> StreamedRound
+    where
+        W: Fn(usize) -> StreamUpdate + Sync,
+    {
         let wave = wave.max(1);
-        let min_quorum = self.policy.min_quorum.max(1);
         let _round_timer =
             metrics::start_timer("calibre_round_duration_ms", &[("path", "streaming")]);
-        let mut out = StreamedRound {
-            cohort: selected.len(),
+        let mut out = self.empty_round(selected.len());
+
+        // Churn is decided up front on the scheduler thread, per
+        // (round, id, attempt 0) — identical on replay.
+        let survivors = self.survivors(round, selected, &mut out);
+
+        // Fold-or-hold: buffer until the quorum is certain, then stream.
+        let mut gate = FoldGate::new(self.policy.min_quorum);
+        for chunk in survivors.chunks(wave) {
+            let results = parallel_map(chunk, |&(id, _fault)| work(id));
+            let wave_bytes: usize = results
+                .iter()
+                .map(|r| r.update.len() * std::mem::size_of::<f32>())
+                .sum();
+            for ((id, fault), reply) in chunk.iter().copied().zip(results) {
+                self.screen_and_fold(round, id, fault, reply, &mut gate, sink, &mut out);
+            }
+            out.peak_state_bytes = out
+                .peak_state_bytes
+                .max(sink.state_bytes() + gate.held_bytes() + wave_bytes);
+        }
+
+        self.seal_round(round, out, gate, sink, recorder, "streaming")
+    }
+
+    /// Executes one round through a [`Transport`]: the same selection,
+    /// chaos, validation, quorum gating, and fold order as
+    /// [`RoundScheduler::run_round_streaming_with`], but client work runs
+    /// wherever the transport puts it — in-process workers
+    /// ([`crate::transport::InProcessTransport`]) or remote `calibre-client`
+    /// processes ([`crate::transport::SocketTransport`]).
+    ///
+    /// # Determinism
+    ///
+    /// With the same seeds and cohort schedule, and a transport that
+    /// delivers every surviving client's reply (possibly after retries),
+    /// this folds bit-identically to the in-process path — the golden
+    /// cross-transport test pins it. A reply the transport could not obtain
+    /// counts as dropped, exactly like a chaos dropout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable [`TransportError`]s; per-client delivery
+    /// failures are absorbed as drops.
+    #[allow(clippy::too_many_arguments)] // mirrors run_round_streaming's surface
+    pub fn run_round_transport(
+        &self,
+        round: usize,
+        selected: &[usize],
+        wave: usize,
+        global: &[f32],
+        sink: &mut dyn UpdateSink,
+        transport: &mut dyn Transport,
+        recorder: &dyn Recorder,
+    ) -> Result<StreamedRound, TransportError> {
+        let wave = wave.max(1);
+        let _round_timer =
+            metrics::start_timer("calibre_round_duration_ms", &[("path", "transport")]);
+        let mut out = self.empty_round(selected.len());
+        let survivors = self.survivors(round, selected, &mut out);
+
+        let mut gate = FoldGate::new(self.policy.min_quorum);
+        let mut wire_slot = 0usize;
+        for chunk in survivors.chunks(wave) {
+            let slots: Vec<WaveSlot> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &(id, _))| WaveSlot {
+                    slot: wire_slot + i,
+                    client: id,
+                })
+                .collect();
+            wire_slot += chunk.len();
+            let replies = transport.wave(round, &slots, global)?;
+            let wave_bytes: usize = replies
+                .iter()
+                .flatten()
+                .map(|r| r.update.len() * std::mem::size_of::<f32>())
+                .sum();
+            for ((id, fault), reply) in chunk.iter().copied().zip(replies) {
+                match reply {
+                    Some(reply) => {
+                        self.screen_and_fold(round, id, fault, reply, &mut gate, sink, &mut out)
+                    }
+                    // The transport exhausted its delivery attempts: at the
+                    // orchestration layer this is indistinguishable from a
+                    // client dropout.
+                    None => out.dropped += 1,
+                }
+            }
+            out.peak_state_bytes = out
+                .peak_state_bytes
+                .max(sink.state_bytes() + gate.held_bytes() + wave_bytes);
+        }
+
+        Ok(self.seal_round(round, out, gate, sink, recorder, "transport"))
+    }
+
+    fn empty_round(&self, cohort: usize) -> StreamedRound {
+        StreamedRound {
+            cohort,
             accepted: 0,
             dropped: 0,
             rejected: 0,
@@ -399,10 +618,20 @@ impl RoundScheduler {
             skipped: false,
             aggregated: None,
             peak_state_bytes: 0,
-        };
+            mean_loss: 0.0,
+            mean_divergence: 0.0,
+        }
+    }
 
-        // Churn is decided up front on the scheduler thread, per
-        // (round, id, attempt 0) — identical on replay.
+    /// Applies the round's up-front chaos decisions: dropouts and
+    /// mid-update panics remove the client for the round; other faults ride
+    /// along to be applied to the reply.
+    fn survivors(
+        &self,
+        round: usize,
+        selected: &[usize],
+        out: &mut StreamedRound,
+    ) -> Vec<(usize, Option<ClientFault>)> {
         let mut survivors: Vec<(usize, Option<ClientFault>)> = Vec::with_capacity(selected.len());
         for &id in selected {
             let fault = self.injector.as_ref().and_then(|i| i.decide(round, id, 0));
@@ -411,49 +640,58 @@ impl RoundScheduler {
                 _ => survivors.push((id, fault)),
             }
         }
+        survivors
+    }
 
-        // Fold-or-hold: buffer until the quorum is certain, then stream.
-        let mut held: Vec<(usize, Vec<f32>, f32)> = Vec::new();
-        let mut held_bytes = 0usize;
-        let mut slot = 0usize;
-        for chunk in survivors.chunks(wave) {
-            let results = parallel_map(chunk, |&(id, _fault)| work(id));
-            let wave_bytes: usize = results
-                .iter()
-                .map(|(u, _)| u.len() * std::mem::size_of::<f32>())
-                .sum();
-            for ((id, fault), (mut update, weight)) in chunk.iter().copied().zip(results) {
-                if let (Some(ClientFault::Corrupt(kind)), Some(inj)) =
-                    (fault, self.injector.as_ref())
-                {
-                    inj.corrupt(round, id, 0, kind, &mut update);
-                }
-                if !crate::aggregate::validate_update(&update) {
-                    out.rejected += 1;
-                    continue;
-                }
-                if let Some(max_norm) = self.policy.clip_norm {
-                    crate::aggregate::clip_norm(&mut update, max_norm);
-                }
-                out.accepted += 1;
-                out.weight_sum += weight;
-                if out.accepted <= min_quorum && held.len() + 1 < min_quorum {
-                    held_bytes += update.len() * std::mem::size_of::<f32>();
-                    held.push((slot, update, weight));
-                } else {
-                    for (s, u, w) in held.drain(..) {
-                        let _ = sink.fold(s, &u, w);
-                    }
-                    held_bytes = 0;
-                    let _ = sink.fold(slot, &update, weight);
-                }
-                slot += 1;
-            }
-            out.peak_state_bytes = out
-                .peak_state_bytes
-                .max(sink.state_bytes() + held_bytes + wave_bytes);
+    /// Applies per-reply chaos corruption, validation, and norm clipping,
+    /// then hands the survivor to the quorum gate.
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by two paths
+    fn screen_and_fold(
+        &self,
+        round: usize,
+        id: usize,
+        fault: Option<ClientFault>,
+        reply: StreamUpdate,
+        gate: &mut FoldGate,
+        sink: &mut dyn UpdateSink,
+        out: &mut StreamedRound,
+    ) {
+        let StreamUpdate {
+            mut update,
+            weight,
+            loss,
+            divergence,
+        } = reply;
+        if let (Some(ClientFault::Corrupt(kind)), Some(inj)) = (fault, self.injector.as_ref()) {
+            inj.corrupt(round, id, 0, kind, &mut update);
         }
+        if !crate::aggregate::validate_update(&update) {
+            out.rejected += 1;
+            return;
+        }
+        if let Some(max_norm) = self.policy.clip_norm {
+            crate::aggregate::clip_norm(&mut update, max_norm);
+        }
+        gate.accept(sink, update, weight, loss, divergence);
+    }
 
+    /// Quorum check, telemetry, and metrics shared by the streaming and
+    /// transport round paths.
+    fn seal_round(
+        &self,
+        round: usize,
+        mut out: StreamedRound,
+        gate: FoldGate,
+        sink: &mut dyn UpdateSink,
+        recorder: &dyn Recorder,
+        path: &'static str,
+    ) -> StreamedRound {
+        let min_quorum = self.policy.min_quorum.max(1);
+        out.accepted = gate.accepted;
+        out.weight_sum = gate.weight_sum;
+        let (mean_loss, mean_divergence) = gate.means();
+        out.mean_loss = mean_loss;
+        out.mean_divergence = mean_divergence;
         if out.accepted >= min_quorum {
             out.aggregated = sink.finish().ok();
         }
@@ -470,13 +708,13 @@ impl RoundScheduler {
             );
         }
 
-        metrics::counter_add("calibre_rounds_total", &[("path", "streaming")], 1);
+        metrics::counter_add("calibre_rounds_total", &[("path", path)], 1);
         metrics::counter_add("calibre_clients_accepted_total", &[], out.accepted as u64);
         metrics::counter_add("calibre_clients_dropped_total", &[], out.dropped as u64);
         metrics::counter_add("calibre_clients_rejected_total", &[], out.rejected as u64);
         metrics::observe(
             "calibre_round_quorum",
-            &[("path", "streaming")],
+            &[("path", path)],
             out.accepted as f64,
         );
         metrics::counter_add(
@@ -485,7 +723,7 @@ impl RoundScheduler {
             1,
         );
         if out.skipped {
-            metrics::counter_add("calibre_rounds_skipped_total", &[("path", "streaming")], 1);
+            metrics::counter_add("calibre_rounds_skipped_total", &[("path", path)], 1);
         }
         metrics::gauge_max(
             "calibre_sink_peak_state_bytes",
@@ -628,6 +866,91 @@ mod tests {
         assert_eq!(a_drop, b_drop);
         assert_eq!(a_agg, b_agg, "same seed replays bit-identically");
         assert!(a_drop > 0, "0.2 drop over 32 clients should hit someone");
+    }
+
+    #[test]
+    fn transport_round_via_in_process_transport_matches_streaming_bitwise() {
+        use crate::transport::{InProcessTransport, StreamUpdate};
+        let scheduler = toy_scheduler(16, 1).with_chaos(
+            FaultPlan {
+                drop_prob: 0.2,
+                corrupt_prob: 0.2,
+                ..FaultPlan::default()
+            },
+            5,
+        );
+        let selected = scheduler.select(0, None);
+        let global = vec![0.5f32, -1.25, 2.0];
+        let work = |_round: usize, id: usize, g: &[f32]| StreamUpdate {
+            // analyze:allow(lossy-cast) -- toy ids in tests.
+            update: g.iter().map(|v| v * (id as f32 + 1.0)).collect(),
+            weight: 1.0 + (id % 3) as f32,
+            loss: 0.25,
+            divergence: 0.5,
+        };
+
+        let mut sink_a = StreamingWeightedSink::new();
+        let a = scheduler.run_round_streaming_with(
+            0,
+            &selected,
+            4,
+            &mut sink_a,
+            |id| work(0, id, &global),
+            &NullRecorder,
+        );
+        let mut transport = InProcessTransport::new(work);
+        let mut sink_b = StreamingWeightedSink::new();
+        let b = scheduler
+            .run_round_transport(
+                0,
+                &selected,
+                4,
+                &global,
+                &mut sink_b,
+                &mut transport,
+                &NullRecorder,
+            )
+            .unwrap();
+
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+        assert_eq!(a.mean_divergence.to_bits(), b.mean_divergence.to_bits());
+        let bits = |v: &Option<Vec<f32>>| {
+            v.as_ref()
+                .map(|u| u.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        };
+        assert_eq!(
+            bits(&a.aggregated),
+            bits(&b.aggregated),
+            "transport path must fold bit-identically to the streaming path"
+        );
+        assert!(a.dropped > 0, "chaos should remove someone at these rates");
+    }
+
+    #[test]
+    fn streaming_round_reports_accepted_loss_means() {
+        use crate::transport::StreamUpdate;
+        let scheduler = toy_scheduler(8, 1);
+        let selected = scheduler.select(0, None);
+        let mut sink = StreamingWeightedSink::new();
+        let out = scheduler.run_round_streaming_with(
+            0,
+            &selected,
+            4,
+            &mut sink,
+            |_| StreamUpdate {
+                update: vec![1.0, 2.0],
+                weight: 1.0,
+                loss: 0.75,
+                divergence: 1.5,
+            },
+            &NullRecorder,
+        );
+        assert_eq!(out.accepted, 8);
+        assert!((out.mean_loss - 0.75).abs() < 1e-6);
+        assert!((out.mean_divergence - 1.5).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! The `calibre-serve` engine: round orchestration over a [`Transport`].
+//!
+//! One function, [`run_rounds`], owns the whole server loop — cohort
+//! selection through [`crate::sampler`], round execution through
+//! [`RoundScheduler::run_round_transport`], model application, and
+//! crash-safe persistence through [`CheckpointStore`]. The two public
+//! entries differ **only** in the transport they plug in:
+//!
+//! * [`run_in_process`] — an [`InProcessTransport`] over the deterministic
+//!   simulated workload ([`sim_update`]);
+//! * [`run_server`] — a [`SocketTransport`] speaking [`crate::proto`]
+//!   frames to real `calibre-client` processes.
+//!
+//! Because both paths execute the same loop body, the cross-transport
+//! guarantee — same seeds + same cohort schedule ⇒ byte-identical final
+//! model — holds by construction wherever the transport delivers every
+//! surviving reply (bounded retries absorb recoverable wire faults).
+
+use std::path::PathBuf;
+
+use calibre_telemetry::{metrics, Recorder};
+
+use crate::aggregate::StreamingWeightedSink;
+use crate::chaos::{FaultPlan, WireFaultPlan, WireInjector};
+use crate::checkpoint::{CheckpointStore, ServerCheckpoint};
+use crate::proto::model_checksum;
+use crate::resilient::RoundPolicy;
+use crate::sampler::{Sampler, SamplerKind};
+use crate::scheduler::RoundScheduler;
+use crate::transport::{
+    InProcessTransport, Listener, NetPolicy, SocketTransport, StreamUpdate, Transport,
+    TransportError, WelcomeInfo,
+};
+use calibre_tensor::rng;
+use rand::Rng;
+
+/// Everything a serve run is derived from. Two runs with equal configs
+/// produce byte-identical final models on any transport that delivers.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registered client population (valid ids are `0..population`).
+    pub population: usize,
+    /// Clients sampled per round.
+    pub cohort: usize,
+    /// Federated rounds.
+    pub rounds: usize,
+    /// Model dimension.
+    pub dim: usize,
+    /// Clients in flight at once per wave.
+    pub wave: usize,
+    /// Run seed — sampling, initialization, workload, and chaos all derive
+    /// from it.
+    pub seed: u64,
+    /// Quorum/aggregation policy.
+    pub policy: RoundPolicy,
+    /// Client-level chaos (dropout, corruption), applied by the scheduler
+    /// identically on every transport.
+    pub chaos: FaultPlan,
+    /// Wire-level chaos (frame drops, delays, truncations, partitions,
+    /// reconnect churn), applied only by the socket transport.
+    pub wire: WireFaultPlan,
+    /// Socket retry/timeout policy.
+    pub net: NetPolicy,
+    /// Server checkpoint path; `None` disables persistence.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// The loopback smoke configuration the CI serve job and the identity
+    /// tests share: 4 clients, cohort 3, 3 rounds.
+    pub fn smoke() -> Self {
+        ServeConfig {
+            population: 4,
+            cohort: 3,
+            rounds: 3,
+            dim: 32,
+            wave: 2,
+            seed: 0xCA11_B8E5,
+            policy: RoundPolicy {
+                min_quorum: 2,
+                ..RoundPolicy::default()
+            },
+            chaos: FaultPlan::default(),
+            wire: WireFaultPlan::default(),
+            net: NetPolicy::default(),
+            checkpoint: None,
+        }
+    }
+
+    /// Planned wire bytes for one nominal round: one model down and one
+    /// update up per cohort member, plus frame overhead (retries and
+    /// reconnects add observed bytes on top).
+    pub fn planned_round_bytes(&self) -> u64 {
+        (2 * crate::comm::framed_bytes(self.dim) * self.cohort) as u64
+    }
+}
+
+/// What a serve run produced — the bits the smoke gates assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Rounds executed (including skipped ones).
+    pub rounds_run: usize,
+    /// Rounds that missed quorum and left the model untouched.
+    pub skipped_rounds: usize,
+    /// Total accepted client updates across rounds.
+    pub accepted_total: usize,
+    /// Total dropped clients (chaos dropouts + undelivered replies).
+    pub dropped_total: usize,
+    /// The final global model.
+    pub model: Vec<f32>,
+    /// FNV-1a fingerprint of the final model's bit patterns — the quantity
+    /// the cross-transport identity test compares.
+    pub checksum: u64,
+}
+
+/// Deterministic initial model for a serve run: seeded, zero-mean, small.
+pub fn sim_init(seed: u64, dim: usize) -> Vec<f32> {
+    let mut r = rng::seeded(seed ^ 0x1217_AC3D_5EED_F00D);
+    (0..dim).map(|_| 0.1 * (r.gen::<f32>() - 0.5)).collect()
+}
+
+/// The deterministic simulated client workload both transports run: a
+/// decay pull toward zero plus seeded exploration noise. Crucially the
+/// update **depends on the received global model**, so any lost, stale, or
+/// reordered delivery changes the final checksum — the identity test
+/// detects transport bugs, not just RNG agreement.
+pub fn sim_update(seed: u64, round: usize, client: usize, global: &[f32]) -> StreamUpdate {
+    let mixed = seed
+        .wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((client as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    let mut r = rng::seeded(mixed);
+    let update: Vec<f32> = global
+        .iter()
+        .map(|g| -0.1 * g + 0.05 * (r.gen::<f32>() - 0.5))
+        .collect();
+    let loss = if update.is_empty() {
+        0.0
+    } else {
+        // analyze:allow(lossy-cast) -- model dims sit far below f32
+        // integer precision loss (2^24).
+        update.iter().map(|v| v * v).sum::<f32>() / update.len() as f32
+    };
+    StreamUpdate {
+        update,
+        // analyze:allow(lossy-cast) -- small residue classes only.
+        weight: 1.0 + (client % 7) as f32,
+        loss,
+        divergence: 0.0,
+    }
+}
+
+fn restore_or_init(cfg: &ServeConfig, store: Option<&CheckpointStore>) -> (usize, Vec<f32>) {
+    if let Some(store) = store {
+        if let Ok(ckpt) = store.load_with(ServerCheckpoint::parse) {
+            if ckpt.model.len() == cfg.dim && ckpt.round <= cfg.rounds {
+                return (ckpt.round, ckpt.model);
+            }
+        }
+    }
+    (0, sim_init(cfg.seed, cfg.dim))
+}
+
+/// Runs the full round loop over any transport. This is the single body
+/// both [`run_server`] and [`run_in_process`] execute — the heart of the
+/// cross-transport identity guarantee.
+///
+/// # Errors
+///
+/// Propagates unrecoverable [`TransportError`]s (per-client delivery
+/// failures are absorbed as drops) and surfaces checkpoint I/O failures as
+/// [`TransportError::Protocol`].
+pub fn run_rounds(
+    cfg: &ServeConfig,
+    transport: &mut dyn Transport,
+    recorder: &dyn Recorder,
+) -> Result<ServeOutcome, TransportError> {
+    let scheduler = RoundScheduler::sampled(
+        Sampler::new(SamplerKind::Uniform, cfg.seed),
+        cfg.population,
+        cfg.cohort,
+        cfg.rounds,
+    )
+    .with_policy(cfg.policy)
+    .with_chaos(cfg.chaos.clone(), cfg.seed);
+
+    let store = cfg.checkpoint.as_ref().map(CheckpointStore::new);
+    let (start_round, mut model) = restore_or_init(cfg, store.as_ref());
+
+    let mut out = ServeOutcome {
+        rounds_run: start_round,
+        skipped_rounds: 0,
+        accepted_total: 0,
+        dropped_total: 0,
+        model: Vec::new(),
+        checksum: 0,
+    };
+    for round in start_round..cfg.rounds {
+        let selected = scheduler.select(round, None);
+        recorder.round_start(round, &selected);
+        let mut sink = StreamingWeightedSink::new();
+        let streamed = scheduler.run_round_transport(
+            round, &selected, cfg.wave, &model, &mut sink, transport, recorder,
+        )?;
+        out.accepted_total += streamed.accepted;
+        out.dropped_total += streamed.dropped;
+        if let Some(aggregate) = streamed.aggregated {
+            for (m, a) in model.iter_mut().zip(aggregate.iter()) {
+                *m += a;
+            }
+        } else {
+            out.skipped_rounds += 1;
+        }
+        out.rounds_run = round + 1;
+        metrics::gauge_set("calibre_serve_round", &[], (round + 1) as f64);
+        metrics::gauge_set(
+            "calibre_serve_mean_loss",
+            &[],
+            f64::from(streamed.mean_loss),
+        );
+        if let Some(store) = &store {
+            let ckpt = ServerCheckpoint {
+                round: round + 1,
+                model: model.clone(),
+            };
+            store
+                .save_text(&ckpt.to_text())
+                .map_err(|e| TransportError::Protocol(format!("checkpoint save: {e}")))?;
+        }
+    }
+
+    out.checksum = model_checksum(&model);
+    out.model = model;
+    metrics::gauge_set(
+        "calibre_serve_skipped_rounds",
+        &[],
+        out.skipped_rounds as f64,
+    );
+    Ok(out)
+}
+
+/// Runs the serve loop entirely in-process over the simulated workload —
+/// the "golden twin" the socket path is compared against.
+///
+/// # Errors
+///
+/// Only checkpoint I/O can fail; the in-process transport itself cannot.
+pub fn run_in_process(
+    cfg: &ServeConfig,
+    recorder: &dyn Recorder,
+) -> Result<ServeOutcome, TransportError> {
+    let seed = cfg.seed;
+    let mut transport = InProcessTransport::new(move |round, client, global: &[f32]| {
+        sim_update(seed, round, client, global)
+    });
+    run_rounds(cfg, &mut transport, recorder)
+}
+
+/// The `Welcome` a server derives from its config (public so the bins and
+/// tests can build transports directly).
+pub fn welcome_info(cfg: &ServeConfig) -> WelcomeInfo {
+    WelcomeInfo {
+        seed: cfg.seed,
+        rounds: cfg.rounds as u32,
+        dim: cfg.dim as u32,
+        population: cfg.population as u32,
+        churn_prob: cfg.wire.churn_prob,
+        churn_seed: WireInjector::for_run(cfg.wire.clone(), cfg.seed).mixed_seed(),
+    }
+}
+
+/// Serves a run over a bound listener: registers `population` clients,
+/// drives the rounds through a [`SocketTransport`] (with deterministic
+/// wire chaos when `cfg.wire` is active), then broadcasts `Finish` with
+/// the final model fingerprint.
+///
+/// # Errors
+///
+/// [`TransportError::Registration`] when the population never assembles,
+/// otherwise as [`run_rounds`].
+pub fn run_server(
+    cfg: &ServeConfig,
+    listener: Listener,
+    recorder: &dyn Recorder,
+) -> Result<ServeOutcome, TransportError> {
+    let wire = cfg
+        .wire
+        .is_active()
+        .then(|| WireInjector::for_run(cfg.wire.clone(), cfg.seed));
+    let mut transport = SocketTransport::new(listener, welcome_info(cfg), cfg.net.clone(), wire);
+    transport.register()?;
+    let out = run_rounds(cfg, &mut transport, recorder)?;
+    transport.finish(out.rounds_run, out.checksum)?;
+    Ok(out)
+}
+
+/// The client-side work closure matching [`sim_update`] — what
+/// `calibre-client` and the loopback tests hand to
+/// [`crate::transport::run_client`].
+pub fn sim_client_work(seed: u64, client: usize) -> impl FnMut(usize, &[f32]) -> StreamUpdate {
+    move |round, global| sim_update(seed, round, client, global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibre_telemetry::NullRecorder;
+
+    #[test]
+    fn in_process_serve_is_replay_identical() {
+        let cfg = ServeConfig::smoke();
+        let a = run_in_process(&cfg, &NullRecorder).unwrap();
+        let b = run_in_process(&cfg, &NullRecorder).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.rounds_run, 3);
+        assert_eq!(a.skipped_rounds, 0);
+        assert!(a.accepted_total > 0);
+
+        let mut other = cfg;
+        other.seed ^= 1;
+        let c = run_in_process(&other, &NullRecorder).unwrap();
+        assert_ne!(a.checksum, c.checksum, "seed must matter");
+    }
+
+    #[test]
+    fn serve_checkpoint_resume_is_bit_identical_to_uninterrupted() {
+        let dir = std::env::temp_dir().join(format!("calibre-serve-ckpt-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("server.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+
+        let mut cfg = ServeConfig::smoke();
+        let uninterrupted = run_in_process(&cfg, &NullRecorder).unwrap();
+
+        // Run only 2 of 3 rounds, "crash", then resume to completion.
+        cfg.checkpoint = Some(path.clone());
+        let mut partial = cfg.clone();
+        partial.rounds = 2;
+        run_in_process(&partial, &NullRecorder).unwrap();
+        let resumed = run_in_process(&cfg, &NullRecorder).unwrap();
+        assert_eq!(
+            resumed.checksum, uninterrupted.checksum,
+            "resume must replay bit-identically"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("server.ckpt.prev"));
+    }
+
+    #[test]
+    fn planned_round_bytes_counts_both_directions_plus_framing() {
+        let cfg = ServeConfig::smoke();
+        let expected = (2 * 32 * 4 + 2 * 14) as u64 * 3;
+        assert_eq!(cfg.planned_round_bytes(), expected);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: wire-frame decoding never panics. A `calibre-serve`
+//! process reads frames from untrusted sockets — junk bytes, truncated
+//! frames, and bit flips must all surface as typed [`WireError`]s, never
+//! aborts or unbounded allocations.
+#![recursion_limit = "1024"]
+
+use calibre_fl::proto::{Msg, WireError, MAX_PAYLOAD_BYTES, PROTO_VERSION};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary byte soup: decode returns a typed error or a valid
+    // message — it must never panic, and never allocate anywhere near the
+    // claimed length of a lying header.
+    #[test]
+    fn decode_never_panics_on_junk(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Msg::decode(&bytes);
+    }
+
+    // Byte soup that *starts like a real frame* (good version byte, valid
+    // tag) exercises the deeper payload parsing paths.
+    #[test]
+    fn decode_never_panics_on_framed_junk(
+        tag in 1u8..=6,
+        body in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut bytes = vec![PROTO_VERSION, tag];
+        let len = (body.len() as u32).to_le_bytes();
+        bytes.extend_from_slice(&len);
+        bytes.extend_from_slice(&body);
+        let _ = Msg::decode(&bytes);
+    }
+
+    // Every strict prefix of a valid frame is a typed `Truncated`/`Io`
+    // error — the failure mode of a torn read or a dropped connection.
+    #[test]
+    fn every_truncation_of_a_valid_frame_is_a_typed_error(
+        round in 0u32..1000,
+        slot in 0u32..64,
+        model in prop::collection::vec(any::<f32>(), 0..32),
+        keep in 0usize..400,
+    ) {
+        let frame = Msg::Assign { round, slot, attempt: 0, model }.encode();
+        let keep = keep % frame.len(); // always a strict prefix
+        match Msg::decode(&frame[..keep]) {
+            Err(WireError::Truncated { .. } | WireError::Io(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+            Ok(_) => prop_assert!(false, "prefix decoded as a full frame"),
+        }
+    }
+
+    // Flipping any byte of a valid frame is detected: the checksum (or an
+    // earlier structural check) rejects it. A flip inside the length field
+    // may also read as truncation — but never as silent acceptance of
+    // different bytes.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        client in 0u64..1000,
+        weight in -10.0f32..10.0,
+        update in prop::collection::vec(-1.0f32..1.0, 1..16),
+        flip_at in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let original = Msg::Update { round: 3, slot: 1, client, weight, loss: 0.5, update };
+        let mut bytes = original.encode();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+        // Err is the expected outcome (typed rejection); an Ok decode is
+        // only acceptable when the flip was somehow a no-op semantically.
+        if let Ok((decoded, _)) = Msg::decode(&bytes) {
+            prop_assert!(
+                decoded == original,
+                "corrupted frame decoded as different message"
+            );
+        }
+    }
+
+    // A header claiming an oversized payload is rejected up front, without
+    // waiting for (or allocating) the claimed bytes.
+    #[test]
+    fn oversize_claims_are_rejected_before_allocation(extra in 1u32..1_000_000) {
+        let len = MAX_PAYLOAD_BYTES.saturating_add(extra);
+        let mut bytes = vec![PROTO_VERSION, 3];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        prop_assert!(matches!(Msg::decode(&bytes), Err(WireError::Oversize(_))));
+    }
+
+    // Well-formed messages always round-trip bit-exactly, including
+    // non-finite floats.
+    #[test]
+    fn roundtrip_is_bit_exact(
+        round in 0u32..10_000,
+        slot in 0u32..10_000,
+        client in any::<u64>(),
+        weight in any::<f32>(),
+        loss in any::<f32>(),
+        update in prop::collection::vec(any::<f32>(), 0..64),
+    ) {
+        let msg = Msg::Update { round, slot, client, weight, loss, update };
+        let bytes = msg.encode();
+        let (decoded, consumed) = Msg::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        // Compare re-encodings, not messages: NaN payloads must round-trip
+        // bit-exactly, and `f32::eq` would call NaN != NaN.
+        prop_assert_eq!(decoded.encode(), bytes, "round trip changed the bytes");
+    }
+}

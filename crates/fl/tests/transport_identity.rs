@@ -1,0 +1,130 @@
+//! The golden cross-transport identity tests: the same serve config must
+//! produce a byte-identical final model whether the rounds run in-process
+//! or over a real loopback socket — including under wire chaos, as long as
+//! quorum is still met every round.
+
+use std::thread;
+
+use calibre_fl::chaos::WireFaultPlan;
+use calibre_fl::serve::{run_in_process, run_server, sim_client_work, ServeConfig, ServeOutcome};
+use calibre_fl::transport::{run_client, ClientAddr, ClientOptions, Listener};
+use calibre_telemetry::NullRecorder;
+
+/// Runs the smoke config over a loopback TCP socket with the full client
+/// population attached, returning the server's outcome and every client's
+/// view of the final checksum.
+fn serve_over_loopback(cfg: &ServeConfig) -> (ServeOutcome, Vec<u64>) {
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr();
+    let seed = cfg.seed;
+    let population = cfg.population;
+
+    let clients: Vec<_> = (0..population)
+        .map(|client| {
+            let addr = ClientAddr::Tcp(addr.clone());
+            thread::spawn(move || {
+                run_client(
+                    &addr,
+                    client as u64,
+                    &ClientOptions::default(),
+                    sim_client_work(seed, client),
+                )
+            })
+        })
+        .collect();
+
+    let outcome = run_server(cfg, listener, &NullRecorder).expect("server run");
+    let mut seen = Vec::new();
+    for handle in clients {
+        let report = handle
+            .join()
+            .expect("client thread")
+            .expect("client lifecycle");
+        assert_eq!(report.rounds as usize, outcome.rounds_run);
+        seen.push(report.final_checksum);
+    }
+    (outcome, seen)
+}
+
+#[test]
+fn loopback_socket_matches_in_process_bitwise() {
+    let cfg = ServeConfig::smoke();
+    let golden = run_in_process(&cfg, &NullRecorder).expect("in-process run");
+    let (socket, client_checksums) = serve_over_loopback(&cfg);
+
+    assert_eq!(
+        socket.model, golden.model,
+        "final model must be bit-identical"
+    );
+    assert_eq!(socket.checksum, golden.checksum);
+    assert_eq!(socket.accepted_total, golden.accepted_total);
+    assert_eq!(socket.skipped_rounds, 0, "smoke config must meet quorum");
+    for checksum in client_checksums {
+        assert_eq!(
+            checksum, golden.checksum,
+            "Finish broadcast the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn loopback_socket_under_wire_chaos_still_matches_in_process() {
+    let mut cfg = ServeConfig::smoke();
+    cfg.wire = WireFaultPlan::parse(
+        "net-drop=0.25,net-delay=0.2,net-delay-ms=5,net-truncate=0.1,net-churn=0.2",
+    )
+    .expect("wire spec");
+    // Wire faults are transport-recoverable: the golden twin runs with no
+    // wire plan at all, and the socket path must still land on its bytes.
+    let golden = run_in_process(&ServeConfig::smoke(), &NullRecorder).expect("in-process run");
+    let (socket, client_checksums) = serve_over_loopback(&cfg);
+
+    assert_eq!(
+        socket.model, golden.model,
+        "recoverable wire chaos must not change the aggregate"
+    );
+    assert_eq!(socket.checksum, golden.checksum);
+    assert_eq!(socket.skipped_rounds, 0, "quorum must still be met");
+    for checksum in client_checksums {
+        assert_eq!(checksum, golden.checksum);
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_matches_in_process_bitwise() {
+    let dir = std::env::temp_dir().join(format!("calibre-uds-identity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("serve.sock");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = ServeConfig::smoke();
+    let golden = run_in_process(&cfg, &NullRecorder).expect("in-process run");
+
+    let listener = Listener::bind_uds(&path).expect("bind uds");
+    let seed = cfg.seed;
+    let clients: Vec<_> = (0..cfg.population)
+        .map(|client| {
+            let addr = ClientAddr::Uds(path.clone());
+            thread::spawn(move || {
+                run_client(
+                    &addr,
+                    client as u64,
+                    &ClientOptions::default(),
+                    sim_client_work(seed, client),
+                )
+            })
+        })
+        .collect();
+    let outcome = run_server(&cfg, listener, &NullRecorder).expect("server run");
+    for handle in clients {
+        handle
+            .join()
+            .expect("client thread")
+            .expect("client lifecycle");
+    }
+    assert_eq!(outcome.model, golden.model);
+    assert_eq!(outcome.checksum, golden.checksum);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

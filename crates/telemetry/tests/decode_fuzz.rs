@@ -1,0 +1,71 @@
+//! Property tests: the telemetry decoder never panics — junk, truncated,
+//! or bit-flipped input produces a typed error or a valid event, never an
+//! abort. (The wire-frame counterpart lives in `calibre-fl`'s
+//! `proto_fuzz` suite; together they cover both untrusted input surfaces.)
+#![recursion_limit = "1024"]
+
+use calibre_telemetry::Event;
+use proptest::prelude::*;
+
+/// The characters a torn or bit-rotted JSONL line is actually made of.
+const JSONISH: &[u8] = b"{}[]\",:abcdefghijklmnopqrstuvwxyz0123456789_.eE+-";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Arbitrary byte soup (lossily decoded) must never panic the parser.
+    #[test]
+    fn from_json_never_panics_on_junk(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Event::from_json(&line);
+    }
+
+    // Arbitrary *syntactically plausible* JSON fragments: braces, quotes,
+    // colons, numbers — the shapes a corrupted JSONL file actually takes.
+    #[test]
+    fn from_json_never_panics_on_jsonish(picks in prop::collection::vec(0usize..JSONISH.len(), 0..200)) {
+        let line: String = picks.iter().map(|&i| JSONISH[i] as char).collect();
+        let _ = Event::from_json(&line);
+    }
+
+    // Every prefix of a valid encoded event decodes or errors — truncation
+    // mid-field must not panic (the failure mode of a torn JSONL write).
+    #[test]
+    fn truncated_valid_events_error_not_panic(
+        round in 0usize..1000,
+        selected in prop::collection::vec(0usize..100, 0..8),
+        cut in 0usize..200,
+    ) {
+        let full = Event::RoundStart { round, selected }.to_json();
+        let cut = cut.min(full.len());
+        // Respect char boundaries; the encoder only emits ASCII but don't
+        // rely on it.
+        if full.is_char_boundary(cut) {
+            let truncated = &full[..cut];
+            if cut < full.len() {
+                prop_assert!(Event::from_json(truncated).is_err(), "prefix {truncated:?} decoded");
+            } else {
+                prop_assert!(Event::from_json(truncated).is_ok());
+            }
+        }
+    }
+
+    // Valid events round-trip; flipping any single byte of the encoding
+    // either still decodes (benign positions) or errors — never panics.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        round in 0usize..1000,
+        client in 0usize..100,
+        wall_ms in 0.0f64..1e6,
+        flip_at in 0usize..200,
+        flip_to in any::<u8>(),
+    ) {
+        let event = Event::Personalize { client, accuracy: (wall_ms / 1e6) as f32 };
+        let _ = round;
+        let mut bytes = event.to_json().into_bytes();
+        let flip_at = flip_at % bytes.len();
+        bytes[flip_at] = flip_to;
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = Event::from_json(&line);
+    }
+}
