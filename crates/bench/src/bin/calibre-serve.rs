@@ -22,6 +22,13 @@
 //!   (`drop=`, `corrupt=`, …) go to the scheduler, `net-*` keys
 //!   (`net-drop=`, `net-delay=`, `net-delay-ms=`, `net-truncate=`,
 //!   `net-partition=`, `net-churn=`) to the wire injector;
+//! - `--attack <spec>` — seeded Byzantine-client simulation, e.g.
+//!   `flip=0.1,scale=10:0.05,replace=0.05,noise=0.1,collude=0.1,seed=7`
+//!   (applied identically on every transport);
+//! - `--detect true` — anomaly detection + quarantine (quarantined clients
+//!   stop being sampled; reputation persists through `--checkpoint`);
+//! - `--aggregator <name>` — defense-grade aggregation:
+//!   `weighted|median|trimmed[:r]|krum[:f]|multi-krum:f:m|geomedian|normbound:max|clip:tau`;
 //! - `--check-golden true` — also run the identical config in-process and
 //!   exit non-zero unless the socket run's final model is bit-identical;
 //! - `--checkpoint <path>` — crash-safe server checkpoint;
@@ -67,6 +74,15 @@ fn main() {
                 cfg.chaos = client;
                 cfg.wire = wire;
             }
+            "attack" => {
+                cfg.attack = calibre_fl::AttackPlan::parse(value)
+                    .unwrap_or_else(|e| panic!("bad --attack spec {value:?}: {e}"));
+            }
+            "detect" => cfg.detect = value == "true",
+            "aggregator" => {
+                cfg.policy.aggregator = calibre_fl::aggregate::Aggregator::parse(value)
+                    .unwrap_or_else(|| panic!("unknown --aggregator {value:?}"));
+            }
             _ => {
                 if !obs_args.accept(key, value) {
                     panic!("unknown flag --{key}");
@@ -89,6 +105,14 @@ fn main() {
             "serve: chaos active (client={}, wire={})",
             cfg.chaos.is_active(),
             cfg.wire.is_active()
+        );
+    }
+    if cfg.attack.is_active() || cfg.detect {
+        println!(
+            "serve: adversary simulation (attack={}, detect={}, aggregator={})",
+            cfg.attack.is_active(),
+            cfg.detect,
+            cfg.policy.aggregator.name()
         );
     }
 

@@ -22,9 +22,12 @@
 //! `--smoke` runs a reduced sweep and asserts the committed peak-memory
 //! bound — the CI step that keeps the streaming path honest — plus a
 //! reservoir-sink gate that holds the *corrected* accounting (sample
-//! buffer included) to a shape-derived bound. `--metrics-addr` serves
-//! `/metrics` and `/status` live while the sweep runs; `--metrics-snapshot`
-//! writes a final self-scrape of `/metrics` to a file.
+//! buffer included) to a shape-derived bound. `--mega` runs a single
+//! non-gating 1M-client round (one point, no committed bound — it exists
+//! to record the million-client peak-memory row in `EXPERIMENTS.md`).
+//! `--metrics-addr` serves `/metrics` and `/status` live while the sweep
+//! runs; `--metrics-snapshot` writes a final self-scrape of `/metrics` to
+//! a file.
 
 use calibre_bench::obs::ObsArgs;
 use calibre_bench::parse_args;
@@ -141,14 +144,26 @@ fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     argv.retain(|a| a != "--smoke");
+    let mega = argv.iter().any(|a| a == "--mega");
+    argv.retain(|a| a != "--mega");
 
     let mut sweep = SweepConfig {
-        cohorts: if smoke {
+        cohorts: if mega {
+            // Non-gating million-client point: one round, no committed
+            // bound — the flatness claim is carried by the regular sweep.
+            vec![1_000_000]
+        } else if smoke {
             vec![1_000, 5_000, 10_000]
         } else {
             vec![1_000, 10_000, 100_000]
         },
-        rounds: if smoke { 2 } else { 5 },
+        rounds: if mega {
+            1
+        } else if smoke {
+            2
+        } else {
+            5
+        },
         dim: if smoke { 256 } else { 1_024 },
         wave: 64,
         groups: 0,

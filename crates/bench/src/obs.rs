@@ -33,10 +33,14 @@
 //! - `--chaos <spec>` — deterministic fault injection, e.g.
 //!   `--chaos drop=0.3,corrupt=0.1,panic=0.05,straggle=0.1,seed=42` (see
 //!   `calibre_fl::chaos::FaultPlan::parse` for the full grammar);
+//! - `--attack <spec>` — deterministic Byzantine-client simulation, e.g.
+//!   `--attack flip=0.1,scale=10:0.05,noise=0.1,seed=7` (see
+//!   `calibre_fl::adversary::AttackPlan::parse` for the full grammar);
+//! - `--detect true|false` — server-side anomaly detection and quarantine;
 //! - `--min-quorum <n>` — minimum surviving clients required to aggregate a
 //!   round; rounds below quorum are skipped, never fatal;
-//! - `--aggregator weighted|median|trimmed[:ratio]` — the server-side
-//!   aggregation statistic.
+//! - `--aggregator weighted|median|trimmed[:ratio]|krum[:f]|multi-krum:f:m|geomedian|normbound:max|clip:tau`
+//!   — the server-side aggregation statistic.
 //!
 //! When a run emitted any resilience telemetry, [`Obs::finish`] prints a
 //! fault/retry/quorum summary next to the round table.
@@ -75,6 +79,10 @@ pub struct ObsArgs {
     pub profile: Option<String>,
     /// Parsed fault-injection plan (`--chaos`).
     pub chaos: Option<calibre_fl::FaultPlan>,
+    /// Parsed Byzantine-attack plan (`--attack`).
+    pub attack: Option<calibre_fl::AttackPlan>,
+    /// Anomaly detection and quarantine toggle (`--detect`).
+    pub detect: Option<bool>,
     /// Minimum aggregation quorum (`--min-quorum`).
     pub min_quorum: Option<usize>,
     /// Forced round execution path (`--round-path auto|collect|streaming`).
@@ -121,6 +129,18 @@ impl ObsArgs {
                     .unwrap_or_else(|e| panic!("bad --chaos spec {value:?}: {e}"));
                 self.chaos = Some(plan);
             }
+            "attack" => {
+                let plan = calibre_fl::AttackPlan::parse(value)
+                    .unwrap_or_else(|e| panic!("bad --attack spec {value:?}: {e}"));
+                self.attack = Some(plan);
+            }
+            "detect" => {
+                self.detect = Some(
+                    value
+                        .parse()
+                        .expect("--detect must be \"true\" or \"false\""),
+                );
+            }
             "min-quorum" => {
                 self.min_quorum = Some(value.parse().expect("--min-quorum must be an integer"));
             }
@@ -156,6 +176,12 @@ impl ObsArgs {
     pub fn apply_fl(&self, cfg: &mut calibre_fl::FlConfig) {
         if let Some(plan) = &self.chaos {
             cfg.chaos = plan.clone();
+        }
+        if let Some(plan) = &self.attack {
+            cfg.attack = plan.clone();
+        }
+        if let Some(detect) = self.detect {
+            cfg.detect = detect;
         }
         if let Some(quorum) = self.min_quorum {
             cfg.policy.min_quorum = quorum;
@@ -360,15 +386,23 @@ mod tests {
     fn resilience_flags_are_parsed_and_applied() {
         let mut args = ObsArgs::default();
         assert!(args.accept("chaos", "drop=0.3,corrupt=0.1,seed=42"));
+        assert!(args.accept("attack", "flip=0.1,scale=10:0.05,seed=7"));
+        assert!(args.accept("detect", "true"));
         assert!(args.accept("min-quorum", "2"));
         assert!(args.accept("aggregator", "trimmed:0.1"));
 
         let mut cfg = calibre_fl::FlConfig::for_input(64);
         assert!(!cfg.chaos.is_active());
+        assert!(!cfg.attack.is_active());
         args.apply_fl(&mut cfg);
         assert!(cfg.chaos.is_active());
         assert_eq!(cfg.chaos.drop_prob, 0.3);
         assert_eq!(cfg.chaos.seed, 42);
+        assert!(cfg.attack.is_active());
+        assert_eq!(cfg.attack.flip_prob, 0.1);
+        assert_eq!(cfg.attack.scale_factor, 10.0);
+        assert_eq!(cfg.attack.seed, 7);
+        assert!(cfg.detect);
         assert_eq!(cfg.policy.min_quorum, 2);
         assert_eq!(
             cfg.policy.aggregator,

@@ -52,6 +52,12 @@ pub fn weighted_average_refs(updates: &[&[f32]], weights: &[f32]) -> Vec<f32> {
 
 /// Shared core of the panicking `weighted_average` family: folds each
 /// borrowed slice into a [`StreamingWeightedSink`] in canonical (input)
+/// `usize` → `u64` for span item/byte accounting without a lossy cast:
+/// widening on every supported target, saturating only in theory.
+fn span_count(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// order, so callers never materialize an intermediate `Vec` of updates —
 /// owned or borrowed.
 fn fold_weighted<'a, I>(updates: I, weights: &[f32]) -> Vec<f32>
@@ -63,8 +69,8 @@ where
     assert_eq!(n, weights.len(), "one weight per update required");
     let dim = updates.clone().next().map(<[f32]>::len).unwrap_or(0);
     let span = calibre_telemetry::span("aggregate");
-    span.add_items(n as u64);
-    span.add_bytes((n * dim * std::mem::size_of::<f32>()) as u64);
+    span.add_items(span_count(n));
+    span.add_bytes(span_count(n * dim * std::mem::size_of::<f32>()));
     // The total weight is known up front, so the sink applies the exact
     // `w / total` per-fold scale (uniform fallback on a non-positive
     // total); no intermediate normalized-weights vector is materialized.
@@ -99,7 +105,7 @@ pub fn sample_count_weights(counts: &[usize]) -> Vec<f32> {
 }
 
 /// Typed failure of a fault-tolerant aggregation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggregateError {
     /// No updates survived validation — nothing to aggregate.
     Empty,
@@ -125,6 +131,24 @@ pub enum AggregateError {
     /// [`UpdateSink::finish`] on the streaming paths; the collect-then-
     /// aggregate paths fall back to a uniform average instead.
     NonPositiveTotal,
+    /// A trim ratio at or above 0.5 would discard every value of every
+    /// coordinate. The CLI parser rejects such ratios up front; a directly
+    /// constructed [`Aggregator::TrimmedMean`] reports it here instead of
+    /// silently trimming less than asked.
+    InvalidTrimRatio {
+        /// The offending ratio.
+        ratio: f32,
+    },
+    /// The cohort is too small for the requested robust statistic to be
+    /// defined (e.g. a trimmed mean whose trims would consume the whole
+    /// cohort, or Krum with fewer than `f + 3` clients). The round should
+    /// be skipped, not silently aggregated with a weaker statistic.
+    CohortTooSmall {
+        /// Minimum cohort size the statistic needs.
+        needed: usize,
+        /// Actual cohort size.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for AggregateError {
@@ -141,6 +165,15 @@ impl std::fmt::Display for AggregateError {
             }
             AggregateError::NonPositiveTotal => {
                 write!(f, "fold weights summed to a non-positive total")
+            }
+            AggregateError::InvalidTrimRatio { ratio } => {
+                write!(f, "trim ratio {ratio} must be in [0, 0.5)")
+            }
+            AggregateError::CohortTooSmall { needed, got } => {
+                write!(
+                    f,
+                    "cohort of {got} too small for the robust statistic (needs {needed})"
+                )
             }
         }
     }
@@ -162,22 +195,77 @@ pub enum Aggregator {
     /// Per-coordinate weighted median: tolerates just under half the cohort
     /// being arbitrarily corrupted, ignores weights magnitudes least.
     CoordinateMedian,
+    /// Krum (Blanchet et al.): returns the single update whose summed
+    /// squared distance to its `n - f - 2` nearest neighbours is smallest,
+    /// assuming at most `f` Byzantine clients. Needs a cohort of at least
+    /// `f + 3`.
+    Krum {
+        /// Assumed number of Byzantine clients.
+        f: usize,
+    },
+    /// Multi-Krum: weighted average of the `m` lowest-Krum-score updates —
+    /// Krum's selection pressure with averaging's variance reduction.
+    MultiKrum {
+        /// Assumed number of Byzantine clients.
+        f: usize,
+        /// Number of selected updates to average.
+        m: usize,
+    },
+    /// Geometric median via deterministic Weiszfeld iteration: the point
+    /// minimizing the weighted sum of L2 distances to the updates. The
+    /// classic high-dimensional robust aggregate (RFA).
+    GeometricMedian,
+    /// Norm bounding: clip every update to the given L2 norm before the
+    /// weighted average, capping any single client's displacement.
+    NormBound(f32),
+    /// Centered clipping (Karimireddy et al.): iteratively re-center on the
+    /// cohort, folding in only the tau-clipped residual of each update.
+    CenteredClip(f32),
 }
 
 impl Aggregator {
     /// Parses a CLI name: `weighted`, `trimmed` / `trimmed:<ratio>`,
-    /// `median`.
+    /// `median`, `krum` / `krum:<f>`, `multikrum` / `multikrum:<f>:<m>`,
+    /// `geomedian`, `normbound:<max>`, `clip:<tau>`.
     pub fn parse(s: &str) -> Option<Aggregator> {
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
             "weighted" | "weighted-average" | "mean" => Some(Aggregator::WeightedAverage),
             "median" | "coordinate-median" => Some(Aggregator::CoordinateMedian),
             "trimmed" | "trimmed-mean" => Some(Aggregator::TrimmedMean(0.2)),
+            "krum" => Some(Aggregator::Krum { f: 1 }),
+            "multikrum" | "multi-krum" => Some(Aggregator::MultiKrum { f: 1, m: 3 }),
+            "geomedian" | "geometric-median" => Some(Aggregator::GeometricMedian),
             other => {
-                let ratio = other.strip_prefix("trimmed:")?.parse().ok()?;
-                (0.0..0.5)
-                    .contains(&ratio)
-                    .then_some(Aggregator::TrimmedMean(ratio))
+                if let Some(ratio) = other.strip_prefix("trimmed:") {
+                    let ratio: f32 = ratio.parse().ok()?;
+                    return (0.0..0.5)
+                        .contains(&ratio)
+                        .then_some(Aggregator::TrimmedMean(ratio));
+                }
+                if let Some(f) = other.strip_prefix("krum:") {
+                    return Some(Aggregator::Krum { f: f.parse().ok()? });
+                }
+                if let Some(rest) = other
+                    .strip_prefix("multikrum:")
+                    .or_else(|| other.strip_prefix("multi-krum:"))
+                {
+                    let (f, m) = rest.split_once(':')?;
+                    let m: usize = m.parse().ok()?;
+                    return (m > 0).then_some(Aggregator::MultiKrum {
+                        f: f.parse().ok()?,
+                        m,
+                    });
+                }
+                if let Some(max) = other.strip_prefix("normbound:") {
+                    let max: f32 = max.parse().ok()?;
+                    return (max.is_finite() && max > 0.0).then_some(Aggregator::NormBound(max));
+                }
+                if let Some(tau) = other.strip_prefix("clip:") {
+                    let tau: f32 = tau.parse().ok()?;
+                    return (tau.is_finite() && tau > 0.0).then_some(Aggregator::CenteredClip(tau));
+                }
+                None
             }
         }
     }
@@ -188,6 +276,11 @@ impl Aggregator {
             Aggregator::WeightedAverage => "weighted".into(),
             Aggregator::TrimmedMean(r) => format!("trimmed:{r}"),
             Aggregator::CoordinateMedian => "median".into(),
+            Aggregator::Krum { f } => format!("krum:{f}"),
+            Aggregator::MultiKrum { f, m } => format!("multikrum:{f}:{m}"),
+            Aggregator::GeometricMedian => "geomedian".into(),
+            Aggregator::NormBound(m) => format!("normbound:{m}"),
+            Aggregator::CenteredClip(t) => format!("clip:{t}"),
         }
     }
 }
@@ -227,7 +320,7 @@ fn check_shapes(updates: &[&[f32]], weights: &[f32]) -> Result<usize, AggregateE
             weights: weights.len(),
         });
     }
-    let dim = updates[0].len();
+    let dim = updates.first().map_or(0, |u| u.len());
     for (i, u) in updates.iter().enumerate() {
         if u.len() != dim {
             return Err(AggregateError::LengthMismatch {
@@ -249,22 +342,33 @@ fn check_shapes(updates: &[&[f32]], weights: &[f32]) -> Result<usize, AggregateE
 ///
 /// # Errors
 ///
-/// Shape errors as in [`aggregate_robust`]; additionally trims are capped so
-/// at least one value survives per coordinate.
+/// Shape errors as in [`aggregate_robust`];
+/// [`AggregateError::InvalidTrimRatio`] when `ratio` is outside `[0, 0.5)`;
+/// [`AggregateError::CohortTooSmall`] when the trims would consume the
+/// whole cohort (e.g. a single-client cohort at any nonzero ratio). Earlier
+/// versions silently capped the trim instead — a 40% trim of a two-client
+/// cohort quietly became a plain average, exactly when robustness mattered.
 pub fn trimmed_mean(
     updates: &[&[f32]],
     weights: &[f32],
     ratio: f32,
 ) -> Result<Vec<f32>, AggregateError> {
+    if !(0.0..0.5).contains(&ratio) {
+        return Err(AggregateError::InvalidTrimRatio { ratio });
+    }
     let dim = check_shapes(updates, weights)?;
     let n = updates.len();
-    let mut trim = (ratio.max(0.0) * n as f32).ceil() as usize;
-    // Keep at least one value per coordinate.
-    while n.saturating_sub(2 * trim) == 0 && trim > 0 {
-        trim -= 1;
+    // analyze:allow(lossy-cast) -- ratio is validated in [0, 0.5), so the
+    // product stays within usize range for any real cohort.
+    let trim = (ratio * n as f32).ceil() as usize;
+    if trim > 0 && n.saturating_sub(2 * trim) == 0 {
+        return Err(AggregateError::CohortTooSmall {
+            needed: 2 * trim + 1,
+            got: n,
+        });
     }
     let span = calibre_telemetry::span("aggregate");
-    span.add_items(n as u64);
+    span.add_items(span_count(n));
     let mut out = vec![0.0f32; dim];
     let mut column: Vec<(f32, f32)> = Vec::with_capacity(n);
     for (j, o) in out.iter_mut().enumerate() {
@@ -295,7 +399,7 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
     let dim = check_shapes(updates, weights)?;
     let n = updates.len();
     let span = calibre_telemetry::span("aggregate");
-    span.add_items(n as u64);
+    span.add_items(span_count(n));
     let total: f32 = weights.iter().sum();
     let uniform = total <= 0.0;
     let full: f32 = if uniform { n as f32 } else { total };
@@ -324,6 +428,255 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
     Ok(out)
 }
 
+/// Squared L2 distance between two same-length slices.
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Krum scores for the cohort: for each update, the sum of its squared
+/// distances to its `n - f - 2` nearest neighbours. Lower is more central.
+///
+/// Deterministic: pure arithmetic, ties in the per-update neighbour sort
+/// broken by `total_cmp`.
+fn krum_scores(updates: &[&[f32]], f: usize) -> Result<Vec<f32>, AggregateError> {
+    let n = updates.len();
+    let keep = n
+        .checked_sub(f + 2)
+        .filter(|&k| k >= 1)
+        .ok_or(AggregateError::CohortTooSmall {
+            needed: f + 3,
+            got: n,
+        })?;
+    let mut scores = Vec::with_capacity(n);
+    let mut dists = Vec::with_capacity(n - 1);
+    for (i, u) in updates.iter().enumerate() {
+        dists.clear();
+        for (j, v) in updates.iter().enumerate() {
+            if i != j {
+                dists.push(dist_sq(u, v));
+            }
+        }
+        dists.sort_unstable_by(|a, b| a.total_cmp(b));
+        scores.push(dists.iter().take(keep).sum());
+    }
+    Ok(scores)
+}
+
+/// The `m` lowest-Krum-score positions, ascending by score. Score ties —
+/// common for mutual nearest-neighbour pairs, whose distances are equal by
+/// symmetry — are broken by comparing the update values lexicographically,
+/// so the *selected values* are permutation-invariant (the final index
+/// tie-break only disambiguates bit-identical duplicates).
+fn krum_select(updates: &[&[f32]], f: usize, m: usize) -> Result<Vec<usize>, AggregateError> {
+    let scores = krum_scores(updates, f)?;
+    let lex = |a: &[f32], b: &[f32]| -> std::cmp::Ordering {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    let mut order: Vec<(f32, &[f32], usize)> = scores
+        .iter()
+        .zip(updates)
+        .enumerate()
+        .map(|(i, (&score, &update))| (score, update, i))
+        .collect();
+    order.sort_unstable_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| lex(a.1, b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let keep = m.max(1).min(order.len());
+    let mut chosen: Vec<usize> = order.into_iter().take(keep).map(|(_, _, i)| i).collect();
+    chosen.sort_unstable();
+    Ok(chosen)
+}
+
+/// Krum (Blanchet et al., NeurIPS 2017): returns the single most central
+/// update, verbatim. Tolerates up to `f` Byzantine clients in a cohort of
+/// at least `f + 3`; weights are ignored (the statistic is selection, not
+/// averaging).
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`];
+/// [`AggregateError::CohortTooSmall`] when `n < f + 3` — single-client and
+/// near-empty cohorts cannot support the neighbour statistic.
+pub fn krum(updates: &[&[f32]], weights: &[f32], f: usize) -> Result<Vec<f32>, AggregateError> {
+    check_shapes(updates, weights)?;
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(span_count(updates.len()));
+    let chosen = krum_select(updates, f, 1)?;
+    chosen
+        .first()
+        .and_then(|&i| updates.get(i))
+        .map(|u| u.to_vec())
+        .ok_or(AggregateError::Empty)
+}
+
+/// Multi-Krum: weighted average of the `m` lowest-Krum-score updates.
+///
+/// # Errors
+///
+/// As for [`krum`].
+pub fn multi_krum(
+    updates: &[&[f32]],
+    weights: &[f32],
+    f: usize,
+    m: usize,
+) -> Result<Vec<f32>, AggregateError> {
+    check_shapes(updates, weights)?;
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(span_count(updates.len()));
+    let chosen = krum_select(updates, f, m)?;
+    let mut kept: Vec<&[f32]> = Vec::with_capacity(chosen.len());
+    let mut kept_w: Vec<f32> = Vec::with_capacity(chosen.len());
+    for &i in &chosen {
+        if let (Some(&u), Some(&w)) = (updates.get(i), weights.get(i)) {
+            kept.push(u);
+            kept_w.push(w);
+        }
+    }
+    Ok(weighted_average_refs(&kept, &kept_w))
+}
+
+/// Weiszfeld iteration budget for [`geometric_median`]. Fixed (never
+/// adaptive to wall-clock) so the result is a pure function of the inputs.
+const WEISZFELD_ITERS: usize = 64;
+/// Relative convergence tolerance for the Weiszfeld iteration.
+const WEISZFELD_TOL: f32 = 1e-7;
+
+/// Geometric median of the updates via deterministic Weiszfeld iteration —
+/// the point minimizing the weighted sum of L2 distances. Breakdown point
+/// 0.5: no minority of colluding clients can move it arbitrarily.
+///
+/// Deterministic: initialized at the weighted mean, iterated a fixed budget
+/// with a fixed tolerance, epsilon-smoothed so an iterate landing exactly
+/// on an update never divides by zero. Same inputs, same bits.
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`].
+pub fn geometric_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>, AggregateError> {
+    let dim = check_shapes(updates, weights)?;
+    let n = updates.len();
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(span_count(n));
+    let total: f32 = weights.iter().sum();
+    let uniform = total <= 0.0;
+    // Weighted-mean start.
+    // analyze:allow(lossy-cast) -- cohort count, far below f32's 2^24 range.
+    let full: f32 = if uniform { n as f32 } else { total };
+    let mut y = vec![0.0f32; dim];
+    for (u, &wu) in updates.iter().zip(weights) {
+        let w = if uniform { 1.0 } else { wu } / full;
+        for (o, &v) in y.iter_mut().zip(u.iter()) {
+            *o += w * v;
+        }
+    }
+    if n == 1 {
+        return Ok(y);
+    }
+    let scale = y.iter().map(|v| v.abs()).fold(0.0f32, f32::max).max(1e-6);
+    let mut next = vec![0.0f32; dim];
+    for _ in 0..WEISZFELD_ITERS {
+        let mut wsum = 0.0f32;
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for (u, &wu) in updates.iter().zip(weights) {
+            let d = dist_sq(u, &y).sqrt().max(1e-9);
+            let w = if uniform { 1.0 } else { wu } / d;
+            wsum += w;
+            for (o, &v) in next.iter_mut().zip(u.iter()) {
+                *o += w * v;
+            }
+        }
+        let inv = 1.0 / wsum;
+        let mut shift = 0.0f32;
+        for (o, v) in next.iter_mut().zip(y.iter_mut()) {
+            *o *= inv;
+            shift = shift.max((*o - *v).abs());
+            *v = *o;
+        }
+        if shift <= WEISZFELD_TOL * scale {
+            break;
+        }
+    }
+    Ok(y)
+}
+
+/// Norm-bounded weighted average: every update is clipped to L2 norm at
+/// most `max_norm` before averaging, capping any single client's
+/// displacement of the aggregate.
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`].
+pub fn norm_bounded_mean(
+    updates: &[&[f32]],
+    weights: &[f32],
+    max_norm: f32,
+) -> Result<Vec<f32>, AggregateError> {
+    check_shapes(updates, weights)?;
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(span_count(updates.len()));
+    let clipped: Vec<Vec<f32>> = updates
+        .iter()
+        .map(|u| {
+            let mut v = u.to_vec();
+            clip_norm(&mut v, max_norm);
+            v
+        })
+        .collect();
+    let refs: Vec<&[f32]> = clipped.iter().map(Vec::as_slice).collect();
+    Ok(weighted_average_refs(&refs, weights))
+}
+
+/// Fixed re-centering budget for [`centered_clip`].
+const CENTERED_CLIP_ITERS: usize = 3;
+
+/// Centered clipping (Karimireddy et al., ICML 2021): starting from zero,
+/// repeatedly move the center by the weighted mean of the tau-clipped
+/// residuals `clip(uᵢ - c, tau)`. Honest updates pull the center to their
+/// mean; a Byzantine update can displace it by at most `tau` per step.
+///
+/// # Errors
+///
+/// Shape errors as in [`aggregate_robust`].
+pub fn centered_clip(
+    updates: &[&[f32]],
+    weights: &[f32],
+    tau: f32,
+) -> Result<Vec<f32>, AggregateError> {
+    let dim = check_shapes(updates, weights)?;
+    let n = updates.len();
+    let span = calibre_telemetry::span("aggregate");
+    span.add_items(span_count(n));
+    let total: f32 = weights.iter().sum();
+    let uniform = total <= 0.0;
+    // analyze:allow(lossy-cast) -- cohort count, far below f32's 2^24 range.
+    let full: f32 = if uniform { n as f32 } else { total };
+    let mut center = vec![0.0f32; dim];
+    let mut residual = vec![0.0f32; dim];
+    for _ in 0..CENTERED_CLIP_ITERS {
+        let mut step = vec![0.0f32; dim];
+        for (u, &wu) in updates.iter().zip(weights) {
+            for ((r, &v), &c) in residual.iter_mut().zip(u.iter()).zip(center.iter()) {
+                *r = v - c;
+            }
+            clip_norm(&mut residual, tau);
+            let w = if uniform { 1.0 } else { wu } / full;
+            for (s, &r) in step.iter_mut().zip(residual.iter()) {
+                *s += w * r;
+            }
+        }
+        for (c, s) in center.iter_mut().zip(step.iter()) {
+            *c += s;
+        }
+    }
+    Ok(center)
+}
+
 /// Fault-tolerant aggregation front door: dispatches on [`Aggregator`] and
 /// returns a typed error instead of panicking.
 ///
@@ -334,7 +687,10 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
 /// # Errors
 ///
 /// [`AggregateError::Empty`] on an empty cohort (e.g. everything was
-/// rejected by validation), and shape/weight-count mismatches.
+/// rejected by validation), shape/weight-count mismatches,
+/// [`AggregateError::InvalidTrimRatio`] for out-of-range trim ratios, and
+/// [`AggregateError::CohortTooSmall`] when a robust statistic is undefined
+/// for the cohort size (the caller should take the skipped-round path).
 pub fn aggregate_robust(
     aggregator: Aggregator,
     updates: &[&[f32]],
@@ -347,6 +703,11 @@ pub fn aggregate_robust(
         }
         Aggregator::TrimmedMean(ratio) => trimmed_mean(updates, weights, ratio),
         Aggregator::CoordinateMedian => coordinate_median(updates, weights),
+        Aggregator::Krum { f } => krum(updates, weights, f),
+        Aggregator::MultiKrum { f, m } => multi_krum(updates, weights, f, m),
+        Aggregator::GeometricMedian => geometric_median(updates, weights),
+        Aggregator::NormBound(max) => norm_bounded_mean(updates, weights, max),
+        Aggregator::CenteredClip(tau) => centered_clip(updates, weights, tau),
     }
 }
 
@@ -881,13 +1242,118 @@ impl UpdateSink for HierarchicalSink {
     }
 }
 
+/// Memory-bounded [`UpdateSink`] for the defense-grade aggregators
+/// (Krum family, geometric median, norm bounding, centered clipping).
+///
+/// Those statistics need the whole cohort at once — Krum compares every
+/// pair of updates, Weiszfeld iterates over all of them — so a constant-
+/// memory stream is impossible. Like [`ReservoirSink`] the sink keeps a
+/// uniform reservoir of at most `capacity` updates (algorithm R, seeded)
+/// and finishes with the exact [`aggregate_robust`] statistic over the
+/// reservoir in fold order: exact up to `capacity` folded updates, a
+/// uniform-sample approximation beyond that, with state bounded by
+/// O(capacity × model) regardless of cohort size.
+///
+/// # Determinism
+///
+/// Replacement choices depend only on `(seed, fold order)`; replaying the
+/// same fold sequence reproduces the reservoir — and the defense output —
+/// bit for bit.
+///
+/// # Examples
+///
+/// ```
+/// use calibre_fl::aggregate::{krum, Aggregator, BufferedRobustSink, UpdateSink};
+///
+/// let updates: [&[f32]; 4] = [&[1.0], &[1.1], &[0.9], &[500.0]];
+/// let mut sink = BufferedRobustSink::new(Aggregator::Krum { f: 1 }, 16, 7);
+/// for (i, u) in updates.iter().enumerate() {
+///     sink.fold(i, u, 1.0).unwrap();
+/// }
+/// assert_eq!(sink.finish().unwrap(), krum(&updates, &[1.0; 4], 1).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct BufferedRobustSink {
+    aggregator: Aggregator,
+    entries: Vec<Vec<f32>>,
+    weights: Vec<f32>,
+    capacity: usize,
+    rng: StdRng,
+    folded: usize,
+}
+
+impl BufferedRobustSink {
+    /// A sink finishing with `aggregator` over at most `capacity` buffered
+    /// updates; `seed` drives the deterministic reservoir replacement.
+    pub fn new(aggregator: Aggregator, capacity: usize, seed: u64) -> Self {
+        BufferedRobustSink {
+            aggregator,
+            entries: Vec::new(),
+            weights: Vec::new(),
+            capacity: capacity.max(1),
+            rng: calibre_tensor::rng::seeded(seed ^ 0x5EED_5EED_5EED_5EED),
+            folded: 0,
+        }
+    }
+}
+
+impl UpdateSink for BufferedRobustSink {
+    fn fold(&mut self, _client: usize, update: &[f32], weight: f32) -> Result<(), AggregateError> {
+        if let Some(first) = self.entries.first() {
+            if update.len() != first.len() {
+                return Err(AggregateError::LengthMismatch {
+                    index: self.folded,
+                    expected: first.len(),
+                    got: update.len(),
+                });
+            }
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(update.to_vec());
+            self.weights.push(weight);
+        } else {
+            let j = self.rng.gen_range(0..=self.folded);
+            if let (Some(slot), Some(wslot)) = (self.entries.get_mut(j), self.weights.get_mut(j)) {
+                slot.clear();
+                slot.extend_from_slice(update);
+                *wslot = weight;
+            }
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    fn folded(&self) -> usize {
+        self.folded
+    }
+
+    fn state_bytes(&self) -> usize {
+        let held: usize = self.entries.iter().map(Vec::capacity).sum();
+        let spine = self.entries.capacity() * std::mem::size_of::<Vec<f32>>();
+        (held + self.weights.capacity()) * std::mem::size_of::<f32>()
+            + spine
+            + std::mem::size_of::<Self>()
+    }
+
+    fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
+        let refs: Vec<&[f32]> = self.entries.iter().map(Vec::as_slice).collect();
+        let out = aggregate_robust(self.aggregator, &refs, &self.weights);
+        drop(refs);
+        self.entries.clear();
+        self.weights.clear();
+        self.folded = 0;
+        out
+    }
+}
+
 impl Aggregator {
     /// Builds the streaming [`UpdateSink`] mirroring this aggregator.
     ///
     /// `capacity` bounds the reservoir of the robust variants (which are
-    /// exact up to `capacity` folded updates, see [`ReservoirSink`]); the
-    /// weighted variant ignores it and holds exactly O(model) state.
-    /// `seed` drives the reservoir's deterministic replacement choices.
+    /// exact up to `capacity` folded updates, see [`ReservoirSink`] and
+    /// [`BufferedRobustSink`]); the weighted variant ignores it and holds
+    /// exactly O(model) state. `seed` drives the reservoirs' deterministic
+    /// replacement choices.
     pub fn sink(self, capacity: usize, seed: u64) -> Box<dyn UpdateSink + Send> {
         match self {
             Aggregator::WeightedAverage => Box::new(StreamingWeightedSink::new()),
@@ -895,6 +1361,13 @@ impl Aggregator {
                 Box::new(ReservoirSink::trimmed(ratio, capacity, seed))
             }
             Aggregator::CoordinateMedian => Box::new(ReservoirSink::median(capacity, seed)),
+            Aggregator::Krum { .. }
+            | Aggregator::MultiKrum { .. }
+            | Aggregator::GeometricMedian
+            | Aggregator::NormBound(_)
+            | Aggregator::CenteredClip(_) => {
+                Box::new(BufferedRobustSink::new(self, capacity, seed))
+            }
         }
     }
 }
@@ -1095,7 +1568,53 @@ mod tests {
             Aggregator::parse("trimmed:0.7").is_none(),
             "ratio above 0.5"
         );
-        assert!(Aggregator::parse("krum").is_none(), "unknown aggregator");
+        assert_eq!(
+            Aggregator::parse("krum").unwrap(),
+            Aggregator::Krum { f: 1 }
+        );
+        assert_eq!(
+            Aggregator::parse("krum:2").unwrap(),
+            Aggregator::Krum { f: 2 }
+        );
+        assert_eq!(
+            Aggregator::parse("multikrum").unwrap(),
+            Aggregator::MultiKrum { f: 1, m: 3 }
+        );
+        assert_eq!(
+            Aggregator::parse("multi-krum:2:5").unwrap(),
+            Aggregator::MultiKrum { f: 2, m: 5 }
+        );
+        assert_eq!(
+            Aggregator::parse("geomedian").unwrap(),
+            Aggregator::GeometricMedian
+        );
+        assert_eq!(
+            Aggregator::parse("normbound:5").unwrap(),
+            Aggregator::NormBound(5.0)
+        );
+        assert_eq!(
+            Aggregator::parse("clip:0.5").unwrap(),
+            Aggregator::CenteredClip(0.5)
+        );
+        assert!(
+            Aggregator::parse("multikrum:1:0").is_none(),
+            "m must be > 0"
+        );
+        assert!(Aggregator::parse("normbound:-1").is_none());
+        assert!(Aggregator::parse("bogus").is_none(), "unknown aggregator");
+        // Every variant's canonical name must parse back to itself.
+        for agg in [
+            Aggregator::WeightedAverage,
+            Aggregator::TrimmedMean(0.2),
+            Aggregator::CoordinateMedian,
+            Aggregator::Krum { f: 2 },
+            Aggregator::MultiKrum { f: 2, m: 4 },
+            Aggregator::GeometricMedian,
+            Aggregator::NormBound(3.0),
+            Aggregator::CenteredClip(1.5),
+        ] {
+            assert_eq!(Aggregator::parse(&agg.name()), Some(agg), "{agg:?}");
+        }
     }
 
     #[test]
@@ -1252,6 +1771,11 @@ mod tests {
             Aggregator::WeightedAverage,
             Aggregator::TrimmedMean(0.25),
             Aggregator::CoordinateMedian,
+            Aggregator::Krum { f: 1 },
+            Aggregator::MultiKrum { f: 1, m: 2 },
+            Aggregator::GeometricMedian,
+            Aggregator::NormBound(10.0),
+            Aggregator::CenteredClip(5.0),
         ] {
             let mut sink = agg.sink(64, 11);
             for (i, u) in updates.iter().enumerate() {
@@ -1263,5 +1787,146 @@ mod tests {
                 assert!((s - r).abs() < 1e-5, "{agg:?}: {s} vs {r}");
             }
         }
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_bad_ratio_and_tiny_cohorts() {
+        let refs: Vec<&[f32]> = vec![&[1.0f32], &[2.0f32]];
+        assert!(matches!(
+            trimmed_mean(&refs, &[1.0, 1.0], 0.5),
+            Err(AggregateError::InvalidTrimRatio { .. })
+        ));
+        assert!(matches!(
+            trimmed_mean(&refs, &[1.0, 1.0], -0.1),
+            Err(AggregateError::InvalidTrimRatio { .. })
+        ));
+        assert!(matches!(
+            trimmed_mean(&refs, &[1.0, 1.0], f32::NAN),
+            Err(AggregateError::InvalidTrimRatio { .. })
+        ));
+        // Trimming one from each side of a two-client cohort leaves nothing:
+        // typed error, not a silent average of zero updates.
+        assert!(matches!(
+            trimmed_mean(&refs, &[1.0, 1.0], 0.49),
+            Err(AggregateError::CohortTooSmall { needed: 3, got: 2 })
+        ));
+        // Ratio zero is a plain weighted mean even for a single client.
+        let single: Vec<&[f32]> = vec![&[4.0f32]];
+        assert_eq!(trimmed_mean(&single, &[2.0], 0.0).unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn krum_picks_the_central_update_and_rejects_tiny_cohorts() {
+        let updates: [&[f32]; 5] = [
+            &[1.0, 1.0],
+            &[1.1, 0.9],
+            &[0.9, 1.1],
+            &[1.0, 0.95],
+            &[80.0, -80.0],
+        ];
+        let weights = [1.0; 5];
+        let out = krum(&updates, &weights, 1).unwrap();
+        assert!(out[0] < 2.0, "byzantine update won krum: {out:?}");
+        // The winner is one of the inputs, verbatim.
+        assert!(updates.contains(&out.as_slice()));
+
+        let small: Vec<&[f32]> = vec![&[1.0f32], &[2.0f32]];
+        assert!(matches!(
+            krum(&small, &[1.0, 1.0], 1),
+            Err(AggregateError::CohortTooSmall { needed: 4, got: 2 })
+        ));
+        let one: Vec<&[f32]> = vec![&[1.0f32]];
+        assert!(matches!(
+            krum(&one, &[1.0], 0),
+            Err(AggregateError::CohortTooSmall { needed: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn multi_krum_averages_the_low_score_set() {
+        let updates: [&[f32]; 5] = [&[1.0], &[1.2], &[0.8], &[1.1], &[500.0]];
+        let weights = [1.0; 5];
+        let out = multi_krum(&updates, &weights, 1, 3).unwrap();
+        assert!(out[0] > 0.5 && out[0] < 1.5, "outlier leaked: {out:?}");
+    }
+
+    #[test]
+    fn geometric_median_resists_a_minority_of_liars() {
+        let updates: [&[f32]; 4] = [&[1.0, -1.0], &[1.1, -0.9], &[0.9, -1.1], &[-500.0, 500.0]];
+        let out = geometric_median(&updates, &[1.0; 4]).unwrap();
+        assert!(out[0] > 0.0 && out[0] < 1.5, "hijacked: {out:?}");
+        assert!(out[1] < 0.0 && out[1] > -1.5, "hijacked: {out:?}");
+        // Single client: the median is that client.
+        let one: Vec<&[f32]> = vec![&[3.0f32, -2.0]];
+        assert_eq!(geometric_median(&one, &[1.0]).unwrap(), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn geometric_median_is_replay_and_permutation_stable() {
+        let updates: [&[f32]; 3] = [&[0.0, 0.0], &[2.0, 0.0], &[0.0, 2.0]];
+        let a = geometric_median(&updates, &[1.0; 3]).unwrap();
+        let b = geometric_median(&updates, &[1.0; 3]).unwrap();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "same inputs must produce the same bits"
+        );
+        let permuted: [&[f32]; 3] = [&[0.0, 2.0], &[0.0, 0.0], &[2.0, 0.0]];
+        let c = geometric_median(&permuted, &[1.0; 3]).unwrap();
+        for (x, y) in a.iter().zip(c.iter()) {
+            assert!((x - y).abs() < 1e-4, "permutation moved the median");
+        }
+    }
+
+    #[test]
+    fn norm_bounded_mean_caps_a_blown_up_client() {
+        let updates: [&[f32]; 3] = [&[1.0, 0.0], &[0.0, 1.0], &[1e6, 1e6]];
+        let out = norm_bounded_mean(&updates, &[1.0; 3], 2.0).unwrap();
+        let norm = (out[0] * out[0] + out[1] * out[1]).sqrt();
+        assert!(norm <= 2.0 + 1e-4, "clip failed: {out:?}");
+    }
+
+    #[test]
+    fn centered_clip_bounds_byzantine_displacement() {
+        let updates: [&[f32]; 4] = [&[1.0, 1.0], &[1.1, 0.9], &[0.9, 1.1], &[1e5, -1e5]];
+        let out = centered_clip(&updates, &[1.0; 4], 2.0).unwrap();
+        // Each iteration moves the center by at most tau, so three
+        // iterations bound it within 3·tau of the origin.
+        let norm = (out[0] * out[0] + out[1] * out[1]).sqrt();
+        assert!(norm <= 3.0 * 2.0 + 1e-4, "center ran away: {out:?}");
+        // And honest clients must still pull it toward their mean.
+        assert!(out[0] > 0.5, "honest signal lost: {out:?}");
+    }
+
+    #[test]
+    fn buffered_robust_sink_is_bounded_and_replay_identical() {
+        let run = || {
+            let mut sink = BufferedRobustSink::new(Aggregator::GeometricMedian, 16, 9);
+            for i in 0..3_000usize {
+                // analyze:allow(lossy-cast) -- test data generation only.
+                sink.fold(i, &[i as f32, -(i as f32)], 1.0).unwrap();
+            }
+            let bytes = sink.state_bytes();
+            (sink.finish().unwrap(), bytes)
+        };
+        let (a, bytes_a) = run();
+        let (b, bytes_b) = run();
+        assert_eq!(a, b, "same seed + fold order replays bit-identically");
+        assert_eq!(bytes_a, bytes_b);
+        let flat_bytes = 3_000 * 2 * std::mem::size_of::<f32>();
+        assert!(bytes_a < flat_bytes / 10, "reservoir grew: {bytes_a}");
+    }
+
+    #[test]
+    fn krum_sink_surfaces_cohort_too_small_for_skipped_rounds() {
+        let mut sink = Aggregator::Krum { f: 1 }.sink(64, 1);
+        sink.fold(0, &[1.0], 1.0).unwrap();
+        assert!(
+            matches!(
+                sink.finish(),
+                Err(AggregateError::CohortTooSmall { needed: 4, got: 1 })
+            ),
+            "single-client cohort must take the typed skipped-round path"
+        );
     }
 }

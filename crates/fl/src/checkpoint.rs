@@ -92,6 +92,7 @@ impl From<std::io::Error> for CheckpointError {
 
 // The integrity checksum is the crate-wide FNV-1a, shared with the wire
 // protocol's frame checksums and the serve-path model fingerprints.
+use crate::adversary::ReputationBook;
 use crate::proto::fnv1a;
 
 /// Appends the trailing `checksum <hex>` line over everything written so far.
@@ -412,6 +413,10 @@ pub struct TrainerCheckpoint {
     pub clients: Vec<(usize, Vec<Matrix>)>,
     /// Mean training loss per completed round.
     pub round_losses: Vec<f32>,
+    /// Byzantine-client reputation state. Empty books write no section and
+    /// parse back empty, so unarmed checkpoints stay byte-identical to the
+    /// pre-reputation format.
+    pub reputation: ReputationBook,
 }
 
 impl TrainerCheckpoint {
@@ -434,6 +439,7 @@ impl TrainerCheckpoint {
             let refs: Vec<&Matrix> = tensors.iter().collect();
             write_tensors(&mut out, &refs);
         }
+        out.push_str(&self.reputation.to_checkpoint_lines());
         append_checksum(&mut out);
         out
     }
@@ -504,11 +510,14 @@ impl TrainerCheckpoint {
             let tensors = parse_tensors(&mut lines, n_tensors, &format!("client {id}"))?;
             clients.push((id, tensors));
         }
+        let reputation = ReputationBook::parse_checkpoint_lines(lines.peekable())
+            .map_err(CheckpointError::Parse)?;
         Ok(TrainerCheckpoint {
             round,
             global,
             clients,
             round_losses,
+            reputation,
         })
     }
 }
@@ -527,6 +536,10 @@ pub struct ServerCheckpoint {
     pub round: usize,
     /// The global model after `round` rounds.
     pub model: Vec<f32>,
+    /// Byzantine-client reputation state. Empty books write no section and
+    /// parse back empty, so unarmed checkpoints stay byte-identical to the
+    /// pre-reputation format (and to main's golden files).
+    pub reputation: ReputationBook,
 }
 
 impl ServerCheckpoint {
@@ -540,6 +553,7 @@ impl ServerCheckpoint {
             let _ = write!(out, " {:08x}", v.to_bits());
         }
         out.push('\n');
+        out.push_str(&self.reputation.to_checkpoint_lines());
         append_checksum(&mut out);
         out
     }
@@ -581,7 +595,13 @@ impl ServerCheckpoint {
                 model.len()
             )));
         }
-        Ok(ServerCheckpoint { round, model })
+        let reputation = ReputationBook::parse_checkpoint_lines(lines.peekable())
+            .map_err(CheckpointError::Parse)?;
+        Ok(ServerCheckpoint {
+            round,
+            model,
+            reputation,
+        })
     }
 }
 
@@ -600,6 +620,7 @@ mod tests {
         let ckpt = ServerCheckpoint {
             round: 7,
             model: vec![1.5, -0.0, f32::MIN_POSITIVE, 3.141592e-4, 1e30],
+            reputation: ReputationBook::new(),
         };
         let text = ckpt.to_text();
         let parsed = ServerCheckpoint::parse(&text).unwrap();
@@ -755,6 +776,7 @@ mod tests {
             global,
             clients: vec![(2, client_state)],
             round_losses: vec![1.5, 1.25, 1.0],
+            reputation: ReputationBook::new(),
         };
         let text = ckpt.to_text();
         let back = TrainerCheckpoint::parse(&text).unwrap();
@@ -779,10 +801,75 @@ mod tests {
             global: vec![Matrix::from_vec(1, 2, vec![0.5, -0.5])],
             clients: vec![],
             round_losses: vec![],
+            reputation: ReputationBook::new(),
         };
         let back = TrainerCheckpoint::parse(&ckpt.to_text()).unwrap();
         assert_eq!(back.round, 0);
         assert!(back.clients.is_empty());
         assert!(back.round_losses.is_empty());
+    }
+
+    /// A book with strikes and a quarantined client survives both
+    /// checkpoint formats bit-exactly.
+    #[test]
+    fn reputation_state_roundtrips_through_both_checkpoints() {
+        use crate::adversary::AnomalyScore;
+        let mut book = ReputationBook::new();
+        for _ in 0..3 {
+            book.observe_round(&[
+                AnomalyScore {
+                    client: 4,
+                    norm_z: 5.0,
+                    cosine_z: 0.1,
+                },
+                AnomalyScore {
+                    client: 9,
+                    norm_z: 0.2,
+                    cosine_z: 0.1,
+                },
+            ]);
+        }
+        assert!(book.is_quarantined(4), "three strikes quarantine client 4");
+
+        let server = ServerCheckpoint {
+            round: 5,
+            model: vec![0.25, -1.0],
+            reputation: book.clone(),
+        };
+        let back = ServerCheckpoint::parse(&server.to_text()).unwrap();
+        assert_eq!(back.reputation, book);
+
+        let trainer = TrainerCheckpoint {
+            round: 1,
+            global: vec![Matrix::from_vec(1, 2, vec![0.5, -0.5])],
+            clients: vec![],
+            round_losses: vec![2.0],
+            reputation: book.clone(),
+        };
+        let back = TrainerCheckpoint::parse(&trainer.to_text()).unwrap();
+        assert_eq!(back.reputation, book);
+    }
+
+    /// An empty book writes no reputation section, so unarmed checkpoints
+    /// stay byte-identical to the pre-reputation format.
+    #[test]
+    fn empty_reputation_book_leaves_checkpoints_byte_identical() {
+        let ckpt = ServerCheckpoint {
+            round: 2,
+            model: vec![1.0, 2.0],
+            reputation: ReputationBook::new(),
+        };
+        let text = ckpt.to_text();
+        assert!(!text.contains("reputation"), "no section for an empty book");
+        let mut legacy = String::new();
+        legacy.push_str("calibre-server-checkpoint v1\n");
+        let _ = writeln!(legacy, "round 2");
+        let _ = write!(legacy, "model 2");
+        for v in &ckpt.model {
+            let _ = write!(legacy, " {:08x}", v.to_bits());
+        }
+        legacy.push('\n');
+        append_checksum(&mut legacy);
+        assert_eq!(text, legacy, "byte-identical to the pre-reputation format");
     }
 }

@@ -1,5 +1,6 @@
 //! Federated-learning run configuration and client-selection schedule.
 
+use crate::adversary::AttackPlan;
 use crate::chaos::FaultPlan;
 use crate::resilient::RoundPolicy;
 use calibre_ssl::{ProbeConfig, SslConfig};
@@ -44,6 +45,12 @@ pub struct FlConfig {
     /// Deterministic runtime fault injection. The default plan is inactive
     /// and training is bit-identical to a chaos-free build.
     pub chaos: FaultPlan,
+    /// Deterministic Byzantine-client simulation. The default plan is
+    /// inactive and training is bit-identical to an attack-free build.
+    pub attack: AttackPlan,
+    /// Server-side anomaly detection and quarantine. Off by default; when
+    /// on, quarantined clients stop being selected.
+    pub detect: bool,
     /// Server-side failure handling: retries, minimum quorum, aggregation
     /// statistic, optional norm clipping.
     pub policy: RoundPolicy,
@@ -138,6 +145,8 @@ impl FlConfig {
             ssl: SslConfig::for_input(input_dim),
             dropout_prob: 0.0,
             chaos: FaultPlan::default(),
+            attack: AttackPlan::default(),
+            detect: false,
             policy: RoundPolicy::default(),
             streaming: StreamingConfig::default(),
             seed: 0,

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod aggregate;
 pub mod baselines;
 pub mod chaos;
@@ -75,7 +76,10 @@ pub mod secure;
 pub mod serve;
 pub mod transport;
 
-pub use aggregate::{HierarchicalSink, ReservoirSink, StreamingWeightedSink, UpdateSink};
+pub use adversary::{AttackInjector, AttackKind, AttackPlan, ReputationBook};
+pub use aggregate::{
+    BufferedRobustSink, HierarchicalSink, ReservoirSink, StreamingWeightedSink, UpdateSink,
+};
 pub use chaos::{FaultInjector, FaultPlan, WireFaultPlan, WireInjector};
 pub use config::{FlConfig, RoundPath, StreamingConfig};
 pub use metrics::{jain_index, pearson, worst_fraction_mean, ConfusionMatrix, Stats};

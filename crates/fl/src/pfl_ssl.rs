@@ -278,6 +278,7 @@ pub fn train_pfl_ssl_encoder_resumable(
                     global: global_encoder.parameters().into_iter().cloned().collect(),
                     clients: Vec::new(), // fresh state per round on this path
                     round_losses: round_losses.clone(),
+                    reputation: scheduler.reputation(),
                 };
                 let _ = store.save_text(&ckpt.to_text());
             }
@@ -374,6 +375,7 @@ pub fn train_pfl_ssl_encoder_resumable(
                     })
                     .collect(),
                 round_losses: round_losses.clone(),
+                reputation: scheduler.reputation(),
             };
             let _ = store.save_text(&ckpt.to_text());
         }

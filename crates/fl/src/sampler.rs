@@ -132,6 +132,59 @@ impl Sampler {
         picked.sort_unstable();
         picked
     }
+
+    /// [`Sampler::select`] over the population minus `banned` (quarantined
+    /// clients from a `ReputationBook`).
+    ///
+    /// With an empty ban set this **delegates to `select` verbatim** —
+    /// same rng stream, same result, bit for bit — so an unarmed
+    /// reputation book can never perturb the golden selections. With bans,
+    /// the sampler draws over the allowed-id list (re-deriving the same
+    /// `(seed, round)` rng) and maps indices back to client ids; the result
+    /// is sorted ascending and never contains a banned id. A ban set
+    /// covering the whole population selects nobody — the caller's
+    /// skipped-round path.
+    pub fn select_excluding(
+        &self,
+        round: usize,
+        population: usize,
+        cohort: usize,
+        scores: Option<&[f32]>,
+        banned: &std::collections::BTreeSet<usize>,
+    ) -> Vec<usize> {
+        if banned.is_empty() {
+            return self.select(round, population, cohort, scores);
+        }
+        let allowed: Vec<usize> = (0..population).filter(|c| !banned.contains(c)).collect();
+        if cohort >= allowed.len() {
+            return allowed;
+        }
+        let mut rng = self.round_rng(round);
+        let allowed_scores: Vec<f32>;
+        let scores = match scores {
+            None => None,
+            Some(scores) => {
+                allowed_scores = allowed
+                    .iter()
+                    .map(|&c| scores.get(c).copied().unwrap_or(0.0))
+                    .collect();
+                Some(allowed_scores.as_slice())
+            }
+        };
+        let mut picked: Vec<usize> = match (self.kind, scores) {
+            (SamplerKind::Uniform, _) | (_, None) => {
+                sample_without_replacement(&mut rng, allowed.len(), cohort)
+            }
+            (_, Some(scores)) => {
+                weighted_without_replacement(&mut rng, allowed.len(), cohort, scores)
+            }
+        }
+        .into_iter()
+        .filter_map(|i| allowed.get(i).copied())
+        .collect();
+        picked.sort_unstable();
+        picked
+    }
 }
 
 /// Weighted sampling without replacement via the exponential race: client
@@ -292,6 +345,65 @@ mod tests {
         let c = sampler.select(2, 60, 12, Some(&negative));
         assert_eq!(a, c, "negative scores clamp to the same floor as zeros");
         assert!(a.iter().all(|&i| i < 60));
+    }
+
+    #[test]
+    fn select_excluding_with_no_bans_is_bit_identical_to_select() {
+        use std::collections::BTreeSet;
+        let empty = BTreeSet::new();
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Importance,
+            SamplerKind::DivergenceWeighted,
+        ] {
+            let sampler = Sampler::new(kind, 17);
+            let scores = vec![1.5f32; 80];
+            for round in 0..5 {
+                assert_eq!(
+                    sampler.select_excluding(round, 80, 12, Some(&scores), &empty),
+                    sampler.select(round, 80, 12, Some(&scores)),
+                    "an empty ban set must not perturb selection"
+                );
+                assert_eq!(
+                    sampler.select_excluding(round, 80, 12, None, &empty),
+                    sampler.select(round, 80, 12, None),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_excluding_never_draws_banned_clients() {
+        use std::collections::BTreeSet;
+        let banned: BTreeSet<usize> = [3, 7, 11, 42].into_iter().collect();
+        let sampler = Sampler::new(SamplerKind::Uniform, 23);
+        for round in 0..10 {
+            let picked = sampler.select_excluding(round, 50, 20, None, &banned);
+            assert_eq!(picked.len(), 20);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            assert!(
+                picked.iter().all(|c| !banned.contains(c)),
+                "banned client drawn in round {round}: {picked:?}"
+            );
+        }
+        // Replay-identical under bans too.
+        assert_eq!(
+            sampler.select_excluding(4, 50, 20, None, &banned),
+            sampler.select_excluding(4, 50, 20, None, &banned),
+        );
+    }
+
+    #[test]
+    fn select_excluding_everyone_banned_is_an_empty_round() {
+        use std::collections::BTreeSet;
+        let everyone: BTreeSet<usize> = (0..10).collect();
+        let sampler = Sampler::new(SamplerKind::Uniform, 5);
+        assert!(sampler
+            .select_excluding(0, 10, 4, None, &everyone)
+            .is_empty());
+        // Bans shrinking the population below the cohort select all survivors.
+        let most: BTreeSet<usize> = (0..8).collect();
+        assert_eq!(sampler.select_excluding(0, 10, 4, None, &most), vec![8, 9]);
     }
 
     #[test]

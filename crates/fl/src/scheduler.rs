@@ -26,6 +26,7 @@
 //! `run_round` is bit-identical to the historical nominal loop — the
 //! golden-checksum tests pin this through the training entry points.
 
+use crate::adversary::{anomaly_scores, AttackInjector, AttackPlan, ReputationBook};
 use crate::aggregate::UpdateSink;
 use crate::chaos::{ClientFault, FaultInjector, FaultPlan};
 use crate::comm::BYTES_PER_PARAM;
@@ -200,14 +201,65 @@ impl FoldGate {
     }
 }
 
-/// Owns selection, fault injection, and round policy for a training run.
+/// Holds the round's accepted updates for post-round anomaly scoring.
+/// Inert (and allocation-free) unless detection is armed; when armed its
+/// bytes are accounted into `peak_state_bytes`, making the O(cohort ×
+/// model) cost of detection visible to the memory gates.
+struct DetectionBuffer {
+    armed: bool,
+    watch: Vec<(usize, Vec<f32>)>,
+    bytes: usize,
+}
+
+impl DetectionBuffer {
+    fn new(armed: bool) -> Self {
+        DetectionBuffer {
+            armed,
+            watch: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Records one accepted update (exactly as the aggregator saw it).
+    fn push(&mut self, id: usize, update: &[f32]) {
+        if self.armed {
+            self.bytes += std::mem::size_of_val(update);
+            self.watch.push((id, update.to_vec()));
+        }
+    }
+
+    /// Bytes currently held for scoring (0 when detection is off).
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Scores the held updates and folds them into the scheduler's
+    /// reputation book. Skipped rounds still observe: detection must not
+    /// pause while an adversary suppresses quorum.
+    fn observe(self, scheduler: &RoundScheduler, round: usize, recorder: &dyn Recorder) {
+        if !self.armed || self.watch.is_empty() {
+            return;
+        }
+        let ids: Vec<usize> = self.watch.iter().map(|(id, _)| *id).collect();
+        let updates: Vec<&[f32]> = self.watch.iter().map(|(_, u)| u.as_slice()).collect();
+        scheduler.observe_round(round, &ids, &updates, recorder);
+    }
+}
+
+/// Owns selection, fault injection, adversary simulation, anomaly
+/// detection, and round policy for a training run.
 ///
 /// # Determinism
 ///
-/// A scheduler holds no mutable state: every decision is re-derived from
-/// `(seed, round)`, so calling [`RoundScheduler::select`] twice — or
-/// resuming a checkpointed run at round `k` — yields exactly the schedule
-/// of an uninterrupted run.
+/// Selection, chaos, and attack decisions are all re-derived from
+/// `(seed, round, client)`, so calling [`RoundScheduler::select`] twice —
+/// or resuming a checkpointed run at round `k` — yields exactly the
+/// schedule of an uninterrupted run. The one piece of mutable state is the
+/// [`ReputationBook`]: it folds anomaly scores round by round, and because
+/// the scores themselves are deterministic, a resumed run that restores
+/// the book from a checkpoint (via [`RoundScheduler::with_reputation`])
+/// replays identically too. An empty book leaves [`RoundScheduler::select`]
+/// bit-identical to a detection-free scheduler.
 ///
 /// # Examples
 ///
@@ -243,6 +295,9 @@ impl FoldGate {
 pub struct RoundScheduler {
     selection: Selection,
     injector: Option<FaultInjector>,
+    attacker: Option<AttackInjector>,
+    detect: bool,
+    reputation: std::cell::RefCell<ReputationBook>,
     policy: RoundPolicy,
 }
 
@@ -256,6 +311,12 @@ impl RoundScheduler {
                 .chaos
                 .is_active()
                 .then(|| FaultInjector::for_run(cfg.chaos.clone(), cfg.seed)),
+            attacker: cfg
+                .attack
+                .is_active()
+                .then(|| AttackInjector::for_run(cfg.attack.clone(), cfg.seed)),
+            detect: cfg.detect,
+            reputation: std::cell::RefCell::new(ReputationBook::new()),
             policy: cfg.policy,
         }
     }
@@ -271,6 +332,9 @@ impl RoundScheduler {
                 rounds,
             },
             injector: None,
+            attacker: None,
+            detect: false,
+            reputation: std::cell::RefCell::new(ReputationBook::new()),
             policy: RoundPolicy::default(),
         }
     }
@@ -290,6 +354,41 @@ impl RoundScheduler {
         self
     }
 
+    /// Arms deterministic Byzantine-client simulation with the given
+    /// [`AttackPlan`] and run seed (a no-op for inactive plans). Attack
+    /// decisions are a pure function of `(plan.seed, run_seed, round,
+    /// client)` and independent of the chaos stream, so arming both never
+    /// correlates their draws.
+    pub fn with_attack(mut self, plan: AttackPlan, run_seed: u64) -> Self {
+        self.attacker = plan
+            .is_active()
+            .then(|| AttackInjector::for_run(plan, run_seed));
+        self
+    }
+
+    /// Enables server-side anomaly detection: each executed round scores
+    /// the accepted updates ([`anomaly_scores`]), folds them into the
+    /// [`ReputationBook`], and quarantined clients stop being drawn by
+    /// [`RoundScheduler::select`]. Detection holds the round's accepted
+    /// updates (O(cohort × model) — accounted into `peak_state_bytes` on
+    /// the streaming paths), so leave it off for massive-cohort runs.
+    pub fn with_detection(mut self, on: bool) -> Self {
+        self.detect = on;
+        self
+    }
+
+    /// Restores reputation state from a checkpoint, so a resumed run
+    /// quarantines exactly as the uninterrupted run would.
+    pub fn with_reputation(mut self, book: ReputationBook) -> Self {
+        self.reputation = std::cell::RefCell::new(book);
+        self
+    }
+
+    /// A snapshot of the current reputation state (for checkpointing).
+    pub fn reputation(&self) -> ReputationBook {
+        self.reputation.borrow().clone()
+    }
+
     /// The round policy this scheduler executes under.
     pub fn policy(&self) -> &RoundPolicy {
         &self.policy
@@ -305,16 +404,73 @@ impl RoundScheduler {
 
     /// The cohort for `round`, sorted ascending. `scores` feeds weighted
     /// samplers (see [`Sampler::select`]); fixed schedules ignore it.
+    ///
+    /// Quarantined clients (see [`RoundScheduler::with_detection`]) are
+    /// never drawn: sampled selections route through
+    /// [`Sampler::select_excluding`], fixed schedules are filtered. With an
+    /// empty reputation book the selection is bit-identical to a
+    /// detection-free scheduler.
     pub fn select(&self, round: usize, scores: Option<&[f32]>) -> Vec<usize> {
+        let banned = self.reputation.borrow().quarantined();
         match &self.selection {
-            Selection::Fixed(schedule) => schedule.get(round).cloned().unwrap_or_default(),
+            Selection::Fixed(schedule) => {
+                let mut selected = schedule.get(round).cloned().unwrap_or_default();
+                if !banned.is_empty() {
+                    selected.retain(|id| !banned.contains(id));
+                }
+                selected
+            }
             Selection::Sampled {
                 sampler,
                 population,
                 cohort,
                 ..
-            } => sampler.select(round, *population, *cohort, scores),
+            } => sampler.select_excluding(round, *population, *cohort, scores, &banned),
         }
+    }
+
+    /// Emits one [`calibre_telemetry::Event::Attack`] per cohort member the
+    /// adversary plan fires on this round. Decisions are pure per
+    /// `(round, client)`, so the event stream is identical on every
+    /// execution path regardless of chaos dropouts downstream.
+    fn record_attacks(&self, round: usize, selected: &[usize], recorder: &dyn Recorder) {
+        if let Some(atk) = &self.attacker {
+            for &id in selected {
+                if let Some(kind) = atk.decide(round, id) {
+                    recorder.attack(round, id, kind.kind_tag());
+                }
+            }
+        }
+    }
+
+    /// Folds one executed round's anomaly scores into the reputation book
+    /// and emits a [`calibre_telemetry::Event::Quarantine`] per newly
+    /// quarantined client. `updates` are the accepted updates exactly as
+    /// the aggregator saw them.
+    fn observe_round(
+        &self,
+        round: usize,
+        ids: &[usize],
+        updates: &[&[f32]],
+        recorder: &dyn Recorder,
+    ) {
+        if !self.detect || ids.is_empty() {
+            return;
+        }
+        let scores = anomaly_scores(ids, updates);
+        let newly = self.reputation.borrow_mut().observe_round(&scores);
+        for client in newly {
+            let suspicion = scores
+                .iter()
+                .find(|s| s.client == client)
+                .map_or(0.0, crate::adversary::AnomalyScore::suspicion);
+            recorder.quarantine(round, client, suspicion);
+        }
+        metrics::gauge_set(
+            "calibre_quarantined_clients",
+            &[],
+            self.reputation.borrow().quarantined_count() as f64,
+        );
     }
 
     /// Executes one collect-then-aggregate round with full telemetry.
@@ -346,10 +502,24 @@ impl RoundScheduler {
         L: Fn(&P) -> (ClientLosses, f32),
     {
         ctx.recorder.round_start(round, selected);
+        self.record_attacks(round, selected, ctx.recorder);
         // Inert unless `--metrics-addr` enabled the registry; the guard
         // observes the round's wall-clock into the export histogram on drop.
         let _round_timer =
             metrics::start_timer("calibre_round_duration_ms", &[("path", "collect")]);
+        // The adversary compromises the client, so its tampering happens in
+        // the client's work function — before server-side chaos corruption,
+        // validation, and clipping get their turn.
+        let attacker = self.attacker.as_ref();
+        let work = move |id: usize, state: S| {
+            let mut outcome = work(id, state);
+            if let Some(atk) = attacker {
+                if let Some(kind) = atk.decide(round, id) {
+                    atk.apply(round, id, kind, &mut outcome.flat);
+                }
+            }
+            outcome
+        };
         let outcome = run_round_resilient(
             round,
             selected,
@@ -360,6 +530,11 @@ impl RoundScheduler {
             &self.policy,
             ctx.recorder,
         );
+        {
+            let ids: Vec<usize> = outcome.accepted.iter().map(|a| a.id).collect();
+            let updates: Vec<&[f32]> = outcome.accepted.iter().map(|a| a.flat.as_slice()).collect();
+            self.observe_round(round, &ids, &updates, ctx.recorder);
+        }
 
         let mut client_wall_ms = Vec::with_capacity(outcome.accepted.len());
         let mut client_loss = Vec::with_capacity(outcome.accepted.len());
@@ -510,6 +685,7 @@ impl RoundScheduler {
         let wave = wave.max(1);
         let _round_timer =
             metrics::start_timer("calibre_round_duration_ms", &[("path", "streaming")]);
+        self.record_attacks(round, selected, recorder);
         let mut out = self.empty_round(selected.len());
 
         // Churn is decided up front on the scheduler thread, per
@@ -518,6 +694,7 @@ impl RoundScheduler {
 
         // Fold-or-hold: buffer until the quorum is certain, then stream.
         let mut gate = FoldGate::new(self.policy.min_quorum);
+        let mut watch = DetectionBuffer::new(self.detect);
         for chunk in survivors.chunks(wave) {
             let results = parallel_map(chunk, |&(id, _fault)| work(id));
             let wave_bytes: usize = results
@@ -525,14 +702,18 @@ impl RoundScheduler {
                 .map(|r| r.update.len() * std::mem::size_of::<f32>())
                 .sum();
             for ((id, fault), reply) in chunk.iter().copied().zip(results) {
-                self.screen_and_fold(round, id, fault, reply, &mut gate, sink, &mut out);
+                self.screen_and_fold(
+                    round, id, fault, reply, &mut gate, sink, &mut watch, &mut out,
+                );
             }
             out.peak_state_bytes = out
                 .peak_state_bytes
-                .max(sink.state_bytes() + gate.held_bytes() + wave_bytes);
+                .max(sink.state_bytes() + gate.held_bytes() + watch.bytes() + wave_bytes);
         }
 
-        self.seal_round(round, out, gate, sink, recorder, "streaming")
+        let sealed = self.seal_round(round, out, gate, sink, recorder, "streaming");
+        watch.observe(self, round, recorder);
+        sealed
     }
 
     /// Executes one round through a [`Transport`]: the same selection,
@@ -568,10 +749,12 @@ impl RoundScheduler {
         let wave = wave.max(1);
         let _round_timer =
             metrics::start_timer("calibre_round_duration_ms", &[("path", "transport")]);
+        self.record_attacks(round, selected, recorder);
         let mut out = self.empty_round(selected.len());
         let survivors = self.survivors(round, selected, &mut out);
 
         let mut gate = FoldGate::new(self.policy.min_quorum);
+        let mut watch = DetectionBuffer::new(self.detect);
         let mut wire_slot = 0usize;
         for chunk in survivors.chunks(wave) {
             let slots: Vec<WaveSlot> = chunk
@@ -591,9 +774,9 @@ impl RoundScheduler {
                 .sum();
             for ((id, fault), reply) in chunk.iter().copied().zip(replies) {
                 match reply {
-                    Some(reply) => {
-                        self.screen_and_fold(round, id, fault, reply, &mut gate, sink, &mut out)
-                    }
+                    Some(reply) => self.screen_and_fold(
+                        round, id, fault, reply, &mut gate, sink, &mut watch, &mut out,
+                    ),
                     // The transport exhausted its delivery attempts: at the
                     // orchestration layer this is indistinguishable from a
                     // client dropout.
@@ -602,10 +785,12 @@ impl RoundScheduler {
             }
             out.peak_state_bytes = out
                 .peak_state_bytes
-                .max(sink.state_bytes() + gate.held_bytes() + wave_bytes);
+                .max(sink.state_bytes() + gate.held_bytes() + watch.bytes() + wave_bytes);
         }
 
-        Ok(self.seal_round(round, out, gate, sink, recorder, "transport"))
+        let sealed = self.seal_round(round, out, gate, sink, recorder, "transport");
+        watch.observe(self, round, recorder);
+        Ok(sealed)
     }
 
     fn empty_round(&self, cohort: usize) -> StreamedRound {
@@ -643,8 +828,9 @@ impl RoundScheduler {
         survivors
     }
 
-    /// Applies per-reply chaos corruption, validation, and norm clipping,
-    /// then hands the survivor to the quorum gate.
+    /// Applies adversarial tampering (the client is compromised, so the
+    /// attack lands first), then per-reply chaos corruption, validation,
+    /// and norm clipping, and hands the survivor to the quorum gate.
     #[allow(clippy::too_many_arguments)] // internal plumbing shared by two paths
     fn screen_and_fold(
         &self,
@@ -654,6 +840,7 @@ impl RoundScheduler {
         reply: StreamUpdate,
         gate: &mut FoldGate,
         sink: &mut dyn UpdateSink,
+        watch: &mut DetectionBuffer,
         out: &mut StreamedRound,
     ) {
         let StreamUpdate {
@@ -662,6 +849,11 @@ impl RoundScheduler {
             loss,
             divergence,
         } = reply;
+        if let Some(atk) = &self.attacker {
+            if let Some(kind) = atk.decide(round, id) {
+                atk.apply(round, id, kind, &mut update);
+            }
+        }
         if let (Some(ClientFault::Corrupt(kind)), Some(inj)) = (fault, self.injector.as_ref()) {
             inj.corrupt(round, id, 0, kind, &mut update);
         }
@@ -672,6 +864,7 @@ impl RoundScheduler {
         if let Some(max_norm) = self.policy.clip_norm {
             crate::aggregate::clip_norm(&mut update, max_norm);
         }
+        watch.push(id, &update);
         gate.accept(sink, update, weight, loss, divergence);
     }
 
@@ -976,6 +1169,208 @@ mod tests {
             rec.events().last(),
             Some(Event::RoundResilience { skipped: true, .. })
         ));
+    }
+
+    #[test]
+    fn inactive_attack_plan_is_bit_identical_to_an_unarmed_scheduler() {
+        let run = |armed: bool| {
+            let mut scheduler = toy_scheduler(16, 1);
+            if armed {
+                scheduler = scheduler
+                    .with_attack(AttackPlan::default(), 123)
+                    .with_detection(false);
+            }
+            let selected = scheduler.select(0, None);
+            let mut sink = StreamingWeightedSink::new();
+            let out = scheduler.run_round_streaming(
+                0,
+                &selected,
+                4,
+                &mut sink,
+                // analyze:allow(lossy-cast) -- toy ids in tests.
+                |id| (vec![id as f32; 3], 1.0),
+                &NullRecorder,
+            );
+            (selected, out.aggregated)
+        };
+        let (sel_a, agg_a) = run(false);
+        let (sel_b, agg_b) = run(true);
+        assert_eq!(sel_a, sel_b, "selection untouched by an inactive plan");
+        let bits = |v: &Option<Vec<f32>>| {
+            v.as_ref()
+                .map(|u| u.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        };
+        assert_eq!(bits(&agg_a), bits(&agg_b), "aggregate bit-identical");
+    }
+
+    #[test]
+    fn attacked_rounds_replay_identically_and_move_the_aggregate() {
+        let plan = AttackPlan {
+            flip_prob: 0.2,
+            scale_prob: 0.1,
+            seed: 9,
+            ..AttackPlan::default()
+        };
+        let run = |plan: Option<AttackPlan>| {
+            let mut scheduler = toy_scheduler(32, 1);
+            if let Some(plan) = plan {
+                scheduler = scheduler.with_attack(plan, 77);
+            }
+            let selected = scheduler.select(0, None);
+            let rec = MemoryRecorder::new();
+            let mut sink = StreamingWeightedSink::new();
+            let out = scheduler.run_round_streaming(
+                0,
+                &selected,
+                8,
+                &mut sink,
+                // analyze:allow(lossy-cast) -- toy ids in tests.
+                |id| (vec![id as f32 + 1.0; 3], 1.0),
+                &rec,
+            );
+            let attacks = rec
+                .events()
+                .iter()
+                .filter(|e| matches!(e, Event::Attack { .. }))
+                .count();
+            (out.aggregated, attacks)
+        };
+        let (a, attacks_a) = run(Some(plan.clone()));
+        let (b, attacks_b) = run(Some(plan));
+        assert_eq!(a, b, "same attack seed replays bit-identically");
+        assert_eq!(attacks_a, attacks_b);
+        assert!(attacks_a > 0, "0.3 total rate over 32 clients should fire");
+        let (clean, no_attacks) = run(None);
+        assert_eq!(no_attacks, 0);
+        assert_ne!(a, clean, "an active attack must move the aggregate");
+    }
+
+    #[test]
+    fn attacked_transport_round_matches_streaming_bitwise() {
+        use crate::transport::{InProcessTransport, StreamUpdate};
+        let plan = AttackPlan {
+            flip_prob: 0.15,
+            scale_prob: 0.1,
+            noise_prob: 0.1,
+            seed: 3,
+            ..AttackPlan::default()
+        };
+        let make = || {
+            toy_scheduler(16, 1)
+                .with_chaos(
+                    FaultPlan {
+                        drop_prob: 0.2,
+                        corrupt_prob: 0.2,
+                        ..FaultPlan::default()
+                    },
+                    5,
+                )
+                .with_attack(plan.clone(), 5)
+        };
+        let scheduler = make();
+        let selected = scheduler.select(0, None);
+        let global = vec![0.5f32, -1.25, 2.0];
+        let work = |_round: usize, id: usize, g: &[f32]| StreamUpdate {
+            // analyze:allow(lossy-cast) -- toy ids in tests.
+            update: g.iter().map(|v| v * (id as f32 + 1.0)).collect(),
+            weight: 1.0 + (id % 3) as f32,
+            loss: 0.25,
+            divergence: 0.5,
+        };
+
+        let mut sink_a = StreamingWeightedSink::new();
+        let a = scheduler.run_round_streaming_with(
+            0,
+            &selected,
+            4,
+            &mut sink_a,
+            |id| work(0, id, &global),
+            &NullRecorder,
+        );
+        let other = make();
+        let mut transport = InProcessTransport::new(work);
+        let mut sink_b = StreamingWeightedSink::new();
+        let b = other
+            .run_round_transport(
+                0,
+                &selected,
+                4,
+                &global,
+                &mut sink_b,
+                &mut transport,
+                &NullRecorder,
+            )
+            .unwrap();
+        let bits = |v: &Option<Vec<f32>>| {
+            v.as_ref()
+                .map(|u| u.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        };
+        assert_eq!(
+            bits(&a.aggregated),
+            bits(&b.aggregated),
+            "attacks must fold identically on both execution paths"
+        );
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn detection_quarantines_a_persistent_adversary() {
+        // Population == cohort so the adversary is observed every round and
+        // its strikes accumulate to quarantine.
+        let scheduler = RoundScheduler::sampled(Sampler::new(SamplerKind::Uniform, 9), 8, 8, 16)
+            .with_detection(true);
+        let rec = MemoryRecorder::new();
+        // Track the lowest selected id each round and make it an extreme
+        // outlier; its suspicion accumulates strikes until quarantine.
+        let mut quarantined_round = None;
+        let mut villain = None;
+        for round in 0..scheduler.rounds() {
+            let selected = scheduler.select(round, None);
+            assert!(!selected.is_empty());
+            let bad = villain.unwrap_or(selected[0]);
+            if villain.is_none() {
+                villain = Some(bad);
+            }
+            if scheduler.reputation().is_quarantined(bad) {
+                quarantined_round = Some(round);
+                assert!(
+                    !selected.contains(&bad),
+                    "quarantined client must not be drawn"
+                );
+                break;
+            }
+            let mut sink = StreamingWeightedSink::new();
+            let _ = scheduler.run_round_streaming(
+                round,
+                &selected,
+                4,
+                &mut sink,
+                |id| {
+                    if id == bad {
+                        (vec![1.0e6; 4], 1.0)
+                    } else {
+                        (vec![1.0, 2.0, 3.0, 4.0], 1.0)
+                    }
+                },
+                &rec,
+            );
+        }
+        assert!(
+            quarantined_round.is_some(),
+            "a persistent extreme outlier must be quarantined"
+        );
+        assert!(
+            rec.events()
+                .iter()
+                .any(|e| matches!(e, Event::Quarantine { .. })),
+            "quarantine must be reported to telemetry"
+        );
+        // The book survives a checkpoint round-trip into a fresh scheduler.
+        let book = scheduler.reputation();
+        let resumed = RoundScheduler::sampled(Sampler::new(SamplerKind::Uniform, 9), 8, 8, 16)
+            .with_detection(true)
+            .with_reputation(book.clone());
+        assert_eq!(resumed.reputation(), book);
     }
 
     #[test]

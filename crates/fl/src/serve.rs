@@ -20,7 +20,7 @@ use std::path::PathBuf;
 
 use calibre_telemetry::{metrics, Recorder};
 
-use crate::aggregate::StreamingWeightedSink;
+use crate::adversary::{AttackPlan, ReputationBook};
 use crate::chaos::{FaultPlan, WireFaultPlan, WireInjector};
 use crate::checkpoint::{CheckpointStore, ServerCheckpoint};
 use crate::proto::model_checksum;
@@ -56,6 +56,13 @@ pub struct ServeConfig {
     /// Client-level chaos (dropout, corruption), applied by the scheduler
     /// identically on every transport.
     pub chaos: FaultPlan,
+    /// Byzantine-client simulation, applied by the scheduler identically
+    /// on every transport. Inactive by default.
+    pub attack: AttackPlan,
+    /// Server-side anomaly detection and quarantine. Off by default; when
+    /// on, quarantined clients stop being sampled and the reputation book
+    /// persists through the server checkpoint.
+    pub detect: bool,
     /// Wire-level chaos (frame drops, delays, truncations, partitions,
     /// reconnect churn), applied only by the socket transport.
     pub wire: WireFaultPlan,
@@ -81,6 +88,8 @@ impl ServeConfig {
                 ..RoundPolicy::default()
             },
             chaos: FaultPlan::default(),
+            attack: AttackPlan::default(),
+            detect: false,
             wire: WireFaultPlan::default(),
             net: NetPolicy::default(),
             checkpoint: None,
@@ -149,15 +158,18 @@ pub fn sim_update(seed: u64, round: usize, client: usize, global: &[f32]) -> Str
     }
 }
 
-fn restore_or_init(cfg: &ServeConfig, store: Option<&CheckpointStore>) -> (usize, Vec<f32>) {
+fn restore_or_init(
+    cfg: &ServeConfig,
+    store: Option<&CheckpointStore>,
+) -> (usize, Vec<f32>, ReputationBook) {
     if let Some(store) = store {
         if let Ok(ckpt) = store.load_with(ServerCheckpoint::parse) {
             if ckpt.model.len() == cfg.dim && ckpt.round <= cfg.rounds {
-                return (ckpt.round, ckpt.model);
+                return (ckpt.round, ckpt.model, ckpt.reputation);
             }
         }
     }
-    (0, sim_init(cfg.seed, cfg.dim))
+    (0, sim_init(cfg.seed, cfg.dim), ReputationBook::new())
 }
 
 /// Runs the full round loop over any transport. This is the single body
@@ -174,6 +186,9 @@ pub fn run_rounds(
     transport: &mut dyn Transport,
     recorder: &dyn Recorder,
 ) -> Result<ServeOutcome, TransportError> {
+    let store = cfg.checkpoint.as_ref().map(CheckpointStore::new);
+    let (start_round, mut model, reputation) = restore_or_init(cfg, store.as_ref());
+
     let scheduler = RoundScheduler::sampled(
         Sampler::new(SamplerKind::Uniform, cfg.seed),
         cfg.population,
@@ -181,10 +196,10 @@ pub fn run_rounds(
         cfg.rounds,
     )
     .with_policy(cfg.policy)
-    .with_chaos(cfg.chaos.clone(), cfg.seed);
-
-    let store = cfg.checkpoint.as_ref().map(CheckpointStore::new);
-    let (start_round, mut model) = restore_or_init(cfg, store.as_ref());
+    .with_chaos(cfg.chaos.clone(), cfg.seed)
+    .with_attack(cfg.attack.clone(), cfg.seed)
+    .with_detection(cfg.detect)
+    .with_reputation(reputation);
 
     let mut out = ServeOutcome {
         rounds_run: start_round,
@@ -197,9 +212,22 @@ pub fn run_rounds(
     for round in start_round..cfg.rounds {
         let selected = scheduler.select(round, None);
         recorder.round_start(round, &selected);
-        let mut sink = StreamingWeightedSink::new();
+        // The policy's aggregator picks the sink: plain weighted averaging
+        // streams in O(model); robust defenses buffer (memory-bounded) and
+        // aggregate at finish. The reservoir seed mixes the round index so
+        // any capacity-forced sampling still replays identically.
+        let mut sink = cfg.policy.aggregator.sink(
+            selected.len().max(1),
+            cfg.seed ^ (round as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
         let streamed = scheduler.run_round_transport(
-            round, &selected, cfg.wave, &model, &mut sink, transport, recorder,
+            round,
+            &selected,
+            cfg.wave,
+            &model,
+            sink.as_mut(),
+            transport,
+            recorder,
         )?;
         out.accepted_total += streamed.accepted;
         out.dropped_total += streamed.dropped;
@@ -221,6 +249,7 @@ pub fn run_rounds(
             let ckpt = ServerCheckpoint {
                 round: round + 1,
                 model: model.clone(),
+                reputation: scheduler.reputation(),
             };
             store
                 .save_text(&ckpt.to_text())

@@ -1,9 +1,9 @@
 //! Property-based tests for aggregation, metrics and checkpoint invariants.
 
 use calibre_fl::aggregate::{
-    aggregate_robust, clip_norm, coordinate_median, divergence_weights, sample_count_weights,
-    trimmed_mean, uniform_average, weighted_average, weighted_average_refs, Aggregator,
-    StreamingWeightedSink, UpdateSink,
+    aggregate_robust, clip_norm, coordinate_median, divergence_weights, geometric_median, krum,
+    sample_count_weights, trimmed_mean, uniform_average, weighted_average, weighted_average_refs,
+    AggregateError, Aggregator, StreamingWeightedSink, UpdateSink,
 };
 use calibre_fl::chaos::{FaultInjector, FaultPlan};
 use calibre_fl::checkpoint;
@@ -178,15 +178,31 @@ proptest! {
         ratio in 0.0f32..0.45,
     ) {
         // With every client reporting the same update, trimming and the
-        // weighted median cannot move the aggregate.
+        // weighted median cannot move the aggregate. Cohorts too small to
+        // survive the trim must take the typed skipped-round path instead
+        // of silently averaging nothing.
         let owned = vec![update.clone(); copies];
         let refs: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
         let weights = vec![1.0f32; copies];
         let med = coordinate_median(&refs, &weights).unwrap();
-        let trm = trimmed_mean(&refs, &weights, ratio).unwrap();
-        for ((m, t), v) in med.iter().zip(trm.iter()).zip(update.iter()) {
+        // analyze:allow(lossy-cast) -- mirrors the production trim count.
+        let trim = (ratio * copies as f32).ceil() as usize;
+        match trimmed_mean(&refs, &weights, ratio) {
+            Ok(trm) => {
+                prop_assert!(trim == 0 || copies > 2 * trim, "undersized cohort was averaged");
+                for (t, v) in trm.iter().zip(update.iter()) {
+                    prop_assert!((t - v).abs() < 1e-5, "trimmed mean moved: {t} vs {v}");
+                }
+            }
+            Err(AggregateError::CohortTooSmall { needed, got }) => {
+                prop_assert!(trim > 0 && copies <= 2 * trim, "sufficient cohort rejected");
+                prop_assert_eq!(needed, 2 * trim + 1);
+                prop_assert_eq!(got, copies);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+        }
+        for (m, v) in med.iter().zip(update.iter()) {
             prop_assert!((m - v).abs() < 1e-5, "median moved: {m} vs {v}");
-            prop_assert!((t - v).abs() < 1e-5, "trimmed mean moved: {t} vs {v}");
         }
     }
 
@@ -299,6 +315,92 @@ proptest! {
                         let bits_b: Vec<u32> = ub.iter().map(|v| v.to_bits()).collect();
                         prop_assert_eq!(bits_a, bits_b, "corruption replay diverged");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn krum_is_permutation_invariant_and_picks_an_input(
+        honest in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 4), 4..7),
+        perm_seed in 0u64..1_000,
+    ) {
+        // Krum selects an input verbatim, and relabeling the cohort cannot
+        // change which update (by value) wins.
+        let refs: Vec<&[f32]> = honest.iter().map(Vec::as_slice).collect();
+        let weights = vec![1.0f32; refs.len()];
+        let out = krum(&refs, &weights, 1).unwrap();
+        prop_assert!(refs.contains(&out.as_slice()), "krum invented an update");
+
+        let mut order: Vec<usize> = (0..refs.len()).collect();
+        // Deterministic Fisher–Yates from the case seed.
+        let mut s = perm_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            // analyze:allow(lossy-cast) -- test permutation index.
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let permuted: Vec<&[f32]> = order.iter().map(|&i| refs[i]).collect();
+        let out_p = krum(&permuted, &weights, 1).unwrap();
+        prop_assert_eq!(out, out_p, "permutation changed the krum winner");
+    }
+
+    #[test]
+    fn geometric_median_is_permutation_invariant_and_in_hull(
+        updates in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 4), 2..6),
+    ) {
+        let refs: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
+        let weights = vec![1.0f32; refs.len()];
+        let out = geometric_median(&refs, &weights).unwrap();
+        for (j, v) in out.iter().enumerate() {
+            let lo = updates.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
+            let hi = updates.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(*v >= lo - 1e-3 && *v <= hi + 1e-3, "coord {j}: {v} outside [{lo}, {hi}]");
+        }
+        let reversed: Vec<&[f32]> = refs.iter().rev().copied().collect();
+        let out_r = geometric_median(&reversed, &weights).unwrap();
+        for (a, b) in out.iter().zip(out_r.iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "permutation moved the median: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn attack_injector_replays_identically(
+        plan_seed in 0u64..10_000,
+        run_seed in 0u64..10_000,
+        flip in 0.0f32..0.5,
+        scale in 0.0f32..0.5,
+        noise in 0.0f32..0.5,
+        collude in 0.0f32..0.5,
+    ) {
+        use calibre_fl::{AttackInjector, AttackPlan};
+        // Attack decisions and payloads are pure functions of
+        // (plan, run seed, round, client): two injectors from the same
+        // inputs replay bit-identically, which is what makes the
+        // in-process and socket paths agree.
+        let plan = AttackPlan {
+            flip_prob: flip,
+            scale_prob: scale,
+            noise_prob: noise,
+            collude_prob: collude,
+            seed: plan_seed,
+            ..AttackPlan::default()
+        };
+        let a = AttackInjector::for_run(plan.clone(), run_seed);
+        let b = AttackInjector::for_run(plan, run_seed);
+        for round in 0..4 {
+            for client in 0..4 {
+                let ka = a.decide(round, client);
+                prop_assert_eq!(ka, b.decide(round, client));
+                if let Some(kind) = ka {
+                    let mut ua: Vec<f32> = (0..16).map(|i| (i as f32) * 0.25 - 2.0).collect();
+                    let mut ub = ua.clone();
+                    a.apply(round, client, kind, &mut ua);
+                    b.apply(round, client, kind, &mut ub);
+                    let bits_a: Vec<u32> = ua.iter().map(|v| v.to_bits()).collect();
+                    let bits_b: Vec<u32> = ub.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(bits_a, bits_b, "attack replay diverged");
+                    prop_assert!(ua.iter().all(|v| v.is_finite()), "attack produced non-finite values");
                 }
             }
         }

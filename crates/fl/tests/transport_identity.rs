@@ -5,6 +5,7 @@
 
 use std::thread;
 
+use calibre_fl::adversary::AttackPlan;
 use calibre_fl::chaos::WireFaultPlan;
 use calibre_fl::serve::{run_in_process, run_server, sim_client_work, ServeConfig, ServeOutcome};
 use calibre_fl::transport::{run_client, ClientAddr, ClientOptions, Listener};
@@ -88,6 +89,55 @@ fn loopback_socket_under_wire_chaos_still_matches_in_process() {
     for checksum in client_checksums {
         assert_eq!(checksum, golden.checksum);
     }
+}
+
+/// The Byzantine layer composes with wire chaos: a seeded attack plan is
+/// applied server-side by the scheduler, so the attacked socket run must
+/// land bit-identically on the attacked in-process run — while both differ
+/// from the clean golden model.
+#[test]
+fn loopback_socket_under_attack_and_wire_chaos_matches_attacked_in_process() {
+    let mut cfg = ServeConfig::smoke();
+    cfg.attack =
+        AttackPlan::parse("flip=0.2,scale=8:0.15,noise=0.15,seed=11").expect("attack spec");
+    cfg.detect = true;
+    cfg.wire = WireFaultPlan::parse(
+        "net-drop=0.25,net-delay=0.2,net-delay-ms=5,net-truncate=0.1,net-churn=0.2",
+    )
+    .expect("wire spec");
+
+    let mut twin = cfg.clone();
+    twin.wire = WireFaultPlan::default();
+    let attacked = run_in_process(&twin, &NullRecorder).expect("attacked in-process run");
+    let clean = run_in_process(&ServeConfig::smoke(), &NullRecorder).expect("clean run");
+    assert_ne!(
+        attacked.model, clean.model,
+        "these attack rates over 3 rounds x cohort 3 must hit someone"
+    );
+
+    let (socket, client_checksums) = serve_over_loopback(&cfg);
+    assert_eq!(
+        socket.model, attacked.model,
+        "seeded attacks must replay bit-identically across transports"
+    );
+    assert_eq!(socket.checksum, attacked.checksum);
+    for checksum in client_checksums {
+        assert_eq!(checksum, attacked.checksum);
+    }
+}
+
+/// An inactive attack plan plus an empty reputation book must leave the
+/// serve path byte-identical to a build that never heard of adversaries —
+/// the no-`--attack` golden contract.
+#[test]
+fn inactive_attack_plan_keeps_the_golden_checksum() {
+    let mut cfg = ServeConfig::smoke();
+    cfg.attack = AttackPlan::default();
+    cfg.detect = false;
+    let armed = run_in_process(&cfg, &NullRecorder).expect("armed-but-inactive run");
+    let golden = run_in_process(&ServeConfig::smoke(), &NullRecorder).expect("golden run");
+    assert_eq!(armed.model, golden.model);
+    assert_eq!(armed.checksum, golden.checksum);
 }
 
 #[cfg(unix)]

@@ -103,6 +103,32 @@ pub enum Event {
         /// executor/validator observed it.
         detected: bool,
     },
+    /// A Byzantine attack was injected into one client's update by the
+    /// adversary layer (`calibre_fl::adversary`).
+    ///
+    /// Emitted once per attacked `(round, client)` cell, by the server-side
+    /// path that applied the perturbation — never by the defense, which
+    /// only sees anonymous updates. Replaying the same seeds reproduces
+    /// the exact same attack events.
+    Attack {
+        /// Zero-based round index.
+        round: usize,
+        /// Client id the attack was applied to.
+        client: usize,
+        /// Attack kind tag: `"attack_flip"`, `"attack_scale"`,
+        /// `"attack_replace"`, `"attack_noise"`, `"attack_collude"`.
+        kind: &'static str,
+    },
+    /// A client crossed the quarantine threshold of the server's
+    /// reputation book and will no longer be sampled.
+    Quarantine {
+        /// Zero-based round index of the offending observation.
+        round: usize,
+        /// Client id being quarantined.
+        client: usize,
+        /// EWMA suspicion score at the moment of quarantine.
+        suspicion: f32,
+    },
     /// One point of a massive-cohort scaling sweep, emitted by the
     /// `cohort` bench: how fast streaming rounds ran at a given simulated
     /// cohort size and how much accumulator state aggregation held at peak.
@@ -300,6 +326,32 @@ impl Event {
                      \"retries\":{retries},\"quorum\":{quorum},\"skipped\":{skipped}}}"
                 );
             }
+            Event::Attack {
+                round,
+                client,
+                kind,
+            } => {
+                // `kind` comes from a fixed set of static tags, so it needs
+                // no JSON escaping.
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"attack\",\"round\":{round},\"client\":{client},\
+                     \"kind\":\"{kind}\"}}"
+                );
+            }
+            Event::Quarantine {
+                round,
+                client,
+                suspicion,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"quarantine\",\"round\":{round},\"client\":{client},\
+                     \"suspicion\":"
+                );
+                json_num(f64::from(*suspicion), &mut s);
+                s.push('}');
+            }
             Event::CohortPoint {
                 cohort,
                 dim,
@@ -397,6 +449,21 @@ impl Event {
                 quorum: field_usize(value, "quorum")?,
                 skipped: field_bool(value, "skipped")?,
             }),
+            "attack" => Ok(Event::Attack {
+                round: field_usize(value, "round")?,
+                client: field_usize(value, "client")?,
+                kind: intern_attack_kind(
+                    value
+                        .get("kind")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| "attack event has no \"kind\" string".to_string())?,
+                ),
+            }),
+            "quarantine" => Ok(Event::Quarantine {
+                round: field_usize(value, "round")?,
+                client: field_usize(value, "client")?,
+                suspicion: field_f32(value, "suspicion")?,
+            }),
             "cohort_point" => Ok(Event::CohortPoint {
                 cohort: field_usize(value, "cohort")?,
                 dim: field_usize(value, "dim")?,
@@ -421,7 +488,9 @@ impl Event {
             | Event::Aggregate { round, .. }
             | Event::RoundEnd { round, .. }
             | Event::Fault { round, .. }
-            | Event::RoundResilience { round, .. } => Some(*round),
+            | Event::RoundResilience { round, .. }
+            | Event::Attack { round, .. }
+            | Event::Quarantine { round, .. } => Some(*round),
             Event::Personalize { .. } | Event::CohortPoint { .. } => None,
         }
     }
@@ -440,6 +509,19 @@ fn intern_fault_kind(kind: &str) -> &'static str {
         "corrupt_norm" => "corrupt_norm",
         "corrupt_sign" => "corrupt_sign",
         "invalid" => "invalid",
+        _ => "other",
+    }
+}
+
+/// Maps a decoded attack-kind string back to the static tag the adversary
+/// layer uses. Unknown kinds (from a newer writer) fold to `"other"`.
+fn intern_attack_kind(kind: &str) -> &'static str {
+    match kind {
+        "attack_flip" => "attack_flip",
+        "attack_scale" => "attack_scale",
+        "attack_replace" => "attack_replace",
+        "attack_noise" => "attack_noise",
+        "attack_collude" => "attack_collude",
         _ => "other",
     }
 }
@@ -707,6 +789,16 @@ mod tests {
                 peak_state_bytes: 4096,
                 peak_rss_bytes: 1 << 20,
             },
+            Event::Attack {
+                round: 4,
+                client: 2,
+                kind: "attack_collude",
+            },
+            Event::Quarantine {
+                round: 5,
+                client: 2,
+                suspicion: 3.25,
+            },
         ];
         for event in events {
             let decoded = Event::from_json(&event.to_json()).expect("roundtrip decode");
@@ -725,6 +817,25 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn attack_event_encodes_kind_and_unknown_kinds_fold() {
+        let e = Event::Attack {
+            round: 1,
+            client: 3,
+            kind: "attack_flip",
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"attack\",\"round\":1,\"client\":3,\"kind\":\"attack_flip\"}"
+        );
+        assert_eq!(e.round(), Some(1));
+        let decoded = Event::from_json(
+            "{\"type\":\"attack\",\"round\":0,\"client\":1,\"kind\":\"attack_from_the_future\"}",
+        )
+        .expect("unknown attack kinds still decode");
+        assert!(matches!(decoded, Event::Attack { kind: "other", .. }));
     }
 
     #[test]

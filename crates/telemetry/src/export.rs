@@ -338,6 +338,53 @@ pub fn exposition(hub: &Arc<MetricsHub>) -> String {
     );
     push_gauge(
         &mut out,
+        "calibre_attack_injected",
+        "byzantine attacks injected by the adversary layer",
+        snap.attacks.attacks_injected as f64,
+    );
+    for (name, help, value) in [
+        (
+            "calibre_attack_flips",
+            "sign-flip attacks injected",
+            snap.attacks.flips,
+        ),
+        (
+            "calibre_attack_scales",
+            "scaling attacks injected",
+            snap.attacks.scales,
+        ),
+        (
+            "calibre_attack_replaces",
+            "model-replacement attacks injected",
+            snap.attacks.replaces,
+        ),
+        (
+            "calibre_attack_noises",
+            "inlier-fitted noise attacks injected",
+            snap.attacks.noises,
+        ),
+        (
+            "calibre_attack_colludes",
+            "colluding-group attacks injected",
+            snap.attacks.colludes,
+        ),
+    ] {
+        push_gauge(&mut out, name, help, value as f64);
+    }
+    push_gauge(
+        &mut out,
+        "calibre_reputation_quarantined",
+        "clients quarantined by the reputation book",
+        snap.attacks.quarantined as f64,
+    );
+    push_gauge(
+        &mut out,
+        "calibre_reputation_max_suspicion",
+        "largest suspicion score seen at quarantine time",
+        f64::from(snap.attacks.max_suspicion),
+    );
+    push_gauge(
+        &mut out,
         "calibre_cohort_points",
         "cohort sweep points recorded",
         snap.cohorts.len() as f64,

@@ -91,6 +91,7 @@ struct HubState {
     rounds: Vec<RoundSummary>,
     accuracies: Vec<f32>,
     resilience: ResilienceSummary,
+    attacks: AttackSummary,
     cohort_points: Vec<CohortSummary>,
 }
 
@@ -132,6 +133,31 @@ pub struct ResilienceSummary {
     pub rounds_skipped: usize,
     /// Smallest quorum that was actually aggregated, if any round reported.
     pub min_quorum_seen: Option<usize>,
+}
+
+/// Run-level totals of the adversary event stream.
+///
+/// All zeros for a run with no attack plan — the adversary layer only
+/// emits [`Event::Attack`] / [`Event::Quarantine`] when a seeded attack
+/// actually fired, so a nominal run's summary stays `Default`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttackSummary {
+    /// Attacks injected across all rounds (all kinds).
+    pub attacks_injected: usize,
+    /// Sign-flip attacks (`"attack_flip"`).
+    pub flips: usize,
+    /// Scaling attacks (`"attack_scale"`).
+    pub scales: usize,
+    /// Model-replacement attacks (`"attack_replace"`).
+    pub replaces: usize,
+    /// Inlier-fitted noise attacks (`"attack_noise"`).
+    pub noises: usize,
+    /// Colluding-group attacks (`"attack_collude"`).
+    pub colludes: usize,
+    /// Clients quarantined by the reputation book.
+    pub quarantined: usize,
+    /// Largest suspicion score seen at quarantine time (0 when none).
+    pub max_suspicion: f32,
 }
 
 /// A thread-safe reducer over the telemetry stream.
@@ -202,6 +228,11 @@ impl MetricsHub {
         self.state.lock().resilience
     }
 
+    /// Run-level adversary totals (all zeros for an unattacked run).
+    pub fn attack_summary(&self) -> AttackSummary {
+        self.state.lock().attacks
+    }
+
     /// The massive-cohort sweep points recorded so far, in arrival order
     /// (empty for training runs — only the `cohort` bench emits them).
     pub fn cohort_summaries(&self) -> Vec<CohortSummary> {
@@ -228,6 +259,7 @@ impl MetricsHub {
             rounds: self.round_summaries(),
             fairness: self.fairness_summary(),
             resilience: self.resilience_summary(),
+            attacks: self.attack_summary(),
             cohorts: self.cohort_summaries(),
             planned_bytes,
             observed_bytes,
@@ -324,6 +356,23 @@ impl Recorder for MetricsHub {
                     state.resilience.min_quorum_seen = Some(best);
                 }
             }
+            Event::Attack { kind, .. } => {
+                state.attacks.attacks_injected += 1;
+                match kind {
+                    "attack_flip" => state.attacks.flips += 1,
+                    "attack_scale" => state.attacks.scales += 1,
+                    "attack_replace" => state.attacks.replaces += 1,
+                    "attack_noise" => state.attacks.noises += 1,
+                    "attack_collude" => state.attacks.colludes += 1,
+                    _ => {}
+                }
+            }
+            Event::Quarantine { suspicion, .. } => {
+                state.attacks.quarantined += 1;
+                if suspicion > state.attacks.max_suspicion {
+                    state.attacks.max_suspicion = suspicion;
+                }
+            }
             Event::CohortPoint {
                 cohort,
                 dim,
@@ -372,6 +421,25 @@ mod tests {
         assert_eq!(s.retries, 1);
         assert_eq!(s.rounds_skipped, 1);
         assert_eq!(s.min_quorum_seen, Some(2));
+    }
+
+    #[test]
+    fn folds_attack_counters() {
+        let hub = MetricsHub::new();
+        assert_eq!(hub.attack_summary(), AttackSummary::default());
+        hub.attack(0, 1, "attack_flip");
+        hub.attack(0, 2, "attack_scale");
+        hub.attack(1, 1, "attack_flip");
+        hub.attack(1, 3, "attack_collude");
+        hub.quarantine(2, 1, 3.5);
+        hub.quarantine(3, 3, 2.25);
+        let s = hub.attack_summary();
+        assert_eq!(s.attacks_injected, 4);
+        assert_eq!(s.flips, 2);
+        assert_eq!(s.scales, 1);
+        assert_eq!(s.colludes, 1);
+        assert_eq!(s.quarantined, 2);
+        assert!((s.max_suspicion - 3.5).abs() < 1e-6);
     }
 
     #[test]

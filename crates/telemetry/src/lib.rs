@@ -71,7 +71,9 @@ pub mod trace;
 
 pub use event::{ClientLosses, Event};
 pub use export::MetricsServer;
-pub use hub::{CohortSummary, FairnessSummary, MetricsHub, ResilienceSummary, RoundSummary};
+pub use hub::{
+    AttackSummary, CohortSummary, FairnessSummary, MetricsHub, ResilienceSummary, RoundSummary,
+};
 pub use json::JsonValue;
 pub use jsonl::JsonlSink;
 pub use profile::{ProfileCollector, ProfileReport, SpanStats};

@@ -134,6 +134,26 @@ pub trait Recorder: Send + Sync {
         });
     }
 
+    /// A Byzantine attack was injected into one client's update. See
+    /// [`Event::Attack`] for the `kind` vocabulary.
+    fn attack(&self, round: usize, client: usize, kind: &'static str) {
+        self.record(Event::Attack {
+            round,
+            client,
+            kind,
+        });
+    }
+
+    /// A client crossed the quarantine threshold of the server's
+    /// reputation book (see [`Event::Quarantine`]).
+    fn quarantine(&self, round: usize, client: usize, suspicion: f32) {
+        self.record(Event::Quarantine {
+            round,
+            client,
+            suspicion,
+        });
+    }
+
     /// One point of a massive-cohort scaling sweep completed (see
     /// [`Event::CohortPoint`]).
     #[allow(clippy::too_many_arguments)] // mirrors the event's fields

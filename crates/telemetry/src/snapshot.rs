@@ -5,7 +5,7 @@
 //! struct, so the three surfaces can never drift apart: what you read in
 //! the terminal is exactly what a scraper or the query CLI sees.
 
-use crate::hub::{CohortSummary, FairnessSummary, ResilienceSummary, RoundSummary};
+use crate::hub::{AttackSummary, CohortSummary, FairnessSummary, ResilienceSummary, RoundSummary};
 use std::fmt::Write as _;
 
 /// A consistent point-in-time copy of everything a
@@ -22,6 +22,8 @@ pub struct HubSnapshot {
     pub fairness: Option<FairnessSummary>,
     /// Run-level chaos/resilience totals.
     pub resilience: ResilienceSummary,
+    /// Run-level adversary totals (all zeros for an unattacked run).
+    pub attacks: AttackSummary,
     /// Massive-cohort sweep points (empty outside the `cohort` bench).
     pub cohorts: Vec<CohortSummary>,
     /// Total planned communication bytes across completed rounds.
@@ -90,6 +92,21 @@ impl HubSnapshot {
                     .map_or_else(|| "-".to_string(), |q| q.to_string()),
             );
         }
+        if self.attacks != AttackSummary::default() {
+            let a = &self.attacks;
+            let _ = writeln!(
+                out,
+                "attacks: {} injected (flip {}, scale {}, replace {}, noise {}, collude {}), {} quarantined, max suspicion {:.2}",
+                a.attacks_injected,
+                a.flips,
+                a.scales,
+                a.replaces,
+                a.noises,
+                a.colludes,
+                a.quarantined,
+                a.max_suspicion,
+            );
+        }
         out
     }
 
@@ -142,6 +159,16 @@ impl HubSnapshot {
             r.min_quorum_seen
                 .map_or_else(|| "null".to_string(), |q| q.to_string()),
         );
+        let a = &self.attacks;
+        let _ = write!(
+            out,
+            ",\"attacks\":{{\"attacks_injected\":{},\"flips\":{},\"scales\":{},\
+             \"replaces\":{},\"noises\":{},\"colludes\":{},\"quarantined\":{},\
+             \"max_suspicion\":",
+            a.attacks_injected, a.flips, a.scales, a.replaces, a.noises, a.colludes, a.quarantined,
+        );
+        push_num(&mut out, f64::from(a.max_suspicion));
+        out.push('}');
         out.push_str(",\"cohorts\":[");
         for (i, c) in self.cohorts.iter().enumerate() {
             if i > 0 {
@@ -208,6 +235,14 @@ mod tests {
                 rounds_skipped: 0,
                 min_quorum_seen: Some(4),
             },
+            attacks: AttackSummary {
+                attacks_injected: 3,
+                flips: 2,
+                colludes: 1,
+                quarantined: 1,
+                max_suspicion: 2.5,
+                ..AttackSummary::default()
+            },
             cohorts: vec![CohortSummary {
                 cohort: 1000,
                 dim: 256,
@@ -234,6 +269,9 @@ mod tests {
         assert!(text.contains(
             "resilience: 2 faults injected (1 detected), 1 retries, 0 rounds skipped, min quorum 4"
         ));
+        assert!(text.contains(
+            "attacks: 3 injected (flip 2, scale 0, replace 0, noise 0, collude 1), 1 quarantined"
+        ));
     }
 
     #[test]
@@ -242,6 +280,7 @@ mod tests {
         assert!(!text.contains("fairness"));
         assert!(!text.contains("cohort sweep"));
         assert!(!text.contains("resilience:"));
+        assert!(!text.contains("attacks:"));
     }
 
     #[test]
@@ -268,6 +307,20 @@ mod tests {
                 .and_then(|r| r.get("min_quorum_seen"))
                 .and_then(JsonValue::as_i64),
             Some(4)
+        );
+        assert_eq!(
+            value
+                .get("attacks")
+                .and_then(|a| a.get("attacks_injected"))
+                .and_then(JsonValue::as_i64),
+            Some(3)
+        );
+        assert_eq!(
+            value
+                .get("attacks")
+                .and_then(|a| a.get("quarantined"))
+                .and_then(JsonValue::as_i64),
+            Some(1)
         );
         assert_eq!(
             value
