@@ -1,0 +1,10 @@
+//! Fixture: an ambient-time helper outside `fl`. Never compiled — only
+//! scanned. `crates/fl/src/semantic_bad.rs` calls [`stamp_millis`], so the
+//! determinism-taint pass must blame the fl caller (this site itself is a
+//! `wallclock` violation, which the taint pass leaves to that rule).
+
+pub fn stamp_millis() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,60 @@
+//! Deliberately bad code for the cross-file passes' integration tests.
+//!
+//! Never compiled — only scanned. Each item seeds exactly one of the
+//! semantic rules, and the CLI test asserts that `calibre-analyze check`
+//! names every one of them.
+
+use std::collections::HashMap;
+
+// schema-drift: `tag_name` is a coverage fn on `Msg` but a wildcard arm
+// silently folds the `Bye` variant.
+pub enum Msg {
+    Hello,
+    Assign,
+    Bye,
+}
+
+impl Msg {
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Msg::Hello => "hello",
+            Msg::Assign => "assign",
+            _ => "?",
+        }
+    }
+}
+
+// rng-unseeded: RNG construction from ambient entropy in library code.
+pub fn init_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+// ambient-taint: reaches `stamp_millis` (crates/data/src/clockish.rs),
+// which reads `SystemTime::now` — the fl fn itself never names an
+// ambient ident, so only the taint pass can catch it.
+pub fn schedule_next() -> u64 {
+    stamp_millis()
+}
+
+// unordered-fold: accumulates over hash iteration order.
+pub fn hash_total(m: &HashMap<u32, f32>) -> f32 {
+    let mut acc = 0.0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}
+
+// hot-path-index: `first_of` is reachable from the `RoundScheduler::
+// run_round` root, so its indexing must gate instead of ratchet.
+pub struct RoundScheduler;
+
+impl RoundScheduler {
+    pub fn run_round(&self, xs: &[f32]) -> f32 {
+        first_of(xs)
+    }
+}
+
+fn first_of(xs: &[f32]) -> f32 {
+    xs[0]
+}

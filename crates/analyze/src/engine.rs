@@ -1,24 +1,32 @@
-//! Per-file analysis and workspace walking.
+//! Per-file analysis, the workspace pipeline, and exemption handling.
 //!
-//! The engine glues the lexer and the rule matchers together and resolves
-//! everything that needs context beyond a token pattern:
+//! The engine glues the lexer, the token-pattern matchers and the
+//! cross-file passes together and resolves everything that needs context
+//! beyond a single pattern:
 //!
 //! * `#[cfg(test)]` / `#[test]` regions (and the blocks they attach to)
 //!   are exempt — the rules guard *library* behaviour, and tests assert
 //!   panics on purpose;
 //! * `// analyze:allow(rule-name) -- reason` annotations suppress hits on
 //!   their own line and the line below; a malformed annotation is itself
-//!   a violation, so typos cannot silently disable a rule;
+//!   a violation, so typos cannot silently disable a rule. An
+//!   `allow(slice-index)` also covers a `hot-path-index` reclassification
+//!   of the same site, so existing annotations survive a fn turning hot;
 //! * `unsafe` candidates are cleared by a `SAFETY:` comment within the
 //!   three lines above (or on the same line);
-//! * each crate's `src/lib.rs` is scanned for its unsafe-code policy
-//!   (`forbid(unsafe_code)` > `deny(unsafe_code)` > none), which the
-//!   baseline ratchets alongside the violation counts.
+//! * the workspace scan parses every file once into a
+//!   [`WorkspaceModel`], runs the token rules per file, reclassifies
+//!   `slice-index` hits on the hot round path to `hot-path-index`
+//!   ([`crate::passes::panics`]), and merges the cross-file findings from
+//!   [`crate::passes`] — all filtered through the same exemptions.
 
-use crate::lexer::{lex, Comment, Token};
-use crate::rules::{match_tokens, rule_by_name, Candidate, FileCtx};
+use crate::lexer::Comment;
+use crate::model::{FileModel, WorkspaceModel};
+use crate::passes;
+use crate::passes::panics::{hot_context, hot_fns};
+use crate::rules::{match_tokens, rule_by_name};
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// One confirmed violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +39,10 @@ pub struct Violation {
     pub rule: &'static str,
     /// Trimmed source line, truncated for display.
     pub excerpt: String,
+    /// Cross-file context (e.g. the counterpart a schema tag is missing
+    /// from, or the hot root a panic site is reachable from). Empty for
+    /// plain token-rule hits.
+    pub note: String,
 }
 
 /// Result of scanning a workspace tree.
@@ -70,88 +82,130 @@ impl ScanResult {
     }
 }
 
-/// Scans one file's source text. `rel_path` chooses the rule scope; paths
-/// outside `crates/*/src/` yield no violations.
-pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
-    let Some(ctx) = FileCtx::from_rel_path(rel_path) else {
-        return Vec::new();
-    };
-    let lexed = lex(source);
-    let exempt = test_regions(&lexed.tokens);
-    let allows = collect_allows(&lexed.comments);
-    let mut out: Vec<Violation> = Vec::new();
+/// A rule hit awaiting exemption filtering.
+struct Pending {
+    rule: &'static str,
+    line: u32,
+    note: String,
+}
 
-    let mut candidates: Vec<Candidate> = match_tokens(&ctx, &lexed.tokens);
-    candidates.extend(allows.malformed.iter().map(|&line| Candidate {
+/// Filters pending hits through test regions, `analyze:allow`
+/// annotations and `SAFETY:` comments, and materializes survivors.
+fn confirm(fm: &FileModel, mut pending: Vec<Pending>) -> Vec<Violation> {
+    let allows = &fm.allows;
+    pending.extend(allows.malformed.iter().map(|&line| Pending {
         rule: "malformed-allow",
         line,
+        note: String::new(),
     }));
 
     let mut seen: Vec<(u32, &'static str)> = Vec::new();
-    for c in candidates {
+    let mut out: Vec<Violation> = Vec::new();
+    for p in pending {
         // unsafe-no-safety applies inside test regions too; everything else
         // is a library-behaviour rule.
-        let in_tests = exempt.iter().any(|r| r.contains(c.line));
-        if in_tests && c.rule != "unsafe-no-safety" {
+        if fm.in_tests(p.line) && p.rule != "unsafe-no-safety" {
             continue;
         }
-        if c.rule == "unsafe-no-safety" && has_safety_comment(&lexed.comments, c.line) {
+        if p.rule == "unsafe-no-safety" && has_safety_comment(&fm.lexed.comments, p.line) {
             continue;
         }
-        if c.rule != "malformed-allow" && allows.suppresses(c.rule, c.line) {
-            continue;
+        if p.rule != "malformed-allow" {
+            let aliased = p.rule == "hot-path-index" && allows.suppresses("slice-index", p.line);
+            if aliased || allows.suppresses(p.rule, p.line) {
+                continue;
+            }
         }
-        if seen.contains(&(c.line, c.rule)) {
+        if seen.contains(&(p.line, p.rule)) {
             continue; // one report per (line, rule)
         }
-        seen.push((c.line, c.rule));
+        seen.push((p.line, p.rule));
         out.push(Violation {
-            file: ctx.rel_path.clone(),
-            line: c.line,
-            rule: c.rule,
-            excerpt: excerpt_of(source, c.line),
+            file: fm.ctx.rel_path.clone(),
+            line: p.line,
+            rule: p.rule,
+            excerpt: excerpt_of(&fm.source, p.line),
+            note: p.note,
         });
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
-/// Scans every `crates/*/src/**/*.rs` under `root` plus each crate's
-/// unsafe-code policy. Deterministic: directory entries are visited in
-/// sorted order.
-pub fn scan_workspace(root: &Path) -> std::io::Result<ScanResult> {
-    let mut result = ScanResult::default();
-    let crates_dir = root.join("crates");
-    for crate_dir in sorted_entries(&crates_dir)? {
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let crate_name = file_name_of(&crate_dir);
-        let mut files: Vec<PathBuf> = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for file in files {
-            let source = std::fs::read_to_string(&file)?;
-            let rel = rel_path_from(root, &file);
-            result.violations.extend(scan_source(&rel, &source));
-            result.files_scanned += 1;
-            if rel == format!("crates/{crate_name}/src/lib.rs") {
-                result
-                    .unsafe_policy
-                    .insert(crate_name.clone(), unsafe_policy_of(&source));
+/// Scans one file's source text with the token rules. `rel_path` chooses
+/// the rule scope; paths outside `crates/*/src/` yield no violations.
+/// The cross-file passes need the whole workspace and only run in
+/// [`scan_workspace`] / [`scan_model`].
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let Some(fm) = FileModel::parse(rel_path, source) else {
+        return Vec::new();
+    };
+    let pending = match_tokens(&fm.ctx, &fm.lexed.tokens)
+        .into_iter()
+        .map(|c| Pending {
+            rule: c.rule,
+            line: c.line,
+            note: String::new(),
+        })
+        .collect();
+    confirm(&fm, pending)
+}
+
+/// Runs the full pipeline — token rules, hot-path reclassification,
+/// cross-file passes — over an already-loaded workspace model.
+pub fn scan_model(model: &WorkspaceModel) -> ScanResult {
+    let mut result = ScanResult {
+        unsafe_policy: model.unsafe_policy.clone(),
+        files_scanned: model.files.len(),
+        ..ScanResult::default()
+    };
+    let hot = hot_fns(model);
+    let findings = passes::run(model);
+    for (fi, fm) in model.files.iter().enumerate() {
+        let mut pending: Vec<Pending> = match_tokens(&fm.ctx, &fm.lexed.tokens)
+            .into_iter()
+            .map(|c| Pending {
+                rule: c.rule,
+                line: c.line,
+                note: String::new(),
+            })
+            .collect();
+        for p in &mut pending {
+            if p.rule == "slice-index" {
+                if let Some((name, root)) = hot_context(model, &hot, fi, p.line) {
+                    p.rule = "hot-path-index";
+                    p.note = format!("in `{name}`, reachable from {root}");
+                }
             }
         }
-        // A crate without a lib.rs (pure binary) still gets a policy row.
-        result
-            .unsafe_policy
-            .entry(crate_name)
-            .or_insert_with(|| "none".to_string());
+        pending.extend(
+            findings
+                .iter()
+                .filter(|f| f.file == fm.ctx.rel_path)
+                .map(|f| Pending {
+                    rule: f.rule,
+                    line: f.line,
+                    note: f.note.clone(),
+                }),
+        );
+        result.violations.extend(confirm(fm, pending));
     }
     result
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(result)
+    result
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root` plus each crate's
+/// unsafe-code policy. Deterministic: directory entries are visited in
+/// sorted order.
+///
+/// # Errors
+///
+/// Any I/O failure while walking or reading the tree.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanResult> {
+    let model = WorkspaceModel::load(root)?;
+    Ok(scan_model(&model))
 }
 
 /// Rank of an unsafe-code policy for ratchet comparisons.
@@ -163,181 +217,9 @@ pub fn policy_rank(policy: &str) -> u8 {
     }
 }
 
-/// Extracts the crate-level unsafe policy from `lib.rs` source:
-/// `#![forbid(unsafe_code)]` → `forbid`, `#![deny(unsafe_code)]` → `deny`,
-/// otherwise `none`.
-fn unsafe_policy_of(source: &str) -> String {
-    let tokens = lex(source).tokens;
-    for (i, t) in tokens.iter().enumerate() {
-        if t.is_ident("unsafe_code") {
-            let level = tokens
-                .get(i.saturating_sub(2))
-                .map(|t| t.text.as_str())
-                .unwrap_or("");
-            match level {
-                "forbid" => return "forbid".to_string(),
-                "deny" => return "deny".to_string(),
-                _ => {}
-            }
-        }
-    }
-    "none".to_string()
-}
-
-fn file_name_of(path: &Path) -> String {
-    path.file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_default()
-}
-
-fn rel_path_from(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .unwrap_or(file)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-fn sorted_entries(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    Ok(entries)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in sorted_entries(dir)? {
-        if entry.is_dir() {
-            collect_rs_files(&entry, out)?;
-        } else if entry.extension().is_some_and(|e| e == "rs") {
-            out.push(entry);
-        }
-    }
-    Ok(())
-}
-
-/// An inclusive line range.
-#[derive(Debug, Clone, Copy)]
-struct LineRange {
-    start: u32,
-    end: u32,
-}
-
-impl LineRange {
-    fn contains(&self, line: u32) -> bool {
-        line >= self.start && line <= self.end
-    }
-}
-
-/// Finds the line ranges of `#[cfg(test)]` / `#[test]` items: from the
-/// attribute to the closing brace of the block that follows. An attribute
-/// followed by `;` before any `{` (e.g. `mod tests;`) exempts nothing.
-fn test_regions(tokens: &[Token]) -> Vec<LineRange> {
-    let mut regions: Vec<LineRange> = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        let is_attr_start = tokens.get(i).is_some_and(|t| t.is_punct('#'))
-            && tokens
-                .get(i + 1)
-                .is_some_and(|t| t.is_punct('[') || t.is_punct('!'));
-        if !is_attr_start {
-            i += 1;
-            continue;
-        }
-        let attr_line = tokens.get(i).map(|t| t.line).unwrap_or(1);
-        let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
-            i + 2
-        } else {
-            i + 1
-        };
-        let Some(close) = matching_bracket(tokens, open) else {
-            break;
-        };
-        // `test` anywhere in the attribute covers `#[test]`, `#[cfg(test)]`
-        // and `#[cfg(all(test, …))]`; a `not` (as in `#[cfg(not(test))]`)
-        // means the block is production code and must stay scanned.
-        let attr_tokens = tokens.get(open..close).unwrap_or(&[]);
-        let is_test_attr = attr_tokens.iter().any(|t| t.is_ident("test"))
-            && !attr_tokens.iter().any(|t| t.is_ident("not"));
-        i = close + 1;
-        if !is_test_attr {
-            continue;
-        }
-        // Walk to the block this attribute decorates, skipping further
-        // attributes; give up at `;` (no block to exempt).
-        while let Some(t) = tokens.get(i) {
-            if t.is_punct(';') {
-                break;
-            }
-            if t.is_punct('#') {
-                let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
-                    i + 2
-                } else {
-                    i + 1
-                };
-                match matching_bracket(tokens, open) {
-                    Some(close) => {
-                        i = close + 1;
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-            if t.is_punct('{') {
-                let end = matching_brace(tokens, i);
-                let end_line = end
-                    .and_then(|j| tokens.get(j))
-                    .map(|t| t.line)
-                    .unwrap_or(u32::MAX);
-                regions.push(LineRange {
-                    start: attr_line,
-                    end: end_line,
-                });
-                i = end.map(|j| j + 1).unwrap_or(tokens.len());
-                break;
-            }
-            i += 1;
-        }
-    }
-    regions
-}
-
-fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
-    if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
-        return None;
-    }
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
 /// Parsed `analyze:allow` annotations of one file.
 #[derive(Debug, Default)]
-struct Allows {
+pub(crate) struct Allows {
     /// (rule, line the annotation may suppress on).
     entries: Vec<(String, u32)>,
     /// Lines with annotations that failed to parse.
@@ -345,7 +227,7 @@ struct Allows {
 }
 
 impl Allows {
-    fn suppresses(&self, rule: &str, line: u32) -> bool {
+    pub(crate) fn suppresses(&self, rule: &str, line: u32) -> bool {
         self.entries.iter().any(|(r, l)| r == rule && *l == line)
     }
 }
@@ -358,7 +240,7 @@ const ALLOW_MARKER: &str = "analyze:allow";
 /// mentions the grammar is not an annotation. Each annotation suppresses
 /// its own line and the line after its comment ends, so both trailing and
 /// preceding-line placement work.
-fn collect_allows(comments: &[Comment]) -> Allows {
+pub(crate) fn collect_allows(comments: &[Comment]) -> Allows {
     let mut out = Allows::default();
     for (i, c) in comments.iter().enumerate() {
         let trimmed = c.text.trim_start_matches(['/', '!', '*', ' ']);
@@ -556,17 +438,6 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_policy_extraction() {
-        assert_eq!(
-            unsafe_policy_of("#![forbid(unsafe_code)]\nfn f() {}"),
-            "forbid"
-        );
-        assert_eq!(unsafe_policy_of("#![deny(unsafe_code)]"), "deny");
-        assert_eq!(unsafe_policy_of("#![allow(unsafe_code)]"), "none");
-        assert_eq!(unsafe_policy_of("fn f() {}"), "none");
-    }
-
-    #[test]
     fn doctest_examples_do_not_fire() {
         let src = "/// ```\n/// x.unwrap();\n/// panic!(\"doc\");\n/// ```\npub fn f() {}\n";
         assert_eq!(rules_hit(src), Vec::<&str>::new());
@@ -576,5 +447,65 @@ mod tests {
     fn non_workspace_paths_scan_empty() {
         assert!(scan_source("vendor/rand/src/lib.rs", "v.unwrap();").is_empty());
         assert!(scan_source("tests/integration.rs", "v.unwrap();").is_empty());
+    }
+
+    // --- scan_model: the workspace pipeline ---
+
+    #[test]
+    fn hot_path_reclassification_carries_a_note() {
+        let model = WorkspaceModel::from_sources(
+            &[(
+                "crates/fl/src/scheduler.rs",
+                "impl RoundScheduler {\n\
+                     pub fn run_round(&mut self, xs: &[f32]) -> f32 { xs[0] }\n\
+                 }\n\
+                 pub fn cold(xs: &[f32]) -> f32 { xs[1] }\n",
+            )],
+            None,
+        );
+        let scan = scan_model(&model);
+        let rules: Vec<(&str, &str)> = scan
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.note.as_str()))
+            .collect();
+        assert_eq!(rules.len(), 2, "{rules:?}");
+        assert_eq!(rules[0].0, "hot-path-index");
+        assert!(rules[0].1.contains("run_round"), "note: {}", rules[0].1);
+        assert_eq!(rules[1], ("slice-index", ""), "cold site stays cold");
+    }
+
+    #[test]
+    fn allow_slice_index_also_covers_hot_path_index() {
+        let model = WorkspaceModel::from_sources(
+            &[(
+                "crates/fl/src/scheduler.rs",
+                "impl RoundScheduler {\n\
+                     pub fn run_round(&mut self, xs: &[f32]) -> f32 {\n\
+                         // analyze:allow(slice-index) -- non-empty by contract\n\
+                         xs[0]\n\
+                     }\n\
+                 }\n",
+            )],
+            None,
+        );
+        let scan = scan_model(&model);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+    }
+
+    #[test]
+    fn pass_findings_merge_into_the_workspace_scan() {
+        let model = WorkspaceModel::from_sources(
+            &[(
+                "crates/fl/src/x.rs",
+                "pub fn seed_rng() -> StdRng { StdRng::from_entropy() }\n",
+            )],
+            None,
+        );
+        let scan = scan_model(&model);
+        assert_eq!(
+            scan.violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec!["rng-unseeded"]
+        );
     }
 }

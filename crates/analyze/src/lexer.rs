@@ -205,21 +205,28 @@ impl Lexer<'_> {
         });
     }
 
-    /// Plain `"..."` strings with escapes.
+    /// Plain `"..."` strings with escapes. The token text is the *inner*
+    /// source text (escapes left as written): the schema-drift pass matches
+    /// wire/enum tag strings against it, so content must survive lexing.
     fn string_literal(&mut self) {
         let line = self.line;
         self.bump(); // opening quote
-        while let Some(b) = self.peek(0) {
-            match b {
-                b'\\' => self.bump_n(2),
-                b'"' => {
+        let start = self.pos;
+        let mut end;
+        loop {
+            end = self.pos.min(self.bytes.len());
+            match self.peek(0) {
+                None => break, // unterminated: runs to EOF
+                Some(b'\\') => self.bump_n(2),
+                Some(b'"') => {
                     self.bump();
                     break;
                 }
-                _ => self.bump(),
+                Some(_) => self.bump(),
             }
         }
-        self.push_token(TokKind::Literal, String::from("\"…\""), line);
+        let text = String::from_utf8_lossy(self.bytes.get(start..end).unwrap_or(&[])).into_owned();
+        self.push_token(TokKind::Literal, text, line);
     }
 
     /// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
@@ -286,8 +293,10 @@ impl Lexer<'_> {
         }
     }
 
-    /// Consumes until `"` followed by `hashes` `#`s (or EOF).
+    /// Consumes until `"` followed by `hashes` `#`s (or EOF). Like plain
+    /// strings, the token text is the inner content.
     fn raw_string_tail(&mut self, hashes: usize, line: u32) {
+        let start = self.pos;
         while let Some(b) = self.peek(0) {
             if b == b'"' {
                 let mut matched = 0;
@@ -295,14 +304,19 @@ impl Lexer<'_> {
                     matched += 1;
                 }
                 if matched == hashes {
+                    let end = self.pos;
                     self.bump_n(1 + hashes);
-                    self.push_token(TokKind::Literal, String::from("r\"…\""), line);
+                    let text = String::from_utf8_lossy(self.bytes.get(start..end).unwrap_or(&[]))
+                        .into_owned();
+                    self.push_token(TokKind::Literal, text, line);
                     return;
                 }
             }
             self.bump();
         }
-        self.push_token(TokKind::Literal, String::from("r\"…\""), line);
+        let text =
+            String::from_utf8_lossy(self.bytes.get(start..self.pos).unwrap_or(&[])).into_owned();
+        self.push_token(TokKind::Literal, text, line);
     }
 
     fn ident(&mut self) {
@@ -417,6 +431,27 @@ mod tests {
         let lexed = lex(src);
         assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
         assert_eq!(lexed.comments.len(), 3);
+    }
+
+    #[test]
+    fn string_literal_contents_are_preserved() {
+        let toks = lex("let a = \"round_start\"; let b = r#\"raw \" body\"#;").tokens;
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["round_start", "raw \" body"]);
+        // Escapes stay as written, so substring matching still works.
+        let toks = lex(r#"write!(s, "{{\"type\":\"fault\",");"#).tokens;
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("literal");
+        assert!(lit.text.contains("fault"), "{:?}", lit.text);
+        // Unterminated strings run to EOF without panicking.
+        let toks = lex("let s = \"open").tokens;
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("open"));
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   panics;
 //! * every `unsafe` carries a `SAFETY:` justification, and each crate's
 //!   `forbid(unsafe_code)` status can only strengthen;
-//! * float comparisons are total and loss/aggregation casts are audited.
+//! * float comparisons are total and loss/aggregation casts are audited;
+//! * cross-file: wire/enum/spec vocabularies stay in sync across encoder,
+//!   decoder, parser and DESIGN.md ([`passes::schema`]); ambient
+//!   time/entropy cannot leak into `fl`/`core` through helper crates and
+//!   float folds never iterate hash containers ([`passes::determinism`]);
+//!   and slice indexing reachable from the live round/serve/transport
+//!   path is held at zero ([`passes::panics`]).
 //!
 //! Violations ratchet through a committed baseline
 //! (`results/analyze_baseline.json`): existing debt is tolerated, new debt
@@ -38,5 +44,8 @@
 pub mod baseline;
 pub mod engine;
 pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;

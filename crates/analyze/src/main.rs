@@ -1,9 +1,9 @@
 //! `calibre-analyze` — the CI gate for the workspace's static invariants.
 //!
 //! ```text
-//! calibre-analyze check   [--root DIR] [--baseline FILE] [--json FILE]
+//! calibre-analyze check   [--root DIR] [--baseline FILE] [--json FILE] [--github]
 //! calibre-analyze ratchet [--root DIR] [--baseline FILE]
-//! calibre-analyze report  [--root DIR] [--baseline FILE] [--json FILE]
+//! calibre-analyze report  [--root DIR] [--baseline FILE] [--json FILE] [--github]
 //! ```
 //!
 //! * `check` — scan and compare against the committed baseline; exit 1 on
@@ -12,13 +12,15 @@
 //!   refuses while the scan is above the baseline. Creates the baseline
 //!   when the file does not exist yet.
 //! * `report` — print the scan without gating (exit 0).
+//! * `--github` — additionally emit GitHub Actions `::error` workflow
+//!   commands for every new violation, so CI failures annotate the diff.
 
 #![forbid(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use calibre_analyze::baseline::{compare, Baseline, Comparison};
 use calibre_analyze::engine::{scan_workspace, ScanResult};
-use calibre_analyze::report::{human_report, json_report};
+use calibre_analyze::report::{github_annotations, human_report, json_report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,10 +29,11 @@ struct Args {
     root: PathBuf,
     baseline: PathBuf,
     json: Option<PathBuf>,
+    github: bool,
 }
 
 const USAGE: &str = "usage: calibre-analyze <check|ratchet|report> \
-                     [--root DIR] [--baseline FILE] [--json FILE]";
+                     [--root DIR] [--baseline FILE] [--json FILE] [--github]";
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut json = None;
+    let mut github = false;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
             "--root" => root = value("--root")?,
             "--baseline" => baseline = Some(value("--baseline")?),
             "--json" => json = Some(value("--json")?),
+            "--github" => github = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         root,
         baseline,
         json,
+        github,
     })
 }
 
@@ -100,11 +106,17 @@ fn run() -> Result<ExitCode, String> {
     match args.command.as_str() {
         "report" => {
             print!("{}", human_report(&scan, &cmp));
+            if args.github {
+                print!("{}", github_annotations(&cmp));
+            }
             write_json(&args, &scan, &cmp)?;
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
             print!("{}", human_report(&scan, &cmp));
+            if args.github {
+                print!("{}", github_annotations(&cmp));
+            }
             write_json(&args, &scan, &cmp)?;
             if cmp.ok() {
                 println!("\ncheck passed: no new violations against the baseline");

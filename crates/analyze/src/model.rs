@@ -1,0 +1,285 @@
+//! The workspace model the cross-file passes run on.
+//!
+//! Per-file token rules see one lexed file at a time; the semantic passes
+//! (schema drift, determinism taint, panic reachability) need the whole
+//! workspace at once: every enum with its variants, every fn with its
+//! owner and call edges, plus the design document the spec keywords must
+//! be documented in. [`WorkspaceModel::load`] walks `crates/*/src/**/*.rs`
+//! exactly like the engine's scan (sorted, deterministic) and parses each
+//! file once; the engine then reuses the same models for the token rules,
+//! so the workspace is read and lexed a single time per run.
+
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse_items, test_line_ranges, FileItems, FnItem};
+use crate::rules::FileCtx;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One parsed workspace file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Rule-scoping context (relative path, crate dir, binary flag).
+    pub ctx: FileCtx,
+    /// Raw source text (for excerpts).
+    pub source: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    /// Item-level structure (enums, fns, call edges).
+    pub items: FileItems,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Parsed `analyze:allow` annotations. The passes consult these too:
+    /// an allow-annotated ambient site is *reviewed* and must not seed
+    /// determinism taint.
+    pub(crate) allows: crate::engine::Allows,
+}
+
+impl FileModel {
+    /// Parses one file from its source text. Returns `None` for paths
+    /// outside `crates/*/src/`.
+    pub fn parse(rel_path: &str, source: &str) -> Option<FileModel> {
+        let ctx = FileCtx::from_rel_path(rel_path)?;
+        let lexed = lex(source);
+        let items = parse_items(&lexed.tokens);
+        let test_ranges = test_line_ranges(&lexed.tokens);
+        let allows = crate::engine::collect_allows(&lexed.comments);
+        Some(FileModel {
+            ctx,
+            source: source.to_string(),
+            lexed,
+            items,
+            test_ranges,
+            allows,
+        })
+    }
+
+    /// Whether `line` falls inside a test-exempt region.
+    pub fn in_tests(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// The innermost fn containing `line`, if any. Nested fns are later in
+    /// declaration order, so the last match is the innermost.
+    pub fn fn_at_line(&self, line: u32) -> Option<&FnItem> {
+        self.items.fns.iter().rev().find(|f| f.contains_line(line))
+    }
+}
+
+/// Identifies one fn in the workspace: (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// The whole workspace, parsed.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    /// Parsed files in sorted path order.
+    pub files: Vec<FileModel>,
+    /// Contents of the workspace `DESIGN.md`, when present. The fixture
+    /// workspaces have none, which simply disables the doc-drift contract.
+    pub design_doc: Option<String>,
+    /// Per-crate unsafe policy (`forbid` / `deny` / `none`).
+    pub unsafe_policy: BTreeMap<String, String>,
+    /// Fn definitions by name, for call-edge resolution.
+    fn_index: BTreeMap<String, Vec<FnId>>,
+}
+
+impl WorkspaceModel {
+    /// Walks `crates/*/src/**/*.rs` under `root` (sorted, deterministic)
+    /// and parses every file; also reads `DESIGN.md` and each crate's
+    /// unsafe policy from its `lib.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure while walking or reading.
+    pub fn load(root: &Path) -> std::io::Result<WorkspaceModel> {
+        let mut model = WorkspaceModel::default();
+        let crates_dir = root.join("crates");
+        for crate_dir in sorted_entries(&crates_dir)? {
+            let src = crate_dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let crate_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut files: Vec<PathBuf> = Vec::new();
+            collect_rs_files(&src, &mut files)?;
+            files.sort();
+            for file in files {
+                let source = std::fs::read_to_string(&file)?;
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if rel == format!("crates/{crate_name}/src/lib.rs") {
+                    model
+                        .unsafe_policy
+                        .insert(crate_name.clone(), unsafe_policy_of(&source));
+                }
+                if let Some(fm) = FileModel::parse(&rel, &source) {
+                    model.files.push(fm);
+                }
+            }
+            model
+                .unsafe_policy
+                .entry(crate_name)
+                .or_insert_with(|| "none".to_string());
+        }
+        model.design_doc = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+        model.build_fn_index();
+        Ok(model)
+    }
+
+    /// Builds a model from in-memory (path, source) pairs — fixture and
+    /// unit-test entry point.
+    pub fn from_sources(files: &[(&str, &str)], design_doc: Option<&str>) -> WorkspaceModel {
+        let mut model = WorkspaceModel {
+            files: files
+                .iter()
+                .filter_map(|(path, src)| FileModel::parse(path, src))
+                .collect(),
+            design_doc: design_doc.map(str::to_string),
+            ..WorkspaceModel::default()
+        };
+        model.build_fn_index();
+        model
+    }
+
+    fn build_fn_index(&mut self) {
+        let mut index: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (fi, fm) in self.files.iter().enumerate() {
+            for (gi, f) in fm.items.fns.iter().enumerate() {
+                index.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+        }
+        self.fn_index = index;
+    }
+
+    /// The fn behind an id, when the id is in range.
+    pub fn get_fn(&self, id: FnId) -> Option<&FnItem> {
+        self.files.get(id.0).and_then(|fm| fm.items.fns.get(id.1))
+    }
+
+    /// The file a fn lives in, when the id is in range.
+    pub fn file_of(&self, id: FnId) -> Option<&FileModel> {
+        self.files.get(id.0)
+    }
+
+    /// All definitions of a fn name across the workspace.
+    pub fn defs_of(&self, name: &str) -> &[FnId] {
+        self.fn_index.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The file whose relative path ends with `suffix`, if exactly one
+    /// exists.
+    pub fn file_by_suffix(&self, suffix: &str) -> Option<(usize, &FileModel)> {
+        let mut found = None;
+        for (i, fm) in self.files.iter().enumerate() {
+            if fm.ctx.rel_path.ends_with(suffix) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((i, fm));
+            }
+        }
+        found
+    }
+}
+
+/// Extracts the crate-level unsafe policy from `lib.rs` source.
+fn unsafe_policy_of(source: &str) -> String {
+    let tokens = lex(source).tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("unsafe_code") {
+            let level = tokens
+                .get(i.saturating_sub(2))
+                .map(|t| t.text.as_str())
+                .unwrap_or("");
+            match level {
+                "forbid" => return "forbid".to_string(),
+                "deny" => return "deny".to_string(),
+                _ => {}
+            }
+        }
+    }
+    "none".to_string()
+}
+
+fn sorted_entries(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sources_indexes_fns_and_files() {
+        let model = WorkspaceModel::from_sources(
+            &[
+                ("crates/fl/src/a.rs", "pub fn alpha() { beta(); }"),
+                (
+                    "crates/core/src/b.rs",
+                    "pub fn beta() {}\npub fn alpha() {}",
+                ),
+            ],
+            None,
+        );
+        assert_eq!(model.files.len(), 2);
+        assert_eq!(model.defs_of("alpha").len(), 2);
+        assert_eq!(model.defs_of("beta").len(), 1);
+        let (idx, fm) = model.file_by_suffix("fl/src/a.rs").expect("unique suffix");
+        assert_eq!(fm.ctx.crate_dir, "fl");
+        assert_eq!(model.files[idx].items.fns[0].name, "alpha");
+    }
+
+    #[test]
+    fn fn_at_line_picks_the_innermost() {
+        let model = WorkspaceModel::from_sources(
+            &[(
+                "crates/fl/src/a.rs",
+                "fn outer() {\n    fn inner() {\n        work();\n    }\n}\n",
+            )],
+            None,
+        );
+        let fm = &model.files[0];
+        assert_eq!(fm.fn_at_line(3).map(|f| f.name.as_str()), Some("inner"));
+        assert_eq!(fm.fn_at_line(1).map(|f| f.name.as_str()), Some("outer"));
+        assert!(fm.fn_at_line(9).is_none());
+    }
+
+    #[test]
+    fn non_crate_paths_are_skipped() {
+        let model = WorkspaceModel::from_sources(&[("vendor/x/src/a.rs", "fn f() {}")], None);
+        assert!(model.files.is_empty());
+    }
+
+    #[test]
+    fn unsafe_policy_extraction() {
+        assert_eq!(
+            unsafe_policy_of("#![forbid(unsafe_code)]\nfn f() {}"),
+            "forbid"
+        );
+        assert_eq!(unsafe_policy_of("#![deny(unsafe_code)]"), "deny");
+        assert_eq!(unsafe_policy_of("#![allow(unsafe_code)]"), "none");
+        assert_eq!(unsafe_policy_of("fn f() {}"), "none");
+    }
+}

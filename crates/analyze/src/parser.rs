@@ -1,0 +1,531 @@
+//! Item-level parsing on top of the lexer — just enough structure for the
+//! cross-file passes.
+//!
+//! The per-file rules need only token patterns; the workspace passes need
+//! to know *which items exist and how they connect*: every enum and its
+//! variants (schema drift), every fn with the impl type that owns it and
+//! the names it calls (determinism taint, panic reachability). This is not
+//! a Rust grammar — it is a single forward walk that brace-matches its way
+//! through items, tolerant of anything rustc would reject, because a
+//! linter must never die on a half-written file.
+
+use crate::lexer::{TokKind, Token};
+
+/// One `enum` item with its variants.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names with their 1-based lines, in declaration order.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// One callee reference inside a fn body: an identifier immediately
+/// followed by `(` (method or free call — the parser does not resolve
+/// which; the passes match by name).
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee identifier.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The fn's name.
+    pub name: String,
+    /// The `impl`/`trait` type the fn is defined on, when any: the last
+    /// path segment of the implemented type (`impl Msg` → `Msg`,
+    /// `impl Transport for SocketTransport` → `SocketTransport`).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace (or of the `;` for a
+    /// bodyless trait signature).
+    pub end_line: u32,
+    /// Token index of the `fn` keyword (signature start).
+    pub start: usize,
+    /// Token-index range `[start, end]` of the body braces in the file's
+    /// token stream (`start == end` means no body).
+    pub body: (usize, usize),
+    /// Call references inside the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+impl FnItem {
+    /// Whether `line` falls inside this fn (signature through closing
+    /// brace).
+    pub fn contains_line(&self, line: u32) -> bool {
+        line >= self.line && line <= self.end_line
+    }
+}
+
+/// All items of one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Enums in declaration order.
+    pub enums: Vec<EnumItem>,
+    /// Fns in declaration order (nested fns appear as their own entries).
+    pub fns: Vec<FnItem>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "let", "else", "as",
+    "ref", "mut", "box", "unsafe", "where", "impl", "dyn",
+];
+
+/// Parses a lexed token stream into items.
+pub fn parse_items(tokens: &[Token]) -> FileItems {
+    let mut out = FileItems::default();
+    // Active impl/trait contexts: (token index of closing brace, owner).
+    let mut owners: Vec<(usize, Option<String>)> = Vec::new();
+    let mut i = 0usize;
+    while let Some(t) = tokens.get(i) {
+        while owners.last().is_some_and(|(close, _)| *close < i) {
+            owners.pop();
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" | "trait" => {
+                let (owner, open) = parse_impl_header(tokens, i);
+                let Some(open) = open else {
+                    i += 1;
+                    continue;
+                };
+                let close = matching_brace(tokens, open).unwrap_or(tokens.len() - 1);
+                owners.push((close, owner));
+                i = open + 1;
+            }
+            "enum" => {
+                if let Some((item, next)) = parse_enum(tokens, i) {
+                    out.enums.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                if let Some((item, next)) =
+                    parse_fn(tokens, i, owners.last().and_then(|(_, o)| o.clone()))
+                {
+                    out.fns.push(item);
+                    // Continue *inside* the body so nested fns and inner
+                    // impls are still discovered.
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses an `impl`/`trait` header starting at the keyword; returns the
+/// owner type name and the token index of the body's `{`.
+fn parse_impl_header(tokens: &[Token], kw: usize) -> (Option<String>, Option<usize>) {
+    // Header = everything between the keyword and the first `{` (const
+    // generic braces in headers are rare enough to ignore).
+    let mut open = None;
+    for (j, t) in tokens.iter().enumerate().skip(kw + 1) {
+        if t.is_punct('{') {
+            open = Some(j);
+            break;
+        }
+        if t.is_punct(';') {
+            return (None, None); // `impl Trait for Type;` — nothing to own
+        }
+    }
+    let open = match open {
+        Some(o) => o,
+        None => return (None, None),
+    };
+    let header = tokens.get(kw + 1..open).unwrap_or(&[]);
+    // If a top-level `for` is present, the owner path follows it; else the
+    // owner path is the header itself, past any leading generics.
+    let mut angle = 0i32;
+    let mut path_start = 0usize;
+    for (j, t) in header.iter().enumerate() {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && t.is_ident("for") {
+            path_start = j + 1;
+        }
+    }
+    // Skip leading generics of the owner path (`impl<'a> Foo<'a>` when no
+    // `for`): if the path starts with `<`, jump past the matching `>`.
+    let mut j = path_start;
+    if header.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while let Some(t) = header.get(j) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Owner = last ident of the path segment run before generics begin.
+    let mut owner = None;
+    while let Some(t) = header.get(j) {
+        if t.kind == TokKind::Ident && !t.is_ident("for") {
+            owner = Some(t.text.clone());
+            j += 1;
+        } else if t.is_punct(':') {
+            j += 1; // path separator `::` lexes as two `:`
+        } else {
+            break; // `<`, `where`, lifetime — generics begin
+        }
+    }
+    (owner, Some(open))
+}
+
+/// Parses an enum starting at the `enum` keyword; returns the item and the
+/// token index just past the closing brace.
+fn parse_enum(tokens: &[Token], kw: usize) -> Option<(EnumItem, usize)> {
+    let name_tok = tokens.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut open = None;
+    for (j, t) in tokens.iter().enumerate().skip(kw + 2) {
+        if t.is_punct('{') {
+            open = Some(j);
+            break;
+        }
+        if t.is_punct(';') {
+            return None; // `enum` without a body we can see
+        }
+    }
+    let open = open?;
+    let close = matching_brace(tokens, open)?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = true;
+    let mut j = open + 1;
+    while j < close {
+        let Some(t) = tokens.get(j) else { break };
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('#') {
+                // Attribute on a variant: skip the `[...]` group.
+                if let Some(end) = matching_bracket(tokens, j + 1) {
+                    j = end + 1;
+                    continue;
+                }
+            } else if t.is_punct(',') {
+                expect_variant = true;
+            } else if expect_variant && t.kind == TokKind::Ident {
+                variants.push((t.text.clone(), t.line));
+                expect_variant = false;
+            }
+        }
+        j += 1;
+    }
+    Some((
+        EnumItem {
+            name: name_tok.text.clone(),
+            line: tokens.get(kw).map(|t| t.line).unwrap_or(name_tok.line),
+            variants,
+        },
+        close + 1,
+    ))
+}
+
+/// Parses a fn starting at the `fn` keyword; returns the item and the token
+/// index just past the signature (inside the body, so nested items are
+/// still walked).
+fn parse_fn(tokens: &[Token], kw: usize, owner: Option<String>) -> Option<(FnItem, usize)> {
+    let name_tok = tokens.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(i32) -> i32` pointer type
+    }
+    // Scan the signature for the body `{` or a terminating `;`.
+    let mut j = kw + 2;
+    let mut paren = 0i32;
+    let (open, end_tok) = loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct('{') {
+            break (Some(j), j);
+        } else if paren == 0 && t.is_punct(';') {
+            break (None, j);
+        }
+        j += 1;
+    };
+    let line_at = |k: usize| tokens.get(k).map(|t| t.line).unwrap_or(name_tok.line);
+    let (body, end_line) = match open {
+        Some(open) => {
+            let close = matching_brace(tokens, open)?;
+            ((open, close), line_at(close))
+        }
+        None => ((end_tok, end_tok), line_at(end_tok)),
+    };
+    let mut calls = Vec::new();
+    if body.0 < body.1 {
+        for k in body.0 + 1..body.1 {
+            let Some(t) = tokens.get(k) else { break };
+            let called = t.kind == TokKind::Ident
+                && !CALL_KEYWORDS.contains(&t.text.as_str())
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+                && !tokens
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|p| p.is_ident("fn"));
+            if called {
+                calls.push(Call {
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            owner,
+            line: line_at(kw),
+            end_line,
+            start: kw,
+            body,
+            calls,
+        },
+        end_tok + 1,
+    ))
+}
+
+/// Finds the inclusive line ranges of `#[cfg(test)]` / `#[test]` items:
+/// from the attribute to the closing brace of the block that follows. An
+/// attribute followed by `;` before any `{` (e.g. `mod tests;`) exempts
+/// nothing.
+pub(crate) fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr_start = tokens.get(i).is_some_and(|t| t.is_punct('#'))
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('[') || t.is_punct('!'));
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens.get(i).map(|t| t.line).unwrap_or(1);
+        let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        let Some(close) = matching_bracket(tokens, open) else {
+            break;
+        };
+        // `test` anywhere in the attribute covers `#[test]`, `#[cfg(test)]`
+        // and `#[cfg(all(test, …))]`; a `not` (as in `#[cfg(not(test))]`)
+        // means the block is production code and must stay scanned.
+        let attr_tokens = tokens.get(open..close).unwrap_or(&[]);
+        let is_test_attr = attr_tokens.iter().any(|t| t.is_ident("test"))
+            && !attr_tokens.iter().any(|t| t.is_ident("not"));
+        i = close + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Walk to the block this attribute decorates, skipping further
+        // attributes; give up at `;` (no block to exempt).
+        while let Some(t) = tokens.get(i) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('#') {
+                let open = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                match matching_bracket(tokens, open) {
+                    Some(close) => {
+                        i = close + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if t.is_punct('{') {
+                let end = matching_brace(tokens, i);
+                let end_line = end
+                    .and_then(|j| tokens.get(j))
+                    .map(|t| t.line)
+                    .unwrap_or(u32::MAX);
+                regions.push((attr_line, end_line));
+                i = end.map(|j| j + 1).unwrap_or(tokens.len());
+                break;
+            }
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Index of the `]` matching the `[` at `open`, if present.
+pub(crate) fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`, if present.
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn enums_and_variants_with_payloads() {
+        let src = "pub enum Msg {\n\
+                       Hello { client: u64 },\n\
+                       #[allow(dead_code)]\n\
+                       Assign(u32, Vec<f32>),\n\
+                       Bye,\n\
+                   }\n";
+        let got = items(src);
+        assert_eq!(got.enums.len(), 1);
+        let e = &got.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Hello", "Assign", "Bye"]);
+        assert_eq!(e.variants[0].1, 2);
+    }
+
+    #[test]
+    fn enum_variant_payload_fields_are_not_variants() {
+        let got = items("enum E { A { x: u32, y: u32 }, B(Vec<u8>), C }");
+        let names: Vec<&str> = got.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn fns_get_their_impl_owner() {
+        let src = "impl Msg {\n    fn tag(&self) -> u8 { self.go() }\n}\n\
+                   fn free() { help(); }\n\
+                   impl Transport for SocketTransport {\n    fn send(&mut self) { frame(); }\n}\n";
+        let got = items(src);
+        assert_eq!(got.fns.len(), 3);
+        assert_eq!(got.fns[0].name, "tag");
+        assert_eq!(got.fns[0].owner.as_deref(), Some("Msg"));
+        assert_eq!(got.fns[1].name, "free");
+        assert_eq!(got.fns[1].owner, None);
+        assert_eq!(got.fns[2].name, "send");
+        assert_eq!(got.fns[2].owner.as_deref(), Some("SocketTransport"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_owner_segment() {
+        let src = "impl<'a, T: Clone> Foo<'a, T> {\n    fn a(&self) {}\n}\n\
+                   impl std::fmt::Display for Bar {\n    fn fmt(&self) {}\n}\n";
+        let got = items(src);
+        assert_eq!(got.fns[0].owner.as_deref(), Some("Foo"));
+        assert_eq!(got.fns[1].owner.as_deref(), Some("Bar"));
+    }
+
+    #[test]
+    fn calls_are_collected_by_name() {
+        let src = "fn run() {\n    let x = helper(1);\n    obj.method(x);\n    mac!(ignored);\n    if cond(x) {}\n}\n";
+        let got = items(src);
+        let calls: Vec<&str> = got.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(calls, vec!["helper", "method", "cond"]);
+    }
+
+    #[test]
+    fn nested_fns_are_their_own_items() {
+        let src = "fn outer() {\n    fn inner() { deep(); }\n    inner();\n}\n";
+        let got = items(src);
+        let names: Vec<&str> = got.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // The outer fn's call list over-approximates into the nested body;
+        // that is fine for taint (it only ever adds edges).
+        assert!(got.fns[0].calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn trait_signatures_without_bodies() {
+        let src = "pub trait Transport {\n    fn send(&mut self, m: Msg) -> Result<(), WireError>;\n    fn rounds(&self) -> u32 { 0 }\n}\n";
+        let got = items(src);
+        assert_eq!(got.fns.len(), 2);
+        assert_eq!(got.fns[0].name, "send");
+        assert_eq!(got.fns[0].owner.as_deref(), Some("Transport"));
+        assert_eq!(got.fns[0].body.0, got.fns[0].body.1, "no body");
+        assert_eq!(got.fns[1].name, "rounds");
+    }
+
+    #[test]
+    fn fn_lines_span_signature_to_closing_brace() {
+        let src = "fn f(\n    x: u32,\n) -> u32 {\n    x\n}\n";
+        let got = items(src);
+        assert_eq!(got.fns[0].line, 1);
+        assert_eq!(got.fns[0].end_line, 5);
+        assert!(got.fns[0].contains_line(4));
+        assert!(!got.fns[0].contains_line(6));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let got = items("fn real(cb: fn(u32) -> u32) -> u32 { cb(1) }");
+        assert_eq!(got.fns.len(), 1);
+        assert_eq!(got.fns[0].name, "real");
+    }
+}

@@ -1,0 +1,441 @@
+//! Determinism taint: ambient entropy and unordered folds must not reach
+//! the replayable runtime.
+//!
+//! Three rules:
+//!
+//! * `rng-unseeded` — RNG construction from ambient entropy
+//!   (`from_entropy`, `OsRng`, `ThreadRng`) anywhere in library code. The
+//!   sanctioned constructor is `calibre_tensor::rng::seeded(seed)`.
+//! * `ambient-taint` — a fn in `crates/fl` / `crates/core` that does not
+//!   itself touch ambient time/entropy (the `wallclock` rule owns that)
+//!   but transitively *reaches* it through calls into other non-telemetry
+//!   crates. This is the escape-hatch guard: an `analyze:allow(wallclock)`
+//!   on a helper elsewhere must not silently leak ambient values into the
+//!   deterministic runtime. Calls into `calibre-telemetry` are sanctioned —
+//!   that crate owns wall-clock measurement and its values only feed
+//!   events, never training state.
+//! * `unordered-fold` — a fn that names a Hash container, iterates it, and
+//!   accumulates in the same body. Hash iteration order is arbitrary, so
+//!   any float fold over it is run-to-run nondeterministic. (`core`/`fl`/
+//!   `cluster` already ban the containers outright via `hash-container`;
+//!   this extends the fold check to every crate.)
+
+use super::Finding;
+use crate::lexer::TokKind;
+use crate::model::{FnId, WorkspaceModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifiers that mean ambient time or entropy entered the fn.
+const AMBIENT_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "ThreadRng",
+];
+
+/// Entropy-specific subset that fires `rng-unseeded` directly.
+const ENTROPY_IDENTS: &[&str] = &["from_entropy", "OsRng", "ThreadRng"];
+
+/// Callee names too ubiquitous to resolve by name without drowning the
+/// call graph in false edges.
+pub(crate) const CALL_STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "from",
+    "into",
+    "get",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "iter",
+    "into_iter",
+    "next",
+    "collect",
+    "map",
+    "and_then",
+    "ok_or",
+    "unwrap_or",
+    "extend",
+    "clear",
+    "contains",
+    "sort",
+    "write",
+    "read",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "name",
+    "parse",
+    "with_capacity",
+    "min",
+    "max",
+    "sum",
+    "abs",
+    "sqrt",
+];
+
+/// Maximum number of same-name definitions a call edge may resolve to;
+/// above this the name is treated as ambiguous and the edge dropped.
+pub(crate) const AMBIGUITY_CAP: usize = 3;
+
+/// Resolves a callee name to workspace definitions, applying the stoplist,
+/// the ambiguity cap, and a per-target filter.
+pub(crate) fn resolve(
+    model: &WorkspaceModel,
+    callee: &str,
+    keep: impl Fn(FnId) -> bool,
+) -> Vec<FnId> {
+    if CALL_STOPLIST.contains(&callee) {
+        return Vec::new();
+    }
+    let defs = model.defs_of(callee);
+    if defs.is_empty() || defs.len() > AMBIGUITY_CAP {
+        return Vec::new();
+    }
+    defs.iter().copied().filter(|&id| keep(id)).collect()
+}
+
+/// Whether a fn id belongs to scannable library code (not a binary, not
+/// bench, not a `#[cfg(test)]` region).
+fn is_library_fn(model: &WorkspaceModel, id: FnId) -> bool {
+    let (Some(fm), Some(f)) = (model.file_of(id), model.get_fn(id)) else {
+        return false;
+    };
+    !fm.ctx.is_binary && fm.ctx.crate_dir != "bench" && !fm.in_tests(f.line)
+}
+
+/// Runs all determinism checks.
+pub fn check(model: &WorkspaceModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rng_unseeded(model, &mut out);
+    ambient_taint(model, &mut out);
+    unordered_fold(model, &mut out);
+    out
+}
+
+fn rng_unseeded(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    for fm in &model.files {
+        if fm.ctx.is_binary || fm.ctx.crate_dir == "bench" {
+            continue;
+        }
+        for t in &fm.lexed.tokens {
+            if t.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()) {
+                out.push(Finding {
+                    file: fm.ctx.rel_path.clone(),
+                    line: t.line,
+                    rule: "rng-unseeded",
+                    note: format!(
+                        "`{}` draws ambient entropy — construct RNGs from an explicit seed \
+                         (calibre_tensor::rng::seeded)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether a fn's own body names ambient time/entropy. With
+/// `reviewed_ok`, sites whose line carries an `analyze:allow(wallclock)`
+/// annotation are skipped: a reviewed ambient use (telemetry-only timing,
+/// typically) is sanctioned and must not seed taint — the annotation's
+/// reason documents why the value never reaches training state.
+fn uses_ambient(model: &WorkspaceModel, id: FnId, reviewed_ok: bool) -> bool {
+    let (Some(fm), Some(f)) = (model.file_of(id), model.get_fn(id)) else {
+        return false;
+    };
+    fm.lexed
+        .tokens
+        .get(f.body.0 + 1..f.body.1)
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| {
+            t.kind == TokKind::Ident
+                && AMBIENT_IDENTS.contains(&t.text.as_str())
+                && !(reviewed_ok && fm.allows.suppresses("wallclock", t.line))
+        })
+}
+
+fn ambient_taint(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    // Taint sources: library fns outside telemetry whose bodies touch
+    // *unreviewed* ambient idents. (Telemetry owns measurement and is
+    // sanctioned; so is an allow(wallclock)-annotated site elsewhere.)
+    let mut tainted: BTreeMap<FnId, String> = BTreeMap::new();
+    for (fi, fm) in model.files.iter().enumerate() {
+        if fm.ctx.crate_dir == "telemetry" {
+            continue;
+        }
+        for (gi, f) in fm.items.fns.iter().enumerate() {
+            let id = (fi, gi);
+            if is_library_fn(model, id) && uses_ambient(model, id, true) {
+                tainted.insert(id, format!("{}:{} `{}`", fm.ctx.rel_path, f.line, f.name));
+            }
+        }
+    }
+    // Propagate to callers until fixpoint. The workspace has a few
+    // thousand fns; the frontier empties within a handful of sweeps.
+    loop {
+        let mut grew = false;
+        for (fi, fm) in model.files.iter().enumerate() {
+            if fm.ctx.crate_dir == "telemetry" {
+                continue;
+            }
+            for (gi, f) in fm.items.fns.iter().enumerate() {
+                let id = (fi, gi);
+                if tainted.contains_key(&id) || !is_library_fn(model, id) {
+                    continue;
+                }
+                let via = f.calls.iter().find_map(|c| {
+                    resolve(model, &c.name, |t| t != id)
+                        .into_iter()
+                        .find(|t| tainted.contains_key(t))
+                        .map(|t| (c.name.clone(), t))
+                });
+                if let Some((callee, src)) = via {
+                    let origin = tainted.get(&src).cloned().unwrap_or_default();
+                    tainted.insert(id, format!("`{callee}` ← {origin}"));
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Report tainted fns defined in the deterministic runtime crates,
+    // excluding direct users (`wallclock` already reports those sites).
+    for (&id, origin) in &tainted {
+        let (Some(fm), Some(f)) = (model.file_of(id), model.get_fn(id)) else {
+            continue;
+        };
+        if !matches!(fm.ctx.crate_dir.as_str(), "fl" | "core") || uses_ambient(model, id, false) {
+            continue;
+        }
+        out.push(Finding {
+            file: fm.ctx.rel_path.clone(),
+            line: f.line,
+            rule: "ambient-taint",
+            note: format!(
+                "`{}` reaches ambient time/entropy via {} — ambient values must not \
+                 flow into the deterministic runtime",
+                f.name, origin
+            ),
+        });
+    }
+}
+
+fn unordered_fold(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    const HASH: &[&str] = &["HashMap", "HashSet"];
+    const ITERATE: &[&str] = &[
+        "iter",
+        "values",
+        "keys",
+        "into_iter",
+        "into_values",
+        "into_keys",
+        "drain",
+    ];
+    const FOLDS: &[&str] = &["fold", "sum", "product"];
+    for (fi, fm) in model.files.iter().enumerate() {
+        for (gi, f) in fm.items.fns.iter().enumerate() {
+            if !is_library_fn(model, (fi, gi)) {
+                continue;
+            }
+            // Whole fn span including the signature: a `&HashMap<..>`
+            // parameter that the body then iterates must count.
+            let body = fm.lexed.tokens.get(f.start..f.body.1).unwrap_or(&[]);
+            let names: BTreeSet<&str> = body
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let hashes = HASH.iter().any(|h| names.contains(h));
+            let iterates = ITERATE.iter().any(|m| names.contains(m));
+            let plus_assign = body
+                .windows(2)
+                .any(|w| matches!(w, [a, b] if a.is_punct('+') && b.is_punct('=')));
+            let folds = plus_assign || FOLDS.iter().any(|m| names.contains(m));
+            if hashes && iterates && folds {
+                out.push(Finding {
+                    file: fm.ctx.rel_path.clone(),
+                    line: f.line,
+                    rule: "unordered-fold",
+                    note: format!(
+                        "`{}` iterates a Hash container and accumulates in the same body — \
+                         hash order is arbitrary, so the fold is run-to-run nondeterministic",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(model: &WorkspaceModel) -> Vec<(&'static str, String, u32)> {
+        check(model)
+            .into_iter()
+            .map(|f| (f.rule, f.file, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn unseeded_rng_construction_fires_in_library_code_only() {
+        let src = "pub fn init() -> StdRng { StdRng::from_entropy() }";
+        let lib = WorkspaceModel::from_sources(&[("crates/fl/src/x.rs", src)], None);
+        assert_eq!(
+            fired(&lib),
+            vec![("rng-unseeded", "crates/fl/src/x.rs".to_string(), 1)]
+        );
+        let bin = WorkspaceModel::from_sources(&[("crates/fl/src/main.rs", src)], None);
+        assert!(
+            fired(&bin).is_empty(),
+            "binaries may seed however they like"
+        );
+        let seeded = WorkspaceModel::from_sources(
+            &[(
+                "crates/fl/src/x.rs",
+                "pub fn init(seed: u64) -> StdRng { seeded(seed) }",
+            )],
+            None,
+        );
+        assert!(fired(&seeded).is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_a_helper_crate_into_fl() {
+        let helper = "pub fn stamp_ms() -> u64 {\n    let t = SystemTime::now();\n    0\n}\n";
+        let fl = "pub fn schedule_round() -> u64 { stamp_ms() }\n";
+        let model = WorkspaceModel::from_sources(
+            &[
+                ("crates/data/src/clockish.rs", helper),
+                ("crates/fl/src/sched.rs", fl),
+            ],
+            None,
+        );
+        let got = check(&model);
+        let taint: Vec<_> = got.iter().filter(|f| f.rule == "ambient-taint").collect();
+        assert_eq!(taint.len(), 1, "{got:?}");
+        assert!(taint
+            .first()
+            .is_some_and(|f| f.file == "crates/fl/src/sched.rs"
+                && f.note.contains("stamp_ms")
+                && f.note.contains("clockish.rs:1")));
+        // The helper itself is a wallclock-rule site, not ambient-taint.
+        assert!(!got
+            .iter()
+            .any(|f| f.rule == "ambient-taint" && f.file.contains("clockish")));
+    }
+
+    #[test]
+    fn reviewed_wallclock_sites_do_not_seed_taint() {
+        // The per-client timing helpers carry `analyze:allow(wallclock)`
+        // with a telemetry-only rationale; callers must stay clean.
+        let helper = "pub fn timed_run() -> u64 {\n\
+                          let t = Instant::now(); // analyze:allow(wallclock) -- telemetry only\n\
+                          0\n\
+                      }\n";
+        let fl = "pub fn schedule_round() -> u64 { timed_run() }\n";
+        let model = WorkspaceModel::from_sources(
+            &[
+                ("crates/data/src/timing.rs", helper),
+                ("crates/fl/src/sched.rs", fl),
+            ],
+            None,
+        );
+        assert!(
+            check(&model).iter().all(|f| f.rule != "ambient-taint"),
+            "reviewed ambient sites are sanctioned"
+        );
+    }
+
+    #[test]
+    fn taint_does_not_traverse_telemetry() {
+        // Timestamps via calibre-telemetry are the sanctioned pattern.
+        let telemetry = "pub fn stamp_ms() -> u64 { let t = SystemTime::now(); 0 }\n";
+        let fl = "pub fn schedule_round() -> u64 { stamp_ms() }\n";
+        let model = WorkspaceModel::from_sources(
+            &[
+                ("crates/telemetry/src/clock.rs", telemetry),
+                ("crates/fl/src/sched.rs", fl),
+            ],
+            None,
+        );
+        assert!(
+            check(&model).iter().all(|f| f.rule != "ambient-taint"),
+            "telemetry-mediated time is sanctioned"
+        );
+    }
+
+    #[test]
+    fn taint_is_transitive_but_bounded_by_ambiguous_names() {
+        let chain = "pub fn deep_clock() -> u64 { let i = Instant::now(); 0 }\n\
+                     pub fn middle_hop() -> u64 { deep_clock() }\n";
+        let fl = "pub fn top_level() -> u64 { middle_hop() }\n";
+        let model = WorkspaceModel::from_sources(
+            &[
+                ("crates/ssl/src/helper.rs", chain),
+                ("crates/fl/src/run.rs", fl),
+            ],
+            None,
+        );
+        let got = check(&model);
+        assert!(
+            got.iter().any(|f| f.rule == "ambient-taint"
+                && f.file == "crates/fl/src/run.rs"
+                && f.note.contains("middle_hop")),
+            "{got:?}"
+        );
+        // A stoplisted callee name carries no taint edge.
+        let stopped = WorkspaceModel::from_sources(
+            &[
+                (
+                    "crates/ssl/src/helper.rs",
+                    "pub fn new() -> u64 { let i = Instant::now(); 0 }\n",
+                ),
+                (
+                    "crates/fl/src/run.rs",
+                    "pub fn top_level() -> u64 { new() }\n",
+                ),
+            ],
+            None,
+        );
+        assert!(check(&stopped).iter().all(|f| f.rule != "ambient-taint"));
+    }
+
+    #[test]
+    fn hash_iteration_feeding_a_fold_fires() {
+        let src = "pub fn total(m: &HashMap<u32, f32>) -> f32 {\n\
+                       let mut acc = 0.0;\n\
+                       for v in m.values() { acc += v; }\n\
+                       acc\n\
+                   }\n";
+        let model = WorkspaceModel::from_sources(&[("crates/tensor/src/x.rs", src)], None);
+        assert_eq!(
+            fired(&model),
+            vec![("unordered-fold", "crates/tensor/src/x.rs".to_string(), 1)]
+        );
+        // Lookup-only use of a hash container is fine.
+        let lookup = "pub fn pick(m: &HashMap<u32, f32>, k: u32) -> f32 {\n\
+                          m.get(&k).copied().unwrap_or(0.0)\n\
+                      }\n";
+        let model = WorkspaceModel::from_sources(&[("crates/tensor/src/x.rs", lookup)], None);
+        assert!(fired(&model).is_empty());
+        // Sorted-container folds are fine.
+        let btree = "pub fn total(m: &BTreeMap<u32, f32>) -> f32 {\n\
+                         m.values().sum()\n\
+                     }\n";
+        let model = WorkspaceModel::from_sources(&[("crates/tensor/src/x.rs", btree)], None);
+        assert!(fired(&model).is_empty());
+    }
+}

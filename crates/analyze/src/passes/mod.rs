@@ -1,0 +1,46 @@
+//! Cross-file semantic passes over the [`crate::model::WorkspaceModel`].
+//!
+//! The per-file token rules catch what a single line can prove; these
+//! passes catch the drift that only shows up *between* files:
+//!
+//! * [`schema`] — every wire/enum tag must survive the full round trip:
+//!   variant ↔ encoder ↔ decoder ↔ interning table ↔ DESIGN.md;
+//! * [`determinism`] — ambient entropy (clocks, unseeded RNGs) and
+//!   unordered-container folds must not reach the deterministic runtime;
+//! * [`panics`] — slice-index sites reachable from the round/serve/
+//!   transport hot path are reclassified from ratcheting debt into the
+//!   gating `hot-path-index` rule.
+//!
+//! Findings are raw: the engine filters them through the same test-region
+//! and `analyze:allow` machinery as the token rules, so a contract checked
+//! in a `#[cfg(test)]` helper or an annotated site never fires.
+
+pub mod determinism;
+pub mod panics;
+pub mod schema;
+
+use crate::model::WorkspaceModel;
+
+/// One raw pass finding, before engine-side exemption filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name from [`crate::rules::RULES`].
+    pub rule: &'static str,
+    /// Human explanation naming the other side of the broken contract
+    /// (file:line where available).
+    pub note: String,
+}
+
+/// Runs the schema-drift and determinism-taint passes. Panic reachability
+/// is not a producer of new findings — it reclassifies slice-index
+/// candidates — so the engine invokes [`panics`] separately.
+pub fn run(model: &WorkspaceModel) -> Vec<Finding> {
+    let mut out = schema::check(model);
+    out.extend(determinism::check(model));
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}

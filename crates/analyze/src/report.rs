@@ -39,6 +39,9 @@ pub fn human_report(scan: &ScanResult, cmp: &Comparison) -> String {
                 .map(|r| r.fix)
                 .unwrap_or("");
             let _ = writeln!(out, "  {}:{} [{}] {}", v.file, v.line, v.rule, v.excerpt);
+            if !v.note.is_empty() {
+                let _ = writeln!(out, "      note: {}", v.note);
+            }
             let _ = writeln!(out, "      fix: {fix}");
         }
         for d in &cmp.regressions {
@@ -72,12 +75,59 @@ pub fn human_report(scan: &ScanResult, cmp: &Comparison) -> String {
 
 fn violation_json(v: &Violation) -> String {
     format!(
-        "{{\"file\":{},\"line\":{},\"rule\":{},\"excerpt\":{}}}",
+        "{{\"file\":{},\"line\":{},\"rule\":{},\"excerpt\":{},\"note\":{}}}",
         json_string(&v.file),
         v.line,
         json_string(v.rule),
-        json_string(&v.excerpt)
+        json_string(&v.excerpt),
+        json_string(&v.note)
     )
+}
+
+/// GitHub Actions workflow-command annotations for everything the ratchet
+/// rejects: one `::error` line per new violation (rendered inline on the
+/// PR diff) and one per unsafe-policy regression. Empty when the check
+/// passes — tolerated baseline debt is not annotated.
+pub fn github_annotations(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    for v in &cmp.offending {
+        let fix = RULES
+            .iter()
+            .find(|r| r.name == v.rule)
+            .map(|r| r.fix)
+            .unwrap_or("");
+        let note = if v.note.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", v.note)
+        };
+        let _ = writeln!(
+            out,
+            "::error file={},line={},title=calibre-analyze {}::{}{} — fix: {}",
+            v.file,
+            v.line,
+            v.rule,
+            sanitize_annotation(&v.excerpt),
+            sanitize_annotation(&note),
+            sanitize_annotation(fix)
+        );
+    }
+    for (crate_dir, required, current) in &cmp.policy_regressions {
+        let _ = writeln!(
+            out,
+            "::error title=calibre-analyze unsafe policy::crate `{crate_dir}` must stay \
+             `{required}(unsafe_code)`, found `{current}`"
+        );
+    }
+    out
+}
+
+/// Workflow-command message data must stay on one line; GitHub decodes
+/// `%0A`/`%0D`/`%25` back when rendering.
+fn sanitize_annotation(text: &str) -> String {
+    text.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Machine-readable report: ratchet verdict, per-rule totals, the new
@@ -167,5 +217,27 @@ mod tests {
             new[0].get("rule").and_then(|r| r.as_str()),
             Some("no-unwrap")
         );
+        assert!(new[0].get("note").is_some(), "note field present");
+    }
+
+    #[test]
+    fn github_annotations_cover_new_violations_only() {
+        let (_, cmp) = demo();
+        let text = github_annotations(&cmp);
+        assert_eq!(text.lines().count(), 1);
+        assert!(
+            text.starts_with(
+                "::error file=crates/fl/src/x.rs,line=1,title=calibre-analyze no-unwrap::"
+            ),
+            "got: {text}"
+        );
+        // A passing comparison annotates nothing.
+        let clean = Comparison::default();
+        assert!(github_annotations(&clean).is_empty());
+    }
+
+    #[test]
+    fn annotation_messages_stay_on_one_line() {
+        assert_eq!(sanitize_annotation("a\nb%c"), "a%0Ab%25c");
     }
 }

@@ -14,6 +14,11 @@
 //! | `float-cmp-unwrap` | float ordering is total (`total_cmp`), never a NaN panic |
 //! | `lossy-cast` | loss/aggregation arithmetic flags precision loss |
 //! | `net-read-no-timeout` | socket reads cannot hang a server forever |
+//! | `schema-drift` | enum/wire/spec vocabularies stay in sync across files |
+//! | `rng-unseeded` | every rng comes from the seeded constructor |
+//! | `ambient-taint` | ambient time/entropy never leaks into fl/core via helpers |
+//! | `unordered-fold` | float accumulation never iterates a hash container |
+//! | `hot-path-index` | the live round path is free of indexing panics |
 //!
 //! Matchers work on the token stream from [`crate::lexer`]; everything
 //! context-sensitive (test regions, allow annotations, `SAFETY:` comments)
@@ -90,6 +95,31 @@ pub const RULES: &[Rule] = &[
         summary: "analyze:allow annotation that fails to parse or names an unknown rule",
         fix: "write `// analyze:allow(rule-name) -- reason`",
     },
+    Rule {
+        name: "schema-drift",
+        summary: "enum variant, wire tag or spec keyword missing from its encoder/decoder/parser/doc counterpart",
+        fix: "add the missing arm/tag/keyword on the side the note names (or document it in DESIGN.md)",
+    },
+    Rule {
+        name: "rng-unseeded",
+        summary: "entropy-fed rng construction (from_entropy/OsRng/ThreadRng) in library code",
+        fix: "construct rngs through calibre_tensor::rng::seeded(seed)",
+    },
+    Rule {
+        name: "ambient-taint",
+        summary: "fl/core fn transitively calls an ambient time/entropy user (wallclock leak through a helper)",
+        fix: "thread the value in as a parameter instead of calling the ambient helper",
+    },
+    Rule {
+        name: "unordered-fold",
+        summary: "accumulation over HashMap/HashSet iteration (order-dependent float folds drift)",
+        fix: "iterate a BTree container or collect + sort keys before folding",
+    },
+    Rule {
+        name: "hot-path-index",
+        summary: "slice indexing inside a fn reachable from the round scheduler / transport / serve loop",
+        fix: "use .get() with a typed error; a panic here kills the round, it cannot be retried",
+    },
 ];
 
 /// Looks a rule up by name.
@@ -159,6 +189,13 @@ pub fn rule_applies(rule: &str, ctx: &FileCtx) -> bool {
         // A blocking read hangs a serve loop no matter where it lives, so
         // unlike the panic-safety family this applies to binaries too.
         "net-read-no-timeout" | "unsafe-no-safety" | "malformed-allow" => true,
+        // The cross-file passes (crate::passes) scope their own findings by
+        // construction; these arms exist so `analyze:allow` accepts the
+        // names and the report table can state the scope.
+        "schema-drift" | "rng-unseeded" | "unordered-fold" => library,
+        "ambient-taint" | "hot-path-index" => {
+            library && matches!(ctx.crate_dir.as_str(), "fl" | "core")
+        }
         _ => false,
     }
 }

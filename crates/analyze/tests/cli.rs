@@ -67,12 +67,47 @@ fn check_fails_on_the_seeded_fixture_and_names_every_rule() {
         "lossy-cast",
         "net-read-no-timeout",
         "malformed-allow",
+        "schema-drift",
+        "rng-unseeded",
+        "ambient-taint",
+        "unordered-fold",
+        "hot-path-index",
     ] {
         assert!(
             new_rules.contains(&rule),
             "rule {rule} did not fire on the fixture; fired: {new_rules:?}"
         );
     }
+
+    // The hot-path reclassification must say which fn is hot and which
+    // round-critical root reaches it.
+    let hot_note = new
+        .iter()
+        .find(|d| d.get("rule").and_then(JsonValue::as_str) == Some("hot-path-index"))
+        .and_then(|d| d.get("note"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("");
+    assert!(
+        hot_note.contains("first_of") && hot_note.contains("RoundScheduler::run_round"),
+        "hot-path note must name fn and root: {hot_note:?}"
+    );
+
+    // The taint finding must blame the fl caller and name the chain.
+    let taint = new
+        .iter()
+        .find(|d| d.get("rule").and_then(JsonValue::as_str) == Some("ambient-taint"))
+        .expect("ambient-taint fired");
+    assert_eq!(
+        taint.get("file").and_then(JsonValue::as_str),
+        Some("crates/fl/src/semantic_bad.rs")
+    );
+    assert!(
+        taint
+            .get("note")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|n| n.contains("stamp_millis")),
+        "taint note names the ambient helper"
+    );
 
     // The fixture fl crate has no lib.rs, so its unsafe policy is `none`
     // and a crate unknown to the baseline must enter at `forbid`.

@@ -80,8 +80,8 @@ fn main() {
             }
             "detect" => cfg.detect = value == "true",
             "aggregator" => {
-                cfg.policy.aggregator = calibre_fl::aggregate::Aggregator::parse(value)
-                    .unwrap_or_else(|| panic!("unknown --aggregator {value:?}"));
+                cfg.policy.aggregator = calibre_fl::aggregate::Aggregator::parse_spec(value)
+                    .unwrap_or_else(|e| panic!("bad --aggregator spec {value:?}: {e}"));
             }
             _ => {
                 if !obs_args.accept(key, value) {

@@ -157,11 +157,8 @@ impl ObsArgs {
                 );
             }
             "aggregator" => {
-                let agg = calibre_fl::aggregate::Aggregator::parse(value).unwrap_or_else(|| {
-                    panic!(
-                        "unknown --aggregator {value:?} (expected \"weighted\", \"median\" or \"trimmed[:ratio]\")"
-                    )
-                });
+                let agg = calibre_fl::aggregate::Aggregator::parse_spec(value)
+                    .unwrap_or_else(|e| panic!("bad --aggregator spec {value:?}: {e}"));
                 self.aggregator = Some(agg);
             }
             _ => return false,

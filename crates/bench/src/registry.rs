@@ -136,6 +136,20 @@ impl MethodId {
             _ => {
                 if let Some(rest) = lower.strip_prefix("pfl-") {
                     kind_of(rest).map(MethodId::PflSsl)
+                } else if let Some(rest) = lower.strip_prefix("calibre-ablation-") {
+                    // `calibre-ablation-<kind>[:ln][:lp]` — explicit loss
+                    // toggles, e.g. `calibre-ablation-simclr:ln:lp`.
+                    let mut parts = rest.split(':');
+                    let kind = kind_of(parts.next().unwrap_or(""))?;
+                    let (mut ln, mut lp) = (false, false);
+                    for flag in parts {
+                        match flag {
+                            "ln" => ln = true,
+                            "lp" => lp = true,
+                            _ => return None,
+                        }
+                    }
+                    Some(MethodId::CalibreAblation(kind, ln, lp))
                 } else if let Some(rest) = lower.strip_prefix("calibre-") {
                     kind_of(rest).map(MethodId::Calibre)
                 } else {
@@ -219,6 +233,23 @@ mod tests {
     fn parse_rejects_unknown() {
         assert_eq!(MethodId::parse("fedsgd"), None);
         assert_eq!(MethodId::parse("calibre-unknown"), None);
+        assert_eq!(MethodId::parse("calibre-ablation-simclr:bogus"), None);
+    }
+
+    #[test]
+    fn parse_covers_the_ablation_family() {
+        assert_eq!(
+            MethodId::parse("calibre-ablation-simclr:ln:lp"),
+            Some(MethodId::CalibreAblation(SslKind::SimClr, true, true))
+        );
+        assert_eq!(
+            MethodId::parse("calibre-ablation-byol:lp"),
+            Some(MethodId::CalibreAblation(SslKind::Byol, false, true))
+        );
+        assert_eq!(
+            MethodId::parse("calibre-ablation-simclr"),
+            Some(MethodId::CalibreAblation(SslKind::SimClr, false, false))
+        );
     }
 
     #[test]

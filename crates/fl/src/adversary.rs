@@ -46,6 +46,7 @@
 //! without this module, which the golden checksum and transport-identity
 //! tests pin.
 
+use crate::spec::SpecError;
 use calibre_tensor::rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -138,8 +139,9 @@ impl AttackPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending pair on unknown keys,
-    /// malformed numbers, or probabilities outside `[0, 1]`.
+    /// Returns a [`SpecError`] naming the offending key and its byte span
+    /// in `spec` on unknown keys, malformed numbers, or probabilities
+    /// outside `[0, 1]`.
     ///
     /// # Examples
     ///
@@ -154,20 +156,38 @@ impl AttackPlan {
     /// assert!(plan.is_active());
     /// assert!(AttackPlan::parse("flip=1.5").is_err());
     /// assert!(!AttackPlan::parse("").unwrap().is_active());
+    ///
+    /// let err = AttackPlan::parse("flip=0.1,warp=0.2").unwrap_err();
+    /// assert_eq!(err.key, "warp");
+    /// assert_eq!(err.span, (9, 17)); // byte range of `warp=0.2`
     /// ```
-    pub fn parse(spec: &str) -> Result<AttackPlan, String> {
+    pub fn parse(spec: &str) -> Result<AttackPlan, SpecError> {
         let mut plan = AttackPlan::default();
-        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("attack spec: expected key=value, got {pair:?}"))?;
+        let mut offset = 0usize;
+        for raw in spec.split(',') {
+            let pair_start = offset;
+            offset += raw.len() + 1;
+            let pair = raw.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let lead = raw.len() - raw.trim_start().len();
+            let span = (pair_start + lead, pair_start + lead + pair.len());
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(SpecError::new("attack", pair, span, "expected key=value"));
+            };
             let (key, value) = (key.trim(), value.trim());
-            let prob = |v: &str| -> Result<f32, String> {
-                let p: f32 = v
-                    .parse()
-                    .map_err(|_| format!("attack spec: bad number {v:?} for {key}"))?;
+            let prob = |v: &str| -> Result<f32, SpecError> {
+                let p: f32 = v.parse().map_err(|_| {
+                    SpecError::new("attack", key, span, format!("bad number {v:?}"))
+                })?;
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("attack spec: {key}={p} outside [0, 1]"));
+                    return Err(SpecError::new(
+                        "attack",
+                        key,
+                        span,
+                        format!("{p} outside [0, 1]"),
+                    ));
                 }
                 Ok(p)
             };
@@ -175,13 +195,20 @@ impl AttackPlan {
                 "flip" => plan.flip_prob = prob(value)?,
                 "scale" => match value.split_once(':') {
                     Some((factor, p)) => {
-                        let f: f32 = factor
-                            .trim()
-                            .parse()
-                            .map_err(|_| format!("attack spec: bad scale factor {factor:?}"))?;
+                        let f: f32 = factor.trim().parse().map_err(|_| {
+                            SpecError::new(
+                                "attack",
+                                key,
+                                span,
+                                format!("bad scale factor {factor:?}"),
+                            )
+                        })?;
                         if !f.is_finite() || f == 0.0 {
-                            return Err(format!(
-                                "attack spec: scale factor {f} must be finite and nonzero"
+                            return Err(SpecError::new(
+                                "attack",
+                                key,
+                                span,
+                                format!("scale factor {f} must be finite and nonzero"),
                             ));
                         }
                         plan.scale_factor = f;
@@ -193,11 +220,18 @@ impl AttackPlan {
                 "noise" => plan.noise_prob = prob(value)?,
                 "collude" => plan.collude_prob = prob(value)?,
                 "seed" => {
-                    plan.seed = value
-                        .parse()
-                        .map_err(|_| format!("attack spec: bad seed {value:?}"))?
+                    plan.seed = value.parse().map_err(|_| {
+                        SpecError::new("attack", key, span, format!("bad seed {value:?}"))
+                    })?
                 }
-                other => return Err(format!("attack spec: unknown key {other:?}")),
+                other => {
+                    return Err(SpecError::new(
+                        "attack",
+                        other,
+                        span,
+                        "unknown key (expected flip, scale, replace, noise, collude or seed)",
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -675,13 +709,43 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed_specs() {
-        assert!(AttackPlan::parse("flip=2.0").is_err());
-        assert!(AttackPlan::parse("scale=0:0.5").is_err());
-        assert!(AttackPlan::parse("scale=10:1.5").is_err());
-        assert!(AttackPlan::parse("warp=0.1").is_err());
-        assert!(AttackPlan::parse("flip").is_err());
-        assert!(AttackPlan::parse("seed=abc").is_err());
+    fn parse_rejects_malformed_specs_naming_key_and_span() {
+        // Every malformed shape: (spec, blamed key, byte span of the pair).
+        let cases = [
+            ("flip=2.0", "flip", (0, 8)),             // probability above 1
+            ("flip=-0.1", "flip", (0, 9)),            // probability below 0
+            ("flip=abc", "flip", (0, 8)),             // unparsable probability
+            ("scale=0:0.5", "scale", (0, 11)),        // zero scale factor
+            ("scale=inf:0.5", "scale", (0, 13)),      // non-finite scale factor
+            ("scale=x:0.5", "scale", (0, 11)),        // unparsable scale factor
+            ("scale=10:1.5", "scale", (0, 12)),       // scale prob out of range
+            ("warp=0.1", "warp", (0, 8)),             // unknown key
+            ("flip", "flip", (0, 4)),                 // missing `=`
+            ("seed=abc", "seed", (0, 8)),             // unparsable seed
+            ("flip=0.1, warp=0.2", "warp", (10, 18)), // span tracks later pairs
+        ];
+        for (spec, key, span) in cases {
+            let err = AttackPlan::parse(spec).expect_err(spec);
+            assert_eq!(err.family, "attack", "{spec}");
+            assert_eq!(err.key, key, "{spec}");
+            assert_eq!(err.span, span, "{spec}");
+            // The span must cover the blamed key in the original input.
+            assert!(
+                spec.get(err.span.0..err.span.1)
+                    .is_some_and(|frag| frag.contains(key)),
+                "{spec}: span {:?} misses {key:?}",
+                err.span
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_render_family_key_and_span() {
+        let err = AttackPlan::parse("noise=0.1,collude=7").expect_err("collude=7");
+        assert_eq!(
+            err.to_string(),
+            "attack spec: `collude` at bytes 10..19: 7 outside [0, 1]"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! round executor; the panicking [`weighted_average`] family remains for
 //! call sites that have already validated their cohort.
 
+use crate::spec::SpecError;
+
 /// Weighted average of flat parameter vectors.
 ///
 /// Weights are normalized internally; non-positive total weight falls back
@@ -99,9 +101,16 @@ pub fn uniform_average(updates: &[Vec<f32>]) -> Vec<f32> {
     weighted_average(updates, &w)
 }
 
+/// Exact `f32` for a cohort- or sample-sized count.
+fn count_f32(n: usize) -> f32 {
+    // analyze:allow(lossy-cast) -- cohort and sample counts sit far below
+    // f32's 2^24 exact-integer range
+    n as f32
+}
+
 /// Converts per-client sample counts into FedAvg weights.
 pub fn sample_count_weights(counts: &[usize]) -> Vec<f32> {
-    counts.iter().map(|&c| c as f32).collect()
+    counts.iter().map(|&c| count_f32(c)).collect()
 }
 
 /// Typed failure of a fault-tolerant aggregation.
@@ -227,47 +236,144 @@ impl Aggregator {
     /// Parses a CLI name: `weighted`, `trimmed` / `trimmed:<ratio>`,
     /// `median`, `krum` / `krum:<f>`, `multikrum` / `multikrum:<f>:<m>`,
     /// `geomedian`, `normbound:<max>`, `clip:<tau>`.
-    pub fn parse(s: &str) -> Option<Aggregator> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the aggregator keyword and the byte
+    /// span of the offending parameter in `s` (the whole input for an
+    /// unknown keyword).
+    pub fn parse_spec(s: &str) -> Result<Aggregator, SpecError> {
+        // ASCII lowercasing preserves byte offsets, so spans computed on
+        // `lower` index into the caller's original string.
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
-            "weighted" | "weighted-average" | "mean" => Some(Aggregator::WeightedAverage),
-            "median" | "coordinate-median" => Some(Aggregator::CoordinateMedian),
-            "trimmed" | "trimmed-mean" => Some(Aggregator::TrimmedMean(0.2)),
-            "krum" => Some(Aggregator::Krum { f: 1 }),
-            "multikrum" | "multi-krum" => Some(Aggregator::MultiKrum { f: 1, m: 3 }),
-            "geomedian" | "geometric-median" => Some(Aggregator::GeometricMedian),
+            "weighted" | "weighted-average" | "mean" => Ok(Aggregator::WeightedAverage),
+            "median" | "coordinate-median" => Ok(Aggregator::CoordinateMedian),
+            "trimmed" | "trimmed-mean" => Ok(Aggregator::TrimmedMean(0.2)),
+            "krum" => Ok(Aggregator::Krum { f: 1 }),
+            "multikrum" | "multi-krum" => Ok(Aggregator::MultiKrum { f: 1, m: 3 }),
+            "geomedian" | "geometric-median" => Ok(Aggregator::GeometricMedian),
             other => {
                 if let Some(ratio) = other.strip_prefix("trimmed:") {
-                    let ratio: f32 = ratio.parse().ok()?;
-                    return (0.0..0.5)
-                        .contains(&ratio)
-                        .then_some(Aggregator::TrimmedMean(ratio));
+                    let span = ("trimmed:".len(), other.len());
+                    let r: f32 = ratio.parse().map_err(|_| {
+                        SpecError::new(
+                            "aggregator",
+                            "trimmed",
+                            span,
+                            format!("bad ratio {ratio:?}"),
+                        )
+                    })?;
+                    if !(0.0..0.5).contains(&r) {
+                        return Err(SpecError::new(
+                            "aggregator",
+                            "trimmed",
+                            span,
+                            format!("ratio {r} outside [0, 0.5)"),
+                        ));
+                    }
+                    return Ok(Aggregator::TrimmedMean(r));
                 }
                 if let Some(f) = other.strip_prefix("krum:") {
-                    return Some(Aggregator::Krum { f: f.parse().ok()? });
-                }
-                if let Some(rest) = other
-                    .strip_prefix("multikrum:")
-                    .or_else(|| other.strip_prefix("multi-krum:"))
-                {
-                    let (f, m) = rest.split_once(':')?;
-                    let m: usize = m.parse().ok()?;
-                    return (m > 0).then_some(Aggregator::MultiKrum {
-                        f: f.parse().ok()?,
-                        m,
+                    let span = ("krum:".len(), other.len());
+                    return Ok(Aggregator::Krum {
+                        f: f.parse().map_err(|_| {
+                            SpecError::new("aggregator", "krum", span, format!("bad f {f:?}"))
+                        })?,
                     });
                 }
-                if let Some(max) = other.strip_prefix("normbound:") {
-                    let max: f32 = max.parse().ok()?;
-                    return (max.is_finite() && max > 0.0).then_some(Aggregator::NormBound(max));
+                if let Some((plen, rest)) = ["multikrum:", "multi-krum:"]
+                    .iter()
+                    .find_map(|p| other.strip_prefix(p).map(|rest| (p.len(), rest)))
+                {
+                    let Some((f_str, m_str)) = rest.split_once(':') else {
+                        return Err(SpecError::new(
+                            "aggregator",
+                            "multikrum",
+                            (plen, other.len()),
+                            format!("expected <f>:<m>, got {rest:?}"),
+                        ));
+                    };
+                    let f_span = (plen, plen + f_str.len());
+                    let m_span = (plen + f_str.len() + 1, other.len());
+                    let f: usize = f_str.parse().map_err(|_| {
+                        SpecError::new(
+                            "aggregator",
+                            "multikrum",
+                            f_span,
+                            format!("bad f {f_str:?}"),
+                        )
+                    })?;
+                    let m: usize = m_str.parse().map_err(|_| {
+                        SpecError::new(
+                            "aggregator",
+                            "multikrum",
+                            m_span,
+                            format!("bad m {m_str:?}"),
+                        )
+                    })?;
+                    if m == 0 {
+                        return Err(SpecError::new(
+                            "aggregator",
+                            "multikrum",
+                            m_span,
+                            "m must be at least 1",
+                        ));
+                    }
+                    return Ok(Aggregator::MultiKrum { f, m });
                 }
-                if let Some(tau) = other.strip_prefix("clip:") {
-                    let tau: f32 = tau.parse().ok()?;
-                    return (tau.is_finite() && tau > 0.0).then_some(Aggregator::CenteredClip(tau));
+                if let Some(max_str) = other.strip_prefix("normbound:") {
+                    let span = ("normbound:".len(), other.len());
+                    let max: f32 = max_str.parse().map_err(|_| {
+                        SpecError::new(
+                            "aggregator",
+                            "normbound",
+                            span,
+                            format!("bad max norm {max_str:?}"),
+                        )
+                    })?;
+                    if !max.is_finite() || max <= 0.0 {
+                        return Err(SpecError::new(
+                            "aggregator",
+                            "normbound",
+                            span,
+                            format!("max norm {max} must be finite and positive"),
+                        ));
+                    }
+                    return Ok(Aggregator::NormBound(max));
                 }
-                None
+                if let Some(tau_str) = other.strip_prefix("clip:") {
+                    let span = ("clip:".len(), other.len());
+                    let tau: f32 = tau_str.parse().map_err(|_| {
+                        SpecError::new("aggregator", "clip", span, format!("bad tau {tau_str:?}"))
+                    })?;
+                    if !tau.is_finite() || tau <= 0.0 {
+                        return Err(SpecError::new(
+                            "aggregator",
+                            "clip",
+                            span,
+                            format!("tau {tau} must be finite and positive"),
+                        ));
+                    }
+                    return Ok(Aggregator::CenteredClip(tau));
+                }
+                Err(SpecError::new(
+                    "aggregator",
+                    other,
+                    (0, other.len()),
+                    "unknown aggregator (expected weighted, median, trimmed[:ratio], krum[:f], \
+                     multikrum:<f>:<m>, geomedian, normbound:<max> or clip:<tau>)",
+                ))
             }
         }
+    }
+
+    /// Parses a CLI name, discarding the diagnostic; prefer
+    /// [`Aggregator::parse_spec`] when the error will reach a user.
+    // analyze:allow(schema-drift) -- delegates to `parse_spec`, which names
+    // every variant; this wrapper only drops the diagnostic
+    pub fn parse(s: &str) -> Option<Aggregator> {
+        Self::parse_spec(s).ok()
     }
 
     /// Display name (parsable by [`Aggregator::parse`]).
@@ -371,13 +477,18 @@ pub fn trimmed_mean(
     span.add_items(span_count(n));
     let mut out = vec![0.0f32; dim];
     let mut column: Vec<(f32, f32)> = Vec::with_capacity(n);
+    // The cohort-size check above guarantees n > 2*trim, so the kept range
+    // is in bounds and non-empty for every coordinate.
+    let hi = n.saturating_sub(trim);
     for (j, o) in out.iter_mut().enumerate() {
         column.clear();
+        // analyze:allow(slice-index) -- check_shapes guarantees every
+        // update has exactly `dim` coordinates, and j < dim
         column.extend(updates.iter().zip(weights).map(|(u, &w)| (u[j], w)));
         column.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let kept = &column[trim..n - trim];
+        let kept = column.get(trim..hi).unwrap_or(&[]);
         let total: f32 = kept.iter().map(|(_, w)| w).sum();
-        let uniform = 1.0 / kept.len() as f32;
+        let uniform = 1.0 / count_f32(kept.len().max(1));
         *o = kept
             .iter()
             .map(|(v, w)| v * if total > 0.0 { w / total } else { uniform })
@@ -402,7 +513,7 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
     span.add_items(span_count(n));
     let total: f32 = weights.iter().sum();
     let uniform = total <= 0.0;
-    let full: f32 = if uniform { n as f32 } else { total };
+    let full: f32 = if uniform { count_f32(n) } else { total };
     let mut out = vec![0.0f32; dim];
     let mut column: Vec<(f32, f32)> = Vec::with_capacity(n);
     for (j, o) in out.iter_mut().enumerate() {
@@ -411,11 +522,13 @@ pub fn coordinate_median(updates: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>
             updates
                 .iter()
                 .zip(weights)
+                // analyze:allow(slice-index) -- check_shapes guarantees
+                // every update has exactly `dim` coordinates, and j < dim
                 .map(|(u, &w)| (u[j], if uniform { 1.0 } else { w })),
         );
         column.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut acc = 0.0f32;
-        let mut median = column[n - 1].0;
+        let mut median = column.last().map(|c| c.0).unwrap_or(0.0);
         for &(v, w) in column.iter() {
             acc += w;
             if acc >= full * 0.5 {
@@ -1615,6 +1728,40 @@ mod tests {
         ] {
             assert_eq!(Aggregator::parse(&agg.name()), Some(agg), "{agg:?}");
         }
+    }
+
+    #[test]
+    fn parse_spec_errors_name_keyword_and_parameter_span() {
+        // Every malformed shape: (spec, blamed keyword, byte span of the
+        // offending parameter — the whole input for unknown keywords).
+        let cases = [
+            ("bogus", "bogus", (0, 5)),
+            ("trimmed:x", "trimmed", (8, 9)),
+            ("trimmed:0.5", "trimmed", (8, 11)),
+            ("trimmed:-0.1", "trimmed", (8, 12)),
+            ("krum:x", "krum", (5, 6)),
+            ("multikrum:1", "multikrum", (10, 11)),
+            ("multikrum:x:2", "multikrum", (10, 11)),
+            ("multikrum:1:x", "multikrum", (12, 13)),
+            ("multikrum:1:0", "multikrum", (12, 13)),
+            ("multi-krum:1:x", "multikrum", (13, 14)),
+            ("normbound:x", "normbound", (10, 11)),
+            ("normbound:-1", "normbound", (10, 12)),
+            ("normbound:inf", "normbound", (10, 13)),
+            ("clip:x", "clip", (5, 6)),
+            ("clip:0", "clip", (5, 6)),
+        ];
+        for (spec, key, span) in cases {
+            let err = Aggregator::parse_spec(spec).expect_err(spec);
+            assert_eq!(err.family, "aggregator", "{spec}");
+            assert_eq!(err.key, key, "{spec}");
+            assert_eq!(err.span, span, "{spec}");
+        }
+        let err = Aggregator::parse_spec("trimmed:0.9").expect_err("trimmed:0.9");
+        assert_eq!(
+            err.to_string(),
+            "aggregator spec: `trimmed` at bytes 8..11: ratio 0.9 outside [0, 0.5)"
+        );
     }
 
     #[test]

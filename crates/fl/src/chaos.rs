@@ -311,8 +311,8 @@ pub fn apply_corruption<R: Rng + ?Sized>(kind: Corruption, update: &mut [f32], r
             };
             let stride = 8.min(update.len());
             let offset = r.gen_range(0..stride);
-            for i in (offset..update.len()).step_by(stride) {
-                update[i] = poison;
+            for slot in update.iter_mut().skip(offset).step_by(stride) {
+                *slot = poison;
             }
         }
         Corruption::NormBlowup => {

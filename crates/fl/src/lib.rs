@@ -74,6 +74,7 @@ pub mod sampler;
 pub mod scheduler;
 pub mod secure;
 pub mod serve;
+pub mod spec;
 pub mod transport;
 
 pub use adversary::{AttackInjector, AttackKind, AttackPlan, ReputationBook};
@@ -87,6 +88,7 @@ pub use personalize::{personalize_cohort, personalize_cohort_observed, Personali
 pub use resilient::RoundPolicy;
 pub use sampler::{Sampler, SamplerKind};
 pub use scheduler::{RoundScheduler, StreamedRound};
+pub use spec::SpecError;
 pub use transport::{
     ClientAddr, ClientOptions, InProcessTransport, Listener, SocketTransport, StreamUpdate,
     Transport, TransportError, WaveSlot,

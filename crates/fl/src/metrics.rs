@@ -176,9 +176,13 @@ impl ConfusionMatrix {
         m
     }
 
-    /// Count at `(actual, predicted)`.
+    /// Count at `(actual, predicted)`; 0 when either class is out of range.
     pub fn count(&self, actual: usize, predicted: usize) -> usize {
-        self.counts[actual][predicted]
+        self.counts
+            .get(actual)
+            .and_then(|row| row.get(predicted))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total recorded predictions.

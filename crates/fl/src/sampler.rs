@@ -407,6 +407,86 @@ mod tests {
     }
 
     #[test]
+    fn select_excluding_ban_set_larger_than_population_is_safe() {
+        use std::collections::BTreeSet;
+        let sampler = Sampler::new(SamplerKind::Uniform, 9);
+        // A ban set strictly larger than the population (superset of every
+        // id plus ids that never existed) selects nobody, without panics.
+        let superset: BTreeSet<usize> = (0..40).collect();
+        assert!(sampler
+            .select_excluding(1, 10, 4, None, &superset)
+            .is_empty());
+        // Bans naming only out-of-range ids leave everyone drawable and
+        // never leak a nonexistent client into the cohort.
+        let out_of_range: BTreeSet<usize> = (100..140).collect();
+        let picked = sampler.select_excluding(1, 10, 4, None, &out_of_range);
+        assert_eq!(picked.len(), 4);
+        assert!(picked.iter().all(|&c| c < 10), "{picked:?}");
+    }
+
+    #[test]
+    fn quarantine_can_empty_a_round_below_quorum() {
+        use crate::adversary::ReputationBook;
+        // A book that has quarantined 9 of 10 clients: selection shrinks to
+        // the lone survivor, below any sensible quorum — the caller's
+        // skipped-round path, never a panic.
+        let mut lines = String::from("reputation 9\n");
+        for client in 0..9 {
+            lines.push_str(&format!("rep {client} 40800000 3 1\n"));
+        }
+        let book = ReputationBook::parse_checkpoint_lines(lines.lines().peekable())
+            .expect("checkpoint lines parse");
+        let banned = book.quarantined();
+        assert_eq!(banned.len(), 9);
+        let sampler = Sampler::new(SamplerKind::Uniform, 31);
+        let picked = sampler.select_excluding(0, 10, 4, None, &banned);
+        assert_eq!(picked, vec![9], "only the unquarantined client survives");
+        let min_quorum = 3;
+        assert!(
+            picked.len() < min_quorum,
+            "a quorum gate must now skip the round"
+        );
+        // Quarantining the survivor too empties the round entirely.
+        let mut all = banned;
+        all.insert(9);
+        assert!(sampler.select_excluding(0, 10, 4, None, &all).is_empty());
+    }
+
+    #[test]
+    fn selection_with_a_nonempty_book_is_replay_identical() {
+        use crate::adversary::ReputationBook;
+        let lines = "reputation 3\nrep 2 40a00000 3 1\nrep 5 40f00000 4 1\nrep 8 3f000000 1 0\n";
+        let book = ReputationBook::parse_checkpoint_lines(lines.lines().peekable())
+            .expect("checkpoint lines parse");
+        let banned = book.quarantined();
+        assert_eq!(banned.len(), 2, "the unquarantined entry must not ban");
+        for kind in [
+            SamplerKind::Uniform,
+            SamplerKind::Importance,
+            SamplerKind::DivergenceWeighted,
+        ] {
+            let sampler = Sampler::new(kind, 13);
+            let scores = vec![0.5f32; 30];
+            for round in 0..6 {
+                let a = sampler.select_excluding(round, 30, 8, Some(&scores), &banned);
+                let b = sampler.select_excluding(round, 30, 8, Some(&scores), &banned);
+                assert_eq!(a, b, "replay diverged at round {round} ({kind:?})");
+                assert!(a.iter().all(|c| !banned.contains(c)), "{a:?}");
+                // A book rebuilt from its own checkpoint drives the exact
+                // same selection.
+                let replayed = ReputationBook::parse_checkpoint_lines(
+                    book.to_checkpoint_lines().lines().peekable(),
+                )
+                .expect("round-tripped book parses");
+                assert_eq!(
+                    sampler.select_excluding(round, 30, 8, Some(&scores), &replayed.quarantined()),
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
     fn kind_parse_round_trips() {
         for kind in [
             SamplerKind::Uniform,

@@ -1,0 +1,64 @@
+//! Shared error type for CLI spec strings (`--attack`, `--aggregator`, …).
+//!
+//! Every spec parser in the crate reports failures the same way: which key
+//! was at fault, where that fragment sits in the input (byte span), and
+//! what went wrong with it. The span lets callers underline the offending
+//! fragment in diagnostics instead of echoing the whole spec and leaving
+//! the user to diff it by eye.
+
+/// A parse failure in a spec string, pointing at the offending fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Which spec family rejected the input (`"attack"`, `"aggregator"`).
+    pub family: &'static str,
+    /// The key or keyword at fault (e.g. `flip`, `trimmed`).
+    pub key: String,
+    /// Byte range `start..end` of the offending fragment in the input.
+    pub span: (usize, usize),
+    /// What went wrong with that fragment.
+    pub detail: String,
+}
+
+impl SpecError {
+    /// Builds an error for `key`, blaming the `span` byte range of the
+    /// input.
+    pub fn new(
+        family: &'static str,
+        key: &str,
+        span: (usize, usize),
+        detail: impl Into<String>,
+    ) -> SpecError {
+        SpecError {
+            family,
+            key: key.to_string(),
+            span,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} spec: `{}` at bytes {}..{}: {}",
+            self.family, self.key, self.span.0, self.span.1, self.detail
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_family_key_span_and_detail() {
+        let err = SpecError::new("attack", "warp", (9, 17), "unknown key");
+        assert_eq!(
+            err.to_string(),
+            "attack spec: `warp` at bytes 9..17: unknown key"
+        );
+    }
+}
